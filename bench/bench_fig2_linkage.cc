@@ -1,0 +1,175 @@
+// Reproduces Figure 2: "Entity linkage quality with random forest on
+// movies and people between Freebase and IMDb. We are able to achieve
+// over 99% precision and recall with 1.5M labels. When applying active
+// learning to selectively introduce labels, we can achieve the same
+// quality with 10K labels."
+//
+// Substitution: the Freebase/IMDb dumps are replaced by two noisy views
+// of a synthetic entity universe (see DESIGN.md §6); label budgets scale
+// down with the pool (the claim is the ~2-orders-of-magnitude gap, not
+// the absolute counts).
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "core/conversions.h"
+#include "integrate/linkage.h"
+#include "ml/active_learning.h"
+#include "synth/structured_source.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+struct DomainRun {
+  std::string domain_name;
+  std::vector<ml::BudgetResult> random_results;
+  std::vector<ml::BudgetResult> active_results;
+};
+
+DomainRun RunDomain(const synth::EntityUniverse& universe,
+                    synth::SourceDomain domain,
+                    const std::string& domain_name, uint64_t seed) {
+  Rng rng(seed);
+  synth::SourceOptions freebase_like, imdb_like;
+  freebase_like.name = "freebase";
+  freebase_like.domain = domain;
+  freebase_like.coverage = 0.7;
+  freebase_like.name_noise = 0.15;
+  imdb_like.name = "imdb";
+  imdb_like.domain = domain;
+  imdb_like.coverage = 0.7;
+  imdb_like.schema_dialect = 1;
+  imdb_like.name_noise = 0.15;
+  const auto t1 = synth::EmitSource(universe, freebase_like, rng);
+  const auto t2 = synth::EmitSource(universe, imdb_like, rng);
+  std::vector<uint32_t> truth1, truth2;
+  const auto r1 =
+      core::ToRecordSet(t1, core::ManualMappingFor(t1), &truth1);
+  const auto r2 =
+      core::ToRecordSet(t2, core::ManualMappingFor(t2), &truth2);
+  const auto schema = core::LinkageSchemaFor(domain);
+  auto all_pairs = core::BuildLinkagePairs(r1, truth1, r2, truth2, schema);
+
+  // Production linkage follows blocking with a cheap similarity filter so
+  // labelers are not drowned in trivially-negative pairs: keep candidates
+  // whose best name similarity clears a low bar.
+  {
+    const auto names = integrate::LinkageFeatureNames(schema);
+    std::vector<size_t> jw_indices;
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i].find(".jw") != std::string::npos) {
+        jw_indices.push_back(i);
+      }
+    }
+    ml::Dataset filtered;
+    filtered.feature_names = all_pairs.feature_names;
+    for (auto& ex : all_pairs.examples) {
+      double best = 0.0;
+      for (size_t i : jw_indices) best = std::max(best, ex.features[i]);
+      if (best >= 0.75) filtered.examples.push_back(std::move(ex));
+    }
+    all_pairs = std::move(filtered);
+  }
+
+  ml::Dataset pool, test;
+  ml::TrainTestSplit(all_pairs, 0.6, rng, &pool, &test);
+  std::cout << domain_name << ": " << r1.records.size() << " + "
+            << r2.records.size() << " records, "
+            << FormatCount(static_cast<int64_t>(all_pairs.size()))
+            << " candidate pairs after blocking (pool "
+            << FormatCount(static_cast<int64_t>(pool.size())) << ", test "
+            << FormatCount(static_cast<int64_t>(test.size())) << ")\n";
+
+  DomainRun run;
+  run.domain_name = domain_name;
+  ml::ActiveLearningOptions options;
+  options.forest.num_trees = 40;
+  options.seed_labels = 100;
+  options.label_budgets = {200, 600, 2000, 6000, 20000};
+  while (options.label_budgets.back() > pool.size()) {
+    options.label_budgets.pop_back();
+  }
+  {
+    Rng al_rng(seed + 1);
+    options.strategy = ml::AcquisitionStrategy::kRandom;
+    run.random_results = RunActiveLearning(pool, test, options, al_rng);
+  }
+  {
+    Rng al_rng(seed + 1);
+    options.strategy = ml::AcquisitionStrategy::kUncertainty;
+    run.active_results = RunActiveLearning(pool, test, options, al_rng);
+  }
+  return run;
+}
+
+void PrintRun(const DomainRun& run) {
+  PrintBanner(std::cout, "Figure 2 — " + run.domain_name);
+  TablePrinter table({"labels", "random P", "random R", "random F1",
+                      "active P", "active R", "active F1"});
+  for (size_t i = 0; i < run.random_results.size(); ++i) {
+    const auto& r = run.random_results[i];
+    const auto& a = run.active_results[i];
+    table.AddRow({FormatCount(static_cast<int64_t>(r.labels)),
+                  FormatDouble(r.precision, 3), FormatDouble(r.recall, 3),
+                  FormatDouble(r.f1, 3), FormatDouble(a.precision, 3),
+                  FormatDouble(a.recall, 3), FormatDouble(a.f1, 3)});
+  }
+  table.Print(std::cout);
+}
+
+// First budget reaching F1 >= bar, or 0.
+size_t BudgetToReach(const std::vector<ml::BudgetResult>& results,
+                     double bar) {
+  for (const auto& r : results) {
+    if (r.f1 >= bar) return r.labels;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E1 / Figure 2: RF entity linkage, random vs active "
+               "labeling (seed 42)\n";
+  synth::UniverseOptions uopt;
+  uopt.num_people = 4000;
+  uopt.num_movies = 3000;
+  uopt.num_songs = 200;
+  Rng universe_rng(42);
+  const auto universe = synth::EntityUniverse::Generate(uopt, universe_rng);
+
+  const auto movies = RunDomain(universe, synth::SourceDomain::kMovies,
+                                "movies", 7);
+  const auto people = RunDomain(universe, synth::SourceDomain::kPeople,
+                                "people", 11);
+  PrintRun(movies);
+  PrintRun(people);
+
+  PrintBanner(std::cout, "Reproduction verdict");
+  for (const auto& run : {movies, people}) {
+    const double top_f1 = run.random_results.back().f1;
+    const size_t random_needed = BudgetToReach(run.random_results, 0.97);
+    const size_t active_needed = BudgetToReach(run.active_results, 0.97);
+    std::cout << run.domain_name << ": best random F1 "
+              << FormatDouble(top_f1, 3) << "; F1>=0.97 at "
+              << (random_needed ? FormatCount(static_cast<int64_t>(
+                                      random_needed))
+                                : std::string(">max"))
+              << " random labels vs "
+              << (active_needed ? FormatCount(static_cast<int64_t>(
+                                      active_needed))
+                                : std::string(">max"))
+              << " active labels";
+    if (active_needed && random_needed &&
+        active_needed * 3 <= random_needed) {
+      std::cout << "  [SHAPE OK: active learning saves >=3x labels]";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "Paper: >99% P/R at 1.5M random labels; same quality at "
+               "10K active labels (150x).\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Figure 5 and the §3.2 claims: the production extraction
+// pipeline lifts raw NER quality (85-95%) above the production bar via
+// tuning and ML post-processing, and the automated variant (Figure 5b)
+// cuts time-to-deploy from "a couple of months to a couple of weeks"
+// while retaining most of the quality.
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "textrich/pipeline.h"
+
+int main() {
+  using namespace kg;  // NOLINT
+  std::cout << "E6 / Figure 5: extraction pipeline quality and cost "
+               "(seed 42)\n";
+  synth::CatalogOptions copt;
+  copt.num_types = 24;
+  copt.num_products = 1500;
+  Rng rng(42);
+  const auto catalog = synth::ProductCatalog::Generate(copt, rng);
+
+  const std::vector<std::string> attributes(
+      catalog.attributes().begin(),
+      catalog.attributes().begin() + 3);
+
+  for (auto mode : {textrich::PipelineMode::kManual,
+                    textrich::PipelineMode::kAutomated}) {
+    const char* mode_name =
+        mode == textrich::PipelineMode::kManual ? "manual (Figure 5a)"
+                                                : "automated (Figure 5b)";
+    PrintBanner(std::cout, std::string("Pipeline: ") + mode_name);
+    TablePrinter table({"attribute", "stage", "P", "R", "F1",
+                        "cum. person-days"});
+    double total_cost = 0.0;
+    double final_f1_sum = 0.0;
+    for (const auto& attr : attributes) {
+      textrich::PipelineOptions popt;
+      popt.mode = mode;
+      Rng run_rng(7);
+      const auto result =
+          RunExtractionPipeline(catalog, attr, popt, run_rng);
+      for (const auto& stage : result.stages) {
+        table.AddRow({attr, stage.stage, FormatDouble(stage.precision, 3),
+                      FormatDouble(stage.recall, 3),
+                      FormatDouble(stage.f1, 3),
+                      FormatDouble(stage.cost_person_days, 1)});
+      }
+      total_cost += result.total_cost_person_days;
+      final_f1_sum += result.final_f1;
+    }
+    table.Print(std::cout);
+    std::cout << "mean final F1 "
+              << FormatDouble(final_f1_sum / attributes.size(), 3)
+              << ", total cost " << FormatDouble(total_cost, 1)
+              << " person-days for " << attributes.size()
+              << " attributes\n";
+  }
+
+  PrintBanner(std::cout, "Reproduction verdict");
+  std::cout << "Paper: base NER 85-95%; pipeline pushes >95% (manual) "
+               "while automation cuts deployment cost ~an order of "
+               "magnitude (months -> weeks) at a modest quality cost.\n";
+  return 0;
+}

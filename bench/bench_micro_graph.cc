@@ -1,0 +1,90 @@
+// Substrate microbenchmarks: triple-store operations and path queries.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/knowledge_graph.h"
+#include "graph/paths.h"
+#include "synth/entity_universe.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+const synth::EntityUniverse& Universe() {
+  static const auto* universe = [] {
+    synth::UniverseOptions opt;
+    opt.num_people = 2000;
+    opt.num_movies = 1500;
+    opt.num_songs = 300;
+    Rng rng(42);
+    return new synth::EntityUniverse(
+        synth::EntityUniverse::Generate(opt, rng));
+  }();
+  return *universe;
+}
+
+void BM_AddTriple(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::KnowledgeGraph kg;
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      kg.AddTriple("s" + std::to_string(i % 100), "p",
+                   "o" + std::to_string(i), graph::NodeKind::kEntity,
+                   graph::NodeKind::kText, {"bench", 1.0, 0});
+    }
+    benchmark::DoNotOptimize(kg.num_triples());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_AddTriple);
+
+void BM_ObjectsQuery(benchmark::State& state) {
+  const auto kg = Universe().ToKnowledgeGraph();
+  const auto pred = *kg.FindPredicate("directed_by");
+  Rng rng(2);
+  std::vector<graph::NodeId> subjects;
+  for (graph::TripleId t : kg.TriplesWithPredicate(pred)) {
+    subjects.push_back(kg.triple(t).subject);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kg.Objects(subjects[i++ % subjects.size()], pred));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObjectsQuery);
+
+void BM_ShortestPath(benchmark::State& state) {
+  const auto kg = Universe().ToKnowledgeGraph();
+  Rng rng(3);
+  for (auto _ : state) {
+    const graph::NodeId a =
+        static_cast<graph::NodeId>(rng.UniformIndex(kg.num_nodes()));
+    const graph::NodeId b =
+        static_cast<graph::NodeId>(rng.UniformIndex(kg.num_nodes()));
+    benchmark::DoNotOptimize(graph::ShortestPath(kg, a, b, 4));
+  }
+}
+BENCHMARK(BM_ShortestPath);
+
+void BM_PathReachProbability(benchmark::State& state) {
+  const auto kg = Universe().ToKnowledgeGraph();
+  const auto acted = *kg.FindPredicate("acted_in");
+  const auto directed = *kg.FindPredicate("directed_by");
+  const graph::RelationPath path = {{acted, false}, {directed, false}};
+  Rng rng(4);
+  const auto triples = kg.TriplesWithPredicate(acted);
+  for (auto _ : state) {
+    const auto& t = kg.triple(triples[rng.UniformIndex(triples.size())]);
+    benchmark::DoNotOptimize(
+        graph::PathReachProbability(kg, t.subject, t.object, path));
+  }
+}
+BENCHMARK(BM_PathReachProbability);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Substrate microbenchmarks: model training and inference.
+#include <benchmark/benchmark.h>
+
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+#include "ml/sequence_tagger.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+ml::Dataset MakeDataset(size_t n, size_t d, Rng& rng) {
+  ml::Dataset data;
+  data.feature_names.resize(d);
+  for (size_t i = 0; i < n; ++i) {
+    ml::Example ex;
+    for (size_t f = 0; f < d; ++f) {
+      ex.features.push_back(rng.UniformDouble());
+    }
+    ex.label = ex.features[0] > 0.5 ? 1 : 0;
+    data.examples.push_back(std::move(ex));
+  }
+  return data;
+}
+
+void BM_ForestTrain(benchmark::State& state) {
+  Rng rng(1);
+  const auto data = MakeDataset(1000, 12, rng);
+  ml::ForestOptions opt;
+  opt.num_trees = 20;
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    Rng fit_rng(2);
+    forest.Fit(data, opt, fit_rng);
+    benchmark::DoNotOptimize(forest.num_trees());
+  }
+}
+BENCHMARK(BM_ForestTrain);
+
+void BM_ForestPredict(benchmark::State& state) {
+  Rng rng(3);
+  const auto data = MakeDataset(1000, 12, rng);
+  ml::RandomForest forest;
+  ml::ForestOptions opt;
+  opt.num_trees = 40;
+  forest.Fit(data, opt, rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.PredictPositiveProba(
+        data.examples[i++ % data.size()].features));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_LogisticRegressionTrain(benchmark::State& state) {
+  Rng rng(4);
+  const auto data = MakeDataset(2000, 10, rng);
+  ml::LogisticRegression::Options opt;
+  opt.epochs = 10;
+  for (auto _ : state) {
+    ml::LogisticRegression lr;
+    Rng fit_rng(5);
+    lr.Fit(data, opt, fit_rng);
+    benchmark::DoNotOptimize(lr.bias());
+  }
+}
+BENCHMARK(BM_LogisticRegressionTrain);
+
+void BM_TaggerDecode(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<ml::TaggedSequence> train;
+  const std::vector<std::string> words = {"alpha", "beta", "gamma",
+                                          "delta", "epsilon"};
+  for (int i = 0; i < 100; ++i) {
+    ml::TaggedSequence seq;
+    for (int j = 0; j < 10; ++j) {
+      seq.tokens.push_back(words[rng.UniformIndex(words.size())]);
+      seq.tags.push_back(j == 3 ? "B-V" : "O");
+    }
+    train.push_back(std::move(seq));
+  }
+  ml::SequenceTagger tagger;
+  ml::TaggerOptions opt;
+  opt.epochs = 3;
+  tagger.Fit(train, opt, rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tagger.Predict(train[i++ % train.size()].tokens, {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaggerDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

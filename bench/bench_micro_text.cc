@@ -1,0 +1,78 @@
+// Substrate microbenchmarks: string similarity and tokenization.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "synth/names.h"
+#include "text/similarity.h"
+#include "text/tfidf.h"
+#include "text/tokenize.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+std::vector<std::string> Names(size_t n) {
+  Rng rng(42);
+  synth::NameFactory factory(rng.Fork());
+  std::vector<std::string> names;
+  for (size_t i = 0; i < n; ++i) names.push_back(factory.PersonName());
+  return names;
+}
+
+void BM_JaroWinkler(benchmark::State& state) {
+  const auto names = Names(1000);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::JaroWinklerSimilarity(
+        names[i % names.size()], names[(i + 1) % names.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_Levenshtein(benchmark::State& state) {
+  const auto names = Names(1000);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::LevenshteinDistance(
+        names[i % names.size()], names[(i + 1) % names.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string title =
+      "Onus 2 Colors Highlighter Stick, Shimmer Cream Powder Waterproof "
+      "Light Face Cosmetics, creamy Self Sharpening Crayon Stick";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::Tokenize(title));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_TfidfTransform(benchmark::State& state) {
+  Rng rng(7);
+  synth::NameFactory factory(rng.Fork());
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::string> doc;
+    for (int j = 0; j < 12; ++j) doc.push_back(factory.Word());
+    docs.push_back(std::move(doc));
+  }
+  text::TfidfVectorizer vec;
+  vec.Fit(docs);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec.Transform(docs[i++ % docs.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TfidfTransform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Reproduces the §2.1-2.2 narrative as numbers: knowledge transformation
+// of an authoritative anchor source (Wikipedia role), then knowledge
+// integration of further structured sources (IMDb / MusicBrainz roles):
+// schema alignment, entity linkage, and fusion grow the KG while keeping
+// accuracy high. Also exercises automatic schema alignment (§5's
+// "not-yet-successful" technique) against the manual mapping.
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "core/entity_kg_pipeline.h"
+#include "integrate/schema_alignment.h"
+
+int main() {
+  using namespace kg;  // NOLINT
+  std::cout << "E13 / sec 2.1-2.2: growing an entity-based KG source by "
+               "source (seed 42)\n";
+  synth::UniverseOptions uopt;
+  uopt.num_people = 2000;
+  uopt.num_movies = 2500;
+  uopt.num_songs = 300;
+  Rng rng(42);
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+  std::map<std::pair<uint32_t, std::string>, std::string> truth;
+  for (const auto& m : universe.movies()) {
+    truth[{m.id, "title"}] = m.title;
+    truth[{m.id, "release_year"}] = std::to_string(m.release_year);
+    truth[{m.id, "genre"}] = m.genre;
+    truth[{m.id, "director"}] = universe.people()[m.director].name;
+  }
+
+  synth::SourceOptions wiki, imdb, webdb;
+  wiki.name = "wikipedia";
+  wiki.coverage = 0.45;
+  wiki.value_accuracy = 0.98;
+  wiki.name_noise = 0.05;
+  imdb.name = "imdb";
+  imdb.coverage = 0.75;
+  imdb.schema_dialect = 1;
+  imdb.value_accuracy = 0.96;
+  webdb.name = "webdb";
+  webdb.coverage = 0.5;
+  webdb.schema_dialect = 2;
+  webdb.value_accuracy = 0.82;
+  webdb.name_noise = 0.3;
+
+  core::EntityKgBuilder::Options opt;
+  opt.forest.num_trees = 30;
+  core::EntityKgBuilder builder(synth::SourceDomain::kMovies, opt);
+  builder.IngestAnchor(synth::EmitSource(universe, wiki, rng), rng);
+  builder.IngestAndLink(synth::EmitSource(universe, imdb, rng), rng);
+  builder.IngestAndLink(synth::EmitSource(universe, webdb, rng), rng);
+  builder.FuseValues();
+
+  PrintBanner(std::cout, "Source-by-source ingestion (Figure 4a)");
+  TablePrinter table({"source", "records", "linked", "new entities",
+                      "link precision", "link recall", "entities",
+                      "triples"});
+  for (const auto& r : builder.reports()) {
+    table.AddRow({r.source, std::to_string(r.records),
+                  std::to_string(r.linked),
+                  std::to_string(r.new_entities),
+                  r.linked ? FormatDouble(r.linkage_precision, 3) : "-",
+                  r.linked ? FormatDouble(r.linkage_recall, 3) : "-",
+                  std::to_string(r.kg_entities_after),
+                  FormatCount(static_cast<int64_t>(r.kg_triples_after))});
+  }
+  table.Print(std::cout);
+  std::cout << "fused KG accuracy vs universe truth: "
+            << FormatDouble(builder.KgAccuracy(truth), 3) << "\n";
+
+  PrintBanner(std::cout, "Automatic vs manual schema alignment");
+  {
+    Rng align_rng(7);
+    const auto canonical_table =
+        synth::EmitSource(universe, wiki, align_rng);
+    TablePrinter align({"source dialect", "columns mapped correctly"});
+    for (int dialect : {1, 2}) {
+      synth::SourceOptions other = imdb;
+      other.schema_dialect = dialect;
+      const auto table2 = synth::EmitSource(universe, other, align_rng);
+      std::vector<std::map<std::string, std::string>> sample, reference;
+      for (size_t i = 0; i < std::min<size_t>(200, table2.records.size());
+           ++i) {
+        sample.push_back(table2.records[i].fields);
+      }
+      for (size_t i = 0;
+           i < std::min<size_t>(200, canonical_table.records.size());
+           ++i) {
+        reference.push_back(canonical_table.records[i].fields);
+      }
+      const auto inferred = integrate::InferMapping(
+          table2.columns, sample,
+          synth::CanonicalColumns(table2.domain), reference);
+      const auto gold = core::ManualMappingFor(table2);
+      align.AddRow({"dialect " + std::to_string(dialect),
+                    FormatDouble(integrate::MappingAccuracy(inferred, gold), 2)});
+    }
+    align.Print(std::cout);
+  }
+
+  PrintBanner(std::cout, "Reproduction verdict");
+  std::cout << "Paper: integration of authoritative sources grows KGs by "
+               "an order of magnitude at high accuracy; linkage is the "
+               "critical automated step (manual alignment stays cheap at "
+               "a handful of sources). Expected shape: high link "
+               "precision, entity count << record count, fused accuracy "
+               "above the noisiest source.\n";
+  return 0;
+}

@@ -1,0 +1,338 @@
+// Reproduces the §2.4 web-scale extraction findings (Knowledge Vault):
+//  * extraction from four content types (text, semi-structured pages,
+//    web tables, annotations) feeding a fusion model that predicts
+//    triple correctness;
+//  * semi-structured pages contribute the overwhelming share of
+//    high-confidence triples (94M of KV's 100M);
+//  * the high-confidence web-extracted volume stays well below curated
+//    KG volume (KV 100M vs Freebase 637M / Google KG 18B) — web
+//    extraction supplements, not replaces, curated integration.
+//
+// Substitution: a simulated web over the synthetic universe (DESIGN.md
+// §6) with per-content-type extractors of realistic relative quality.
+
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "core/conversions.h"
+#include "extract/distant_supervision.h"
+#include "fuse/confidence_model.h"
+#include "integrate/schema_alignment.h"
+#include "synth/structured_source.h"
+#include "synth/website_generator.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+// Universe truth lookup for accuracy scoring: (normalized unique movie
+// title, predicate) -> value.
+std::map<std::pair<std::string, std::string>, std::string> TruthIndex(
+    const synth::EntityUniverse& universe) {
+  std::map<std::string, int> title_counts;
+  for (const auto& m : universe.movies()) ++title_counts[m.title];
+  std::map<std::pair<std::string, std::string>, std::string> truth;
+  for (const auto& m : universe.movies()) {
+    if (title_counts[m.title] != 1) continue;
+    const std::string key = text::NormalizeForMatch(m.title);
+    truth[{key, "release_year"}] = std::to_string(m.release_year);
+    truth[{key, "genre"}] = m.genre;
+    truth[{key, "director"}] =
+        text::NormalizeForMatch(universe.people()[m.director].name);
+  }
+  return truth;
+}
+
+// Value comparison tolerant to surface variants ("A. Novak" vs
+// "Ada Novak"): exact normalized match or high Jaro-Winkler.
+bool ValuesMatch(const std::string& a, const std::string& b) {
+  const std::string na = text::NormalizeForMatch(a);
+  const std::string nb = text::NormalizeForMatch(b);
+  if (na == nb) return true;
+  return text::JaroWinklerSimilarity(na, nb) >= 0.88;
+}
+
+struct TypeStats {
+  size_t candidates = 0;
+  size_t high_confidence = 0;
+  size_t scored_against_truth = 0;
+  size_t correct = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "E4 / sec 2.4: web-scale extraction and fusion "
+               "(Knowledge Vault shape, seed 42)\n";
+  synth::UniverseOptions uopt;
+  uopt.num_people = 4000;
+  uopt.num_movies = 3000;
+  uopt.num_songs = 500;
+  Rng rng(42);
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+  const auto truth = TruthIndex(universe);
+
+  // Seed KG (for distant supervision and fusion calibration): head 40%
+  // of movies.
+  extract::SeedKnowledge seed;
+  for (size_t i = 0; i < universe.movies().size() * 2 / 5; ++i) {
+    const auto& m = universe.movies()[i];
+    seed.AddEntity(m.title,
+                   {{"release_year", std::to_string(m.release_year)},
+                    {"genre", m.genre},
+                    {"director", universe.people()[m.director].name}});
+  }
+
+  std::vector<fuse::CandidateTriple> candidates;
+
+  // --- Content type 1: semi-structured websites (Ceres per site) -------
+  {
+    size_t sites = 0;
+    for (int s = 0; s < 12; ++s) {
+      synth::WebsiteOptions wopt;
+      wopt.domain = synth::SourceDomain::kMovies;
+      wopt.site_name = "movie-site" + std::to_string(s);
+      wopt.num_pages = 250;
+      wopt.label_dialect = s % 3;
+      wopt.chrome_depth = s % 3;
+      const auto site = GenerateWebsite(universe, wopt, rng);
+      std::vector<const extract::DomPage*> pages;
+      for (const auto& page : site.pages) pages.push_back(&page.dom);
+      extract::DistantlySupervisedExtractor extractor;
+      if (extractor.Fit(pages, seed, {}) == 0) continue;
+      ++sites;
+      for (const auto& page : site.pages) {
+        for (const auto& e : extractor.Extract(page.dom)) {
+          candidates.push_back(
+              {text::NormalizeForMatch(page.topic_name), e.attribute,
+               e.attribute == "director"
+                   ? text::NormalizeForMatch(e.value)
+                   : e.value,
+               site.name, "semistructured", e.confidence});
+        }
+      }
+    }
+    std::cout << "semi-structured: " << sites << " sites extracted\n";
+  }
+
+  // --- Content type 2: free text (blurb sentences) ----------------------
+  {
+    // Text extraction reads "<topic> is a <genre> favorite" sentences;
+    // the pattern is noisy by construction (the blurb genre is often
+    // editorial filler rather than the catalogued genre).
+    for (int s = 0; s < 6; ++s) {
+      synth::WebsiteOptions wopt;
+      wopt.domain = synth::SourceDomain::kMovies;
+      wopt.site_name = "blog" + std::to_string(s);
+      wopt.num_pages = 300;
+      const auto site = GenerateWebsite(universe, wopt, rng);
+      for (const auto& page : site.pages) {
+        for (const auto& node : page.dom.nodes) {
+          if (node.tag != "p" || node.text.empty()) continue;
+          // Pattern: "<topic> is a <word> favorite ...".
+          const std::string marker = " is a ";
+          const size_t pos = node.text.find(marker);
+          const size_t end = node.text.find(" favorite");
+          if (pos == std::string::npos || end == std::string::npos ||
+              end <= pos) {
+            continue;
+          }
+          const std::string subject = node.text.substr(0, pos);
+          const std::string value = node.text.substr(
+              pos + marker.size(), end - pos - marker.size());
+          candidates.push_back({text::NormalizeForMatch(subject), "genre",
+                                value, site.name, "text", 0.5});
+        }
+      }
+    }
+  }
+
+  // --- Content type 3: web tables (auto-aligned structured dumps) ------
+  {
+    for (int s = 0; s < 5; ++s) {
+      synth::SourceOptions sopt;
+      sopt.name = "webtable" + std::to_string(s);
+      sopt.domain = synth::SourceDomain::kMovies;
+      sopt.coverage = 0.15;
+      sopt.schema_dialect = s % 3;
+      sopt.value_accuracy = 0.88;
+      sopt.name_noise = 0.2;
+      const auto table = synth::EmitSource(universe, sopt, rng);
+      // Automatic schema alignment against the seed's canonical space
+      // (web tables have no curator).
+      std::vector<std::map<std::string, std::string>> sample;
+      for (size_t i = 0; i < std::min<size_t>(100, table.records.size());
+           ++i) {
+        sample.push_back(table.records[i].fields);
+      }
+      std::vector<std::map<std::string, std::string>> reference;
+      {
+        synth::SourceOptions canonical;
+        canonical.domain = synth::SourceDomain::kMovies;
+        canonical.coverage = 0.2;
+        Rng ref_rng(99);
+        const auto ref = synth::EmitSource(universe, canonical, ref_rng);
+        for (size_t i = 0; i < std::min<size_t>(100, ref.records.size());
+             ++i) {
+          reference.push_back(ref.records[i].fields);
+        }
+      }
+      const auto mapping = integrate::InferMapping(
+          table.columns, sample,
+          synth::CanonicalColumns(table.domain), reference);
+      for (const auto& rec : table.records) {
+        const auto mapped =
+            mapping.Apply(table.source_name, rec.local_id, rec.fields);
+        const std::string& title = mapped.Get("title");
+        if (title.empty()) continue;
+        for (const auto& [attr, value] : mapped.attrs) {
+          if (attr == "title") continue;
+          candidates.push_back({text::NormalizeForMatch(title), attr,
+                                attr == "director"
+                                    ? text::NormalizeForMatch(value)
+                                    : value,
+                                table.source_name, "webtable", 0.8});
+        }
+      }
+    }
+  }
+
+  // --- Content type 4: annotations (schema.org-style) ------------------
+  {
+    for (int s = 0; s < 2; ++s) {
+      synth::WebsiteOptions wopt;
+      wopt.domain = synth::SourceDomain::kMovies;
+      wopt.site_name = "annotated" + std::to_string(s);
+      wopt.num_pages = 120;
+      wopt.value_noise = 0.01;
+      const auto site = GenerateWebsite(universe, wopt, rng);
+      for (const auto& page : site.pages) {
+        // Annotations expose the page's own key-values directly.
+        for (const auto& [attr, value] : page.displayed_values) {
+          if (attr != "genre" && attr != "release_year") continue;
+          candidates.push_back({text::NormalizeForMatch(page.topic_name),
+                                attr, value, site.name, "annotation",
+                                0.95});
+        }
+      }
+    }
+  }
+
+  // --- Fusion: calibrate on seed agreement, score all groups -----------
+  // Calibration needs reconciled subjects: shared titles would pair a
+  // page about one movie with the seed entry of its namesake and poison
+  // the labels (the paper's "entity heterogeneity"). Restrict to titles
+  // unique in the universe.
+  std::set<std::string> unique_titles;
+  {
+    std::map<std::string, int> counts;
+    for (const auto& m : universe.movies()) {
+      ++counts[text::NormalizeForMatch(m.title)];
+    }
+    for (const auto& [title, n] : counts) {
+      if (n == 1) unique_titles.insert(title);
+    }
+  }
+  auto groups = fuse::ExtractionConfidenceModel::GroupCandidates(candidates);
+  std::vector<size_t> calibration_groups;
+  std::vector<int> labels;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (!unique_titles.count(groups[g].subject)) continue;
+    const auto* known = seed.Find(groups[g].subject);
+    if (known == nullptr) continue;
+    auto it = known->find(groups[g].predicate);
+    if (it == known->end()) continue;
+    calibration_groups.push_back(g);
+    labels.push_back(ValuesMatch(it->second, groups[g].object) ? 1 : 0);
+  }
+  fuse::ExtractionConfidenceModel model;
+  {
+    std::vector<fuse::ExtractionConfidenceModel::Group> train;
+    for (size_t g : calibration_groups) train.push_back(groups[g]);
+    Rng fit_rng(7);
+    model.Fit(train, labels, fit_rng);
+  }
+
+  std::map<std::string, TypeStats> by_type;
+  size_t total_high_confidence = 0;
+  for (const auto& group : groups) {
+    const double score = model.Score(group);
+    // Attribute the group to its dominant extractor family.
+    std::map<std::string, size_t> family_votes;
+    for (const auto* c : group.supporters) ++family_votes[c->extractor];
+    std::string family;
+    size_t best = 0;
+    for (const auto& [f, n] : family_votes) {
+      if (n > best) {
+        best = n;
+        family = f;
+      }
+    }
+    TypeStats& stats = by_type[family];
+    ++stats.candidates;
+    const bool high = score >= 0.9;
+    if (high) {
+      ++stats.high_confidence;
+      ++total_high_confidence;
+    }
+    auto it = truth.find({group.subject, group.predicate});
+    if (high && it != truth.end()) {
+      ++stats.scored_against_truth;
+      stats.correct += ValuesMatch(it->second, group.object);
+    }
+  }
+
+  PrintBanner(std::cout, "Triples by content type (fusion threshold 0.9)");
+  TablePrinter table({"content type", "candidate triples",
+                      "high-confidence", "share of high-conf",
+                      "accuracy vs truth"});
+  for (const auto& [family, stats] : by_type) {
+    table.AddRow(
+        {family, FormatCount(static_cast<int64_t>(stats.candidates)),
+         FormatCount(static_cast<int64_t>(stats.high_confidence)),
+         FormatDouble(total_high_confidence == 0
+                          ? 0.0
+                          : static_cast<double>(stats.high_confidence) /
+                                total_high_confidence,
+                      3),
+         stats.scored_against_truth == 0
+             ? "-"
+             : FormatDouble(static_cast<double>(stats.correct) /
+                                stats.scored_against_truth,
+                            3)});
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Volume vs curated knowledge");
+  const size_t curated = universe.ToKnowledgeGraph().num_triples();
+  TablePrinter volume({"collection", "triples"});
+  volume.AddRow({"web-extracted, high-confidence",
+                 FormatCount(static_cast<int64_t>(total_high_confidence))});
+  volume.AddRow({"curated universe KG (Freebase role)",
+                 FormatCount(static_cast<int64_t>(curated))});
+  volume.Print(std::cout);
+
+  PrintBanner(std::cout, "Reproduction verdict");
+  const auto& semi = by_type["semistructured"];
+  std::cout << "semi-structured share of high-confidence triples: "
+            << FormatDouble(total_high_confidence == 0
+                                ? 0.0
+                                : static_cast<double>(
+                                      semi.high_confidence) /
+                                      total_high_confidence,
+                            3)
+            << " (paper: 94M of 100M = 0.94); web volume / curated "
+               "volume: "
+            << FormatDouble(static_cast<double>(total_high_confidence) /
+                                static_cast<double>(curated),
+                            3)
+            << " (paper: 100M / 637M ~ 0.16, vs Google KG 18B far "
+               "larger).\n";
+  return 0;
+}

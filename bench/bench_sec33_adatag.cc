@@ -1,0 +1,155 @@
+// Reproduces the §3.3 AdaTag claim: "It can train one model for 32 major
+// attributes whereas still improving quality over training one model per
+// attribute." The mechanism: attribute embeddings + a mixture-of-experts
+// decoder let related attributes (flavor/scent share vocabulary) pool
+// their training signal. Here: one attribute-conditioned tagger with
+// attribute + cluster context vs independent per-attribute taggers, at
+// several training budgets.
+
+#include <iostream>
+#include <map>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "extract/opentag.h"
+#include "text/bio.h"
+#include "textrich/example_builder.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+}  // namespace
+
+int main() {
+  std::cout << "E8 / sec 3.3: AdaTag multi-attribute extraction (seed "
+               "42)\n";
+  synth::CatalogOptions copt;
+  copt.num_types = 40;
+  copt.num_attributes = 20;   // "32 major attributes" scaled to our pool.
+  copt.attrs_per_type = 5;
+  copt.num_products = 2400;
+  Rng rng(42);
+  const auto catalog = synth::ProductCatalog::Generate(copt, rng);
+  std::cout << catalog.attributes().size() << " attributes in "
+            << (catalog.attribute_clusters().empty()
+                    ? 0
+                    : catalog.attribute_clusters().back() + 1)
+            << " vocabulary-sharing clusters\n";
+
+  std::vector<size_t> train_idx, test_idx;
+  textrich::SplitIndices(catalog.products().size(), 0.7, &train_idx,
+                         &test_idx);
+  textrich::ExampleBuildOptions build;
+  const auto train_all =
+      textrich::BuildAttributeExamples(catalog, train_idx, "", build);
+  const auto test =
+      textrich::BuildAttributeExamples(catalog, test_idx, "", build);
+
+  TablePrinter table({"train products", "model", "P", "R", "F1",
+                      "models trained"});
+  double last_gain = 0.0;
+  for (double fraction : {0.1, 0.3, 1.0}) {
+    std::vector<extract::AttributeExample> train(
+        train_all.begin(),
+        train_all.begin() +
+            static_cast<long>(fraction * train_all.size()));
+    const std::string budget = std::to_string(
+        static_cast<int>(fraction * train_idx.size()));
+
+    // Per-attribute baseline.
+    text::SpanScorer per_attr_scorer;
+    size_t models = 0;
+    {
+      std::map<std::string, std::vector<extract::AttributeExample>>
+          by_attr;
+      for (const auto& ex : train) by_attr[ex.attribute].push_back(ex);
+      std::map<std::string, extract::TitleExtractor> trained;
+      extract::TitleExtractorOptions opt;
+      opt.tagger.epochs = 6;
+      for (const auto& [attr, examples] : by_attr) {
+        if (examples.size() < 4) continue;
+        Rng r(7);
+        trained[attr].Fit(examples, opt, r);
+        ++models;
+      }
+      for (const auto& ex : test) {
+        auto it = trained.find(ex.attribute);
+        per_attr_scorer.Add(ex.gold_spans,
+                            it == trained.end()
+                                ? std::vector<text::Span>{}
+                                : it->second.Extract(ex));
+      }
+    }
+    const auto per_attr = per_attr_scorer.Score();
+
+    // AdaTag: one model, attribute + cluster conditioned.
+    extract::TitleExtractorOptions adatag;
+    adatag.attribute_conditioned = true;
+    adatag.use_cluster_features = true;
+    adatag.tagger.epochs = 6;
+    extract::TitleExtractor adatag_model;
+    {
+      Rng r(7);
+      adatag_model.Fit(train, adatag, r);
+    }
+    text::SpanScorer adatag_scorer;
+    for (const auto& ex : test) {
+      adatag_scorer.Add(ex.gold_spans, adatag_model.Extract(ex));
+    }
+    const auto ada = adatag_scorer.Score();
+    last_gain = ada.f1 - per_attr.f1;
+
+    table.AddRow({budget, "per-attribute",
+                  FormatDouble(per_attr.precision, 3),
+                  FormatDouble(per_attr.recall, 3),
+                  FormatDouble(per_attr.f1, 3), std::to_string(models)});
+    table.AddRow({budget, "AdaTag (one model)",
+                  FormatDouble(ada.precision, 3),
+                  FormatDouble(ada.recall, 3), FormatDouble(ada.f1, 3),
+                  "1"});
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Ablation: cluster (MoE) features");
+  {
+    std::vector<extract::AttributeExample> small(
+        train_all.begin(),
+        train_all.begin() + static_cast<long>(0.15 * train_all.size()));
+    extract::TitleExtractorOptions with_clusters, without_clusters;
+    with_clusters.attribute_conditioned = true;
+    with_clusters.use_cluster_features = true;
+    with_clusters.tagger.epochs = 6;
+    without_clusters = with_clusters;
+    without_clusters.use_cluster_features = false;
+    text::SpanScorer s1, s2;
+    extract::TitleExtractor m1, m2;
+    {
+      Rng r(7);
+      m1.Fit(small, with_clusters, r);
+    }
+    {
+      Rng r(7);
+      m2.Fit(small, without_clusters, r);
+    }
+    for (const auto& ex : test) {
+      s1.Add(ex.gold_spans, m1.Extract(ex));
+      s2.Add(ex.gold_spans, m2.Extract(ex));
+    }
+    std::cout << "low-data F1 with cluster features: "
+              << FormatDouble(s1.Score().f1, 3)
+              << " vs without: " << FormatDouble(s2.Score().f1, 3)
+              << "\n";
+  }
+
+  PrintBanner(std::cout, "Reproduction verdict");
+  std::cout << "Full-data AdaTag gain over per-attribute models: "
+            << (last_gain >= 0 ? "+" : "")
+            << FormatDouble(100.0 * last_gain, 1)
+            << "% F1 with 1 model instead of "
+            << catalog.attributes().size()
+            << " (paper: one model for 32 attributes improves over "
+               "per-attribute training).\n";
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Reproduces the §3.4 PAM claim: multimodal (text + product image)
+// extraction "can improve over text extraction by 11% on F-measure."
+// The image channel supplements values that are vague or absent in the
+// text. Substitution: images are an attribute-observation channel with
+// configurable visibility/noise (DESIGN.md §6); the extractor consumes
+// them as cross-modal context features and as a generative fallback when
+// no textual span exists.
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "extract/opentag.h"
+#include "textrich/example_builder.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+// Value-level scoring: did the system recover the product's true value
+// for the attribute? (PAM's generative decoder emits values, not spans.)
+struct ValueScore {
+  size_t gold = 0, predicted = 0, correct = 0;
+
+  double F1() const {
+    const double p = predicted == 0
+                         ? 0.0
+                         : static_cast<double>(correct) / predicted;
+    const double r =
+        gold == 0 ? 0.0 : static_cast<double>(correct) / gold;
+    return p + r == 0.0 ? 0.0 : 2 * p * r / (p + r);
+  }
+  double Precision() const {
+    return predicted == 0 ? 0.0
+                          : static_cast<double>(correct) / predicted;
+  }
+  double Recall() const {
+    return gold == 0 ? 0.0 : static_cast<double>(correct) / gold;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "E9 / sec 3.4: PAM multimodal extraction vs text-only "
+               "(seed 42)\n";
+  synth::CatalogOptions copt;
+  copt.num_types = 32;
+  copt.num_products = 2000;
+  // Text misses more values than usual; images see half of them — the
+  // cross-category setting PAM targets.
+  copt.title_mention_rate = 0.65;
+  copt.image_visible_rate = 0.5;
+  Rng rng(42);
+  const auto catalog = synth::ProductCatalog::Generate(copt, rng);
+
+  std::vector<size_t> train_idx, test_idx;
+  textrich::SplitIndices(catalog.products().size(), 0.7, &train_idx,
+                         &test_idx);
+  textrich::ExampleBuildOptions text_only, multimodal;
+  multimodal.attach_image_signals = true;
+  const auto train_text =
+      textrich::BuildAttributeExamples(catalog, train_idx, "", text_only);
+  const auto train_multi = textrich::BuildAttributeExamples(
+      catalog, train_idx, "", multimodal);
+  const auto test_text =
+      textrich::BuildAttributeExamples(catalog, test_idx, "", text_only);
+  const auto test_multi = textrich::BuildAttributeExamples(
+      catalog, test_idx, "", multimodal);
+
+  // Index test products' true values for value-level scoring.
+  auto value_truth = [&](size_t example_index,
+                         const extract::AttributeExample& ex)
+      -> const std::string* {
+    (void)example_index;
+    // Recover the product via title match: examples were built in
+    // product order, but simpler: search true_values by attribute among
+    // products with this title. Titles are unique enough for scoring.
+    for (size_t idx : test_idx) {
+      const auto& product = catalog.products()[idx];
+      if (product.title_tokens == ex.tokens) {
+        auto it = product.true_values.find(ex.attribute);
+        return it == product.true_values.end() ? nullptr : &it->second;
+      }
+    }
+    return nullptr;
+  };
+
+  extract::TitleExtractorOptions text_opt, multi_opt;
+  text_opt.attribute_conditioned = true;
+  text_opt.type_aware = true;
+  text_opt.tagger.epochs = 6;
+  multi_opt = text_opt;
+  multi_opt.use_extra_context = true;
+
+  extract::TitleExtractor text_model, multi_model;
+  {
+    Rng r(7);
+    text_model.Fit(train_text, text_opt, r);
+  }
+  {
+    Rng r(7);
+    multi_model.Fit(train_multi, multi_opt, r);
+  }
+
+  ValueScore text_score, fusion_score;
+  for (size_t i = 0; i < test_text.size(); ++i) {
+    const std::string* truth = value_truth(i, test_text[i]);
+    if (truth == nullptr) continue;
+    ++text_score.gold;
+    ++fusion_score.gold;
+
+    // Text-only: first extracted span value.
+    const auto text_values = text_model.ExtractValues(test_text[i]);
+    if (!text_values.empty()) {
+      ++text_score.predicted;
+      text_score.correct += text_values.front() == *truth;
+    }
+
+    // PAM: span extraction with image context; when the text yields
+    // nothing, fall back to the image channel's value (the generative
+    // "value not observed in text" path).
+    auto multi_values = multi_model.ExtractValues(test_multi[i]);
+    std::string fused;
+    if (!multi_values.empty()) {
+      fused = multi_values.front();
+    } else {
+      for (const std::string& c : test_multi[i].extra_context) {
+        if (c.rfind("imgval=", 0) == 0) fused = c.substr(7);
+      }
+    }
+    if (!fused.empty()) {
+      ++fusion_score.predicted;
+      fusion_score.correct += fused == *truth;
+    }
+  }
+
+  PrintBanner(std::cout, "sec 3.4 — value-level extraction quality");
+  TablePrinter table({"model", "P", "R", "F1"});
+  table.AddRow({"text only", FormatDouble(text_score.Precision(), 3),
+                FormatDouble(text_score.Recall(), 3),
+                FormatDouble(text_score.F1(), 3)});
+  table.AddRow({"PAM (text+image)",
+                FormatDouble(fusion_score.Precision(), 3),
+                FormatDouble(fusion_score.Recall(), 3),
+                FormatDouble(fusion_score.F1(), 3)});
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Reproduction verdict");
+  const double gain = fusion_score.F1() - text_score.F1();
+  std::cout << "multimodal gain: +" << FormatDouble(100.0 * gain, 1)
+            << "% F1 (paper: +11% F over text extraction)\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Reproduces the §4 dual neural KG vision as a measurement: symbolic
+// triples and parametric memory each cover a different slice of
+// knowledge, and a router that puts triples first (torso/tail/recent)
+// with the LLM as confident fallback dominates both pure strategies.
+// Also shows the recency effect: the LLM's training cutoff leaves
+// post-cutoff facts to the KG ("GPT-4 ... trained with knowledge up to
+// September 2021, with a 1.5-year lag").
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "dual/answerers.h"
+#include "dual/qa_eval.h"
+#include "graph/knowledge_graph.h"
+#include "synth/qa_generator.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+// A realistically incomplete constructed KG: head-biased coverage of the
+// universe (curated KGs know popular entities best) but fully fresh
+// (triples update fast, so recent facts are present).
+graph::KnowledgeGraph PartialKg(const synth::EntityUniverse& universe,
+                                double coverage_head, double coverage_tail,
+                                Rng& rng) {
+  graph::KnowledgeGraph kg;
+  const graph::Provenance prov{"constructed", 1.0, 0};
+  using graph::NodeKind;
+  const size_t n = universe.movies().size();
+  for (const auto& m : universe.movies()) {
+    const double keep =
+        coverage_head + (coverage_tail - coverage_head) *
+                            (static_cast<double>(m.id) / n);
+    if (!rng.Bernoulli(keep)) continue;
+    kg.AddTriple(m.title, "directed_by",
+                 universe.people()[m.director].name, NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    kg.AddTriple(m.title, "release_year",
+                 std::to_string(m.release_year), NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    kg.AddTriple(m.title, "genre", m.genre, NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    kg.AddTriple(m.title, "title", m.title, NodeKind::kEntity,
+                 NodeKind::kText, prov);
+  }
+  for (const auto& p : universe.people()) {
+    const double keep =
+        coverage_head + (coverage_tail - coverage_head) *
+                            (static_cast<double>(p.id) /
+                             universe.people().size());
+    if (!rng.Bernoulli(keep)) continue;
+    kg.AddTriple(p.name, "birth_year", std::to_string(p.birth_year),
+                 NodeKind::kEntity, NodeKind::kText, prov);
+    kg.AddTriple(p.name, "nationality", p.nationality, NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    kg.AddTriple(p.name, "name", p.name, NodeKind::kEntity,
+                 NodeKind::kText, prov);
+  }
+  return kg;
+}
+
+void PrintEval(TablePrinter& table, const std::string& name,
+               const dual::QaEvaluation& eval) {
+  auto row = [&](const std::string& slice, const dual::QaScore& s) {
+    table.AddRow({name, slice, std::to_string(s.n),
+                  FormatDouble(s.accuracy, 3),
+                  FormatDouble(s.hallucination_rate, 3),
+                  FormatDouble(s.abstention_rate, 3)});
+  };
+  for (const auto& [bucket, score] : eval.by_bucket) {
+    row(synth::PopularityBucketName(bucket), score);
+  }
+  row("recent", eval.recent);
+  row("overall", eval.overall);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E12 / sec 4: dual neural KG — triples + LLM beat either "
+               "alone (seed 42)\n";
+  synth::UniverseOptions uopt;
+  uopt.num_people = 9000;
+  uopt.num_movies = 6000;
+  uopt.num_songs = 500;
+  Rng rng(42);
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+
+  synth::CorpusOptions copt;
+  copt.mention_exponent = 1.05;
+  const auto corpus = GenerateFactCorpus(universe, copt, rng);
+  synth::QaOptions qopt;
+  qopt.num_questions = 6000;
+  const auto questions = GenerateQaWorkload(universe, qopt, rng);
+
+  dual::LlmSim llm;
+  llm.Train(corpus);
+  const auto kg = PartialKg(universe, 0.9, 0.45, rng);
+  std::cout << "constructed KG: "
+            << FormatCount(static_cast<int64_t>(kg.num_triples()))
+            << " triples (head-biased coverage)\n";
+
+  dual::KgAnswerer kg_answerer(kg);
+  dual::LlmAnswerer llm_answerer(llm);
+  dual::DualAnswerer dual_answerer(kg, llm);
+  dual::RagAnswerer rag_answerer(kg, llm);
+
+  TablePrinter table({"system", "slice", "n", "accuracy",
+                      "hallucination", "unanswered"});
+  Rng r1(7), r2(7), r3(7), r4(7);
+  const auto kg_eval = EvaluateAnswerer(kg_answerer, questions, r1);
+  const auto llm_eval = EvaluateAnswerer(llm_answerer, questions, r2);
+  const auto dual_eval = EvaluateAnswerer(dual_answerer, questions, r3);
+  const auto rag_eval = EvaluateAnswerer(rag_answerer, questions, r4);
+  PrintEval(table, "KG only", kg_eval);
+  PrintEval(table, "LLM only", llm_eval);
+  PrintEval(table, "dual (KG->LLM)", dual_eval);
+  PrintEval(table, "RAG (KG in-context)", rag_eval);
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Reproduction verdict");
+  std::cout << "RAG overall accuracy "
+            << FormatDouble(rag_eval.overall.accuracy, 3)
+            << " (retrieval inside the LLM; same knowledge placement, "
+               "different blending)\n";
+  std::cout << "dual overall accuracy "
+            << FormatDouble(dual_eval.overall.accuracy, 3)
+            << " > KG-only " << FormatDouble(kg_eval.overall.accuracy, 3)
+            << " and > LLM-only "
+            << FormatDouble(llm_eval.overall.accuracy, 3)
+            << "; recent facts: LLM "
+            << FormatDouble(llm_eval.recent.accuracy, 3) << " vs dual "
+            << FormatDouble(dual_eval.recent.accuracy, 3)
+            << " (the §4 placement: head knowledge in both forms, "
+               "torso-to-tail and recent knowledge as triples).\n";
+  return 0;
+}

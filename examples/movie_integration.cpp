@@ -1,0 +1,63 @@
+// End-to-end entity-based KG construction (Figure 4a): transform an
+// anchor source, integrate two more structured sources with RF entity
+// linkage, fuse conflicting values, and inspect the result — the §2.1-2.2
+// workflow on a synthetic movie universe.
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/entity_kg_pipeline.h"
+
+int main() {
+  using namespace kg;  // NOLINT
+  Rng rng(7);
+  synth::UniverseOptions uopt;
+  uopt.num_people = 800;
+  uopt.num_movies = 1000;
+  uopt.num_songs = 100;
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+
+  // Three sources with different schemas, coverage and quality.
+  synth::SourceOptions wiki, imdb, fanwiki;
+  wiki.name = "wikipedia";
+  wiki.coverage = 0.4;
+  wiki.value_accuracy = 0.98;
+  imdb.name = "imdb";
+  imdb.coverage = 0.7;
+  imdb.schema_dialect = 1;
+  fanwiki.name = "fanwiki";
+  fanwiki.coverage = 0.35;
+  fanwiki.schema_dialect = 2;
+  fanwiki.value_accuracy = 0.8;
+
+  core::EntityKgBuilder::Options options;
+  core::EntityKgBuilder builder(synth::SourceDomain::kMovies, options);
+  builder.IngestAnchor(synth::EmitSource(universe, wiki, rng), rng);
+  builder.IngestAndLink(synth::EmitSource(universe, imdb, rng), rng);
+  builder.IngestAndLink(synth::EmitSource(universe, fanwiki, rng), rng);
+  builder.FuseValues();
+
+  for (const auto& report : builder.reports()) {
+    std::cout << report.source << ": " << report.records << " records, "
+              << report.linked << " linked to existing entities, "
+              << report.new_entities << " new entities";
+    if (report.linked > 0) {
+      std::cout << " (link precision "
+                << FormatDouble(report.linkage_precision, 3) << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nFinal KG: " << builder.kg().num_triples()
+            << " fused triples across "
+            << builder.reports().back().kg_entities_after
+            << " entities\n";
+
+  // Show one fused entity.
+  const auto& kg = builder.kg();
+  for (graph::TripleId t : kg.TriplesWithSubject(0)) {
+    std::cout << "  " << kg.TripleToString(t) << "  (confidence "
+              << FormatDouble(kg.MaxConfidence(t), 2) << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Text-rich KG construction (Figures 1b and 4b): extract attributes from
+// noisy product titles with a one-size-fits-all tagger, clean them
+// against the population, mine the taxonomy from shopping behavior, and
+// assemble the bipartite product graph — the §3 AutoKnow workflow.
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/textrich_kg_pipeline.h"
+#include "textrich/product_graph.h"
+
+int main() {
+  using namespace kg;  // NOLINT
+  Rng rng(7);
+  synth::CatalogOptions copt;
+  copt.num_types = 20;
+  copt.num_products = 800;
+  const auto catalog = synth::ProductCatalog::Generate(copt, rng);
+  synth::BehaviorOptions bopt;
+  bopt.num_searches = 20000;
+  const auto behavior = synth::GenerateBehavior(catalog, bopt, rng);
+
+  std::cout << "catalog: " << catalog.products().size() << " products, "
+            << catalog.leaf_types().size() << " leaf types, "
+            << catalog.attributes().size() << " attributes\n";
+  const auto& sample = catalog.products()[0];
+  std::cout << "sample title: \"" << sample.title << "\"\n\n";
+
+  core::TextRichBuildOptions options;
+  const auto build = BuildTextRichKg(catalog, behavior, options, rng);
+  const auto& r = build.report;
+  std::cout << "extracted " << r.extracted_assertions
+            << " attribute assertions (accuracy "
+            << FormatDouble(r.accuracy_before_cleaning, 3) << ")\n";
+  std::cout << "after cleaning: " << r.after_cleaning << " (accuracy "
+            << FormatDouble(r.accuracy_after_cleaning, 3) << ")\n";
+  std::cout << "mined " << r.hypernyms_mined << " hypernym edges and "
+            << r.synonyms_added << " synonym pairs from "
+            << behavior.searches.size() << " search events\n";
+  std::cout << "product KG: " << r.kg_triples << " triples, "
+            << FormatDouble(100 * r.text_object_fraction, 1)
+            << "% of objects are free text (bipartite shape)\n\n";
+
+  // Walk one product's neighborhood in the finished graph.
+  const auto& kg = build.kg;
+  auto node = kg.FindNode("product:0", graph::NodeKind::kEntity);
+  if (node.ok()) {
+    std::cout << "product:0 in the graph:\n";
+    for (graph::TripleId t : kg.TriplesWithSubject(*node)) {
+      std::cout << "  " << kg.TripleToString(t) << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace kg {
+
+int CsvTable::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// Parses one record starting at `pos`; advances `pos` past the record's
+// trailing newline. Returns false with a status on malformed quoting.
+Status ParseRecord(const std::string& content, char delimiter, size_t* pos,
+                   std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  const size_t n = content.size();
+  while (i < n) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && content[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else if (c == '"') {
+      if (!field.empty()) {
+        return Status::InvalidArgument(
+            "quote in the middle of an unquoted field");
+      }
+      in_quotes = true;
+      ++i;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+      ++i;
+    } else if (c == '\n' || c == '\r') {
+      break;
+    } else {
+      field.push_back(c);
+      ++i;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  fields->push_back(std::move(field));
+  // Consume the line terminator (\n, \r\n, or \r).
+  if (i < n && content[i] == '\r') ++i;
+  if (i < n && content[i] == '\n') ++i;
+  *pos = i;
+  return Status::OK();
+}
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const std::string& field, char delimiter,
+                 std::string* out) {
+  if (!NeedsQuoting(field, delimiter)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& content, char delimiter) {
+  CsvTable table;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < content.size()) {
+    std::vector<std::string> fields;
+    KG_RETURN_IF_ERROR(ParseRecord(content, delimiter, &pos, &fields));
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != table.header.size()) {
+        return Status::InvalidArgument(
+            "row arity mismatch: expected " +
+            std::to_string(table.header.size()) + ", got " +
+            std::to_string(fields.size()));
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return Status::InvalidArgument("empty CSV content");
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, char delimiter) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), delimiter);
+}
+
+std::string WriteCsvString(const CsvTable& table, char delimiter) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(delimiter);
+      AppendField(row[i], delimiter, &out);
+    }
+    out.push_back('\n');
+  };
+  append_row(table.header);
+  for (const auto& row : table.rows) append_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const CsvTable& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteCsvString(table, delimiter);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace kg

@@ -1,0 +1,36 @@
+#ifndef KGRAPH_COMMON_CSV_H_
+#define KGRAPH_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kg {
+
+/// A parsed delimited file: a header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of `column` in the header, or -1.
+  int ColumnIndex(const std::string& column) const;
+};
+
+/// Parses RFC-4180-ish CSV content: quoted fields with embedded delimiters,
+/// doubled quotes for literal quotes. `delimiter` defaults to ','.
+Result<CsvTable> ParseCsv(const std::string& content, char delimiter = ',');
+
+/// Reads and parses a delimited file; the first row is the header.
+Result<CsvTable> ReadCsvFile(const std::string& path, char delimiter = ',');
+
+/// Serializes a table, quoting fields that need it.
+std::string WriteCsvString(const CsvTable& table, char delimiter = ',');
+
+/// Writes a table to `path`.
+Status WriteCsvFile(const CsvTable& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace kg
+
+#endif  // KGRAPH_COMMON_CSV_H_

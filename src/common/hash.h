@@ -1,0 +1,37 @@
+#ifndef KGRAPH_COMMON_HASH_H_
+#define KGRAPH_COMMON_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <utility>
+
+namespace kg {
+
+/// 64-bit FNV-1a over bytes; stable across platforms and runs (unlike
+/// std::hash), so anything persisted or printed may depend on it.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Boost-style hash combiner.
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hasher for std::pair keys in unordered containers.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    return HashCombine(std::hash<A>()(p.first), std::hash<B>()(p.second));
+  }
+};
+
+}  // namespace kg
+
+#endif  // KGRAPH_COMMON_HASH_H_

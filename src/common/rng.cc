@@ -1,0 +1,63 @@
+#include "common/rng.h"
+
+namespace kg {
+
+size_t Rng::Weighted(const std::vector<double>& weights) {
+  KG_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    KG_CHECK(w >= 0.0) << "negative weight";
+    total += w;
+  }
+  KG_CHECK(total > 0.0) << "all weights zero";
+  double r = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  KG_CHECK(k <= n);
+  // Floyd's algorithm: O(k) expected work regardless of n.
+  std::vector<size_t> out;
+  out.reserve(k);
+  std::vector<bool> seen(n, false);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    if (seen[t]) t = j;
+    seen[t] = true;
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  KG_CHECK(n > 0);
+  KG_CHECK(s > 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t rank) const {
+  KG_CHECK(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace kg

@@ -1,0 +1,105 @@
+#ifndef KGRAPH_COMMON_RNG_H_
+#define KGRAPH_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kg {
+
+/// Deterministic random source. Every stochastic component in kgraph takes
+/// an explicit seed (directly or via an `Rng&`), so all experiments are
+/// reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    KG_CHECK(lo <= hi) << "UniformInt range [" << lo << ", " << hi << "]";
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Precondition: n > 0.
+  size_t UniformIndex(size_t n) {
+    KG_CHECK(n > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normal with `mean` and `stddev`.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Samples an index proportionally to non-negative `weights`.
+  /// Precondition: at least one weight is positive.
+  size_t Weighted(const std::vector<double>& weights);
+
+  /// Picks a uniformly random element of `items`.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[UniformIndex(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    std::shuffle(items->begin(), items->end(), engine_);
+  }
+
+  /// Samples `k` distinct indices from [0, n) uniformly (k <= n).
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Derives an independent child RNG; used to give each subsystem its own
+  /// stream so adding randomness in one place does not perturb another.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf distribution over ranks [0, n) with exponent `s` (any s > 0);
+/// rank 0 is the most popular. Precomputes the CDF once (O(n)) and draws
+/// in O(log n). This is the popularity model used by all synthetic worlds.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  /// Probability mass of `rank`.
+  double Pmf(size_t rank) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i), cdf_.back() == 1.
+};
+
+}  // namespace kg
+
+#endif  // KGRAPH_COMMON_RNG_H_

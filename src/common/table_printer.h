@@ -1,0 +1,36 @@
+#ifndef KGRAPH_COMMON_TABLE_PRINTER_H_
+#define KGRAPH_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kg {
+
+/// Renders aligned ASCII tables for bench/experiment reports. Every
+/// experiment harness prints its paper-figure rows through this, so output
+/// stays greppable and uniform across binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table with a header rule and column alignment.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used to delimit experiment
+/// phases in bench output.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace kg
+
+#endif  // KGRAPH_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,52 @@
+#ifndef KGRAPH_COMMON_THREAD_POOL_H_
+#define KGRAPH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kg {
+
+/// Fixed-size worker pool used by the heavier experiment sweeps (random
+/// forest training, label-budget grids). Tasks are `void()` closures;
+/// synchronization of results is the caller's concern. `WaitIdle()` blocks
+/// until the queue drains and all workers are idle.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signaled when work arrives / stop.
+  std::condition_variable idle_cv_;   // signaled when a task completes.
+  std::queue<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace kg
+
+#endif  // KGRAPH_COMMON_THREAD_POOL_H_

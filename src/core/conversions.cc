@@ -1,0 +1,77 @@
+#include "core/conversions.h"
+
+#include "common/logging.h"
+
+namespace kg::core {
+
+integrate::SchemaMapping ManualMappingFor(const synth::SourceTable& table) {
+  const auto canonical = synth::CanonicalColumns(table.domain);
+  const auto dialect =
+      synth::DialectColumns(table.domain, table.schema_dialect);
+  KG_CHECK(canonical.size() == dialect.size());
+  integrate::SchemaMapping mapping;
+  for (size_t i = 0; i < canonical.size(); ++i) {
+    mapping.source_to_canonical[dialect[i]] = canonical[i];
+  }
+  return mapping;
+}
+
+integrate::RecordSet ToRecordSet(const synth::SourceTable& table,
+                                 const integrate::SchemaMapping& mapping,
+                                 std::vector<uint32_t>* true_entities) {
+  integrate::RecordSet set;
+  set.source_name = table.source_name;
+  if (true_entities != nullptr) true_entities->clear();
+  for (const synth::SourceRecord& rec : table.records) {
+    set.records.push_back(
+        mapping.Apply(table.source_name, rec.local_id, rec.fields));
+    if (true_entities != nullptr) {
+      true_entities->push_back(rec.true_entity);
+    }
+  }
+  return set;
+}
+
+integrate::LinkageSchema LinkageSchemaFor(synth::SourceDomain domain) {
+  integrate::LinkageSchema schema;
+  switch (domain) {
+    case synth::SourceDomain::kPeople:
+      schema.name_attrs = {"name", "known_for"};
+      schema.numeric_attrs = {"birth_year"};
+      schema.categorical_attrs = {"nationality"};
+      schema.blocking_attrs = {"name"};
+      break;
+    case synth::SourceDomain::kMovies:
+      schema.name_attrs = {"title", "director"};
+      schema.numeric_attrs = {"release_year"};
+      schema.categorical_attrs = {"genre"};
+      break;
+    case synth::SourceDomain::kMusic:
+      schema.name_attrs = {"title", "artist"};
+      schema.numeric_attrs = {"year"};
+      schema.categorical_attrs = {"genre"};
+      break;
+  }
+  return schema;
+}
+
+ml::Dataset BuildLinkagePairs(const integrate::RecordSet& a,
+                              const std::vector<uint32_t>& a_truth,
+                              const integrate::RecordSet& b,
+                              const std::vector<uint32_t>& b_truth,
+                              const integrate::LinkageSchema& schema) {
+  KG_CHECK(a.records.size() == a_truth.size());
+  KG_CHECK(b.records.size() == b_truth.size());
+  ml::Dataset data;
+  data.feature_names = integrate::LinkageFeatureNames(schema);
+  for (const auto& [i, j] : integrate::BlockCandidates(a, b, schema)) {
+    ml::Example ex;
+    ex.features =
+        integrate::PairFeatures(a.records[i], b.records[j], schema);
+    ex.label = a_truth[i] == b_truth[j] ? 1 : 0;
+    data.examples.push_back(std::move(ex));
+  }
+  return data;
+}
+
+}  // namespace kg::core

@@ -1,0 +1,44 @@
+#ifndef KGRAPH_CORE_CONVERSIONS_H_
+#define KGRAPH_CORE_CONVERSIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "integrate/linkage.h"
+#include "integrate/record.h"
+#include "integrate/schema_alignment.h"
+#include "ml/dataset.h"
+#include "synth/structured_source.h"
+
+namespace kg::core {
+
+/// The manual schema mapping of a generated source: its dialect columns
+/// mapped onto canonical attribute names (what a taxonomist would write,
+/// §2.2).
+integrate::SchemaMapping ManualMappingFor(const synth::SourceTable& table);
+
+/// Applies the mapping to every record, yielding canonical-space records.
+/// `true_entities`, when non-null, receives the hidden universe id of
+/// each record (parallel to the result) for experiment scoring.
+integrate::RecordSet ToRecordSet(const synth::SourceTable& table,
+                                 const integrate::SchemaMapping& mapping,
+                                 std::vector<uint32_t>* true_entities);
+
+/// The linkage comparison schema of a domain (which canonical attributes
+/// are names / numerics / categoricals).
+integrate::LinkageSchema LinkageSchemaFor(synth::SourceDomain domain);
+
+/// Builds a labeled pair dataset for linkage training/evaluation: blocks
+/// candidates between `a` and `b`, features each pair, labels it by
+/// hidden-entity equality. This is the pool Figure 2's label-budget sweep
+/// draws from.
+ml::Dataset BuildLinkagePairs(const integrate::RecordSet& a,
+                              const std::vector<uint32_t>& a_truth,
+                              const integrate::RecordSet& b,
+                              const std::vector<uint32_t>& b_truth,
+                              const integrate::LinkageSchema& schema);
+
+}  // namespace kg::core
+
+#endif  // KGRAPH_CORE_CONVERSIONS_H_

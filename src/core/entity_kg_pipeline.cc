@@ -1,0 +1,191 @@
+#include "core/entity_kg_pipeline.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace kg::core {
+
+EntityKgBuilder::EntityKgBuilder(synth::SourceDomain domain,
+                                 const Options& options)
+    : domain_(domain), options_(options) {}
+
+std::string EntityKgBuilder::NextEntityName() {
+  return "ent:" + std::to_string(entity_counter_++);
+}
+
+void EntityKgBuilder::IngestAnchor(const synth::SourceTable& table,
+                                   Rng& rng) {
+  (void)rng;
+  const auto mapping = ManualMappingFor(table);
+  std::vector<uint32_t> truth;
+  const auto records = ToRecordSet(table, mapping, &truth);
+
+  SourceIngestReport report;
+  report.source = table.source_name;
+  report.records = records.records.size();
+  for (size_t i = 0; i < records.records.size(); ++i) {
+    EntityState state;
+    state.hidden_truth = truth[i];
+    state.merged = records.records[i];
+    state.node = kg_.AddNode(NextEntityName(), graph::NodeKind::kEntity);
+    const size_t entity_index = entities_.size();
+    for (const auto& [attr, value] : records.records[i].attrs) {
+      claims_[{entity_index, attr}].push_back(
+          integrate::Claim{table.source_name, value});
+    }
+    entities_.push_back(std::move(state));
+    ++report.new_entities;
+  }
+  report.kg_entities_after = entities_.size();
+  report.kg_triples_after = kg_.num_triples();
+  reports_.push_back(report);
+}
+
+void EntityKgBuilder::IngestAndLink(const synth::SourceTable& table,
+                                    Rng& rng) {
+  const auto mapping = ManualMappingFor(table);
+  std::vector<uint32_t> truth;
+  const auto records = ToRecordSet(table, mapping, &truth);
+  const auto schema = LinkageSchemaFor(domain_);
+
+  // Current-KG side of the linkage problem.
+  integrate::RecordSet kg_side;
+  kg_side.source_name = "kg";
+  std::vector<uint32_t> kg_truth;
+  for (const EntityState& e : entities_) {
+    kg_side.records.push_back(e.merged);
+    kg_truth.push_back(e.hidden_truth);
+  }
+
+  // Oracle-labeled training pairs within the label budget.
+  auto pool = BuildLinkagePairs(records, truth, kg_side, kg_truth, schema);
+  ml::Dataset train;
+  train.feature_names = pool.feature_names;
+  if (!pool.examples.empty()) {
+    const size_t budget =
+        std::min(options_.linkage_label_budget, pool.examples.size());
+    for (size_t s : rng.SampleIndices(pool.examples.size(), budget)) {
+      train.examples.push_back(pool.examples[s]);
+    }
+    // Guarantee both classes (tiny budgets can be one-sided).
+    bool has_pos = false, has_neg = false;
+    for (const auto& ex : train.examples) {
+      (ex.label == 1 ? has_pos : has_neg) = true;
+    }
+    if (!has_pos || !has_neg) {
+      for (const auto& ex : pool.examples) {
+        if ((ex.label == 1 && !has_pos) || (ex.label == 0 && !has_neg)) {
+          train.examples.push_back(ex);
+          (ex.label == 1 ? has_pos : has_neg) = true;
+          if (has_pos && has_neg) break;
+        }
+      }
+    }
+  }
+
+  SourceIngestReport report;
+  report.source = table.source_name;
+  report.records = records.records.size();
+
+  std::vector<int> linked_to(records.records.size(), -1);
+  if (!train.examples.empty()) {
+    integrate::EntityLinker linker;
+    Rng fit_rng = rng.Fork();
+    linker.Fit(train, options_.forest, fit_rng);
+    const auto matches = linker.Link(records, kg_side, schema,
+                                     options_.linkage_threshold);
+    size_t correct = 0;
+    for (const integrate::Match& m : matches) {
+      linked_to[m.index_a] = static_cast<int>(m.index_b);
+      if (truth[m.index_a] == kg_truth[m.index_b]) ++correct;
+    }
+    report.linked = matches.size();
+    report.linkage_precision =
+        matches.empty() ? 0.0
+                        : static_cast<double>(correct) / matches.size();
+    // Recall: linkable records = those whose truth exists in the KG side.
+    std::set<uint32_t> kg_ids(kg_truth.begin(), kg_truth.end());
+    size_t linkable = 0;
+    for (uint32_t t : truth) {
+      if (kg_ids.count(t)) ++linkable;
+    }
+    report.linkage_recall =
+        linkable == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(linkable);
+  }
+
+  for (size_t i = 0; i < records.records.size(); ++i) {
+    size_t entity_index;
+    if (linked_to[i] >= 0) {
+      entity_index = static_cast<size_t>(linked_to[i]);
+      // Enrich the merged view with newly seen attributes (helps linking
+      // later sources).
+      for (const auto& [attr, value] : records.records[i].attrs) {
+        entities_[entity_index].merged.attrs.emplace(attr, value);
+      }
+    } else {
+      EntityState state;
+      state.hidden_truth = truth[i];
+      state.merged = records.records[i];
+      state.node = kg_.AddNode(NextEntityName(), graph::NodeKind::kEntity);
+      entity_index = entities_.size();
+      entities_.push_back(std::move(state));
+      ++report.new_entities;
+    }
+    for (const auto& [attr, value] : records.records[i].attrs) {
+      claims_[{entity_index, attr}].push_back(
+          integrate::Claim{table.source_name, value});
+    }
+  }
+  report.kg_entities_after = entities_.size();
+  report.kg_triples_after = kg_.num_triples();
+  reports_.push_back(report);
+}
+
+void EntityKgBuilder::FuseValues() {
+  // Re-key claims into string item ids for the fusion engine.
+  integrate::ClaimSet claim_set;
+  for (const auto& [key, claims] : claims_) {
+    claim_set[std::to_string(key.first) + "\x01" + key.second] = claims;
+  }
+  std::map<std::string, integrate::FusedValue> fused;
+  if (options_.use_accu_fusion) {
+    fused = integrate::AccuFusion::Run(claim_set, {}).fused;
+  } else {
+    fused = integrate::MajorityVote(claim_set);
+  }
+  for (const auto& [key, claims] : claims_) {
+    const auto& value =
+        fused[std::to_string(key.first) + "\x01" + key.second];
+    kg_.AddTriple(entities_[key.first].node, kg_.AddPredicate(key.second),
+                  kg_.AddNode(value.value, graph::NodeKind::kText),
+                  graph::Provenance{"fusion", value.confidence, 0});
+  }
+  if (!reports_.empty()) {
+    reports_.back().kg_triples_after = kg_.num_triples();
+  }
+}
+
+double EntityKgBuilder::KgAccuracy(
+    const std::map<std::pair<uint32_t, std::string>, std::string>&
+        truth_of) const {
+  size_t total = 0, correct = 0;
+  for (size_t e = 0; e < entities_.size(); ++e) {
+    for (graph::TripleId tid : kg_.TriplesWithSubject(entities_[e].node)) {
+      const graph::Triple& t = kg_.triple(tid);
+      auto it = truth_of.find(
+          {entities_[e].hidden_truth, kg_.PredicateName(t.predicate)});
+      if (it == truth_of.end()) continue;
+      ++total;
+      if (kg_.NodeName(t.object) == it->second) ++correct;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+}  // namespace kg::core

@@ -1,0 +1,55 @@
+#include "core/extraction_scoring.h"
+
+#include "extract/open_extraction.h"
+#include "text/tokenize.h"
+
+namespace kg::core {
+
+void ScoreClosedExtractions(const synth::WebPage& page,
+                            const std::vector<extract::Extraction>& found,
+                            ExtractionQuality* quality) {
+  for (const extract::Extraction& e : found) {
+    ++quality->extracted;
+    auto it = page.displayed_values.find(e.attribute);
+    if (it != page.displayed_values.end() &&
+        text::NormalizeForMatch(it->second) ==
+            text::NormalizeForMatch(e.value)) {
+      ++quality->correct;
+    }
+  }
+}
+
+void ScoreOpenExtractions(const synth::Website& site,
+                          const synth::WebPage& page,
+                          const std::vector<extract::Extraction>& found,
+                          ExtractionQuality* quality) {
+  // Reverse the site's label map: normalized label -> canonical attr.
+  std::map<std::string, std::string> label_to_attr;
+  for (const auto& [attr, label] : site.attr_labels) {
+    label_to_attr[extract::NormalizeOpenAttribute(label)] = attr;
+  }
+  const auto canonical = synth::CanonicalColumns(site.domain);
+  for (const extract::Extraction& e : found) {
+    ++quality->extracted;
+    auto lit = label_to_attr.find(e.attribute);
+    if (lit == label_to_attr.end()) continue;  // Filler row: wrong.
+    auto vit = page.displayed_values.find(lit->second);
+    if (vit == page.displayed_values.end()) continue;
+    if (text::NormalizeForMatch(vit->second) !=
+        text::NormalizeForMatch(e.value)) {
+      continue;
+    }
+    ++quality->correct;
+    // Open gain: attributes outside the canonical schema.
+    bool is_canonical = false;
+    for (const auto& c : canonical) {
+      if (c == lit->second) {
+        is_canonical = true;
+        break;
+      }
+    }
+    if (!is_canonical) ++quality->correct_open;
+  }
+}
+
+}  // namespace kg::core

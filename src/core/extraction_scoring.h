@@ -1,0 +1,48 @@
+#ifndef KGRAPH_CORE_EXTRACTION_SCORING_H_
+#define KGRAPH_CORE_EXTRACTION_SCORING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extract/dom.h"
+#include "synth/website_generator.h"
+
+namespace kg::core {
+
+/// Aggregate extraction quality over a website, in the Figure 3 axes:
+/// accuracy (correct / extracted) and yield (triples extracted).
+struct ExtractionQuality {
+  size_t extracted = 0;
+  size_t correct = 0;
+  /// Correct extractions of attributes absent from the canonical schema
+  /// (OpenIE's "new knowledge").
+  size_t correct_open = 0;
+  double accuracy = 0.0;
+
+  void Finish() {
+    accuracy = extracted == 0
+                   ? 0.0
+                   : static_cast<double>(correct) /
+                         static_cast<double>(extracted);
+  }
+};
+
+/// Scores closed extractions (attribute names are canonical) against a
+/// page's displayed values.
+void ScoreClosedExtractions(const synth::WebPage& page,
+                            const std::vector<extract::Extraction>& found,
+                            ExtractionQuality* quality);
+
+/// Scores open extractions (attribute names are normalized page labels)
+/// against the page: an extraction is correct when its label maps to one
+/// of the site's attribute labels AND the value matches that attribute's
+/// displayed value.
+void ScoreOpenExtractions(const synth::Website& site,
+                          const synth::WebPage& page,
+                          const std::vector<extract::Extraction>& found,
+                          ExtractionQuality* quality);
+
+}  // namespace kg::core
+
+#endif  // KGRAPH_CORE_EXTRACTION_SCORING_H_

@@ -1,0 +1,125 @@
+#include "core/knowledge_cleaning.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace kg::core {
+
+CleaningReport CleanKnowledgeGraph(graph::KnowledgeGraph& kg,
+                                   const graph::Ontology& ontology,
+                                   const CleaningOptions& options,
+                                   Rng& rng, bool remove) {
+  CleaningReport report;
+  const auto all = kg.AllTriples();
+  report.triples_checked = all.size();
+  std::set<graph::TripleId> flagged;
+
+  // Pass 1: schema validation. Undeclared relations are not errors (the
+  // ontology may be intentionally partial); only declared-and-violated
+  // triples are flagged.
+  if (options.check_schema) {
+    for (graph::TripleId t : all) {
+      const std::string& pred =
+          kg.PredicateName(kg.triple(t).predicate);
+      if (!ontology.FindRelation(pred).ok()) continue;
+      const Status status = ontology.ValidateTriple(kg, t);
+      if (status.ok()) continue;
+      if (status.code() == StatusCode::kFailedPrecondition) {
+        continue;  // Arity conflicts handled by pass 2 value-by-value.
+      }
+      if (flagged.insert(t).second) {
+        report.findings.push_back(CleaningFinding{
+            t, CleaningReason::kSchemaViolation, status.message(), 0.0});
+      }
+    }
+  }
+
+  // Pass 2: functional relations keep only their best-supported value.
+  if (options.check_functional) {
+    for (const auto& relation : ontology.relations()) {
+      if (!relation.functional) continue;
+      auto pred = kg.FindPredicate(relation.name);
+      if (!pred.ok()) continue;
+      // subject -> triples asserting a value.
+      std::map<graph::NodeId, std::vector<graph::TripleId>> by_subject;
+      for (graph::TripleId t : kg.TriplesWithPredicate(*pred)) {
+        by_subject[kg.triple(t).subject].push_back(t);
+      }
+      for (const auto& [subject, triples] : by_subject) {
+        if (triples.size() < 2) continue;
+        // Keep the highest-confidence assertion; flag the rest.
+        graph::TripleId best = triples.front();
+        for (graph::TripleId t : triples) {
+          if (kg.MaxConfidence(t) > kg.MaxConfidence(best)) best = t;
+        }
+        for (graph::TripleId t : triples) {
+          if (t == best) continue;
+          if (flagged.insert(t).second) {
+            report.findings.push_back(CleaningFinding{
+                t, CleaningReason::kFunctionalConflict,
+                "conflicts with better-supported value of " +
+                    relation.name,
+                kg.MaxConfidence(t)});
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 3: PRA plausibility screening per requested predicate.
+  for (const std::string& predicate_name : options.pra_predicates) {
+    auto pred = kg.FindPredicate(predicate_name);
+    if (!pred.ok()) continue;
+    fuse::PraModel model;
+    Rng fit_rng = rng.Fork();
+    model.Fit(kg, *pred, options.pra, fit_rng);
+    // Object pool for alternative sampling.
+    std::vector<graph::NodeId> objects;
+    for (graph::TripleId t : kg.TriplesWithPredicate(*pred)) {
+      objects.push_back(kg.triple(t).object);
+    }
+    Rng sample_rng = rng.Fork();
+    for (graph::TripleId t : kg.TriplesWithPredicate(*pred)) {
+      if (flagged.count(t)) continue;
+      const auto& triple = kg.triple(t);
+      const double p = model.Score(kg, triple.subject, triple.object);
+      bool flag = p < options.pra_threshold;
+      std::string detail = "PRA plausibility " + std::to_string(p);
+      if (!flag && options.pra_alternatives > 0 && !objects.empty()) {
+        // Margin screen: does almost any alternative object fit this
+        // subject better than the asserted one?
+        size_t beaten = 0, tried = 0;
+        for (size_t a = 0; a < options.pra_alternatives; ++a) {
+          const graph::NodeId alt =
+              objects[sample_rng.UniformIndex(objects.size())];
+          if (alt == triple.object) continue;
+          ++tried;
+          if (model.Score(kg, triple.subject, alt) > p) ++beaten;
+        }
+        if (tried > 0 &&
+            static_cast<double>(beaten) / static_cast<double>(tried) >=
+                options.pra_margin_fraction) {
+          flag = true;
+          detail += "; outscored by " + std::to_string(beaten) + "/" +
+                    std::to_string(tried) + " alternatives";
+        }
+      }
+      if (!flag) continue;
+      flagged.insert(t);
+      report.findings.push_back(CleaningFinding{
+          t, CleaningReason::kLinkPredictionOutlier,
+          detail + " for " + predicate_name, p});
+    }
+  }
+
+  if (remove) {
+    for (graph::TripleId t : flagged) kg.RemoveTriple(t);
+    report.removed = flagged.size();
+  }
+  return report;
+}
+
+}  // namespace kg::core

@@ -1,0 +1,67 @@
+#ifndef KGRAPH_CORE_KNOWLEDGE_CLEANING_H_
+#define KGRAPH_CORE_KNOWLEDGE_CLEANING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuse/pra.h"
+#include "graph/knowledge_graph.h"
+#include "graph/ontology.h"
+
+namespace kg::core {
+
+/// Why a triple was flagged.
+enum class CleaningReason {
+  kSchemaViolation,       ///< Ontology domain/range/arity check failed.
+  kFunctionalConflict,    ///< Lower-confidence value of a functional
+                          ///< relation that already has a better value.
+  kLinkPredictionOutlier, ///< PRA plausibility far below its peers.
+};
+
+struct CleaningFinding {
+  graph::TripleId triple = 0;
+  CleaningReason reason = CleaningReason::kSchemaViolation;
+  std::string detail;
+  double score = 0.0;  ///< Reason-specific (validation n/a = 0, PRA = p).
+};
+
+/// Knowledge cleaning — one of the paper's four industry successes (§5:
+/// "knowledge cleaning, which is important to filter imprecise knowledge
+/// from sources and from extractions"). Three passes over a KG:
+///   1. schema validation against the ontology (the rule layer);
+///   2. functional-relation conflict resolution by provenance confidence;
+///   3. link-prediction outlier detection (PRA), the §5-sanctioned use of
+///      link prediction — flagging, not inferring.
+struct CleaningOptions {
+  bool check_schema = true;
+  bool check_functional = true;
+  /// Predicates to screen with PRA (empty = skip pass 3).
+  std::vector<std::string> pra_predicates;
+  /// PRA plausibility below which a triple is flagged (absolute).
+  double pra_threshold = 0.0;
+  /// Margin screen: sample this many alternative objects per triple and
+  /// flag the triple when at least `pra_margin_fraction` of them outscore
+  /// the asserted object (normalizes for per-subject connectivity).
+  size_t pra_alternatives = 10;
+  double pra_margin_fraction = 0.8;
+  fuse::PraModel::Options pra;
+};
+
+struct CleaningReport {
+  std::vector<CleaningFinding> findings;
+  size_t triples_checked = 0;
+  size_t removed = 0;
+};
+
+/// Scans `kg` and returns findings; when `remove` is set, flagged triples
+/// are tombstoned in place. `ontology` drives pass 1-2 (pass 1 skips
+/// predicates the ontology does not declare).
+CleaningReport CleanKnowledgeGraph(graph::KnowledgeGraph& kg,
+                                   const graph::Ontology& ontology,
+                                   const CleaningOptions& options,
+                                   Rng& rng, bool remove = false);
+
+}  // namespace kg::core
+
+#endif  // KGRAPH_CORE_KNOWLEDGE_CLEANING_H_

@@ -1,0 +1,157 @@
+#include "core/textrich_kg_pipeline.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "extract/opentag.h"
+#include "textrich/cleaning.h"
+#include "textrich/description_extractor.h"
+#include "textrich/example_builder.h"
+#include "textrich/product_graph.h"
+
+namespace kg::core {
+
+TextRichKgBuild BuildTextRichKg(const synth::ProductCatalog& catalog,
+                                const synth::BehaviorLog& behavior,
+                                const TextRichBuildOptions& options,
+                                Rng& rng) {
+  TextRichKgBuild build;
+  build.report.products = catalog.products().size();
+
+  // 1. One-size-fits-all extractor: attribute-conditioned, type-aware,
+  //    trained with distant supervision (§3.2-3.3).
+  std::vector<size_t> train_idx, all_idx;
+  {
+    std::vector<size_t> test_idx;
+    textrich::SplitIndices(catalog.products().size(),
+                           options.train_fraction, &train_idx, &test_idx);
+    all_idx.resize(catalog.products().size());
+    for (size_t i = 0; i < all_idx.size(); ++i) all_idx[i] = i;
+  }
+  textrich::ExampleBuildOptions distant;
+  distant.label_source = textrich::LabelSource::kDistant;
+  const auto train_examples = textrich::FilterDistantExamples(
+      textrich::BuildAttributeExamples(catalog, train_idx, "", distant));
+
+  extract::TitleExtractor extractor;
+  extract::TitleExtractorOptions extractor_options;
+  extractor_options.attribute_conditioned = true;
+  extractor_options.use_cluster_features = true;
+  extractor_options.type_aware = true;
+  extractor_options.tagger.epochs = 5;
+  {
+    Rng fit_rng = rng.Fork();
+    extractor.Fit(train_examples, extractor_options, fit_rng);
+  }
+
+  // 2. Extract assertions for every product.
+  std::map<uint32_t, std::map<std::string, std::string>> assertions;
+  for (size_t idx : all_idx) {
+    const synth::Product& product = catalog.products()[idx];
+    for (const std::string& attr :
+         catalog.AttributesForType(product.type)) {
+      extract::AttributeExample ex;
+      ex.tokens = product.title_tokens;
+      ex.attribute = attr;
+      ex.type_name = catalog.taxonomy().Name(product.type);
+      const auto& parents = catalog.taxonomy().Parents(product.type);
+      if (!parents.empty()) {
+        ex.category_name = catalog.taxonomy().Name(parents[0]);
+      }
+      for (size_t a = 0; a < catalog.attributes().size(); ++a) {
+        if (catalog.attributes()[a] == attr) {
+          ex.attribute_cluster =
+              "c" + std::to_string(catalog.attribute_clusters()[a]);
+        }
+      }
+      const auto values = extractor.ExtractValues(ex);
+      if (!values.empty()) {
+        assertions[product.id][attr] = values.front();
+      }
+    }
+    // Lower-priority streams: description rules, then the structured
+    // catalog — merged without overriding NER output.
+    std::map<std::string, std::string> desc_stream;
+    for (const auto& d : textrich::ExtractFromDescription(
+             product.description,
+             catalog.AttributesForType(product.type))) {
+      desc_stream.emplace(d.attribute, d.value);
+    }
+    std::vector<std::map<std::string, std::string>> streams;
+    streams.push_back(assertions[product.id]);
+    streams.push_back(std::move(desc_stream));
+    if (options.backfill_from_catalog) {
+      streams.push_back(product.catalog_values);
+    }
+    assertions[product.id] = textrich::MergeExtractionStreams(streams);
+  }
+
+  auto accuracy_of = [&](const std::map<
+                         uint32_t, std::map<std::string, std::string>>&
+                             current) {
+    size_t total = 0, correct = 0;
+    for (const auto& [pid, attrs] : current) {
+      const synth::Product& product = catalog.products()[pid];
+      for (const auto& [attr, value] : attrs) {
+        ++total;
+        auto it = product.true_values.find(attr);
+        if (it != product.true_values.end() && it->second == value) {
+          ++correct;
+        }
+      }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  };
+  size_t extracted = 0;
+  for (const auto& [pid, attrs] : assertions) extracted += attrs.size();
+  build.report.extracted_assertions = extracted;
+  build.report.accuracy_before_cleaning = accuracy_of(assertions);
+
+  // 3. Cleaning.
+  if (options.clean) {
+    textrich::CatalogCleaner cleaner;
+    std::vector<textrich::CatalogAssertion> corpus;
+    for (const auto& [pid, attrs] : assertions) {
+      const synth::Product& product = catalog.products()[pid];
+      for (const auto& [attr, value] : attrs) {
+        corpus.push_back(textrich::CatalogAssertion{
+            pid, catalog.taxonomy().Name(product.type), attr, value,
+            product.title + " " + product.description});
+      }
+    }
+    cleaner.Fit(corpus);
+    textrich::CatalogCleaner::Options clean_options;
+    std::map<uint32_t, std::map<std::string, std::string>> cleaned;
+    for (const textrich::CatalogAssertion& a : corpus) {
+      if (!cleaner.ShouldDrop(a, clean_options)) {
+        cleaned[a.product_id][a.attribute] = a.value;
+      }
+    }
+    assertions = std::move(cleaned);
+  }
+  size_t kept = 0;
+  for (const auto& [pid, attrs] : assertions) kept += attrs.size();
+  build.report.after_cleaning = kept;
+  build.report.accuracy_after_cleaning = accuracy_of(assertions);
+
+  // 4. Taxonomy enrichment from behavior logs.
+  if (options.mine_taxonomy) {
+    build.mined = textrich::MineTaxonomy(catalog, behavior, {});
+    build.report.synonyms_added = build.mined.synonyms.size();
+    build.report.hypernyms_mined = build.mined.hypernyms.size();
+  }
+
+  // 5. Assemble the bipartite product KG.
+  build.kg = textrich::BuildProductGraph(
+      catalog, assertions,
+      options.mine_taxonomy ? &build.mined : nullptr);
+  build.report.kg_triples = build.kg.num_triples();
+  build.report.text_object_fraction =
+      textrich::ComputeProductGraphStats(build.kg).text_object_fraction;
+  return build;
+}
+
+}  // namespace kg::core

@@ -1,0 +1,50 @@
+#ifndef KGRAPH_CORE_TEXTRICH_KG_PIPELINE_H_
+#define KGRAPH_CORE_TEXTRICH_KG_PIPELINE_H_
+
+#include "common/rng.h"
+#include "graph/knowledge_graph.h"
+#include "synth/behavior_generator.h"
+#include "synth/catalog_generator.h"
+#include "textrich/taxonomy_mining.h"
+
+namespace kg::core {
+
+/// Figure 4b / AutoKnow-style self-driving collection, end to end.
+struct TextRichBuildOptions {
+  /// Products used to train the extractor (distant supervision).
+  double train_fraction = 0.5;
+  /// Merge structured catalog values where extraction found nothing.
+  bool backfill_from_catalog = true;
+  bool clean = true;
+  bool mine_taxonomy = true;
+};
+
+struct TextRichBuildReport {
+  size_t products = 0;
+  size_t extracted_assertions = 0;
+  size_t after_cleaning = 0;
+  /// Value-level accuracy of assertions vs latent truth, before and
+  /// after cleaning.
+  double accuracy_before_cleaning = 0.0;
+  double accuracy_after_cleaning = 0.0;
+  size_t synonyms_added = 0;
+  size_t hypernyms_mined = 0;
+  size_t kg_triples = 0;
+  double text_object_fraction = 0.0;
+};
+
+struct TextRichKgBuild {
+  graph::KnowledgeGraph kg;
+  TextRichBuildReport report;
+  textrich::MinedTaxonomy mined;
+};
+
+/// Runs extract -> clean -> enrich -> assemble over the product world.
+TextRichKgBuild BuildTextRichKg(const synth::ProductCatalog& catalog,
+                                const synth::BehaviorLog& behavior,
+                                const TextRichBuildOptions& options,
+                                Rng& rng);
+
+}  // namespace kg::core
+
+#endif  // KGRAPH_CORE_TEXTRICH_KG_PIPELINE_H_

@@ -1,0 +1,119 @@
+#include "dual/answerers.h"
+
+#include "text/tokenize.h"
+
+namespace kg::dual {
+
+KgAnswerer::KgAnswerer(const graph::KnowledgeGraph& kg) : kg_(kg) {
+  for (const char* name_pred : {"name", "title"}) {
+    auto pred = kg_.FindPredicate(name_pred);
+    if (!pred.ok()) continue;
+    for (graph::TripleId id : kg_.TriplesWithPredicate(*pred)) {
+      const graph::Triple& t = kg_.triple(id);
+      // First writer wins: deterministic resolution of shared names
+      // (ambiguity then surfaces as occasional wrong answers, as in any
+      // real disambiguation step).
+      surface_index_.emplace(
+          text::NormalizeForMatch(kg_.NodeName(t.object)), t.subject);
+    }
+  }
+}
+
+std::optional<std::string> KgAnswerer::Lookup(
+    const synth::QaItem& item) const {
+  auto sit = surface_index_.find(text::NormalizeForMatch(item.subject_name));
+  if (sit == surface_index_.end()) return std::nullopt;
+  auto pred = kg_.FindPredicate(item.predicate);
+  if (!pred.ok()) return std::nullopt;
+  const auto objects = kg_.Objects(sit->second, *pred);
+  if (objects.empty()) return std::nullopt;
+  const graph::NodeId object = objects.front();
+  if (kg_.GetNodeKind(object) == graph::NodeKind::kEntity) {
+    // Surface the entity via its name attribute.
+    auto name_pred = kg_.FindPredicate("name");
+    if (name_pred.ok()) {
+      const auto names = kg_.Objects(object, *name_pred);
+      if (!names.empty()) return kg_.NodeName(names.front());
+    }
+    return kg_.NodeName(object);
+  }
+  return kg_.NodeName(object);
+}
+
+std::optional<std::string> KgAnswerer::Answer(const synth::QaItem& item,
+                                              Rng& rng) {
+  (void)rng;  // Symbolic lookup is deterministic.
+  return Lookup(item);
+}
+
+bool KgAnswerer::CanAnswer(const synth::QaItem& item) const {
+  return Lookup(item).has_value();
+}
+
+std::optional<std::string> LlmAnswerer::Answer(const synth::QaItem& item,
+                                               Rng& rng) {
+  const LlmAnswer answer = llm_.Query(item.subject_name, item.predicate,
+                                      rng);
+  if (answer.kind == AnswerKind::kAbstained) return std::nullopt;
+  return answer.text;
+}
+
+std::optional<std::string> DualAnswerer::Answer(const synth::QaItem& item,
+                                                Rng& rng) {
+  // Route to triples first: explicit knowledge is precise and cheap to
+  // verify. Fall back to the LLM only when it is confident.
+  if (kg_answerer_.CanAnswer(item)) return kg_answerer_.Answer(item, rng);
+  if (llm_.Confidence(item.subject_name, item.predicate) >=
+      llm_confidence_floor_) {
+    const LlmAnswer answer =
+        llm_.Query(item.subject_name, item.predicate, rng);
+    if (answer.kind != AnswerKind::kAbstained) return answer.text;
+  }
+  return std::nullopt;
+}
+
+RagAnswerer::RagAnswerer(const graph::KnowledgeGraph& kg,
+                         const LlmSim& llm)
+    : kg_(kg), llm_(llm) {
+  for (const char* name_pred : {"name", "title"}) {
+    auto pred = kg_.FindPredicate(name_pred);
+    if (!pred.ok()) continue;
+    for (graph::TripleId id : kg_.TriplesWithPredicate(*pred)) {
+      const graph::Triple& t = kg_.triple(id);
+      surface_index_.emplace(
+          text::NormalizeForMatch(kg_.NodeName(t.object)), t.subject);
+    }
+  }
+}
+
+std::vector<synth::FactMention> RagAnswerer::Retrieve(
+    const synth::QaItem& item) const {
+  std::vector<synth::FactMention> context;
+  auto sit =
+      surface_index_.find(text::NormalizeForMatch(item.subject_name));
+  if (sit == surface_index_.end()) return context;
+  for (graph::TripleId tid : kg_.TriplesWithSubject(sit->second)) {
+    const graph::Triple& t = kg_.triple(tid);
+    std::string object = kg_.NodeName(t.object);
+    if (kg_.GetNodeKind(t.object) == graph::NodeKind::kEntity) {
+      auto name_pred = kg_.FindPredicate("name");
+      if (name_pred.ok()) {
+        const auto names = kg_.Objects(t.object, *name_pred);
+        if (!names.empty()) object = kg_.NodeName(names.front());
+      }
+    }
+    context.push_back({item.subject_name,
+                       kg_.PredicateName(t.predicate), object, 1, false});
+  }
+  return context;
+}
+
+std::optional<std::string> RagAnswerer::Answer(const synth::QaItem& item,
+                                               Rng& rng) {
+  const LlmAnswer answer = llm_.QueryWithContext(
+      item.subject_name, item.predicate, Retrieve(item), rng);
+  if (answer.kind == AnswerKind::kAbstained) return std::nullopt;
+  return answer.text;
+}
+
+}  // namespace kg::dual

@@ -1,0 +1,109 @@
+#ifndef KGRAPH_DUAL_ANSWERERS_H_
+#define KGRAPH_DUAL_ANSWERERS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "dual/llm_sim.h"
+#include "graph/knowledge_graph.h"
+#include "synth/qa_generator.h"
+
+namespace kg::dual {
+
+/// A question-answering strategy over factoid questions. Returning
+/// nullopt means abstaining.
+class Answerer {
+ public:
+  virtual ~Answerer() = default;
+  virtual std::optional<std::string> Answer(const synth::QaItem& item,
+                                            Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Symbolic QA over a knowledge graph: resolve the subject surface form
+/// via name/title triples, follow the predicate, surface the object. This
+/// is the "knowledge-based QA" industry success of §5.
+class KgAnswerer : public Answerer {
+ public:
+  /// `kg` must outlive the answerer. Name predicates ("name", "title")
+  /// are used to build the surface-form index.
+  explicit KgAnswerer(const graph::KnowledgeGraph& kg);
+
+  std::optional<std::string> Answer(const synth::QaItem& item,
+                                    Rng& rng) override;
+  std::string name() const override { return "kg"; }
+
+  /// Whether the KG can answer (subject resolvable and predicate edge
+  /// present) — the router probe.
+  bool CanAnswer(const synth::QaItem& item) const;
+
+ private:
+  std::optional<std::string> Lookup(const synth::QaItem& item) const;
+
+  const graph::KnowledgeGraph& kg_;
+  /// normalized surface -> subject entity node.
+  std::unordered_map<std::string, graph::NodeId> surface_index_;
+};
+
+/// Parametric QA via the LLM simulator.
+class LlmAnswerer : public Answerer {
+ public:
+  explicit LlmAnswerer(const LlmSim& llm) : llm_(llm) {}
+
+  std::optional<std::string> Answer(const synth::QaItem& item,
+                                    Rng& rng) override;
+  std::string name() const override { return "llm"; }
+
+ private:
+  const LlmSim& llm_;
+};
+
+/// The dual neural KG answerer (§4): triples where they exist (torso,
+/// tail, recent), the LLM where they do not. `llm_confidence_floor`
+/// controls when the LLM is allowed to answer on its own.
+class DualAnswerer : public Answerer {
+ public:
+  DualAnswerer(const graph::KnowledgeGraph& kg, const LlmSim& llm,
+               double llm_confidence_floor = 0.3)
+      : kg_answerer_(kg), llm_(llm),
+        llm_confidence_floor_(llm_confidence_floor) {}
+
+  std::optional<std::string> Answer(const synth::QaItem& item,
+                                    Rng& rng) override;
+  std::string name() const override { return "dual"; }
+
+ private:
+  KgAnswerer kg_answerer_;
+  const LlmSim& llm_;
+  double llm_confidence_floor_;
+};
+
+/// Retrieval-augmented answering (§4's "knowledge-augmented LLM" /
+/// REPLUG direction): instead of routing AROUND the LLM, retrieve the
+/// subject's triples from the KG and hand them to the LLM as context;
+/// the LLM answers from context when it covers the question and falls
+/// back to parametric memory otherwise.
+class RagAnswerer : public Answerer {
+ public:
+  RagAnswerer(const graph::KnowledgeGraph& kg, const LlmSim& llm);
+
+  std::optional<std::string> Answer(const synth::QaItem& item,
+                                    Rng& rng) override;
+  std::string name() const override { return "rag"; }
+
+ private:
+  /// All triples about the resolved subject, as fact mentions.
+  std::vector<synth::FactMention> Retrieve(
+      const synth::QaItem& item) const;
+
+  const graph::KnowledgeGraph& kg_;
+  const LlmSim& llm_;
+  std::unordered_map<std::string, graph::NodeId> surface_index_;
+};
+
+}  // namespace kg::dual
+
+#endif  // KGRAPH_DUAL_ANSWERERS_H_

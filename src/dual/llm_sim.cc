@@ -1,0 +1,104 @@
+#include "dual/llm_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "text/tokenize.h"
+
+namespace kg::dual {
+
+std::string LlmSim::Key(const std::string& subject,
+                        const std::string& predicate) {
+  return text::NormalizeForMatch(subject) + "\x01" + predicate;
+}
+
+void LlmSim::Train(const std::vector<synth::FactMention>& corpus) {
+  for (const synth::FactMention& m : corpus) {
+    Cell& cell = memory_[Key(m.subject, m.predicate)];
+    cell.object_counts[m.object] += static_cast<double>(m.count);
+    cell.total += static_cast<double>(m.count);
+    auto& objects = predicate_objects_[m.predicate];
+    if (objects.size() < 4096) objects.push_back(m.object);
+  }
+}
+
+void LlmSim::Infuse(const std::vector<synth::FactMention>& facts,
+                    double boost) {
+  for (const synth::FactMention& m : facts) {
+    Cell& cell = memory_[Key(m.subject, m.predicate)];
+    cell.object_counts[m.object] += boost;
+    cell.total += boost;
+    auto& objects = predicate_objects_[m.predicate];
+    if (objects.size() < 4096) objects.push_back(m.object);
+  }
+}
+
+double LlmSim::Confidence(const std::string& subject,
+                          const std::string& predicate) const {
+  auto it = memory_.find(Key(subject, predicate));
+  const double count = it == memory_.end() ? 0.0 : it->second.total;
+  return (count + options_.attempt_prior) /
+         (count + options_.attempt_prior + options_.attempt_scale);
+}
+
+std::string LlmSim::Hallucinate(const std::string& predicate,
+                                const std::string& avoid, Rng& rng) const {
+  auto it = predicate_objects_.find(predicate);
+  if (it == predicate_objects_.end() || it->second.empty()) {
+    return "unknown-" + std::to_string(rng.UniformInt(0, 999));
+  }
+  for (int tries = 0; tries < 8; ++tries) {
+    const std::string& candidate = rng.Choice(it->second);
+    if (candidate != avoid) return candidate;
+  }
+  return it->second.front();
+}
+
+LlmAnswer LlmSim::Query(const std::string& subject,
+                        const std::string& predicate, Rng& rng) const {
+  auto it = memory_.find(Key(subject, predicate));
+  const double count = it == memory_.end() ? 0.0 : it->second.total;
+
+  const double attempt_proba =
+      (count + options_.attempt_prior) /
+      (count + options_.attempt_prior + options_.attempt_scale);
+  if (!rng.Bernoulli(attempt_proba)) {
+    return LlmAnswer{AnswerKind::kAbstained, ""};
+  }
+
+  // Majority stored object; may be absent (count == 0).
+  std::string majority;
+  double majority_count = 0.0;
+  if (it != memory_.end()) {
+    for (const auto& [object, c] : it->second.object_counts) {
+      if (c > majority_count) {
+        majority_count = c;
+        majority = object;
+      }
+    }
+  }
+  const double recall_proba =
+      majority_count / (majority_count + options_.confusion_scale);
+  if (!majority.empty() && rng.Bernoulli(recall_proba)) {
+    // Note: "correct" here means faithful to the training corpus; if the
+    // corpus majority is itself wrong, the answer is a faithful error.
+    return LlmAnswer{AnswerKind::kCorrect, majority};
+  }
+  return LlmAnswer{AnswerKind::kHallucinated,
+                   Hallucinate(predicate, majority, rng)};
+}
+
+LlmAnswer LlmSim::QueryWithContext(
+    const std::string& subject, const std::string& predicate,
+    const std::vector<synth::FactMention>& context, Rng& rng) const {
+  const std::string norm_subject = text::NormalizeForMatch(subject);
+  for (const synth::FactMention& m : context) {
+    if (m.predicate == predicate &&
+        text::NormalizeForMatch(m.subject) == norm_subject) {
+      return LlmAnswer{AnswerKind::kCorrect, m.object};
+    }
+  }
+  return Query(subject, predicate, rng);
+}
+
+}  // namespace kg::dual

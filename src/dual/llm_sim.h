@@ -1,0 +1,96 @@
+#ifndef KGRAPH_DUAL_LLM_SIM_H_
+#define KGRAPH_DUAL_LLM_SIM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/qa_generator.h"
+
+namespace kg::dual {
+
+/// What the model did with a question.
+enum class AnswerKind {
+  kCorrect,      ///< Answered with the gold object.
+  kHallucinated, ///< Answered confidently with a wrong object.
+  kAbstained,    ///< Said it does not know.
+};
+
+struct LlmAnswer {
+  AnswerKind kind = AnswerKind::kAbstained;
+  std::string text;
+};
+
+/// A parametric-memory language-model simulator (the §4 substrate
+/// substitute for ChatGPT). "Pretraining" aggregates fact mentions; at
+/// query time, recall depends on how often the fact appeared:
+///   * attempt probability grows with mention count but never reaches 0
+///     at count 0 — the model answers questions it has no grounds for,
+///     which is exactly where hallucination comes from;
+///   * given an attempt, the majority stored object wins with probability
+///     count/(count + confusion); otherwise a plausible same-type object
+///     is produced (type-consistent hallucination).
+/// The constants below reproduce the paper's findings (~20% hallucination,
+/// ~50% unanswered, head-tail accuracy 50% -> 15%) under a Zipf corpus.
+class LlmSim {
+ public:
+  struct Options {
+    /// Pseudo-mentions added before the attempt decision: the model's
+    /// overconfidence floor.
+    double attempt_prior = 1.2;
+    /// Mentions needed for a coin-flip attempt decision.
+    double attempt_scale = 6.0;
+    /// Mentions needed to reliably beat interference once attempting.
+    double confusion_scale = 2.5;
+  };
+
+  LlmSim() = default;
+  explicit LlmSim(Options options) : options_(options) {}
+
+  /// Pretraining: absorbs the corpus (aggregates duplicate mentions).
+  void Train(const std::vector<synth::FactMention>& corpus);
+
+  /// Fine-tuning / knowledge infusion (§4 "head knowledge"): boosts the
+  /// stored count of each fact by `boost` mentions.
+  void Infuse(const std::vector<synth::FactMention>& facts, double boost);
+
+  /// Asks "what is `predicate` of `subject`?".
+  LlmAnswer Query(const std::string& subject, const std::string& predicate,
+                  Rng& rng) const;
+
+  /// Model's own confidence it can answer (the router signal): the
+  /// attempt probability.
+  double Confidence(const std::string& subject,
+                    const std::string& predicate) const;
+
+  /// Answers given retrieved context (RAG): the provided facts override
+  /// parametric memory when they address the question.
+  LlmAnswer QueryWithContext(
+      const std::string& subject, const std::string& predicate,
+      const std::vector<synth::FactMention>& context, Rng& rng) const;
+
+  size_t num_keys() const { return memory_.size(); }
+
+ private:
+  struct Cell {
+    std::map<std::string, double> object_counts;
+    double total = 0.0;
+  };
+
+  static std::string Key(const std::string& subject,
+                         const std::string& predicate);
+
+  /// Plausible wrong object for `predicate`, drawn from the global object
+  /// distribution (type-consistent hallucination).
+  std::string Hallucinate(const std::string& predicate,
+                          const std::string& avoid, Rng& rng) const;
+
+  Options options_;
+  std::map<std::string, Cell> memory_;
+  std::map<std::string, std::vector<std::string>> predicate_objects_;
+};
+
+}  // namespace kg::dual
+
+#endif  // KGRAPH_DUAL_LLM_SIM_H_

@@ -1,0 +1,57 @@
+#include "dual/qa_eval.h"
+
+#include "text/tokenize.h"
+
+namespace kg::dual {
+
+namespace {
+
+struct Counts {
+  size_t n = 0, correct = 0, wrong = 0, abstained = 0;
+
+  QaScore ToScore() const {
+    QaScore s;
+    s.n = n;
+    if (n == 0) return s;
+    s.accuracy = static_cast<double>(correct) / n;
+    s.hallucination_rate = static_cast<double>(wrong) / n;
+    s.abstention_rate = static_cast<double>(abstained) / n;
+    return s;
+  }
+};
+
+}  // namespace
+
+QaEvaluation EvaluateAnswerer(Answerer& answerer,
+                              const std::vector<synth::QaItem>& items,
+                              Rng& rng) {
+  Counts overall;
+  std::map<synth::PopularityBucket, Counts> by_bucket;
+  Counts recent;
+  for (const synth::QaItem& item : items) {
+    const auto answer = answerer.Answer(item, rng);
+    auto classify = [&](Counts& c) {
+      ++c.n;
+      if (!answer.has_value()) {
+        ++c.abstained;
+      } else if (text::NormalizeForMatch(*answer) ==
+                 text::NormalizeForMatch(item.gold_object)) {
+        ++c.correct;
+      } else {
+        ++c.wrong;
+      }
+    };
+    classify(overall);
+    classify(by_bucket[item.bucket]);
+    if (item.recent) classify(recent);
+  }
+  QaEvaluation eval;
+  eval.overall = overall.ToScore();
+  for (const auto& [bucket, counts] : by_bucket) {
+    eval.by_bucket[bucket] = counts.ToScore();
+  }
+  eval.recent = recent.ToScore();
+  return eval;
+}
+
+}  // namespace kg::dual

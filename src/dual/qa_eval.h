@@ -1,0 +1,39 @@
+#ifndef KGRAPH_DUAL_QA_EVAL_H_
+#define KGRAPH_DUAL_QA_EVAL_H_
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "dual/answerers.h"
+#include "synth/qa_generator.h"
+
+namespace kg::dual {
+
+/// QA quality over one slice of questions, in the §4 study's terms:
+/// accuracy = correct / n; hallucination = wrong-but-answered / n;
+/// abstention = unanswered / n. The three sum to 1.
+struct QaScore {
+  size_t n = 0;
+  double accuracy = 0.0;
+  double hallucination_rate = 0.0;
+  double abstention_rate = 0.0;
+};
+
+/// Per-bucket plus overall ("all") scores; also splits out recent facts
+/// under the key index 3 when any exist.
+struct QaEvaluation {
+  QaScore overall;
+  std::map<synth::PopularityBucket, QaScore> by_bucket;
+  QaScore recent;  ///< Questions about post-cutoff facts only.
+};
+
+/// Runs `answerer` over `items`. Answers match by normalized string
+/// equality.
+QaEvaluation EvaluateAnswerer(Answerer& answerer,
+                              const std::vector<synth::QaItem>& items,
+                              Rng& rng);
+
+}  // namespace kg::dual
+
+#endif  // KGRAPH_DUAL_QA_EVAL_H_

@@ -1,0 +1,201 @@
+#include "extract/distant_supervision.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "text/tokenize.h"
+
+namespace kg::extract {
+
+void SeedKnowledge::AddEntity(const std::string& name,
+                              std::map<std::string, std::string> attributes) {
+  entities_[text::NormalizeForMatch(name)] = std::move(attributes);
+}
+
+SeedKnowledge SeedKnowledge::FromKnowledgeGraph(
+    const graph::KnowledgeGraph& kg, const std::string& name_predicate) {
+  SeedKnowledge seed;
+  auto name_pred = kg.FindPredicate(name_predicate);
+  if (!name_pred.ok()) return seed;
+  for (graph::TripleId id : kg.TriplesWithPredicate(*name_pred)) {
+    const graph::Triple& t = kg.triple(id);
+    const std::string& surface = kg.NodeName(t.object);
+    std::map<std::string, std::string> attrs;
+    for (graph::TripleId other : kg.TriplesWithSubject(t.subject)) {
+      const graph::Triple& ot = kg.triple(other);
+      if (ot.predicate == *name_pred) continue;
+      if (kg.GetNodeKind(ot.object) != graph::NodeKind::kText) continue;
+      attrs[kg.PredicateName(ot.predicate)] = kg.NodeName(ot.object);
+    }
+    seed.AddEntity(surface, std::move(attrs));
+  }
+  return seed;
+}
+
+const std::map<std::string, std::string>* SeedKnowledge::Find(
+    const std::string& surface) const {
+  auto it = entities_.find(text::NormalizeForMatch(surface));
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SeedKnowledge::KnownAttributes() const {
+  std::vector<std::string> attrs;
+  for (const auto& [name, attributes] : entities_) {
+    for (const auto& [attr, value] : attributes) {
+      if (std::find(attrs.begin(), attrs.end(), attr) == attrs.end()) {
+        attrs.push_back(attr);
+      }
+    }
+  }
+  std::sort(attrs.begin(), attrs.end());
+  return attrs;
+}
+
+std::string DistantlySupervisedExtractor::TopicOf(const DomPage& page) {
+  for (const DomNode& node : page.nodes) {
+    if (node.tag == "h1" && !node.text.empty()) return node.text;
+  }
+  return "";
+}
+
+std::vector<std::string> DistantlySupervisedExtractor::NodeFeatures(
+    const DomPage& page, DomNodeId id,
+    const std::vector<DomNodeId>& parents) {
+  const DomNode& node = page.nodes[id];
+  std::vector<std::string> feats;
+  feats.push_back("tag=" + node.tag);
+  if (!node.css_class.empty()) feats.push_back("class=" + node.css_class);
+  // Depth.
+  size_t depth = 0;
+  for (DomNodeId cur = id; parents[cur] != kInvalidDomNode;
+       cur = parents[cur]) {
+    ++depth;
+  }
+  feats.push_back("depth=" + std::to_string(depth));
+  // Preceding label sibling — the single most informative signal on
+  // template pages.
+  const DomNodeId parent = parents[id];
+  if (parent != kInvalidDomNode) {
+    std::string label;
+    size_t position = 0, my_position = 0;
+    for (DomNodeId sibling : page.nodes[parent].children) {
+      if (sibling == id) {
+        my_position = position;
+        break;
+      }
+      if (!page.nodes[sibling].text.empty()) {
+        label = page.nodes[sibling].text;
+      }
+      ++position;
+    }
+    if (!label.empty()) {
+      feats.push_back("label=" + text::NormalizeForMatch(label));
+    }
+    feats.push_back("sibpos=" + std::to_string(my_position));
+    feats.push_back("ptag=" + page.nodes[parent].tag);
+    // Grandparent ordinal among same-tag rows (row index in a table).
+    const DomNodeId grand = parents[parent];
+    if (grand != kInvalidDomNode) {
+      size_t row = 0;
+      for (DomNodeId uncle : page.nodes[grand].children) {
+        if (uncle == parent) break;
+        if (page.nodes[uncle].tag == page.nodes[parent].tag) ++row;
+      }
+      feats.push_back("row=" + std::to_string(row));
+    }
+  }
+  // Text shape.
+  size_t digits = 0;
+  for (char c : node.text) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  const size_t tokens = text::Tokenize(node.text).size();
+  feats.push_back(digits * 2 >= node.text.size() ? "numeric" : "textual");
+  feats.push_back("len=" + std::to_string(std::min<size_t>(tokens, 6)));
+  return feats;
+}
+
+size_t DistantlySupervisedExtractor::Fit(
+    const std::vector<const DomPage*>& pages, const SeedKnowledge& seed,
+    const Options& options) {
+  options_ = options;
+  classes_ = {"<none>"};
+  std::map<std::string, int> class_index{{"<none>", 0}};
+  for (const std::string& attr : seed.KnownAttributes()) {
+    class_index.emplace(attr, static_cast<int>(classes_.size()));
+    classes_.push_back(attr);
+  }
+
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int> labels;
+  size_t matched_pages = 0, matches = 0;
+  for (const DomPage* page : pages) {
+    if (matched_pages >= options.max_training_pages) break;
+    const std::string topic = TopicOf(*page);
+    const auto* known = seed.Find(topic);
+    if (known == nullptr || known->empty()) continue;
+    ++matched_pages;
+    const auto parents = ParentMap(*page);
+    for (DomNodeId id : page->TextNodes()) {
+      const std::string normalized =
+          text::NormalizeForMatch(page->nodes[id].text);
+      std::string matched_attr;
+      for (const auto& [attr, value] : *known) {
+        if (normalized == text::NormalizeForMatch(value)) {
+          matched_attr = attr;
+          break;
+        }
+      }
+      // Topic header is not an attribute value.
+      if (page->nodes[id].tag == "h1") continue;
+      docs.push_back(NodeFeatures(*page, id, parents));
+      if (matched_attr.empty()) {
+        labels.push_back(0);
+      } else {
+        labels.push_back(class_index[matched_attr]);
+        ++matches;
+      }
+    }
+  }
+  if (matches == 0) {
+    trained_ = false;
+    return 0;
+  }
+  classifier_.Fit(docs, labels, /*alpha=*/0.5);
+  trained_ = true;
+  return matches;
+}
+
+std::vector<Extraction> DistantlySupervisedExtractor::Extract(
+    const DomPage& page) const {
+  std::vector<Extraction> out;
+  if (!trained_) return out;
+  const auto parents = ParentMap(page);
+  // Per attribute keep the best-scoring node on the page.
+  std::map<std::string, Extraction> best;
+  for (DomNodeId id : page.TextNodes()) {
+    if (page.nodes[id].tag == "h1") continue;
+    const auto feats = NodeFeatures(page, id, parents);
+    const auto scores = classifier_.Scores(feats);
+    // Softmax over classes for a calibrated-ish confidence.
+    double max_score = scores[0];
+    for (double s : scores) max_score = std::max(max_score, s);
+    double z = 0.0;
+    for (double s : scores) z += std::exp(s - max_score);
+    for (size_t c = 1; c < classes_.size(); ++c) {
+      const double p = std::exp(scores[c] - max_score) / z;
+      if (p < options_.min_confidence) continue;
+      auto it = best.find(classes_[c]);
+      if (it == best.end() || p > it->second.confidence) {
+        best[classes_[c]] =
+            Extraction{classes_[c], page.nodes[id].text, p, id};
+      }
+    }
+  }
+  out.reserve(best.size());
+  for (auto& [attr, extraction] : best) out.push_back(std::move(extraction));
+  return out;
+}
+
+}  // namespace kg::extract

@@ -1,0 +1,87 @@
+#ifndef KGRAPH_EXTRACT_DISTANT_SUPERVISION_H_
+#define KGRAPH_EXTRACT_DISTANT_SUPERVISION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extract/dom.h"
+#include "graph/knowledge_graph.h"
+#include "ml/naive_bayes.h"
+
+namespace kg::extract {
+
+/// A seed knowledge base for distant supervision: entity surface name ->
+/// (attribute -> value). Built from an existing KG's triples; this is the
+/// "compare knowledge in existing KGs and data on the websites" step of
+/// §2.3.
+class SeedKnowledge {
+ public:
+  /// Adds one entity's known attributes under its surface `name`.
+  void AddEntity(const std::string& name,
+                 std::map<std::string, std::string> attributes);
+
+  /// Builds seed knowledge from text-valued triples of `kg`: subjects
+  /// become entities keyed by their `name_predicate` value; every other
+  /// text predicate becomes an attribute.
+  static SeedKnowledge FromKnowledgeGraph(const graph::KnowledgeGraph& kg,
+                                          const std::string& name_predicate);
+
+  /// Entity lookup by normalized surface form; nullptr when unknown.
+  const std::map<std::string, std::string>* Find(
+      const std::string& surface) const;
+
+  size_t size() const { return entities_.size(); }
+
+  /// The set of attributes seen anywhere in the seed (the ClosedIE
+  /// schema).
+  std::vector<std::string> KnownAttributes() const;
+
+ private:
+  // normalized name -> attributes.
+  std::map<std::string, std::map<std::string, std::string>> entities_;
+};
+
+/// Ceres-lite: distantly supervised ClosedIE extraction for ONE site.
+/// Training pages whose topic entity matches the seed get auto-annotated
+/// (value node <- KG value match); a per-site node classifier then
+/// extracts from every page, including pages the seed knows nothing
+/// about — which is where the knowledge gain comes from.
+class DistantlySupervisedExtractor {
+ public:
+  struct Options {
+    /// Minimum classifier confidence to emit an extraction.
+    double min_confidence = 0.6;
+    /// Maximum auto-annotated pages used for training.
+    size_t max_training_pages = 200;
+  };
+
+  DistantlySupervisedExtractor() = default;
+
+  /// Trains on `pages` of one site against `seed`. Returns the number of
+  /// auto-annotated (page, attribute) training matches found.
+  size_t Fit(const std::vector<const DomPage*>& pages,
+             const SeedKnowledge& seed, const Options& options);
+
+  /// Extracts attribute-value pairs from one page of the same site.
+  std::vector<Extraction> Extract(const DomPage& page) const;
+
+  /// The page's topic surface form (its h1/header text).
+  static std::string TopicOf(const DomPage& page);
+
+ private:
+  /// Categorical feature tokens describing a candidate value node.
+  static std::vector<std::string> NodeFeatures(const DomPage& page,
+                                               DomNodeId id,
+                                               const std::vector<DomNodeId>&
+                                                   parents);
+
+  ml::MultinomialNaiveBayes classifier_;
+  std::vector<std::string> classes_;  ///< index -> attribute; 0 = none.
+  Options options_;
+  bool trained_ = false;
+};
+
+}  // namespace kg::extract
+
+#endif  // KGRAPH_EXTRACT_DISTANT_SUPERVISION_H_

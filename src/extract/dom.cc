@@ -1,0 +1,128 @@
+#include "extract/dom.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace kg::extract {
+
+DomNodeId DomPage::AddNode(DomNodeId parent, std::string tag,
+                           std::string css_class, std::string text) {
+  const DomNodeId id = static_cast<DomNodeId>(nodes.size());
+  if (parent == kInvalidDomNode) {
+    KG_CHECK(nodes.empty()) << "root must be the first node";
+  } else {
+    KG_CHECK(parent < nodes.size());
+  }
+  nodes.push_back(DomNode{std::move(tag), std::move(css_class),
+                          std::move(text), {}});
+  if (parent != kInvalidDomNode) nodes[parent].children.push_back(id);
+  return id;
+}
+
+std::vector<DomNodeId> DomPage::TextNodes() const {
+  std::vector<DomNodeId> out;
+  for (DomNodeId id = 0; id < nodes.size(); ++id) {
+    if (!nodes[id].text.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::string DomPage::SubtreeText(DomNodeId id) const {
+  KG_CHECK(id < nodes.size());
+  std::string out;
+  std::vector<DomNodeId> stack{id};
+  // Manual DFS preserving document order.
+  std::vector<DomNodeId> order;
+  while (!stack.empty()) {
+    const DomNodeId cur = stack.back();
+    stack.pop_back();
+    order.push_back(cur);
+    const auto& children = nodes[cur].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  for (DomNodeId n : order) {
+    if (nodes[n].text.empty()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out.append(nodes[n].text);
+  }
+  return out;
+}
+
+std::vector<DomNodeId> ParentMap(const DomPage& page) {
+  std::vector<DomNodeId> parent(page.nodes.size(), kInvalidDomNode);
+  for (DomNodeId id = 0; id < page.nodes.size(); ++id) {
+    for (DomNodeId child : page.nodes[id].children) {
+      parent[child] = id;
+    }
+  }
+  return parent;
+}
+
+std::string NodePath(const DomPage& page, DomNodeId id) {
+  KG_CHECK(id < page.nodes.size());
+  const auto parents = ParentMap(page);
+  std::vector<std::string> segments;
+  DomNodeId cur = id;
+  while (cur != kInvalidDomNode) {
+    const DomNodeId parent = parents[cur];
+    size_t ordinal = 0;
+    if (parent != kInvalidDomNode) {
+      for (DomNodeId sibling : page.nodes[parent].children) {
+        if (sibling == cur) break;
+        if (page.nodes[sibling].tag == page.nodes[cur].tag) ++ordinal;
+      }
+    }
+    segments.push_back(page.nodes[cur].tag + "[" +
+                       std::to_string(ordinal) + "]");
+    cur = parent;
+  }
+  std::string path;
+  for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+    path.push_back('/');
+    path.append(*it);
+  }
+  return path;
+}
+
+DomNodeId ResolvePath(const DomPage& page, const std::string& path) {
+  if (page.nodes.empty()) return kInvalidDomNode;
+  std::vector<std::string> segments;
+  for (const auto& seg : Split(path, '/')) {
+    if (!seg.empty()) segments.push_back(seg);
+  }
+  if (segments.empty()) return kInvalidDomNode;
+  auto parse = [](const std::string& seg) -> std::pair<std::string, size_t> {
+    const size_t bracket = seg.find('[');
+    if (bracket == std::string::npos) return {seg, 0};
+    return {seg.substr(0, bracket),
+            static_cast<size_t>(
+                std::stoul(seg.substr(bracket + 1,
+                                      seg.size() - bracket - 2)))};
+  };
+  // Match the root segment.
+  auto [root_tag, root_ord] = parse(segments[0]);
+  if (page.nodes[0].tag != root_tag || root_ord != 0) {
+    return kInvalidDomNode;
+  }
+  DomNodeId cur = 0;
+  for (size_t s = 1; s < segments.size(); ++s) {
+    auto [tag, ordinal] = parse(segments[s]);
+    DomNodeId next = kInvalidDomNode;
+    size_t seen = 0;
+    for (DomNodeId child : page.nodes[cur].children) {
+      if (page.nodes[child].tag != tag) continue;
+      if (seen == ordinal) {
+        next = child;
+        break;
+      }
+      ++seen;
+    }
+    if (next == kInvalidDomNode) return kInvalidDomNode;
+    cur = next;
+  }
+  return cur;
+}
+
+}  // namespace kg::extract

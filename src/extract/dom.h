@@ -1,0 +1,72 @@
+#ifndef KGRAPH_EXTRACT_DOM_H_
+#define KGRAPH_EXTRACT_DOM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kg::extract {
+
+/// Index of a node within a DomPage.
+using DomNodeId = uint32_t;
+
+inline constexpr DomNodeId kInvalidDomNode = 0xffffffffu;
+
+/// One node of the simplified DOM every semi-structured extractor works
+/// on: tag, optional CSS class, leaf text, children. This models what the
+/// paper's systems consume after HTML parsing and rendering-feature
+/// computation.
+struct DomNode {
+  std::string tag;              ///< "html", "body", "h1", "table", "tr"…
+  std::string css_class;        ///< Site template hook (may be empty).
+  std::string text;             ///< Leaf text content (may be empty).
+  std::vector<DomNodeId> children;
+};
+
+/// A parsed web page: a node arena rooted at node 0, plus a URL.
+struct DomPage {
+  std::string url;
+  std::vector<DomNode> nodes;
+
+  /// Appends a node under `parent` and returns its id. Root is created by
+  /// passing parent == kInvalidDomNode exactly once, first.
+  DomNodeId AddNode(DomNodeId parent, std::string tag,
+                    std::string css_class = "", std::string text = "");
+
+  const DomNode& node(DomNodeId id) const { return nodes[id]; }
+  size_t size() const { return nodes.size(); }
+
+  /// All node ids with non-empty text, in document order.
+  std::vector<DomNodeId> TextNodes() const;
+
+  /// Concatenated text of the subtree under `id`, space-separated,
+  /// document order.
+  std::string SubtreeText(DomNodeId id) const;
+};
+
+/// An absolute XPath-like locator: "/html[0]/body[0]/table[0]/tr[2]/td[1]"
+/// (tag with per-tag sibling ordinal). Wrapper induction learns these.
+std::string NodePath(const DomPage& page, DomNodeId id);
+
+/// Resolves a NodePath back to a node id on (possibly another) page of the
+/// same template; kInvalidDomNode when the path does not exist there.
+DomNodeId ResolvePath(const DomPage& page, const std::string& path);
+
+/// Parent ids for every node (root's parent = kInvalidDomNode).
+std::vector<DomNodeId> ParentMap(const DomPage& page);
+
+/// An extracted (subject implied by the page) attribute-value pair with a
+/// confidence — the output unit of all semi-structured extractors.
+struct Extraction {
+  std::string attribute;
+  std::string value;
+  double confidence = 1.0;
+  DomNodeId value_node = kInvalidDomNode;
+};
+
+}  // namespace kg::extract
+
+#endif  // KGRAPH_EXTRACT_DOM_H_

@@ -1,0 +1,42 @@
+#include "extract/open_extraction.h"
+
+#include "text/tokenize.h"
+
+namespace kg::extract {
+
+std::string NormalizeOpenAttribute(const std::string& label) {
+  return text::NormalizeForMatch(label);
+}
+
+std::vector<Extraction> OpenExtract(const DomPage& page,
+                                    const OpenExtractionOptions& options) {
+  std::vector<Extraction> out;
+  // Scan parents whose children contain a short text node followed by
+  // another text node: the (label, value) shape.
+  for (DomNodeId parent = 0; parent < page.nodes.size(); ++parent) {
+    const auto& children = page.nodes[parent].children;
+    if (children.size() < 2) continue;
+    std::string label;
+    for (DomNodeId child : children) {
+      const std::string& txt = page.nodes[child].text;
+      if (txt.empty()) continue;
+      if (label.empty()) {
+        // Candidate label: short text, first textual child.
+        if (text::Tokenize(txt).size() <= options.max_label_tokens) {
+          label = txt;
+        } else {
+          break;  // First text is prose; not a label/value row.
+        }
+        continue;
+      }
+      // Candidate value following the label.
+      if (text::Tokenize(txt).size() > options.max_value_tokens) break;
+      out.push_back(Extraction{NormalizeOpenAttribute(label), txt, 0.7,
+                               child});
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace kg::extract

@@ -1,0 +1,35 @@
+#ifndef KGRAPH_EXTRACT_OPEN_EXTRACTION_H_
+#define KGRAPH_EXTRACT_OPEN_EXTRACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/dom.h"
+
+namespace kg::extract {
+
+/// OpenCeres-lite OpenIE (§2.3): extracts (attribute, value) pairs with
+/// NO schema — the attribute name is the page's own label text. Finds
+/// label/value sibling structures heuristically. Yield is high (it picks
+/// up attributes no ontology knows), precision is lower (filler rows and
+/// navigation look exactly like label/value pairs), matching the Figure 3
+/// trade-off.
+struct OpenExtractionOptions {
+  /// Labels longer than this many tokens are not attribute names.
+  size_t max_label_tokens = 3;
+  /// Values longer than this many tokens are prose, not values.
+  size_t max_value_tokens = 6;
+};
+
+/// Extracts open pairs from `page`. The attribute of each Extraction is
+/// the normalized label text ("directed by" rather than a KG predicate).
+std::vector<Extraction> OpenExtract(const DomPage& page,
+                                    const OpenExtractionOptions& options);
+
+/// Normalizes a page label into an open attribute name: lowercase,
+/// punctuation stripped ("Directed by:" -> "directed by").
+std::string NormalizeOpenAttribute(const std::string& label);
+
+}  // namespace kg::extract
+
+#endif  // KGRAPH_EXTRACT_OPEN_EXTRACTION_H_

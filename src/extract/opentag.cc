@@ -1,0 +1,108 @@
+#include "extract/opentag.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace kg::extract {
+
+std::vector<std::string> TitleExtractor::ContextOf(
+    const AttributeExample& ex) const {
+  std::vector<std::string> context;
+  if (options_.attribute_conditioned) {
+    context.push_back("attr=" + ex.attribute);
+    if (options_.use_cluster_features && !ex.attribute_cluster.empty()) {
+      context.push_back("cluster=" + ex.attribute_cluster);
+    }
+  }
+  if (options_.type_aware) {
+    if (!ex.type_name.empty()) context.push_back("type=" + ex.type_name);
+    if (!ex.category_name.empty()) {
+      context.push_back("cat=" + ex.category_name);
+    }
+  }
+  if (options_.locale_aware && !ex.locale.empty()) {
+    context.push_back("loc=" + ex.locale);
+  }
+  if (options_.use_extra_context) {
+    for (const std::string& c : ex.extra_context) {
+      context.push_back("sig=" + c);
+    }
+  }
+  if (options_.use_lexicon_features) {
+    for (const std::string& token : ex.lexicon_tokens) {
+      context.push_back("lex=" + token);
+    }
+  }
+  return context;
+}
+
+void TitleExtractor::Fit(const std::vector<AttributeExample>& examples,
+                         const TitleExtractorOptions& options, Rng& rng) {
+  KG_CHECK(!examples.empty());
+  options_ = options;
+  std::vector<ml::TaggedSequence> data;
+  data.reserve(examples.size());
+  for (const AttributeExample& ex : examples) {
+    // Single-attribute tagging: gold spans carry the attribute label but
+    // the tag alphabet stays B/I/O, conditioned on context.
+    std::vector<text::Span> spans = ex.gold_spans;
+    for (text::Span& s : spans) s.label = "V";
+    auto tags = text::SpansToBio(spans, ex.tokens.size());
+    KG_CHECK(tags.ok()) << tags.status();
+    ml::TaggedSequence seq;
+    seq.tokens = ex.tokens;
+    seq.context = ContextOf(ex);
+    seq.tags = std::move(tags).value();
+    data.push_back(std::move(seq));
+  }
+  tagger_.Fit(data, options.tagger, rng);
+  trained_ = true;
+}
+
+std::vector<text::Span> TitleExtractor::Extract(
+    const AttributeExample& example) const {
+  KG_CHECK(trained_) << "Extract before Fit";
+  const auto tags = tagger_.Predict(example.tokens, ContextOf(example));
+  auto spans = text::BioToSpans(tags);
+  for (text::Span& s : spans) s.label = example.attribute;
+  return spans;
+}
+
+std::vector<std::string> TitleExtractor::ExtractValues(
+    const AttributeExample& example) const {
+  std::vector<std::string> values;
+  for (const text::Span& s : Extract(example)) {
+    std::vector<std::string> tokens(
+        example.tokens.begin() + static_cast<long>(s.begin),
+        example.tokens.begin() + static_cast<long>(s.end));
+    values.push_back(Join(tokens, " "));
+  }
+  return values;
+}
+
+void TypeClassifier::Fit(
+    const std::vector<std::vector<std::string>>& token_lists,
+    const std::vector<std::string>& type_names) {
+  KG_CHECK(token_lists.size() == type_names.size());
+  std::map<std::string, int> index;
+  std::vector<int> labels(type_names.size());
+  type_names_.clear();
+  for (size_t i = 0; i < type_names.size(); ++i) {
+    auto [it, inserted] =
+        index.emplace(type_names[i], static_cast<int>(type_names_.size()));
+    if (inserted) type_names_.push_back(type_names[i]);
+    labels[i] = it->second;
+  }
+  nb_.Fit(token_lists, labels);
+}
+
+std::string TypeClassifier::Predict(
+    const std::vector<std::string>& tokens) const {
+  KG_CHECK(!type_names_.empty());
+  return type_names_[static_cast<size_t>(nb_.Predict(tokens))];
+}
+
+}  // namespace kg::extract

@@ -1,0 +1,96 @@
+#ifndef KGRAPH_EXTRACT_OPENTAG_H_
+#define KGRAPH_EXTRACT_OPENTAG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/naive_bayes.h"
+#include "ml/sequence_tagger.h"
+#include "text/bio.h"
+
+namespace kg::extract {
+
+/// One attribute-extraction training/eval instance: a product title and
+/// the gold value spans of ONE target attribute, plus the metadata the
+/// type-/attribute-aware variants condition on.
+struct AttributeExample {
+  std::vector<std::string> tokens;        ///< Title tokens.
+  std::string attribute;                  ///< Target attribute name.
+  std::vector<text::Span> gold_spans;     ///< Spans labeled `attribute`.
+  std::string type_name;                  ///< Leaf product type.
+  std::string category_name;              ///< Parent category.
+  std::string attribute_cluster;          ///< Vocabulary-sharing cluster id.
+  std::string locale;                     ///< Locale tag ("loc2"), may be "".
+  std::vector<std::string> extra_context; ///< Modality signals (PAM).
+  /// Candidate value tokens for this (type, attribute) from a lexicon
+  /// (e.g. the structured catalog's observed values). Consumed as
+  /// positional gazetteer features when use_lexicon_features is on.
+  std::vector<std::string> lexicon_tokens;
+};
+
+/// Conditioning configuration — this single switchboard realizes the
+/// paper's §3 model family:
+///  * all off ............ OpenTag (one model per attribute, type-blind)
+///  * type_aware ......... TXtract (type embedding + taxonomy ancestors)
+///  * attribute_conditioned + cluster ... AdaTag (attribute embedding +
+///     mixture-of-experts sharing across related attributes)
+///  * extra context ...... PAM (image-signal features attend with text)
+struct TitleExtractorOptions {
+  bool type_aware = false;
+  bool attribute_conditioned = false;
+  bool use_cluster_features = false;
+  bool use_extra_context = false;
+  /// Gazetteer features from AttributeExample::lexicon_tokens — the
+  /// dictionary signal production OpenTag deployments lean on.
+  bool use_lexicon_features = false;
+  /// Cross locale tags with tokens (the multi-locale one-size-fits-all
+  /// axis of §3.3).
+  bool locale_aware = false;
+  ml::TaggerOptions tagger;
+};
+
+/// NER-style attribute-value extractor over product titles (the OpenTag
+/// model family, §3.1-3.4). Wraps one averaged-perceptron BIO tagger whose
+/// context features implement the type-/attribute-aware variants.
+class TitleExtractor {
+ public:
+  TitleExtractor() = default;
+
+  /// Trains on `examples` (each contributes one BIO-tagged sequence).
+  void Fit(const std::vector<AttributeExample>& examples,
+           const TitleExtractorOptions& options, Rng& rng);
+
+  /// Predicted value spans of `example.attribute` in `example.tokens`.
+  std::vector<text::Span> Extract(const AttributeExample& example) const;
+
+  /// Extracted surface values (joined span tokens).
+  std::vector<std::string> ExtractValues(
+      const AttributeExample& example) const;
+
+ private:
+  std::vector<std::string> ContextOf(const AttributeExample& ex) const;
+
+  ml::SequenceTagger tagger_;
+  TitleExtractorOptions options_;
+  bool trained_ = false;
+};
+
+/// Product-type text classifier — TXtract's auxiliary task. When the type
+/// of an instance is unknown at inference, its prediction feeds the
+/// extractor's type context.
+class TypeClassifier {
+ public:
+  void Fit(const std::vector<std::vector<std::string>>& token_lists,
+           const std::vector<std::string>& type_names);
+
+  std::string Predict(const std::vector<std::string>& tokens) const;
+
+ private:
+  ml::MultinomialNaiveBayes nb_;
+  std::vector<std::string> type_names_;
+};
+
+}  // namespace kg::extract
+
+#endif  // KGRAPH_EXTRACT_OPENTAG_H_

@@ -1,0 +1,149 @@
+#include "extract/pattern_bootstrap.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace kg::extract {
+
+namespace {
+
+// Applies one infix pattern to a sentence: subject = text before the
+// infix, object = text after it up to the next clause boundary. Returns
+// false when the pattern does not occur or yields empty spans.
+bool ApplyPattern(const std::string& sentence, const std::string& infix,
+                  std::string* subject, std::string* object) {
+  const size_t pos = sentence.find(infix);
+  if (pos == std::string::npos || pos == 0) return false;
+  *subject = std::string(Trim(sentence.substr(0, pos)));
+  // Strip common determiners/lead-ins so "the movie X" yields "X".
+  for (const char* lead : {"the movie ", "critics called "}) {
+    if (StartsWith(*subject, lead)) {
+      *subject = subject->substr(std::string(lead).size());
+    }
+  }
+  std::string rest = sentence.substr(pos + infix.size());
+  // Object ends at the first clause boundary.
+  size_t end = rest.size();
+  for (const char* boundary : {" .", " ,"}) {
+    const size_t b = rest.find(boundary);
+    if (b != std::string::npos) end = std::min(end, b);
+  }
+  *object = std::string(Trim(rest.substr(0, end)));
+  return !subject->empty() && !object->empty();
+}
+
+}  // namespace
+
+BootstrapResult PatternBootstrapper::Run(
+    const std::vector<std::string>& sentences,
+    const std::map<std::string, std::string>& initial_seeds,
+    const BootstrapOptions& options) const {
+  BootstrapResult result;
+  std::map<std::string, std::string> seeds = initial_seeds;
+  std::map<std::string, double> pair_confidence;  // "s\x01o" -> conf.
+
+  for (size_t round = 0; round < options.iterations; ++round) {
+    BootstrapRound round_report;
+
+    // 1. Harvest candidate infixes from seed occurrences.
+    std::map<std::string, std::set<std::string>> infix_support;
+    for (const std::string& sentence : sentences) {
+      for (const auto& [subject, object] : seeds) {
+        const size_t s_pos = sentence.find(subject);
+        if (s_pos == std::string::npos) continue;
+        const size_t o_pos =
+            sentence.find(object, s_pos + subject.size());
+        if (o_pos == std::string::npos) continue;
+        const std::string infix = sentence.substr(
+            s_pos + subject.size(), o_pos - s_pos - subject.size());
+        if (infix.empty() || infix.size() > options.max_infix_length) {
+          continue;
+        }
+        infix_support[infix].insert(subject);
+      }
+    }
+
+    // 2. Score candidates by seed consistency (Snowball): contradictions
+    //    are negatives, novel subjects neutral.
+    std::vector<TextPattern> kept;
+    for (const auto& [infix, supporters] : infix_support) {
+      if (supporters.size() < options.min_pattern_support) continue;
+      size_t positive = 0, negative = 0;
+      for (const std::string& sentence : sentences) {
+        std::string subject, object;
+        if (!ApplyPattern(sentence, infix, &subject, &object)) continue;
+        auto it = seeds.find(subject);
+        if (it == seeds.end()) continue;
+        if (it->second == object) ++positive;
+        else ++negative;
+      }
+      if (positive + negative == 0) continue;
+      const double precision =
+          static_cast<double>(positive) / (positive + negative);
+      if (precision < options.pattern_precision_threshold) continue;
+      kept.push_back(TextPattern{infix, precision, supporters.size()});
+    }
+    round_report.patterns_kept = kept.size();
+
+    // 3. Corpus-wide extraction with surviving patterns.
+    std::map<std::string, std::pair<std::string, double>> best_for_subject;
+    for (const std::string& sentence : sentences) {
+      for (const TextPattern& pattern : kept) {
+        std::string subject, object;
+        if (!ApplyPattern(sentence, pattern.infix, &subject, &object)) {
+          continue;
+        }
+        ++round_report.extractions;
+        const std::string key = subject + "\x01" + object;
+        auto it = pair_confidence.find(key);
+        if (it == pair_confidence.end() ||
+            it->second < pattern.precision) {
+          pair_confidence[key] = pattern.precision;
+        }
+        auto& best = best_for_subject[subject];
+        if (pattern.precision > best.second) {
+          best = {object, pattern.precision};
+        }
+      }
+    }
+
+    // 4. Promote the most confident novel subjects into the seeds.
+    std::vector<std::pair<double, std::string>> candidates;
+    for (const auto& [subject, best] : best_for_subject) {
+      if (seeds.count(subject)) continue;
+      candidates.emplace_back(best.second, subject);
+    }
+    std::sort(candidates.rbegin(), candidates.rend());
+    const size_t promote =
+        std::min(options.promote_per_round, candidates.size());
+    for (size_t i = 0; i < promote; ++i) {
+      const std::string& subject = candidates[i].second;
+      seeds[subject] = best_for_subject[subject].first;
+    }
+    round_report.promoted_to_seeds = promote;
+    round_report.cumulative_pairs = pair_confidence.size();
+    result.rounds.push_back(round_report);
+    result.patterns = std::move(kept);
+    if (promote == 0) break;  // Fixed point.
+  }
+
+  result.pairs.reserve(pair_confidence.size());
+  for (const auto& [key, confidence] : pair_confidence) {
+    const size_t sep = key.find('\x01');
+    ExtractedPair pair;
+    pair.subject = key.substr(0, sep);
+    pair.object = key.substr(sep + 1);
+    pair.confidence = confidence;
+    result.pairs.push_back(std::move(pair));
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const ExtractedPair& a, const ExtractedPair& b) {
+              return a.confidence > b.confidence;
+            });
+  return result;
+}
+
+}  // namespace kg::extract

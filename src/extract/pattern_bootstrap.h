@@ -1,0 +1,75 @@
+#ifndef KGRAPH_EXTRACT_PATTERN_BOOTSTRAP_H_
+#define KGRAPH_EXTRACT_PATTERN_BOOTSTRAP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kg::extract {
+
+/// A learned textual extraction pattern: the infix between subject and
+/// object mentions ("<subject> was directed by <object> .").
+struct TextPattern {
+  std::string infix;
+  double precision = 0.0;  ///< Seed-consistency estimate.
+  size_t support = 0;      ///< Seed pairs that instantiated it.
+};
+
+/// One (subject, object) extraction with its provenance pattern.
+struct ExtractedPair {
+  std::string subject;
+  std::string object;
+  double confidence = 0.0;
+  std::string pattern;
+};
+
+/// Per-iteration progress (the NELL "reading the web" loop).
+struct BootstrapRound {
+  size_t patterns_kept = 0;
+  size_t extractions = 0;
+  size_t promoted_to_seeds = 0;
+  size_t cumulative_pairs = 0;  ///< Distinct pairs known after the round.
+};
+
+struct BootstrapResult {
+  std::vector<ExtractedPair> pairs;      ///< Final deduplicated output.
+  std::vector<TextPattern> patterns;     ///< Final pattern set.
+  std::vector<BootstrapRound> rounds;
+};
+
+/// Snowball/NELL-style bootstrapped relation extraction from raw text
+/// (§2.4: "NELL focuses on text extraction"; distant supervision per
+/// Brin 1998 / Agichtein 2000 / Mintz 2009). The loop:
+///   1. locate seed (subject, object) pairs in sentences, harvest the
+///      infix between them as a candidate pattern;
+///   2. score each pattern against the seed dictionary — an extraction
+///      that CONTRADICTS a seed (same subject, different object) is a
+///      negative, novel subjects are neutral (Snowball's scoring);
+///   3. apply surviving patterns corpus-wide, promote the most confident
+///      novel pairs into the seed dictionary, repeat.
+/// Iterating trades precision for recall — the semantic-drift behavior
+/// the paper's §2.4 volume-vs-quality discussion describes.
+struct BootstrapOptions {
+  size_t iterations = 3;
+  /// Patterns below this seed-consistency are rejected.
+  double pattern_precision_threshold = 0.75;
+  /// Patterns must be instantiated by this many distinct seed pairs.
+  size_t min_pattern_support = 3;
+  /// Most-confident novel pairs promoted into the seeds per round.
+  size_t promote_per_round = 100;
+  /// Longest infix considered a pattern (characters).
+  size_t max_infix_length = 60;
+};
+
+class PatternBootstrapper {
+ public:
+  /// Runs the loop over `sentences` starting from `seeds`
+  /// (subject -> object; the relation is implicit).
+  BootstrapResult Run(const std::vector<std::string>& sentences,
+                      const std::map<std::string, std::string>& seeds,
+                      const BootstrapOptions& options) const;
+};
+
+}  // namespace kg::extract
+
+#endif  // KGRAPH_EXTRACT_PATTERN_BOOTSTRAP_H_

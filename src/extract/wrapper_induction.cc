@@ -1,0 +1,108 @@
+#include "extract/wrapper_induction.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kg::extract {
+
+DomNodeId FindValueByLabel(const DomPage& page,
+                           const std::string& label_text) {
+  if (label_text.empty()) return kInvalidDomNode;
+  const auto parents = ParentMap(page);
+  for (DomNodeId id = 0; id < page.nodes.size(); ++id) {
+    if (page.nodes[id].text != label_text) continue;
+    const DomNodeId parent = parents[id];
+    if (parent == kInvalidDomNode) continue;
+    // The value is the next sibling with text under the same parent.
+    const auto& siblings = page.nodes[parent].children;
+    bool past_label = false;
+    for (DomNodeId sibling : siblings) {
+      if (sibling == id) {
+        past_label = true;
+        continue;
+      }
+      if (past_label && !page.nodes[sibling].text.empty()) {
+        return sibling;
+      }
+    }
+  }
+  return kInvalidDomNode;
+}
+
+Wrapper Wrapper::Induce(const std::vector<const DomPage*>& pages,
+                        const std::vector<PageAnnotation>& annotations) {
+  KG_CHECK(pages.size() == annotations.size());
+  Wrapper wrapper;
+  // attribute -> (path -> votes), (label -> votes).
+  std::map<std::string, std::map<std::string, int>> path_votes;
+  std::map<std::string, std::map<std::string, int>> label_votes;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    const DomPage& page = *pages[p];
+    const auto parents = ParentMap(page);
+    for (const auto& [attr, node] : annotations[p]) {
+      KG_CHECK(node < page.nodes.size());
+      ++path_votes[attr][NodePath(page, node)];
+      // Label anchor: preceding sibling text under the same parent.
+      const DomNodeId parent = parents[node];
+      if (parent != kInvalidDomNode) {
+        std::string label;
+        for (DomNodeId sibling : page.nodes[parent].children) {
+          if (sibling == node) break;
+          if (!page.nodes[sibling].text.empty()) {
+            label = page.nodes[sibling].text;
+          }
+        }
+        if (!label.empty()) ++label_votes[attr][label];
+      }
+    }
+  }
+  auto majority = [](const std::map<std::string, int>& votes) {
+    std::string best;
+    int best_count = 0;
+    for (const auto& [key, count] : votes) {
+      if (count > best_count) {
+        best_count = count;
+        best = key;
+      }
+    }
+    return best;
+  };
+  for (const auto& [attr, votes] : path_votes) {
+    Rule rule;
+    rule.path = majority(votes);
+    auto it = label_votes.find(attr);
+    if (it != label_votes.end()) rule.label_text = majority(it->second);
+    wrapper.rules_[attr] = std::move(rule);
+  }
+  return wrapper;
+}
+
+std::vector<Extraction> Wrapper::Extract(const DomPage& page) const {
+  std::vector<Extraction> out;
+  for (const auto& [attr, rule] : rules_) {
+    // Label anchoring first: it is invariant to row shifts, which are the
+    // dominant template perturbation. When the rule has a label anchor
+    // but the page lacks it, the attribute is absent from this page —
+    // abstain rather than let the absolute path hit a shifted row. The
+    // path is only a fallback for label-less rules.
+    DomNodeId node = kInvalidDomNode;
+    if (!rule.label_text.empty()) {
+      node = FindValueByLabel(page, rule.label_text);
+    } else if (!rule.path.empty()) {
+      node = ResolvePath(page, rule.path);
+    }
+    if (node == kInvalidDomNode || page.nodes[node].text.empty()) continue;
+    out.push_back(Extraction{attr, page.nodes[node].text, 0.97, node});
+  }
+  return out;
+}
+
+std::vector<std::string> Wrapper::Attributes() const {
+  std::vector<std::string> attrs;
+  attrs.reserve(rules_.size());
+  for (const auto& [attr, rule] : rules_) attrs.push_back(attr);
+  return attrs;
+}
+
+}  // namespace kg::extract

@@ -1,0 +1,51 @@
+#ifndef KGRAPH_EXTRACT_WRAPPER_INDUCTION_H_
+#define KGRAPH_EXTRACT_WRAPPER_INDUCTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extract/dom.h"
+
+namespace kg::extract {
+
+/// A manual annotation on one page: attribute -> node holding the value.
+using PageAnnotation = std::map<std::string, DomNodeId>;
+
+/// Wrapper induction (Kushmerick 1997 lineage, §2.3): from a handful of
+/// annotated pages of ONE site, induce per-attribute extraction rules that
+/// generalize across the site's template. Rules are tried in order:
+///   1. the majority absolute NodePath of the annotated value nodes;
+///   2. a label-anchored rule (the text of the sibling label cell), which
+///      survives row insertions/deletions that shift absolute paths.
+class Wrapper {
+ public:
+  Wrapper() = default;
+
+  /// Induces rules from `pages` and their `annotations` (parallel
+  /// vectors). Requires at least one annotation per attribute.
+  static Wrapper Induce(const std::vector<const DomPage*>& pages,
+                        const std::vector<PageAnnotation>& annotations);
+
+  /// Applies the wrapper to a page of the same site.
+  std::vector<Extraction> Extract(const DomPage& page) const;
+
+  /// Attributes this wrapper extracts.
+  std::vector<std::string> Attributes() const;
+
+ private:
+  struct Rule {
+    std::string path;        ///< Majority absolute path ("" = none).
+    std::string label_text;  ///< Anchor label text ("" = none).
+  };
+  std::map<std::string, Rule> rules_;
+};
+
+/// Finds the value cell following a label cell whose text equals
+/// `label_text` (exposed for reuse by the open extractor).
+DomNodeId FindValueByLabel(const DomPage& page,
+                           const std::string& label_text);
+
+}  // namespace kg::extract
+
+#endif  // KGRAPH_EXTRACT_WRAPPER_INDUCTION_H_

@@ -1,0 +1,142 @@
+#include "extract/zeroshot_extraction.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.h"
+#include "extract/open_extraction.h"
+#include "text/tokenize.h"
+
+namespace kg::extract {
+
+std::vector<ml::FeatureVector> ZeroshotExtractor::PageFeatures(
+    const DomPage& page) {
+  const auto parents = ParentMap(page);
+  // Depth per node.
+  std::vector<size_t> depth(page.nodes.size(), 0);
+  for (DomNodeId id = 1; id < page.nodes.size(); ++id) {
+    depth[id] = depth[parents[id]] + 1;
+  }
+  std::vector<ml::FeatureVector> features(page.nodes.size());
+  for (DomNodeId id = 0; id < page.nodes.size(); ++id) {
+    const DomNode& node = page.nodes[id];
+    const std::string& txt = node.text;
+    size_t digits = 0;
+    for (char c : txt) {
+      if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+    }
+    const size_t num_tokens = text::Tokenize(txt).size();
+    // Sibling context: position among siblings, does a short text node
+    // precede it (a label shape), does the text end with ':'.
+    double sib_position = 0.0;
+    double preceded_by_short_text = 0.0;
+    const DomNodeId parent = parents[id];
+    if (parent != kInvalidDomNode) {
+      size_t pos = 0;
+      std::string prev_text;
+      for (DomNodeId sibling : page.nodes[parent].children) {
+        if (sibling == id) break;
+        prev_text = page.nodes[sibling].text.empty()
+                        ? prev_text
+                        : page.nodes[sibling].text;
+        ++pos;
+      }
+      sib_position = static_cast<double>(pos);
+      if (!prev_text.empty() && text::Tokenize(prev_text).size() <= 3) {
+        preceded_by_short_text = 1.0;
+      }
+    }
+    const bool ends_colon = !txt.empty() && txt.back() == ':';
+    auto tag_is = [&](const char* t) {
+      return node.tag == t ? 1.0 : 0.0;
+    };
+    features[id] = ml::FeatureVector{
+        static_cast<double>(depth[id]) / 8.0,
+        static_cast<double>(num_tokens) / 8.0,
+        txt.empty() ? 0.0 : 1.0,
+        txt.empty() ? 0.0
+                    : static_cast<double>(digits) /
+                          static_cast<double>(txt.size()),
+        sib_position / 4.0,
+        preceded_by_short_text,
+        ends_colon ? 1.0 : 0.0,
+        tag_is("td"),
+        tag_is("tr"),
+        tag_is("table"),
+        tag_is("h1"),
+        tag_is("p"),
+        tag_is("a"),
+        tag_is("div"),
+        static_cast<double>(node.children.size()) / 4.0,
+    };
+  }
+  return features;
+}
+
+ml::Adjacency ZeroshotExtractor::PageAdjacency(const DomPage& page) {
+  ml::Adjacency adj(page.nodes.size());
+  for (DomNodeId id = 0; id < page.nodes.size(); ++id) {
+    const auto& children = page.nodes[id].children;
+    for (size_t c = 0; c < children.size(); ++c) {
+      adj[id].push_back(children[c]);
+      adj[children[c]].push_back(id);
+      if (c + 1 < children.size()) {  // sibling edges
+        adj[children[c]].push_back(children[c + 1]);
+        adj[children[c + 1]].push_back(children[c]);
+      }
+    }
+  }
+  return adj;
+}
+
+void ZeroshotExtractor::Fit(const std::vector<TrainingPage>& pages,
+                            const Options& options, Rng& rng) {
+  options_ = options;
+  std::vector<std::vector<ml::FeatureVector>> graph_features;
+  std::vector<ml::Adjacency> graph_adjacency;
+  std::vector<std::vector<int>> labels;
+  for (const TrainingPage& tp : pages) {
+    KG_CHECK(tp.page != nullptr);
+    graph_features.push_back(PageFeatures(*tp.page));
+    graph_adjacency.push_back(PageAdjacency(*tp.page));
+    std::vector<int> page_labels(tp.page->nodes.size(), -1);
+    // Text nodes are candidates; value nodes positive, the rest negative.
+    for (DomNodeId id : tp.page->TextNodes()) page_labels[id] = 0;
+    for (DomNodeId id : tp.value_nodes) {
+      KG_CHECK(id < page_labels.size());
+      page_labels[id] = 1;
+    }
+    labels.push_back(std::move(page_labels));
+  }
+  classifier_.Fit(graph_features, graph_adjacency, labels, options.gnn,
+                  rng);
+  trained_ = true;
+}
+
+std::vector<Extraction> ZeroshotExtractor::Extract(
+    const DomPage& page) const {
+  KG_CHECK(trained_) << "Extract before Fit";
+  const auto proba =
+      classifier_.Predict(PageFeatures(page), PageAdjacency(page));
+  const auto parents = ParentMap(page);
+  std::vector<Extraction> out;
+  for (DomNodeId id : page.TextNodes()) {
+    if (proba[id] < options_.min_confidence) continue;
+    // Attribute name = preceding label sibling, open-style.
+    const DomNodeId parent = parents[id];
+    if (parent == kInvalidDomNode) continue;
+    std::string label;
+    for (DomNodeId sibling : page.nodes[parent].children) {
+      if (sibling == id) break;
+      if (!page.nodes[sibling].text.empty()) {
+        label = page.nodes[sibling].text;
+      }
+    }
+    if (label.empty()) continue;
+    out.push_back(Extraction{NormalizeOpenAttribute(label),
+                             page.nodes[id].text, proba[id], id});
+  }
+  return out;
+}
+
+}  // namespace kg::extract

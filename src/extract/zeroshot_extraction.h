@@ -1,0 +1,57 @@
+#ifndef KGRAPH_EXTRACT_ZEROSHOT_EXTRACTION_H_
+#define KGRAPH_EXTRACT_ZEROSHOT_EXTRACTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "extract/dom.h"
+#include "ml/graph_propagation.h"
+
+namespace kg::extract {
+
+/// ZeroshotCeres-lite (§2.3): one extraction model for ALL sites,
+/// including sites in domains with no training data. Pages become graphs
+/// (tree + sibling edges), nodes get language-independent layout/shape
+/// features, and a propagation classifier learns "is this node an
+/// attribute value?" from annotated sites of OTHER domains. Attribute
+/// names come from the label sibling (open-style), since the target
+/// domain's schema is unknown by assumption.
+class ZeroshotExtractor {
+ public:
+  struct Options {
+    ml::GnnNodeClassifier::Options gnn;
+    double min_confidence = 0.5;
+  };
+
+  ZeroshotExtractor() = default;
+
+  /// One annotated training page: the DOM plus which nodes are values.
+  struct TrainingPage {
+    const DomPage* page = nullptr;
+    std::vector<DomNodeId> value_nodes;
+  };
+
+  /// Trains the cross-site value-node model.
+  void Fit(const std::vector<TrainingPage>& pages, const Options& options,
+           Rng& rng);
+
+  /// Extracts (label-derived attribute, value) pairs from an unseen page.
+  std::vector<Extraction> Extract(const DomPage& page) const;
+
+  /// Layout/shape features of every node of `page` (exposed for tests).
+  static std::vector<ml::FeatureVector> PageFeatures(const DomPage& page);
+
+  /// Graph over the page: tree edges both ways plus sibling edges.
+  static ml::Adjacency PageAdjacency(const DomPage& page);
+
+ private:
+  ml::GnnNodeClassifier classifier_;
+  Options options_;
+  bool trained_ = false;
+};
+
+}  // namespace kg::extract
+
+#endif  // KGRAPH_EXTRACT_ZEROSHOT_EXTRACTION_H_

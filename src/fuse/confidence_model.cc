@@ -1,0 +1,81 @@
+#include "fuse/confidence_model.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "ml/dataset.h"
+
+namespace kg::fuse {
+
+std::vector<ExtractionConfidenceModel::Group>
+ExtractionConfidenceModel::GroupCandidates(
+    const std::vector<CandidateTriple>& candidates) {
+  std::map<std::string, Group> by_key;
+  for (const CandidateTriple& c : candidates) {
+    const std::string key =
+        c.subject + "\x01" + c.predicate + "\x01" + c.object;
+    Group& g = by_key[key];
+    if (g.supporters.empty()) {
+      g.subject = c.subject;
+      g.predicate = c.predicate;
+      g.object = c.object;
+    }
+    g.supporters.push_back(&c);
+  }
+  std::vector<Group> groups;
+  groups.reserve(by_key.size());
+  for (auto& [key, group] : by_key) groups.push_back(std::move(group));
+  return groups;
+}
+
+namespace {
+// The extractor families KV distinguishes (§2.4).
+const char* const kExtractorFamilies[] = {"semistructured", "text",
+                                          "webtable", "annotation"};
+}  // namespace
+
+ml::FeatureVector ExtractionConfidenceModel::GroupFeatures(
+    const Group& group) {
+  std::set<std::string> sources, extractors;
+  double max_score = 0.0, sum_score = 0.0;
+  for (const CandidateTriple* c : group.supporters) {
+    sources.insert(c->source);
+    extractors.insert(c->extractor);
+    max_score = std::max(max_score, c->extractor_score);
+    sum_score += c->extractor_score;
+  }
+  ml::FeatureVector f;
+  // Log-scaled counts keep the LR well-conditioned at web scale.
+  f.push_back(std::log(1.0 + static_cast<double>(sources.size())));
+  f.push_back(std::log(1.0 + static_cast<double>(extractors.size())));
+  f.push_back(max_score);
+  f.push_back(sum_score / static_cast<double>(group.supporters.size()));
+  for (const char* family : kExtractorFamilies) {
+    f.push_back(extractors.count(family) ? 1.0 : 0.0);
+  }
+  return f;
+}
+
+void ExtractionConfidenceModel::Fit(const std::vector<Group>& groups,
+                                    const std::vector<int>& labels,
+                                    Rng& rng) {
+  KG_CHECK(groups.size() == labels.size());
+  KG_CHECK(!groups.empty());
+  ml::Dataset data;
+  data.examples.reserve(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    data.examples.push_back(
+        ml::Example{GroupFeatures(groups[i]), labels[i]});
+  }
+  data.feature_names.resize(data.examples[0].features.size());
+  ml::LogisticRegression::Options options;
+  options.epochs = 30;
+  lr_.Fit(data, options, rng);
+}
+
+double ExtractionConfidenceModel::Score(const Group& group) const {
+  return lr_.PredictProba(GroupFeatures(group));
+}
+
+}  // namespace kg::fuse

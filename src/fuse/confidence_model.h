@@ -1,0 +1,60 @@
+#ifndef KGRAPH_FUSE_CONFIDENCE_MODEL_H_
+#define KGRAPH_FUSE_CONFIDENCE_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/logistic_regression.h"
+
+namespace kg::fuse {
+
+/// One candidate triple produced by a (source, extractor) pair during
+/// web-scale extraction — the raw material of knowledge fusion (§2.4).
+struct CandidateTriple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  std::string source;      ///< Which web source asserted it.
+  std::string extractor;   ///< Which extractor family produced it.
+  double extractor_score = 1.0;  ///< The extractor's own confidence.
+};
+
+/// Knowledge-Vault-style fusion: a calibrated classifier predicting
+/// P(triple is true) from extraction-pattern features — how many sources
+/// assert it, how many extractor families agree, their scores. Trained on
+/// a labeled subset (in KV: agreement with Freebase; here: agreement with
+/// the seed KG).
+class ExtractionConfidenceModel {
+ public:
+  ExtractionConfidenceModel() = default;
+
+  /// Supervised calibration. `labels[i]` says whether candidate group i is
+  /// true; groups come from GroupCandidates.
+  struct Group {
+    std::string subject, predicate, object;
+    std::vector<const CandidateTriple*> supporters;
+  };
+
+  /// Groups raw candidates by (s, p, o).
+  static std::vector<Group> GroupCandidates(
+      const std::vector<CandidateTriple>& candidates);
+
+  /// Feature vector of one group (num sources, num extractors, max/mean
+  /// extractor score, per-family indicators…).
+  static ml::FeatureVector GroupFeatures(const Group& group);
+
+  void Fit(const std::vector<Group>& groups,
+           const std::vector<int>& labels, Rng& rng);
+
+  /// P(true) for a group.
+  double Score(const Group& group) const;
+
+ private:
+  ml::LogisticRegression lr_;
+};
+
+}  // namespace kg::fuse
+
+#endif  // KGRAPH_FUSE_CONFIDENCE_MODEL_H_

@@ -1,0 +1,150 @@
+#include "fuse/kbt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kg::fuse {
+
+namespace {
+
+using Distribution = std::map<std::string, double>;
+
+double VoteWeight(double accuracy, double n_false) {
+  const double a = std::clamp(accuracy, 0.01, 0.99);
+  return std::log(n_false * a / (1.0 - a));
+}
+
+// Normalizes exp(score) into a probability distribution.
+Distribution Softmax(const Distribution& scores) {
+  Distribution out;
+  double max_score = -1e300;
+  for (const auto& [value, s] : scores) {
+    max_score = std::max(max_score, s);
+  }
+  double z = 0.0;
+  for (const auto& [value, s] : scores) z += std::exp(s - max_score);
+  for (const auto& [value, s] : scores) {
+    out[value] = std::exp(s - max_score) / z;
+  }
+  return out;
+}
+
+std::string ArgMax(const Distribution& dist) {
+  std::string best;
+  double best_p = -1.0;
+  for (const auto& [value, p] : dist) {
+    if (p > best_p) {
+      best_p = p;
+      best = value;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+KbtResult RunKbt(const std::vector<ExtractedClaim>& claims,
+                 const KbtOptions& options) {
+  KbtResult result;
+  // Index claims by (source, item).
+  std::map<std::pair<std::string, std::string>,
+           std::vector<const ExtractedClaim*>>
+      by_source_item;
+  for (const ExtractedClaim& c : claims) {
+    by_source_item[{c.source, c.item}].push_back(&c);
+    result.source_accuracy.emplace(c.source, options.initial_accuracy);
+    result.extractor_accuracy.emplace(c.extractor,
+                                      options.initial_accuracy);
+  }
+
+  // Soft EM throughout: hard winners with deterministic tie-breaks would
+  // systematically credit whichever value sorts first, which under
+  // sparse coverage (1-2 extractors per source-item) derails the whole
+  // estimation.
+  std::map<std::string, Distribution> truth_prior;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Layer 1: P(source intended value v) per (source, item), combining
+    // extractor votes with the current truth posterior: a value
+    // corroborated by OTHER sources is a more plausible reading of this
+    // source too (sources correlate with the truth) — this cross-source
+    // coupling is what breaks ties between extractors.
+    std::map<std::pair<std::string, std::string>, Distribution> intended;
+    for (const auto& [key, source_claims] : by_source_item) {
+      Distribution scores;
+      for (const ExtractedClaim* c : source_claims) {
+        scores[c->value] +=
+            VoteWeight(result.extractor_accuracy[c->extractor],
+                       options.n_false_values);
+      }
+      auto prior_it = truth_prior.find(key.second);
+      if (prior_it != truth_prior.end()) {
+        const double w = VoteWeight(result.source_accuracy[key.first],
+                                    options.n_false_values);
+        for (auto& [value, score] : scores) {
+          auto p = prior_it->second.find(value);
+          if (p != prior_it->second.end()) score += w * p->second;
+        }
+      }
+      intended[key] = Softmax(scores);
+    }
+
+    // Layer 2: P(truth of item = v) from source-weighted intended
+    // distributions.
+    std::map<std::string, Distribution> item_scores;
+    for (const auto& [key, dist] : intended) {
+      const double w = VoteWeight(result.source_accuracy[key.first],
+                                  options.n_false_values);
+      for (const auto& [value, p] : dist) {
+        item_scores[key.second][value] += w * p;
+      }
+    }
+    std::map<std::string, Distribution> item_proba;
+    std::map<std::string, std::string> truth;
+    for (const auto& [item, scores] : item_scores) {
+      item_proba[item] = Softmax(scores);
+      truth[item] = ArgMax(item_proba[item]);
+    }
+
+    // Updates (expected agreements).
+    std::map<std::string, std::pair<double, double>> extractor_agree;
+    for (const ExtractedClaim& c : claims) {
+      auto& [hits, n] = extractor_agree[c.extractor];
+      n += 1.0;
+      hits += intended[{c.source, c.item}][c.value];
+    }
+    std::map<std::string, std::pair<double, double>> source_agree;
+    for (const auto& [key, dist] : intended) {
+      auto& [hits, n] = source_agree[key.first];
+      n += 1.0;
+      // P(source's intended value is the truth) = sum_v P1(v) P2(v).
+      const auto& posterior = item_proba[key.second];
+      for (const auto& [value, p] : dist) {
+        auto it = posterior.find(value);
+        if (it != posterior.end()) hits += p * it->second;
+      }
+    }
+    double max_delta = 0.0;
+    for (auto& [extractor, accuracy] : result.extractor_accuracy) {
+      const auto& [hits, n] = extractor_agree[extractor];
+      const double updated = (hits + 1.0) / (n + 2.0);
+      max_delta = std::max(max_delta, std::abs(updated - accuracy));
+      accuracy = updated;
+    }
+    for (auto& [source, accuracy] : result.source_accuracy) {
+      const auto& [hits, n] = source_agree[source];
+      const double updated = (hits + 1.0) / (n + 2.0);
+      max_delta = std::max(max_delta, std::abs(updated - accuracy));
+      accuracy = updated;
+    }
+    result.truth = std::move(truth);
+    truth_prior = std::move(item_proba);
+    if (max_delta < options.convergence_epsilon) break;
+  }
+  return result;
+}
+
+}  // namespace kg::fuse

@@ -1,0 +1,56 @@
+#ifndef KGRAPH_FUSE_KBT_H_
+#define KGRAPH_FUSE_KBT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kg::fuse {
+
+/// One observed extraction: extractor `e` claims that source `s` asserts
+/// `value` for data item `item`. Knowledge-Based Trust's key move (§2.4)
+/// is treating the observation as a two-stage channel — extraction noise
+/// on top of source noise — and estimating both.
+struct ExtractedClaim {
+  std::string item;
+  std::string source;
+  std::string extractor;
+  std::string value;
+};
+
+/// Output of the KBT estimator.
+struct KbtResult {
+  /// item -> believed true value.
+  std::map<std::string, std::string> truth;
+  /// source -> estimated accuracy (the "web source trustworthiness" the
+  /// paper describes KBT computing).
+  std::map<std::string, double> source_accuracy;
+  /// extractor -> estimated accuracy.
+  std::map<std::string, double> extractor_accuracy;
+  size_t iterations = 0;
+};
+
+/// Two-layer EM:
+///   layer 1: per (source, item), the source's *intended* value is the
+///            extractor-accuracy-weighted consensus of claims about that
+///            source;
+///   layer 2: per item, the truth is the source-accuracy-weighted
+///            consensus of intended values (ACCU);
+///   updates: extractor accuracy = agreement with intended values,
+///            source accuracy = agreement of its intended values with the
+///            truth.
+/// Separating the layers is what lets KBT blame a bad extraction on the
+/// extractor rather than the page.
+struct KbtOptions {
+  size_t max_iterations = 25;
+  double initial_accuracy = 0.8;
+  double n_false_values = 10.0;
+  double convergence_epsilon = 1e-4;
+};
+
+KbtResult RunKbt(const std::vector<ExtractedClaim>& claims,
+                 const KbtOptions& options);
+
+}  // namespace kg::fuse
+
+#endif  // KGRAPH_FUSE_KBT_H_

@@ -1,0 +1,60 @@
+#ifndef KGRAPH_FUSE_PRA_H_
+#define KGRAPH_FUSE_PRA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/knowledge_graph.h"
+#include "graph/paths.h"
+#include "ml/logistic_regression.h"
+
+namespace kg::fuse {
+
+/// Path Ranking Algorithm (Lao & Cohen; "PRA in NELL", §2.4): link
+/// prediction for one target predicate. Features of a candidate (s, o)
+/// pair are random-walk reachability probabilities along relation paths
+/// mined from known positive pairs; a logistic regression ranks
+/// candidates. kgraph uses it to validate extracted triples (knowledge
+/// cleaning) and as the symbolic counterpart to TransE.
+class PraModel {
+ public:
+  struct Options {
+    size_t max_path_length = 3;
+    /// Paths kept as features (most frequent across positives).
+    size_t max_paths = 20;
+    /// Training pairs mined per positive (1 positive + k corrupted).
+    size_t negatives_per_positive = 2;
+    ml::LogisticRegression::Options lr;
+  };
+
+  PraModel() = default;
+
+  /// Trains for `predicate`. Positive pairs are the predicate's existing
+  /// triples; negatives corrupt the object uniformly. The predicate's own
+  /// direct edge is excluded from path features (no label leakage).
+  void Fit(const graph::KnowledgeGraph& kg, graph::PredicateId predicate,
+           const Options& options, Rng& rng);
+
+  /// P((s, predicate, o) holds).
+  double Score(const graph::KnowledgeGraph& kg, graph::NodeId s,
+               graph::NodeId o) const;
+
+  /// The mined feature paths (for reports).
+  const std::vector<graph::RelationPath>& feature_paths() const {
+    return paths_;
+  }
+
+ private:
+  ml::FeatureVector PairFeatures(const graph::KnowledgeGraph& kg,
+                                 graph::NodeId s, graph::NodeId o) const;
+
+  graph::PredicateId predicate_ = 0;
+  std::vector<graph::RelationPath> paths_;
+  ml::LogisticRegression lr_;
+  bool trained_ = false;
+};
+
+}  // namespace kg::fuse
+
+#endif  // KGRAPH_FUSE_PRA_H_

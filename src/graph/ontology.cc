@@ -1,0 +1,71 @@
+#include "graph/ontology.h"
+
+namespace kg::graph {
+
+void Ontology::DeclareRelation(RelationDecl decl) {
+  auto it = relation_index_.find(decl.name);
+  if (it != relation_index_.end()) {
+    relations_[it->second] = std::move(decl);
+    return;
+  }
+  relation_index_.emplace(decl.name, relations_.size());
+  relations_.push_back(std::move(decl));
+}
+
+Result<RelationDecl> Ontology::FindRelation(std::string_view name) const {
+  auto it = relation_index_.find(std::string(name));
+  if (it == relation_index_.end()) {
+    return Status::NotFound("relation: " + std::string(name));
+  }
+  return relations_[it->second];
+}
+
+void Ontology::SetInstanceType(NodeId node, TypeId type) {
+  instance_types_[node] = type;
+}
+
+TypeId Ontology::InstanceType(NodeId node) const {
+  auto it = instance_types_.find(node);
+  return it == instance_types_.end() ? taxonomy_.root() : it->second;
+}
+
+bool Ontology::IsInstanceOf(NodeId node, TypeId type) const {
+  return taxonomy_.IsAncestor(InstanceType(node), type);
+}
+
+Status Ontology::ValidateTriple(const KnowledgeGraph& kg,
+                                TripleId id) const {
+  const Triple& t = kg.triple(id);
+  const std::string& pred = kg.PredicateName(t.predicate);
+  auto rel = FindRelation(pred);
+  if (!rel.ok()) {
+    return Status::NotFound("undeclared relation: " + pred);
+  }
+  if (!IsInstanceOf(t.subject, rel->domain)) {
+    return Status::InvalidArgument(
+        "domain violation: subject " + kg.NodeName(t.subject) +
+        " is not a " + taxonomy_.Name(rel->domain));
+  }
+  if (rel->range_kind == RangeKind::kEntity) {
+    if (kg.GetNodeKind(t.object) != NodeKind::kEntity) {
+      return Status::InvalidArgument("range violation: object " +
+                                     kg.NodeName(t.object) +
+                                     " is not an entity");
+    }
+    if (!IsInstanceOf(t.object, rel->range_type)) {
+      return Status::InvalidArgument(
+          "range violation: object " + kg.NodeName(t.object) +
+          " is not a " + taxonomy_.Name(rel->range_type));
+    }
+  }
+  if (rel->functional) {
+    if (kg.Objects(t.subject, t.predicate).size() > 1) {
+      return Status::FailedPrecondition(
+          "functionality violation: multiple objects for " +
+          kg.NodeName(t.subject) + " / " + pred);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kg::graph

@@ -1,0 +1,71 @@
+#ifndef KGRAPH_GRAPH_ONTOLOGY_H_
+#define KGRAPH_GRAPH_ONTOLOGY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/knowledge_graph.h"
+#include "graph/taxonomy.h"
+
+namespace kg::graph {
+
+/// What a relation's object may be.
+enum class RangeKind : uint8_t {
+  kEntity,  ///< Object must be an entity of `range_type`.
+  kText,    ///< Object is a free-text / literal value.
+};
+
+/// Declared relation: domain class, range (class or literal), cardinality.
+struct RelationDecl {
+  std::string name;
+  TypeId domain = 0;          ///< Subject must be an instance of this type.
+  RangeKind range_kind = RangeKind::kText;
+  TypeId range_type = 0;      ///< Meaningful when range_kind == kEntity.
+  bool functional = false;    ///< At most one object per subject.
+};
+
+/// The KG schema: a class taxonomy plus declared relations with
+/// domain/range constraints (§1: "data instances follow the ontology as
+/// the schema"). Entity-based KGs keep this manually curated and clean;
+/// text-rich KGs relax it.
+class Ontology {
+ public:
+  Ontology() = default;
+
+  Taxonomy& taxonomy() { return taxonomy_; }
+  const Taxonomy& taxonomy() const { return taxonomy_; }
+
+  /// Declares a relation; re-declaring a name overwrites the declaration.
+  void DeclareRelation(RelationDecl decl);
+
+  Result<RelationDecl> FindRelation(std::string_view name) const;
+  const std::vector<RelationDecl>& relations() const { return relations_; }
+
+  /// Records that entity-node `node` is an instance of `type`.
+  void SetInstanceType(NodeId node, TypeId type);
+
+  /// The declared type of `node` (root type when unknown).
+  TypeId InstanceType(NodeId node) const;
+
+  /// True when `node` is an instance of `type` or any of its descendants.
+  bool IsInstanceOf(NodeId node, TypeId type) const;
+
+  /// Validates a triple against the declared schema. Returns OK, or an
+  /// explanation (unknown relation, domain violation, range violation,
+  /// functionality violation). This is the rule layer knowledge cleaning
+  /// builds on.
+  Status ValidateTriple(const KnowledgeGraph& kg, TripleId id) const;
+
+ private:
+  Taxonomy taxonomy_;
+  std::vector<RelationDecl> relations_;
+  std::unordered_map<std::string, size_t> relation_index_;
+  std::unordered_map<NodeId, TypeId> instance_types_;
+};
+
+}  // namespace kg::graph
+
+#endif  // KGRAPH_GRAPH_ONTOLOGY_H_

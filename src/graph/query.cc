@@ -1,0 +1,176 @@
+#include "graph/query.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace kg::graph {
+
+namespace {
+
+// Resolves a constant surface form to a node id, trying the kinds in
+// order of likelihood. Returns kInvalidNode when unknown.
+NodeId ResolveNode(const KnowledgeGraph& kg, const std::string& name) {
+  for (NodeKind kind :
+       {NodeKind::kEntity, NodeKind::kText, NodeKind::kClass}) {
+    auto id = kg.FindNode(name, kind);
+    if (id.ok()) return *id;
+  }
+  return kInvalidNode;
+}
+
+// How many of a pattern's terms are fixed under `binding` (constants or
+// already-bound variables). Used for greedy join ordering.
+int Boundness(const TriplePattern& p, const Binding& binding) {
+  auto fixed = [&](const Term& t) {
+    return !t.is_variable || binding.count(t.name) ? 1 : 0;
+  };
+  return fixed(p.subject) + 2 * /*predicates are cheap filters*/ 1 *
+             fixed(p.predicate) +
+         fixed(p.object);
+}
+
+}  // namespace
+
+void QueryEngine::MatchPattern(const TriplePattern& pattern,
+                               const Binding& binding,
+                               std::vector<Binding>* out) const {
+  // Resolve subject/object under the binding; -1 = unbound variable.
+  auto resolve = [&](const Term& t, bool& known, NodeId& node) {
+    known = false;
+    if (!t.is_variable) {
+      node = ResolveNode(kg_, t.name);
+      known = true;
+      return node != kInvalidNode;
+    }
+    auto it = binding.find(t.name);
+    if (it != binding.end()) {
+      node = it->second;
+      known = true;
+    }
+    return true;
+  };
+  bool s_known = false, o_known = false;
+  NodeId s_node = kInvalidNode, o_node = kInvalidNode;
+  if (!resolve(pattern.subject, s_known, s_node)) return;
+  if (!resolve(pattern.object, o_known, o_node)) return;
+  KG_CHECK(!pattern.predicate.is_variable)
+      << "predicate variables are not supported";
+  auto pred = kg_.FindPredicate(pattern.predicate.name);
+  if (!pred.ok()) return;
+
+  // Choose the cheapest index for the access path.
+  std::vector<TripleId> candidates;
+  if (s_known) {
+    candidates = kg_.TriplesWithSubject(s_node);
+  } else if (o_known) {
+    candidates = kg_.TriplesWithObject(o_node);
+  } else {
+    candidates = kg_.TriplesWithPredicate(*pred);
+  }
+  for (TripleId tid : candidates) {
+    const Triple& t = kg_.triple(tid);
+    if (t.predicate != *pred) continue;
+    if (s_known && t.subject != s_node) continue;
+    if (o_known && t.object != o_node) continue;
+    Binding extended = binding;
+    if (pattern.subject.is_variable) {
+      extended[pattern.subject.name] = t.subject;
+    }
+    if (pattern.object.is_variable) {
+      extended[pattern.object.name] = t.object;
+    }
+    out->push_back(std::move(extended));
+  }
+}
+
+std::vector<Binding> QueryEngine::Evaluate(
+    const std::vector<TriplePattern>& patterns) const {
+  std::vector<Binding> frontier{{}};
+  std::vector<bool> used(patterns.size(), false);
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    // Greedy: next evaluate the most-bound remaining pattern (w.r.t. a
+    // representative binding — all frontier bindings share a domain).
+    const Binding& representative =
+        frontier.empty() ? Binding{} : frontier.front();
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      const int score = Boundness(patterns[i], representative);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    used[best] = true;
+    std::vector<Binding> next;
+    for (const Binding& binding : frontier) {
+      MatchPattern(patterns[best], binding, &next);
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+Result<std::vector<TriplePattern>> QueryEngine::Parse(
+    const std::string& text) {
+  std::vector<TriplePattern> patterns;
+  for (const std::string& clause : Split(text, '.')) {
+    const std::string trimmed(Trim(clause));
+    if (trimmed.empty()) continue;
+    // Tokenize respecting single-quoted constants.
+    std::vector<Term> terms;
+    size_t i = 0;
+    while (i < trimmed.size()) {
+      while (i < trimmed.size() && trimmed[i] == ' ') ++i;
+      if (i >= trimmed.size()) break;
+      if (trimmed[i] == '\'') {
+        const size_t close = trimmed.find('\'', i + 1);
+        if (close == std::string::npos) {
+          return Status::InvalidArgument("unterminated quote in: " +
+                                         trimmed);
+        }
+        terms.push_back(Term::Const(trimmed.substr(i + 1, close - i - 1)));
+        i = close + 1;
+      } else {
+        size_t end = trimmed.find(' ', i);
+        if (end == std::string::npos) end = trimmed.size();
+        const std::string token = trimmed.substr(i, end - i);
+        if (token[0] == '?') {
+          if (token.size() < 2) {
+            return Status::InvalidArgument("bare '?' in: " + trimmed);
+          }
+          terms.push_back(Term::Var(token.substr(1)));
+        } else {
+          terms.push_back(Term::Const(token));
+        }
+        i = end;
+      }
+    }
+    if (terms.size() != 3) {
+      return Status::InvalidArgument(
+          "pattern must have 3 terms, got " +
+          std::to_string(terms.size()) + " in: " + trimmed);
+    }
+    if (terms[1].is_variable) {
+      return Status::InvalidArgument(
+          "predicate variables are not supported: " + trimmed);
+    }
+    patterns.push_back(TriplePattern{terms[0], terms[1], terms[2]});
+  }
+  if (patterns.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  return patterns;
+}
+
+Result<std::vector<Binding>> QueryEngine::Query(
+    const std::string& text) const {
+  KG_ASSIGN_OR_RETURN(const auto patterns, Parse(text));
+  return Evaluate(patterns);
+}
+
+}  // namespace kg::graph

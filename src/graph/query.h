@@ -1,0 +1,67 @@
+#ifndef KGRAPH_GRAPH_QUERY_H_
+#define KGRAPH_GRAPH_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/knowledge_graph.h"
+
+namespace kg::graph {
+
+/// A term in a triple pattern: a variable ("?x") or a constant bound to
+/// a node/predicate by name.
+struct Term {
+  bool is_variable = false;
+  std::string name;  ///< Variable name (without '?') or constant surface.
+
+  static Term Var(std::string name) { return {true, std::move(name)}; }
+  static Term Const(std::string name) { return {false, std::move(name)}; }
+};
+
+/// One triple pattern (subject, predicate, object).
+struct TriplePattern {
+  Term subject;
+  Term predicate;
+  Term object;
+};
+
+/// A variable binding: variable name -> node id.
+using Binding = std::map<std::string, NodeId>;
+
+/// Conjunctive (basic-graph-pattern) queries over a KnowledgeGraph —
+/// the lookup layer behind the paper's "knowledge-based QA" industry
+/// success (§5). Evaluation is pattern-at-a-time index nested-loop join
+/// with greedy selectivity ordering; fine for the OLTP-style lookups KGs
+/// serve.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const KnowledgeGraph& kg) : kg_(kg) {}
+
+  /// Evaluates the conjunction of `patterns`; returns all bindings of
+  /// the variables. Constants that name unknown nodes/predicates yield
+  /// an empty result (not an error — absence of knowledge is a normal
+  /// answer).
+  std::vector<Binding> Evaluate(
+      const std::vector<TriplePattern>& patterns) const;
+
+  /// Parses "?m directed_by ?p . ?p name 'Ada Novak'" style query
+  /// strings: whitespace-separated triples joined by '.', variables
+  /// marked with '?', multi-word constants single-quoted.
+  static Result<std::vector<TriplePattern>> Parse(const std::string& text);
+
+  /// Convenience: parse + evaluate.
+  Result<std::vector<Binding>> Query(const std::string& text) const;
+
+ private:
+  /// Matches one pattern under a partial binding, emitting extensions.
+  void MatchPattern(const TriplePattern& pattern, const Binding& binding,
+                    std::vector<Binding>* out) const;
+
+  const KnowledgeGraph& kg_;
+};
+
+}  // namespace kg::graph
+
+#endif  // KGRAPH_GRAPH_QUERY_H_

@@ -1,0 +1,31 @@
+#ifndef KGRAPH_GRAPH_SERIALIZATION_H_
+#define KGRAPH_GRAPH_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/knowledge_graph.h"
+
+namespace kg::graph {
+
+/// Serializes a KG to a TSV-style text format, one provenance entry per
+/// line:
+///   subject \t subject_kind \t predicate \t object \t object_kind \t
+///   source \t confidence \t timestamp
+/// Node kinds are "entity" / "text" / "class". Removed triples are not
+/// emitted. The format is line-stable (sorted by triple id), so
+/// serialized KGs diff cleanly.
+std::string SerializeKg(const KnowledgeGraph& kg);
+
+/// Parses a serialized KG. Rejects malformed lines with a descriptive
+/// status; on success the returned graph round-trips (same triples,
+/// kinds, and provenance, possibly different internal ids).
+Result<KnowledgeGraph> DeserializeKg(const std::string& data);
+
+/// File convenience wrappers.
+Status SaveKg(const KnowledgeGraph& kg, const std::string& path);
+Result<KnowledgeGraph> LoadKg(const std::string& path);
+
+}  // namespace kg::graph
+
+#endif  // KGRAPH_GRAPH_SERIALIZATION_H_

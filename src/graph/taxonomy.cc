@@ -1,0 +1,167 @@
+#include "graph/taxonomy.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace kg::graph {
+
+Taxonomy::Taxonomy(std::string root_name) {
+  names_.push_back(root_name);
+  index_.emplace(std::move(root_name), 0);
+  parents_.emplace_back();
+  children_.emplace_back();
+}
+
+TypeId Taxonomy::AddType(std::string_view name, TypeId parent) {
+  KG_CHECK(parent < names_.size());
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    const TypeId id = it->second;
+    if (!IsAncestor(id, parent) && !IsAncestor(parent, id)) {
+      KG_CHECK_OK(AddParent(id, parent));
+    }
+    return id;
+  }
+  const TypeId id = static_cast<TypeId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string(name), id);
+  parents_.push_back({parent});
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  return id;
+}
+
+Status Taxonomy::AddParent(TypeId type, TypeId parent) {
+  KG_CHECK(type < names_.size());
+  KG_CHECK(parent < names_.size());
+  if (type == parent || IsAncestor(parent, type)) {
+    return Status::InvalidArgument("parent edge would create a cycle: " +
+                                   names_[type] + " -> " + names_[parent]);
+  }
+  auto& ps = parents_[type];
+  if (std::find(ps.begin(), ps.end(), parent) == ps.end()) {
+    ps.push_back(parent);
+    children_[parent].push_back(type);
+  }
+  return Status::OK();
+}
+
+Result<TypeId> Taxonomy::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("type: " + std::string(name));
+  }
+  return it->second;
+}
+
+const std::string& Taxonomy::Name(TypeId id) const {
+  KG_CHECK(id < names_.size());
+  return names_[id];
+}
+
+const std::vector<TypeId>& Taxonomy::Parents(TypeId id) const {
+  KG_CHECK(id < parents_.size());
+  return parents_[id];
+}
+
+const std::vector<TypeId>& Taxonomy::Children(TypeId id) const {
+  KG_CHECK(id < children_.size());
+  return children_[id];
+}
+
+bool Taxonomy::IsAncestor(TypeId type, TypeId ancestor) const {
+  KG_CHECK(type < names_.size());
+  KG_CHECK(ancestor < names_.size());
+  if (type == ancestor) return true;
+  std::deque<TypeId> frontier{type};
+  std::unordered_set<TypeId> seen{type};
+  while (!frontier.empty()) {
+    const TypeId cur = frontier.front();
+    frontier.pop_front();
+    for (TypeId p : parents_[cur]) {
+      if (p == ancestor) return true;
+      if (seen.insert(p).second) frontier.push_back(p);
+    }
+  }
+  return false;
+}
+
+namespace {
+std::vector<TypeId> Bfs(TypeId start,
+                        const std::vector<std::vector<TypeId>>& edges) {
+  std::vector<TypeId> out{start};
+  std::unordered_set<TypeId> seen{start};
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (TypeId next : edges[out[i]]) {
+      if (seen.insert(next).second) out.push_back(next);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<TypeId> Taxonomy::Ancestors(TypeId type) const {
+  KG_CHECK(type < names_.size());
+  return Bfs(type, parents_);
+}
+
+std::vector<TypeId> Taxonomy::Descendants(TypeId type) const {
+  KG_CHECK(type < names_.size());
+  return Bfs(type, children_);
+}
+
+std::vector<TypeId> Taxonomy::Leaves() const {
+  std::vector<TypeId> out;
+  for (TypeId id = 0; id < names_.size(); ++id) {
+    if (children_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+int Taxonomy::Depth(TypeId type) const {
+  KG_CHECK(type < names_.size());
+  // BFS toward the root over parent edges; depths are small, so no memo.
+  std::deque<std::pair<TypeId, int>> frontier{{type, 0}};
+  std::unordered_set<TypeId> seen{type};
+  while (!frontier.empty()) {
+    auto [cur, d] = frontier.front();
+    frontier.pop_front();
+    if (cur == 0) return d;
+    for (TypeId p : parents_[cur]) {
+      if (seen.insert(p).second) frontier.push_back({p, d + 1});
+    }
+  }
+  return -1;  // Unreachable from root: malformed taxonomy.
+}
+
+TypeId Taxonomy::Lca(TypeId a, TypeId b) const {
+  const std::vector<TypeId> a_anc = Ancestors(a);
+  std::unordered_set<TypeId> a_set(a_anc.begin(), a_anc.end());
+  // Among common ancestors pick the deepest.
+  TypeId best = 0;
+  int best_depth = -1;
+  for (TypeId anc : Ancestors(b)) {
+    if (a_set.count(anc)) {
+      const int d = Depth(anc);
+      if (d > best_depth) {
+        best_depth = d;
+        best = anc;
+      }
+    }
+  }
+  return best;
+}
+
+double Taxonomy::WuPalmerSimilarity(TypeId a, TypeId b) const {
+  const TypeId lca = Lca(a, b);
+  const int da = Depth(a);
+  const int db = Depth(b);
+  const int dl = Depth(lca);
+  if (da + db == 0) return 1.0;
+  return 2.0 * dl / (da + db);
+}
+
+}  // namespace kg::graph

@@ -1,0 +1,74 @@
+#ifndef KGRAPH_GRAPH_TAXONOMY_H_
+#define KGRAPH_GRAPH_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kg::graph {
+
+/// Handle for a taxonomy type.
+using TypeId = uint32_t;
+
+/// A rooted is-a hierarchy (DAG: a type may have several parents, as with
+/// "fashion swimwear" under both "swimwear" and "fashion"). Entity-based
+/// KGs use it as the ontology's class hierarchy; text-rich KGs use deep
+/// instances of it as the product taxonomy (Figure 1b top).
+class Taxonomy {
+ public:
+  /// Creates a taxonomy containing only the root type.
+  explicit Taxonomy(std::string root_name = "Thing");
+
+  TypeId root() const { return 0; }
+
+  /// Adds (or returns existing) `name` as a child of `parent`.
+  TypeId AddType(std::string_view name, TypeId parent);
+
+  /// Adds an extra parent edge; rejects edges that would create a cycle.
+  Status AddParent(TypeId type, TypeId parent);
+
+  Result<TypeId> Find(std::string_view name) const;
+  const std::string& Name(TypeId id) const;
+  size_t size() const { return names_.size(); }
+
+  const std::vector<TypeId>& Parents(TypeId id) const;
+  const std::vector<TypeId>& Children(TypeId id) const;
+
+  /// True when `ancestor` is reachable from `type` by parent edges
+  /// (reflexive: IsAncestor(t, t) is true).
+  bool IsAncestor(TypeId type, TypeId ancestor) const;
+
+  /// All ancestors including `type` itself, deduplicated, root last not
+  /// guaranteed — BFS order from `type`.
+  std::vector<TypeId> Ancestors(TypeId type) const;
+
+  /// All descendants including `type` itself, BFS order.
+  std::vector<TypeId> Descendants(TypeId type) const;
+
+  /// Types with no children.
+  std::vector<TypeId> Leaves() const;
+
+  /// Length of the shortest parent-path to the root (root = 0).
+  int Depth(TypeId type) const;
+
+  /// Lowest common ancestor by shortest depth; root when disjoint.
+  TypeId Lca(TypeId a, TypeId b) const;
+
+  /// Wu-Palmer similarity in [0, 1]: 2*depth(lca) / (depth(a)+depth(b)).
+  /// Used by type-aware extraction to measure how related two types are.
+  double WuPalmerSimilarity(TypeId a, TypeId b) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TypeId> index_;
+  std::vector<std::vector<TypeId>> parents_;
+  std::vector<std::vector<TypeId>> children_;
+};
+
+}  // namespace kg::graph
+
+#endif  // KGRAPH_GRAPH_TAXONOMY_H_

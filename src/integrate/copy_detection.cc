@@ -1,0 +1,134 @@
+#include "integrate/copy_detection.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace kg::integrate {
+
+namespace {
+
+// source -> fraction of its claims agreeing with the naive consensus;
+// used to orient copier -> original.
+std::map<std::string, double> ConsensusAgreement(const ClaimSet& claims) {
+  const auto vote = MajorityVote(claims);
+  std::map<std::string, std::pair<double, double>> agree;
+  for (const auto& [item, item_claims] : claims) {
+    const std::string& winner = vote.at(item).value;
+    for (const Claim& c : item_claims) {
+      auto& [hits, n] = agree[c.source];
+      n += 1.0;
+      if (c.value == winner) hits += 1.0;
+    }
+  }
+  std::map<std::string, double> out;
+  for (const auto& [source, pn] : agree) {
+    out[source] = pn.second == 0.0 ? 0.0 : pn.first / pn.second;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CopyEvidence> DetectCopying(
+    const ClaimSet& claims, const CopyDetectionOptions& options) {
+  // Per item: value -> asserting sources, and source -> value.
+  struct ItemView {
+    std::map<std::string, std::vector<std::string>> value_sources;
+    std::map<std::string, std::string> source_value;
+  };
+  std::map<std::string, ItemView> items;
+  std::set<std::string> sources;
+  for (const auto& [item, item_claims] : claims) {
+    ItemView& view = items[item];
+    for (const Claim& c : item_claims) {
+      view.value_sources[c.value].push_back(c.source);
+      view.source_value[c.source] = c.value;
+      sources.insert(c.source);
+    }
+  }
+
+  // Pairwise: count exclusive agreements (value asserted by exactly the
+  // two of them while others dissent) vs. opportunities.
+  std::map<std::pair<std::string, std::string>,
+           std::pair<size_t, size_t>>  // (exclusive shared, opportunities)
+      pair_stats;
+  for (const auto& [item, view] : items) {
+    if (view.source_value.size() < 3) continue;  // Need dissenters.
+    for (auto a = view.source_value.begin(); a != view.source_value.end();
+         ++a) {
+      for (auto b = std::next(a); b != view.source_value.end(); ++b) {
+        auto& [shared, opportunities] =
+            pair_stats[{a->first, b->first}];
+        ++opportunities;
+        if (a->second != b->second) continue;
+        // Exclusive: nobody else asserts this value.
+        if (view.value_sources.at(a->second).size() == 2) ++shared;
+      }
+    }
+  }
+
+  const auto consensus = ConsensusAgreement(claims);
+  const double chance = 1.0 / std::max(2.0, options.n_false_values);
+  std::vector<CopyEvidence> evidence;
+  for (const auto& [pair, stats] : pair_stats) {
+    const auto& [shared, opportunities] = stats;
+    if (opportunities < options.min_overlap) continue;
+    const double rate =
+        static_cast<double>(shared) / static_cast<double>(opportunities);
+    const double score =
+        std::max(0.0, (rate - chance) / (1.0 - chance));
+    if (score < options.score_threshold) continue;
+    CopyEvidence e;
+    // The less consensus-consistent source is flagged as the copier.
+    const bool first_worse =
+        consensus.at(pair.first) <= consensus.at(pair.second);
+    e.copier = first_worse ? pair.first : pair.second;
+    e.original = first_worse ? pair.second : pair.first;
+    e.score = score;
+    e.shared_errors = shared;
+    e.overlap = opportunities;
+    evidence.push_back(std::move(e));
+  }
+  std::sort(evidence.begin(), evidence.end(),
+            [](const CopyEvidence& a, const CopyEvidence& b) {
+              return a.score > b.score;
+            });
+  return evidence;
+}
+
+AccuFusion::Result CopyAwareFusion(
+    const ClaimSet& claims, const CopyDetectionOptions& copy_options,
+    const AccuFusion::Options& accu_options) {
+  const auto evidence = DetectCopying(claims, copy_options);
+  // copier -> originals it copies from.
+  std::map<std::string, std::set<std::string>> copies_from;
+  for (const CopyEvidence& e : evidence) {
+    copies_from[e.copier].insert(e.original);
+  }
+  // Remove a copier's claim when it duplicates any of its originals'
+  // claims on the same item: dependent evidence must not count twice.
+  ClaimSet filtered;
+  for (const auto& [item, item_claims] : claims) {
+    std::map<std::string, std::string> by_source;
+    for (const Claim& c : item_claims) by_source[c.source] = c.value;
+    for (const Claim& c : item_claims) {
+      bool copied = false;
+      auto it = copies_from.find(c.source);
+      if (it != copies_from.end()) {
+        for (const std::string& original : it->second) {
+          auto ov = by_source.find(original);
+          if (ov != by_source.end() && ov->second == c.value) {
+            copied = true;
+            break;
+          }
+        }
+      }
+      if (!copied) filtered[item].push_back(c);
+    }
+  }
+  return AccuFusion::Run(filtered, accu_options);
+}
+
+}  // namespace kg::integrate

@@ -1,0 +1,54 @@
+#ifndef KGRAPH_INTEGRATE_COPY_DETECTION_H_
+#define KGRAPH_INTEGRATE_COPY_DETECTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "integrate/fusion.h"
+
+namespace kg::integrate {
+
+/// A detected directional dependence: `copier` appears to copy from
+/// `original` with the given score.
+struct CopyEvidence {
+  std::string copier;
+  std::string original;
+  double score = 0.0;            ///< Dependence strength in [0, 1].
+  size_t shared_errors = 0;      ///< Co-asserted non-majority values.
+  size_t overlap = 0;            ///< Items both sources cover.
+};
+
+/// Copy detection (Dong, Berti-Équille, Srivastava lineage; the paper
+/// cites "Scaling up copy detection" in §2.2's fusion discussion). The
+/// tell is SHARED FALSE VALUES: independent sources make independent
+/// errors, so two sources agreeing on the same minority value far more
+/// often than chance are dependent. The source with lower overall
+/// apparent accuracy is flagged as the copier.
+struct CopyDetectionOptions {
+  /// Minimum items two sources must both cover to be testable.
+  size_t min_overlap = 10;
+  /// Dependence score above which a pair is reported.
+  double score_threshold = 0.3;
+  /// Assumed number of distinct false values per item (chance level of
+  /// an accidental shared error is ~1/n).
+  double n_false_values = 10.0;
+};
+
+/// Analyzes a claim set and returns detected copier pairs, strongest
+/// first.
+std::vector<CopyEvidence> DetectCopying(
+    const ClaimSet& claims, const CopyDetectionOptions& options);
+
+/// Fusion that discounts copiers: runs copy detection, down-weights each
+/// detected copier's claims by (1 - score) when they agree with the
+/// claimed original, then runs ACCU. Fixes the colluding-sources failure
+/// mode that plain vote/ACCU cannot (they count dependent assertions as
+/// independent evidence).
+AccuFusion::Result CopyAwareFusion(const ClaimSet& claims,
+                                   const CopyDetectionOptions& copy_options,
+                                   const AccuFusion::Options& accu_options);
+
+}  // namespace kg::integrate
+
+#endif  // KGRAPH_INTEGRATE_COPY_DETECTION_H_

@@ -1,0 +1,108 @@
+#include "integrate/dedup.h"
+
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace kg::integrate {
+
+namespace {
+
+/// Minimal union-find with path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+DedupResult DedupRecords(const RecordSet& records,
+                         const EntityLinker& linker,
+                         const LinkageSchema& schema, double threshold) {
+  DedupResult result;
+  const size_t n = records.records.size();
+  UnionFind uf(n);
+  // Self-join: block the set against itself, skip trivial i == j and
+  // symmetric duplicates.
+  for (const auto& [i, j] : BlockCandidates(records, records, schema)) {
+    if (i >= j) continue;
+    ++result.pairs_scored;
+    const double score =
+        linker.ScorePair(records.records[i], records.records[j], schema);
+    if (score >= threshold) {
+      if (uf.Union(i, j)) ++result.pairs_merged;
+    }
+  }
+  // Densify cluster ids.
+  result.cluster_of.resize(n);
+  std::map<size_t, size_t> dense;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t root = uf.Find(i);
+    auto [it, inserted] = dense.emplace(root, dense.size());
+    result.cluster_of[i] = it->second;
+  }
+  result.num_clusters = dense.size();
+  return result;
+}
+
+RecordSet MergeClusters(const RecordSet& records,
+                        const DedupResult& dedup) {
+  KG_CHECK(dedup.cluster_of.size() == records.records.size());
+  // cluster -> attribute -> value -> count.
+  std::vector<std::map<std::string, std::map<std::string, size_t>>>
+      votes(dedup.num_clusters);
+  std::vector<std::string> local_ids(dedup.num_clusters);
+  for (size_t i = 0; i < records.records.size(); ++i) {
+    const size_t c = dedup.cluster_of[i];
+    if (local_ids[c].empty()) {
+      local_ids[c] = records.records[i].local_id;
+    }
+    for (const auto& [attr, value] : records.records[i].attrs) {
+      ++votes[c][attr][value];
+    }
+  }
+  RecordSet merged;
+  merged.source_name = records.source_name;
+  merged.records.resize(dedup.num_clusters);
+  for (size_t c = 0; c < dedup.num_clusters; ++c) {
+    Record& rec = merged.records[c];
+    rec.source = records.source_name;
+    rec.local_id = local_ids[c];
+    for (const auto& [attr, value_votes] : votes[c]) {
+      std::string best;
+      size_t best_count = 0;
+      for (const auto& [value, count] : value_votes) {
+        if (count > best_count) {
+          best_count = count;
+          best = value;
+        }
+      }
+      rec.attrs[attr] = best;
+    }
+  }
+  return merged;
+}
+
+}  // namespace kg::integrate

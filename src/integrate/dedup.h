@@ -1,0 +1,36 @@
+#ifndef KGRAPH_INTEGRATE_DEDUP_H_
+#define KGRAPH_INTEGRATE_DEDUP_H_
+
+#include <vector>
+
+#include "integrate/linkage.h"
+
+namespace kg::integrate {
+
+/// Within-source entity resolution: one source often lists the same
+/// real-world entity under several local ids (the paper's entity
+/// heterogeneity is not only cross-source). Dedup runs the trained
+/// linker over a single record set's blocked pairs and merges matches
+/// by transitive closure (union-find), so A~B and B~C put A, B, C in
+/// one cluster even when A~C scores below threshold.
+struct DedupResult {
+  /// cluster id per record (dense, 0-based).
+  std::vector<size_t> cluster_of;
+  size_t num_clusters = 0;
+  size_t pairs_scored = 0;
+  size_t pairs_merged = 0;
+};
+
+DedupResult DedupRecords(const RecordSet& records,
+                         const EntityLinker& linker,
+                         const LinkageSchema& schema,
+                         double threshold = 0.5);
+
+/// Merges each cluster into one canonical record: per attribute, the
+/// most frequent value among members (ties: lexicographically first).
+RecordSet MergeClusters(const RecordSet& records,
+                        const DedupResult& dedup);
+
+}  // namespace kg::integrate
+
+#endif  // KGRAPH_INTEGRATE_DEDUP_H_

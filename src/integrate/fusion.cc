@@ -1,0 +1,97 @@
+#include "integrate/fusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kg::integrate {
+
+std::map<std::string, FusedValue> MajorityVote(const ClaimSet& claims) {
+  std::map<std::string, FusedValue> fused;
+  for (const auto& [item, item_claims] : claims) {
+    std::map<std::string, size_t> votes;
+    for (const Claim& c : item_claims) ++votes[c.value];
+    std::string best;
+    size_t best_votes = 0;
+    for (const auto& [value, count] : votes) {
+      if (count > best_votes) {
+        best_votes = count;
+        best = value;
+      }
+    }
+    fused[item] = FusedValue{
+        best, item_claims.empty()
+                  ? 0.0
+                  : static_cast<double>(best_votes) / item_claims.size()};
+  }
+  return fused;
+}
+
+AccuFusion::Result AccuFusion::Run(const ClaimSet& claims,
+                                   const Options& options) {
+  Result result;
+  // Initialize source accuracies.
+  for (const auto& [item, item_claims] : claims) {
+    for (const Claim& c : item_claims) {
+      result.source_accuracy.emplace(c.source, options.initial_accuracy);
+    }
+  }
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // E-step: per item, score each value by sum over sources of
+    // log( a_s * n / (1 - a_s) ) for a vote, where n = n_false_values
+    // (the ACCU vote-count formulation). Keep the full softmax — the
+    // M-step uses expected agreement (soft EM), which avoids the
+    // systematic bias a hard tie-break would inject on 1-vote-each items.
+    std::map<std::string, FusedValue> fused;
+    std::map<std::string, std::map<std::string, double>> value_proba;
+    for (const auto& [item, item_claims] : claims) {
+      std::map<std::string, double> score;
+      for (const Claim& c : item_claims) {
+        const double a = std::clamp(result.source_accuracy[c.source],
+                                    0.01, 0.99);
+        score[c.value] +=
+            std::log(options.n_false_values * a / (1.0 - a));
+      }
+      std::string best;
+      double best_score = -1e300;
+      double z = 0.0;
+      for (const auto& [value, s] : score) z += std::exp(s);
+      for (const auto& [value, s] : score) {
+        value_proba[item][value] = z > 0.0 ? std::exp(s) / z : 0.0;
+        if (s > best_score) {
+          best_score = s;
+          best = value;
+        }
+      }
+      fused[item] =
+          FusedValue{best, z > 0.0 ? std::exp(best_score) / z : 0.0};
+    }
+
+    // M-step: source accuracy = expected agreement with the truth under
+    // the current posterior.
+    std::map<std::string, std::pair<double, double>> agree;  // (hits, n)
+    for (const auto& [item, item_claims] : claims) {
+      for (const Claim& c : item_claims) {
+        auto& [hits, n] = agree[c.source];
+        n += 1.0;
+        hits += value_proba[item][c.value];
+      }
+    }
+    double max_delta = 0.0;
+    for (auto& [source, accuracy] : result.source_accuracy) {
+      const auto& [hits, n] = agree[source];
+      // Smoothed accuracy estimate.
+      const double updated = (hits + 1.0) / (n + 2.0);
+      max_delta = std::max(max_delta, std::abs(updated - accuracy));
+      accuracy = updated;
+    }
+    result.fused = std::move(fused);
+    if (max_delta < options.convergence_epsilon) break;
+  }
+  return result;
+}
+
+}  // namespace kg::integrate

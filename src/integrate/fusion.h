@@ -1,0 +1,57 @@
+#ifndef KGRAPH_INTEGRATE_FUSION_H_
+#define KGRAPH_INTEGRATE_FUSION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kg::integrate {
+
+/// One source's assertion about a data item ((entity, attribute) pair).
+struct Claim {
+  std::string source;
+  std::string value;
+};
+
+/// Claims grouped by data item id.
+using ClaimSet = std::map<std::string, std::vector<Claim>>;
+
+/// Fused decision for one item.
+struct FusedValue {
+  std::string value;
+  double confidence = 0.0;
+};
+
+/// Baseline data fusion: per item, the most-asserted value (ties broken
+/// lexicographically for determinism). Confidence = vote share.
+std::map<std::string, FusedValue> MajorityVote(const ClaimSet& claims);
+
+/// ACCU-style fusion (Dong & Naumann 2009 lineage, §2.2 "data fusion"):
+/// EM that alternates between (a) scoring values by accuracy-weighted
+/// votes and (b) re-estimating each source's accuracy from how often it
+/// agrees with the current winners. Beats voting whenever source quality
+/// varies.
+class AccuFusion {
+ public:
+  struct Options {
+    size_t max_iterations = 20;
+    double initial_accuracy = 0.8;
+    double convergence_epsilon = 1e-4;
+    /// Number of plausible distinct values per item (controls the weight
+    /// of a vote against).
+    double n_false_values = 10.0;
+  };
+
+  struct Result {
+    std::map<std::string, FusedValue> fused;
+    std::map<std::string, double> source_accuracy;
+    size_t iterations = 0;
+  };
+
+  /// Runs EM to a fixed point.
+  static Result Run(const ClaimSet& claims, const Options& options);
+};
+
+}  // namespace kg::integrate
+
+#endif  // KGRAPH_INTEGRATE_FUSION_H_

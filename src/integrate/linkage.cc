@@ -1,0 +1,149 @@
+#include "integrate/linkage.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace kg::integrate {
+
+std::vector<std::string> LinkageFeatureNames(const LinkageSchema& schema) {
+  std::vector<std::string> names;
+  for (const auto& attr : schema.name_attrs) {
+    names.push_back(attr + ".jw");
+    names.push_back(attr + ".jaccard");
+    names.push_back(attr + ".monge_elkan");
+    names.push_back(attr + ".missing");
+  }
+  for (const auto& attr : schema.numeric_attrs) {
+    names.push_back(attr + ".num_sim");
+    names.push_back(attr + ".missing");
+  }
+  for (const auto& attr : schema.categorical_attrs) {
+    names.push_back(attr + ".equal");
+    names.push_back(attr + ".missing");
+  }
+  return names;
+}
+
+ml::FeatureVector PairFeatures(const Record& a, const Record& b,
+                               const LinkageSchema& schema) {
+  ml::FeatureVector f;
+  for (const auto& attr : schema.name_attrs) {
+    const std::string& va = a.Get(attr);
+    const std::string& vb = b.Get(attr);
+    if (va.empty() || vb.empty()) {
+      f.insert(f.end(), {0.0, 0.0, 0.0, 1.0});
+      continue;
+    }
+    const std::string na = text::NormalizeForMatch(va);
+    const std::string nb = text::NormalizeForMatch(vb);
+    const auto ta = text::Tokenize(na);
+    const auto tb = text::Tokenize(nb);
+    f.push_back(text::JaroWinklerSimilarity(na, nb));
+    f.push_back(text::JaccardSimilarity(ta, tb));
+    f.push_back(std::max(text::MongeElkanSimilarity(ta, tb),
+                         text::MongeElkanSimilarity(tb, ta)));
+    f.push_back(0.0);
+  }
+  for (const auto& attr : schema.numeric_attrs) {
+    const std::string& va = a.Get(attr);
+    const std::string& vb = b.Get(attr);
+    if (va.empty() || vb.empty()) {
+      f.insert(f.end(), {0.0, 1.0});
+      continue;
+    }
+    f.push_back(text::NumericSimilarity(std::atof(va.c_str()),
+                                        std::atof(vb.c_str()), 2.0));
+    f.push_back(0.0);
+  }
+  for (const auto& attr : schema.categorical_attrs) {
+    const std::string& va = a.Get(attr);
+    const std::string& vb = b.Get(attr);
+    if (va.empty() || vb.empty()) {
+      f.insert(f.end(), {0.0, 1.0});
+      continue;
+    }
+    f.push_back(text::NormalizeForMatch(va) == text::NormalizeForMatch(vb)
+                    ? 1.0
+                    : 0.0);
+    f.push_back(0.0);
+  }
+  return f;
+}
+
+std::vector<std::pair<size_t, size_t>> BlockCandidates(
+    const RecordSet& a, const RecordSet& b, const LinkageSchema& schema) {
+  const std::vector<std::string>& blocking =
+      schema.blocking_attrs.empty() ? schema.name_attrs
+                                    : schema.blocking_attrs;
+  // Key = any token of any blocking attribute.
+  std::unordered_map<std::string, std::vector<size_t>> index_b;
+  for (size_t j = 0; j < b.records.size(); ++j) {
+    for (const auto& attr : blocking) {
+      for (const auto& token :
+           text::Tokenize(b.records[j].Get(attr))) {
+        index_b[token].push_back(j);
+      }
+    }
+  }
+  // Stop-token pruning: tokens appearing in a large fraction of records
+  // ("the", "of") would make blocking quadratic while adding no
+  // discriminative signal.
+  const size_t frequency_cap =
+      std::max<size_t>(20, b.records.size() / 20);
+  std::set<std::pair<size_t, size_t>> seen;
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    for (const auto& attr : blocking) {
+      for (const auto& token :
+           text::Tokenize(a.records[i].Get(attr))) {
+        auto it = index_b.find(token);
+        if (it == index_b.end()) continue;
+        if (it->second.size() > frequency_cap) continue;
+        for (size_t j : it->second) {
+          if (seen.insert({i, j}).second) pairs.emplace_back(i, j);
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+void EntityLinker::Fit(const ml::Dataset& pairs,
+                       const ml::ForestOptions& options, Rng& rng) {
+  forest_.Fit(pairs, options, rng);
+}
+
+double EntityLinker::ScorePair(const Record& a, const Record& b,
+                               const LinkageSchema& schema) const {
+  return forest_.PredictPositiveProba(PairFeatures(a, b, schema));
+}
+
+std::vector<Match> EntityLinker::Link(const RecordSet& a,
+                                      const RecordSet& b,
+                                      const LinkageSchema& schema,
+                                      double threshold) const {
+  std::vector<Match> scored;
+  for (const auto& [i, j] : BlockCandidates(a, b, schema)) {
+    const double score = ScorePair(a.records[i], b.records[j], schema);
+    if (score >= threshold) scored.push_back({i, j, score});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Match& x, const Match& y) { return x.score > y.score; });
+  std::set<size_t> used_a, used_b;
+  std::vector<Match> result;
+  for (const Match& m : scored) {
+    if (used_a.count(m.index_a) || used_b.count(m.index_b)) continue;
+    used_a.insert(m.index_a);
+    used_b.insert(m.index_b);
+    result.push_back(m);
+  }
+  return result;
+}
+
+}  // namespace kg::integrate

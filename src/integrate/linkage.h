@@ -1,0 +1,80 @@
+#ifndef KGRAPH_INTEGRATE_LINKAGE_H_
+#define KGRAPH_INTEGRATE_LINKAGE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "integrate/record.h"
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
+
+namespace kg::integrate {
+
+/// Which canonical attributes exist and how each should be compared when
+/// building pairwise similarity features.
+struct LinkageSchema {
+  /// Name-like attributes: Jaro-Winkler + token Jaccard + Monge-Elkan.
+  std::vector<std::string> name_attrs;
+  /// Numeric attributes (years): exp-scaled distance.
+  std::vector<std::string> numeric_attrs;
+  /// Categorical attributes: exact-match indicator.
+  std::vector<std::string> categorical_attrs;
+  /// Attributes whose tokens form blocking keys; defaults to
+  /// `name_attrs` when empty. Narrowing this keeps high-recall but
+  /// non-identifying comparison attributes (a person's filmography) from
+  /// exploding the candidate space.
+  std::vector<std::string> blocking_attrs;
+};
+
+/// Names of the features PairFeatures produces, in order.
+std::vector<std::string> LinkageFeatureNames(const LinkageSchema& schema);
+
+/// The attribute-wise value-similarity feature vector of a record pair —
+/// exactly the feature family the paper reports works with random forests
+/// (§2.2).
+ml::FeatureVector PairFeatures(const Record& a, const Record& b,
+                               const LinkageSchema& schema);
+
+/// Candidate generation: all cross-source pairs sharing a blocking key
+/// (any name-attribute token, lowercased). Without blocking the pair
+/// space is |A|x|B|; with it, linkage scales to millions of records.
+std::vector<std::pair<size_t, size_t>> BlockCandidates(
+    const RecordSet& a, const RecordSet& b, const LinkageSchema& schema);
+
+/// A scored match between record indices of two record sets.
+struct Match {
+  size_t index_a = 0;
+  size_t index_b = 0;
+  double score = 0.0;
+};
+
+/// Random-forest entity linker (§2.2, Figure 2).
+class EntityLinker {
+ public:
+  EntityLinker() = default;
+
+  /// Trains the forest on a labeled pair dataset (label 1 = same entity).
+  void Fit(const ml::Dataset& pairs, const ml::ForestOptions& options,
+           Rng& rng);
+
+  /// P(same entity) for one candidate pair.
+  double ScorePair(const Record& a, const Record& b,
+                   const LinkageSchema& schema) const;
+
+  /// Links two record sets: blocks, scores, thresholds, then enforces a
+  /// 1-1 constraint greedily by descending score.
+  std::vector<Match> Link(const RecordSet& a, const RecordSet& b,
+                          const LinkageSchema& schema,
+                          double threshold = 0.5) const;
+
+  const ml::RandomForest& forest() const { return forest_; }
+
+ private:
+  ml::RandomForest forest_;
+};
+
+}  // namespace kg::integrate
+
+#endif  // KGRAPH_INTEGRATE_LINKAGE_H_

@@ -1,0 +1,11 @@
+#include "integrate/record.h"
+
+namespace kg::integrate {
+
+const std::string& Record::Get(const std::string& attr) const {
+  static const std::string* empty = new std::string();
+  auto it = attrs.find(attr);
+  return it == attrs.end() ? *empty : it->second;
+}
+
+}  // namespace kg::integrate

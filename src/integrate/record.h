@@ -1,0 +1,30 @@
+#ifndef KGRAPH_INTEGRATE_RECORD_H_
+#define KGRAPH_INTEGRATE_RECORD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kg::integrate {
+
+/// A source record in canonical attribute space — the unit knowledge
+/// integration works on after schema alignment. `source` + `local_id`
+/// identify the record; attrs map canonical attribute -> value.
+struct Record {
+  std::string source;
+  std::string local_id;
+  std::map<std::string, std::string> attrs;
+
+  /// Value of `attr`, or "" when absent.
+  const std::string& Get(const std::string& attr) const;
+};
+
+/// A collection of records from one source.
+struct RecordSet {
+  std::string source_name;
+  std::vector<Record> records;
+};
+
+}  // namespace kg::integrate
+
+#endif  // KGRAPH_INTEGRATE_RECORD_H_

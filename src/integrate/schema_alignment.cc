@@ -1,0 +1,137 @@
+#include "integrate/schema_alignment.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace kg::integrate {
+
+Record SchemaMapping::Apply(
+    const std::string& source_name, const std::string& local_id,
+    const std::map<std::string, std::string>& raw_fields) const {
+  Record rec;
+  rec.source = source_name;
+  rec.local_id = local_id;
+  for (const auto& [column, value] : raw_fields) {
+    auto it = source_to_canonical.find(column);
+    if (it == source_to_canonical.end()) continue;
+    rec.attrs[it->second] = value;
+  }
+  return rec;
+}
+
+namespace {
+
+// Instance-level signature of a column: the set of normalized values plus
+// a numeric-fraction summary.
+struct ColumnProfile {
+  std::set<std::string> values;
+  double numeric_fraction = 0.0;
+};
+
+ColumnProfile ProfileColumn(
+    const std::string& column,
+    const std::vector<std::map<std::string, std::string>>& sample) {
+  ColumnProfile profile;
+  size_t numeric = 0, present = 0;
+  for (const auto& row : sample) {
+    auto it = row.find(column);
+    if (it == row.end() || it->second.empty()) continue;
+    ++present;
+    profile.values.insert(text::NormalizeForMatch(it->second));
+    bool all_digits = !it->second.empty();
+    for (char c : it->second) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        all_digits = false;
+        break;
+      }
+    }
+    if (all_digits) ++numeric;
+  }
+  profile.numeric_fraction =
+      present == 0 ? 0.0
+                   : static_cast<double>(numeric) /
+                         static_cast<double>(present);
+  return profile;
+}
+
+double ValueOverlap(const ColumnProfile& a, const ColumnProfile& b) {
+  if (a.values.empty() || b.values.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const auto& v : a.values) {
+    if (b.values.count(v)) ++intersection;
+  }
+  return static_cast<double>(intersection) /
+         static_cast<double>(std::min(a.values.size(), b.values.size()));
+}
+
+}  // namespace
+
+SchemaMapping InferMapping(
+    const std::vector<std::string>& source_columns,
+    const std::vector<std::map<std::string, std::string>>& source_sample,
+    const std::vector<std::string>& canonical_columns,
+    const std::vector<std::map<std::string, std::string>>&
+        canonical_sample) {
+  std::vector<ColumnProfile> source_profiles, canonical_profiles;
+  source_profiles.reserve(source_columns.size());
+  for (const auto& c : source_columns) {
+    source_profiles.push_back(ProfileColumn(c, source_sample));
+  }
+  canonical_profiles.reserve(canonical_columns.size());
+  for (const auto& c : canonical_columns) {
+    canonical_profiles.push_back(ProfileColumn(c, canonical_sample));
+  }
+
+  // Score every pair, then greedy 1-1 assignment best-first.
+  struct Cell {
+    double score;
+    size_t s, c;
+  };
+  std::vector<Cell> cells;
+  for (size_t s = 0; s < source_columns.size(); ++s) {
+    for (size_t c = 0; c < canonical_columns.size(); ++c) {
+      const double name_sim = text::JaroWinklerSimilarity(
+          text::NormalizeForMatch(source_columns[s]),
+          text::NormalizeForMatch(canonical_columns[c]));
+      const double overlap =
+          ValueOverlap(source_profiles[s], canonical_profiles[c]);
+      const double type_match =
+          1.0 - std::abs(source_profiles[s].numeric_fraction -
+                         canonical_profiles[c].numeric_fraction);
+      cells.push_back(
+          {0.35 * name_sim + 0.5 * overlap + 0.15 * type_match, s, c});
+    }
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.score > b.score; });
+  SchemaMapping mapping;
+  std::set<size_t> used_source, used_canonical;
+  for (const Cell& cell : cells) {
+    if (cell.score < 0.3) break;  // Leave weak columns unmapped.
+    if (used_source.count(cell.s) || used_canonical.count(cell.c)) continue;
+    used_source.insert(cell.s);
+    used_canonical.insert(cell.c);
+    mapping.source_to_canonical[source_columns[cell.s]] =
+        canonical_columns[cell.c];
+  }
+  return mapping;
+}
+
+double MappingAccuracy(const SchemaMapping& inferred,
+                       const SchemaMapping& gold) {
+  if (gold.source_to_canonical.empty()) return 0.0;
+  size_t correct = 0;
+  for (const auto& [column, target] : gold.source_to_canonical) {
+    auto it = inferred.source_to_canonical.find(column);
+    if (it != inferred.source_to_canonical.end() && it->second == target) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(gold.source_to_canonical.size());
+}
+
+}  // namespace kg::integrate

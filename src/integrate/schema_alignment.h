@@ -1,0 +1,44 @@
+#ifndef KGRAPH_INTEGRATE_SCHEMA_ALIGNMENT_H_
+#define KGRAPH_INTEGRATE_SCHEMA_ALIGNMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "integrate/record.h"
+
+namespace kg::integrate {
+
+/// A source-column -> canonical-attribute mapping. In production this is
+/// "mostly done manually to ensure semantics correctness" (§2.2); the
+/// manual path is a literal map, the automatic path is InferMapping.
+struct SchemaMapping {
+  std::map<std::string, std::string> source_to_canonical;
+
+  /// Rewrites a raw record's keys into canonical attribute space,
+  /// dropping unmapped columns.
+  Record Apply(const std::string& source_name,
+               const std::string& local_id,
+               const std::map<std::string, std::string>& raw_fields) const;
+};
+
+/// Automatic schema matching (the "not-yet-successful in industry" §5
+/// technique — implemented here both as a baseline and because it works
+/// well enough on strongly-typed columns): scores column pairs by name
+/// similarity plus instance-value overlap against a reference sample,
+/// then greedily assigns best matches.
+SchemaMapping InferMapping(
+    const std::vector<std::string>& source_columns,
+    const std::vector<std::map<std::string, std::string>>& source_sample,
+    const std::vector<std::string>& canonical_columns,
+    const std::vector<std::map<std::string, std::string>>&
+        canonical_sample);
+
+/// Fraction of source columns mapped to the correct canonical column.
+double MappingAccuracy(const SchemaMapping& inferred,
+                       const SchemaMapping& gold);
+
+}  // namespace kg::integrate
+
+#endif  // KGRAPH_INTEGRATE_SCHEMA_ALIGNMENT_H_

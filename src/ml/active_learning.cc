@@ -1,0 +1,136 @@
+#include "ml/active_learning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+
+namespace kg::ml {
+
+std::vector<BudgetResult> RunActiveLearning(
+    const Dataset& pool, const Dataset& test,
+    const ActiveLearningOptions& options, Rng& rng) {
+  KG_CHECK(!options.label_budgets.empty());
+  for (size_t i = 1; i < options.label_budgets.size(); ++i) {
+    KG_CHECK(options.label_budgets[i] > options.label_budgets[i - 1])
+        << "budgets must be increasing";
+  }
+  KG_CHECK(options.label_budgets.back() <= pool.size())
+      << "budget exceeds pool size";
+
+  std::vector<bool> labeled(pool.size(), false);
+  std::vector<size_t> labeled_indices;
+  std::vector<size_t> unlabeled(pool.size());
+  std::iota(unlabeled.begin(), unlabeled.end(), 0);
+
+  auto acquire = [&](const std::vector<size_t>& picks) {
+    for (size_t pick : picks) {
+      KG_CHECK(!labeled[pick]);
+      labeled[pick] = true;
+      labeled_indices.push_back(pick);
+    }
+    unlabeled.erase(
+        std::remove_if(unlabeled.begin(), unlabeled.end(),
+                       [&](size_t i) { return labeled[i]; }),
+        unlabeled.end());
+  };
+
+  // Seed round: random regardless of strategy.
+  const size_t seed = std::min(
+      {options.seed_labels, options.label_budgets.front(), pool.size()});
+  {
+    std::vector<size_t> picks;
+    const auto sampled = rng.SampleIndices(unlabeled.size(), seed);
+    picks.reserve(seed);
+    for (size_t s : sampled) picks.push_back(unlabeled[s]);
+    acquire(picks);
+  }
+
+  RandomForest forest;
+  auto retrain = [&]() {
+    Dataset train;
+    train.feature_names = pool.feature_names;
+    train.examples.reserve(labeled_indices.size());
+    for (size_t i : labeled_indices) {
+      train.examples.push_back(pool.examples[i]);
+    }
+    // Degenerate one-class seed sets can happen at tiny budgets; inject a
+    // single flipped-label copy so the forest has two classes to separate.
+    bool has_pos = false, has_neg = false;
+    for (const auto& ex : train.examples) {
+      (ex.label == 1 ? has_pos : has_neg) = true;
+    }
+    if (!has_pos || !has_neg) {
+      Example ex = train.examples.front();
+      ex.label = 1 - ex.label;
+      train.examples.push_back(ex);
+    }
+    Rng train_rng = rng.Fork();
+    forest.Fit(train, options.forest, train_rng);
+  };
+
+  std::vector<BudgetResult> results;
+  for (size_t budget : options.label_budgets) {
+    // Acquire up to `budget` total labels.
+    while (labeled_indices.size() < budget && !unlabeled.empty()) {
+      const size_t want = budget - labeled_indices.size();
+      std::vector<size_t> picks;
+      if (options.strategy == AcquisitionStrategy::kRandom) {
+        const auto sampled = rng.SampleIndices(
+            unlabeled.size(), std::min(want, unlabeled.size()));
+        for (size_t s : sampled) picks.push_back(unlabeled[s]);
+      } else {
+        retrain();
+        // Exploration slice: uniform picks keep the labeled set
+        // representative.
+        const size_t explore = std::min(
+            unlabeled.size(),
+            static_cast<size_t>(options.exploration_fraction *
+                                static_cast<double>(want)));
+        std::set<size_t> picked;
+        for (size_t s : rng.SampleIndices(unlabeled.size(), explore)) {
+          picked.insert(unlabeled[s]);
+        }
+        // Exploitation slice: rank remaining unlabeled examples by
+        // |p - 0.5| ascending, take the most uncertain.
+        std::vector<std::pair<double, size_t>> ranked;
+        ranked.reserve(unlabeled.size());
+        for (size_t i : unlabeled) {
+          if (picked.count(i)) continue;
+          const double p =
+              forest.PredictPositiveProba(pool.examples[i].features);
+          ranked.emplace_back(std::abs(p - 0.5), i);
+        }
+        const size_t take =
+            std::min(want - picked.size(), ranked.size());
+        if (take > 0) {
+          std::nth_element(ranked.begin(), ranked.begin() + take - 1,
+                           ranked.end());
+          std::sort(ranked.begin(), ranked.begin() + take);
+          for (size_t k = 0; k < take; ++k) {
+            picked.insert(ranked[k].second);
+          }
+        }
+        picks.assign(picked.begin(), picked.end());
+      }
+      acquire(picks);
+    }
+
+    retrain();
+    Confusion confusion;
+    for (const Example& ex : test.examples) {
+      confusion.Add(ex.label, forest.Predict(ex.features));
+    }
+    BudgetResult r;
+    r.labels = labeled_indices.size();
+    r.precision = confusion.Precision();
+    r.recall = confusion.Recall();
+    r.f1 = confusion.F1();
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace kg::ml

@@ -1,0 +1,54 @@
+#ifndef KGRAPH_ML_ACTIVE_LEARNING_H_
+#define KGRAPH_ML_ACTIVE_LEARNING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+namespace kg::ml {
+
+/// How the next batch of labels is chosen from the unlabeled pool.
+enum class AcquisitionStrategy {
+  kRandom,       ///< Uniform sampling — the paper's "1.5M labels" regime.
+  kUncertainty,  ///< Label examples with model score closest to 0.5 —
+                 ///< the paper's "10K labels" regime (Figure 2).
+};
+
+/// Configuration for a pool-based active-learning simulation.
+struct ActiveLearningOptions {
+  /// Cumulative label budgets at which to retrain and evaluate; must be
+  /// increasing.
+  std::vector<size_t> label_budgets;
+  AcquisitionStrategy strategy = AcquisitionStrategy::kRandom;
+  ForestOptions forest;
+  /// Labels in the initial random seed round (uncertainty needs a model
+  /// to start from).
+  size_t seed_labels = 32;
+  /// Fraction of each uncertainty batch drawn uniformly instead — the
+  /// standard exploration mix that keeps the training distribution from
+  /// collapsing onto one ambiguous region.
+  double exploration_fraction = 0.2;
+};
+
+/// Quality at one label budget.
+struct BudgetResult {
+  size_t labels = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Simulates pool-based learning: the oracle reveals pool labels as they
+/// are acquired (counting toward the budget); after each budget checkpoint
+/// a fresh forest is trained on the acquired labels and evaluated on
+/// `test`. This is the engine behind the Figure 2 reproduction.
+std::vector<BudgetResult> RunActiveLearning(
+    const Dataset& pool, const Dataset& test,
+    const ActiveLearningOptions& options, Rng& rng);
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_ACTIVE_LEARNING_H_

@@ -1,0 +1,44 @@
+#include "ml/dataset.h"
+
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace kg::ml {
+
+void TrainTestSplit(const Dataset& dataset, double train_fraction, Rng& rng,
+                    Dataset* train, Dataset* test) {
+  KG_CHECK(train_fraction >= 0.0 && train_fraction <= 1.0);
+  std::vector<size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+  const size_t cut =
+      static_cast<size_t>(train_fraction * static_cast<double>(order.size()));
+  train->feature_names = dataset.feature_names;
+  test->feature_names = dataset.feature_names;
+  train->examples.clear();
+  test->examples.clear();
+  for (size_t i = 0; i < order.size(); ++i) {
+    (i < cut ? train : test)->examples.push_back(dataset.examples[order[i]]);
+  }
+}
+
+std::vector<std::vector<size_t>> StratifiedFolds(const Dataset& dataset,
+                                                 size_t k, Rng& rng) {
+  KG_CHECK(k >= 2);
+  std::map<int, std::vector<size_t>> by_label;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    by_label[dataset.examples[i].label].push_back(i);
+  }
+  std::vector<std::vector<size_t>> folds(k);
+  for (auto& [label, indices] : by_label) {
+    rng.Shuffle(&indices);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      folds[i % k].push_back(indices[i]);
+    }
+  }
+  return folds;
+}
+
+}  // namespace kg::ml

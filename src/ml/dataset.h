@@ -1,0 +1,43 @@
+#ifndef KGRAPH_ML_DATASET_H_
+#define KGRAPH_ML_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kg::ml {
+
+/// Dense feature vector. The classical models in kgraph (trees, LR) work
+/// on small dense vectors of similarity/aggregate features.
+using FeatureVector = std::vector<double>;
+
+/// One labeled example for binary or multiclass classification.
+struct Example {
+  FeatureVector features;
+  int label = 0;
+};
+
+/// A labeled dataset with named features.
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<Example> examples;
+
+  size_t size() const { return examples.size(); }
+  size_t num_features() const { return feature_names.size(); }
+};
+
+/// Deterministically splits `dataset` into train/test by shuffling with
+/// `rng` and cutting at `train_fraction`.
+void TrainTestSplit(const Dataset& dataset, double train_fraction, Rng& rng,
+                    Dataset* train, Dataset* test);
+
+/// Returns `k` stratified folds' index lists (approximately equal label
+/// distribution per fold).
+std::vector<std::vector<size_t>> StratifiedFolds(const Dataset& dataset,
+                                                 size_t k, Rng& rng);
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_DATASET_H_

@@ -1,0 +1,167 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace kg::ml {
+
+namespace {
+
+double Gini(const std::vector<size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (size_t c : counts) {
+    const double p = static_cast<double>(c) / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Dataset& dataset,
+                       const std::vector<size_t>& indices,
+                       const TreeOptions& options, Rng& rng) {
+  KG_CHECK(!indices.empty()) << "empty training set";
+  nodes_.clear();
+  importance_.assign(dataset.num_features(), 0.0);
+  num_classes_ = 2;
+  for (size_t i : indices) {
+    num_classes_ = std::max(num_classes_, dataset.examples[i].label + 1);
+  }
+  std::vector<size_t> work(indices);
+  Build(dataset, work, 0, work.size(), 0, options, rng);
+}
+
+void DecisionTree::Fit(const Dataset& dataset, const TreeOptions& options,
+                       Rng& rng) {
+  std::vector<size_t> all(dataset.size());
+  std::iota(all.begin(), all.end(), 0);
+  Fit(dataset, all, options, rng);
+}
+
+int32_t DecisionTree::Build(const Dataset& dataset,
+                            std::vector<size_t>& indices, size_t begin,
+                            size_t end, size_t depth,
+                            const TreeOptions& options, Rng& rng) {
+  const size_t n = end - begin;
+  std::vector<size_t> counts(num_classes_, 0);
+  for (size_t i = begin; i < end; ++i) {
+    ++counts[dataset.examples[indices[i]].label];
+  }
+  const double node_gini = Gini(counts, n);
+
+  auto make_leaf = [&]() -> int32_t {
+    Node leaf;
+    leaf.distribution.resize(num_classes_);
+    for (int c = 0; c < num_classes_; ++c) {
+      leaf.distribution[c] = static_cast<double>(counts[c]) / n;
+    }
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= options.max_depth || n < options.min_samples_split ||
+      node_gini == 0.0) {
+    return make_leaf();
+  }
+
+  // Choose the feature subset to consider.
+  const size_t d = dataset.num_features();
+  std::vector<size_t> feature_ids;
+  if (options.max_features == 0 || options.max_features >= d) {
+    feature_ids.resize(d);
+    std::iota(feature_ids.begin(), feature_ids.end(), 0);
+  } else {
+    feature_ids = rng.SampleIndices(d, options.max_features);
+  }
+
+  // Find the best (feature, threshold) by exact scan over sorted values.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_impurity = node_gini;
+  std::vector<size_t> sorted(indices.begin() + begin, indices.begin() + end);
+  for (size_t f : feature_ids) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return dataset.examples[a].features[f] <
+             dataset.examples[b].features[f];
+    });
+    std::vector<size_t> left_counts(num_classes_, 0);
+    std::vector<size_t> right_counts(counts);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const int label = dataset.examples[sorted[i]].label;
+      ++left_counts[label];
+      --right_counts[label];
+      const double v = dataset.examples[sorted[i]].features[f];
+      const double v_next = dataset.examples[sorted[i + 1]].features[f];
+      if (v == v_next) continue;
+      const size_t n_left = i + 1;
+      const size_t n_right = n - n_left;
+      if (n_left < options.min_samples_leaf ||
+          n_right < options.min_samples_leaf) {
+        continue;
+      }
+      const double impurity =
+          (n_left * Gini(left_counts, n_left) +
+           n_right * Gini(right_counts, n_right)) /
+          static_cast<double>(n);
+      if (impurity + 1e-12 < best_impurity) {
+        best_impurity = impurity;
+        best_feature = static_cast<int>(f);
+        best_threshold = (v + v_next) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition indices around the threshold.
+  auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](size_t i) {
+        return dataset.examples[i].features[best_feature] < best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();
+
+  importance_[best_feature] +=
+      static_cast<double>(n) * (node_gini - best_impurity);
+
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int32_t left =
+      Build(dataset, indices, begin, mid, depth + 1, options, rng);
+  const int32_t right =
+      Build(dataset, indices, mid, end, depth + 1, options, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+const DecisionTree::Node& DecisionTree::Walk(
+    const FeatureVector& features) const {
+  KG_CHECK(!nodes_.empty()) << "predict before fit";
+  int32_t cur = 0;
+  while (!nodes_[cur].IsLeaf()) {
+    const Node& node = nodes_[cur];
+    cur = features[node.feature] < node.threshold ? node.left : node.right;
+  }
+  return nodes_[cur];
+}
+
+int DecisionTree::Predict(const FeatureVector& features) const {
+  const auto& dist = Walk(features).distribution;
+  return static_cast<int>(std::max_element(dist.begin(), dist.end()) -
+                          dist.begin());
+}
+
+std::vector<double> DecisionTree::PredictProba(
+    const FeatureVector& features) const {
+  return Walk(features).distribution;
+}
+
+}  // namespace kg::ml

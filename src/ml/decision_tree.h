@@ -1,0 +1,75 @@
+#ifndef KGRAPH_ML_DECISION_TREE_H_
+#define KGRAPH_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace kg::ml {
+
+/// CART hyperparameters shared by DecisionTree and RandomForest.
+struct TreeOptions {
+  size_t max_depth = 16;
+  size_t min_samples_leaf = 1;
+  size_t min_samples_split = 2;
+  /// Features considered per split; 0 = all (single tree) — RandomForest
+  /// sets sqrt(d) by default.
+  size_t max_features = 0;
+};
+
+/// Binary-split CART classifier (Gini impurity, numeric thresholds).
+/// Supports binary and multiclass labels in [0, num_classes).
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Fits on `indices` into `dataset` (bootstrap support for forests).
+  /// `rng` drives feature subsampling when options.max_features > 0.
+  void Fit(const Dataset& dataset, const std::vector<size_t>& indices,
+           const TreeOptions& options, Rng& rng);
+
+  /// Fits on the full dataset.
+  void Fit(const Dataset& dataset, const TreeOptions& options, Rng& rng);
+
+  /// Most probable class.
+  int Predict(const FeatureVector& features) const;
+
+  /// Per-class probability estimate (leaf class frequencies).
+  std::vector<double> PredictProba(const FeatureVector& features) const;
+
+  /// Total Gini decrease attributed to each feature by this tree.
+  const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  struct Node {
+    // Internal nodes: split on feature < threshold -> left else right.
+    int feature = -1;
+    double threshold = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    // Leaves: class distribution (normalized).
+    std::vector<double> distribution;
+    bool IsLeaf() const { return feature < 0; }
+  };
+
+  int32_t Build(const Dataset& dataset, std::vector<size_t>& indices,
+                size_t begin, size_t end, size_t depth,
+                const TreeOptions& options, Rng& rng);
+
+  const Node& Walk(const FeatureVector& features) const;
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  int num_classes_ = 2;
+};
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_DECISION_TREE_H_

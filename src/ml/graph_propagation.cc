@@ -1,0 +1,68 @@
+#include "ml/graph_propagation.h"
+
+#include "common/logging.h"
+
+namespace kg::ml {
+
+std::vector<FeatureVector> PropagateFeatures(
+    const std::vector<FeatureVector>& node_features,
+    const Adjacency& adjacency, size_t layers) {
+  KG_CHECK(node_features.size() == adjacency.size());
+  std::vector<FeatureVector> current = node_features;
+  for (size_t layer = 0; layer < layers; ++layer) {
+    const size_t d = current.empty() ? 0 : current[0].size();
+    std::vector<FeatureVector> next(current.size());
+    for (size_t v = 0; v < current.size(); ++v) {
+      FeatureVector agg(d, 0.0);
+      if (!adjacency[v].empty()) {
+        for (uint32_t u : adjacency[v]) {
+          KG_CHECK(u < current.size());
+          for (size_t k = 0; k < d; ++k) agg[k] += current[u][k];
+        }
+        const double inv = 1.0 / static_cast<double>(adjacency[v].size());
+        for (double& x : agg) x *= inv;
+      }
+      next[v].reserve(2 * d);
+      next[v].insert(next[v].end(), current[v].begin(), current[v].end());
+      next[v].insert(next[v].end(), agg.begin(), agg.end());
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+void GnnNodeClassifier::Fit(
+    const std::vector<std::vector<FeatureVector>>& graph_features,
+    const std::vector<Adjacency>& graph_adjacency,
+    const std::vector<std::vector<int>>& labels, const Options& options,
+    Rng& rng) {
+  KG_CHECK(graph_features.size() == graph_adjacency.size());
+  KG_CHECK(graph_features.size() == labels.size());
+  layers_ = options.layers;
+  Dataset train;
+  for (size_t g = 0; g < graph_features.size(); ++g) {
+    const auto propagated =
+        PropagateFeatures(graph_features[g], graph_adjacency[g], layers_);
+    KG_CHECK(propagated.size() == labels[g].size());
+    for (size_t v = 0; v < propagated.size(); ++v) {
+      if (labels[g][v] < 0) continue;
+      train.examples.push_back(Example{propagated[v], labels[g][v]});
+    }
+  }
+  KG_CHECK(!train.examples.empty()) << "no labeled nodes";
+  train.feature_names.resize(train.examples[0].features.size());
+  lr_.Fit(train, options.lr, rng);
+}
+
+std::vector<double> GnnNodeClassifier::Predict(
+    const std::vector<FeatureVector>& features,
+    const Adjacency& adjacency) const {
+  const auto propagated = PropagateFeatures(features, adjacency, layers_);
+  std::vector<double> out(propagated.size());
+  for (size_t v = 0; v < propagated.size(); ++v) {
+    out[v] = lr_.PredictProba(propagated[v]);
+  }
+  return out;
+}
+
+}  // namespace kg::ml

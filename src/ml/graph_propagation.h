@@ -1,0 +1,58 @@
+#ifndef KGRAPH_ML_GRAPH_PROPAGATION_H_
+#define KGRAPH_ML_GRAPH_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/logistic_regression.h"
+
+namespace kg::ml {
+
+/// Adjacency list over node ids 0..n-1 (undirected use: include both
+/// directions).
+using Adjacency = std::vector<std::vector<uint32_t>>;
+
+/// Mean-aggregation message passing: each layer concatenates a node's
+/// current representation with the mean of its neighbors', so after k
+/// layers a node's vector summarizes its k-hop neighborhood. This is the
+/// convolution at the heart of GNN extractors like ZeroshotCeres (§2.3),
+/// without the learned nonlinearity (a linear classifier on top recovers
+/// most of the benefit at kgraph's scale).
+std::vector<FeatureVector> PropagateFeatures(
+    const std::vector<FeatureVector>& node_features,
+    const Adjacency& adjacency, size_t layers);
+
+/// Node classifier = PropagateFeatures + logistic regression. Trained on
+/// one set of graphs, applicable to unseen graphs with the same feature
+/// space — the property that makes zero-shot extraction possible.
+class GnnNodeClassifier {
+ public:
+  struct Options {
+    size_t layers = 2;
+    LogisticRegression::Options lr;
+  };
+
+  GnnNodeClassifier() = default;
+
+  /// Trains on labeled nodes of one or more graphs. Each element of
+  /// `graphs` pairs node features with adjacency; `labels` holds one
+  /// binary label per node (-1 = unlabeled, excluded from training).
+  void Fit(const std::vector<std::vector<FeatureVector>>& graph_features,
+           const std::vector<Adjacency>& graph_adjacency,
+           const std::vector<std::vector<int>>& labels,
+           const Options& options, Rng& rng);
+
+  /// Probability each node of a new graph is positive.
+  std::vector<double> Predict(const std::vector<FeatureVector>& features,
+                              const Adjacency& adjacency) const;
+
+ private:
+  LogisticRegression lr_;
+  size_t layers_ = 2;
+};
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_GRAPH_PROPAGATION_H_

@@ -1,0 +1,90 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace kg::ml {
+
+namespace {
+double SqDist(const FeatureVector& a, const FeatureVector& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+}  // namespace
+
+KMeansResult KMeans(const std::vector<FeatureVector>& points, size_t k,
+                    size_t max_iters, Rng& rng) {
+  KG_CHECK(!points.empty());
+  KG_CHECK(k > 0);
+  k = std::min(k, points.size());
+  const size_t d = points[0].size();
+
+  // k-means++ seeding.
+  KMeansResult result;
+  result.centroids.push_back(points[rng.UniformIndex(points.size())]);
+  std::vector<double> min_dist(points.size(),
+                               std::numeric_limits<double>::max());
+  while (result.centroids.size() < k) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      min_dist[i] = std::min(min_dist[i],
+                             SqDist(points[i], result.centroids.back()));
+    }
+    double total = 0.0;
+    for (double x : min_dist) total += x;
+    if (total <= 0.0) {
+      // All remaining points coincide with centroids; duplicate one.
+      result.centroids.push_back(points[rng.UniformIndex(points.size())]);
+      continue;
+    }
+    result.centroids.push_back(points[rng.Weighted(min_dist)]);
+  }
+
+  result.assignments.assign(points.size(), 0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        const double dist = SqDist(points[i], result.centroids[c]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<FeatureVector> sums(k, FeatureVector(d, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const int c = result.assignments[i];
+      ++counts[c];
+      for (size_t j = 0; j < d; ++j) sums[c][j] += points[i][j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t j = 0; j < d; ++j) {
+        result.centroids[c][j] = sums[c][j] / counts[c];
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    result.inertia +=
+        SqDist(points[i], result.centroids[result.assignments[i]]);
+  }
+  return result;
+}
+
+}  // namespace kg::ml

@@ -1,0 +1,26 @@
+#ifndef KGRAPH_ML_KMEANS_H_
+#define KGRAPH_ML_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace kg::ml {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<int> assignments;            ///< Cluster id per point.
+  std::vector<FeatureVector> centroids;    ///< k centroids.
+  double inertia = 0.0;                    ///< Sum of squared distances.
+};
+
+/// Lloyd's k-means with k-means++ seeding. AdaTag-style multi-attribute
+/// extraction clusters attribute embeddings with this to form its
+/// mixture-of-experts gate.
+KMeansResult KMeans(const std::vector<FeatureVector>& points, size_t k,
+                    size_t max_iters, Rng& rng);
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_KMEANS_H_

@@ -1,0 +1,61 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace kg::ml {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+void LogisticRegression::Fit(const Dataset& dataset, const Options& options,
+                             Rng& rng) {
+  KG_CHECK(dataset.size() > 0);
+  const size_t d = dataset.num_features();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<double> grad_sq(d + 1, 1e-8);  // AdaGrad accumulators.
+
+  std::vector<size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      const Example& ex = dataset.examples[i];
+      double z = bias_;
+      for (size_t f = 0; f < d; ++f) z += weights_[f] * ex.features[f];
+      const double error = Sigmoid(z) - (ex.label == 1 ? 1.0 : 0.0);
+      for (size_t f = 0; f < d; ++f) {
+        const double g = error * ex.features[f] + options.l2 * weights_[f];
+        grad_sq[f] += g * g;
+        weights_[f] -= options.learning_rate * g / std::sqrt(grad_sq[f]);
+      }
+      grad_sq[d] += error * error;
+      bias_ -= options.learning_rate * error / std::sqrt(grad_sq[d]);
+    }
+  }
+}
+
+double LogisticRegression::PredictProba(
+    const FeatureVector& features) const {
+  KG_CHECK(features.size() == weights_.size())
+      << "feature arity mismatch: " << features.size() << " vs "
+      << weights_.size();
+  double z = bias_;
+  for (size_t f = 0; f < weights_.size(); ++f) {
+    z += weights_[f] * features[f];
+  }
+  return Sigmoid(z);
+}
+
+}  // namespace kg::ml

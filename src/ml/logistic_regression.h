@@ -1,0 +1,45 @@
+#ifndef KGRAPH_ML_LOGISTIC_REGRESSION_H_
+#define KGRAPH_ML_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace kg::ml {
+
+/// L2-regularized binary logistic regression trained with mini-batch-free
+/// SGD + AdaGrad. Used as the calibrated scorer inside knowledge fusion,
+/// PRA, and the GNN-lite classifier.
+class LogisticRegression {
+ public:
+  struct Options {
+    size_t epochs = 50;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+  };
+
+  LogisticRegression() = default;
+
+  /// Fits on binary labels {0, 1}.
+  void Fit(const Dataset& dataset, const Options& options, Rng& rng);
+
+  /// P(label == 1 | features).
+  double PredictProba(const FeatureVector& features) const;
+
+  /// Hard decision at 0.5.
+  int Predict(const FeatureVector& features) const {
+    return PredictProba(features) >= 0.5 ? 1 : 0;
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,95 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace kg::ml {
+
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<double>& scores,
+                                          const std::vector<int>& gold) {
+  KG_CHECK(scores.size() == gold.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  const size_t total_pos =
+      static_cast<size_t>(std::count(gold.begin(), gold.end(), 1));
+  std::vector<PrPoint> curve;
+  size_t tp = 0, fp = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (gold[order[i]] == 1) ++tp;
+    else ++fp;
+    // Emit a point only at threshold boundaries (last of a tied block).
+    if (i + 1 < order.size() &&
+        scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    PrPoint pt;
+    pt.threshold = scores[order[i]];
+    pt.precision = tp + fp == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp);
+    pt.recall =
+        total_pos == 0 ? 0.0 : static_cast<double>(tp) / total_pos;
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& gold) {
+  const auto curve = PrecisionRecallCurve(scores, gold);
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (const PrPoint& pt : curve) {
+    ap += pt.precision * (pt.recall - prev_recall);
+    prev_recall = pt.recall;
+  }
+  return ap;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& gold) {
+  KG_CHECK(scores.size() == gold.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  // Mann-Whitney U with midranks for ties.
+  double rank_sum_pos = 0.0;
+  size_t n_pos = 0, n_neg = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i + 1) + j) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (gold[order[k]] == 1) {
+        rank_sum_pos += midrank;
+        ++n_pos;
+      } else {
+        ++n_neg;
+      }
+    }
+    i = j;
+  }
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(n_pos) * (n_pos + 1) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double AccuracyScore(const std::vector<int>& gold,
+                     const std::vector<int>& predicted) {
+  KG_CHECK(gold.size() == predicted.size());
+  if (gold.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    if (gold[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / gold.size();
+}
+
+}  // namespace kg::ml

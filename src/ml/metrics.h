@@ -1,0 +1,63 @@
+#ifndef KGRAPH_ML_METRICS_H_
+#define KGRAPH_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kg::ml {
+
+/// Binary confusion counts (positive class = 1).
+struct Confusion {
+  size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  void Add(int gold, int predicted) {
+    if (gold == 1 && predicted == 1) ++tp;
+    else if (gold == 0 && predicted == 1) ++fp;
+    else if (gold == 1 && predicted == 0) ++fn;
+    else ++tn;
+  }
+
+  double Precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double Accuracy() const {
+    const size_t n = tp + fp + tn + fn;
+    return n == 0 ? 0.0 : static_cast<double>(tp + tn) / n;
+  }
+};
+
+/// One operating point on a precision-recall curve.
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// Precision-recall curve from scores (higher = more positive) and binary
+/// gold labels, evaluated at each distinct score threshold.
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<double>& scores,
+                                          const std::vector<int>& gold);
+
+/// Area under the PR curve (average precision).
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& gold);
+
+/// Area under the ROC curve via the rank statistic.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& gold);
+
+/// Fraction of equal entries.
+double AccuracyScore(const std::vector<int>& gold,
+                     const std::vector<int>& predicted);
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_METRICS_H_

@@ -1,0 +1,66 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kg::ml {
+
+void MultinomialNaiveBayes::Fit(
+    const std::vector<std::vector<std::string>>& documents,
+    const std::vector<int>& labels, double alpha) {
+  KG_CHECK(documents.size() == labels.size());
+  KG_CHECK(!documents.empty());
+  alpha_ = alpha;
+  num_classes_ = 0;
+  for (int label : labels) {
+    KG_CHECK(label >= 0);
+    num_classes_ = std::max(num_classes_, label + 1);
+  }
+  token_counts_.clear();
+  class_token_totals_.assign(num_classes_, 0.0);
+  std::vector<double> class_doc_counts(num_classes_, 0.0);
+  for (size_t i = 0; i < documents.size(); ++i) {
+    const int c = labels[i];
+    class_doc_counts[c] += 1.0;
+    for (const auto& token : documents[i]) {
+      auto [it, inserted] = token_counts_.try_emplace(token);
+      if (inserted) it->second.assign(num_classes_, 0.0);
+      it->second[c] += 1.0;
+      class_token_totals_[c] += 1.0;
+    }
+  }
+  vocab_size_ = token_counts_.size();
+  log_prior_.resize(num_classes_);
+  const double n = static_cast<double>(documents.size());
+  for (int c = 0; c < num_classes_; ++c) {
+    log_prior_[c] = std::log((class_doc_counts[c] + 1.0) /
+                             (n + num_classes_));
+  }
+}
+
+std::vector<double> MultinomialNaiveBayes::Scores(
+    const std::vector<std::string>& tokens) const {
+  KG_CHECK(num_classes_ > 0) << "predict before fit";
+  std::vector<double> scores = log_prior_;
+  for (const auto& token : tokens) {
+    auto it = token_counts_.find(token);
+    for (int c = 0; c < num_classes_; ++c) {
+      const double count = it == token_counts_.end() ? 0.0 : it->second[c];
+      scores[c] += std::log(
+          (count + alpha_) /
+          (class_token_totals_[c] + alpha_ * (vocab_size_ + 1)));
+    }
+  }
+  return scores;
+}
+
+int MultinomialNaiveBayes::Predict(
+    const std::vector<std::string>& tokens) const {
+  const auto scores = Scores(tokens);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace kg::ml

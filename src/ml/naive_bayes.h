@@ -1,0 +1,43 @@
+#ifndef KGRAPH_ML_NAIVE_BAYES_H_
+#define KGRAPH_ML_NAIVE_BAYES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kg::ml {
+
+/// Multinomial naive Bayes over bag-of-token documents with Laplace
+/// smoothing. kgraph uses it for the auxiliary text-classification tasks
+/// (TXtract's product-type prediction, distant-supervision filtering)
+/// where a calibrated heavyweight model is unnecessary.
+class MultinomialNaiveBayes {
+ public:
+  MultinomialNaiveBayes() = default;
+
+  /// Trains on tokenized documents with integer class labels
+  /// in [0, num_classes).
+  void Fit(const std::vector<std::vector<std::string>>& documents,
+           const std::vector<int>& labels, double alpha = 1.0);
+
+  /// Most probable class for `tokens`.
+  int Predict(const std::vector<std::string>& tokens) const;
+
+  /// Log P(class | tokens) up to normalization, indexed by class.
+  std::vector<double> Scores(const std::vector<std::string>& tokens) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  int num_classes_ = 0;
+  double alpha_ = 1.0;
+  std::vector<double> log_prior_;
+  // token -> per-class counts.
+  std::unordered_map<std::string, std::vector<double>> token_counts_;
+  std::vector<double> class_token_totals_;
+  size_t vocab_size_ = 0;
+};
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_NAIVE_BAYES_H_

@@ -1,0 +1,96 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace kg::ml {
+
+void RandomForest::Fit(const Dataset& dataset, const ForestOptions& options,
+                       Rng& rng) {
+  KG_CHECK(dataset.size() > 0) << "empty training set";
+  num_features_ = dataset.num_features();
+  trees_.assign(options.num_trees, DecisionTree());
+
+  TreeOptions tree_options = options.tree;
+  if (tree_options.max_features == 0) {
+    tree_options.max_features = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::sqrt(static_cast<double>(dataset.num_features()))));
+  }
+
+  const size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(options.bootstrap_fraction * dataset.size()));
+
+  // Pre-derive one RNG per tree so results do not depend on scheduling.
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(options.num_trees);
+  for (size_t t = 0; t < options.num_trees; ++t) {
+    tree_rngs.push_back(rng.Fork());
+  }
+
+  auto train_tree = [&](size_t t) {
+    Rng& tree_rng = tree_rngs[t];
+    std::vector<size_t> bootstrap(sample_size);
+    for (size_t i = 0; i < sample_size; ++i) {
+      bootstrap[i] = tree_rng.UniformIndex(dataset.size());
+    }
+    trees_[t].Fit(dataset, bootstrap, tree_options, tree_rng);
+  };
+
+  if (options.num_threads > 1) {
+    ThreadPool pool(options.num_threads);
+    pool.ParallelFor(options.num_trees, train_tree);
+  } else {
+    for (size_t t = 0; t < options.num_trees; ++t) train_tree(t);
+  }
+
+  num_classes_ = 2;
+  for (const auto& tree : trees_) {
+    num_classes_ = std::max(num_classes_, tree.num_classes());
+  }
+}
+
+std::vector<double> RandomForest::PredictProba(
+    const FeatureVector& features) const {
+  KG_CHECK(!trees_.empty()) << "predict before fit";
+  std::vector<double> proba(num_classes_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto tree_proba = tree.PredictProba(features);
+    for (size_t c = 0; c < tree_proba.size(); ++c) {
+      proba[c] += tree_proba[c];
+    }
+  }
+  for (double& p : proba) p /= static_cast<double>(trees_.size());
+  return proba;
+}
+
+int RandomForest::Predict(const FeatureVector& features) const {
+  const auto proba = PredictProba(features);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
+double RandomForest::PredictPositiveProba(
+    const FeatureVector& features) const {
+  const auto proba = PredictProba(features);
+  return proba.size() > 1 ? proba[1] : 0.0;
+}
+
+std::vector<double> RandomForest::FeatureImportance() const {
+  std::vector<double> importance(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& ti = tree.feature_importance();
+    for (size_t f = 0; f < ti.size(); ++f) importance[f] += ti[f];
+  }
+  double total = 0.0;
+  for (double v : importance) total += v;
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+}  // namespace kg::ml

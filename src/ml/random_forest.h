@@ -1,0 +1,52 @@
+#ifndef KGRAPH_ML_RANDOM_FOREST_H_
+#define KGRAPH_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+
+namespace kg::ml {
+
+/// Random forest hyperparameters.
+struct ForestOptions {
+  size_t num_trees = 50;
+  TreeOptions tree;          ///< tree.max_features 0 = auto sqrt(d).
+  double bootstrap_fraction = 1.0;
+  size_t num_threads = 1;    ///< Trees train in parallel when > 1.
+};
+
+/// Bagged CART ensemble — the model the paper singles out as "proved to be
+/// effective" for production entity linkage (§2.2, Figure 2).
+class RandomForest {
+ public:
+  RandomForest() = default;
+
+  /// Trains `options.num_trees` trees on bootstrap resamples.
+  void Fit(const Dataset& dataset, const ForestOptions& options, Rng& rng);
+
+  /// Majority-vote class.
+  int Predict(const FeatureVector& features) const;
+
+  /// Mean of tree probability estimates; index = class.
+  std::vector<double> PredictProba(const FeatureVector& features) const;
+
+  /// P(class == 1); the linkage score used for PR curves and uncertainty
+  /// sampling.
+  double PredictPositiveProba(const FeatureVector& features) const;
+
+  /// Mean per-tree Gini importance, normalized to sum to 1.
+  std::vector<double> FeatureImportance() const;
+
+  size_t num_trees() const { return trees_.size(); }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 2;
+  size_t num_features_ = 0;
+};
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_RANDOM_FOREST_H_

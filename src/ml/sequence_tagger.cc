@@ -1,0 +1,247 @@
+#include "ml/sequence_tagger.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace kg::ml {
+
+namespace {
+
+std::string Shape(const std::string& token) {
+  std::string shape;
+  char last = '\0';
+  for (char c : token) {
+    char s;
+    if (std::isdigit(static_cast<unsigned char>(c))) s = 'd';
+    else if (std::isupper(static_cast<unsigned char>(c))) s = 'A';
+    else if (std::isalpha(static_cast<unsigned char>(c))) s = 'a';
+    else s = '-';
+    if (s != last) shape.push_back(s);
+    last = s;
+  }
+  return shape;
+}
+
+}  // namespace
+
+std::vector<std::string> SequenceTagger::Features(
+    const std::vector<std::string>& tokens,
+    const std::vector<std::string>& context, size_t i) const {
+  const std::string& w = tokens[i];
+  std::vector<std::string> feats;
+  feats.reserve(12 + context.size() * (cross_context_ ? 2 : 1));
+  feats.push_back("b");  // bias
+  feats.push_back("w=" + w);
+  feats.push_back("shape=" + Shape(w));
+  if (w.size() >= 3) {
+    feats.push_back("pre3=" + w.substr(0, 3));
+    feats.push_back("suf3=" + w.substr(w.size() - 3));
+  }
+  const std::string prev = i > 0 ? tokens[i - 1] : "<s>";
+  const std::string next = i + 1 < tokens.size() ? tokens[i + 1] : "</s>";
+  feats.push_back("w-1=" + prev);
+  feats.push_back("w+1=" + next);
+  feats.push_back("w-1|w=" + prev + "|" + w);
+  feats.push_back("w|w+1=" + w + "|" + next);
+  if (i == 0) feats.push_back("first");
+  if (i + 1 == tokens.size()) feats.push_back("last");
+  for (const std::string& c : context) {
+    // Lexicon entries ("lex=<token>") are positional gazetteer features:
+    // they fire a shared "inlex" feature when this position's token is
+    // listed, which generalizes to value words never seen in training.
+    if (c.size() > 4 && c.compare(0, 4, "lex=") == 0) {
+      if (c.compare(4, std::string::npos, w) == 0) {
+        feats.push_back("inlex");
+        feats.push_back("inlex|w-1=" + prev);
+      }
+      continue;
+    }
+    feats.push_back("ctx=" + c);
+    if (cross_context_) feats.push_back("ctx|w=" + c + "|" + w);
+  }
+  return feats;
+}
+
+int SequenceTagger::TagId(const std::string& tag) const {
+  auto it = tag_index_.find(tag);
+  KG_CHECK(it != tag_index_.end()) << "unknown tag " << tag;
+  return it->second;
+}
+
+double SequenceTagger::EmissionScore(
+    const std::vector<std::string>& features, int tag) const {
+  double score = 0.0;
+  for (const auto& f : features) {
+    auto it = emission_.find(f);
+    if (it != emission_.end()) score += it->second.w[tag];
+  }
+  return score;
+}
+
+void SequenceTagger::UpdateEmission(
+    const std::vector<std::string>& features, int tag, double delta,
+    size_t step) {
+  for (const auto& f : features) {
+    auto [it, inserted] = emission_.try_emplace(f);
+    WeightEntry& e = it->second;
+    if (inserted) {
+      e.w.assign(tags_.size(), 0.0);
+      e.acc.assign(tags_.size(), 0.0);
+      e.last_step.assign(tags_.size(), step);
+    }
+    e.acc[tag] +=
+        static_cast<double>(step - e.last_step[tag]) * e.w[tag];
+    e.last_step[tag] = step;
+    e.w[tag] += delta;
+  }
+}
+
+void SequenceTagger::UpdateTransition(int prev, int cur, double delta,
+                                      size_t step) {
+  const size_t idx = static_cast<size_t>(prev) * tags_.size() +
+                     static_cast<size_t>(cur);
+  transition_acc_[idx] +=
+      static_cast<double>(step - transition_step_[idx]) * transition_[idx];
+  transition_step_[idx] = step;
+  transition_[idx] += delta;
+}
+
+std::vector<int> SequenceTagger::Decode(
+    const std::vector<std::string>& tokens,
+    const std::vector<std::string>& context) const {
+  const size_t t = tags_.size();
+  const size_t n = tokens.size();
+  KG_CHECK(t > 0) << "decode before fit";
+  if (n == 0) return {};
+  std::vector<double> score(n * t, -std::numeric_limits<double>::infinity());
+  std::vector<int> back(n * t, -1);
+  {
+    const auto feats = Features(tokens, context, 0);
+    for (size_t y = 0; y < t; ++y) {
+      score[y] = EmissionScore(feats, static_cast<int>(y)) +
+                 transition_[t * t + y];  // start-state transition row.
+    }
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const auto feats = Features(tokens, context, i);
+    for (size_t y = 0; y < t; ++y) {
+      const double em = EmissionScore(feats, static_cast<int>(y));
+      double best = -std::numeric_limits<double>::infinity();
+      int best_prev = 0;
+      for (size_t p = 0; p < t; ++p) {
+        const double s = score[(i - 1) * t + p] + transition_[p * t + y];
+        if (s > best) {
+          best = s;
+          best_prev = static_cast<int>(p);
+        }
+      }
+      score[i * t + y] = best + em;
+      back[i * t + y] = best_prev;
+    }
+  }
+  // Backtrack from the best final tag.
+  size_t best_final = 0;
+  for (size_t y = 1; y < t; ++y) {
+    if (score[(n - 1) * t + y] > score[(n - 1) * t + best_final]) {
+      best_final = y;
+    }
+  }
+  std::vector<int> path(n);
+  path[n - 1] = static_cast<int>(best_final);
+  for (size_t i = n - 1; i > 0; --i) {
+    path[i - 1] = back[i * t + path[i]];
+  }
+  return path;
+}
+
+void SequenceTagger::Fit(const std::vector<TaggedSequence>& data,
+                         const TaggerOptions& options, Rng& rng) {
+  KG_CHECK(!data.empty());
+  cross_context_ = options.cross_context_with_tokens;
+  finalized_ = false;
+  emission_.clear();
+  tags_.clear();
+  tag_index_.clear();
+  // Collect the tag set; "O" first so ties break toward no-extraction.
+  tag_index_.emplace("O", 0);
+  tags_.push_back("O");
+  for (const auto& seq : data) {
+    KG_CHECK(seq.tokens.size() == seq.tags.size());
+    for (const auto& tag : seq.tags) {
+      if (tag_index_.emplace(tag, static_cast<int>(tags_.size())).second) {
+        tags_.push_back(tag);
+      }
+    }
+  }
+  const size_t t = tags_.size();
+  transition_.assign((t + 1) * t, 0.0);
+  transition_acc_.assign((t + 1) * t, 0.0);
+  transition_step_.assign((t + 1) * t, 0);
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  size_t step = 0;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const TaggedSequence& seq = data[idx];
+      if (seq.tokens.empty()) continue;
+      ++step;
+      const std::vector<int> predicted = Decode(seq.tokens, seq.context);
+      std::vector<int> gold(seq.tokens.size());
+      for (size_t i = 0; i < seq.tags.size(); ++i) {
+        gold[i] = TagId(seq.tags[i]);
+      }
+      if (predicted == gold) continue;
+      for (size_t i = 0; i < seq.tokens.size(); ++i) {
+        if (predicted[i] == gold[i]) continue;
+        const auto feats = Features(seq.tokens, seq.context, i);
+        UpdateEmission(feats, gold[i], +1.0, step);
+        UpdateEmission(feats, predicted[i], -1.0, step);
+      }
+      // Transition updates along full paths (start state = index t).
+      for (size_t i = 0; i < seq.tokens.size(); ++i) {
+        const int gp = i == 0 ? static_cast<int>(t) : gold[i - 1];
+        const int pp = i == 0 ? static_cast<int>(t) : predicted[i - 1];
+        if (gp != pp || gold[i] != predicted[i]) {
+          UpdateTransition(gp, gold[i], +1.0, step);
+          UpdateTransition(pp, predicted[i], -1.0, step);
+        }
+      }
+    }
+  }
+  Finalize(step + 1);
+}
+
+void SequenceTagger::Finalize(size_t final_step) {
+  // Replace weights by their running average (averaged perceptron).
+  for (auto& [feat, e] : emission_) {
+    for (size_t y = 0; y < tags_.size(); ++y) {
+      e.acc[y] += static_cast<double>(final_step - e.last_step[y]) * e.w[y];
+      e.w[y] = e.acc[y] / static_cast<double>(final_step);
+    }
+  }
+  for (size_t i = 0; i < transition_.size(); ++i) {
+    transition_acc_[i] +=
+        static_cast<double>(final_step - transition_step_[i]) *
+        transition_[i];
+    transition_[i] = transition_acc_[i] / static_cast<double>(final_step);
+  }
+  finalized_ = true;
+}
+
+std::vector<std::string> SequenceTagger::Predict(
+    const std::vector<std::string>& tokens,
+    const std::vector<std::string>& context) const {
+  KG_CHECK(finalized_) << "Predict before Fit";
+  const std::vector<int> path = Decode(tokens, context);
+  std::vector<std::string> out(path.size());
+  for (size_t i = 0; i < path.size(); ++i) out[i] = tags_[path[i]];
+  return out;
+}
+
+}  // namespace kg::ml

@@ -1,0 +1,91 @@
+#ifndef KGRAPH_ML_SEQUENCE_TAGGER_H_
+#define KGRAPH_ML_SEQUENCE_TAGGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kg::ml {
+
+/// One sequence-labeling instance. `context` carries instance-level
+/// conditioning features (product type, attribute id, modality signals…)
+/// that the TXtract/AdaTag-style extractors cross with token features —
+/// this is how one model serves many types/attributes.
+struct TaggedSequence {
+  std::vector<std::string> tokens;
+  std::vector<std::string> context;
+  std::vector<std::string> tags;  ///< Gold BIO tags; empty at predict time.
+};
+
+/// Tagger hyperparameters.
+struct TaggerOptions {
+  size_t epochs = 8;
+  /// Cross each context feature with the token identity (token-level
+  /// conditioning; costs memory, buys type awareness).
+  bool cross_context_with_tokens = true;
+};
+
+/// Averaged structured perceptron with first-order Viterbi decoding.
+/// Feature templates: token identity/prefix/suffix/shape, neighbors,
+/// bigrams, plus caller-provided context features (optionally crossed with
+/// tokens). This is the sequence model standing in for the BiLSTM-CRF of
+/// OpenTag: same feature interface, trainable in milliseconds on CPU.
+class SequenceTagger {
+ public:
+  SequenceTagger() = default;
+
+  /// Trains on gold-tagged sequences. Shuffles per epoch with `rng`.
+  void Fit(const std::vector<TaggedSequence>& data,
+           const TaggerOptions& options, Rng& rng);
+
+  /// Decodes the best tag sequence for `tokens` under `context`.
+  std::vector<std::string> Predict(
+      const std::vector<std::string>& tokens,
+      const std::vector<std::string>& context) const;
+
+  size_t num_tags() const { return tags_.size(); }
+  size_t num_features() const { return emission_.size(); }
+  const std::vector<std::string>& tag_set() const { return tags_; }
+
+ private:
+  /// Feature strings active at position `i`.
+  std::vector<std::string> Features(const std::vector<std::string>& tokens,
+                                    const std::vector<std::string>& context,
+                                    size_t i) const;
+
+  int TagId(const std::string& tag) const;
+
+  /// Viterbi decode into tag ids using (optionally averaged) weights.
+  std::vector<int> Decode(const std::vector<std::string>& tokens,
+                          const std::vector<std::string>& context) const;
+
+  double EmissionScore(const std::vector<std::string>& features,
+                       int tag) const;
+
+  void UpdateEmission(const std::vector<std::string>& features, int tag,
+                      double delta, size_t step);
+  void UpdateTransition(int prev, int cur, double delta, size_t step);
+
+  struct WeightEntry {
+    std::vector<double> w;          // current weights, indexed by tag.
+    std::vector<double> acc;        // accumulated for averaging.
+    std::vector<size_t> last_step;  // lazy-averaging timestamps.
+  };
+
+  void Finalize(size_t final_step);
+
+  std::vector<std::string> tags_;
+  std::unordered_map<std::string, int> tag_index_;
+  std::unordered_map<std::string, WeightEntry> emission_;
+  // transition_[prev * num_tags + cur]; prev == num_tags is start state.
+  std::vector<double> transition_, transition_acc_;
+  std::vector<size_t> transition_step_;
+  bool cross_context_ = true;
+  bool finalized_ = false;
+};
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_SEQUENCE_TAGGER_H_

@@ -1,0 +1,124 @@
+#include "ml/transe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+
+namespace kg::ml {
+
+void TransE::Normalize(std::vector<double>& v) {
+  double norm = 0.0;
+  for (double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 1.0) {
+    for (double& x : v) x /= norm;
+  }
+}
+
+void TransE::Fit(const std::vector<IdTriple>& triples, size_t num_entities,
+                 size_t num_relations, const TransEOptions& options,
+                 Rng& rng) {
+  KG_CHECK(!triples.empty());
+  dim_ = options.dim;
+  num_entities_ = num_entities;
+  num_relations_ = num_relations;
+  const double bound = 6.0 / std::sqrt(static_cast<double>(dim_));
+  auto init = [&](size_t count) {
+    std::vector<std::vector<double>> table(count);
+    for (auto& v : table) {
+      v.resize(dim_);
+      for (double& x : v) x = rng.UniformDouble(-bound, bound);
+    }
+    return table;
+  };
+  entities_ = init(num_entities);
+  relations_ = init(num_relations);
+  for (auto& r : relations_) Normalize(r);
+
+  std::vector<double> grad(dim_);
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (auto& e : entities_) Normalize(e);
+    for (const IdTriple& t : triples) {
+      const uint32_t h = t[0], r = t[1], tail = t[2];
+      // Corrupt head or tail uniformly.
+      uint32_t ch = h, ct = tail;
+      if (rng.Bernoulli(0.5)) {
+        ch = static_cast<uint32_t>(rng.UniformIndex(num_entities_));
+      } else {
+        ct = static_cast<uint32_t>(rng.UniformIndex(num_entities_));
+      }
+      auto sq_dist = [&](uint32_t a, uint32_t rel, uint32_t b) {
+        double d = 0.0;
+        for (size_t k = 0; k < dim_; ++k) {
+          const double diff =
+              entities_[a][k] + relations_[rel][k] - entities_[b][k];
+          d += diff * diff;
+        }
+        return d;
+      };
+      const double pos = sq_dist(h, r, tail);
+      const double neg = sq_dist(ch, r, ct);
+      if (pos + options.margin <= neg) continue;  // margin satisfied.
+      // Gradient of (pos - neg) wrt embeddings; step against it.
+      const double lr = options.learning_rate;
+      for (size_t k = 0; k < dim_; ++k) {
+        const double gp =
+            2.0 * (entities_[h][k] + relations_[r][k] - entities_[tail][k]);
+        const double gn =
+            2.0 * (entities_[ch][k] + relations_[r][k] - entities_[ct][k]);
+        entities_[h][k] -= lr * gp;
+        entities_[tail][k] += lr * gp;
+        relations_[r][k] -= lr * (gp - gn);
+        entities_[ch][k] += lr * gn;
+        entities_[ct][k] -= lr * gn;
+      }
+    }
+  }
+  for (auto& e : entities_) Normalize(e);
+}
+
+double TransE::Score(uint32_t head, uint32_t relation, uint32_t tail) const {
+  KG_CHECK(head < num_entities_ && tail < num_entities_ &&
+           relation < num_relations_);
+  double d = 0.0;
+  for (size_t k = 0; k < dim_; ++k) {
+    const double diff = entities_[head][k] + relations_[relation][k] -
+                        entities_[tail][k];
+    d += diff * diff;
+  }
+  return -std::sqrt(d);
+}
+
+LinkPredictionScore TransE::EvaluateTailPrediction(
+    const std::vector<IdTriple>& test,
+    const std::vector<IdTriple>& known) const {
+  std::set<IdTriple> known_set(known.begin(), known.end());
+  LinkPredictionScore score;
+  if (test.empty()) return score;
+  for (const IdTriple& t : test) {
+    const double true_score = Score(t[0], t[1], t[2]);
+    size_t rank = 1;
+    for (uint32_t candidate = 0; candidate < num_entities_; ++candidate) {
+      if (candidate == t[2]) continue;
+      if (known_set.count({t[0], t[1], candidate})) continue;  // filtered.
+      if (Score(t[0], t[1], candidate) > true_score) ++rank;
+    }
+    score.mrr += 1.0 / static_cast<double>(rank);
+    if (rank <= 1) score.hits_at_1 += 1.0;
+    if (rank <= 10) score.hits_at_10 += 1.0;
+  }
+  const double n = static_cast<double>(test.size());
+  score.mrr /= n;
+  score.hits_at_1 /= n;
+  score.hits_at_10 /= n;
+  return score;
+}
+
+const std::vector<double>& TransE::entity_embedding(uint32_t id) const {
+  KG_CHECK(id < num_entities_);
+  return entities_[id];
+}
+
+}  // namespace kg::ml

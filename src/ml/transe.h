@@ -1,0 +1,66 @@
+#ifndef KGRAPH_ML_TRANSE_H_
+#define KGRAPH_ML_TRANSE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kg::ml {
+
+/// An (head, relation, tail) id triple for embedding training.
+using IdTriple = std::array<uint32_t, 3>;
+
+/// TransE hyperparameters.
+struct TransEOptions {
+  size_t dim = 32;
+  size_t epochs = 100;
+  double learning_rate = 0.05;
+  double margin = 1.0;
+};
+
+/// Link-prediction quality (filtered ranks over a test set).
+struct LinkPredictionScore {
+  double mrr = 0.0;       ///< Mean reciprocal rank of the true tail.
+  double hits_at_1 = 0.0;
+  double hits_at_10 = 0.0;
+};
+
+/// TransE (Bordes et al. 2013): embeds h + r ≈ t with margin ranking loss
+/// and uniform negative sampling. kgraph uses it as the "deep learning
+/// based link prediction" of Knowledge Vault (§2.4) and as the implicit
+/// half of the dual neural KG (§4).
+class TransE {
+ public:
+  TransE() = default;
+
+  /// Trains embeddings for ids in [0, num_entities) / [0, num_relations).
+  void Fit(const std::vector<IdTriple>& triples, size_t num_entities,
+           size_t num_relations, const TransEOptions& options, Rng& rng);
+
+  /// Plausibility score = -||e_h + r - e_t||_2 (higher is more plausible).
+  double Score(uint32_t head, uint32_t relation, uint32_t tail) const;
+
+  /// Ranks all entities as tail for (h, r, ?) and reports where the true
+  /// tails land. `known` filters out other true triples from the ranking.
+  LinkPredictionScore EvaluateTailPrediction(
+      const std::vector<IdTriple>& test,
+      const std::vector<IdTriple>& known) const;
+
+  size_t dim() const { return dim_; }
+  const std::vector<double>& entity_embedding(uint32_t id) const;
+
+ private:
+  void Normalize(std::vector<double>& v);
+
+  size_t dim_ = 0;
+  size_t num_entities_ = 0;
+  size_t num_relations_ = 0;
+  std::vector<std::vector<double>> entities_;
+  std::vector<std::vector<double>> relations_;
+};
+
+}  // namespace kg::ml
+
+#endif  // KGRAPH_ML_TRANSE_H_

@@ -1,0 +1,110 @@
+#include "synth/behavior_generator.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace kg::synth {
+
+BehaviorLog GenerateBehavior(const ProductCatalog& catalog,
+                             const BehaviorOptions& options, Rng& rng) {
+  BehaviorLog log;
+  const auto& products = catalog.products();
+  KG_CHECK(!products.empty());
+  const auto& taxonomy = catalog.taxonomy();
+
+  // Index products by leaf type for on-intent purchases.
+  std::map<graph::TypeId, std::vector<uint32_t>> by_type;
+  for (const Product& p : products) by_type[p.type].push_back(p.id);
+
+  log.searches.reserve(options.num_searches);
+  for (size_t i = 0; i < options.num_searches; ++i) {
+    // Intent: a random leaf type that has products.
+    const Product& seed = products[rng.UniformIndex(products.size())];
+    const graph::TypeId intent = seed.type;
+
+    SearchEvent event;
+    const auto& aliases = catalog.TypeAliases(intent);
+    if (!aliases.empty() && rng.Bernoulli(options.alias_query_rate)) {
+      event.query = rng.Choice(aliases);
+    } else if (rng.Bernoulli(options.hypernym_query_rate) &&
+               !taxonomy.Parents(intent).empty()) {
+      event.query = taxonomy.Name(taxonomy.Parents(intent)[0]);
+    } else {
+      event.query = taxonomy.Name(intent);
+    }
+
+    if (rng.Bernoulli(options.purchase_noise)) {
+      event.purchased_product =
+          products[rng.UniformIndex(products.size())].id;
+    } else {
+      const auto& pool = by_type[intent];
+      event.purchased_product = pool[rng.UniformIndex(pool.size())];
+    }
+    log.searches.push_back(std::move(event));
+  }
+
+  auto same_category_pick = [&](const Product& a) -> uint32_t {
+    const auto& parents = taxonomy.Parents(a.type);
+    if (parents.empty()) return products[rng.UniformIndex(products.size())].id;
+    // Pick a sibling leaf, then a product of it.
+    const auto& siblings = taxonomy.Children(parents[0]);
+    for (int tries = 0; tries < 8; ++tries) {
+      const graph::TypeId t = siblings[rng.UniformIndex(siblings.size())];
+      auto it = by_type.find(t);
+      if (it != by_type.end() && !it->second.empty()) {
+        return it->second[rng.UniformIndex(it->second.size())];
+      }
+    }
+    return products[rng.UniformIndex(products.size())].id;
+  };
+
+  log.co_views.reserve(options.num_co_views);
+  for (size_t i = 0; i < options.num_co_views; ++i) {
+    const Product& a = products[rng.UniformIndex(products.size())];
+    CoEngagementPair pair;
+    pair.a = a.id;
+    pair.b = rng.Bernoulli(options.co_view_same_category)
+                 ? same_category_pick(a)
+                 : products[rng.UniformIndex(products.size())].id;
+    log.co_views.push_back(pair);
+  }
+
+  // Complement structure: category k pairs with category k+1 (cyclic).
+  // Index products by top-level category for complement draws.
+  std::map<graph::TypeId, std::vector<uint32_t>> by_category;
+  std::vector<graph::TypeId> categories;
+  for (const Product& p : products) {
+    const auto& parents = taxonomy.Parents(p.type);
+    const graph::TypeId cat = parents.empty() ? p.type : parents[0];
+    if (by_category.emplace(cat, std::vector<uint32_t>{}).second) {
+      categories.push_back(cat);
+    }
+    by_category[cat].push_back(p.id);
+  }
+  std::map<graph::TypeId, graph::TypeId> complement_of;
+  for (size_t c = 0; c < categories.size(); ++c) {
+    complement_of[categories[c]] =
+        categories[(c + 1) % categories.size()];
+  }
+
+  log.co_purchases.reserve(options.num_co_purchases);
+  for (size_t i = 0; i < options.num_co_purchases; ++i) {
+    const Product& a = products[rng.UniformIndex(products.size())];
+    CoEngagementPair pair;
+    pair.a = a.id;
+    if (rng.Bernoulli(options.co_purchase_complement_rate)) {
+      // Complementary purchase: a product from the paired category.
+      const auto& parents = taxonomy.Parents(a.type);
+      const graph::TypeId cat = parents.empty() ? a.type : parents[0];
+      const auto& pool = by_category[complement_of[cat]];
+      pair.b = pool[rng.UniformIndex(pool.size())];
+    } else {
+      pair.b = products[rng.UniformIndex(products.size())].id;
+    }
+    log.co_purchases.push_back(pair);
+  }
+  return log;
+}
+
+}  // namespace kg::synth

@@ -1,0 +1,60 @@
+#ifndef KGRAPH_SYNTH_BEHAVIOR_GENERATOR_H_
+#define KGRAPH_SYNTH_BEHAVIOR_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/catalog_generator.h"
+
+namespace kg::synth {
+
+/// One search-then-purchase event: what the customer typed and what they
+/// bought. The query is a type name, a hypernym (parent category word),
+/// or a type alias — the signal Octet-style taxonomy mining reads (§3.1:
+/// "if users searching for tea often buy green tea…").
+struct SearchEvent {
+  std::string query;
+  uint32_t purchased_product = 0;
+};
+
+/// A pair of products co-engaged in one session.
+struct CoEngagementPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+/// Generated shopping-behavior log.
+struct BehaviorLog {
+  std::vector<SearchEvent> searches;
+  std::vector<CoEngagementPair> co_views;
+  std::vector<CoEngagementPair> co_purchases;
+};
+
+/// Behavior-log knobs.
+struct BehaviorOptions {
+  size_t num_searches = 20000;
+  /// P(query uses the parent category instead of the leaf type).
+  double hypernym_query_rate = 0.35;
+  /// P(query uses a type alias when one exists).
+  double alias_query_rate = 0.25;
+  /// P(the purchase is off-intent: a random product).
+  double purchase_noise = 0.05;
+  size_t num_co_views = 8000;
+  /// P(a co-view pair stays within the same category subtree).
+  double co_view_same_category = 0.8;
+  size_t num_co_purchases = 4000;
+  /// P(a co-purchase pairs a product with one from its category's
+  /// designated complementary category) — the latent structure
+  /// P-Companion-style mining recovers (category k complements k+1).
+  double co_purchase_complement_rate = 0.6;
+};
+
+/// Simulates customers shopping over `catalog`.
+BehaviorLog GenerateBehavior(const ProductCatalog& catalog,
+                             const BehaviorOptions& options, Rng& rng);
+
+}  // namespace kg::synth
+
+#endif  // KGRAPH_SYNTH_BEHAVIOR_GENERATOR_H_

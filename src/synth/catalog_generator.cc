@@ -1,0 +1,295 @@
+#include "synth/catalog_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "synth/names.h"
+
+namespace kg::synth {
+
+namespace {
+
+constexpr const char* kAttributeNames[] = {
+    "flavor",   "scent",    "color",  "material", "size",     "pattern",
+    "fit",      "texture",  "finish", "strength", "form",     "style",
+    "roast",    "grain",    "weave",  "cut",      "coating",  "blend",
+    "firmness", "thickness"};
+
+constexpr const char* kFillerWords[] = {"premium", "pack",  "gift",
+                                        "new",     "value", "classic",
+                                        "set",     "bundle"};
+
+// Deterministic per-locale surface transform: locale 0 is identity,
+// others suffix every content word — a stand-in for translation that
+// keeps token alignment (and thus gold spans) intact.
+std::string Localize(const std::string& word, size_t locale) {
+  if (locale == 0) return word;
+  static constexpr const char* kSuffix[] = {"", "eta", "ito", "ski",
+                                            "ova", "ane", "ulu"};
+  return word + kSuffix[locale % std::size(kSuffix)];
+}
+
+}  // namespace
+
+const std::vector<std::string>& ProductCatalog::AttributesForType(
+    graph::TypeId t) const {
+  static const std::vector<std::string>* empty =
+      new std::vector<std::string>();
+  auto it = type_attrs_.find(t);
+  return it == type_attrs_.end() ? *empty : it->second;
+}
+
+const std::vector<std::string>& ProductCatalog::TypeAliases(
+    graph::TypeId t) const {
+  static const std::vector<std::string>* empty =
+      new std::vector<std::string>();
+  auto it = type_aliases_.find(t);
+  return it == type_aliases_.end() ? *empty : it->second;
+}
+
+ProductCatalog ProductCatalog::Generate(const CatalogOptions& options,
+                                        Rng& rng) {
+  ProductCatalog catalog;
+  catalog.options_ = options;
+
+  // --- Attributes and vocabularies -------------------------------------
+  const size_t num_attrs = std::min<size_t>(
+      options.num_attributes, std::size(kAttributeNames));
+  catalog.attributes_.assign(kAttributeNames,
+                             kAttributeNames + num_attrs);
+  catalog.clusters_.resize(num_attrs);
+  const size_t cluster_size = std::max<size_t>(1,
+                                               options.attribute_cluster_size);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    catalog.clusters_[a] = static_cast<int>(a / cluster_size);
+  }
+  const int num_clusters = catalog.clusters_.empty()
+                               ? 0
+                               : catalog.clusters_.back() + 1;
+
+  // Cluster-shared vocab pools plus attribute-unique words; ambiguous
+  // words appear in several clusters' pools.
+  std::vector<std::string> ambiguous_pool;
+  const size_t num_ambiguous = static_cast<size_t>(
+      options.ambiguous_word_rate * options.vocab_per_attr * num_clusters);
+  for (size_t i = 0; i < num_ambiguous; ++i) {
+    ambiguous_pool.push_back(SyntheticWord(rng, 2));
+  }
+  std::vector<std::vector<std::string>> cluster_pools(num_clusters);
+  for (int c = 0; c < num_clusters; ++c) {
+    const size_t pool_size = options.vocab_per_attr * cluster_size;
+    for (size_t i = 0; i < pool_size; ++i) {
+      if (!ambiguous_pool.empty() &&
+          rng.Bernoulli(options.ambiguous_word_rate)) {
+        cluster_pools[c].push_back(rng.Choice(ambiguous_pool));
+      } else {
+        cluster_pools[c].push_back(SyntheticWord(rng, 2));
+      }
+    }
+  }
+  // Global vocab per attribute: sampled from its cluster pool + uniques.
+  std::vector<std::vector<std::string>> attr_vocab(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const auto& pool = cluster_pools[catalog.clusters_[a]];
+    std::set<std::string> chosen;
+    while (chosen.size() < options.vocab_per_attr * 3 / 4) {
+      chosen.insert(rng.Choice(pool));
+    }
+    while (chosen.size() < options.vocab_per_attr) {
+      chosen.insert(SyntheticWord(rng, 2));
+    }
+    attr_vocab[a].assign(chosen.begin(), chosen.end());
+  }
+
+  // --- Taxonomy ---------------------------------------------------------
+  // Two-level tree: categories under the root, leaf types under
+  // categories. Leaf names are "<category-word> <type-word>".
+  const size_t num_categories = std::max<size_t>(
+      1, (options.num_types + options.taxonomy_branching - 1) /
+             options.taxonomy_branching);
+  std::vector<graph::TypeId> categories;
+  for (size_t c = 0; c < num_categories; ++c) {
+    categories.push_back(catalog.taxonomy_.AddType(
+        SyntheticWord(rng, 2) + "-category", catalog.taxonomy_.root()));
+  }
+  // Per-category parent vocab subsets drive sibling sharing.
+  std::map<std::pair<graph::TypeId, size_t>, std::vector<std::string>>
+      category_vocab;
+  for (graph::TypeId cat : categories) {
+    for (size_t a = 0; a < num_attrs; ++a) {
+      std::vector<std::string> subset;
+      const size_t take =
+          std::max<size_t>(2, options.values_per_type_attr + 2);
+      for (size_t i = 0; i < take; ++i) {
+        subset.push_back(rng.Choice(attr_vocab[a]));
+      }
+      std::sort(subset.begin(), subset.end());
+      subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+      category_vocab[{cat, a}] = std::move(subset);
+    }
+  }
+
+  for (size_t t = 0; t < options.num_types; ++t) {
+    const graph::TypeId category = categories[t % categories.size()];
+    // Applicable attributes: one per cluster first (spreads clusters
+    // across types), then random extras.
+    std::set<size_t> attr_ids;
+    attr_ids.insert(t % num_attrs);
+    while (attr_ids.size() < std::min<size_t>(options.attrs_per_type,
+                                              num_attrs)) {
+      attr_ids.insert(rng.UniformIndex(num_attrs));
+    }
+
+    // Per-attribute value vocabularies for this type. Words already
+    // claimed by another attribute of THIS type are excluded: one word
+    // never means two different attributes on the same product type.
+    std::set<std::string> used_by_type;
+    std::map<std::string, std::vector<std::string>> type_vocab;
+    for (size_t a : attr_ids) {
+      std::set<std::string> values;
+      const auto& parent_pool = category_vocab[{category, a}];
+      size_t attempts = 0;
+      while (values.size() < options.values_per_type_attr &&
+             attempts < 200) {
+        ++attempts;
+        const std::string& candidate =
+            rng.Bernoulli(options.sibling_vocab_share) &&
+                    !parent_pool.empty()
+                ? rng.Choice(parent_pool)
+                : rng.Choice(attr_vocab[a]);
+        if (used_by_type.count(candidate)) continue;
+        values.insert(candidate);
+      }
+      used_by_type.insert(values.begin(), values.end());
+      type_vocab[catalog.attributes_[a]] =
+          std::vector<std::string>(values.begin(), values.end());
+    }
+
+    // Cross-type ambiguity ("dark chocolate" the type vs "dark" the
+    // flavor): some type names embed a word that is a value of one of
+    // this type's OWN attributes elsewhere in the catalog — but never a
+    // value this type itself uses. In this type's titles the word is
+    // always a type token (tag O); in other types' titles it is a value.
+    // Only type-aware models can satisfy both.
+    std::string second_word = SyntheticWord(rng, 2);
+    if (rng.Bernoulli(options.cross_type_ambiguity)) {
+      const size_t a = *attr_ids.begin();
+      for (int tries = 0; tries < 20; ++tries) {
+        const std::string& candidate = rng.Choice(attr_vocab[a]);
+        if (!used_by_type.count(candidate)) {
+          second_word = candidate;
+          break;
+        }
+      }
+    }
+    const std::string leaf_name = SyntheticWord(rng, 2) + " " + second_word;
+    const graph::TypeId leaf =
+        catalog.taxonomy_.AddType(leaf_name, category);
+    catalog.leaves_.push_back(leaf);
+    if (rng.Bernoulli(0.3)) {
+      catalog.type_aliases_[leaf].push_back(SyntheticWord(rng, 2));
+    }
+    for (size_t a : attr_ids) {
+      catalog.type_attrs_[leaf].push_back(catalog.attributes_[a]);
+    }
+    catalog.type_attr_vocab_[leaf] = std::move(type_vocab);
+  }
+
+  // --- Products ----------------------------------------------------------
+  NameFactory names(rng.Fork());
+  catalog.products_.reserve(options.num_products);
+  for (size_t p = 0; p < options.num_products; ++p) {
+    Product product;
+    product.id = static_cast<uint32_t>(p);
+    product.type = catalog.leaves_[rng.UniformIndex(catalog.leaves_.size())];
+    product.locale = options.num_locales <= 1
+                         ? 0
+                         : rng.UniformIndex(options.num_locales);
+    product.brand = names.BrandName();
+
+    const auto& attrs = catalog.type_attrs_[product.type];
+    for (const std::string& attr : attrs) {
+      const auto& vocab = catalog.type_attr_vocab_[product.type][attr];
+      // Latent values stay canonical; surfaces are localized below.
+      product.true_values[attr] = rng.Choice(vocab);
+    }
+
+    // Title: brand + shuffled [value phrases] + type name + filler.
+    struct Segment {
+      std::vector<std::string> tokens;
+      std::string attr;  // empty for non-value segments.
+    };
+    std::vector<Segment> segments;
+    for (const auto& [attr, value] : product.true_values) {
+      if (!rng.Bernoulli(options.title_mention_rate)) continue;
+      segments.push_back({{Localize(value, product.locale)}, attr});
+    }
+    {
+      Segment type_seg;
+      for (const auto& word :
+           SplitWhitespace(catalog.taxonomy_.Name(product.type))) {
+        type_seg.tokens.push_back(Localize(word, product.locale));
+      }
+      segments.push_back(std::move(type_seg));
+    }
+    rng.Shuffle(&segments);
+
+    product.title_tokens.push_back(ToLower(product.brand));
+    for (const Segment& seg : segments) {
+      const size_t begin = product.title_tokens.size();
+      for (const auto& tok : seg.tokens) {
+        product.title_tokens.push_back(tok);
+      }
+      if (!seg.attr.empty()) {
+        product.title_spans[seg.attr] =
+            text::Span{begin, product.title_tokens.size(), seg.attr};
+      }
+    }
+    const size_t fillers = rng.UniformIndex(3);
+    for (size_t f = 0; f < fillers; ++f) {
+      product.title_tokens.push_back(Localize(
+          kFillerWords[rng.UniformIndex(std::size(kFillerWords))],
+          product.locale));
+    }
+    product.title = Join(product.title_tokens, " ");
+
+    // Description sentences.
+    std::vector<std::string> sentences;
+    sentences.push_back("This " + catalog.taxonomy_.Name(product.type) +
+                        " comes from " + product.brand + ".");
+    for (const auto& [attr, value] : product.true_values) {
+      if (!rng.Bernoulli(options.desc_mention_rate)) continue;
+      sentences.push_back(attr + ": " + value + ".");
+    }
+    product.description = Join(sentences, " ");
+
+    // Structured catalog entry: missing / wrong / true.
+    for (const auto& [attr, value] : product.true_values) {
+      if (rng.Bernoulli(options.catalog_missing_rate)) continue;
+      if (rng.Bernoulli(options.catalog_error_rate)) {
+        product.catalog_values[attr] =
+            rng.Choice(catalog.type_attr_vocab_[product.type][attr]);
+      } else {
+        product.catalog_values[attr] = value;
+      }
+    }
+
+    // Image channel.
+    for (const auto& [attr, value] : product.true_values) {
+      if (!rng.Bernoulli(options.image_visible_rate)) continue;
+      if (rng.Bernoulli(options.image_noise)) {
+        product.image_values[attr] =
+            rng.Choice(catalog.type_attr_vocab_[product.type][attr]);
+      } else {
+        product.image_values[attr] = value;
+      }
+    }
+
+    catalog.products_.push_back(std::move(product));
+  }
+  return catalog;
+}
+
+}  // namespace kg::synth

@@ -1,0 +1,127 @@
+#ifndef KGRAPH_SYNTH_CATALOG_GENERATOR_H_
+#define KGRAPH_SYNTH_CATALOG_GENERATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/taxonomy.h"
+#include "text/bio.h"
+
+namespace kg::synth {
+
+/// Shape of the synthetic product world (substitute for the paper's
+/// Amazon-catalog substrate, §3).
+struct CatalogOptions {
+  /// Leaf product types; TXtract-scale benches raise this to hundreds.
+  size_t num_types = 48;
+  /// Children per internal taxonomy node.
+  size_t taxonomy_branching = 4;
+  /// Global attribute pool size ("flavor", "scent", "color"…).
+  size_t num_attributes = 12;
+  /// Attributes in one cluster share vocabulary (flavor/scent); this is
+  /// the relatedness AdaTag's MoE exploits.
+  size_t attribute_cluster_size = 3;
+  /// Applicable attributes per leaf type.
+  size_t attrs_per_type = 4;
+  /// Distinct values in an attribute's global vocabulary.
+  size_t vocab_per_attr = 14;
+  /// Values a single type actually uses per attribute.
+  size_t values_per_type_attr = 6;
+  /// Fraction of a type's value vocabulary inherited from its parent's
+  /// pool (sibling types share more; distant types less). Type-aware
+  /// extraction (TXtract) wins exactly when this structure exists.
+  double sibling_vocab_share = 0.7;
+  /// Fraction of vocabulary words that are ambiguous across attributes
+  /// ("dark" = flavor for chocolate, color for apparel): resolving them
+  /// needs type context.
+  double ambiguous_word_rate = 0.25;
+  /// P(a leaf type's name reuses an attribute-value word). Those tokens
+  /// appear in every title of that type as NON-values while being values
+  /// elsewhere — the cross-type ambiguity that only type-aware models
+  /// (TXtract) resolve.
+  double cross_type_ambiguity = 0.3;
+  size_t num_products = 2000;
+  /// P(structured catalog field missing) — why distant supervision is
+  /// noisy (§3.2).
+  double catalog_missing_rate = 0.35;
+  /// P(structured catalog field wrong).
+  double catalog_error_rate = 0.08;
+  /// P(an applicable attribute's value is mentioned in the title).
+  double title_mention_rate = 0.8;
+  /// P(mentioned in the description).
+  double desc_mention_rate = 0.5;
+  /// P(a value is observable from the product image) — the PAM channel;
+  /// partially complementary to text by construction.
+  double image_visible_rate = 0.45;
+  /// P(the image signal is wrong when present).
+  double image_noise = 0.08;
+  /// Number of locales products are written in (§3.3: "hundreds of
+  /// languages and locales"). Locale 0 is the base language; others
+  /// apply a deterministic surface transform to every content word, so
+  /// vocabulary does not transfer across locales without locale-aware
+  /// modeling.
+  size_t num_locales = 1;
+};
+
+/// One product with latent truth and all rendered surfaces.
+struct Product {
+  uint32_t id = 0;
+  graph::TypeId type = 0;            ///< Leaf type in the taxonomy.
+  size_t locale = 0;                 ///< Which locale the surfaces use.
+  std::string brand;
+  /// Latent truth: applicable attribute -> value.
+  std::map<std::string, std::string> true_values;
+  /// Rendered title and its tokens; long, verbose, "concatenation of
+  /// product type and attributes" per §3.
+  std::string title;
+  std::vector<std::string> title_tokens;
+  /// Gold token spans of each attribute value inside the title (only for
+  /// values actually mentioned there).
+  std::map<std::string, text::Span> title_spans;
+  std::string description;
+  /// The noisy structured Catalog entry (distant-supervision source).
+  std::map<std::string, std::string> catalog_values;
+  /// Values observable from the image channel (with noise).
+  std::map<std::string, std::string> image_values;
+};
+
+/// The generated product world: taxonomy, attribute metadata, products.
+class ProductCatalog {
+ public:
+  static ProductCatalog Generate(const CatalogOptions& options, Rng& rng);
+
+  const CatalogOptions& options() const { return options_; }
+  const graph::Taxonomy& taxonomy() const { return taxonomy_; }
+  const std::vector<Product>& products() const { return products_; }
+  /// Global attribute names, index = attribute id.
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  /// Cluster id per attribute (vocabulary-sharing groups).
+  const std::vector<int>& attribute_clusters() const { return clusters_; }
+  /// Attributes applicable to leaf type `t`.
+  const std::vector<std::string>& AttributesForType(graph::TypeId t) const;
+  /// Leaf types, in generation order.
+  const std::vector<graph::TypeId>& leaf_types() const { return leaves_; }
+  /// Alias (synonym) names of a type, possibly empty — behavior-log
+  /// queries sometimes use these; taxonomy mining should recover them.
+  const std::vector<std::string>& TypeAliases(graph::TypeId t) const;
+
+ private:
+  CatalogOptions options_;
+  graph::Taxonomy taxonomy_{"Product"};
+  std::vector<std::string> attributes_;
+  std::vector<int> clusters_;
+  std::vector<graph::TypeId> leaves_;
+  std::map<graph::TypeId, std::vector<std::string>> type_attrs_;
+  std::map<graph::TypeId, std::map<std::string, std::vector<std::string>>>
+      type_attr_vocab_;
+  std::map<graph::TypeId, std::vector<std::string>> type_aliases_;
+  std::vector<Product> products_;
+
+  friend ProductCatalog GenerateImpl(const CatalogOptions&, Rng&);
+};
+
+}  // namespace kg::synth
+
+#endif  // KGRAPH_SYNTH_CATALOG_GENERATOR_H_

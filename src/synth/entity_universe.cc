@@ -1,0 +1,192 @@
+#include "synth/entity_universe.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "synth/names.h"
+
+namespace kg::synth {
+
+namespace {
+
+/// Popularity of rank `r` among `n`: the Zipf pmf rescaled so the head is
+/// ~1 and the tail approaches 0.
+std::vector<double> PopularityByRank(size_t n, double exponent) {
+  std::vector<double> pop(n);
+  for (size_t r = 0; r < n; ++r) {
+    pop[r] = 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+  }
+  return pop;
+}
+
+}  // namespace
+
+EntityUniverse EntityUniverse::Generate(const UniverseOptions& options,
+                                        Rng& rng) {
+  EntityUniverse universe;
+  universe.options_ = options;
+  NameFactory names(rng.Fork());
+
+  const auto person_pop =
+      PopularityByRank(options.num_people, options.zipf_exponent);
+  universe.people_.resize(options.num_people);
+  for (size_t i = 0; i < options.num_people; ++i) {
+    PersonEntity& p = universe.people_[i];
+    p.id = static_cast<uint32_t>(i);
+    p.name = names.PersonName();
+    p.birth_year = static_cast<int>(
+        rng.UniformInt(options.min_year - 60, options.max_year - 20));
+    p.nationality = names.Nationality();
+    p.popularity = person_pop[i];
+  }
+
+  // Latent structure that makes the graph predictable (link prediction,
+  // PRA): every person has a genre affinity, and every director a
+  // recurring troupe of collaborators.
+  std::vector<std::string> person_genre(options.num_people);
+  for (auto& g : person_genre) g = names.Genre();
+  std::unordered_map<uint32_t, std::vector<uint32_t>> troupes;
+
+  const auto movie_pop =
+      PopularityByRank(options.num_movies, options.zipf_exponent);
+  universe.movies_.resize(options.num_movies);
+  for (size_t i = 0; i < options.num_movies; ++i) {
+    MovieEntity& m = universe.movies_[i];
+    m.id = static_cast<uint32_t>(i);
+    m.title = names.MovieTitle();
+    m.release_year =
+        static_cast<int>(rng.UniformInt(options.min_year, options.max_year));
+    // Popular movies tend to involve popular people: sample participants
+    // from a head-biased window of the person list.
+    auto sample_person = [&]() -> uint32_t {
+      const size_t window = std::max<size_t>(
+          10, static_cast<size_t>(static_cast<double>(options.num_people) *
+                                  (0.05 + 0.95 * rng.UniformDouble())));
+      return static_cast<uint32_t>(rng.UniformIndex(window));
+    };
+    m.director = sample_person();
+    // Directors mostly stay in their genre.
+    m.genre = rng.Bernoulli(0.8) ? person_genre[m.director]
+                                 : names.Genre();
+    // Casting: mostly from the director's troupe (repeat collaborators).
+    auto& troupe = troupes[m.director];
+    while (troupe.size() < 8) troupe.push_back(sample_person());
+    const int cast = static_cast<int>(rng.UniformInt(2, 5));
+    for (int c = 0; c < cast; ++c) {
+      m.actors.push_back(rng.Bernoulli(0.6)
+                             ? troupe[rng.UniformIndex(troupe.size())]
+                             : sample_person());
+    }
+    std::sort(m.actors.begin(), m.actors.end());
+    m.actors.erase(std::unique(m.actors.begin(), m.actors.end()),
+                   m.actors.end());
+    m.popularity = movie_pop[i];
+  }
+
+  const auto song_pop =
+      PopularityByRank(options.num_songs, options.zipf_exponent);
+  universe.songs_.resize(options.num_songs);
+  for (size_t i = 0; i < options.num_songs; ++i) {
+    SongEntity& s = universe.songs_[i];
+    s.id = static_cast<uint32_t>(i);
+    s.title = names.SongTitle();
+    s.artist = static_cast<uint32_t>(rng.UniformIndex(options.num_people));
+    s.year =
+        static_cast<int>(rng.UniformInt(options.min_year, options.max_year));
+    s.genre = names.Genre();
+    s.popularity = song_pop[i];
+  }
+  return universe;
+}
+
+std::string EntityUniverse::PersonNodeName(uint32_t id) {
+  return "person:" + std::to_string(id);
+}
+std::string EntityUniverse::MovieNodeName(uint32_t id) {
+  return "movie:" + std::to_string(id);
+}
+std::string EntityUniverse::SongNodeName(uint32_t id) {
+  return "song:" + std::to_string(id);
+}
+
+graph::KnowledgeGraph EntityUniverse::ToKnowledgeGraph(
+    graph::Ontology* ontology) const {
+  graph::KnowledgeGraph kg;
+  const graph::Provenance prov{"ground_truth", 1.0, 0};
+  using graph::NodeKind;
+
+  graph::TypeId person_type = 0, movie_type = 0, song_type = 0;
+  if (ontology != nullptr) {
+    auto& tax = ontology->taxonomy();
+    person_type = tax.AddType("Person", tax.root());
+    movie_type = tax.AddType("Movie", tax.root());
+    song_type = tax.AddType("Song", tax.root());
+    ontology->DeclareRelation({"name", person_type, graph::RangeKind::kText,
+                               0, true});
+    ontology->DeclareRelation({"title", movie_type, graph::RangeKind::kText,
+                               0, true});
+    ontology->DeclareRelation({"directed_by", movie_type,
+                               graph::RangeKind::kEntity, person_type,
+                               true});
+    ontology->DeclareRelation({"acted_in", person_type,
+                               graph::RangeKind::kEntity, movie_type,
+                               false});
+    ontology->DeclareRelation({"performed_by", song_type,
+                               graph::RangeKind::kEntity, person_type,
+                               true});
+  }
+
+  for (const PersonEntity& p : people_) {
+    const auto node = kg.AddNode(PersonNodeName(p.id), NodeKind::kEntity);
+    kg.AddTriple(PersonNodeName(p.id), "name", p.name, NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    kg.AddTriple(PersonNodeName(p.id), "birth_year",
+                 std::to_string(p.birth_year), NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    kg.AddTriple(PersonNodeName(p.id), "nationality", p.nationality,
+                 NodeKind::kEntity, NodeKind::kText, prov);
+    if (ontology != nullptr) {
+      ontology->SetInstanceType(node,
+                                *ontology->taxonomy().Find("Person"));
+    }
+  }
+  for (const MovieEntity& m : movies_) {
+    const auto node = kg.AddNode(MovieNodeName(m.id), NodeKind::kEntity);
+    kg.AddTriple(MovieNodeName(m.id), "title", m.title, NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    kg.AddTriple(MovieNodeName(m.id), "release_year",
+                 std::to_string(m.release_year), NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    kg.AddTriple(MovieNodeName(m.id), "genre", m.genre, NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    kg.AddTriple(MovieNodeName(m.id), "directed_by",
+                 PersonNodeName(m.director), NodeKind::kEntity,
+                 NodeKind::kEntity, prov);
+    for (uint32_t actor : m.actors) {
+      kg.AddTriple(PersonNodeName(actor), "acted_in", MovieNodeName(m.id),
+                   NodeKind::kEntity, NodeKind::kEntity, prov);
+    }
+    if (ontology != nullptr) {
+      ontology->SetInstanceType(node, *ontology->taxonomy().Find("Movie"));
+    }
+  }
+  for (const SongEntity& s : songs_) {
+    const auto node = kg.AddNode(SongNodeName(s.id), NodeKind::kEntity);
+    kg.AddTriple(SongNodeName(s.id), "title", s.title, NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    kg.AddTriple(SongNodeName(s.id), "performed_by",
+                 PersonNodeName(s.artist), NodeKind::kEntity,
+                 NodeKind::kEntity, prov);
+    kg.AddTriple(SongNodeName(s.id), "song_year", std::to_string(s.year),
+                 NodeKind::kEntity, NodeKind::kText, prov);
+    kg.AddTriple(SongNodeName(s.id), "song_genre", s.genre,
+                 NodeKind::kEntity, NodeKind::kText, prov);
+    if (ontology != nullptr) {
+      ontology->SetInstanceType(node, *ontology->taxonomy().Find("Song"));
+    }
+  }
+  return kg;
+}
+
+}  // namespace kg::synth

@@ -1,0 +1,93 @@
+#ifndef KGRAPH_SYNTH_ENTITY_UNIVERSE_H_
+#define KGRAPH_SYNTH_ENTITY_UNIVERSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/knowledge_graph.h"
+#include "graph/ontology.h"
+
+namespace kg::synth {
+
+/// A latent person. `popularity` in (0, 1], Zipf-shaped: head entities are
+/// the ones sources cover and text corpora mention most.
+struct PersonEntity {
+  uint32_t id = 0;
+  std::string name;
+  int birth_year = 0;
+  std::string nationality;
+  double popularity = 0.0;
+};
+
+/// A latent movie, with person references for director and cast.
+struct MovieEntity {
+  uint32_t id = 0;
+  std::string title;
+  int release_year = 0;
+  std::string genre;
+  uint32_t director = 0;             ///< PersonEntity id.
+  std::vector<uint32_t> actors;      ///< PersonEntity ids.
+  double popularity = 0.0;
+};
+
+/// A latent song with its performer.
+struct SongEntity {
+  uint32_t id = 0;
+  std::string title;
+  uint32_t artist = 0;               ///< PersonEntity id.
+  int year = 0;
+  std::string genre;
+  double popularity = 0.0;
+};
+
+/// Universe size and shape knobs.
+struct UniverseOptions {
+  size_t num_people = 5000;
+  size_t num_movies = 2000;
+  size_t num_songs = 1500;
+  double zipf_exponent = 1.05;      ///< Popularity skew.
+  int min_year = 1950;
+  int max_year = 2023;
+  /// Facts with year >= this are "recent" — the dual-KG experiments treat
+  /// them as post-LLM-training-cutoff knowledge.
+  int recent_year_cutoff = 2021;
+};
+
+/// The synthetic ground truth all entity-based-KG experiments measure
+/// against: every structured source, website, and corpus is a noisy view
+/// of this universe (substitute for the paper's Freebase/IMDb substrate).
+class EntityUniverse {
+ public:
+  /// Builds a universe deterministically from `rng`.
+  static EntityUniverse Generate(const UniverseOptions& options, Rng& rng);
+
+  const UniverseOptions& options() const { return options_; }
+  const std::vector<PersonEntity>& people() const { return people_; }
+  const std::vector<MovieEntity>& movies() const { return movies_; }
+  const std::vector<SongEntity>& songs() const { return songs_; }
+
+  /// Renders the universe as a clean entity-based KG (Figure 1a shape):
+  /// typed entity nodes, relation edges, literal attributes. Also fills
+  /// `ontology` with the class taxonomy and relation declarations when
+  /// non-null.
+  graph::KnowledgeGraph ToKnowledgeGraph(
+      graph::Ontology* ontology = nullptr) const;
+
+  /// Canonical node name for entity `id` of `domain` ("person:123").
+  /// These names key ground-truth joins across generators.
+  static std::string PersonNodeName(uint32_t id);
+  static std::string MovieNodeName(uint32_t id);
+  static std::string SongNodeName(uint32_t id);
+
+ private:
+  UniverseOptions options_;
+  std::vector<PersonEntity> people_;
+  std::vector<MovieEntity> movies_;
+  std::vector<SongEntity> songs_;
+};
+
+}  // namespace kg::synth
+
+#endif  // KGRAPH_SYNTH_ENTITY_UNIVERSE_H_

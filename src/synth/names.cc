@@ -1,0 +1,187 @@
+#include "synth/names.h"
+
+#include <array>
+
+#include "common/strings.h"
+
+namespace kg::synth {
+
+namespace {
+
+constexpr std::array<const char*, 40> kFirstNames = {
+    "Ada",    "Ben",    "Clara",  "Daniel", "Elena",  "Felix",  "Grace",
+    "Hugo",   "Ines",   "Jonas",  "Karin",  "Liam",   "Marta",  "Nils",
+    "Olga",   "Pablo",  "Quinn",  "Rosa",   "Stefan", "Tessa",  "Umar",
+    "Vera",   "Wim",    "Xenia",  "Yusuf",  "Zoe",    "Anton",  "Bella",
+    "Carlos", "Dora",   "Emil",   "Frida",  "Gustav", "Hanna",  "Igor",
+    "Julia",  "Kamal",  "Lena",   "Marco",  "Nadia"};
+
+constexpr std::array<const char*, 40> kLastNames = {
+    "Keller",   "Marsh",    "Novak",   "Ortiz",    "Petrov",  "Quiroga",
+    "Rossi",    "Schmidt",  "Tanaka",  "Ueda",     "Vargas",  "Weber",
+    "Xiang",    "Yilmaz",   "Zhang",   "Anders",   "Bauer",   "Castro",
+    "Dvorak",   "Eriksen",  "Fischer", "Gruber",   "Haas",    "Ito",
+    "Jansen",   "Kovacs",   "Larsen",  "Moreau",   "Nilsen",  "Okafor",
+    "Price",    "Romero",   "Silva",   "Thorne",   "Ustinov", "Vidal",
+    "Watts",    "Yamamoto", "Zeman",   "Brandt"};
+
+constexpr std::array<const char*, 32> kTitleAdjectives = {
+    "Silent",  "Crimson", "Hidden",  "Golden", "Broken",  "Distant",
+    "Frozen",  "Burning", "Lonely",  "Savage", "Gentle",  "Hollow",
+    "Iron",    "Velvet",  "Wild",    "Quiet",  "Shining", "Falling",
+    "Rising",  "Lost",    "Last",    "First",  "Dark",    "Bright",
+    "Ancient", "Endless", "Scarlet", "Winter", "Summer",  "Midnight",
+    "Stolen",  "Secret"};
+
+constexpr std::array<const char*, 32> kTitleNouns = {
+    "Harbor",  "Road",    "River",   "Mountain", "Garden", "Mirror",
+    "Letter",  "Promise", "Journey", "Empire",   "Echo",   "Shadow",
+    "Storm",   "Crown",   "Bridge",  "Forest",   "Island", "Lantern",
+    "Voyage",  "Symphony","Horizon", "Memory",   "Station","Harvest",
+    "Orchard", "Tides",   "Embers",  "Canyon",   "Meadow", "Tower",
+    "Compass", "Anthem"};
+
+constexpr std::array<const char*, 20> kNationalities = {
+    "American", "British",  "French",   "German",   "Italian",
+    "Spanish",  "Japanese", "Chinese",  "Indian",   "Brazilian",
+    "Mexican",  "Canadian", "Russian",  "Korean",   "Dutch",
+    "Swedish",  "Polish",   "Turkish",  "Egyptian", "Nigerian"};
+
+constexpr std::array<const char*, 14> kGenres = {
+    "drama",   "comedy",  "thriller",  "romance", "action",
+    "horror",  "sci-fi",  "fantasy",   "musical", "documentary",
+    "western", "mystery", "animation", "crime"};
+
+constexpr std::array<const char*, 16> kCompanySuffixes = {
+    "Records",  "Studios", "Pictures", "Films",   "Media",  "Sound",
+    "Works",    "Labs",    "Group",    "House",   "Press",  "Arts",
+    "Partners", "Bros",    "Entertainment", "Productions"};
+
+constexpr std::array<const char*, 48> kWords = {
+    "amber",  "basin",  "cedar",  "delta",  "ember",  "fable",  "glade",
+    "haven",  "indigo", "jasper", "kernel", "lumen",  "maple",  "nectar",
+    "onyx",   "pearl",  "quartz", "raven",  "sage",   "topaz",  "umber",
+    "violet", "willow", "xenon",  "yarrow", "zephyr", "aspen",  "birch",
+    "coral",  "dune",   "elm",    "fern",   "grove",  "heath",  "iris",
+    "juniper","kelp",   "laurel", "moss",   "nova",   "opal",   "pine",
+    "reed",   "slate",  "thyme",  "ultra",  "vine",   "wren"};
+
+constexpr std::array<const char*, 4> kBrandSuffixes = {"a", "o", "ex", "is"};
+
+}  // namespace
+
+std::string NameFactory::PersonName() {
+  return std::string(kFirstNames[rng_.UniformIndex(kFirstNames.size())]) +
+         " " + kLastNames[rng_.UniformIndex(kLastNames.size())];
+}
+
+std::string NameFactory::MovieTitle() {
+  const char* adj = kTitleAdjectives[rng_.UniformIndex(kTitleAdjectives.size())];
+  const char* noun = kTitleNouns[rng_.UniformIndex(kTitleNouns.size())];
+  switch (rng_.UniformInt(0, 3)) {
+    case 0:
+      return std::string("The ") + adj + " " + noun;
+    case 1:
+      return std::string(adj) + " " + noun;
+    case 2:
+      return std::string(noun) + " of the " + adj;
+    default:
+      return std::string("A ") + adj + " " + noun;
+  }
+}
+
+std::string NameFactory::SongTitle() {
+  const char* adj = kTitleAdjectives[rng_.UniformIndex(kTitleAdjectives.size())];
+  const char* noun = kTitleNouns[rng_.UniformIndex(kTitleNouns.size())];
+  if (rng_.Bernoulli(0.5)) return std::string(adj) + " " + noun;
+  return std::string(noun) + " " + kTitleNouns[rng_.UniformIndex(kTitleNouns.size())];
+}
+
+std::string NameFactory::CompanyName() {
+  std::string word(kWords[rng_.UniformIndex(kWords.size())]);
+  word[0] = static_cast<char>(std::toupper(word[0]));
+  return word + " " +
+         kCompanySuffixes[rng_.UniformIndex(kCompanySuffixes.size())];
+}
+
+std::string NameFactory::BrandName() {
+  std::string word(kWords[rng_.UniformIndex(kWords.size())]);
+  word[0] = static_cast<char>(std::toupper(word[0]));
+  return word + kBrandSuffixes[rng_.UniformIndex(kBrandSuffixes.size())];
+}
+
+std::string NameFactory::Word() {
+  return kWords[rng_.UniformIndex(kWords.size())];
+}
+
+std::string NameFactory::Nationality() {
+  return kNationalities[rng_.UniformIndex(kNationalities.size())];
+}
+
+std::string NameFactory::Genre() {
+  return kGenres[rng_.UniformIndex(kGenres.size())];
+}
+
+std::string AddTypo(const std::string& name, Rng& rng) {
+  if (name.empty()) return name;
+  std::string out = name;
+  const size_t pos = rng.UniformIndex(out.size());
+  switch (rng.UniformInt(0, 2)) {
+    case 0:  // substitution
+      out[pos] = static_cast<char>('a' + rng.UniformInt(0, 25));
+      break;
+    case 1:  // deletion
+      out.erase(pos, 1);
+      break;
+    default:  // adjacent swap
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string NameVariant(const std::string& name, double strength,
+                        Rng& rng) {
+  if (strength <= 0.0 || !rng.Bernoulli(strength)) return name;
+  std::vector<std::string> tokens = SplitWhitespace(name);
+  switch (rng.UniformInt(0, 4)) {
+    case 0:
+      return AddTypo(name, rng);
+    case 1: {  // abbreviate a middle/first token: "Marta Keller" -> "M. Keller"
+      if (tokens.size() >= 2) {
+        tokens[0] = tokens[0].substr(0, 1) + ".";
+        return Join(tokens, " ");
+      }
+      return AddTypo(name, rng);
+    }
+    case 2: {  // drop a middle token
+      if (tokens.size() >= 3) {
+        tokens.erase(tokens.begin() + 1);
+        return Join(tokens, " ");
+      }
+      return ToLower(name);
+    }
+    case 3: {  // reorder: "Marta Keller" -> "Keller, Marta"
+      if (tokens.size() == 2) return tokens[1] + ", " + tokens[0];
+      return name + " Jr.";
+    }
+    default:
+      return ToLower(name);
+  }
+}
+
+std::string SyntheticWord(Rng& rng, size_t syllables) {
+  static constexpr std::array<const char*, 20> kOnsets = {
+      "b", "d", "f", "g", "k", "l", "m", "n", "p", "r",
+      "s", "t", "v", "z", "ch", "sh", "br", "tr", "pl", "st"};
+  static constexpr std::array<const char*, 6> kVowels = {"a", "e", "i",
+                                                         "o", "u", "ai"};
+  std::string word;
+  for (size_t s = 0; s < syllables; ++s) {
+    word += kOnsets[rng.UniformIndex(kOnsets.size())];
+    word += kVowels[rng.UniformIndex(kVowels.size())];
+  }
+  return word;
+}
+
+}  // namespace kg::synth

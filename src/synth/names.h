@@ -1,0 +1,61 @@
+#ifndef KGRAPH_SYNTH_NAMES_H_
+#define KGRAPH_SYNTH_NAMES_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace kg::synth {
+
+/// Deterministic fake-name factory. Names are built from fixed pools so
+/// that (a) two draws can collide — the entity-disambiguation case the
+/// paper calls out ("different entities may share the same name") — and
+/// (b) noise functions can produce realistic variants of a clean name.
+class NameFactory {
+ public:
+  explicit NameFactory(Rng rng) : rng_(rng) {}
+
+  /// "Marta Keller"-style person name.
+  std::string PersonName();
+
+  /// "The Silent Harbor"-style movie title.
+  std::string MovieTitle();
+
+  /// "Crimson Road"-style song title.
+  std::string SongTitle();
+
+  /// "Northwind Records"-style organization name.
+  std::string CompanyName();
+
+  /// "Velora"-style brand name for products.
+  std::string BrandName();
+
+  /// A lowercase content word (for vocabularies and filler text).
+  std::string Word();
+
+  /// Country / nationality value from a small fixed pool.
+  std::string Nationality();
+
+  /// Movie / music genre from a small fixed pool.
+  std::string Genre();
+
+ private:
+  Rng rng_;
+};
+
+/// Produces a plausible dirty variant of `name`: with probability scaled
+/// by `strength` applies one or more of: typo, middle-token abbreviation
+/// or drop, token reorder, case change, extra qualifier. `strength` in
+/// [0, 1]; 0 returns the input unchanged.
+std::string NameVariant(const std::string& name, double strength, Rng& rng);
+
+/// Injects one character-level typo (substitution, deletion, swap).
+std::string AddTypo(const std::string& name, Rng& rng);
+
+/// Pronounceable pseudo-word from random syllables ("tarimo"). Gives the
+/// product-world generators an effectively unbounded vocabulary.
+std::string SyntheticWord(Rng& rng, size_t syllables = 3);
+
+}  // namespace kg::synth
+
+#endif  // KGRAPH_SYNTH_NAMES_H_

@@ -1,0 +1,164 @@
+#include "synth/qa_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+
+#include "common/logging.h"
+#include "synth/names.h"
+
+namespace kg::synth {
+
+const char* PopularityBucketName(PopularityBucket bucket) {
+  switch (bucket) {
+    case PopularityBucket::kHead:
+      return "head";
+    case PopularityBucket::kTorso:
+      return "torso";
+    case PopularityBucket::kTail:
+      return "tail";
+  }
+  return "?";
+}
+
+namespace {
+
+PopularityBucket BucketOfRank(size_t rank, size_t n) {
+  const size_t tercile = std::max<size_t>(1, n / 3);
+  if (rank < tercile) return PopularityBucket::kHead;
+  if (rank < 2 * tercile) return PopularityBucket::kTorso;
+  return PopularityBucket::kTail;
+}
+
+struct Fact {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  double popularity;
+  bool recent;
+  uint32_t entity_id;
+};
+
+// Every atomic fact of the universe, with popularity and recency. Shared
+// by QA sampling and corpus emission so the two stay consistent.
+std::vector<Fact> AllFacts(const EntityUniverse& universe) {
+  std::vector<Fact> facts;
+  const int cutoff = universe.options().recent_year_cutoff;
+  for (const MovieEntity& m : universe.movies()) {
+    const bool recent = m.release_year >= cutoff;
+    const std::string& director = universe.people()[m.director].name;
+    facts.push_back({m.title, "directed_by", director, m.popularity,
+                     recent, m.id});
+    facts.push_back({m.title, "release_year",
+                     std::to_string(m.release_year), m.popularity, recent,
+                     m.id});
+    facts.push_back({m.title, "genre", m.genre, m.popularity, recent,
+                     m.id});
+  }
+  for (const PersonEntity& p : universe.people()) {
+    facts.push_back({p.name, "birth_year", std::to_string(p.birth_year),
+                     p.popularity, false, p.id});
+    facts.push_back({p.name, "nationality", p.nationality, p.popularity,
+                     false, p.id});
+  }
+  return facts;
+}
+
+}  // namespace
+
+std::vector<QaItem> GenerateQaWorkload(const EntityUniverse& universe,
+                                       const QaOptions& options, Rng& rng) {
+  // Group candidate facts by bucket (movie facts bucketed by movie rank,
+  // person facts by person rank; entity id == popularity rank).
+  // Only well-posed questions are asked: subjects whose surface name is
+  // unique in its domain (the §4 study queried resolvable DBpedia
+  // entities; "which John Smith" is a disambiguation problem, not a
+  // knowledgeability probe).
+  std::map<std::string, int> movie_names, person_names;
+  for (const MovieEntity& m : universe.movies()) ++movie_names[m.title];
+  for (const PersonEntity& p : universe.people()) ++person_names[p.name];
+  std::vector<Fact> facts;
+  for (Fact& f : AllFacts(universe)) {
+    const bool is_person = f.predicate == "birth_year" ||
+                           f.predicate == "nationality";
+    const auto& names = is_person ? person_names : movie_names;
+    if (names.at(f.subject) == 1) facts.push_back(std::move(f));
+  }
+  std::vector<std::vector<size_t>> by_bucket(3);
+  const size_t num_movies = universe.movies().size();
+  const size_t num_people = universe.people().size();
+  for (size_t i = 0; i < facts.size(); ++i) {
+    const bool is_movie = facts[i].predicate == "directed_by" ||
+                          facts[i].predicate == "release_year" ||
+                          facts[i].predicate == "genre";
+    const PopularityBucket b = BucketOfRank(
+        facts[i].entity_id, is_movie ? num_movies : num_people);
+    by_bucket[static_cast<size_t>(b)].push_back(i);
+  }
+
+  std::vector<QaItem> items;
+  const size_t per_bucket = options.num_questions / 3;
+  for (size_t b = 0; b < 3; ++b) {
+    KG_CHECK(!by_bucket[b].empty());
+    for (size_t q = 0; q < per_bucket; ++q) {
+      const Fact& f = facts[rng.Choice(by_bucket[b])];
+      QaItem item;
+      item.subject_name = f.subject;
+      item.predicate = f.predicate;
+      item.gold_object = f.object;
+      item.bucket = static_cast<PopularityBucket>(b);
+      item.recent = f.recent;
+      item.entity_id = f.entity_id;
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+std::vector<FactMention> GenerateFactCorpus(const EntityUniverse& universe,
+                                            const CorpusOptions& options,
+                                            Rng& rng) {
+  NameFactory names(rng.Fork());
+  std::vector<FactMention> corpus;
+  for (const Fact& f : AllFacts(universe)) {
+    if (options.exclude_recent && f.recent) continue;
+    // Entity ids are popularity ranks by construction.
+    const double expected =
+        options.head_mentions *
+        std::pow(static_cast<double>(f.entity_id + 1),
+                 -options.mention_exponent);
+    // Stochastic rounding keeps tail facts at 0-or-1 mentions.
+    size_t count = static_cast<size_t>(expected);
+    if (rng.Bernoulli(expected - static_cast<double>(count))) ++count;
+    if (count == 0) continue;
+
+    size_t corrupted = 0;
+    for (size_t m = 0; m < count; ++m) {
+      if (rng.Bernoulli(options.mention_noise)) ++corrupted;
+    }
+    if (count > corrupted) {
+      corpus.push_back(
+          {f.subject, f.predicate, f.object, count - corrupted, f.recent});
+    }
+    if (corrupted > 0) {
+      // A plausible wrong object of the same type.
+      std::string wrong;
+      if (f.predicate == "directed_by") {
+        wrong = names.PersonName();
+      } else if (f.predicate == "release_year" ||
+                 f.predicate == "birth_year") {
+        wrong = std::to_string(std::stoi(f.object) +
+                               (rng.Bernoulli(0.5) ? 1 : -1) *
+                                   static_cast<int>(rng.UniformInt(1, 5)));
+      } else if (f.predicate == "nationality") {
+        wrong = names.Nationality();
+      } else {
+        wrong = names.Genre();
+      }
+      corpus.push_back({f.subject, f.predicate, wrong, corrupted, f.recent});
+    }
+  }
+  return corpus;
+}
+
+}  // namespace kg::synth

@@ -1,0 +1,74 @@
+#ifndef KGRAPH_SYNTH_QA_GENERATOR_H_
+#define KGRAPH_SYNTH_QA_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/entity_universe.h"
+
+namespace kg::synth {
+
+/// Popularity tercile of the queried entity, following the §4 study's
+/// head / torso / tail split (top / middle / bottom 33% by popularity).
+enum class PopularityBucket { kHead = 0, kTorso = 1, kTail = 2 };
+
+const char* PopularityBucketName(PopularityBucket bucket);
+
+/// A factoid question "what is <predicate> of <subject>?" with its gold
+/// answer, the unit of the §4 LLM-knowledgeability experiments.
+struct QaItem {
+  std::string subject_name;   ///< Surface name the question uses.
+  std::string predicate;      ///< Canonical relation ("directed_by"…).
+  std::string gold_object;    ///< Canonical answer surface form.
+  PopularityBucket bucket = PopularityBucket::kHead;
+  bool recent = false;        ///< Fact dated after the LLM training cutoff.
+  uint32_t entity_id = 0;     ///< Universe id of the subject.
+};
+
+/// QA-workload knobs.
+struct QaOptions {
+  size_t num_questions = 3000;
+};
+
+/// Samples factoid questions about movies and people uniformly across
+/// popularity buckets (equal question mass per bucket, so per-bucket
+/// accuracies are comparable).
+std::vector<QaItem> GenerateQaWorkload(const EntityUniverse& universe,
+                                       const QaOptions& options, Rng& rng);
+
+/// One observed mention of a fact in a text corpus; `count` follows the
+/// subject's popularity. The LLM simulator "pretrains" on these.
+struct FactMention {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  size_t count = 0;
+  bool recent = false;
+};
+
+/// Corpus-emission knobs. Mention counts follow a power law in the
+/// entity's popularity RANK: count(r) = head_mentions * (r+1)^-exponent,
+/// so the most popular entities are discussed tens of thousands of times
+/// and the tail once or never — the regime behind the §4 findings.
+struct CorpusOptions {
+  /// Mention count of the rank-0 entity's facts.
+  double head_mentions = 20000.0;
+  /// Power-law decay of mentions with popularity rank.
+  double mention_exponent = 1.15;
+  /// P(a mention corrupts the object) — source noise in web text, one
+  /// origin of hallucination.
+  double mention_noise = 0.02;
+  /// Facts dated >= universe.recent_year_cutoff get zero mentions when
+  /// true (the training-lag mechanism of §4).
+  bool exclude_recent = true;
+};
+
+/// Emits the aggregate fact-mention corpus of the universe.
+std::vector<FactMention> GenerateFactCorpus(const EntityUniverse& universe,
+                                            const CorpusOptions& options,
+                                            Rng& rng);
+
+}  // namespace kg::synth
+
+#endif  // KGRAPH_SYNTH_QA_GENERATOR_H_

@@ -1,0 +1,207 @@
+#include "synth/structured_source.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "synth/names.h"
+
+namespace kg::synth {
+
+namespace {
+
+// Dialect tables: row = dialect, column = canonical attribute position.
+const std::vector<std::vector<std::string>>& PeopleDialects() {
+  static const auto* dialects = new std::vector<std::vector<std::string>>{
+      {"name", "birth_year", "nationality", "known_for"},
+      {"full_name", "born", "country", "famous_for"},
+      {"person", "yob", "citizenship", "credits"},
+  };
+  return *dialects;
+}
+
+const std::vector<std::vector<std::string>>& MovieDialects() {
+  static const auto* dialects = new std::vector<std::vector<std::string>>{
+      {"title", "release_year", "genre", "director"},
+      {"movie_name", "year", "category", "directed_by"},
+      {"name", "released", "genre", "filmmaker"},
+  };
+  return *dialects;
+}
+
+const std::vector<std::vector<std::string>>& MusicDialects() {
+  static const auto* dialects = new std::vector<std::vector<std::string>>{
+      {"title", "artist", "year", "genre"},
+      {"track", "performer", "released", "style"},
+      {"song_name", "by", "yr", "genre"},
+  };
+  return *dialects;
+}
+
+}  // namespace
+
+std::vector<std::string> CanonicalColumns(SourceDomain domain) {
+  switch (domain) {
+    case SourceDomain::kPeople:
+      return PeopleDialects()[0];
+    case SourceDomain::kMovies:
+      return MovieDialects()[0];
+    case SourceDomain::kMusic:
+      return MusicDialects()[0];
+  }
+  return {};
+}
+
+std::vector<std::string> DialectColumns(SourceDomain domain, int dialect) {
+  const auto& table = domain == SourceDomain::kPeople ? PeopleDialects()
+                      : domain == SourceDomain::kMovies
+                          ? MovieDialects()
+                          : MusicDialects();
+  KG_CHECK(dialect >= 0 && dialect < static_cast<int>(table.size()))
+      << "unknown dialect " << dialect;
+  return table[dialect];
+}
+
+namespace {
+
+// Corrupts a year string by +-1..3.
+std::string PerturbYear(int year, Rng& rng) {
+  int delta = static_cast<int>(rng.UniformInt(1, 3));
+  if (rng.Bernoulli(0.5)) delta = -delta;
+  return std::to_string(year + delta);
+}
+
+struct FieldSpec {
+  std::string true_value;
+  bool is_year = false;
+  bool is_name = false;  // name-like: gets surface variants, never "wrong".
+};
+
+// Emits one record from canonical field specs, applying the noise model.
+SourceRecord MakeRecord(const std::vector<std::string>& columns,
+                        const std::vector<FieldSpec>& fields,
+                        uint32_t true_entity, size_t local_seq,
+                        const SourceOptions& options, Rng& rng,
+                        NameFactory& names) {
+  SourceRecord rec;
+  rec.true_entity = true_entity;
+  rec.local_id = options.name + "/" + std::to_string(local_seq);
+  KG_CHECK(columns.size() == fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const FieldSpec& spec = fields[i];
+    if (spec.true_value.empty()) continue;  // Nothing to assert.
+    if (rng.Bernoulli(options.missing_rate)) continue;
+    std::string value = spec.true_value;
+    if (spec.is_name) {
+      value = NameVariant(value, options.name_noise, rng);
+    } else if (!rng.Bernoulli(options.value_accuracy)) {
+      // Wrong value, type-consistent.
+      if (spec.is_year) {
+        value = PerturbYear(std::stoi(spec.true_value), rng);
+      } else {
+        value = names.Genre();
+        if (value == spec.true_value) value = names.Nationality();
+      }
+    } else if (spec.is_year && rng.Bernoulli(options.staleness)) {
+      value = PerturbYear(std::stoi(spec.true_value), rng);
+    }
+    rec.fields[columns[i]] = value;
+  }
+  return rec;
+}
+
+}  // namespace
+
+SourceTable EmitSource(const EntityUniverse& universe,
+                       const SourceOptions& options, Rng& rng) {
+  SourceTable table;
+  table.source_name = options.name;
+  table.domain = options.domain;
+  table.schema_dialect = options.schema_dialect;
+  table.columns = DialectColumns(options.domain, options.schema_dialect);
+  NameFactory names(rng.Fork());
+
+  // Inclusion: popularity-biased coverage. An entity of popularity rank r
+  // (pop in (0,1]) is included with probability
+  //   coverage * ((1-bias) + bias * pop^0.25 / E[pop^0.25])  (clamped),
+  // i.e. bias interpolates between uniform and head-skewed coverage.
+  auto include = [&](double pop, double mean_pow) {
+    const double boosted = std::pow(pop, 0.25) / mean_pow;
+    const double p = options.coverage * ((1.0 - options.popularity_bias) +
+                                         options.popularity_bias * boosted);
+    return rng.Bernoulli(std::clamp(p, 0.0, 1.0));
+  };
+  auto mean_pow = [](auto const& entities) {
+    double sum = 0.0;
+    for (const auto& e : entities) sum += std::pow(e.popularity, 0.25);
+    return entities.empty() ? 1.0 : sum / entities.size();
+  };
+
+  size_t seq = 0;
+  auto emit = [&](const std::vector<std::string>& columns,
+                  const std::vector<FieldSpec>& fields, uint32_t id) {
+    table.records.push_back(
+        MakeRecord(columns, fields, id, seq++, options, rng, names));
+    if (rng.Bernoulli(options.duplicate_rate)) {
+      table.records.push_back(
+          MakeRecord(columns, fields, id, seq++, options, rng, names));
+    }
+  };
+
+  switch (options.domain) {
+    case SourceDomain::kPeople: {
+      // Filmography lookup: the movie a person is best known for — the
+      // contextual discriminator that separates namesakes (IMDb-style).
+      std::vector<std::string> known_for(universe.people().size());
+      for (const MovieEntity& m : universe.movies()) {
+        auto credit = [&](uint32_t person) {
+          if (known_for[person].empty()) known_for[person] = m.title;
+        };
+        credit(m.director);
+        for (uint32_t actor : m.actors) credit(actor);
+      }
+      const double mp = mean_pow(universe.people());
+      for (const PersonEntity& p : universe.people()) {
+        if (!include(p.popularity, mp)) continue;
+        emit(table.columns,
+             {{p.name, false, true},
+              {std::to_string(p.birth_year), true, false},
+              {p.nationality, false, false},
+              {known_for[p.id], false, true}},
+             p.id);
+      }
+      break;
+    }
+    case SourceDomain::kMovies: {
+      const double mp = mean_pow(universe.movies());
+      for (const MovieEntity& m : universe.movies()) {
+        if (!include(m.popularity, mp)) continue;
+        const std::string director_name =
+            universe.people()[m.director].name;
+        emit(table.columns,
+             {{m.title, false, true},
+              {std::to_string(m.release_year), true, false},
+              {m.genre, false, false},
+              {director_name, false, true}},
+             m.id);
+      }
+      break;
+    }
+    case SourceDomain::kMusic: {
+      const double mp = mean_pow(universe.songs());
+      for (const SongEntity& s : universe.songs()) {
+        if (!include(s.popularity, mp)) continue;
+        const std::string artist_name = universe.people()[s.artist].name;
+        emit(table.columns,
+             {{s.title, false, true},
+              {artist_name, false, true},
+              {std::to_string(s.year), true, false},
+              {s.genre, false, false}},
+             s.id);
+      }
+      break;
+    }
+  }
+  return table;
+}
+
+}  // namespace kg::synth

@@ -1,0 +1,80 @@
+#ifndef KGRAPH_SYNTH_STRUCTURED_SOURCE_H_
+#define KGRAPH_SYNTH_STRUCTURED_SOURCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/entity_universe.h"
+
+namespace kg::synth {
+
+/// Which slice of the universe a source covers.
+enum class SourceDomain { kPeople, kMovies, kMusic };
+
+/// One row of a structured source: a source-local id plus attribute
+/// fields. `true_entity` is the hidden universe id — generators carry it
+/// so experiments can score linkage/fusion, but pipeline code must not
+/// read it.
+struct SourceRecord {
+  std::string local_id;
+  std::map<std::string, std::string> fields;
+  uint32_t true_entity = 0;
+};
+
+/// An emitted source: a named table with a column schema (its dialect's
+/// attribute names) and noisy records.
+struct SourceTable {
+  std::string source_name;
+  SourceDomain domain = SourceDomain::kMovies;
+  int schema_dialect = 0;
+  std::vector<std::string> columns;
+  std::vector<SourceRecord> records;
+};
+
+/// Noise/coverage profile of a source. Defaults approximate an
+/// authoritative source (IMDb-like); crank the noise knobs to simulate
+/// low-quality web databases.
+struct SourceOptions {
+  std::string name = "source";
+  SourceDomain domain = SourceDomain::kMovies;
+  /// Fraction of universe entities present.
+  double coverage = 0.6;
+  /// Popularity bias of coverage: 0 = uniform, 1 = strongly head-biased.
+  double popularity_bias = 0.7;
+  /// P(a non-name field holds the true value). Errors are realistic:
+  /// off-by-k years, swapped genres, wrong-person references.
+  double value_accuracy = 0.95;
+  /// P(a field is missing).
+  double missing_rate = 0.08;
+  /// Strength of name/title surface variation (typos, abbreviations…).
+  double name_noise = 0.25;
+  /// Attribute naming dialect (0..2); different dialects force schema
+  /// alignment work (§2.2 "schema heterogeneity").
+  int schema_dialect = 0;
+  /// Fraction of records whose year-like fields are stale (off by 1-3).
+  double staleness = 0.0;
+  /// Duplicate rate: P(an included entity appears twice with different
+  /// local ids and independently drawn noise).
+  double duplicate_rate = 0.0;
+};
+
+/// The attribute names dialect `dialect` uses for `domain`, in canonical
+/// attribute order. Canonical attributes are:
+///   people: name, birth_year, nationality
+///   movies: title, release_year, genre, director
+///   music:  title, artist, year, genre
+std::vector<std::string> DialectColumns(SourceDomain domain, int dialect);
+
+/// Canonical attribute names for `domain` (dialect-independent).
+std::vector<std::string> CanonicalColumns(SourceDomain domain);
+
+/// Emits a noisy view of `universe` per `options`. Deterministic given
+/// `rng` state.
+SourceTable EmitSource(const EntityUniverse& universe,
+                       const SourceOptions& options, Rng& rng);
+
+}  // namespace kg::synth
+
+#endif  // KGRAPH_SYNTH_STRUCTURED_SOURCE_H_

@@ -1,0 +1,113 @@
+#include "synth/text_corpus.h"
+
+#include "common/logging.h"
+#include "synth/names.h"
+
+namespace kg::synth {
+
+namespace {
+
+// Surface templates: {prefix, infix, suffix} rendering
+// prefix + subject + infix + object + suffix. Multiple templates per
+// relation force pattern learners to generalize; some filler templates
+// reuse relation-ish wording with no factual content (drift bait).
+struct Template {
+  const char* prefix;
+  const char* infix;
+  const char* suffix;
+};
+
+constexpr Template kDirectedByTemplates[] = {
+    {"", " was directed by ", " ."},
+    {"", " is a film by ", " ."},
+    {"the movie ", " , directed by ", " , drew large crowds ."},
+    {"", " marks another collaboration with director ", " ."},
+};
+
+constexpr Template kGenreTemplates[] = {
+    {"", " is a ", " film ."},
+    {"critics called ", " a defining ", " movie ."},
+    {"", " remains a landmark of the ", " genre ."},
+};
+
+// Filler: mentions a movie and a person WITHOUT asserting direction —
+// the sentences that poison naive co-occurrence patterns.
+constexpr Template kFillerPairTemplates[] = {
+    {"", " premiered at a festival attended by ", " ."},
+    {"", " was famously turned down by ", " ."},
+    {"", " inspired a parody starring ", " ."},
+};
+
+constexpr const char* kPureFiller[] = {
+    "the festival opened with a retrospective .",
+    "ticket sales rose sharply last winter .",
+    "the studio announced a new slate of projects .",
+    "audiences queued for hours in the rain .",
+};
+
+}  // namespace
+
+std::vector<Sentence> GenerateTextCorpus(const EntityUniverse& universe,
+                                         const TextCorpusOptions& options,
+                                         Rng& rng) {
+  KG_CHECK(!universe.movies().empty());
+  NameFactory names(rng.Fork());
+  // Head-biased movie sampling weights.
+  std::vector<double> weights(universe.movies().size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1),
+                                options.popularity_bias);
+  }
+
+  std::vector<Sentence> corpus;
+  corpus.reserve(options.num_sentences);
+  for (size_t s = 0; s < options.num_sentences; ++s) {
+    Sentence sentence;
+    const MovieEntity& movie =
+        universe.movies()[rng.Weighted(weights)];
+    if (rng.Bernoulli(options.filler_rate)) {
+      // Filler: half pure narrative, half entity-pair bait.
+      if (rng.Bernoulli(0.5)) {
+        sentence.text = kPureFiller[rng.UniformIndex(std::size(kPureFiller))];
+      } else {
+        const Template& t = kFillerPairTemplates[rng.UniformIndex(
+            std::size(kFillerPairTemplates))];
+        const std::string person =
+            universe.people()[rng.UniformIndex(universe.people().size())]
+                .name;
+        sentence.text = std::string(t.prefix) + movie.title + t.infix +
+                        person + t.suffix;
+      }
+      corpus.push_back(std::move(sentence));
+      continue;
+    }
+    const bool directed = rng.Bernoulli(0.5);
+    sentence.subject = movie.title;
+    sentence.corrupted = rng.Bernoulli(options.corruption_rate);
+    if (directed) {
+      sentence.predicate = "directed_by";
+      sentence.object = sentence.corrupted
+                            ? names.PersonName()
+                            : universe.people()[movie.director].name;
+      // Skewed template usage: common phrasings dominate, rare ones only
+      // become learnable after bootstrapping grows the seed set.
+      const std::vector<double> template_weights = {0.55, 0.3, 0.1, 0.05};
+      const Template& t =
+          kDirectedByTemplates[rng.Weighted(template_weights)];
+      sentence.text = std::string(t.prefix) + movie.title + t.infix +
+                      sentence.object + t.suffix;
+    } else {
+      sentence.predicate = "genre";
+      sentence.object =
+          sentence.corrupted ? names.Genre() : movie.genre;
+      const Template& t =
+          kGenreTemplates[rng.UniformIndex(std::size(kGenreTemplates))];
+      sentence.text = std::string(t.prefix) + movie.title + t.infix +
+                      sentence.object + t.suffix;
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+}  // namespace kg::synth

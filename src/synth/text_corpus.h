@@ -1,0 +1,47 @@
+#ifndef KGRAPH_SYNTH_TEXT_CORPUS_H_
+#define KGRAPH_SYNTH_TEXT_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/entity_universe.h"
+
+namespace kg::synth {
+
+/// One generated sentence with its hidden annotation (what fact, if any,
+/// it expresses). Pattern-bootstrapping extractors (NELL / Snowball
+/// lineage, §2.4) consume the `text`; experiments score against the
+/// hidden fields.
+struct Sentence {
+  std::string text;
+  /// The expressed fact; empty predicate = filler sentence.
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  /// Whether the expressed object is actually wrong (source noise).
+  bool corrupted = false;
+};
+
+/// Text-corpus knobs.
+struct TextCorpusOptions {
+  size_t num_sentences = 20000;
+  /// Fraction of sentences that express no fact (narrative filler).
+  double filler_rate = 0.35;
+  /// P(an expressed fact's object is wrong).
+  double corruption_rate = 0.05;
+  /// Head bias of which entities get written about.
+  double popularity_bias = 0.6;
+};
+
+/// Emits natural-language-ish sentences about the universe's movies:
+/// several surface templates per relation (directed_by, genre), plus
+/// filler that mentions entities without asserting the relation — the
+/// hard negatives that cause bootstrapping's semantic drift.
+std::vector<Sentence> GenerateTextCorpus(const EntityUniverse& universe,
+                                         const TextCorpusOptions& options,
+                                         Rng& rng);
+
+}  // namespace kg::synth
+
+#endif  // KGRAPH_SYNTH_TEXT_CORPUS_H_

@@ -1,0 +1,279 @@
+#include "synth/website_generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "synth/names.h"
+
+namespace kg::synth {
+
+namespace {
+
+// Per-attribute label vocabularies, indexed by dialect.
+const std::map<std::string, std::vector<std::string>>& LabelVocab() {
+  static const auto* vocab =
+      new std::map<std::string, std::vector<std::string>>{
+          {"title", {"Title:", "Name", "Movie"}},
+          {"release_year", {"Year:", "Released", "Release date"}},
+          {"genre", {"Genre:", "Category", "Type"}},
+          {"director", {"Director:", "Directed by", "Film by"}},
+          {"name", {"Name:", "Full name", "Person"}},
+          {"birth_year", {"Born:", "Year of birth", "Birth year"}},
+          {"nationality", {"Nationality:", "Country", "Citizenship"}},
+          {"artist", {"Artist:", "Performed by", "By"}},
+          {"year", {"Year:", "Released", "Date"}},
+      };
+  return *vocab;
+}
+
+const std::vector<std::string>& ExtraAttrPool(SourceDomain domain) {
+  static const auto* movies = new std::vector<std::string>{
+      "runtime", "budget", "box_office", "language", "studio", "rating"};
+  static const auto* people = new std::vector<std::string>{
+      "height", "spouse", "awards", "education", "residence", "debut"};
+  static const auto* music = new std::vector<std::string>{
+      "album", "label", "duration", "writer", "producer", "chart_peak"};
+  switch (domain) {
+    case SourceDomain::kMovies:
+      return *movies;
+    case SourceDomain::kPeople:
+      return *people;
+    case SourceDomain::kMusic:
+      return *music;
+  }
+  return *movies;
+}
+
+std::string LabelFor(const std::string& attr, int dialect, Rng& rng) {
+  const auto& vocab = LabelVocab();
+  auto it = vocab.find(attr);
+  if (it != vocab.end()) {
+    return it->second[static_cast<size_t>(dialect) % it->second.size()];
+  }
+  // Extra attributes: derive a label from the attribute name.
+  std::string label = attr;
+  std::replace(label.begin(), label.end(), '_', ' ');
+  label[0] = static_cast<char>(std::toupper(label[0]));
+  if (rng.Bernoulli(0.5)) label += ":";
+  return label;
+}
+
+// Canonical attribute values for one entity (excluding the topic name,
+// which renders in the header, not a row).
+std::vector<std::pair<std::string, std::string>> EntityAttributes(
+    const EntityUniverse& universe, SourceDomain domain, uint32_t id) {
+  switch (domain) {
+    case SourceDomain::kMovies: {
+      const MovieEntity& m = universe.movies()[id];
+      return {{"release_year", std::to_string(m.release_year)},
+              {"genre", m.genre},
+              {"director", universe.people()[m.director].name}};
+    }
+    case SourceDomain::kPeople: {
+      const PersonEntity& p = universe.people()[id];
+      return {{"birth_year", std::to_string(p.birth_year)},
+              {"nationality", p.nationality}};
+    }
+    case SourceDomain::kMusic: {
+      const SongEntity& s = universe.songs()[id];
+      return {{"artist", universe.people()[s.artist].name},
+              {"year", std::to_string(s.year)},
+              {"genre", s.genre}};
+    }
+  }
+  return {};
+}
+
+std::string TopicName(const EntityUniverse& universe, SourceDomain domain,
+                      uint32_t id) {
+  switch (domain) {
+    case SourceDomain::kMovies:
+      return universe.movies()[id].title;
+    case SourceDomain::kPeople:
+      return universe.people()[id].name;
+    case SourceDomain::kMusic:
+      return universe.songs()[id].title;
+  }
+  return "";
+}
+
+size_t DomainSize(const EntityUniverse& universe, SourceDomain domain) {
+  switch (domain) {
+    case SourceDomain::kMovies:
+      return universe.movies().size();
+    case SourceDomain::kPeople:
+      return universe.people().size();
+    case SourceDomain::kMusic:
+      return universe.songs().size();
+  }
+  return 0;
+}
+
+}  // namespace
+
+Website GenerateWebsite(const EntityUniverse& universe,
+                        const WebsiteOptions& options, Rng& rng) {
+  Website site;
+  site.name = options.site_name;
+  site.domain = options.domain;
+  NameFactory names(rng.Fork());
+
+  // The site's attribute set: canonical attributes plus site-specific
+  // extras with generated values.
+  std::vector<std::string> canonical = CanonicalColumns(options.domain);
+  // Drop the name/title column — it renders in the header.
+  canonical.erase(canonical.begin());
+  std::vector<std::string> extra_attrs;
+  const auto& pool = ExtraAttrPool(options.domain);
+  for (size_t i = 0; i < std::min(options.num_extra_attrs, pool.size());
+       ++i) {
+    extra_attrs.push_back(pool[i]);
+  }
+  for (const std::string& attr : canonical) {
+    site.attr_labels[attr] = LabelFor(attr, options.label_dialect, rng);
+  }
+  for (const std::string& attr : extra_attrs) {
+    site.attr_labels[attr] = LabelFor(attr, options.label_dialect, rng);
+  }
+
+  // Pick covered entities: head-biased sample without replacement.
+  const size_t domain_size = DomainSize(universe, options.domain);
+  const size_t num_pages = std::min(options.num_pages, domain_size);
+  std::vector<uint32_t> entity_ids;
+  {
+    std::vector<uint32_t> all(domain_size);
+    for (size_t i = 0; i < domain_size; ++i) {
+      all[i] = static_cast<uint32_t>(i);
+    }
+    // Head bias: weight rank r by (r+1)^-bias.
+    std::vector<double> weights(domain_size);
+    for (size_t i = 0; i < domain_size; ++i) {
+      weights[i] =
+          1.0 / std::pow(static_cast<double>(i + 1),
+                         options.popularity_bias);
+    }
+    for (size_t k = 0; k < num_pages; ++k) {
+      const size_t pick = rng.Weighted(weights);
+      entity_ids.push_back(all[pick]);
+      weights[pick] = 0.0;
+    }
+  }
+
+  for (uint32_t entity_id : entity_ids) {
+    WebPage page;
+    page.true_entity = entity_id;
+    page.topic_name = TopicName(universe, options.domain, entity_id);
+    page.dom.url = "http://" + site.name + ".example/" +
+                   std::to_string(entity_id);
+
+    extract::DomPage& dom = page.dom;
+    const auto html = dom.AddNode(extract::kInvalidDomNode, "html");
+    const auto body = dom.AddNode(html, "body");
+    // Site chrome: nav bar plus nested wrapper divs. Varies per site so
+    // absolute paths never transfer across sites.
+    const auto nav = dom.AddNode(body, "div", "nav");
+    dom.AddNode(nav, "a", "", site.name + " home");
+    extract::DomNodeId content = body;
+    for (size_t d = 0; d < options.chrome_depth; ++d) {
+      content = dom.AddNode(content, "div", "wrap" + std::to_string(d));
+    }
+    dom.AddNode(content, "h1", "topic", page.topic_name);
+
+    const auto table = dom.AddNode(content, "table", "infobox");
+    auto add_row = [&](const std::string& label, const std::string& value)
+        -> extract::DomNodeId {
+      const auto tr = dom.AddNode(table, "tr");
+      dom.AddNode(tr, "td", "label", label);
+      return dom.AddNode(tr, "td", "value", value);
+    };
+
+    // Decoy rows may render ABOVE the real rows (promo boxes often do),
+    // which is what actually poisons first-match label anchoring.
+    auto maybe_add_decoy = [&](double probability) {
+      if (site.attr_labels.empty() || !rng.Bernoulli(probability)) return;
+      auto it = site.attr_labels.begin();
+      std::advance(it, rng.UniformIndex(site.attr_labels.size()));
+      add_row(it->second, names.Word() + " promo");
+    };
+    maybe_add_decoy(options.decoy_rate / 2);
+
+    // Canonical attribute rows.
+    for (const auto& [attr, true_value] :
+         EntityAttributes(universe, options.domain, entity_id)) {
+      if (rng.Bernoulli(options.attr_missing_rate)) continue;
+      std::string value = true_value;
+      const bool name_like = attr == "director" || attr == "artist";
+      if (name_like) {
+        value = NameVariant(value, options.name_noise, rng);
+      }
+      if (rng.Bernoulli(options.value_noise)) {
+        value = name_like ? names.PersonName() : names.Word();
+      }
+      // Template drift: some pages label the row differently.
+      std::string label = site.attr_labels[attr];
+      if (rng.Bernoulli(options.label_drift)) {
+        label = LabelFor(attr, options.label_dialect + 1, rng);
+      }
+      const auto value_node = add_row(label, value);
+      page.displayed_values[attr] = value;
+      page.value_nodes[attr] = value_node;
+    }
+
+    // Extra (ontology-unknown) attribute rows; values are stable per
+    // (site, entity, attr) because they derive from this page's RNG draw.
+    for (const std::string& attr : extra_attrs) {
+      if (rng.Bernoulli(options.attr_missing_rate)) continue;
+      std::string value = names.Word() + " " + names.Word();
+      const auto value_node = add_row(site.attr_labels[attr], value);
+      page.displayed_values[attr] = value;
+      page.value_nodes[attr] = value_node;
+    }
+
+    maybe_add_decoy(options.decoy_rate / 2);
+
+    // Filler rows: legitimate-looking label/value pairs that are NOT
+    // attributes of the topic entity (recommendations, ads).
+    if (rng.Bernoulli(options.filler_row_rate)) {
+      add_row("See also", names.MovieTitle());
+    }
+    if (rng.Bernoulli(options.filler_row_rate)) {
+      add_row("Sponsored", names.CompanyName());
+    }
+    if (rng.Bernoulli(options.filler_row_rate * 0.5)) {
+      add_row("Share", "facebook twitter email");
+    }
+
+    // A free-text paragraph (text extraction fodder / OpenIE distractor).
+    dom.AddNode(content, "p", "blurb",
+                page.topic_name + " is a " + names.Genre() +
+                    " favorite among fans of " + names.Word() + ".");
+
+    site.pages.push_back(std::move(page));
+  }
+  return site;
+}
+
+std::vector<Website> GenerateWebCorpus(const EntityUniverse& universe,
+                                       size_t count, size_t pages_per_site,
+                                       Rng& rng) {
+  std::vector<Website> corpus;
+  const SourceDomain domains[] = {SourceDomain::kMovies,
+                                  SourceDomain::kPeople,
+                                  SourceDomain::kMusic};
+  for (size_t i = 0; i < count; ++i) {
+    WebsiteOptions opt;
+    opt.domain = domains[i % 3];
+    opt.site_name = "site" + std::to_string(i);
+    opt.num_pages = pages_per_site;
+    opt.label_dialect = static_cast<int>(i / 3) % 3;
+    opt.chrome_depth = i % 3;
+    opt.attr_missing_rate = 0.05 + 0.1 * rng.UniformDouble();
+    opt.filler_row_rate = 0.3 + 0.4 * rng.UniformDouble();
+    opt.value_noise = 0.01 + 0.03 * rng.UniformDouble();
+    opt.num_extra_attrs = 2 + i % 3;
+    corpus.push_back(GenerateWebsite(universe, opt, rng));
+  }
+  return corpus;
+}
+
+}  // namespace kg::synth

@@ -1,0 +1,87 @@
+#ifndef KGRAPH_SYNTH_WEBSITE_GENERATOR_H_
+#define KGRAPH_SYNTH_WEBSITE_GENERATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "extract/dom.h"
+#include "synth/entity_universe.h"
+#include "synth/structured_source.h"
+
+namespace kg::synth {
+
+/// One generated detail page: the DOM plus the hidden annotations
+/// experiments score against. `displayed_values` is what the page shows
+/// (the target for *extraction* accuracy); it can differ from the universe
+/// truth when the site itself is wrong (that residual is *source* error,
+/// the distinction Knowledge-Based Trust exploits, §2.4).
+struct WebPage {
+  extract::DomPage dom;
+  uint32_t true_entity = 0;
+  std::string topic_name;  ///< Entity surface form shown in the header.
+  std::map<std::string, std::string> displayed_values;
+  std::map<std::string, extract::DomNodeId> value_nodes;
+};
+
+/// A semi-structured website: consistently templated pages rendered from
+/// a hidden database — the structure wrapper induction and Ceres-style
+/// distant supervision reverse-engineer (§2.3).
+struct Website {
+  std::string name;
+  SourceDomain domain = SourceDomain::kMovies;
+  /// Canonical attribute -> the label text this site renders ("Director:"
+  /// vs "Directed by" — per-site vocabulary).
+  std::map<std::string, std::string> attr_labels;
+  std::vector<WebPage> pages;
+};
+
+/// Knobs for one website.
+struct WebsiteOptions {
+  std::string site_name = "site";
+  SourceDomain domain = SourceDomain::kMovies;
+  size_t num_pages = 200;
+  /// Head-bias of which entities get pages.
+  double popularity_bias = 0.5;
+  /// P(an attribute row is absent from a page) — shifts row ordinals and
+  /// is the main enemy of fixed-path wrappers.
+  double attr_missing_rate = 0.10;
+  /// P(a displayed value disagrees with the universe truth).
+  double value_noise = 0.02;
+  /// Surface noise on name-like values.
+  double name_noise = 0.05;
+  /// Site-specific attributes absent from the seed ontology ("runtime",
+  /// "budget"…). OpenIE yield comes from these.
+  size_t num_extra_attrs = 3;
+  /// P(each filler row — "See also", ads — appears on a page). Filler is
+  /// what drags OpenIE precision down.
+  double filler_row_rate = 0.5;
+  /// Nested wrapper-div depth around the content (0-2 typical); varies by
+  /// site so absolute paths do not transfer across sites.
+  size_t chrome_depth = 1;
+  /// Which label vocabulary the site uses (0..2).
+  int label_dialect = 0;
+  /// P(a page renders an attribute with an alternate label) — template
+  /// drift within a site; breaks label-anchored wrappers' recall.
+  double label_drift = 0.08;
+  /// P(a page carries a decoy row reusing a real attribute label with an
+  /// off-topic value, e.g. sponsored content) — the accuracy hazard for
+  /// label-anchored extraction.
+  double decoy_rate = 0.08;
+};
+
+/// Generates one website over `universe`.
+Website GenerateWebsite(const EntityUniverse& universe,
+                        const WebsiteOptions& options, Rng& rng);
+
+/// Generates `count` websites with per-site knob jitter (dialect, chrome,
+/// noise), covering all three domains round-robin. The standard corpus for
+/// the Figure 3 experiment.
+std::vector<Website> GenerateWebCorpus(const EntityUniverse& universe,
+                                       size_t count, size_t pages_per_site,
+                                       Rng& rng);
+
+}  // namespace kg::synth
+
+#endif  // KGRAPH_SYNTH_WEBSITE_GENERATOR_H_

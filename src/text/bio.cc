@@ -1,0 +1,87 @@
+#include "text/bio.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace kg::text {
+
+Result<std::vector<std::string>> SpansToBio(const std::vector<Span>& spans,
+                                            size_t num_tokens) {
+  std::vector<std::string> tags(num_tokens, "O");
+  std::vector<bool> used(num_tokens, false);
+  for (const Span& span : spans) {
+    if (span.begin >= span.end || span.end > num_tokens) {
+      return Status::InvalidArgument(
+          "span out of range: [" + std::to_string(span.begin) + ", " +
+          std::to_string(span.end) + ") of " + std::to_string(num_tokens));
+    }
+    for (size_t i = span.begin; i < span.end; ++i) {
+      if (used[i]) {
+        return Status::InvalidArgument("overlapping spans at token " +
+                                       std::to_string(i));
+      }
+      used[i] = true;
+      tags[i] = (i == span.begin ? "B-" : "I-") + span.label;
+    }
+  }
+  return tags;
+}
+
+std::vector<Span> BioToSpans(const std::vector<std::string>& tags) {
+  std::vector<Span> spans;
+  Span current;
+  bool open = false;
+  auto close = [&](size_t end) {
+    if (open) {
+      current.end = end;
+      spans.push_back(current);
+      open = false;
+    }
+  };
+  for (size_t i = 0; i < tags.size(); ++i) {
+    const std::string& tag = tags[i];
+    if (tag == "O" || tag.size() < 3 ||
+        (tag[0] != 'B' && tag[0] != 'I') || tag[1] != '-') {
+      close(i);
+      continue;
+    }
+    const std::string label = tag.substr(2);
+    if (tag[0] == 'B' || !open || current.label != label) {
+      close(i);
+      current.begin = i;
+      current.label = label;
+      open = true;
+    }
+  }
+  close(tags.size());
+  return spans;
+}
+
+void SpanScorer::Add(const std::vector<Span>& gold,
+                     const std::vector<Span>& predicted) {
+  gold_ += gold.size();
+  predicted_ += predicted.size();
+  for (const Span& p : predicted) {
+    if (std::find(gold.begin(), gold.end(), p) != gold.end()) {
+      ++correct_;
+    }
+  }
+}
+
+SpanScore SpanScorer::Score() const {
+  SpanScore s;
+  s.num_gold = gold_;
+  s.num_predicted = predicted_;
+  s.num_correct = correct_;
+  s.precision = predicted_ == 0
+                    ? 0.0
+                    : static_cast<double>(correct_) / predicted_;
+  s.recall = gold_ == 0 ? 0.0 : static_cast<double>(correct_) / gold_;
+  s.f1 = (s.precision + s.recall) == 0.0
+             ? 0.0
+             : 2.0 * s.precision * s.recall / (s.precision + s.recall);
+  return s;
+}
+
+}  // namespace kg::text

@@ -1,0 +1,58 @@
+#ifndef KGRAPH_TEXT_BIO_H_
+#define KGRAPH_TEXT_BIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kg::text {
+
+/// A labeled token span [begin, end) with an attribute label, the unit
+/// NER-style extractors (OpenTag and descendants) produce.
+struct Span {
+  size_t begin = 0;  ///< First token index.
+  size_t end = 0;    ///< One past the last token index.
+  std::string label;
+
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+/// Converts spans to BIO tags ("B-label", "I-label", "O") over a sequence
+/// of `num_tokens` tokens. Overlapping spans are rejected.
+Result<std::vector<std::string>> SpansToBio(const std::vector<Span>& spans,
+                                            size_t num_tokens);
+
+/// Converts BIO tags back to spans. Tolerates malformed sequences the way
+/// seqeval does: an I-x without a preceding B-x/I-x opens a new span.
+std::vector<Span> BioToSpans(const std::vector<std::string>& tags);
+
+/// Exact-span micro P/R/F1 of predicted vs gold spans.
+struct SpanScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t num_gold = 0;
+  size_t num_predicted = 0;
+  size_t num_correct = 0;
+};
+
+/// Accumulates span matches over many sequences.
+class SpanScorer {
+ public:
+  /// Adds one sequence's predictions against its gold spans.
+  void Add(const std::vector<Span>& gold,
+           const std::vector<Span>& predicted);
+
+  /// Final micro-averaged scores.
+  SpanScore Score() const;
+
+ private:
+  size_t gold_ = 0;
+  size_t predicted_ = 0;
+  size_t correct_ = 0;
+};
+
+}  // namespace kg::text
+
+#endif  // KGRAPH_TEXT_BIO_H_

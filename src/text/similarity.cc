@@ -1,0 +1,145 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/tokenize.h"
+
+namespace kg::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t del = row[i] + 1;
+      const size_t ins = row[i - 1] + 1;
+      const size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min({del, ins, sub});
+    }
+  }
+  return row[a.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t window =
+      std::max<size_t>(1, std::max(a.size(), b.size()) / 2) - 1;
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() +
+          (m - transpositions / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + 0.1 * static_cast<double>(prefix) * (1.0 - jaro);
+}
+
+namespace {
+std::unordered_set<std::string> ToSet(const std::vector<std::string>& v) {
+  return {v.begin(), v.end()};
+}
+}  // namespace
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  const auto sa = ToSet(a);
+  const auto sb = ToSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t intersection = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++intersection;
+  }
+  const size_t uni = sa.size() + sb.size() - intersection;
+  return uni == 0 ? 1.0 : static_cast<double>(intersection) / uni;
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  const auto sa = ToSet(a);
+  const auto sb = ToSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++intersection;
+  }
+  return static_cast<double>(intersection) / std::min(sa.size(), sb.size());
+}
+
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& ta : a) {
+    double best = 0.0;
+    for (const auto& tb : b) {
+      best = std::max(best, JaroWinklerSimilarity(ta, tb));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+double NumericSimilarity(double a, double b, double scale) {
+  if (scale <= 0.0) return a == b ? 1.0 : 0.0;
+  return std::exp(-std::abs(a - b) / scale);
+}
+
+double DiceBigramSimilarity(std::string_view a, std::string_view b) {
+  const auto ga = CharNgrams(a, 2);
+  const auto gb = CharNgrams(b, 2);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  const auto sa = ToSet(ga);
+  const auto sb = ToSet(gb);
+  size_t intersection = 0;
+  for (const auto& g : sa) {
+    if (sb.count(g)) ++intersection;
+  }
+  return 2.0 * static_cast<double>(intersection) /
+         static_cast<double>(sa.size() + sb.size());
+}
+
+}  // namespace kg::text

@@ -1,0 +1,45 @@
+#ifndef KGRAPH_TEXT_SIMILARITY_H_
+#define KGRAPH_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kg::text {
+
+/// Edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(len); 1.0 for two empty strings. In [0, 1].
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler with standard prefix scaling (p = 0.1, max prefix 4).
+/// The workhorse of name matching in entity linkage.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// |A ∩ B| / |A ∪ B| over token multiset-as-set; 1.0 when both empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// |A ∩ B| / min(|A|, |B|); robust when one string contains the other
+/// (e.g. "Xin Dong" vs "Xin Luna Dong").
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Monge-Elkan: mean over tokens of `a` of the best Jaro-Winkler match in
+/// `b`. Asymmetric; callers usually take the max of both directions.
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+/// Similarity of two numeric values: exp(-|a-b| / scale). 1.0 at equality.
+double NumericSimilarity(double a, double b, double scale);
+
+/// Dice coefficient over character bigrams; good for short noisy values.
+double DiceBigramSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace kg::text
+
+#endif  // KGRAPH_TEXT_SIMILARITY_H_

@@ -1,0 +1,86 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kg::text {
+
+double SparseVector::Norm() const {
+  double sum = 0.0;
+  for (const auto& [id, w] : entries) sum += w * w;
+  return std::sqrt(sum);
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < entries.size() && j < other.entries.size()) {
+    if (entries[i].first < other.entries[j].first) {
+      ++i;
+    } else if (entries[i].first > other.entries[j].first) {
+      ++j;
+    } else {
+      sum += entries[i].second * other.entries[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  const double na = a.Norm();
+  const double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return a.Dot(b) / (na * nb);
+}
+
+void TfidfVectorizer::Fit(
+    const std::vector<std::vector<std::string>>& documents) {
+  vocab_.clear();
+  std::vector<size_t> doc_freq;
+  for (const auto& doc : documents) {
+    // Count each term once per document.
+    std::vector<uint32_t> seen_ids;
+    for (const auto& term : doc) {
+      auto [it, inserted] = vocab_.try_emplace(
+          term, static_cast<uint32_t>(vocab_.size()));
+      if (inserted) doc_freq.push_back(0);
+      const uint32_t id = it->second;
+      if (std::find(seen_ids.begin(), seen_ids.end(), id) ==
+          seen_ids.end()) {
+        seen_ids.push_back(id);
+        ++doc_freq[id];
+      }
+    }
+  }
+  const double n = static_cast<double>(std::max<size_t>(1, documents.size()));
+  idf_.resize(doc_freq.size());
+  for (size_t i = 0; i < doc_freq.size(); ++i) {
+    // Smoothed IDF, never negative.
+    idf_[i] = std::log((1.0 + n) / (1.0 + doc_freq[i])) + 1.0;
+  }
+}
+
+SparseVector TfidfVectorizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  std::unordered_map<uint32_t, double> counts;
+  for (const auto& t : tokens) {
+    auto it = vocab_.find(t);
+    if (it != vocab_.end()) counts[it->second] += 1.0;
+  }
+  SparseVector out;
+  out.entries.reserve(counts.size());
+  for (const auto& [id, tf] : counts) {
+    out.entries.emplace_back(id, tf * idf_[id]);
+  }
+  std::sort(out.entries.begin(), out.entries.end());
+  return out;
+}
+
+int64_t TfidfVectorizer::TermId(const std::string& term) const {
+  auto it = vocab_.find(term);
+  return it == vocab_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+}  // namespace kg::text

@@ -1,0 +1,48 @@
+#ifndef KGRAPH_TEXT_TFIDF_H_
+#define KGRAPH_TEXT_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kg::text {
+
+/// Sparse feature vector: term id -> weight, kept sorted by id.
+struct SparseVector {
+  std::vector<std::pair<uint32_t, double>> entries;
+
+  /// L2 norm.
+  double Norm() const;
+  /// Dot product (both inputs must be sorted by id).
+  double Dot(const SparseVector& other) const;
+};
+
+/// Cosine similarity of two sparse vectors (0 when either is empty).
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// TF-IDF vectorizer over token lists. Fit() learns the vocabulary and
+/// document frequencies; Transform() produces L2-normalizable sparse
+/// vectors. Terms unseen during Fit are dropped at Transform time.
+class TfidfVectorizer {
+ public:
+  TfidfVectorizer() = default;
+
+  /// Learns vocabulary and IDF weights from `documents`.
+  void Fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// TF-IDF vector of a tokenized document.
+  SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  size_t vocabulary_size() const { return idf_.size(); }
+
+  /// Id of `term`, or -1 when out of vocabulary.
+  int64_t TermId(const std::string& term) const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> vocab_;
+  std::vector<double> idf_;
+};
+
+}  // namespace kg::text
+
+#endif  // KGRAPH_TEXT_TFIDF_H_

@@ -1,0 +1,100 @@
+#include "text/tokenize.h"
+
+#include <cctype>
+
+namespace kg::text {
+
+namespace {
+bool IsTokenChar(char c, bool split_hyphens) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  if (c == '-' && !split_hyphens) return true;
+  return false;
+}
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizeOptions& options) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsTokenChar(text[i], options.split_hyphens)) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() && IsTokenChar(text[i], options.split_hyphens)) {
+      ++i;
+    }
+    if (i == start) continue;
+    std::string token(text.substr(start, i - start));
+    // Trim hyphens that only delimited the token.
+    while (!token.empty() && token.front() == '-') token.erase(0, 1);
+    while (!token.empty() && token.back() == '-') token.pop_back();
+    if (token.empty()) continue;
+    if (!options.keep_numbers) {
+      bool all_digits = true;
+      for (char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          all_digits = false;
+          break;
+        }
+      }
+      if (all_digits) continue;
+    }
+    if (options.lowercase) {
+      for (char& c : token) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+std::vector<std::string> CharNgrams(std::string_view token, size_t n) {
+  std::vector<std::string> grams;
+  if (n == 0) return grams;
+  std::string padded;
+  padded.reserve(token.size() + 2);
+  padded.push_back('^');
+  padded.append(token);
+  padded.push_back('$');
+  if (padded.size() < n) return grams;
+  for (size_t i = 0; i + n <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, n));
+  }
+  return grams;
+}
+
+std::vector<std::string> TokenNgrams(const std::vector<std::string>& tokens,
+                                     size_t n) {
+  std::vector<std::string> grams;
+  if (n == 0 || tokens.size() < n) return grams;
+  for (size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string gram = tokens[i];
+    for (size_t j = 1; j < n; ++j) {
+      gram.push_back('_');
+      gram.append(tokens[i + j]);
+    }
+    grams.push_back(std::move(gram));
+  }
+  return grams;
+}
+
+std::string NormalizeForMatch(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      pending_space = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace kg::text

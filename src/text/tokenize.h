@@ -1,0 +1,37 @@
+#ifndef KGRAPH_TEXT_TOKENIZE_H_
+#define KGRAPH_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kg::text {
+
+/// Tokenization options for the simple rule tokenizer.
+struct TokenizeOptions {
+  bool lowercase = true;        ///< ASCII-lowercase each token.
+  bool keep_numbers = true;     ///< Keep digit runs as tokens.
+  bool split_hyphens = false;   ///< Treat '-' as a separator.
+};
+
+/// Splits `text` into word tokens: maximal runs of alphanumerics
+/// (plus '-' unless split_hyphens). Punctuation is dropped. This is the
+/// tokenizer used by every extractor; keeping it in one place makes
+/// token offsets consistent between annotation and decoding.
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizeOptions& options = {});
+
+/// Character n-grams of `token` padded with '^'/'$' sentinels.
+std::vector<std::string> CharNgrams(std::string_view token, size_t n);
+
+/// Token n-grams joined with '_'.
+std::vector<std::string> TokenNgrams(const std::vector<std::string>& tokens,
+                                     size_t n);
+
+/// Normalizes a string for matching: lowercase, collapse whitespace and
+/// punctuation to single spaces, trim.
+std::string NormalizeForMatch(std::string_view text);
+
+}  // namespace kg::text
+
+#endif  // KGRAPH_TEXT_TOKENIZE_H_

@@ -1,0 +1,60 @@
+#include "textrich/cleaning.h"
+
+#include "text/tokenize.h"
+
+namespace kg::textrich {
+
+void CatalogCleaner::Fit(const std::vector<CatalogAssertion>& corpus) {
+  frequency_.clear();
+  totals_.clear();
+  for (const CatalogAssertion& a : corpus) {
+    const auto key = std::make_pair(a.type_name, a.attribute);
+    ++frequency_[key][a.value];
+    ++totals_[key];
+  }
+}
+
+bool CatalogCleaner::ShouldDrop(const CatalogAssertion& assertion,
+                                const Options& options) const {
+  const auto key = std::make_pair(assertion.type_name, assertion.attribute);
+  auto it = frequency_.find(key);
+  size_t count = 0;
+  size_t total = 0;
+  if (it != frequency_.end()) {
+    auto vit = it->second.find(assertion.value);
+    if (vit != it->second.end()) count = vit->second;
+    total = totals_.at(key);
+  }
+  const double share =
+      total == 0 ? 0.0
+                 : static_cast<double>(count) / static_cast<double>(total);
+  const bool population_ok =
+      count >= options.min_type_support && share >= options.min_type_share;
+  if (population_ok) return false;
+  if (options.text_rescue) {
+    // The value phrase appearing verbatim in the product's own text is
+    // strong evidence it is real.
+    const std::string norm_text =
+        text::NormalizeForMatch(assertion.evidence_text);
+    const std::string norm_value =
+        text::NormalizeForMatch(assertion.value);
+    if (!norm_value.empty() &&
+        norm_text.find(norm_value) != std::string::npos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<CatalogAssertion> CatalogCleaner::Clean(
+    const std::vector<CatalogAssertion>& batch,
+    const Options& options) const {
+  std::vector<CatalogAssertion> kept;
+  kept.reserve(batch.size());
+  for (const CatalogAssertion& a : batch) {
+    if (!ShouldDrop(a, options)) kept.push_back(a);
+  }
+  return kept;
+}
+
+}  // namespace kg::textrich

@@ -1,0 +1,64 @@
+#ifndef KGRAPH_TEXTRICH_CLEANING_H_
+#define KGRAPH_TEXTRICH_CLEANING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kg::textrich {
+
+/// A (product, attribute, value) assertion to be vetted by cleaning.
+struct CatalogAssertion {
+  uint32_t product_id = 0;
+  std::string type_name;
+  std::string attribute;
+  std::string value;
+  /// Free text associated with the product (title + description) for
+  /// text-consistency checks.
+  std::string evidence_text;
+};
+
+/// AutoKnow-style catalog cleaning (§3.2): flags assertions that are
+/// inconsistent with (a) the value distribution of their (type,
+/// attribute) population — "spicy is unlikely to be the flavor of
+/// icecreams" — or (b) their own product's text evidence. Frequencies are
+/// learned from the (noisy) corpus itself; no gold data involved.
+class CatalogCleaner {
+ public:
+  struct Options {
+    /// A value observed fewer than this many times for its (type, attr)
+    /// population is anomalous…
+    size_t min_type_support = 2;
+    /// …unless the product's own text mentions it (text rescues rare but
+    /// correct values).
+    bool text_rescue = true;
+    /// Fraction of the population a value must reach to be trusted
+    /// without text evidence.
+    double min_type_share = 0.02;
+  };
+
+  CatalogCleaner() = default;
+
+  /// Learns (type, attribute) -> value frequency tables.
+  void Fit(const std::vector<CatalogAssertion>& corpus);
+
+  /// True when the assertion should be dropped.
+  bool ShouldDrop(const CatalogAssertion& assertion,
+                  const Options& options) const;
+
+  /// Filters a batch; returns the kept assertions.
+  std::vector<CatalogAssertion> Clean(
+      const std::vector<CatalogAssertion>& batch,
+      const Options& options) const;
+
+ private:
+  // (type, attribute) -> value -> count.
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::string, size_t>>
+      frequency_;
+  std::map<std::pair<std::string, std::string>, size_t> totals_;
+};
+
+}  // namespace kg::textrich
+
+#endif  // KGRAPH_TEXTRICH_CLEANING_H_

@@ -1,0 +1,46 @@
+#include "textrich/description_extractor.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace kg::textrich {
+
+std::vector<DescriptionExtraction> ExtractFromDescription(
+    const std::string& description,
+    const std::vector<std::string>& known_attributes) {
+  std::vector<DescriptionExtraction> out;
+  // Clause-split on sentence boundaries, then look for "attr: value".
+  for (const std::string& raw : Split(description, '.')) {
+    const std::string clause(Trim(raw));
+    const size_t colon = clause.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string attr = ToLower(std::string(
+        Trim(clause.substr(0, colon))));
+    if (std::find(known_attributes.begin(), known_attributes.end(),
+                  attr) == known_attributes.end()) {
+      continue;
+    }
+    std::string value(Trim(clause.substr(colon + 1)));
+    while (!value.empty() &&
+           (value.back() == '.' || value.back() == ',')) {
+      value.pop_back();
+    }
+    if (value.empty()) continue;
+    out.push_back(DescriptionExtraction{attr, value});
+  }
+  return out;
+}
+
+std::map<std::string, std::string> MergeExtractionStreams(
+    const std::vector<std::map<std::string, std::string>>& streams) {
+  std::map<std::string, std::string> merged;
+  for (const auto& stream : streams) {
+    for (const auto& [attr, value] : stream) {
+      merged.emplace(attr, value);  // First (highest-priority) wins.
+    }
+  }
+  return merged;
+}
+
+}  // namespace kg::textrich

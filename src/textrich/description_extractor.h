@@ -1,0 +1,35 @@
+#ifndef KGRAPH_TEXTRICH_DESCRIPTION_EXTRACTOR_H_
+#define KGRAPH_TEXTRICH_DESCRIPTION_EXTRACTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kg::textrich {
+
+/// Rule-based extraction from product descriptions (§3.1 grounds product
+/// knowledge in "product names, descriptions, and bullets"; descriptions
+/// carry semi-regular "attribute: value" phrasing that cheap rules
+/// harvest at high precision). Complements the title NER extractor —
+/// AutoKnow merges both streams.
+struct DescriptionExtraction {
+  std::string attribute;
+  std::string value;
+};
+
+/// Extracts "attr: value" statements from `description`, keeping only
+/// attributes in `known_attributes` (the closed-IE schema). Values are
+/// trimmed of trailing punctuation.
+std::vector<DescriptionExtraction> ExtractFromDescription(
+    const std::string& description,
+    const std::vector<std::string>& known_attributes);
+
+/// Merges extraction streams by per-attribute priority: earlier streams
+/// win (the caller orders them by trust, e.g. title NER > description
+/// rules > structured catalog).
+std::map<std::string, std::string> MergeExtractionStreams(
+    const std::vector<std::map<std::string, std::string>>& streams);
+
+}  // namespace kg::textrich
+
+#endif  // KGRAPH_TEXTRICH_DESCRIPTION_EXTRACTOR_H_

@@ -1,0 +1,150 @@
+#include "textrich/example_builder.h"
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "text/tokenize.h"
+
+namespace kg::textrich {
+
+bool FindValueSpan(const std::vector<std::string>& tokens,
+                   const std::string& value, size_t* begin, size_t* end) {
+  const auto value_tokens = text::Tokenize(value);
+  if (value_tokens.empty() || value_tokens.size() > tokens.size()) {
+    return false;
+  }
+  for (size_t i = 0; i + value_tokens.size() <= tokens.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < value_tokens.size(); ++j) {
+      if (tokens[i + j] != value_tokens[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      *begin = i;
+      *end = i + value_tokens.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<extract::AttributeExample> BuildAttributeExamples(
+    const synth::ProductCatalog& catalog,
+    const std::vector<size_t>& product_indices,
+    const std::string& attribute, const ExampleBuildOptions& options) {
+  std::vector<extract::AttributeExample> examples;
+  const auto& taxonomy = catalog.taxonomy();
+
+  // (type, attribute) -> value tokens observed in the structured catalog
+  // across ALL products: a label-free lexicon for gazetteer features.
+  std::map<std::pair<graph::TypeId, std::string>, std::set<std::string>>
+      lexicon;
+  if (options.attach_lexicon) {
+    for (const auto& product : catalog.products()) {
+      for (const auto& [attr, value] : product.catalog_values) {
+        for (const auto& token : text::Tokenize(value)) {
+          lexicon[{product.type, attr}].insert(token);
+        }
+      }
+    }
+  }
+  // Attribute -> cluster name lookup.
+  auto cluster_of = [&](const std::string& attr) -> std::string {
+    for (size_t a = 0; a < catalog.attributes().size(); ++a) {
+      if (catalog.attributes()[a] == attr) {
+        return "c" + std::to_string(catalog.attribute_clusters()[a]);
+      }
+    }
+    return "";
+  };
+
+  for (size_t idx : product_indices) {
+    KG_CHECK(idx < catalog.products().size());
+    const synth::Product& product = catalog.products()[idx];
+    for (const std::string& attr :
+         catalog.AttributesForType(product.type)) {
+      if (!attribute.empty() && attr != attribute) continue;
+      extract::AttributeExample ex;
+      ex.tokens = product.title_tokens;
+      ex.attribute = attr;
+      ex.type_name = taxonomy.Name(product.type);
+      const auto& parents = taxonomy.Parents(product.type);
+      if (!parents.empty()) ex.category_name = taxonomy.Name(parents[0]);
+      ex.attribute_cluster = cluster_of(attr);
+      if (product.locale != 0) {
+        ex.locale = "loc" + std::to_string(product.locale);
+      }
+      if (options.attach_image_signals) {
+        auto it = product.image_values.find(attr);
+        if (it != product.image_values.end()) {
+          ex.extra_context.push_back("imgval=" + it->second);
+        }
+      }
+      if (options.attach_lexicon) {
+        auto lit = lexicon.find({product.type, attr});
+        if (lit != lexicon.end()) {
+          ex.lexicon_tokens.assign(lit->second.begin(),
+                                   lit->second.end());
+        }
+      }
+      switch (options.label_source) {
+        case LabelSource::kGold: {
+          auto it = product.title_spans.find(attr);
+          if (it != product.title_spans.end()) {
+            ex.gold_spans.push_back(it->second);
+          }
+          break;
+        }
+        case LabelSource::kDistant: {
+          auto it = product.catalog_values.find(attr);
+          if (it != product.catalog_values.end()) {
+            size_t begin = 0, end = 0;
+            if (FindValueSpan(ex.tokens, it->second, &begin, &end)) {
+              ex.gold_spans.push_back(text::Span{begin, end, attr});
+            }
+          }
+          break;
+        }
+      }
+      examples.push_back(std::move(ex));
+    }
+  }
+  return examples;
+}
+
+std::vector<extract::AttributeExample> FilterDistantExamples(
+    const std::vector<extract::AttributeExample>& examples,
+    double keep_empty_fraction) {
+  std::vector<extract::AttributeExample> kept;
+  kept.reserve(examples.size());
+  const size_t stride =
+      keep_empty_fraction <= 0.0
+          ? 0
+          : std::max<size_t>(1, static_cast<size_t>(1.0 /
+                                                    keep_empty_fraction));
+  size_t empty_seen = 0;
+  for (const auto& ex : examples) {
+    if (!ex.gold_spans.empty()) {
+      kept.push_back(ex);
+    } else if (stride != 0 && empty_seen++ % stride == 0) {
+      kept.push_back(ex);
+    }
+  }
+  return kept;
+}
+
+void SplitIndices(size_t n, double train_fraction,
+                  std::vector<size_t>* train, std::vector<size_t>* test) {
+  train->clear();
+  test->clear();
+  const size_t cut = static_cast<size_t>(train_fraction *
+                                         static_cast<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    (i < cut ? train : test)->push_back(i);
+  }
+}
+
+}  // namespace kg::textrich

@@ -1,0 +1,59 @@
+#ifndef KGRAPH_TEXTRICH_EXAMPLE_BUILDER_H_
+#define KGRAPH_TEXTRICH_EXAMPLE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/opentag.h"
+#include "synth/catalog_generator.h"
+
+namespace kg::textrich {
+
+/// How attribute-extraction examples are labeled.
+enum class LabelSource {
+  kGold,     ///< Generator gold spans — "manual labeling".
+  kDistant,  ///< Spans found by matching the (noisy) structured catalog
+             ///< value inside the title — "distant supervision" (§3.2).
+};
+
+struct ExampleBuildOptions {
+  LabelSource label_source = LabelSource::kGold;
+  /// Attach image-channel signals as extra context (the PAM modality).
+  bool attach_image_signals = false;
+  /// Attach a (type, attribute) value lexicon mined from the structured
+  /// catalog (observable without gold labels) for gazetteer features.
+  bool attach_lexicon = false;
+};
+
+/// Builds one extraction example per (product, applicable attribute) for
+/// products at `product_indices`. When `attribute` is non-empty, restricts
+/// to that attribute. Examples carry type/category/cluster metadata for
+/// the type-/attribute-aware extractors.
+std::vector<extract::AttributeExample> BuildAttributeExamples(
+    const synth::ProductCatalog& catalog,
+    const std::vector<size_t>& product_indices,
+    const std::string& attribute, const ExampleBuildOptions& options);
+
+/// Convenience: indices [0, n) split deterministically into train/test at
+/// `train_fraction` (no shuffle — product order is already random).
+void SplitIndices(size_t n, double train_fraction,
+                  std::vector<size_t>* train, std::vector<size_t>* test);
+
+/// Distant-supervision hygiene: catalog-missing does NOT mean
+/// value-absent, so unmatched examples are mostly false negatives. Keeps
+/// every example with a matched span plus a deterministic
+/// `keep_empty_fraction` slice of span-less ones (the model still needs
+/// true negatives).
+std::vector<extract::AttributeExample> FilterDistantExamples(
+    const std::vector<extract::AttributeExample>& examples,
+    double keep_empty_fraction = 0.2);
+
+/// Finds `value`'s tokens as a contiguous subsequence of `tokens`;
+/// returns true and fills [begin, end) on success. The distant-label
+/// matcher.
+bool FindValueSpan(const std::vector<std::string>& tokens,
+                   const std::string& value, size_t* begin, size_t* end);
+
+}  // namespace kg::textrich
+
+#endif  // KGRAPH_TEXTRICH_EXAMPLE_BUILDER_H_

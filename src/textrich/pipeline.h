@@ -1,0 +1,61 @@
+#ifndef KGRAPH_TEXTRICH_PIPELINE_H_
+#define KGRAPH_TEXTRICH_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/catalog_generator.h"
+#include "textrich/cleaning.h"
+#include "textrich/example_builder.h"
+
+namespace kg::textrich {
+
+/// Quality and cost after one pipeline stage.
+struct PipelineStageReport {
+  std::string stage;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// Cumulative human cost in person-days (the paper's months-to-weeks
+  /// axis, Figure 5).
+  double cost_person_days = 0.0;
+};
+
+/// Result of a full pipeline run for one attribute.
+struct PipelineResult {
+  std::vector<PipelineStageReport> stages;
+  double final_f1 = 0.0;
+  double total_cost_person_days = 0.0;
+  bool passed_gate = false;
+};
+
+/// The §3.2 production extraction pipeline, in both flavors:
+///   kManual (Figure 5a): human-labeled training data, hand hyper-tuning,
+///     hand-written rule post-processing — high quality, high cost;
+///   kAutomated (Figure 5b): distant supervision from the catalog, AutoML
+///     tuning, ML-based cleaning, a small human-labeled benchmark only.
+enum class PipelineMode { kManual, kAutomated };
+
+struct PipelineOptions {
+  PipelineMode mode = PipelineMode::kAutomated;
+  /// Train/test split over products.
+  double train_fraction = 0.7;
+  /// Quality bar of the pre-publish gate.
+  double gate_f1 = 0.90;
+  /// Hyper-parameter tuning on/off (its cost depends on mode).
+  bool tune = true;
+  CatalogCleaner::Options cleaning;
+};
+
+/// Runs the pipeline for `attribute` over `catalog`; every stage is real
+/// computation (train, tune, filter, evaluate) — only the person-day
+/// constants are annotations.
+PipelineResult RunExtractionPipeline(const synth::ProductCatalog& catalog,
+                                     const std::string& attribute,
+                                     const PipelineOptions& options,
+                                     Rng& rng);
+
+}  // namespace kg::textrich
+
+#endif  // KGRAPH_TEXTRICH_PIPELINE_H_

@@ -1,0 +1,82 @@
+#include "textrich/product_graph.h"
+
+namespace kg::textrich {
+
+graph::KnowledgeGraph BuildProductGraph(
+    const synth::ProductCatalog& catalog,
+    const std::map<uint32_t, std::map<std::string, std::string>>&
+        assertions,
+    const MinedTaxonomy* mined) {
+  using graph::NodeKind;
+  graph::KnowledgeGraph kg;
+  const graph::Provenance prov{"catalog", 1.0, 0};
+
+  // Taxonomy as class nodes with subtype_of edges.
+  const auto& taxonomy = catalog.taxonomy();
+  for (graph::TypeId t = 0; t < taxonomy.size(); ++t) {
+    kg.AddNode(taxonomy.Name(t), NodeKind::kClass);
+    for (graph::TypeId parent : taxonomy.Parents(t)) {
+      kg.AddTriple(taxonomy.Name(t), "subtype_of", taxonomy.Name(parent),
+                   NodeKind::kClass, NodeKind::kClass, prov);
+    }
+  }
+
+  for (const auto& product : catalog.products()) {
+    const std::string product_node = "product:" +
+                                     std::to_string(product.id);
+    kg.AddTriple(product_node, "has_type",
+                 taxonomy.Name(product.type), NodeKind::kEntity,
+                 NodeKind::kClass, prov);
+    kg.AddTriple(product_node, "brand", product.brand, NodeKind::kEntity,
+                 NodeKind::kText, prov);
+    auto it = assertions.find(product.id);
+    if (it == assertions.end()) continue;
+    for (const auto& [attr, value] : it->second) {
+      kg.AddTriple(product_node, attr, value, NodeKind::kEntity,
+                   NodeKind::kText, prov);
+    }
+  }
+
+  if (mined != nullptr) {
+    const graph::Provenance mined_prov{"behavior_mining", 0.9, 0};
+    for (const SynonymPair& pair : mined->synonyms) {
+      kg.AddTriple(pair.a, "synonym", pair.b, NodeKind::kText,
+                   NodeKind::kText, mined_prov);
+    }
+  }
+  return kg;
+}
+
+ProductGraphStats ComputeProductGraphStats(
+    const graph::KnowledgeGraph& kg) {
+  ProductGraphStats stats;
+  for (graph::NodeId id = 0; id < kg.num_nodes(); ++id) {
+    switch (kg.GetNodeKind(id)) {
+      case graph::NodeKind::kEntity:
+        ++stats.product_nodes;
+        break;
+      case graph::NodeKind::kText:
+        ++stats.text_nodes;
+        break;
+      case graph::NodeKind::kClass:
+        ++stats.class_nodes;
+        break;
+    }
+  }
+  size_t text_objects = 0;
+  const auto all = kg.AllTriples();
+  stats.triples = all.size();
+  for (graph::TripleId id : all) {
+    if (kg.GetNodeKind(kg.triple(id).object) == graph::NodeKind::kText) {
+      ++text_objects;
+    }
+  }
+  stats.text_object_fraction =
+      stats.triples == 0
+          ? 0.0
+          : static_cast<double>(text_objects) /
+                static_cast<double>(stats.triples);
+  return stats;
+}
+
+}  // namespace kg::textrich

@@ -1,0 +1,40 @@
+#ifndef KGRAPH_TEXTRICH_PRODUCT_GRAPH_H_
+#define KGRAPH_TEXTRICH_PRODUCT_GRAPH_H_
+
+#include <map>
+#include <string>
+
+#include "graph/knowledge_graph.h"
+#include "synth/catalog_generator.h"
+#include "textrich/taxonomy_mining.h"
+
+namespace kg::textrich {
+
+/// Builds the text-rich product KG of Figure 1b: product entity nodes on
+/// one side, free-text value nodes on the other (bipartite but for
+/// taxonomy and synonym edges), class nodes for the type hierarchy.
+/// `assertions` carries the (cleaned) attribute values per product id;
+/// `mined` optionally contributes synonym edges between text nodes.
+graph::KnowledgeGraph BuildProductGraph(
+    const synth::ProductCatalog& catalog,
+    const std::map<uint32_t, std::map<std::string, std::string>>&
+        assertions,
+    const MinedTaxonomy* mined = nullptr);
+
+/// Shape statistics used to verify the "mostly bipartite" property the
+/// paper ascribes to text-rich KGs.
+struct ProductGraphStats {
+  size_t product_nodes = 0;
+  size_t text_nodes = 0;
+  size_t class_nodes = 0;
+  size_t triples = 0;
+  /// Fraction of triples whose object is a free-text node.
+  double text_object_fraction = 0.0;
+};
+
+ProductGraphStats ComputeProductGraphStats(
+    const graph::KnowledgeGraph& kg);
+
+}  // namespace kg::textrich
+
+#endif  // KGRAPH_TEXTRICH_PRODUCT_GRAPH_H_

@@ -1,0 +1,87 @@
+#include "textrich/related_products.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace kg::textrich {
+
+namespace {
+
+using PairKey = std::pair<uint32_t, uint32_t>;
+
+PairKey Key(uint32_t a, uint32_t b) {
+  return a < b ? PairKey{a, b} : PairKey{b, a};
+}
+
+}  // namespace
+
+std::vector<RelatedPair> MineRelatedProducts(
+    const synth::BehaviorLog& log, const RelatedProductsOptions& options) {
+  std::map<PairKey, size_t> co_view, co_purchase;
+  for (const auto& p : log.co_views) {
+    if (p.a == p.b) continue;
+    ++co_view[Key(p.a, p.b)];
+  }
+  for (const auto& p : log.co_purchases) {
+    if (p.a == p.b) continue;
+    ++co_purchase[Key(p.a, p.b)];
+  }
+
+  std::vector<RelatedPair> out;
+  for (const auto& [key, views] : co_view) {
+    if (views < options.min_support) continue;
+    out.push_back({key.first, key.second, RelatedKind::kSubstitute,
+                   static_cast<double>(views)});
+  }
+  for (const auto& [key, purchases] : co_purchase) {
+    if (purchases < options.min_support) continue;
+    auto cv = co_view.find(key);
+    const double view_ratio =
+        cv == co_view.end()
+            ? 0.0
+            : static_cast<double>(cv->second) /
+                  static_cast<double>(purchases);
+    if (view_ratio > options.max_coview_ratio_for_complement) continue;
+    out.push_back({key.first, key.second, RelatedKind::kComplement,
+                   static_cast<double>(purchases)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RelatedPair& a, const RelatedPair& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+RelatedScore ScoreRelatedProducts(const synth::ProductCatalog& catalog,
+                                  const std::vector<RelatedPair>& pairs) {
+  RelatedScore score;
+  const auto& taxonomy = catalog.taxonomy();
+  auto category_of = [&](uint32_t product) {
+    const auto type = catalog.products()[product].type;
+    const auto& parents = taxonomy.Parents(type);
+    return parents.empty() ? type : parents[0];
+  };
+  size_t sub_same = 0, comp_cross = 0;
+  for (const RelatedPair& p : pairs) {
+    const bool same = category_of(p.a) == category_of(p.b);
+    if (p.kind == RelatedKind::kSubstitute) {
+      ++score.substitutes;
+      sub_same += same;
+    } else {
+      ++score.complements;
+      comp_cross += !same;
+    }
+  }
+  if (score.substitutes > 0) {
+    score.substitute_same_category_rate =
+        static_cast<double>(sub_same) / score.substitutes;
+  }
+  if (score.complements > 0) {
+    score.complement_cross_category_rate =
+        static_cast<double>(comp_cross) / score.complements;
+  }
+  return score;
+}
+
+}  // namespace kg::textrich

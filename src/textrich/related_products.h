@@ -1,0 +1,61 @@
+#ifndef KGRAPH_TEXTRICH_RELATED_PRODUCTS_H_
+#define KGRAPH_TEXTRICH_RELATED_PRODUCTS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "synth/behavior_generator.h"
+#include "synth/catalog_generator.h"
+
+namespace kg::textrich {
+
+/// Relationship between two products mined from engagement.
+enum class RelatedKind {
+  kSubstitute,   ///< Interchangeable alternatives (co-viewed peers).
+  kComplement,   ///< Bought together across categories (P-Companion).
+};
+
+struct RelatedPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  RelatedKind kind = RelatedKind::kSubstitute;
+  double score = 0.0;
+};
+
+/// P-Companion-lite (§3.1: behavior signals "are also used to establish
+/// the substitutes and complements between products"). The heuristics:
+///  * substitutes: products co-VIEWED often — the customer compared them
+///    before choosing one;
+///  * complements: products co-PURCHASED often but NOT frequently
+///    co-viewed — bought together, not compared (diversified
+///    complementary recommendation).
+struct RelatedProductsOptions {
+  /// Minimum co-engagement events for a pair to be considered.
+  size_t min_support = 3;
+  /// A co-purchased pair with co-view support above this fraction of its
+  /// co-purchase support is reclassified as substitute-ish and dropped
+  /// from complements.
+  double max_coview_ratio_for_complement = 0.5;
+};
+
+/// Mines substitute and complement pairs from a behavior log.
+std::vector<RelatedPair> MineRelatedProducts(
+    const synth::BehaviorLog& log, const RelatedProductsOptions& options);
+
+/// Quality of mined pairs against the generator's latent structure:
+/// substitutes should share a taxonomy category; complements should
+/// cross categories.
+struct RelatedScore {
+  size_t substitutes = 0;
+  size_t complements = 0;
+  double substitute_same_category_rate = 0.0;
+  double complement_cross_category_rate = 0.0;
+};
+
+RelatedScore ScoreRelatedProducts(const synth::ProductCatalog& catalog,
+                                  const std::vector<RelatedPair>& pairs);
+
+}  // namespace kg::textrich
+
+#endif  // KGRAPH_TEXTRICH_RELATED_PRODUCTS_H_

@@ -1,0 +1,169 @@
+#include "textrich/taxonomy_mining.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+
+namespace kg::textrich {
+
+namespace {
+
+// query -> (type -> purchase count).
+using QueryProfile = std::map<std::string, std::map<graph::TypeId, double>>;
+
+double Concentration(const std::map<graph::TypeId, double>& dist,
+                     graph::TypeId* top_type) {
+  double total = 0.0, best = 0.0;
+  graph::TypeId best_type = 0;
+  for (const auto& [type, count] : dist) {
+    total += count;
+    if (count > best) {
+      best = count;
+      best_type = type;
+    }
+  }
+  if (top_type != nullptr) *top_type = best_type;
+  return total == 0.0 ? 0.0 : best / total;
+}
+
+double CosineOverTypes(const std::map<graph::TypeId, double>& a,
+                       const std::map<graph::TypeId, double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [type, count] : a) {
+    na += count * count;
+    auto it = b.find(type);
+    if (it != b.end()) dot += count * it->second;
+  }
+  for (const auto& [type, count] : b) nb += count * count;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace
+
+MinedTaxonomy MineTaxonomy(const synth::ProductCatalog& catalog,
+                           const synth::BehaviorLog& log,
+                           const TaxonomyMiningOptions& options) {
+  // Product -> type map (the only catalog information used).
+  std::map<uint32_t, graph::TypeId> product_type;
+  for (const auto& product : catalog.products()) {
+    product_type[product.id] = product.type;
+  }
+
+  QueryProfile profiles;
+  std::map<std::string, size_t> support;
+  for (const auto& event : log.searches) {
+    auto it = product_type.find(event.purchased_product);
+    if (it == product_type.end()) continue;
+    profiles[event.query][it->second] += 1.0;
+    ++support[event.query];
+  }
+
+  // Split queries into concentrated (leaf-like) and broad.
+  std::map<std::string, graph::TypeId> leaf_query_type;
+  std::vector<std::string> broad_queries;
+  for (const auto& [query, dist] : profiles) {
+    if (support[query] < options.min_query_support) continue;
+    graph::TypeId top = 0;
+    const double conc = Concentration(dist, &top);
+    if (conc >= options.concentration_threshold) {
+      leaf_query_type[query] = top;
+    } else {
+      broad_queries.push_back(query);
+    }
+  }
+
+  MinedTaxonomy mined;
+  // Hypernyms: a broad query is a parent of each leaf type that takes a
+  // non-trivial share of its purchases.
+  for (const std::string& broad : broad_queries) {
+    const auto& dist = profiles[broad];
+    double total = 0.0;
+    for (const auto& [type, count] : dist) total += count;
+    for (const auto& [type, count] : dist) {
+      const double share = count / total;
+      if (share < options.min_child_share) continue;
+      // The child phrase: prefer a concentrated query naming this type.
+      std::string child_phrase = catalog.taxonomy().Name(type);
+      mined.hypernyms.push_back({child_phrase, broad, share});
+    }
+  }
+
+  // Synonyms: pairs of concentrated queries with near-identical purchase
+  // distributions over types.
+  std::vector<std::string> leaf_queries;
+  for (const auto& [query, type] : leaf_query_type) {
+    leaf_queries.push_back(query);
+  }
+  for (size_t i = 0; i < leaf_queries.size(); ++i) {
+    for (size_t j = i + 1; j < leaf_queries.size(); ++j) {
+      const double sim = CosineOverTypes(profiles[leaf_queries[i]],
+                                         profiles[leaf_queries[j]]);
+      if (sim >= options.synonym_similarity) {
+        mined.synonyms.push_back({leaf_queries[i], leaf_queries[j], sim});
+      }
+    }
+  }
+  return mined;
+}
+
+MiningScore ScoreMinedTaxonomy(const synth::ProductCatalog& catalog,
+                               const MinedTaxonomy& mined) {
+  const auto& taxonomy = catalog.taxonomy();
+  MiningScore score;
+  score.hypernyms_mined = mined.hypernyms.size();
+  score.synonyms_mined = mined.synonyms.size();
+
+  // Gold hypernym edges: (leaf type name, parent category name).
+  std::set<std::pair<std::string, std::string>> gold;
+  for (graph::TypeId leaf : catalog.leaf_types()) {
+    for (graph::TypeId parent : taxonomy.Parents(leaf)) {
+      gold.insert({taxonomy.Name(leaf), taxonomy.Name(parent)});
+    }
+  }
+  size_t correct = 0;
+  std::set<std::pair<std::string, std::string>> found;
+  for (const HypernymEdge& edge : mined.hypernyms) {
+    if (gold.count({edge.child, edge.parent})) {
+      ++correct;
+      found.insert({edge.child, edge.parent});
+    }
+  }
+  score.hypernym_precision =
+      mined.hypernyms.empty()
+          ? 0.0
+          : static_cast<double>(correct) / mined.hypernyms.size();
+  // Recall over gold edges whose parent category was queried at all is
+  // not observable here; report recall over all gold edges.
+  score.hypernym_recall =
+      gold.empty() ? 0.0
+                   : static_cast<double>(found.size()) / gold.size();
+
+  // Synonym pair is correct when the two phrases name the same leaf type
+  // (one of them being an alias).
+  std::map<std::string, graph::TypeId> phrase_type;
+  for (graph::TypeId leaf : catalog.leaf_types()) {
+    phrase_type[taxonomy.Name(leaf)] = leaf;
+    for (const std::string& alias : catalog.TypeAliases(leaf)) {
+      phrase_type[alias] = leaf;
+    }
+  }
+  size_t syn_correct = 0;
+  for (const SynonymPair& pair : mined.synonyms) {
+    auto a = phrase_type.find(pair.a);
+    auto b = phrase_type.find(pair.b);
+    if (a != phrase_type.end() && b != phrase_type.end() &&
+        a->second == b->second) {
+      ++syn_correct;
+    }
+  }
+  score.synonym_precision =
+      mined.synonyms.empty()
+          ? 0.0
+          : static_cast<double>(syn_correct) / mined.synonyms.size();
+  return score;
+}
+
+}  // namespace kg::textrich

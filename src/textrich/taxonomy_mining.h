@@ -1,0 +1,74 @@
+#ifndef KGRAPH_TEXTRICH_TAXONOMY_MINING_H_
+#define KGRAPH_TEXTRICH_TAXONOMY_MINING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synth/behavior_generator.h"
+#include "synth/catalog_generator.h"
+
+namespace kg::textrich {
+
+/// A mined is-a edge: `child` type-phrase is a subtype of `parent`.
+struct HypernymEdge {
+  std::string child;
+  std::string parent;
+  double score = 0.0;
+};
+
+/// A mined synonym pair of type phrases.
+struct SynonymPair {
+  std::string a;
+  std::string b;
+  double score = 0.0;
+};
+
+/// Octet-lite (§3.1): mines type relationships from search-to-purchase
+/// behavior. The signals:
+///  * hypernym: query q leads to purchases spread over several types whose
+///    own queries are purchase-concentrated ("tea" buyers buy green tea;
+///    "green tea" buyers rarely buy other teas);
+///  * synonym: two query strings whose purchase distributions over types
+///    are nearly identical.
+struct TaxonomyMiningOptions {
+  /// Minimum events for a query string to be considered.
+  size_t min_query_support = 20;
+  /// A query is "concentrated" when its top type takes at least this
+  /// purchase share (these are leaf-type queries).
+  double concentration_threshold = 0.7;
+  /// Minimum purchase share a child type must take of a broad query.
+  double min_child_share = 0.05;
+  /// Cosine similarity over purchase distributions above which two
+  /// queries are synonyms.
+  double synonym_similarity = 0.9;
+};
+
+struct MinedTaxonomy {
+  std::vector<HypernymEdge> hypernyms;
+  std::vector<SynonymPair> synonyms;
+};
+
+/// Mines from a behavior log. Product ids resolve to types via `catalog`
+/// (only the product->type mapping is used — no taxonomy peeking).
+MinedTaxonomy MineTaxonomy(const synth::ProductCatalog& catalog,
+                           const synth::BehaviorLog& log,
+                           const TaxonomyMiningOptions& options);
+
+/// Precision/recall of mined hypernym edges against the generator's true
+/// taxonomy (an edge is correct when child's true leaf type sits under
+/// the parent query's category, or parent is an alias of an ancestor).
+struct MiningScore {
+  double hypernym_precision = 0.0;
+  double hypernym_recall = 0.0;
+  double synonym_precision = 0.0;
+  size_t hypernyms_mined = 0;
+  size_t synonyms_mined = 0;
+};
+
+MiningScore ScoreMinedTaxonomy(const synth::ProductCatalog& catalog,
+                               const MinedTaxonomy& mined);
+
+}  // namespace kg::textrich
+
+#endif  // KGRAPH_TEXTRICH_TAXONOMY_MINING_H_

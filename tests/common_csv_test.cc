@@ -1,0 +1,94 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace kg {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto table = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][1], "4");
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto table = ParseCsv("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "x,y");
+  EXPECT_EQ(table->rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, HandlesCrlfAndEmbeddedNewline) {
+  auto table = ParseCsv("a,b\r\n\"line1\nline2\",z\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, RejectsArityMismatch) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, RejectsEmpty) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, ColumnIndex) {
+  auto table = ParseCsv("x,y,z\n1,2,3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ColumnIndex("y"), 1);
+  EXPECT_EQ(table->ColumnIndex("missing"), -1);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"a,b", "with \"quotes\""}, {"plain", "line\nbreak"}};
+  const std::string path = ::testing::TempDir() + "/kg_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->header, table.header);
+  EXPECT_EQ(loaded->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+class CsvRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTripTest, RandomTablesSurviveSerialization) {
+  Rng rng(GetParam());
+  CsvTable table;
+  const size_t cols = 1 + rng.UniformIndex(5);
+  const char alphabet[] = "ab,\"\n\r x";
+  for (size_t c = 0; c < cols; ++c) {
+    table.header.push_back("col" + std::to_string(c));
+  }
+  const size_t rows = rng.UniformIndex(20);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row(cols);
+    for (auto& cell : row) {
+      const size_t len = rng.UniformIndex(10);
+      for (size_t i = 0; i < len; ++i) {
+        cell.push_back(alphabet[rng.UniformIndex(sizeof(alphabet) - 1)]);
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+  auto reparsed = ParseCsv(WriteCsvString(table));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->header, table.header);
+  EXPECT_EQ(reparsed->rows, table.rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace kg

@@ -1,0 +1,43 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace kg {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "v"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // All lines equally wide.
+  std::istringstream is(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"x"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, BannerFormat) {
+  std::ostringstream os;
+  PrintBanner(os, "Figure 2");
+  EXPECT_EQ(os.str(), "\n== Figure 2 ==\n");
+}
+
+}  // namespace
+}  // namespace kg

@@ -1,0 +1,60 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace kg {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(),
+                   [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(5, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<long> values(1000);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(values.size(),
+                   [&](size_t i) { sum.fetch_add(values[i]); });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+}  // namespace
+}  // namespace kg

@@ -1,0 +1,114 @@
+#include "core/entity_kg_pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::core {
+namespace {
+
+struct World {
+  synth::EntityUniverse universe;
+  std::map<std::pair<uint32_t, std::string>, std::string> truth;
+};
+
+World MakeWorld(uint64_t seed) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 200;
+  uopt.num_movies = 400;
+  uopt.num_songs = 50;
+  Rng rng(seed);
+  World world{synth::EntityUniverse::Generate(uopt, rng), {}};
+  for (const auto& m : world.universe.movies()) {
+    world.truth[{m.id, "title"}] = m.title;
+    world.truth[{m.id, "release_year"}] = std::to_string(m.release_year);
+    world.truth[{m.id, "genre"}] = m.genre;
+    world.truth[{m.id, "director"}] =
+        world.universe.people()[m.director].name;
+  }
+  return world;
+}
+
+TEST(EntityKgBuilderTest, AnchorIngestCreatesEntities) {
+  World world = MakeWorld(1);
+  Rng rng(2);
+  synth::SourceOptions wiki;
+  wiki.name = "wikipedia";
+  wiki.coverage = 0.5;
+  const auto table = synth::EmitSource(world.universe, wiki, rng);
+  EntityKgBuilder::Options opt;
+  EntityKgBuilder builder(synth::SourceDomain::kMovies, opt);
+  builder.IngestAnchor(table, rng);
+  ASSERT_EQ(builder.reports().size(), 1u);
+  EXPECT_EQ(builder.reports()[0].new_entities, table.records.size());
+}
+
+TEST(EntityKgBuilderTest, LinkingMergesSharedEntities) {
+  World world = MakeWorld(3);
+  Rng rng(4);
+  synth::SourceOptions wiki, imdb;
+  wiki.name = "wikipedia";
+  wiki.coverage = 0.6;
+  imdb.name = "imdb";
+  imdb.coverage = 0.6;
+  imdb.schema_dialect = 1;
+  const auto wiki_table = synth::EmitSource(world.universe, wiki, rng);
+  const auto imdb_table = synth::EmitSource(world.universe, imdb, rng);
+  EntityKgBuilder::Options opt;
+  opt.forest.num_trees = 25;
+  EntityKgBuilder builder(synth::SourceDomain::kMovies, opt);
+  builder.IngestAnchor(wiki_table, rng);
+  builder.IngestAndLink(imdb_table, rng);
+  const auto& report = builder.reports()[1];
+  // Substantial overlap should be linked, precisely.
+  EXPECT_GT(report.linked, imdb_table.records.size() / 4);
+  EXPECT_GT(report.linkage_precision, 0.9);
+  EXPECT_GT(report.linkage_recall, 0.5);
+  // Entities grow but far less than the sum of records.
+  EXPECT_LT(report.kg_entities_after,
+            wiki_table.records.size() + imdb_table.records.size());
+}
+
+TEST(EntityKgBuilderTest, FusionProducesAccurateKg) {
+  World world = MakeWorld(5);
+  Rng rng(6);
+  synth::SourceOptions wiki, imdb, third;
+  wiki.name = "wikipedia";
+  wiki.coverage = 0.5;
+  wiki.value_accuracy = 0.98;
+  imdb.name = "imdb";
+  imdb.coverage = 0.7;
+  imdb.schema_dialect = 1;
+  imdb.value_accuracy = 0.95;
+  third.name = "webdb";
+  third.coverage = 0.5;
+  third.schema_dialect = 2;
+  third.value_accuracy = 0.8;
+  EntityKgBuilder::Options opt;
+  opt.forest.num_trees = 25;
+  EntityKgBuilder builder(synth::SourceDomain::kMovies, opt);
+  builder.IngestAnchor(synth::EmitSource(world.universe, wiki, rng), rng);
+  builder.IngestAndLink(synth::EmitSource(world.universe, imdb, rng),
+                        rng);
+  builder.IngestAndLink(synth::EmitSource(world.universe, third, rng),
+                        rng);
+  builder.FuseValues();
+  EXPECT_GT(builder.kg().num_triples(), 500u);
+  // Fused values beat the worst source's accuracy comfortably.
+  EXPECT_GT(builder.KgAccuracy(world.truth), 0.85);
+}
+
+TEST(EntityKgBuilderTest, VoteFusionAlsoWorks) {
+  World world = MakeWorld(7);
+  Rng rng(8);
+  synth::SourceOptions wiki;
+  wiki.name = "wikipedia";
+  wiki.coverage = 0.4;
+  EntityKgBuilder::Options opt;
+  opt.use_accu_fusion = false;
+  EntityKgBuilder builder(synth::SourceDomain::kMovies, opt);
+  builder.IngestAnchor(synth::EmitSource(world.universe, wiki, rng), rng);
+  builder.FuseValues();
+  EXPECT_GT(builder.KgAccuracy(world.truth), 0.8);
+}
+
+}  // namespace
+}  // namespace kg::core

@@ -1,0 +1,95 @@
+#include "core/extraction_scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conversions.h"
+#include "synth/website_generator.h"
+
+namespace kg::core {
+namespace {
+
+TEST(ScoreClosedTest, MatchesNormalizedValues) {
+  synth::WebPage page;
+  page.displayed_values = {{"genre", "Drama"}, {"director", "Ada Novak"}};
+  ExtractionQuality q;
+  ScoreClosedExtractions(page,
+                         {{"genre", "drama!", 0.9, 0},
+                          {"director", "Wrong Person", 0.9, 0},
+                          {"unknown_attr", "x", 0.9, 0}},
+                         &q);
+  q.Finish();
+  EXPECT_EQ(q.extracted, 3u);
+  EXPECT_EQ(q.correct, 1u);
+  EXPECT_NEAR(q.accuracy, 1.0 / 3.0, 1e-9);
+}
+
+TEST(ScoreOpenTest, MapsLabelsThroughSiteVocabulary) {
+  synth::Website site;
+  site.domain = synth::SourceDomain::kMovies;
+  site.attr_labels = {{"genre", "Category"}, {"runtime", "Runtime:"}};
+  synth::WebPage page;
+  page.displayed_values = {{"genre", "drama"}, {"runtime", "120 min"}};
+  ExtractionQuality q;
+  ScoreOpenExtractions(site, page,
+                       {{"category", "drama", 0.7, 0},
+                        {"runtime", "120 min", 0.7, 0},
+                        {"see also", "Other Movie", 0.7, 0}},
+                       &q);
+  q.Finish();
+  EXPECT_EQ(q.extracted, 3u);
+  EXPECT_EQ(q.correct, 2u);
+  // runtime is not canonical -> counted as open knowledge gain.
+  EXPECT_EQ(q.correct_open, 1u);
+}
+
+TEST(ConversionsTest, ManualMappingRoundTrip) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 100;
+  uopt.num_movies = 80;
+  uopt.num_songs = 20;
+  Rng rng(1);
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+  synth::SourceOptions opt;
+  opt.schema_dialect = 2;
+  opt.missing_rate = 0.0;
+  const auto table = synth::EmitSource(universe, opt, rng);
+  std::vector<uint32_t> truth;
+  const auto records =
+      ToRecordSet(table, ManualMappingFor(table), &truth);
+  ASSERT_EQ(records.records.size(), table.records.size());
+  ASSERT_EQ(truth.size(), table.records.size());
+  // Canonical keys present after mapping.
+  for (const auto& rec : records.records) {
+    EXPECT_TRUE(rec.attrs.count("title"));
+    EXPECT_TRUE(rec.attrs.count("release_year"));
+  }
+}
+
+TEST(ConversionsTest, LinkagePairsLabeledByHiddenTruth) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 150;
+  uopt.num_movies = 150;
+  uopt.num_songs = 20;
+  Rng rng(2);
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+  synth::SourceOptions o1, o2;
+  o1.coverage = o2.coverage = 0.8;
+  const auto t1 = synth::EmitSource(universe, o1, rng);
+  const auto t2 = synth::EmitSource(universe, o2, rng);
+  std::vector<uint32_t> truth1, truth2;
+  const auto r1 = ToRecordSet(t1, ManualMappingFor(t1), &truth1);
+  const auto r2 = ToRecordSet(t2, ManualMappingFor(t2), &truth2);
+  const auto pairs = BuildLinkagePairs(
+      r1, truth1, r2, truth2,
+      LinkageSchemaFor(synth::SourceDomain::kMovies));
+  ASSERT_GT(pairs.size(), 50u);
+  size_t positives = 0;
+  for (const auto& ex : pairs.examples) positives += ex.label;
+  EXPECT_GT(positives, 20u);
+  EXPECT_LT(positives, pairs.size());
+  EXPECT_EQ(pairs.feature_names.size(),
+            pairs.examples[0].features.size());
+}
+
+}  // namespace
+}  // namespace kg::core

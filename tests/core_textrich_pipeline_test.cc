@@ -1,0 +1,51 @@
+#include "core/textrich_kg_pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::core {
+namespace {
+
+TEST(TextRichKgBuildTest, EndToEndBuildsBipartiteGraph) {
+  Rng rng(1);
+  synth::CatalogOptions copt;
+  copt.num_types = 16;
+  copt.num_products = 600;
+  const auto catalog = synth::ProductCatalog::Generate(copt, rng);
+  synth::BehaviorOptions bopt;
+  bopt.num_searches = 15000;
+  const auto behavior = synth::GenerateBehavior(catalog, bopt, rng);
+
+  TextRichBuildOptions opt;
+  const auto build = BuildTextRichKg(catalog, behavior, opt, rng);
+  EXPECT_EQ(build.report.products, 600u);
+  EXPECT_GT(build.report.extracted_assertions, 1000u);
+  // The assembled KG is mostly bipartite: most triples end in text.
+  EXPECT_GT(build.report.text_object_fraction, 0.6);
+  EXPECT_GT(build.report.kg_triples, 1000u);
+  // Cleaning does not reduce accuracy.
+  EXPECT_GE(build.report.accuracy_after_cleaning + 0.02,
+            build.report.accuracy_before_cleaning);
+  EXPECT_GT(build.report.accuracy_after_cleaning, 0.8);
+  EXPECT_GT(build.report.hypernyms_mined, 0u);
+}
+
+TEST(TextRichKgBuildTest, CleaningFlagControlsStage) {
+  Rng rng(2);
+  synth::CatalogOptions copt;
+  copt.num_types = 8;
+  copt.num_products = 200;
+  const auto catalog = synth::ProductCatalog::Generate(copt, rng);
+  synth::BehaviorOptions bopt;
+  bopt.num_searches = 2000;
+  const auto behavior = synth::GenerateBehavior(catalog, bopt, rng);
+  TextRichBuildOptions no_clean;
+  no_clean.clean = false;
+  no_clean.mine_taxonomy = false;
+  const auto build = BuildTextRichKg(catalog, behavior, no_clean, rng);
+  EXPECT_EQ(build.report.extracted_assertions,
+            build.report.after_cleaning);
+  EXPECT_EQ(build.report.synonyms_added, 0u);
+}
+
+}  // namespace
+}  // namespace kg::core

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "dual/answerers.h"
+#include "dual/llm_sim.h"
+#include "dual/qa_eval.h"
+#include "synth/entity_universe.h"
+#include "synth/qa_generator.h"
+
+namespace kg::dual {
+namespace {
+
+struct World {
+  synth::EntityUniverse universe;
+  std::vector<synth::FactMention> corpus;
+  std::vector<synth::QaItem> questions;
+};
+
+World MakeWorld(uint64_t seed) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 1500;
+  uopt.num_movies = 900;
+  uopt.num_songs = 100;
+  Rng rng(seed);
+  World world{synth::EntityUniverse::Generate(uopt, rng), {}, {}};
+  synth::CorpusOptions copt;
+  world.corpus = GenerateFactCorpus(world.universe, copt, rng);
+  synth::QaOptions qopt;
+  qopt.num_questions = 1800;
+  world.questions = GenerateQaWorkload(world.universe, qopt, rng);
+  return world;
+}
+
+TEST(LlmSimTest, AccuracyDecreasesFromHeadToTail) {
+  const World world = MakeWorld(1);
+  LlmSim llm;
+  llm.Train(world.corpus);
+  LlmAnswerer answerer(llm);
+  Rng rng(2);
+  const auto eval = EvaluateAnswerer(answerer, world.questions, rng);
+  const auto& head = eval.by_bucket.at(synth::PopularityBucket::kHead);
+  const auto& tail = eval.by_bucket.at(synth::PopularityBucket::kTail);
+  EXPECT_GT(head.accuracy, tail.accuracy + 0.1);
+  // The §4 study's shape: substantial abstention and non-trivial
+  // hallucination overall.
+  EXPECT_GT(eval.overall.abstention_rate, 0.2);
+  EXPECT_GT(eval.overall.hallucination_rate, 0.05);
+}
+
+TEST(LlmSimTest, ConfidenceTracksMentionCounts) {
+  LlmSim llm;
+  llm.Train({{"Popular Movie", "genre", "drama", 500, false},
+             {"Obscure Movie", "genre", "western", 1, false}});
+  EXPECT_GT(llm.Confidence("Popular Movie", "genre"),
+            llm.Confidence("Obscure Movie", "genre"));
+  EXPECT_GT(llm.Confidence("Unknown Movie", "genre"), 0.0);
+}
+
+TEST(LlmSimTest, HighCountFactsRecalledReliably) {
+  LlmSim llm;
+  llm.Train({{"Popular Movie", "genre", "drama", 1000, false}});
+  Rng rng(3);
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto a = llm.Query("Popular Movie", "genre", rng);
+    correct += a.kind == AnswerKind::kCorrect && a.text == "drama";
+  }
+  EXPECT_GT(correct, 180);
+}
+
+TEST(LlmSimTest, UnknownFactsHallucinateTypeConsistently) {
+  LlmSim llm;
+  llm.Train({{"Some Movie", "genre", "drama", 100, false},
+             {"Other Movie", "genre", "comedy", 100, false}});
+  Rng rng(4);
+  int hallucinated = 0, abstained = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto a = llm.Query("Never Seen", "genre", rng);
+    if (a.kind == AnswerKind::kHallucinated) {
+      ++hallucinated;
+      // Type-consistent: a genre from the corpus, not gibberish.
+      EXPECT_TRUE(a.text == "drama" || a.text == "comedy");
+    } else {
+      EXPECT_EQ(a.kind, AnswerKind::kAbstained);
+      ++abstained;
+    }
+  }
+  EXPECT_GT(hallucinated, 10);
+  EXPECT_GT(abstained, 150);
+}
+
+TEST(LlmSimTest, InfusionLiftsRecall) {
+  const World world = MakeWorld(5);
+  LlmSim base, infused;
+  base.Train(world.corpus);
+  infused.Train(world.corpus);
+  // Infuse gold facts for every question subject (head-knowledge
+  // infusion, §4).
+  std::vector<synth::FactMention> facts;
+  for (const auto& q : world.questions) {
+    facts.push_back({q.subject_name, q.predicate, q.gold_object, 1,
+                     q.recent});
+  }
+  infused.Infuse(facts, 50.0);
+  LlmAnswerer base_answerer(base), infused_answerer(infused);
+  Rng r1(6), r2(6);
+  const auto base_eval =
+      EvaluateAnswerer(base_answerer, world.questions, r1);
+  const auto infused_eval =
+      EvaluateAnswerer(infused_answerer, world.questions, r2);
+  EXPECT_GT(infused_eval.overall.accuracy,
+            base_eval.overall.accuracy + 0.2);
+}
+
+TEST(LlmSimTest, RagContextOverridesParametricMemory) {
+  LlmSim llm;
+  llm.Train({{"The Movie", "genre", "wrong-memory", 1000, false}});
+  Rng rng(7);
+  const auto answer = llm.QueryWithContext(
+      "The Movie", "genre", {{"The Movie", "genre", "drama", 1, false}},
+      rng);
+  EXPECT_EQ(answer.text, "drama");
+}
+
+TEST(KgAnswererTest, AnswersFromTriplesAndResolvesEntities) {
+  const World world = MakeWorld(8);
+  const auto kg = world.universe.ToKnowledgeGraph();
+  KgAnswerer answerer(kg);
+  Rng rng(9);
+  const auto eval = EvaluateAnswerer(answerer, world.questions, rng);
+  // The ground-truth KG answers nearly everything correctly; residual
+  // errors come from shared names (ambiguous resolution).
+  EXPECT_GT(eval.overall.accuracy, 0.9);
+  EXPECT_LT(eval.overall.abstention_rate, 0.05);
+}
+
+TEST(DualAnswererTest, DominatesBothPureStrategies) {
+  const World world = MakeWorld(10);
+  // A realistic constructed KG: drop 30% of movies (coverage gaps).
+  graph::KnowledgeGraph partial;
+  const auto full = world.universe.ToKnowledgeGraph();
+  for (graph::TripleId t : full.AllTriples()) {
+    const auto& triple = full.triple(t);
+    // Hash-drop 30% of subjects.
+    if (std::hash<graph::NodeId>()(triple.subject) % 10 < 3) continue;
+    partial.AddTriple(full.NodeName(triple.subject),
+                      full.PredicateName(triple.predicate),
+                      full.NodeName(triple.object),
+                      full.GetNodeKind(triple.subject),
+                      full.GetNodeKind(triple.object), {"copy", 1.0, 0});
+  }
+  LlmSim llm;
+  llm.Train(world.corpus);
+  KgAnswerer kg_answerer(partial);
+  LlmAnswerer llm_answerer(llm);
+  DualAnswerer dual_answerer(partial, llm);
+  Rng r1(11), r2(11), r3(11);
+  const auto kg_eval =
+      EvaluateAnswerer(kg_answerer, world.questions, r1);
+  const auto llm_eval =
+      EvaluateAnswerer(llm_answerer, world.questions, r2);
+  const auto dual_eval =
+      EvaluateAnswerer(dual_answerer, world.questions, r3);
+  EXPECT_GT(dual_eval.overall.accuracy, kg_eval.overall.accuracy);
+  EXPECT_GT(dual_eval.overall.accuracy, llm_eval.overall.accuracy);
+  // The dual router hallucinated less than the pure LLM.
+  EXPECT_LT(dual_eval.overall.hallucination_rate,
+            llm_eval.overall.hallucination_rate);
+}
+
+TEST(DualAnswererTest, RecentFactsNeedTheKg) {
+  const World world = MakeWorld(12);
+  const auto kg = world.universe.ToKnowledgeGraph();
+  LlmSim llm;
+  llm.Train(world.corpus);  // corpus excludes recent facts.
+  LlmAnswerer llm_answerer(llm);
+  DualAnswerer dual_answerer(kg, llm);
+  Rng r1(13), r2(13);
+  const auto llm_eval =
+      EvaluateAnswerer(llm_answerer, world.questions, r1);
+  const auto dual_eval =
+      EvaluateAnswerer(dual_answerer, world.questions, r2);
+  if (llm_eval.recent.n > 5) {
+    // The LLM simulator never saw post-cutoff facts.
+    EXPECT_LT(llm_eval.recent.accuracy, 0.2);
+    EXPECT_GT(dual_eval.recent.accuracy, 0.8);
+  }
+}
+
+}  // namespace
+}  // namespace kg::dual

@@ -1,0 +1,131 @@
+#include "extract/pattern_bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/text_corpus.h"
+
+namespace kg::extract {
+namespace {
+
+struct World {
+  synth::EntityUniverse universe;
+  std::vector<synth::Sentence> sentences;
+  std::vector<std::string> texts;
+};
+
+World MakeWorld(uint64_t seed, double corruption = 0.03) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 400;
+  uopt.num_movies = 500;
+  uopt.num_songs = 50;
+  kg::Rng rng(seed);
+  World world{synth::EntityUniverse::Generate(uopt, rng), {}, {}};
+  synth::TextCorpusOptions topt;
+  topt.num_sentences = 8000;
+  topt.corruption_rate = corruption;
+  world.sentences = GenerateTextCorpus(world.universe, topt, rng);
+  for (const auto& s : world.sentences) world.texts.push_back(s.text);
+  return world;
+}
+
+// Seeds: directed_by pairs of the top-k movies.
+std::map<std::string, std::string> DirectedBySeeds(
+    const synth::EntityUniverse& universe, size_t k) {
+  std::map<std::string, std::string> seeds;
+  for (size_t i = 0; i < k; ++i) {
+    const auto& m = universe.movies()[i];
+    seeds[m.title] = universe.people()[m.director].name;
+  }
+  return seeds;
+}
+
+double PrecisionVsUniverse(const synth::EntityUniverse& universe,
+                           const std::vector<ExtractedPair>& pairs) {
+  std::map<std::string, std::set<std::string>> truth;
+  for (const auto& m : universe.movies()) {
+    truth[m.title].insert(universe.people()[m.director].name);
+  }
+  size_t scored = 0, correct = 0;
+  for (const auto& p : pairs) {
+    auto it = truth.find(p.subject);
+    if (it == truth.end()) continue;  // Not a movie subject.
+    ++scored;
+    correct += it->second.count(p.object) > 0;
+  }
+  return scored == 0 ? 0.0
+                     : static_cast<double>(correct) /
+                           static_cast<double>(scored);
+}
+
+TEST(PatternBootstrapTest, LearnsTemplatesFromSeeds) {
+  const World world = MakeWorld(1);
+  const auto seeds = DirectedBySeeds(world.universe, 40);
+  PatternBootstrapper bootstrapper;
+  BootstrapOptions opt;
+  opt.iterations = 1;
+  const auto result = bootstrapper.Run(world.texts, seeds, opt);
+  ASSERT_FALSE(result.patterns.empty());
+  // The strongest directed_by templates should be among the survivors.
+  std::set<std::string> infixes;
+  for (const auto& p : result.patterns) infixes.insert(p.infix);
+  EXPECT_TRUE(infixes.count(" was directed by ") ||
+              infixes.count(" is a film by "));
+  // Filler-bait templates must not survive seed scoring.
+  EXPECT_FALSE(infixes.count(" premiered at a festival attended by "));
+  EXPECT_FALSE(infixes.count(" was famously turned down by "));
+}
+
+TEST(PatternBootstrapTest, ExtractsBeyondSeedsWithHighPrecision) {
+  const World world = MakeWorld(2);
+  const auto seeds = DirectedBySeeds(world.universe, 40);
+  PatternBootstrapper bootstrapper;
+  BootstrapOptions opt;
+  opt.iterations = 2;
+  const auto result = bootstrapper.Run(world.texts, seeds, opt);
+  size_t novel = 0;
+  for (const auto& p : result.pairs) novel += !seeds.count(p.subject);
+  EXPECT_GT(novel, 100u);
+  EXPECT_GT(PrecisionVsUniverse(world.universe, result.pairs), 0.85);
+}
+
+TEST(PatternBootstrapTest, MoreIterationsMoreVolume) {
+  const World world = MakeWorld(3);
+  const auto seeds = DirectedBySeeds(world.universe, 30);
+  PatternBootstrapper bootstrapper;
+  BootstrapOptions one, three;
+  one.iterations = 1;
+  three.iterations = 3;
+  const auto r1 = bootstrapper.Run(world.texts, seeds, one);
+  const auto r3 = bootstrapper.Run(world.texts, seeds, three);
+  EXPECT_GE(r3.pairs.size(), r1.pairs.size());
+  EXPECT_GE(r3.rounds.size(), r1.rounds.size());
+}
+
+TEST(PatternBootstrapTest, NoSeedsInCorpusMeansNothingLearned) {
+  const World world = MakeWorld(4);
+  std::map<std::string, std::string> bogus = {
+      {"Nonexistent Movie Alpha", "Nobody Person"},
+      {"Nonexistent Movie Beta", "Nobody Else"},
+      {"Nonexistent Movie Gamma", "Still Nobody"}};
+  PatternBootstrapper bootstrapper;
+  const auto result = bootstrapper.Run(world.texts, bogus, {});
+  EXPECT_TRUE(result.patterns.empty());
+  EXPECT_TRUE(result.pairs.empty());
+}
+
+TEST(TextCorpusTest, AnnotationsMatchRenderedText) {
+  const World world = MakeWorld(5);
+  size_t facts = 0;
+  for (const auto& s : world.sentences) {
+    if (s.predicate.empty()) continue;
+    ++facts;
+    EXPECT_NE(s.text.find(s.subject), std::string::npos);
+    EXPECT_NE(s.text.find(s.object), std::string::npos);
+  }
+  EXPECT_GT(facts, world.sentences.size() / 2);
+}
+
+}  // namespace
+}  // namespace kg::extract

@@ -1,0 +1,114 @@
+#include "extract/dom.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kg::extract {
+namespace {
+
+DomPage MakePage() {
+  DomPage page;
+  const auto html = page.AddNode(kInvalidDomNode, "html");
+  const auto body = page.AddNode(html, "body");
+  page.AddNode(body, "h1", "topic", "The Title");
+  const auto table = page.AddNode(body, "table");
+  for (int r = 0; r < 3; ++r) {
+    const auto tr = page.AddNode(table, "tr");
+    page.AddNode(tr, "td", "label", "L" + std::to_string(r));
+    page.AddNode(tr, "td", "value", "V" + std::to_string(r));
+  }
+  return page;
+}
+
+TEST(DomPageTest, StructureBasics) {
+  const DomPage page = MakePage();
+  EXPECT_EQ(page.size(), 13u);
+  EXPECT_EQ(page.node(0).tag, "html");
+  EXPECT_EQ(page.TextNodes().size(), 7u);
+}
+
+TEST(DomPageTest, SubtreeTextDocumentOrder) {
+  const DomPage page = MakePage();
+  // Root subtree contains all text in order.
+  const std::string all = page.SubtreeText(0);
+  EXPECT_EQ(all, "The Title L0 V0 L1 V1 L2 V2");
+}
+
+TEST(DomPageTest, ParentMapInvertsChildren) {
+  const DomPage page = MakePage();
+  const auto parents = ParentMap(page);
+  EXPECT_EQ(parents[0], kInvalidDomNode);
+  for (DomNodeId id = 0; id < page.size(); ++id) {
+    for (DomNodeId child : page.node(id).children) {
+      EXPECT_EQ(parents[child], id);
+    }
+  }
+}
+
+TEST(NodePathTest, OrdinalsCountSameTagSiblings) {
+  const DomPage page = MakePage();
+  // Second row's value cell.
+  const auto parents = ParentMap(page);
+  DomNodeId v1 = kInvalidDomNode;
+  for (DomNodeId id : page.TextNodes()) {
+    if (page.node(id).text == "V1") v1 = id;
+  }
+  ASSERT_NE(v1, kInvalidDomNode);
+  EXPECT_EQ(NodePath(page, v1),
+            "/html[0]/body[0]/table[0]/tr[1]/td[1]");
+}
+
+TEST(ResolvePathTest, RoundTripsAllNodes) {
+  const DomPage page = MakePage();
+  for (DomNodeId id = 0; id < page.size(); ++id) {
+    EXPECT_EQ(ResolvePath(page, NodePath(page, id)), id);
+  }
+}
+
+TEST(ResolvePathTest, MissingPathsReturnInvalid) {
+  const DomPage page = MakePage();
+  EXPECT_EQ(ResolvePath(page, "/html[0]/body[0]/table[0]/tr[9]/td[0]"),
+            kInvalidDomNode);
+  EXPECT_EQ(ResolvePath(page, "/div[0]"), kInvalidDomNode);
+  EXPECT_EQ(ResolvePath(page, ""), kInvalidDomNode);
+}
+
+TEST(ResolvePathTest, TransfersAcrossSameTemplatePages) {
+  // Two pages, same skeleton, different text: a path computed on one
+  // resolves to the structurally-equivalent node on the other.
+  DomPage a = MakePage();
+  DomPage b = MakePage();
+  for (DomNodeId id = 0; id < a.size(); ++id) {
+    if (!a.node(id).text.empty()) {
+      const std::string path = NodePath(a, id);
+      const DomNodeId on_b = ResolvePath(b, path);
+      ASSERT_NE(on_b, kInvalidDomNode);
+      EXPECT_EQ(b.node(on_b).text, a.node(id).text);
+    }
+  }
+}
+
+class DomRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DomRandomTest, PathRoundTripOnRandomTrees) {
+  kg::Rng rng(GetParam());
+  DomPage page;
+  page.AddNode(kInvalidDomNode, "root");
+  const char* tags[] = {"div", "span", "td", "p"};
+  for (int i = 0; i < 60; ++i) {
+    const DomNodeId parent = static_cast<DomNodeId>(
+        rng.UniformIndex(page.size()));
+    page.AddNode(parent, tags[rng.UniformIndex(4)], "",
+                 rng.Bernoulli(0.5) ? "t" + std::to_string(i) : "");
+  }
+  for (DomNodeId id = 0; id < page.size(); ++id) {
+    EXPECT_EQ(ResolvePath(page, NodePath(page, id)), id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomRandomTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace kg::extract

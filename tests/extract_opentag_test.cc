@@ -1,0 +1,135 @@
+#include "extract/opentag.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/catalog_generator.h"
+#include "text/bio.h"
+#include "textrich/example_builder.h"
+
+namespace kg::extract {
+namespace {
+
+synth::ProductCatalog SmallCatalog(uint64_t seed = 1,
+                                   size_t products = 600) {
+  synth::CatalogOptions opt;
+  opt.num_types = 16;
+  opt.num_products = products;
+  kg::Rng rng(seed);
+  return synth::ProductCatalog::Generate(opt, rng);
+}
+
+text::SpanScore Evaluate(const TitleExtractor& extractor,
+                         const std::vector<AttributeExample>& test) {
+  text::SpanScorer scorer;
+  for (const auto& ex : test) {
+    scorer.Add(ex.gold_spans, extractor.Extract(ex));
+  }
+  return scorer.Score();
+}
+
+TEST(TitleExtractorTest, LearnsGoldSpans) {
+  const auto catalog = SmallCatalog();
+  std::vector<size_t> train_idx, test_idx;
+  textrich::SplitIndices(catalog.products().size(), 0.7, &train_idx,
+                         &test_idx);
+  textrich::ExampleBuildOptions build;
+  const std::string attr = catalog.attributes()[0];
+  const auto train = textrich::BuildAttributeExamples(catalog, train_idx,
+                                                      attr, build);
+  const auto test = textrich::BuildAttributeExamples(catalog, test_idx,
+                                                     attr, build);
+  ASSERT_FALSE(train.empty());
+  TitleExtractor extractor;
+  TitleExtractorOptions opt;
+  kg::Rng rng(2);
+  extractor.Fit(train, opt, rng);
+  const auto score = Evaluate(extractor, test);
+  // The paper: NER-based extraction lands between 85% and 95%.
+  EXPECT_GT(score.f1, 0.8);
+}
+
+TEST(TitleExtractorTest, ExtractValuesJoinsTokens) {
+  const auto catalog = SmallCatalog();
+  std::vector<size_t> all_idx(catalog.products().size());
+  for (size_t i = 0; i < all_idx.size(); ++i) all_idx[i] = i;
+  textrich::ExampleBuildOptions build;
+  const std::string attr = catalog.attributes()[0];
+  const auto examples =
+      textrich::BuildAttributeExamples(catalog, all_idx, attr, build);
+  TitleExtractor extractor;
+  kg::Rng rng(3);
+  extractor.Fit(examples, {}, rng);
+  // Values extracted from train examples should mostly equal the gold
+  // values.
+  size_t checked = 0, exact = 0;
+  for (const auto& ex : examples) {
+    if (ex.gold_spans.empty()) continue;
+    const auto values = extractor.ExtractValues(ex);
+    if (values.empty()) continue;
+    ++checked;
+    const auto& gold = ex.gold_spans[0];
+    std::string joined;
+    for (size_t i = gold.begin; i < gold.end; ++i) {
+      if (!joined.empty()) joined += " ";
+      joined += ex.tokens[i];
+    }
+    exact += values[0] == joined;
+  }
+  ASSERT_GT(checked, 50u);
+  EXPECT_GT(static_cast<double>(exact) / checked, 0.9);
+}
+
+TEST(TitleExtractorTest, TypeAwarenessResolvesAmbiguousVocabulary) {
+  // TXtract's mechanism (§3.3): with heavy cross-attribute word
+  // ambiguity, a type-aware model beats a type-blind one.
+  synth::CatalogOptions copt;
+  copt.num_types = 24;
+  copt.num_products = 1200;
+  copt.ambiguous_word_rate = 0.6;
+  copt.sibling_vocab_share = 0.8;
+  kg::Rng gen_rng(4);
+  const auto catalog = synth::ProductCatalog::Generate(copt, gen_rng);
+  std::vector<size_t> train_idx, test_idx;
+  textrich::SplitIndices(catalog.products().size(), 0.7, &train_idx,
+                         &test_idx);
+  textrich::ExampleBuildOptions build;
+  const auto train =
+      textrich::BuildAttributeExamples(catalog, train_idx, "", build);
+  const auto test =
+      textrich::BuildAttributeExamples(catalog, test_idx, "", build);
+
+  TitleExtractorOptions blind, aware;
+  blind.attribute_conditioned = true;
+  aware.attribute_conditioned = true;
+  aware.type_aware = true;
+  TitleExtractor blind_model, aware_model;
+  kg::Rng r1(5), r2(5);
+  blind_model.Fit(train, blind, r1);
+  aware_model.Fit(train, aware, r2);
+  const double blind_f1 = Evaluate(blind_model, test).f1;
+  const double aware_f1 = Evaluate(aware_model, test).f1;
+  EXPECT_GT(aware_f1, blind_f1);
+}
+
+TEST(TypeClassifierTest, PredictsTypeFromTitleTokens) {
+  const auto catalog = SmallCatalog(7, 800);
+  std::vector<std::vector<std::string>> docs;
+  std::vector<std::string> types;
+  for (const auto& product : catalog.products()) {
+    docs.push_back(product.title_tokens);
+    types.push_back(catalog.taxonomy().Name(product.type));
+  }
+  // Train on the first 600, evaluate on the rest.
+  TypeClassifier classifier;
+  classifier.Fit({docs.begin(), docs.begin() + 600},
+                 {types.begin(), types.begin() + 600});
+  size_t correct = 0;
+  for (size_t i = 600; i < docs.size(); ++i) {
+    correct += classifier.Predict(docs[i]) == types[i];
+  }
+  // Titles literally contain the type tokens, so this should be easy.
+  EXPECT_GT(static_cast<double>(correct) / (docs.size() - 600), 0.9);
+}
+
+}  // namespace
+}  // namespace kg::extract

@@ -1,0 +1,102 @@
+#include "extract/wrapper_induction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/extraction_scoring.h"
+#include "synth/website_generator.h"
+
+namespace kg::extract {
+namespace {
+
+synth::EntityUniverse SmallUniverse() {
+  synth::UniverseOptions opt;
+  opt.num_people = 300;
+  opt.num_movies = 250;
+  opt.num_songs = 80;
+  kg::Rng rng(1);
+  return synth::EntityUniverse::Generate(opt, rng);
+}
+
+// Annotate the first k pages with the generator's hidden value nodes
+// (simulating a human annotator).
+std::pair<std::vector<const DomPage*>, std::vector<PageAnnotation>>
+Annotate(const synth::Website& site, size_t k) {
+  std::vector<const DomPage*> pages;
+  std::vector<PageAnnotation> annotations;
+  for (size_t i = 0; i < std::min(k, site.pages.size()); ++i) {
+    pages.push_back(&site.pages[i].dom);
+    PageAnnotation ann;
+    for (const auto& [attr, node] : site.pages[i].value_nodes) {
+      ann[attr] = node;
+    }
+    annotations.push_back(std::move(ann));
+  }
+  return {pages, annotations};
+}
+
+TEST(WrapperTest, HighAccuracyFromFewAnnotations) {
+  const auto universe = SmallUniverse();
+  synth::WebsiteOptions opt;
+  opt.num_pages = 120;
+  opt.attr_missing_rate = 0.1;
+  kg::Rng rng(2);
+  const auto site = GenerateWebsite(universe, opt, rng);
+  const auto [pages, annotations] = Annotate(site, 5);
+  const Wrapper wrapper = Wrapper::Induce(pages, annotations);
+
+  core::ExtractionQuality quality;
+  for (size_t i = 5; i < site.pages.size(); ++i) {
+    core::ScoreClosedExtractions(site.pages[i],
+                                 wrapper.Extract(site.pages[i].dom),
+                                 &quality);
+  }
+  quality.Finish();
+  // The paper: wrapper induction normally obtains over 95% accuracy.
+  EXPECT_GT(quality.accuracy, 0.95);
+  EXPECT_GT(quality.extracted, 200u);
+}
+
+TEST(WrapperTest, AttributesListedAfterInduction) {
+  const auto universe = SmallUniverse();
+  synth::WebsiteOptions opt;
+  opt.num_pages = 10;
+  kg::Rng rng(3);
+  const auto site = GenerateWebsite(universe, opt, rng);
+  const auto [pages, annotations] = Annotate(site, 3);
+  const Wrapper wrapper = Wrapper::Induce(pages, annotations);
+  EXPECT_FALSE(wrapper.Attributes().empty());
+}
+
+TEST(WrapperTest, SurvivesRowShiftsViaLabelAnchoring) {
+  // High attr_missing_rate shifts row ordinals; label anchoring keeps
+  // extraction correct where a fixed path would misfire.
+  const auto universe = SmallUniverse();
+  synth::WebsiteOptions opt;
+  opt.num_pages = 100;
+  opt.attr_missing_rate = 0.35;
+  kg::Rng rng(4);
+  const auto site = GenerateWebsite(universe, opt, rng);
+  const auto [pages, annotations] = Annotate(site, 5);
+  const Wrapper wrapper = Wrapper::Induce(pages, annotations);
+  core::ExtractionQuality quality;
+  for (size_t i = 5; i < site.pages.size(); ++i) {
+    core::ScoreClosedExtractions(site.pages[i],
+                                 wrapper.Extract(site.pages[i].dom),
+                                 &quality);
+  }
+  quality.Finish();
+  EXPECT_GT(quality.accuracy, 0.9);
+}
+
+TEST(FindValueByLabelTest, ReturnsFollowingSiblingText) {
+  DomPage page;
+  const auto root = page.AddNode(kInvalidDomNode, "tr");
+  page.AddNode(root, "td", "", "Director:");
+  const auto value = page.AddNode(root, "td", "", "Ada Novak");
+  EXPECT_EQ(FindValueByLabel(page, "Director:"), value);
+  EXPECT_EQ(FindValueByLabel(page, "Missing:"), kInvalidDomNode);
+  EXPECT_EQ(FindValueByLabel(page, ""), kInvalidDomNode);
+}
+
+}  // namespace
+}  // namespace kg::extract

@@ -1,0 +1,77 @@
+#include "fuse/confidence_model.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::fuse {
+namespace {
+
+TEST(GroupCandidatesTest, GroupsBySpo) {
+  std::vector<CandidateTriple> candidates = {
+      {"s", "p", "o", "src1", "semistructured", 0.9},
+      {"s", "p", "o", "src2", "text", 0.5},
+      {"s", "p", "other", "src1", "text", 0.4},
+  };
+  const auto groups =
+      ExtractionConfidenceModel::GroupCandidates(candidates);
+  ASSERT_EQ(groups.size(), 2u);
+  size_t max_supporters = 0;
+  for (const auto& g : groups) {
+    max_supporters = std::max(max_supporters, g.supporters.size());
+  }
+  EXPECT_EQ(max_supporters, 2u);
+}
+
+TEST(GroupFeaturesTest, CountsSourcesAndExtractors) {
+  std::vector<CandidateTriple> candidates = {
+      {"s", "p", "o", "src1", "semistructured", 1.0},
+      {"s", "p", "o", "src2", "semistructured", 0.8},
+  };
+  const auto groups =
+      ExtractionConfidenceModel::GroupCandidates(candidates);
+  const auto f = ExtractionConfidenceModel::GroupFeatures(groups[0]);
+  EXPECT_NEAR(f[0], std::log(3.0), 1e-9);  // two sources.
+  EXPECT_NEAR(f[1], std::log(2.0), 1e-9);  // one extractor family.
+  EXPECT_DOUBLE_EQ(f[2], 1.0);             // max score.
+  EXPECT_DOUBLE_EQ(f[3], 0.9);             // mean score.
+  EXPECT_DOUBLE_EQ(f[4], 1.0);             // semistructured indicator.
+}
+
+TEST(ConfidenceModelTest, LearnsMultiSourceAgreementSignal) {
+  // True triples get asserted by several sources with high extractor
+  // scores; false ones are single-source low-score noise.
+  kg::Rng rng(1);
+  std::vector<CandidateTriple> candidates;
+  std::vector<int> truth_labels;  // parallel to groups later.
+  for (int i = 0; i < 300; ++i) {
+    const std::string s = "e" + std::to_string(i);
+    const bool is_true = rng.Bernoulli(0.5);
+    const int copies = is_true ? 1 + static_cast<int>(rng.UniformInt(1, 4))
+                               : 1;
+    for (int c = 0; c < copies; ++c) {
+      candidates.push_back(
+          {s, "rel", "o" + std::to_string(i),
+           "src" + std::to_string(c),
+           c % 2 == 0 ? "semistructured" : "webtable",
+           is_true ? 0.7 + 0.3 * rng.UniformDouble()
+                   : 0.3 + 0.3 * rng.UniformDouble()});
+    }
+  }
+  auto groups = ExtractionConfidenceModel::GroupCandidates(candidates);
+  std::vector<int> labels;
+  for (const auto& g : groups) {
+    labels.push_back(g.supporters.size() > 1 ||
+                             g.supporters[0]->extractor_score > 0.65
+                         ? 1
+                         : 0);
+  }
+  ExtractionConfidenceModel model;
+  model.Fit(groups, labels, rng);
+  size_t correct = 0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    correct += (model.Score(groups[i]) >= 0.5) == (labels[i] == 1);
+  }
+  EXPECT_GT(static_cast<double>(correct) / groups.size(), 0.85);
+}
+
+}  // namespace
+}  // namespace kg::fuse

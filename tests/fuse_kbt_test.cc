@@ -1,0 +1,95 @@
+#include "fuse/kbt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kg::fuse {
+namespace {
+
+// Simulated extraction corpus: sources with known accuracies, extractors
+// with known accuracies, independent two-stage noise.
+struct Sim {
+  std::vector<ExtractedClaim> claims;
+  std::map<std::string, std::string> truth;
+  std::map<std::string, double> true_source_acc;
+  std::map<std::string, double> true_extractor_acc;
+};
+
+Sim Simulate(kg::Rng& rng) {
+  Sim sim;
+  sim.true_source_acc = {{"s-good", 0.95}, {"s-mid", 0.75},
+                         {"s-bad", 0.55}};
+  sim.true_extractor_acc = {{"e-good", 0.95}, {"e-bad", 0.7}};
+  for (int i = 0; i < 400; ++i) {
+    const std::string item = "item" + std::to_string(i);
+    const std::string correct = "v" + std::to_string(i);
+    sim.truth[item] = correct;
+    for (const auto& [source, s_acc] : sim.true_source_acc) {
+      // What the source actually asserts.
+      const std::string asserted =
+          rng.Bernoulli(s_acc) ? correct
+                               : "w-" + source + "-" + std::to_string(i);
+      for (const auto& [extractor, e_acc] : sim.true_extractor_acc) {
+        const std::string observed =
+            rng.Bernoulli(e_acc)
+                ? asserted
+                : "x-" + extractor + "-" + std::to_string(i);
+        sim.claims.push_back({item, source, extractor, observed});
+      }
+    }
+  }
+  return sim;
+}
+
+TEST(KbtTest, RecoversTruthAtHighRate) {
+  kg::Rng rng(1);
+  const Sim sim = Simulate(rng);
+  const KbtResult result = RunKbt(sim.claims, {});
+  size_t correct = 0;
+  for (const auto& [item, truth] : sim.truth) {
+    correct += result.truth.at(item) == truth;
+  }
+  EXPECT_GT(static_cast<double>(correct) / sim.truth.size(), 0.9);
+}
+
+TEST(KbtTest, SeparatesSourceFromExtractorError) {
+  kg::Rng rng(2);
+  const Sim sim = Simulate(rng);
+  const KbtResult result = RunKbt(sim.claims, {});
+  // Ordering of estimated source accuracies matches the truth.
+  EXPECT_GT(result.source_accuracy.at("s-good"),
+            result.source_accuracy.at("s-mid"));
+  EXPECT_GT(result.source_accuracy.at("s-mid"),
+            result.source_accuracy.at("s-bad"));
+  // Extractor ordering too.
+  EXPECT_GT(result.extractor_accuracy.at("e-good"),
+            result.extractor_accuracy.at("e-bad"));
+  // The bad source's accuracy estimate is NOT dragged down to the
+  // product source*extractor — the two-layer model attributes extraction
+  // noise to extractors.
+  EXPECT_GT(result.source_accuracy.at("s-good"), 0.85);
+}
+
+TEST(KbtTest, AccuracyEstimatesCloseToTruth) {
+  kg::Rng rng(3);
+  const Sim sim = Simulate(rng);
+  const KbtResult result = RunKbt(sim.claims, {});
+  for (const auto& [source, acc] : sim.true_source_acc) {
+    EXPECT_NEAR(result.source_accuracy.at(source), acc, 0.15) << source;
+  }
+}
+
+TEST(KbtTest, EmptyClaims) {
+  const KbtResult result = RunKbt({}, {});
+  EXPECT_TRUE(result.truth.empty());
+}
+
+TEST(KbtTest, SingleClaimTrusted) {
+  const KbtResult result =
+      RunKbt({{"i", "s", "e", "value"}}, {});
+  EXPECT_EQ(result.truth.at("i"), "value");
+}
+
+}  // namespace
+}  // namespace kg::fuse

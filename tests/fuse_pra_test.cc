@@ -1,0 +1,64 @@
+#include "fuse/pra.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/entity_universe.h"
+
+namespace kg::fuse {
+namespace {
+
+TEST(PraTest, PredictsDirectedByFromContextPaths) {
+  // Universe KG where directors repeatedly direct; PRA should learn that
+  // paths through shared actors/genres make (movie, person) plausible.
+  synth::UniverseOptions opt;
+  opt.num_people = 150;
+  opt.num_movies = 200;
+  opt.num_songs = 20;
+  kg::Rng rng(1);
+  const auto universe = synth::EntityUniverse::Generate(opt, rng);
+  auto kg = universe.ToKnowledgeGraph();
+  const auto directed = *kg.FindPredicate("directed_by");
+
+  PraModel model;
+  PraModel::Options popt;
+  popt.max_path_length = 3;
+  model.Fit(kg, directed, popt, rng);
+  EXPECT_FALSE(model.feature_paths().empty());
+
+  // Score true triples vs corrupted ones.
+  const auto positives = kg.TriplesWithPredicate(directed);
+  size_t wins = 0, n = 0;
+  for (size_t i = 0; i < std::min<size_t>(positives.size(), 60); ++i) {
+    const auto& t = kg.triple(positives[i]);
+    const auto& wrong_movie =
+        kg.triple(positives[(i + 37) % positives.size()]);
+    if (wrong_movie.object == t.object) continue;
+    ++n;
+    wins += model.Score(kg, t.subject, t.object) >
+            model.Score(kg, t.subject, wrong_movie.object);
+  }
+  ASSERT_GT(n, 30u);
+  EXPECT_GT(static_cast<double>(wins) / n, 0.6);
+}
+
+TEST(PraTest, FeaturePathsExcludeTargetEdge) {
+  synth::UniverseOptions opt;
+  opt.num_people = 80;
+  opt.num_movies = 100;
+  opt.num_songs = 10;
+  kg::Rng rng(2);
+  const auto universe = synth::EntityUniverse::Generate(opt, rng);
+  auto kg = universe.ToKnowledgeGraph();
+  const auto directed = *kg.FindPredicate("directed_by");
+  PraModel model;
+  model.Fit(kg, directed, {}, rng);
+  for (const auto& path : model.feature_paths()) {
+    const bool is_direct_edge =
+        path.size() == 1 && path[0].predicate == directed &&
+        !path[0].inverse;
+    EXPECT_FALSE(is_direct_edge);
+  }
+}
+
+}  // namespace
+}  // namespace kg::fuse

@@ -1,0 +1,164 @@
+#include "graph/knowledge_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace kg::graph {
+namespace {
+
+Provenance P(const std::string& source, double conf = 1.0) {
+  return Provenance{source, conf, 0};
+}
+
+TEST(KnowledgeGraphTest, InternsNodesByNameAndKind) {
+  KnowledgeGraph kg;
+  const NodeId a = kg.AddNode("Avatar", NodeKind::kEntity);
+  const NodeId b = kg.AddNode("Avatar", NodeKind::kEntity);
+  const NodeId c = kg.AddNode("Avatar", NodeKind::kText);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(kg.num_nodes(), 2u);
+  EXPECT_EQ(kg.NodeName(a), "Avatar");
+  EXPECT_EQ(kg.GetNodeKind(c), NodeKind::kText);
+}
+
+TEST(KnowledgeGraphTest, FindNodeDistinguishesKind) {
+  KnowledgeGraph kg;
+  kg.AddNode("x", NodeKind::kEntity);
+  EXPECT_TRUE(kg.FindNode("x", NodeKind::kEntity).ok());
+  EXPECT_FALSE(kg.FindNode("x", NodeKind::kClass).ok());
+  EXPECT_FALSE(kg.FindNode("y", NodeKind::kEntity).ok());
+}
+
+TEST(KnowledgeGraphTest, DeduplicatesTriplesAndMergesProvenance) {
+  KnowledgeGraph kg;
+  const TripleId t1 = kg.AddTriple("s", "p", "o", NodeKind::kEntity,
+                                   NodeKind::kText, P("src1"));
+  const TripleId t2 = kg.AddTriple("s", "p", "o", NodeKind::kEntity,
+                                   NodeKind::kText, P("src2"));
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(kg.num_triples(), 1u);
+  EXPECT_EQ(kg.provenance(t1).size(), 2u);
+}
+
+TEST(KnowledgeGraphTest, RemoveHidesFromQueries) {
+  KnowledgeGraph kg;
+  const TripleId t = kg.AddTriple("s", "p", "o", NodeKind::kEntity,
+                                  NodeKind::kText, P("x"));
+  const NodeId s = *kg.FindNode("s", NodeKind::kEntity);
+  const PredicateId p = *kg.FindPredicate("p");
+  const NodeId o = *kg.FindNode("o", NodeKind::kText);
+  EXPECT_TRUE(kg.HasTriple(s, p, o));
+  kg.RemoveTriple(t);
+  EXPECT_FALSE(kg.HasTriple(s, p, o));
+  EXPECT_EQ(kg.num_triples(), 0u);
+  EXPECT_TRUE(kg.Objects(s, p).empty());
+  EXPECT_TRUE(kg.TriplesWithSubject(s).empty());
+  EXPECT_TRUE(kg.AllTriples().empty());
+}
+
+TEST(KnowledgeGraphTest, ReAddingRemovedTripleRevives) {
+  KnowledgeGraph kg;
+  const TripleId t = kg.AddTriple("s", "p", "o", NodeKind::kEntity,
+                                  NodeKind::kText, P("a"));
+  kg.RemoveTriple(t);
+  const TripleId t2 = kg.AddTriple("s", "p", "o", NodeKind::kEntity,
+                                   NodeKind::kText, P("b"));
+  EXPECT_EQ(t, t2);
+  EXPECT_EQ(kg.num_triples(), 1u);
+  ASSERT_EQ(kg.provenance(t2).size(), 1u);
+  EXPECT_EQ(kg.provenance(t2)[0].source, "b");
+}
+
+TEST(KnowledgeGraphTest, ObjectsAndSubjectsQueries) {
+  KnowledgeGraph kg;
+  kg.AddTriple("m1", "directed_by", "p1", NodeKind::kEntity,
+               NodeKind::kEntity, P("x"));
+  kg.AddTriple("m2", "directed_by", "p1", NodeKind::kEntity,
+               NodeKind::kEntity, P("x"));
+  kg.AddTriple("m1", "genre", "drama", NodeKind::kEntity, NodeKind::kText,
+               P("x"));
+  const NodeId m1 = *kg.FindNode("m1", NodeKind::kEntity);
+  const NodeId p1 = *kg.FindNode("p1", NodeKind::kEntity);
+  const PredicateId directed = *kg.FindPredicate("directed_by");
+  EXPECT_EQ(kg.Objects(m1, directed).size(), 1u);
+  EXPECT_EQ(kg.Subjects(directed, p1).size(), 2u);
+  EXPECT_EQ(kg.TriplesWithPredicate(directed).size(), 2u);
+  EXPECT_EQ(kg.TriplesWithSubject(m1).size(), 2u);
+  EXPECT_EQ(kg.TriplesWithObject(p1).size(), 2u);
+}
+
+TEST(KnowledgeGraphTest, MaxConfidenceTracksBestProvenance) {
+  KnowledgeGraph kg;
+  const TripleId t = kg.AddTriple("s", "p", "o", NodeKind::kEntity,
+                                  NodeKind::kText, P("a", 0.4));
+  kg.AddTriple("s", "p", "o", NodeKind::kEntity, NodeKind::kText,
+               P("b", 0.9));
+  EXPECT_DOUBLE_EQ(kg.MaxConfidence(t), 0.9);
+}
+
+TEST(KnowledgeGraphTest, TripleToString) {
+  KnowledgeGraph kg;
+  const TripleId t = kg.AddTriple("Seattle", "located_at", "USA",
+                                  NodeKind::kEntity, NodeKind::kEntity,
+                                  P("x"));
+  EXPECT_EQ(kg.TripleToString(t), "Seattle --located_at--> USA");
+}
+
+// Property test: after a random interleaving of adds and removes, every
+// index agrees with a naive recomputation.
+class KgConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KgConsistencyTest, IndexesMatchNaiveScan) {
+  Rng rng(GetParam());
+  KnowledgeGraph kg;
+  std::vector<TripleId> live;
+  std::set<std::tuple<NodeId, PredicateId, NodeId>> expected;
+  for (int step = 0; step < 400; ++step) {
+    if (rng.Bernoulli(0.7) || live.empty()) {
+      const std::string s = "n" + std::to_string(rng.UniformInt(0, 20));
+      const std::string p = "p" + std::to_string(rng.UniformInt(0, 4));
+      const std::string o = "n" + std::to_string(rng.UniformInt(0, 20));
+      const TripleId t = kg.AddTriple(s, p, o, NodeKind::kEntity,
+                                      NodeKind::kEntity, P("src"));
+      const Triple& tr = kg.triple(t);
+      expected.insert({tr.subject, tr.predicate, tr.object});
+      if (std::find(live.begin(), live.end(), t) == live.end()) {
+        live.push_back(t);
+      }
+    } else {
+      const size_t pick = rng.UniformIndex(live.size());
+      const TripleId t = live[pick];
+      const Triple tr = kg.triple(t);
+      kg.RemoveTriple(t);
+      expected.erase({tr.subject, tr.predicate, tr.object});
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+  }
+  EXPECT_EQ(kg.num_triples(), expected.size());
+  for (const auto& [s, p, o] : expected) {
+    EXPECT_TRUE(kg.HasTriple(s, p, o));
+    const auto objects = kg.Objects(s, p);
+    EXPECT_NE(std::find(objects.begin(), objects.end(), o), objects.end());
+    const auto subjects = kg.Subjects(p, o);
+    EXPECT_NE(std::find(subjects.begin(), subjects.end(), s),
+              subjects.end());
+  }
+  std::set<std::tuple<NodeId, PredicateId, NodeId>> actual;
+  for (TripleId t : kg.AllTriples()) {
+    const Triple& tr = kg.triple(t);
+    actual.insert({tr.subject, tr.predicate, tr.object});
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KgConsistencyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace kg::graph

@@ -1,0 +1,111 @@
+#include "graph/ontology.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::graph {
+namespace {
+
+class OntologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& tax = ontology_.taxonomy();
+    person_ = tax.AddType("Person", tax.root());
+    movie_ = tax.AddType("Movie", tax.root());
+    director_ = tax.AddType("Director", person_);
+    ontology_.DeclareRelation({"directed_by", movie_, RangeKind::kEntity,
+                               person_, true});
+    ontology_.DeclareRelation({"title", movie_, RangeKind::kText, 0,
+                               true});
+  }
+
+  Ontology ontology_;
+  TypeId person_ = 0, movie_ = 0, director_ = 0;
+};
+
+TEST_F(OntologyTest, FindRelation) {
+  ASSERT_TRUE(ontology_.FindRelation("directed_by").ok());
+  EXPECT_EQ(ontology_.FindRelation("directed_by")->domain, movie_);
+  EXPECT_FALSE(ontology_.FindRelation("nope").ok());
+}
+
+TEST_F(OntologyTest, RedeclareOverwrites) {
+  ontology_.DeclareRelation({"title", person_, RangeKind::kText, 0,
+                             false});
+  EXPECT_EQ(ontology_.FindRelation("title")->domain, person_);
+  EXPECT_EQ(ontology_.relations().size(), 2u);
+}
+
+TEST_F(OntologyTest, InstanceTypesAndSubsumption) {
+  KnowledgeGraph kg;
+  const NodeId spielberg = kg.AddNode("spielberg", NodeKind::kEntity);
+  ontology_.SetInstanceType(spielberg, director_);
+  EXPECT_TRUE(ontology_.IsInstanceOf(spielberg, person_));
+  EXPECT_FALSE(ontology_.IsInstanceOf(spielberg, movie_));
+  const NodeId unknown = kg.AddNode("mystery", NodeKind::kEntity);
+  EXPECT_EQ(ontology_.InstanceType(unknown),
+            ontology_.taxonomy().root());
+}
+
+TEST_F(OntologyTest, ValidateAcceptsWellTypedTriple) {
+  KnowledgeGraph kg;
+  const TripleId t = kg.AddTriple("jaws", "directed_by", "spielberg",
+                                  NodeKind::kEntity, NodeKind::kEntity,
+                                  {"s", 1.0, 0});
+  ontology_.SetInstanceType(*kg.FindNode("jaws", NodeKind::kEntity),
+                            movie_);
+  ontology_.SetInstanceType(
+      *kg.FindNode("spielberg", NodeKind::kEntity), director_);
+  EXPECT_TRUE(ontology_.ValidateTriple(kg, t).ok());
+}
+
+TEST_F(OntologyTest, ValidateRejectsDomainViolation) {
+  KnowledgeGraph kg;
+  const TripleId t = kg.AddTriple("spielberg", "directed_by", "lucas",
+                                  NodeKind::kEntity, NodeKind::kEntity,
+                                  {"s", 1.0, 0});
+  ontology_.SetInstanceType(
+      *kg.FindNode("spielberg", NodeKind::kEntity), person_);
+  ontology_.SetInstanceType(*kg.FindNode("lucas", NodeKind::kEntity),
+                            person_);
+  const Status status = ontology_.ValidateTriple(kg, t);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(OntologyTest, ValidateRejectsRangeViolation) {
+  KnowledgeGraph kg;
+  const TripleId t = kg.AddTriple("jaws", "directed_by", "1975",
+                                  NodeKind::kEntity, NodeKind::kText,
+                                  {"s", 1.0, 0});
+  ontology_.SetInstanceType(*kg.FindNode("jaws", NodeKind::kEntity),
+                            movie_);
+  EXPECT_FALSE(ontology_.ValidateTriple(kg, t).ok());
+}
+
+TEST_F(OntologyTest, ValidateRejectsUndeclaredRelation) {
+  KnowledgeGraph kg;
+  const TripleId t = kg.AddTriple("a", "mystery_rel", "b",
+                                  NodeKind::kEntity, NodeKind::kText,
+                                  {"s", 1.0, 0});
+  EXPECT_EQ(ontology_.ValidateTriple(kg, t).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(OntologyTest, ValidateRejectsFunctionalViolation) {
+  KnowledgeGraph kg;
+  const TripleId t = kg.AddTriple("jaws", "directed_by", "spielberg",
+                                  NodeKind::kEntity, NodeKind::kEntity,
+                                  {"s", 1.0, 0});
+  kg.AddTriple("jaws", "directed_by", "lucas", NodeKind::kEntity,
+               NodeKind::kEntity, {"s", 1.0, 0});
+  ontology_.SetInstanceType(*kg.FindNode("jaws", NodeKind::kEntity),
+                            movie_);
+  ontology_.SetInstanceType(
+      *kg.FindNode("spielberg", NodeKind::kEntity), person_);
+  ontology_.SetInstanceType(*kg.FindNode("lucas", NodeKind::kEntity),
+                            person_);
+  EXPECT_EQ(ontology_.ValidateTriple(kg, t).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace kg::graph

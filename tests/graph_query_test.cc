@@ -1,0 +1,100 @@
+#include "graph/query.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::graph {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto add = [&](const char* s, const char* p, const char* o,
+                   NodeKind ok = NodeKind::kEntity) {
+      kg_.AddTriple(s, p, o, NodeKind::kEntity, ok, {"t", 1.0, 0});
+    };
+    add("m1", "directed_by", "ada");
+    add("m2", "directed_by", "ada");
+    add("m3", "directed_by", "bob");
+    add("m1", "genre", "drama", NodeKind::kText);
+    add("m2", "genre", "comedy", NodeKind::kText);
+    add("m3", "genre", "drama", NodeKind::kText);
+    add("ada", "name", "Ada Novak", NodeKind::kText);
+  }
+
+  KnowledgeGraph kg_;
+};
+
+TEST_F(QueryTest, SingleBoundPattern) {
+  QueryEngine engine(kg_);
+  auto result = engine.Query("m1 directed_by ?d");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(kg_.NodeName(result->front().at("d")), "ada");
+}
+
+TEST_F(QueryTest, JoinAcrossPatterns) {
+  QueryEngine engine(kg_);
+  // Movies directed by ada that are dramas.
+  auto result = engine.Query("?m directed_by ada . ?m genre drama");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(kg_.NodeName(result->front().at("m")), "m1");
+}
+
+TEST_F(QueryTest, MultiVariableJoin) {
+  QueryEngine engine(kg_);
+  // Directors with a drama: ada (m1) and bob (m3).
+  auto result = engine.Query("?m genre drama . ?m directed_by ?d");
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> directors;
+  for (const auto& binding : *result) {
+    directors.insert(kg_.NodeName(binding.at("d")));
+  }
+  EXPECT_EQ(directors, (std::set<std::string>{"ada", "bob"}));
+}
+
+TEST_F(QueryTest, QuotedConstants) {
+  QueryEngine engine(kg_);
+  auto result = engine.Query("?p name 'Ada Novak'");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(kg_.NodeName(result->front().at("p")), "ada");
+}
+
+TEST_F(QueryTest, UnknownConstantYieldsEmpty) {
+  QueryEngine engine(kg_);
+  auto result = engine.Query("?m directed_by nobody");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  auto result2 = engine.Query("?m unknown_predicate ?x");
+  ASSERT_TRUE(result2.ok());
+  EXPECT_TRUE(result2->empty());
+}
+
+TEST_F(QueryTest, SharedVariableActsAsFilter) {
+  QueryEngine engine(kg_);
+  // ?m must satisfy both genre constraints simultaneously: impossible.
+  auto result = engine.Query("?m genre drama . ?m genre comedy");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(QueryTest, ParseErrors) {
+  EXPECT_FALSE(QueryEngine::Parse("").ok());
+  EXPECT_FALSE(QueryEngine::Parse("a b").ok());
+  EXPECT_FALSE(QueryEngine::Parse("a b c d").ok());
+  EXPECT_FALSE(QueryEngine::Parse("?s ?p ?o").ok());  // var predicate.
+  EXPECT_FALSE(QueryEngine::Parse("a b 'unterminated").ok());
+  EXPECT_TRUE(QueryEngine::Parse("?s p ?o . ?o q r").ok());
+}
+
+TEST_F(QueryTest, CartesianProductWhenDisconnected) {
+  QueryEngine engine(kg_);
+  auto result = engine.Query("?m genre drama . ?x directed_by bob");
+  ASSERT_TRUE(result.ok());
+  // 2 dramas x 1 bob movie.
+  EXPECT_EQ(result->size(), 2u);
+}
+
+}  // namespace
+}  // namespace kg::graph

@@ -1,0 +1,114 @@
+#include "graph/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace kg::graph {
+namespace {
+
+Taxonomy MakeProductTaxonomy() {
+  // Product -> {Beverage -> {Tea -> {Green Tea, Black Tea}, Coffee},
+  //             Apparel -> {Swimwear}}
+  Taxonomy tax("Product");
+  const TypeId beverage = tax.AddType("Beverage", tax.root());
+  const TypeId tea = tax.AddType("Tea", beverage);
+  tax.AddType("Green Tea", tea);
+  tax.AddType("Black Tea", tea);
+  tax.AddType("Coffee", beverage);
+  const TypeId apparel = tax.AddType("Apparel", tax.root());
+  tax.AddType("Swimwear", apparel);
+  return tax;
+}
+
+TEST(TaxonomyTest, RootExists) {
+  Taxonomy tax("Thing");
+  EXPECT_EQ(tax.size(), 1u);
+  EXPECT_EQ(tax.Name(tax.root()), "Thing");
+  EXPECT_EQ(tax.Depth(tax.root()), 0);
+}
+
+TEST(TaxonomyTest, AddTypeIsIdempotentByName) {
+  Taxonomy tax("Thing");
+  const TypeId a = tax.AddType("A", tax.root());
+  const TypeId a2 = tax.AddType("A", tax.root());
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(tax.size(), 2u);
+}
+
+TEST(TaxonomyTest, AncestryQueries) {
+  Taxonomy tax = MakeProductTaxonomy();
+  const TypeId green = *tax.Find("Green Tea");
+  const TypeId tea = *tax.Find("Tea");
+  const TypeId beverage = *tax.Find("Beverage");
+  const TypeId swim = *tax.Find("Swimwear");
+  EXPECT_TRUE(tax.IsAncestor(green, tea));
+  EXPECT_TRUE(tax.IsAncestor(green, beverage));
+  EXPECT_TRUE(tax.IsAncestor(green, tax.root()));
+  EXPECT_TRUE(tax.IsAncestor(green, green));
+  EXPECT_FALSE(tax.IsAncestor(tea, green));
+  EXPECT_FALSE(tax.IsAncestor(green, swim));
+}
+
+TEST(TaxonomyTest, DepthAndLca) {
+  Taxonomy tax = MakeProductTaxonomy();
+  const TypeId green = *tax.Find("Green Tea");
+  const TypeId black = *tax.Find("Black Tea");
+  const TypeId coffee = *tax.Find("Coffee");
+  const TypeId swim = *tax.Find("Swimwear");
+  EXPECT_EQ(tax.Depth(green), 3);
+  EXPECT_EQ(tax.Depth(coffee), 2);
+  EXPECT_EQ(tax.Lca(green, black), *tax.Find("Tea"));
+  EXPECT_EQ(tax.Lca(green, coffee), *tax.Find("Beverage"));
+  EXPECT_EQ(tax.Lca(green, swim), tax.root());
+  EXPECT_EQ(tax.Lca(green, green), green);
+}
+
+TEST(TaxonomyTest, WuPalmerOrdersByRelatedness) {
+  Taxonomy tax = MakeProductTaxonomy();
+  const TypeId green = *tax.Find("Green Tea");
+  const TypeId black = *tax.Find("Black Tea");
+  const TypeId coffee = *tax.Find("Coffee");
+  const TypeId swim = *tax.Find("Swimwear");
+  const double sibling = tax.WuPalmerSimilarity(green, black);
+  const double cousin = tax.WuPalmerSimilarity(green, coffee);
+  const double distant = tax.WuPalmerSimilarity(green, swim);
+  EXPECT_GT(sibling, cousin);
+  EXPECT_GT(cousin, distant);
+  EXPECT_DOUBLE_EQ(tax.WuPalmerSimilarity(green, green), 1.0);
+}
+
+TEST(TaxonomyTest, MultiParentDagAllowed) {
+  Taxonomy tax("Product");
+  const TypeId fashion = tax.AddType("Fashion", tax.root());
+  const TypeId swimwear = tax.AddType("Swimwear", tax.root());
+  ASSERT_TRUE(tax.AddParent(swimwear, fashion).ok());
+  EXPECT_TRUE(tax.IsAncestor(swimwear, fashion));
+  EXPECT_EQ(tax.Parents(swimwear).size(), 2u);
+}
+
+TEST(TaxonomyTest, CycleRejected) {
+  Taxonomy tax("T");
+  const TypeId a = tax.AddType("a", tax.root());
+  const TypeId b = tax.AddType("b", a);
+  EXPECT_FALSE(tax.AddParent(a, b).ok());
+  EXPECT_FALSE(tax.AddParent(a, a).ok());
+}
+
+TEST(TaxonomyTest, LeavesAndDescendants) {
+  Taxonomy tax = MakeProductTaxonomy();
+  const auto leaves = tax.Leaves();
+  EXPECT_EQ(leaves.size(), 4u);  // Green, Black, Coffee, Swimwear.
+  const auto bev_desc = tax.Descendants(*tax.Find("Beverage"));
+  EXPECT_EQ(bev_desc.size(), 5u);  // Beverage, Tea, Green, Black, Coffee.
+  const auto anc = tax.Ancestors(*tax.Find("Green Tea"));
+  EXPECT_EQ(anc.size(), 4u);
+}
+
+TEST(TaxonomyTest, FindMissingReturnsNotFound) {
+  Taxonomy tax("T");
+  EXPECT_FALSE(tax.Find("nope").ok());
+}
+
+}  // namespace
+}  // namespace kg::graph

@@ -1,0 +1,108 @@
+#include "integrate/copy_detection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kg::integrate {
+namespace {
+
+// World: three independent sources (.9/.8/.7), one bad independent
+// source (.45), and a copier that duplicates the bad source — including
+// its errors — 95% of the time. Copy detection is well-posed when
+// independent sources are the majority (with equal-size opposing blocs
+// the direction of copying is information-theoretically unidentifiable).
+ClaimSet ColludingWorld(Rng& rng, std::map<std::string, std::string>* truth) {
+  ClaimSet claims;
+  for (int i = 0; i < 300; ++i) {
+    const std::string item = "i" + std::to_string(i);
+    const std::string correct = "v" + std::to_string(i);
+    (*truth)[item] = correct;
+    claims[item].push_back(
+        {"good", rng.Bernoulli(0.9) ? correct
+                                    : "g-wrong" + std::to_string(i)});
+    claims[item].push_back(
+        {"good2", rng.Bernoulli(0.8) ? correct
+                                     : "h-wrong" + std::to_string(i)});
+    claims[item].push_back(
+        {"good3", rng.Bernoulli(0.7) ? correct
+                                     : "k-wrong" + std::to_string(i)});
+    const std::string bad_value =
+        rng.Bernoulli(0.45) ? correct : "a-wrong" + std::to_string(i);
+    claims[item].push_back({"bad", bad_value});
+    claims[item].push_back(
+        {"copycat", rng.Bernoulli(0.95)
+                        ? bad_value
+                        : "c-wrong" + std::to_string(i)});
+  }
+  return claims;
+}
+
+TEST(CopyDetectionTest, FindsOnlyTheCopierPair) {
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    Rng rng(seed);
+    std::map<std::string, std::string> truth;
+    const auto claims = ColludingWorld(rng, &truth);
+    const auto evidence = DetectCopying(claims, {});
+    // Exactly the colluding pair, never a false positive on the
+    // independent sources.
+    ASSERT_EQ(evidence.size(), 1u) << "seed " << seed;
+    const auto& top = evidence.front();
+    EXPECT_TRUE((top.copier == "copycat" && top.original == "bad") ||
+                (top.copier == "bad" && top.original == "copycat"));
+    EXPECT_GT(top.score, 0.3);
+  }
+}
+
+TEST(CopyDetectionTest, IndependentSourcesNotFlagged) {
+  Rng rng(2);
+  ClaimSet claims;
+  for (int i = 0; i < 300; ++i) {
+    const std::string item = "i" + std::to_string(i);
+    const std::string correct = "v" + std::to_string(i);
+    claims[item].push_back(
+        {"a", rng.Bernoulli(0.7) ? correct : "a-w" + std::to_string(i)});
+    claims[item].push_back(
+        {"b", rng.Bernoulli(0.7) ? correct : "b-w" + std::to_string(i)});
+    claims[item].push_back(
+        {"c", rng.Bernoulli(0.7) ? correct : "c-w" + std::to_string(i)});
+  }
+  EXPECT_TRUE(DetectCopying(claims, {}).empty());
+}
+
+TEST(CopyDetectionTest, CopyAwareFusionAtLeastMatchesAccuAndBeatsVote) {
+  size_t plain_total = 0, aware_total = 0, vote_total = 0, n = 0;
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    Rng rng(seed);
+    std::map<std::string, std::string> truth;
+    const auto claims = ColludingWorld(rng, &truth);
+    const auto vote = MajorityVote(claims);
+    const auto plain = AccuFusion::Run(claims, {});
+    const auto aware = CopyAwareFusion(claims, {}, {});
+    for (const auto& [item, correct] : truth) {
+      ++n;
+      vote_total += vote.at(item).value == correct;
+      plain_total += plain.fused.at(item).value == correct;
+      aware_total += aware.fused.at(item).value == correct;
+    }
+  }
+  // Removing the duplicated evidence never hurts and beats naive voting
+  // decisively (the bloc distorts vote counts).
+  EXPECT_GE(aware_total, plain_total);
+  EXPECT_GT(aware_total, vote_total + 100);
+  EXPECT_GT(static_cast<double>(aware_total) / n, 0.9);
+}
+
+TEST(CopyDetectionTest, SmallOverlapIgnored) {
+  ClaimSet claims;
+  for (int i = 0; i < 5; ++i) {  // Below min_overlap.
+    const std::string item = "i" + std::to_string(i);
+    claims[item].push_back({"a", "same" + std::to_string(i)});
+    claims[item].push_back({"b", "same" + std::to_string(i)});
+    claims[item].push_back({"c", "other" + std::to_string(i)});
+  }
+  EXPECT_TRUE(DetectCopying(claims, {}).empty());
+}
+
+}  // namespace
+}  // namespace kg::integrate

@@ -1,0 +1,74 @@
+#include "integrate/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kg::integrate {
+namespace {
+
+TEST(MajorityVoteTest, PicksMostAssertedValue) {
+  ClaimSet claims;
+  claims["item"] = {{"s1", "a"}, {"s2", "a"}, {"s3", "b"}};
+  const auto fused = MajorityVote(claims);
+  EXPECT_EQ(fused.at("item").value, "a");
+  EXPECT_NEAR(fused.at("item").confidence, 2.0 / 3.0, 1e-9);
+}
+
+TEST(MajorityVoteTest, TieBreaksDeterministically) {
+  ClaimSet claims;
+  claims["item"] = {{"s1", "b"}, {"s2", "a"}};
+  EXPECT_EQ(MajorityVote(claims).at("item").value, "a");
+}
+
+TEST(AccuFusionTest, ConvergesAndEstimatesAccuracies) {
+  // One excellent source and two mediocre ones making INDEPENDENT
+  // errors (ACCU's model; colluding copiers need the copy detection of
+  // Dong et al., out of scope here). Voting treats all three equally and
+  // loses three-way disagreements; ACCU learns to trust the good source.
+  Rng rng(1);
+  ClaimSet claims;
+  std::map<std::string, std::string> truth;
+  for (int i = 0; i < 300; ++i) {
+    const std::string item = "item" + std::to_string(i);
+    const std::string correct = "v" + std::to_string(i);
+    truth[item] = correct;
+    claims[item].push_back(
+        {"good", rng.Bernoulli(0.9) ? correct
+                                    : "u-wrong-g" + std::to_string(i)});
+    claims[item].push_back(
+        {"bad1", rng.Bernoulli(0.5) ? correct
+                                    : "u-wrong-1" + std::to_string(i)});
+    claims[item].push_back(
+        {"bad2", rng.Bernoulli(0.5) ? correct
+                                    : "u-wrong-2" + std::to_string(i)});
+  }
+  const auto vote = MajorityVote(claims);
+  const auto accu = AccuFusion::Run(claims, {});
+  size_t vote_correct = 0, accu_correct = 0;
+  for (const auto& [item, correct] : truth) {
+    vote_correct += vote.at(item).value == correct;
+    accu_correct += accu.fused.at(item).value == correct;
+  }
+  EXPECT_GT(accu_correct, vote_correct);
+  EXPECT_GT(static_cast<double>(accu_correct) / truth.size(), 0.85);
+  EXPECT_GT(accu.source_accuracy.at("good"),
+            accu.source_accuracy.at("bad1"));
+  EXPECT_GT(accu.iterations, 1u);
+}
+
+TEST(AccuFusionTest, SingleSourceTrusted) {
+  ClaimSet claims;
+  claims["i1"] = {{"only", "x"}};
+  const auto result = AccuFusion::Run(claims, {});
+  EXPECT_EQ(result.fused.at("i1").value, "x");
+}
+
+TEST(AccuFusionTest, EmptyClaimsYieldEmptyResult) {
+  const auto result = AccuFusion::Run({}, {});
+  EXPECT_TRUE(result.fused.empty());
+  EXPECT_TRUE(result.source_accuracy.empty());
+}
+
+}  // namespace
+}  // namespace kg::integrate

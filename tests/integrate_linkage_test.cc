@@ -1,0 +1,175 @@
+#include "integrate/linkage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conversions.h"
+#include "ml/metrics.h"
+#include "synth/structured_source.h"
+
+namespace kg::integrate {
+namespace {
+
+Record MovieRecord(const std::string& title, const std::string& year,
+                   const std::string& genre,
+                   const std::string& director) {
+  Record r;
+  r.attrs = {{"title", title},
+             {"release_year", year},
+             {"genre", genre},
+             {"director", director}};
+  return r;
+}
+
+LinkageSchema MovieSchema() {
+  LinkageSchema schema;
+  schema.name_attrs = {"title", "director"};
+  schema.numeric_attrs = {"release_year"};
+  schema.categorical_attrs = {"genre"};
+  return schema;
+}
+
+TEST(PairFeaturesTest, ArityMatchesNames) {
+  const auto schema = MovieSchema();
+  const auto names = LinkageFeatureNames(schema);
+  const auto a = MovieRecord("The Harbor", "1999", "drama", "Ada Novak");
+  const auto b = MovieRecord("the harbor", "2000", "drama", "A. Novak");
+  EXPECT_EQ(PairFeatures(a, b, schema).size(), names.size());
+}
+
+TEST(PairFeaturesTest, IdenticalRecordsMaxSimilarity) {
+  const auto schema = MovieSchema();
+  const auto a = MovieRecord("The Harbor", "1999", "drama", "Ada Novak");
+  const auto f = PairFeatures(a, a, schema);
+  // title.jw, title.jaccard, title.monge_elkan all 1; missing flags 0.
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[2], 1.0);
+  EXPECT_DOUBLE_EQ(f[3], 0.0);
+}
+
+TEST(PairFeaturesTest, MissingValuesFlagged) {
+  const auto schema = MovieSchema();
+  Record empty;
+  const auto a = MovieRecord("X", "1999", "drama", "Y");
+  const auto f = PairFeatures(a, empty, schema);
+  const auto names = LinkageFeatureNames(schema);
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i].find(".missing") != std::string::npos) {
+      EXPECT_DOUBLE_EQ(f[i], 1.0) << names[i];
+    } else {
+      EXPECT_DOUBLE_EQ(f[i], 0.0) << names[i];
+    }
+  }
+}
+
+TEST(BlockingTest, SharedTitleTokensGenerateCandidates) {
+  RecordSet a, b;
+  a.records = {MovieRecord("The Silent Harbor", "1999", "drama", "X")};
+  b.records = {MovieRecord("Silent Harbor", "1999", "drama", "Y"),
+               MovieRecord("Crimson Road", "2001", "action", "Z")};
+  const auto pairs = BlockCandidates(a, b, MovieSchema());
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].second, 0u);
+}
+
+TEST(BlockingTest, RecallOnRealisticSources) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 400;
+  uopt.num_movies = 400;
+  uopt.num_songs = 50;
+  kg::Rng rng(1);
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+  synth::SourceOptions o1, o2;
+  o1.name = "s1";
+  o2.name = "s2";
+  o1.coverage = o2.coverage = 0.7;
+  o2.schema_dialect = 1;
+  const auto t1 = synth::EmitSource(universe, o1, rng);
+  const auto t2 = synth::EmitSource(universe, o2, rng);
+  std::vector<uint32_t> truth1, truth2;
+  const auto r1 = core::ToRecordSet(t1, core::ManualMappingFor(t1), &truth1);
+  const auto r2 = core::ToRecordSet(t2, core::ManualMappingFor(t2), &truth2);
+  const auto schema = core::LinkageSchemaFor(synth::SourceDomain::kMovies);
+  const auto pairs = BlockCandidates(r1, r2, schema);
+  // Count how many true matches survive blocking.
+  size_t found = 0, linkable = 0;
+  std::set<std::pair<size_t, size_t>> pair_set(pairs.begin(), pairs.end());
+  for (size_t i = 0; i < r1.records.size(); ++i) {
+    for (size_t j = 0; j < r2.records.size(); ++j) {
+      if (truth1[i] != truth2[j]) continue;
+      ++linkable;
+      found += pair_set.count({i, j});
+    }
+  }
+  ASSERT_GT(linkable, 50u);
+  EXPECT_GT(static_cast<double>(found) / linkable, 0.95);
+  // And blocking prunes the quadratic space substantially.
+  EXPECT_LT(pairs.size(), r1.records.size() * r2.records.size() / 4);
+}
+
+TEST(EntityLinkerTest, EndToEndHighQuality) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 300;
+  uopt.num_movies = 500;
+  uopt.num_songs = 50;
+  kg::Rng rng(2);
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+  synth::SourceOptions o1, o2;
+  o1.name = "fb";
+  o2.name = "imdb";
+  o1.coverage = o2.coverage = 0.8;
+  o2.schema_dialect = 1;
+  o1.name_noise = o2.name_noise = 0.2;
+  const auto t1 = synth::EmitSource(universe, o1, rng);
+  const auto t2 = synth::EmitSource(universe, o2, rng);
+  std::vector<uint32_t> truth1, truth2;
+  const auto r1 = core::ToRecordSet(t1, core::ManualMappingFor(t1), &truth1);
+  const auto r2 = core::ToRecordSet(t2, core::ManualMappingFor(t2), &truth2);
+  const auto schema = core::LinkageSchemaFor(synth::SourceDomain::kMovies);
+  auto pool = core::BuildLinkagePairs(r1, truth1, r2, truth2, schema);
+  ASSERT_GT(pool.size(), 200u);
+
+  // Train on half the pairs, evaluate linking quality end-to-end.
+  ml::Dataset train, unused;
+  kg::Rng split_rng(3);
+  ml::TrainTestSplit(pool, 0.5, split_rng, &train, &unused);
+  EntityLinker linker;
+  ml::ForestOptions fopt;
+  fopt.num_trees = 30;
+  linker.Fit(train, fopt, rng);
+  const auto matches = linker.Link(r1, r2, schema, 0.5);
+  ASSERT_GT(matches.size(), 100u);
+  size_t correct = 0;
+  for (const auto& m : matches) {
+    correct += truth1[m.index_a] == truth2[m.index_b];
+  }
+  const double precision = static_cast<double>(correct) / matches.size();
+  EXPECT_GT(precision, 0.95);
+}
+
+TEST(EntityLinkerTest, OneToOneConstraintHolds) {
+  RecordSet a, b;
+  a.records = {MovieRecord("Harbor", "1999", "drama", "X"),
+               MovieRecord("Harbor", "1999", "drama", "X")};
+  b.records = {MovieRecord("Harbor", "1999", "drama", "X")};
+  ml::Dataset train;
+  const auto schema = MovieSchema();
+  train.feature_names = LinkageFeatureNames(schema);
+  // Trivial training set: identical = positive, different = negative.
+  train.examples.push_back(
+      {PairFeatures(a.records[0], a.records[0], schema), 1});
+  train.examples.push_back(
+      {PairFeatures(a.records[0],
+                    MovieRecord("Zzz", "1802", "western", "Q"), schema),
+       0});
+  EntityLinker linker;
+  ml::ForestOptions fopt;
+  fopt.num_trees = 5;
+  kg::Rng rng(4);
+  linker.Fit(train, fopt, rng);
+  const auto matches = linker.Link(a, b, schema, 0.5);
+  EXPECT_LE(matches.size(), 1u);
+}
+
+}  // namespace
+}  // namespace kg::integrate

@@ -1,0 +1,78 @@
+#include "integrate/schema_alignment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conversions.h"
+#include "synth/structured_source.h"
+
+namespace kg::integrate {
+namespace {
+
+TEST(SchemaMappingTest, ApplyRewritesKeys) {
+  SchemaMapping mapping;
+  mapping.source_to_canonical = {{"movie_name", "title"},
+                                 {"yr", "release_year"}};
+  const Record rec = mapping.Apply(
+      "src", "id1", {{"movie_name", "Harbor"}, {"yr", "1999"},
+                     {"junk", "x"}});
+  EXPECT_EQ(rec.Get("title"), "Harbor");
+  EXPECT_EQ(rec.Get("release_year"), "1999");
+  EXPECT_EQ(rec.attrs.size(), 2u);
+  EXPECT_EQ(rec.source, "src");
+}
+
+TEST(InferMappingTest, RecoversDialectMappingFromInstances) {
+  // Generate a movie source in dialect 1 and infer its mapping onto the
+  // canonical schema using value overlap.
+  synth::UniverseOptions uopt;
+  uopt.num_people = 300;
+  uopt.num_movies = 300;
+  uopt.num_songs = 50;
+  kg::Rng rng(1);
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+  synth::SourceOptions dialect1, canonical;
+  dialect1.schema_dialect = 1;
+  dialect1.coverage = canonical.coverage = 0.8;
+  const auto source = synth::EmitSource(universe, dialect1, rng);
+  const auto reference = synth::EmitSource(universe, canonical, rng);
+
+  std::vector<std::map<std::string, std::string>> source_sample,
+      ref_sample;
+  for (size_t i = 0; i < std::min<size_t>(150, source.records.size());
+       ++i) {
+    source_sample.push_back(source.records[i].fields);
+  }
+  for (size_t i = 0; i < std::min<size_t>(150, reference.records.size());
+       ++i) {
+    ref_sample.push_back(reference.records[i].fields);
+  }
+  const auto inferred =
+      InferMapping(source.columns, source_sample,
+                   synth::CanonicalColumns(source.domain), ref_sample);
+  const auto gold = core::ManualMappingFor(source);
+  // Automatic alignment works well on instance-rich columns (§5 notes it
+  // is not production-trusted, but it is far from useless).
+  EXPECT_GE(MappingAccuracy(inferred, gold), 0.75);
+}
+
+TEST(InferMappingTest, OneToOneAssignment) {
+  const std::vector<std::string> source_cols = {"a", "b"};
+  const std::vector<std::string> canon_cols = {"x"};
+  std::vector<std::map<std::string, std::string>> sample = {
+      {{"a", "1"}, {"b", "1"}}};
+  std::vector<std::map<std::string, std::string>> ref = {{{"x", "1"}}};
+  const auto mapping = InferMapping(source_cols, sample, canon_cols, ref);
+  // Only one canonical column: at most one source column maps.
+  EXPECT_LE(mapping.source_to_canonical.size(), 1u);
+}
+
+TEST(MappingAccuracyTest, CountsExactAgreements) {
+  SchemaMapping gold, inferred;
+  gold.source_to_canonical = {{"a", "x"}, {"b", "y"}};
+  inferred.source_to_canonical = {{"a", "x"}, {"b", "z"}};
+  EXPECT_DOUBLE_EQ(MappingAccuracy(inferred, gold), 0.5);
+  EXPECT_DOUBLE_EQ(MappingAccuracy(inferred, SchemaMapping{}), 0.0);
+}
+
+}  // namespace
+}  // namespace kg::integrate

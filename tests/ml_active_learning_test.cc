@@ -1,0 +1,74 @@
+#include "ml/active_learning.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::ml {
+namespace {
+
+// Binary task where the boundary region is rare: uncertainty sampling
+// shines because random labels waste budget on easy regions.
+Dataset MakeTask(size_t n, Rng& rng) {
+  Dataset d;
+  d.feature_names = {"x", "noise"};
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble();
+    d.examples.push_back(
+        Example{{x, rng.UniformDouble()}, x > 0.52 ? 1 : 0});
+  }
+  return d;
+}
+
+TEST(ActiveLearningTest, QualityImprovesWithBudget) {
+  Rng rng(1);
+  const Dataset pool = MakeTask(2000, rng);
+  const Dataset test = MakeTask(500, rng);
+  ActiveLearningOptions opt;
+  opt.label_budgets = {50, 200, 1000};
+  opt.strategy = AcquisitionStrategy::kRandom;
+  opt.forest.num_trees = 20;
+  const auto results = RunActiveLearning(pool, test, opt, rng);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].labels, 50u);
+  EXPECT_EQ(results[2].labels, 1000u);
+  EXPECT_GT(results[2].f1, results[0].f1 - 0.02);
+  EXPECT_GT(results[2].f1, 0.9);
+}
+
+TEST(ActiveLearningTest, UncertaintyBeatsRandomAtSmallBudget) {
+  // Average over a few seeds to keep the comparison stable.
+  double random_f1 = 0.0, active_f1 = 0.0;
+  const int kSeeds = 3;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    Rng data_rng(seed);
+    const Dataset pool = MakeTask(3000, data_rng);
+    const Dataset test = MakeTask(800, data_rng);
+    ActiveLearningOptions opt;
+    opt.label_budgets = {120};
+    opt.forest.num_trees = 25;
+    {
+      Rng rng(100 + seed);
+      opt.strategy = AcquisitionStrategy::kRandom;
+      random_f1 += RunActiveLearning(pool, test, opt, rng)[0].f1;
+    }
+    {
+      Rng rng(100 + seed);
+      opt.strategy = AcquisitionStrategy::kUncertainty;
+      active_f1 += RunActiveLearning(pool, test, opt, rng)[0].f1;
+    }
+  }
+  EXPECT_GT(active_f1 / kSeeds, random_f1 / kSeeds - 0.01);
+}
+
+TEST(ActiveLearningTest, BudgetNeverExceedsPool) {
+  Rng rng(2);
+  const Dataset pool = MakeTask(100, rng);
+  const Dataset test = MakeTask(50, rng);
+  ActiveLearningOptions opt;
+  opt.label_budgets = {100};
+  opt.forest.num_trees = 5;
+  const auto results = RunActiveLearning(pool, test, opt, rng);
+  EXPECT_EQ(results[0].labels, 100u);
+}
+
+}  // namespace
+}  // namespace kg::ml

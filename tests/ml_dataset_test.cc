@@ -1,0 +1,69 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kg::ml {
+namespace {
+
+Dataset MakeDataset(size_t n) {
+  Dataset d;
+  d.feature_names = {"x"};
+  for (size_t i = 0; i < n; ++i) {
+    d.examples.push_back(
+        Example{{static_cast<double>(i)}, i % 3 == 0 ? 1 : 0});
+  }
+  return d;
+}
+
+TEST(TrainTestSplitTest, PartitionsWithoutLoss) {
+  const Dataset d = MakeDataset(100);
+  Dataset train, test;
+  Rng rng(1);
+  TrainTestSplit(d, 0.7, rng, &train, &test);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+  std::multiset<double> all;
+  for (const auto& ex : train.examples) all.insert(ex.features[0]);
+  for (const auto& ex : test.examples) all.insert(ex.features[0]);
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(*all.begin(), 0.0);
+  EXPECT_EQ(*all.rbegin(), 99.0);
+}
+
+TEST(TrainTestSplitTest, ExtremesWork) {
+  const Dataset d = MakeDataset(10);
+  Dataset train, test;
+  Rng rng(2);
+  TrainTestSplit(d, 1.0, rng, &train, &test);
+  EXPECT_EQ(train.size(), 10u);
+  EXPECT_EQ(test.size(), 0u);
+}
+
+TEST(StratifiedFoldsTest, PreservesLabelBalance) {
+  const Dataset d = MakeDataset(90);  // 30 positive, 60 negative.
+  Rng rng(3);
+  const auto folds = StratifiedFolds(d, 3, rng);
+  ASSERT_EQ(folds.size(), 3u);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.size(), 30u);
+    size_t pos = 0;
+    for (size_t i : fold) pos += d.examples[i].label;
+    EXPECT_EQ(pos, 10u);
+  }
+}
+
+TEST(StratifiedFoldsTest, CoversAllIndicesOnce) {
+  const Dataset d = MakeDataset(50);
+  Rng rng(4);
+  const auto folds = StratifiedFolds(d, 4, rng);
+  std::set<size_t> seen;
+  for (const auto& fold : folds) {
+    for (size_t i : fold) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+}  // namespace
+}  // namespace kg::ml

@@ -1,0 +1,89 @@
+#include "ml/graph_propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::ml {
+namespace {
+
+TEST(PropagateFeaturesTest, ConcatenatesNeighborMeans) {
+  // Path graph 0-1-2 with scalar features.
+  std::vector<FeatureVector> feats = {{1.0}, {2.0}, {3.0}};
+  Adjacency adj = {{1}, {0, 2}, {1}};
+  const auto out = PropagateFeatures(feats, adj, 1);
+  ASSERT_EQ(out.size(), 3u);
+  ASSERT_EQ(out[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(out[0][1], 2.0);     // mean of {2}.
+  EXPECT_DOUBLE_EQ(out[1][1], 2.0);     // mean of {1, 3}.
+}
+
+TEST(PropagateFeaturesTest, IsolatedNodeGetsZeros) {
+  std::vector<FeatureVector> feats = {{5.0}};
+  Adjacency adj = {{}};
+  const auto out = PropagateFeatures(feats, adj, 2);
+  ASSERT_EQ(out[0].size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0][0], 5.0);
+  EXPECT_DOUBLE_EQ(out[0][1], 0.0);
+}
+
+TEST(PropagateFeaturesTest, ZeroLayersIsIdentity) {
+  std::vector<FeatureVector> feats = {{1.0, 2.0}};
+  Adjacency adj = {{}};
+  EXPECT_EQ(PropagateFeatures(feats, adj, 0), feats);
+}
+
+// Node classification where the label depends on the NEIGHBOR's feature,
+// not the node's own: propagation is necessary.
+TEST(GnnNodeClassifierTest, LearnsNeighborDependentLabels) {
+  Rng rng(1);
+  std::vector<std::vector<FeatureVector>> graphs;
+  std::vector<Adjacency> adjacencies;
+  std::vector<std::vector<int>> labels;
+  for (int g = 0; g < 30; ++g) {
+    // Star: center + 4 leaves. Leaves are positive iff center's feature
+    // is high. Leaf features are pure noise.
+    std::vector<FeatureVector> feats;
+    Adjacency adj;
+    std::vector<int> lab;
+    const bool hot = rng.Bernoulli(0.5);
+    feats.push_back({hot ? 1.0 : 0.0, rng.UniformDouble()});
+    adj.push_back({});
+    lab.push_back(-1);  // center unlabeled.
+    for (int leaf = 1; leaf <= 4; ++leaf) {
+      feats.push_back({0.5, rng.UniformDouble()});
+      adj.push_back({0});
+      adj[0].push_back(static_cast<uint32_t>(leaf));
+      lab.push_back(hot ? 1 : 0);
+    }
+    graphs.push_back(std::move(feats));
+    adjacencies.push_back(std::move(adj));
+    labels.push_back(std::move(lab));
+  }
+  GnnNodeClassifier classifier;
+  GnnNodeClassifier::Options opt;
+  opt.layers = 1;
+  classifier.Fit(graphs, adjacencies, labels, opt, rng);
+
+  // Fresh test graphs.
+  size_t correct = 0, total = 0;
+  for (int g = 0; g < 20; ++g) {
+    const bool hot = g % 2 == 0;
+    std::vector<FeatureVector> feats = {
+        {hot ? 1.0 : 0.0, rng.UniformDouble()}};
+    Adjacency adj = {{}};
+    for (int leaf = 1; leaf <= 4; ++leaf) {
+      feats.push_back({0.5, rng.UniformDouble()});
+      adj.push_back({0});
+      adj[0].push_back(static_cast<uint32_t>(leaf));
+    }
+    const auto proba = classifier.Predict(feats, adj);
+    for (int leaf = 1; leaf <= 4; ++leaf) {
+      ++total;
+      correct += (proba[leaf] >= 0.5) == hot;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+}  // namespace
+}  // namespace kg::ml

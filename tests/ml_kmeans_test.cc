@@ -1,0 +1,58 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::ml {
+namespace {
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(1);
+  std::vector<FeatureVector> points;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      points.push_back({c * 10.0 + rng.Gaussian(0, 0.3),
+                        c * 10.0 + rng.Gaussian(0, 0.3)});
+    }
+  }
+  const auto result = KMeans(points, 3, 50, rng);
+  // Points within a block share an assignment.
+  for (int c = 0; c < 3; ++c) {
+    const int rep = result.assignments[c * 30];
+    for (int i = 1; i < 30; ++i) {
+      EXPECT_EQ(result.assignments[c * 30 + i], rep);
+    }
+  }
+  // The three blocks use three distinct clusters.
+  EXPECT_NE(result.assignments[0], result.assignments[30]);
+  EXPECT_NE(result.assignments[30], result.assignments[60]);
+  EXPECT_LT(result.inertia, 100.0);
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  Rng rng(2);
+  std::vector<FeatureVector> points = {{0.0}, {1.0}};
+  const auto result = KMeans(points, 10, 10, rng);
+  EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, IdenticalPointsSingleCluster) {
+  Rng rng(3);
+  std::vector<FeatureVector> points(5, FeatureVector{1.0, 1.0});
+  const auto result = KMeans(points, 2, 10, rng);
+  EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(4);
+  std::vector<FeatureVector> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({rng.UniformDouble(0, 10)});
+  }
+  Rng r1(5), r2(5);
+  const double inertia2 = KMeans(points, 2, 30, r1).inertia;
+  const double inertia8 = KMeans(points, 8, 30, r2).inertia;
+  EXPECT_LT(inertia8, inertia2);
+}
+
+}  // namespace
+}  // namespace kg::ml

@@ -1,0 +1,76 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+
+namespace kg::ml {
+namespace {
+
+Dataset LinearlySeparable(size_t n, Rng& rng) {
+  Dataset d;
+  d.feature_names = {"x1", "x2"};
+  for (size_t i = 0; i < n; ++i) {
+    const double x1 = rng.UniformDouble(-1, 1);
+    const double x2 = rng.UniformDouble(-1, 1);
+    d.examples.push_back(Example{{x1, x2}, x1 + x2 > 0 ? 1 : 0});
+  }
+  return d;
+}
+
+TEST(LogisticRegressionTest, LearnsLinearBoundary) {
+  Rng rng(1);
+  const Dataset train = LinearlySeparable(500, rng);
+  const Dataset test = LinearlySeparable(300, rng);
+  LogisticRegression lr;
+  lr.Fit(train, {}, rng);
+  Confusion c;
+  for (const auto& ex : test.examples) {
+    c.Add(ex.label, lr.Predict(ex.features));
+  }
+  EXPECT_GT(c.Accuracy(), 0.95);
+}
+
+TEST(LogisticRegressionTest, ProbaIsCalibratedDirectionally) {
+  Rng rng(2);
+  const Dataset train = LinearlySeparable(500, rng);
+  LogisticRegression lr;
+  lr.Fit(train, {}, rng);
+  EXPECT_GT(lr.PredictProba({0.9, 0.9}), 0.9);
+  EXPECT_LT(lr.PredictProba({-0.9, -0.9}), 0.1);
+  EXPECT_NEAR(lr.PredictProba({0.0, 0.0}), 0.5, 0.2);
+}
+
+TEST(LogisticRegressionTest, WeightsReflectSignal) {
+  Rng rng(3);
+  Dataset train;
+  train.feature_names = {"signal", "noise"};
+  for (int i = 0; i < 400; ++i) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 0;
+    train.examples.push_back(Example{
+        {label == 1 ? 1.0 : -1.0, rng.UniformDouble(-1, 1)}, label});
+  }
+  LogisticRegression lr;
+  lr.Fit(train, {}, rng);
+  EXPECT_GT(lr.weights()[0], std::abs(lr.weights()[1]));
+}
+
+TEST(LogisticRegressionTest, L2ShrinksWeights) {
+  Rng rng(4);
+  const Dataset train = LinearlySeparable(300, rng);
+  LogisticRegression weak, strong;
+  LogisticRegression::Options weak_opt, strong_opt;
+  weak_opt.l2 = 1e-6;
+  strong_opt.l2 = 1.0;
+  Rng r1(5), r2(5);
+  weak.Fit(train, weak_opt, r1);
+  strong.Fit(train, strong_opt, r2);
+  const double weak_norm =
+      std::abs(weak.weights()[0]) + std::abs(weak.weights()[1]);
+  const double strong_norm =
+      std::abs(strong.weights()[0]) + std::abs(strong.weights()[1]);
+  EXPECT_LT(strong_norm, weak_norm);
+}
+
+}  // namespace
+}  // namespace kg::ml

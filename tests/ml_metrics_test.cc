@@ -1,0 +1,108 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kg::ml {
+namespace {
+
+TEST(ConfusionTest, CountsAndDerivedMetrics) {
+  Confusion c;
+  c.Add(1, 1);  // tp
+  c.Add(1, 1);  // tp
+  c.Add(0, 1);  // fp
+  c.Add(1, 0);  // fn
+  c.Add(0, 0);  // tn
+  EXPECT_EQ(c.tp, 2u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_DOUBLE_EQ(c.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 0.6);
+}
+
+TEST(ConfusionTest, EmptyIsZero) {
+  Confusion c;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+}
+
+TEST(PrCurveTest, PerfectRankingReachesTopRight) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> gold = {1, 1, 0, 0};
+  const auto curve = PrecisionRecallCurve(scores, gold);
+  ASSERT_FALSE(curve.empty());
+  // At the threshold passing both positives: P=1, R=1.
+  bool found = false;
+  for (const auto& pt : curve) {
+    if (pt.recall == 1.0 && pt.precision == 1.0) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_DOUBLE_EQ(AveragePrecision(scores, gold), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc(scores, gold), 1.0);
+}
+
+TEST(PrCurveTest, InvertedRankingScoresZeroAuc) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> gold = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, gold), 0.0);
+}
+
+TEST(PrCurveTest, TiedScoresCollapseToOnePoint) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  const std::vector<int> gold = {1, 0, 1};
+  const auto curve = PrecisionRecallCurve(scores, gold);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> gold;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.UniformDouble());
+    gold.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_NEAR(RocAuc(scores, gold), 0.5, 0.03);
+}
+
+TEST(RocAucTest, DegenerateClassesReturnHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2}, {0, 0}), 0.5);
+}
+
+TEST(AccuracyScoreTest, Basics) {
+  EXPECT_DOUBLE_EQ(AccuracyScore({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(AccuracyScore({}, {}), 0.0);
+}
+
+// Property: AP and AUC are monotone under improving a ranking.
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, AucInUnitInterval) {
+  Rng rng(GetParam());
+  std::vector<double> scores;
+  std::vector<int> gold;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(rng.UniformDouble());
+    gold.push_back(rng.Bernoulli(0.3) ? 1 : 0);
+  }
+  const double auc = RocAuc(scores, gold);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+  const double ap = AveragePrecision(scores, gold);
+  EXPECT_GE(ap, 0.0);
+  EXPECT_LE(ap, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace kg::ml

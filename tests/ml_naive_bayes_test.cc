@@ -1,0 +1,55 @@
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kg::ml {
+namespace {
+
+TEST(NaiveBayesTest, SeparatesDistinctVocabularies) {
+  MultinomialNaiveBayes nb;
+  nb.Fit({{"green", "tea", "leaf"},
+          {"tea", "herbal", "leaf"},
+          {"coffee", "bean", "roast"},
+          {"espresso", "coffee", "bean"}},
+         {0, 0, 1, 1});
+  EXPECT_EQ(nb.Predict({"tea", "leaf"}), 0);
+  EXPECT_EQ(nb.Predict({"coffee", "roast"}), 1);
+  EXPECT_EQ(nb.num_classes(), 2);
+}
+
+TEST(NaiveBayesTest, UnseenTokensFallBackToPrior) {
+  MultinomialNaiveBayes nb;
+  nb.Fit({{"a"}, {"a"}, {"a"}, {"b", "b", "b"}}, {0, 0, 0, 1});
+  // Equal token mass per class; the document prior favors class 0.
+  EXPECT_EQ(nb.Predict({"zzz", "qqq"}), 0);
+}
+
+TEST(NaiveBayesTest, ScoresOrderedBySupport) {
+  MultinomialNaiveBayes nb;
+  nb.Fit({{"x", "x"}, {"y"}}, {0, 1});
+  const auto scores = nb.Scores({"x"});
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(NaiveBayesTest, MulticlassSupport) {
+  MultinomialNaiveBayes nb;
+  nb.Fit({{"red"}, {"green"}, {"blue"}}, {0, 1, 2});
+  EXPECT_EQ(nb.num_classes(), 3);
+  EXPECT_EQ(nb.Predict({"green"}), 1);
+  EXPECT_EQ(nb.Predict({"blue"}), 2);
+}
+
+TEST(NaiveBayesTest, SmoothingPreventsZeroProbability) {
+  MultinomialNaiveBayes nb;
+  nb.Fit({{"a", "b"}, {"c"}}, {0, 1});
+  // "c" never seen with class 0; score must stay finite.
+  const auto scores = nb.Scores({"c", "c", "c"});
+  EXPECT_TRUE(std::isfinite(scores[0]));
+  EXPECT_TRUE(std::isfinite(scores[1]));
+  EXPECT_GT(scores[1], scores[0]);
+}
+
+}  // namespace
+}  // namespace kg::ml

@@ -1,0 +1,115 @@
+#include "ml/sequence_tagger.h"
+
+#include <gtest/gtest.h>
+
+#include "text/bio.h"
+
+namespace kg::ml {
+namespace {
+
+// Synthetic tagging task: the token after "is" is the value.
+std::vector<TaggedSequence> MakeData(size_t n, Rng& rng,
+                                     const std::string& context = "") {
+  const std::vector<std::string> values = {"red", "blue", "green",
+                                           "amber", "teal"};
+  const std::vector<std::string> fillers = {"the", "thing", "quality",
+                                            "very", "nice"};
+  std::vector<TaggedSequence> data;
+  for (size_t i = 0; i < n; ++i) {
+    TaggedSequence seq;
+    const size_t pre = rng.UniformIndex(3);
+    for (size_t j = 0; j < pre; ++j) {
+      seq.tokens.push_back(fillers[rng.UniformIndex(fillers.size())]);
+      seq.tags.push_back("O");
+    }
+    seq.tokens.push_back("is");
+    seq.tags.push_back("O");
+    seq.tokens.push_back(values[rng.UniformIndex(values.size())]);
+    seq.tags.push_back("B-V");
+    seq.tokens.push_back(fillers[rng.UniformIndex(fillers.size())]);
+    seq.tags.push_back("O");
+    if (!context.empty()) seq.context.push_back(context);
+    data.push_back(std::move(seq));
+  }
+  return data;
+}
+
+TEST(SequenceTaggerTest, LearnsPositionalPattern) {
+  Rng rng(1);
+  const auto train = MakeData(200, rng);
+  const auto test = MakeData(100, rng);
+  SequenceTagger tagger;
+  TaggerOptions opt;
+  opt.epochs = 12;
+  tagger.Fit(train, opt, rng);
+  size_t correct = 0, total = 0;
+  for (const auto& seq : test) {
+    const auto predicted = tagger.Predict(seq.tokens, seq.context);
+    for (size_t i = 0; i < seq.tags.size(); ++i) {
+      ++total;
+      correct += predicted[i] == seq.tags[i];
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.95);
+}
+
+TEST(SequenceTaggerTest, EmptyPredictionForEmptyTokens) {
+  Rng rng(2);
+  SequenceTagger tagger;
+  tagger.Fit(MakeData(20, rng), {}, rng);
+  EXPECT_TRUE(tagger.Predict({}, {}).empty());
+}
+
+TEST(SequenceTaggerTest, TagSetContainsO) {
+  Rng rng(3);
+  SequenceTagger tagger;
+  tagger.Fit(MakeData(20, rng), {}, rng);
+  EXPECT_EQ(tagger.tag_set()[0], "O");
+  EXPECT_EQ(tagger.num_tags(), 2u);
+}
+
+TEST(SequenceTaggerTest, ContextFeaturesSwitchBehavior) {
+  // Same surface, different gold depending on context: only a
+  // context-aware model can satisfy both.
+  Rng rng(4);
+  std::vector<TaggedSequence> train;
+  for (int i = 0; i < 120; ++i) {
+    TaggedSequence seq;
+    seq.tokens = {"dark", "roast"};
+    if (i % 2 == 0) {
+      seq.context = {"attr=flavor"};
+      seq.tags = {"B-V", "O"};
+    } else {
+      seq.context = {"attr=grind"};
+      seq.tags = {"O", "B-V"};
+    }
+    train.push_back(std::move(seq));
+  }
+  SequenceTagger tagger;
+  TaggerOptions opt;
+  opt.cross_context_with_tokens = true;
+  tagger.Fit(train, opt, rng);
+  EXPECT_EQ(tagger.Predict({"dark", "roast"}, {"attr=flavor"}),
+            (std::vector<std::string>{"B-V", "O"}));
+  EXPECT_EQ(tagger.Predict({"dark", "roast"}, {"attr=grind"}),
+            (std::vector<std::string>{"O", "B-V"}));
+}
+
+TEST(SequenceTaggerTest, DecodedTagsFormValidSpans) {
+  Rng rng(5);
+  const auto train = MakeData(100, rng);
+  SequenceTagger tagger;
+  tagger.Fit(train, {}, rng);
+  const auto test = MakeData(50, rng);
+  for (const auto& seq : test) {
+    const auto tags = tagger.Predict(seq.tokens, {});
+    // BioToSpans must not throw/crash and spans stay in range.
+    for (const auto& span : text::BioToSpans(tags)) {
+      EXPECT_LE(span.end, seq.tokens.size());
+      EXPECT_LT(span.begin, span.end);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kg::ml

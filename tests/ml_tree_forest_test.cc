@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+namespace kg::ml {
+namespace {
+
+// Axis-separable binary problem with one informative feature + noise dims.
+Dataset MakeSeparable(size_t n, Rng& rng, double flip = 0.0) {
+  Dataset d;
+  d.feature_names = {"signal", "noise1", "noise2"};
+  for (size_t i = 0; i < n; ++i) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 0;
+    const double base = label == 1 ? 0.7 : 0.3;
+    Example ex;
+    ex.features = {base + rng.Gaussian(0, 0.08), rng.UniformDouble(),
+                   rng.UniformDouble()};
+    ex.label = rng.Bernoulli(flip) ? 1 - label : label;
+    d.examples.push_back(std::move(ex));
+  }
+  return d;
+}
+
+TEST(DecisionTreeTest, LearnsSeparableData) {
+  Rng rng(1);
+  const Dataset train = MakeSeparable(400, rng);
+  const Dataset test = MakeSeparable(200, rng);
+  DecisionTree tree;
+  TreeOptions opt;
+  tree.Fit(train, opt, rng);
+  Confusion c;
+  for (const auto& ex : test.examples) {
+    c.Add(ex.label, tree.Predict(ex.features));
+  }
+  EXPECT_GT(c.Accuracy(), 0.95);
+}
+
+TEST(DecisionTreeTest, PureLeafWhenSingleClass) {
+  Dataset d;
+  d.feature_names = {"x"};
+  d.examples = {Example{{1.0}, 1}, Example{{2.0}, 1}};
+  DecisionTree tree;
+  Rng rng(2);
+  tree.Fit(d, {}, rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.Predict({5.0}), 1);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(3);
+  const Dataset train = MakeSeparable(200, rng);
+  DecisionTree stump;
+  TreeOptions opt;
+  opt.max_depth = 1;
+  stump.Fit(train, opt, rng);
+  EXPECT_LE(stump.num_nodes(), 3u);
+}
+
+TEST(DecisionTreeTest, ProbaSumsToOne) {
+  Rng rng(4);
+  const Dataset train = MakeSeparable(100, rng, 0.2);
+  DecisionTree tree;
+  tree.Fit(train, {}, rng);
+  const auto proba = tree.PredictProba({0.5, 0.5, 0.5});
+  double total = 0;
+  for (double p : proba) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, FeatureImportanceFindsSignal) {
+  Rng rng(5);
+  const Dataset train = MakeSeparable(500, rng, 0.05);
+  DecisionTree tree;
+  tree.Fit(train, {}, rng);
+  const auto& imp = tree.feature_importance();
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[2]);
+}
+
+TEST(DecisionTreeTest, MulticlassWorks) {
+  Dataset d;
+  d.feature_names = {"x"};
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const int label = static_cast<int>(rng.UniformInt(0, 2));
+    d.examples.push_back(
+        Example{{label + rng.Gaussian(0, 0.1)}, label});
+  }
+  DecisionTree tree;
+  tree.Fit(d, {}, rng);
+  EXPECT_EQ(tree.num_classes(), 3);
+  EXPECT_EQ(tree.Predict({0.0}), 0);
+  EXPECT_EQ(tree.Predict({1.0}), 1);
+  EXPECT_EQ(tree.Predict({2.0}), 2);
+}
+
+TEST(RandomForestTest, BeatsSingleTreeOnNoisyData) {
+  Rng rng(7);
+  const Dataset train = MakeSeparable(500, rng, 0.15);
+  const Dataset test = MakeSeparable(400, rng, 0.0);
+  DecisionTree tree;
+  tree.Fit(train, {}, rng);
+  RandomForest forest;
+  ForestOptions fopt;
+  fopt.num_trees = 40;
+  forest.Fit(train, fopt, rng);
+  Confusion ct, cf;
+  for (const auto& ex : test.examples) {
+    ct.Add(ex.label, tree.Predict(ex.features));
+    cf.Add(ex.label, forest.Predict(ex.features));
+  }
+  EXPECT_GE(cf.Accuracy() + 0.02, ct.Accuracy());
+  EXPECT_GT(cf.Accuracy(), 0.9);
+}
+
+TEST(RandomForestTest, ProbaMonotoneInSignal) {
+  Rng rng(8);
+  const Dataset train = MakeSeparable(400, rng);
+  RandomForest forest;
+  ForestOptions opt;
+  opt.num_trees = 30;
+  forest.Fit(train, opt, rng);
+  EXPECT_LT(forest.PredictPositiveProba({0.1, 0.5, 0.5}),
+            forest.PredictPositiveProba({0.9, 0.5, 0.5}));
+}
+
+TEST(RandomForestTest, ParallelTrainingMatchesQuality) {
+  Rng rng(9);
+  const Dataset train = MakeSeparable(300, rng);
+  const Dataset test = MakeSeparable(200, rng);
+  RandomForest forest;
+  ForestOptions opt;
+  opt.num_trees = 16;
+  opt.num_threads = 4;
+  forest.Fit(train, opt, rng);
+  Confusion c;
+  for (const auto& ex : test.examples) {
+    c.Add(ex.label, forest.Predict(ex.features));
+  }
+  EXPECT_GT(c.Accuracy(), 0.9);
+}
+
+TEST(RandomForestTest, FeatureImportanceNormalized) {
+  Rng rng(10);
+  const Dataset train = MakeSeparable(300, rng);
+  RandomForest forest;
+  ForestOptions opt;
+  opt.num_trees = 10;
+  forest.Fit(train, opt, rng);
+  const auto imp = forest.FeatureImportance();
+  double total = 0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(imp[0], 0.5);
+}
+
+}  // namespace
+}  // namespace kg::ml

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "synth/behavior_generator.h"
+#include "synth/qa_generator.h"
+
+namespace kg::synth {
+namespace {
+
+TEST(BehaviorTest, EventsReferenceRealProducts) {
+  Rng rng(1);
+  CatalogOptions copt;
+  copt.num_types = 10;
+  copt.num_products = 200;
+  const auto catalog = ProductCatalog::Generate(copt, rng);
+  BehaviorOptions bopt;
+  bopt.num_searches = 2000;
+  bopt.num_co_views = 500;
+  const auto log = GenerateBehavior(catalog, bopt, rng);
+  EXPECT_EQ(log.searches.size(), 2000u);
+  for (const auto& e : log.searches) {
+    EXPECT_LT(e.purchased_product, catalog.products().size());
+    EXPECT_FALSE(e.query.empty());
+  }
+  for (const auto& p : log.co_views) {
+    EXPECT_LT(p.a, catalog.products().size());
+    EXPECT_LT(p.b, catalog.products().size());
+  }
+}
+
+TEST(BehaviorTest, LeafQueriesConcentrateOnTheirType) {
+  Rng rng(2);
+  CatalogOptions copt;
+  copt.num_types = 8;
+  copt.num_products = 400;
+  const auto catalog = ProductCatalog::Generate(copt, rng);
+  BehaviorOptions bopt;
+  bopt.num_searches = 5000;
+  bopt.hypernym_query_rate = 0.0;
+  bopt.alias_query_rate = 0.0;
+  bopt.purchase_noise = 0.0;
+  const auto log = GenerateBehavior(catalog, bopt, rng);
+  // Every purchase's type name equals the query.
+  for (const auto& e : log.searches) {
+    const auto& product = catalog.products()[e.purchased_product];
+    EXPECT_EQ(e.query, catalog.taxonomy().Name(product.type));
+  }
+}
+
+TEST(BehaviorTest, HypernymQueriesUseParentName) {
+  Rng rng(3);
+  CatalogOptions copt;
+  copt.num_types = 8;
+  copt.num_products = 300;
+  const auto catalog = ProductCatalog::Generate(copt, rng);
+  BehaviorOptions bopt;
+  bopt.num_searches = 3000;
+  bopt.hypernym_query_rate = 1.0;
+  bopt.alias_query_rate = 0.0;
+  bopt.purchase_noise = 0.0;
+  const auto log = GenerateBehavior(catalog, bopt, rng);
+  size_t parent_queries = 0;
+  for (const auto& e : log.searches) {
+    const auto& product = catalog.products()[e.purchased_product];
+    const auto parents = catalog.taxonomy().Parents(product.type);
+    if (e.query == catalog.taxonomy().Name(parents[0])) {
+      ++parent_queries;
+    }
+  }
+  EXPECT_EQ(parent_queries, log.searches.size());
+}
+
+UniverseOptions QaUniverseOptions() {
+  UniverseOptions opt;
+  opt.num_people = 600;
+  opt.num_movies = 300;
+  opt.num_songs = 50;
+  return opt;
+}
+
+TEST(QaGeneratorTest, BucketsBalanced) {
+  Rng rng(4);
+  const auto u = EntityUniverse::Generate(QaUniverseOptions(), rng);
+  QaOptions qopt;
+  qopt.num_questions = 900;
+  const auto items = GenerateQaWorkload(u, qopt, rng);
+  size_t counts[3] = {0, 0, 0};
+  for (const auto& item : items) {
+    ++counts[static_cast<size_t>(item.bucket)];
+  }
+  EXPECT_EQ(counts[0], 300u);
+  EXPECT_EQ(counts[1], 300u);
+  EXPECT_EQ(counts[2], 300u);
+}
+
+TEST(QaGeneratorTest, GoldAnswersMatchUniverse) {
+  Rng rng(5);
+  const auto u = EntityUniverse::Generate(QaUniverseOptions(), rng);
+  QaOptions qopt;
+  qopt.num_questions = 300;
+  const auto items = GenerateQaWorkload(u, qopt, rng);
+  for (const auto& item : items) {
+    if (item.predicate == "directed_by") {
+      const auto& movie = u.movies()[item.entity_id];
+      EXPECT_EQ(item.gold_object, u.people()[movie.director].name);
+      EXPECT_EQ(item.subject_name, movie.title);
+    } else if (item.predicate == "birth_year") {
+      EXPECT_EQ(item.gold_object,
+                std::to_string(u.people()[item.entity_id].birth_year));
+    }
+  }
+}
+
+TEST(FactCorpusTest, MentionCountsFollowPopularity) {
+  Rng rng(6);
+  const auto u = EntityUniverse::Generate(QaUniverseOptions(), rng);
+  CorpusOptions copt;
+  copt.head_mentions = 100.0;
+  copt.mention_noise = 0.0;
+  const auto corpus = GenerateFactCorpus(u, copt, rng);
+  ASSERT_FALSE(corpus.empty());
+  // Facts about the most popular movie appear far more often than about a
+  // tail movie.
+  size_t head_count = 0, tail_count = 0;
+  const std::string head_title = u.movies()[0].title;
+  const std::string tail_title = u.movies().back().title;
+  for (const auto& m : corpus) {
+    if (m.subject == head_title) head_count += m.count;
+    if (m.subject == tail_title) tail_count += m.count;
+  }
+  EXPECT_GT(head_count, 50u);
+  EXPECT_LT(tail_count, 10u);
+}
+
+TEST(FactCorpusTest, RecentFactsExcludedByDefault) {
+  Rng rng(7);
+  auto opt = QaUniverseOptions();
+  opt.num_movies = 400;
+  const auto u = EntityUniverse::Generate(opt, rng);
+  CorpusOptions copt;
+  const auto corpus = GenerateFactCorpus(u, copt, rng);
+  for (const auto& m : corpus) {
+    EXPECT_FALSE(m.recent);
+  }
+}
+
+TEST(FactCorpusTest, NoiseMentionsCarryWrongObjects) {
+  Rng rng(8);
+  const auto u = EntityUniverse::Generate(QaUniverseOptions(), rng);
+  CorpusOptions copt;
+  copt.mention_noise = 0.5;
+  copt.head_mentions = 200.0;
+  const auto corpus = GenerateFactCorpus(u, copt, rng);
+  // The head movie's directed_by should have two variants now.
+  const std::string head_title = u.movies()[0].title;
+  std::set<std::string> objects;
+  for (const auto& m : corpus) {
+    if (m.subject == head_title && m.predicate == "directed_by") {
+      objects.insert(m.object);
+    }
+  }
+  EXPECT_GE(objects.size(), 2u);
+}
+
+}  // namespace
+}  // namespace kg::synth

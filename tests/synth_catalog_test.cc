@@ -1,0 +1,185 @@
+#include "synth/catalog_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kg::synth {
+namespace {
+
+CatalogOptions SmallOptions() {
+  CatalogOptions opt;
+  opt.num_types = 12;
+  opt.num_products = 300;
+  return opt;
+}
+
+TEST(CatalogTest, GeneratesRequestedShape) {
+  Rng rng(1);
+  const auto catalog = ProductCatalog::Generate(SmallOptions(), rng);
+  EXPECT_EQ(catalog.products().size(), 300u);
+  EXPECT_EQ(catalog.leaf_types().size(), 12u);
+  EXPECT_FALSE(catalog.attributes().empty());
+}
+
+TEST(CatalogTest, TitleSpansMatchTokens) {
+  Rng rng(2);
+  const auto catalog = ProductCatalog::Generate(SmallOptions(), rng);
+  for (const auto& product : catalog.products()) {
+    for (const auto& [attr, span] : product.title_spans) {
+      ASSERT_LE(span.end, product.title_tokens.size());
+      // The span tokens joined equal the true value.
+      std::string joined;
+      for (size_t i = span.begin; i < span.end; ++i) {
+        if (!joined.empty()) joined += " ";
+        joined += product.title_tokens[i];
+      }
+      EXPECT_EQ(joined, product.true_values.at(attr));
+    }
+  }
+}
+
+TEST(CatalogTest, ApplicableAttributesHaveValues) {
+  Rng rng(3);
+  const auto catalog = ProductCatalog::Generate(SmallOptions(), rng);
+  for (const auto& product : catalog.products()) {
+    const auto& attrs = catalog.AttributesForType(product.type);
+    EXPECT_FALSE(attrs.empty());
+    for (const auto& attr : attrs) {
+      EXPECT_TRUE(product.true_values.count(attr));
+    }
+  }
+}
+
+TEST(CatalogTest, CatalogEntriesAreNoisySubset) {
+  CatalogOptions opt = SmallOptions();
+  opt.catalog_missing_rate = 0.4;
+  Rng rng(4);
+  const auto catalog = ProductCatalog::Generate(opt, rng);
+  size_t present = 0, total = 0, wrong = 0;
+  for (const auto& product : catalog.products()) {
+    total += product.true_values.size();
+    for (const auto& [attr, value] : product.catalog_values) {
+      ++present;
+      if (product.true_values.at(attr) != value) ++wrong;
+    }
+  }
+  const double missing =
+      1.0 - static_cast<double>(present) / static_cast<double>(total);
+  EXPECT_NEAR(missing, 0.4, 0.08);
+  EXPECT_GT(wrong, 0u);  // Catalog noise exists (§3.2).
+}
+
+TEST(CatalogTest, ImageChannelPartiallyComplementsTitle) {
+  Rng rng(5);
+  const auto catalog = ProductCatalog::Generate(SmallOptions(), rng);
+  size_t image_only = 0;
+  for (const auto& product : catalog.products()) {
+    for (const auto& [attr, value] : product.image_values) {
+      if (!product.title_spans.count(attr)) ++image_only;
+    }
+  }
+  EXPECT_GT(image_only, 0u);
+}
+
+TEST(CatalogTest, SiblingTypesShareMoreVocabularyThanStrangers) {
+  CatalogOptions opt = SmallOptions();
+  opt.num_types = 24;
+  opt.num_products = 1500;
+  Rng rng(6);
+  const auto catalog = ProductCatalog::Generate(opt, rng);
+  // Collect observed (type, attr) -> value sets from products.
+  std::map<std::pair<graph::TypeId, std::string>, std::set<std::string>>
+      vocab;
+  for (const auto& product : catalog.products()) {
+    for (const auto& [attr, value] : product.true_values) {
+      vocab[{product.type, attr}].insert(value);
+    }
+  }
+  auto overlap = [](const std::set<std::string>& a,
+                    const std::set<std::string>& b) {
+    if (a.empty() || b.empty()) return 0.0;
+    size_t inter = 0;
+    for (const auto& v : a) inter += b.count(v);
+    return static_cast<double>(inter) / std::min(a.size(), b.size());
+  };
+  const auto& tax = catalog.taxonomy();
+  double sibling_overlap = 0, stranger_overlap = 0;
+  size_t sibling_n = 0, stranger_n = 0;
+  const auto& leaves = catalog.leaf_types();
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    for (size_t j = i + 1; j < leaves.size(); ++j) {
+      const bool siblings =
+          tax.Parents(leaves[i])[0] == tax.Parents(leaves[j])[0];
+      for (const auto& attr : catalog.AttributesForType(leaves[i])) {
+        auto a = vocab.find({leaves[i], attr});
+        auto b = vocab.find({leaves[j], attr});
+        if (a == vocab.end() || b == vocab.end()) continue;
+        const double o = overlap(a->second, b->second);
+        if (siblings) {
+          sibling_overlap += o;
+          ++sibling_n;
+        } else {
+          stranger_overlap += o;
+          ++stranger_n;
+        }
+      }
+    }
+  }
+  ASSERT_GT(sibling_n, 0u);
+  ASSERT_GT(stranger_n, 0u);
+  EXPECT_GT(sibling_overlap / sibling_n, stranger_overlap / stranger_n);
+}
+
+TEST(CatalogTest, SomeTypesHaveAliases) {
+  Rng rng(7);
+  const auto catalog = ProductCatalog::Generate(SmallOptions(), rng);
+  size_t with_alias = 0;
+  for (graph::TypeId t : catalog.leaf_types()) {
+    with_alias += !catalog.TypeAliases(t).empty();
+  }
+  EXPECT_GT(with_alias, 0u);
+}
+
+TEST(CatalogTest, TaxonomyIsTwoLevels) {
+  Rng rng(8);
+  const auto catalog = ProductCatalog::Generate(SmallOptions(), rng);
+  for (graph::TypeId leaf : catalog.leaf_types()) {
+    EXPECT_EQ(catalog.taxonomy().Depth(leaf), 2);
+  }
+}
+
+TEST(CatalogTest, LocalesTransformSurfacesButKeepSpans) {
+  CatalogOptions opt = SmallOptions();
+  opt.num_locales = 4;
+  Rng rng(9);
+  const auto catalog = ProductCatalog::Generate(opt, rng);
+  std::set<size_t> locales_seen;
+  size_t localized_products = 0, surface_matches = 0;
+  for (const auto& product : catalog.products()) {
+    locales_seen.insert(product.locale);
+    if (product.locale == 0) continue;
+    ++localized_products;
+    for (const auto& [attr, span] : product.title_spans) {
+      // Localized surface differs from the canonical value…
+      const std::string& surface = product.title_tokens[span.begin];
+      if (surface == product.true_values.at(attr)) ++surface_matches;
+      // …but starts with it (suffix transform keeps alignment).
+      EXPECT_EQ(surface.rfind(product.true_values.at(attr), 0), 0u);
+    }
+  }
+  EXPECT_EQ(locales_seen.size(), 4u);
+  ASSERT_GT(localized_products, 50u);
+  EXPECT_EQ(surface_matches, 0u);
+}
+
+TEST(CatalogTest, SingleLocaleIsIdentity) {
+  Rng rng(10);
+  const auto catalog = ProductCatalog::Generate(SmallOptions(), rng);
+  for (const auto& product : catalog.products()) {
+    EXPECT_EQ(product.locale, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kg::synth

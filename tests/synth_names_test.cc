@@ -1,0 +1,83 @@
+#include "synth/names.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace kg::synth {
+namespace {
+
+TEST(NameFactoryTest, DeterministicGivenSeed) {
+  NameFactory a{Rng(42)}, b{Rng(42)};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.PersonName(), b.PersonName());
+    EXPECT_EQ(a.MovieTitle(), b.MovieTitle());
+  }
+}
+
+TEST(NameFactoryTest, PersonNamesHaveTwoTokens) {
+  NameFactory names{Rng(1)};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(SplitWhitespace(names.PersonName()).size(), 2u);
+  }
+}
+
+TEST(NameFactoryTest, CollisionsArePossible) {
+  // The disambiguation challenge requires shared names to exist.
+  NameFactory names{Rng(2)};
+  std::set<std::string> seen;
+  bool collision = false;
+  for (int i = 0; i < 3000 && !collision; ++i) {
+    collision = !seen.insert(names.PersonName()).second;
+  }
+  EXPECT_TRUE(collision);
+}
+
+TEST(NameVariantTest, ZeroStrengthIsIdentity) {
+  Rng rng(3);
+  EXPECT_EQ(NameVariant("Marta Keller", 0.0, rng), "Marta Keller");
+}
+
+TEST(NameVariantTest, FullStrengthChangesMostNames) {
+  Rng rng(4);
+  int changed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (NameVariant("Marta Keller", 1.0, rng) != "Marta Keller") {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 80);
+}
+
+TEST(AddTypoTest, EditDistanceAtMostTwo) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::string typo = AddTypo("abcdefgh", rng);
+    // Substitution/deletion/swap all stay within 2 edits.
+    EXPECT_LE(typo.size(), 8u);
+    EXPECT_GE(typo.size(), 7u);
+  }
+}
+
+TEST(AddTypoTest, EmptyStringUnchanged) {
+  Rng rng(6);
+  EXPECT_EQ(AddTypo("", rng), "");
+}
+
+TEST(SyntheticWordTest, PronounceableAndBounded) {
+  Rng rng(7);
+  std::set<std::string> words;
+  for (int i = 0; i < 500; ++i) {
+    const std::string w = SyntheticWord(rng, 2);
+    EXPECT_GE(w.size(), 2u);
+    EXPECT_LE(w.size(), 8u);
+    words.insert(w);
+  }
+  // Large vocabulary space.
+  EXPECT_GT(words.size(), 300u);
+}
+
+}  // namespace
+}  // namespace kg::synth

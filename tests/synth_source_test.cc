@@ -1,0 +1,140 @@
+#include "synth/structured_source.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kg::synth {
+namespace {
+
+EntityUniverse SmallUniverse(uint64_t seed) {
+  UniverseOptions opt;
+  opt.num_people = 400;
+  opt.num_movies = 300;
+  opt.num_songs = 100;
+  Rng rng(seed);
+  return EntityUniverse::Generate(opt, rng);
+}
+
+TEST(DialectTest, AllDomainsHaveThreeDialects) {
+  for (auto domain : {SourceDomain::kPeople, SourceDomain::kMovies,
+                      SourceDomain::kMusic}) {
+    const auto canonical = CanonicalColumns(domain);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(DialectColumns(domain, d).size(), canonical.size());
+    }
+    // Dialect 0 is canonical.
+    EXPECT_EQ(DialectColumns(domain, 0), canonical);
+  }
+}
+
+TEST(EmitSourceTest, CoverageControlsSize) {
+  const auto u = SmallUniverse(1);
+  SourceOptions low, high;
+  low.coverage = 0.2;
+  high.coverage = 0.9;
+  low.popularity_bias = high.popularity_bias = 0.0;
+  Rng r1(2), r2(2);
+  const auto small = EmitSource(u, low, r1);
+  const auto large = EmitSource(u, high, r2);
+  EXPECT_LT(small.records.size(), large.records.size());
+  EXPECT_NEAR(static_cast<double>(large.records.size()),
+              0.9 * u.movies().size(), 40.0);
+}
+
+TEST(EmitSourceTest, PopularityBiasSkewsCoverageToHead) {
+  const auto u = SmallUniverse(3);
+  SourceOptions opt;
+  opt.coverage = 0.3;
+  opt.popularity_bias = 1.0;
+  Rng rng(4);
+  const auto table = EmitSource(u, opt, rng);
+  size_t head = 0, tail = 0;
+  for (const auto& rec : table.records) {
+    if (rec.true_entity < u.movies().size() / 3) ++head;
+    if (rec.true_entity >= 2 * u.movies().size() / 3) ++tail;
+  }
+  EXPECT_GT(head, tail);
+}
+
+TEST(EmitSourceTest, DialectColumnsUsedInRecords) {
+  const auto u = SmallUniverse(5);
+  SourceOptions opt;
+  opt.domain = SourceDomain::kMovies;
+  opt.schema_dialect = 1;
+  opt.missing_rate = 0.0;
+  Rng rng(6);
+  const auto table = EmitSource(u, opt, rng);
+  ASSERT_FALSE(table.records.empty());
+  for (const auto& rec : table.records) {
+    EXPECT_TRUE(rec.fields.count("movie_name"));
+    EXPECT_FALSE(rec.fields.count("title"));
+  }
+}
+
+TEST(EmitSourceTest, MissingRateApproximatelyHolds) {
+  const auto u = SmallUniverse(7);
+  SourceOptions opt;
+  opt.missing_rate = 0.3;
+  opt.coverage = 0.8;
+  opt.popularity_bias = 0.0;
+  Rng rng(8);
+  const auto table = EmitSource(u, opt, rng);
+  size_t cells = 0, total = 0;
+  for (const auto& rec : table.records) {
+    cells += rec.fields.size();
+    total += table.columns.size();
+  }
+  EXPECT_NEAR(1.0 - static_cast<double>(cells) / total, 0.3, 0.05);
+}
+
+TEST(EmitSourceTest, ValueAccuracyApproximatelyHolds) {
+  const auto u = SmallUniverse(9);
+  SourceOptions opt;
+  opt.domain = SourceDomain::kMovies;
+  opt.value_accuracy = 0.85;
+  opt.missing_rate = 0.0;
+  opt.coverage = 0.9;
+  opt.popularity_bias = 0.0;
+  Rng rng(10);
+  const auto table = EmitSource(u, opt, rng);
+  size_t correct = 0, total = 0;
+  for (const auto& rec : table.records) {
+    const auto& movie = u.movies()[rec.true_entity];
+    auto it = rec.fields.find("release_year");
+    if (it == rec.fields.end()) continue;
+    ++total;
+    correct += it->second == std::to_string(movie.release_year);
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / total, 0.85, 0.05);
+}
+
+TEST(EmitSourceTest, DuplicatesShareTrueEntity) {
+  const auto u = SmallUniverse(11);
+  SourceOptions opt;
+  opt.duplicate_rate = 0.5;
+  opt.coverage = 0.5;
+  Rng rng(12);
+  const auto table = EmitSource(u, opt, rng);
+  std::set<uint32_t> seen;
+  size_t dups = 0;
+  for (const auto& rec : table.records) {
+    if (!seen.insert(rec.true_entity).second) ++dups;
+  }
+  EXPECT_GT(dups, table.records.size() / 5);
+}
+
+TEST(EmitSourceTest, LocalIdsUnique) {
+  const auto u = SmallUniverse(13);
+  SourceOptions opt;
+  opt.duplicate_rate = 0.3;
+  Rng rng(14);
+  const auto table = EmitSource(u, opt, rng);
+  std::set<std::string> ids;
+  for (const auto& rec : table.records) {
+    EXPECT_TRUE(ids.insert(rec.local_id).second);
+  }
+}
+
+}  // namespace
+}  // namespace kg::synth

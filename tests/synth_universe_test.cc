@@ -1,0 +1,102 @@
+#include "synth/entity_universe.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::synth {
+namespace {
+
+UniverseOptions SmallOptions() {
+  UniverseOptions opt;
+  opt.num_people = 200;
+  opt.num_movies = 100;
+  opt.num_songs = 50;
+  return opt;
+}
+
+TEST(EntityUniverseTest, GeneratesRequestedCounts) {
+  Rng rng(1);
+  const auto u = EntityUniverse::Generate(SmallOptions(), rng);
+  EXPECT_EQ(u.people().size(), 200u);
+  EXPECT_EQ(u.movies().size(), 100u);
+  EXPECT_EQ(u.songs().size(), 50u);
+}
+
+TEST(EntityUniverseTest, DeterministicGivenSeed) {
+  Rng r1(7), r2(7);
+  const auto a = EntityUniverse::Generate(SmallOptions(), r1);
+  const auto b = EntityUniverse::Generate(SmallOptions(), r2);
+  for (size_t i = 0; i < a.movies().size(); ++i) {
+    EXPECT_EQ(a.movies()[i].title, b.movies()[i].title);
+    EXPECT_EQ(a.movies()[i].director, b.movies()[i].director);
+  }
+}
+
+TEST(EntityUniverseTest, PopularityIsZipfDecreasing) {
+  Rng rng(2);
+  const auto u = EntityUniverse::Generate(SmallOptions(), rng);
+  for (size_t i = 1; i < u.people().size(); ++i) {
+    EXPECT_LE(u.people()[i].popularity, u.people()[i - 1].popularity);
+  }
+  EXPECT_DOUBLE_EQ(u.people()[0].popularity, 1.0);
+  EXPECT_LT(u.people().back().popularity, 0.05);
+}
+
+TEST(EntityUniverseTest, ReferencesAreValid) {
+  Rng rng(3);
+  const auto u = EntityUniverse::Generate(SmallOptions(), rng);
+  for (const auto& m : u.movies()) {
+    EXPECT_LT(m.director, u.people().size());
+    for (uint32_t a : m.actors) EXPECT_LT(a, u.people().size());
+    EXPECT_GE(m.actors.size(), 1u);
+  }
+  for (const auto& s : u.songs()) {
+    EXPECT_LT(s.artist, u.people().size());
+  }
+}
+
+TEST(EntityUniverseTest, ToKnowledgeGraphCoversAllEntities) {
+  Rng rng(4);
+  const auto u = EntityUniverse::Generate(SmallOptions(), rng);
+  graph::Ontology ontology;
+  const auto kg = u.ToKnowledgeGraph(&ontology);
+  // name/birth_year/nationality per person; title/year/genre/director per
+  // movie; title/artist/year/genre per song; plus acted_in edges.
+  EXPECT_GE(kg.num_triples(),
+            3 * u.people().size() + 4 * u.movies().size() +
+                4 * u.songs().size());
+  const auto directed = kg.FindPredicate("directed_by");
+  ASSERT_TRUE(directed.ok());
+  EXPECT_EQ(kg.TriplesWithPredicate(*directed).size(),
+            u.movies().size());
+  // Ontology knows the classes.
+  EXPECT_TRUE(ontology.taxonomy().Find("Person").ok());
+  EXPECT_TRUE(ontology.taxonomy().Find("Movie").ok());
+}
+
+TEST(EntityUniverseTest, OntologyValidatesGeneratedTriples) {
+  Rng rng(5);
+  const auto u = EntityUniverse::Generate(SmallOptions(), rng);
+  graph::Ontology ontology;
+  const auto kg = u.ToKnowledgeGraph(&ontology);
+  const auto directed = kg.FindPredicate("directed_by");
+  ASSERT_TRUE(directed.ok());
+  for (graph::TripleId t : kg.TriplesWithPredicate(*directed)) {
+    EXPECT_TRUE(ontology.ValidateTriple(kg, t).ok());
+  }
+}
+
+TEST(EntityUniverseTest, RecentFactsExist) {
+  UniverseOptions opt = SmallOptions();
+  opt.num_movies = 500;
+  Rng rng(6);
+  const auto u = EntityUniverse::Generate(opt, rng);
+  size_t recent = 0;
+  for (const auto& m : u.movies()) {
+    recent += m.release_year >= opt.recent_year_cutoff;
+  }
+  EXPECT_GT(recent, 0u);
+  EXPECT_LT(recent, u.movies().size());
+}
+
+}  // namespace
+}  // namespace kg::synth

@@ -1,0 +1,147 @@
+#include "synth/website_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "extract/dom.h"
+
+namespace kg::synth {
+namespace {
+
+EntityUniverse SmallUniverse() {
+  UniverseOptions opt;
+  opt.num_people = 300;
+  opt.num_movies = 200;
+  opt.num_songs = 100;
+  Rng rng(1);
+  return EntityUniverse::Generate(opt, rng);
+}
+
+TEST(WebsiteGeneratorTest, GeneratesRequestedPages) {
+  const auto u = SmallUniverse();
+  WebsiteOptions opt;
+  opt.num_pages = 50;
+  Rng rng(2);
+  const auto site = GenerateWebsite(u, opt, rng);
+  EXPECT_EQ(site.pages.size(), 50u);
+  // Pages cover distinct entities.
+  std::set<uint32_t> entities;
+  for (const auto& page : site.pages) entities.insert(page.true_entity);
+  EXPECT_EQ(entities.size(), 50u);
+}
+
+TEST(WebsiteGeneratorTest, AnnotationsPointAtRealNodes) {
+  const auto u = SmallUniverse();
+  WebsiteOptions opt;
+  opt.num_pages = 40;
+  Rng rng(3);
+  const auto site = GenerateWebsite(u, opt, rng);
+  for (const auto& page : site.pages) {
+    for (const auto& [attr, node] : page.value_nodes) {
+      ASSERT_LT(node, page.dom.size());
+      EXPECT_EQ(page.dom.node(node).text, page.displayed_values.at(attr));
+    }
+  }
+}
+
+TEST(WebsiteGeneratorTest, TopicRendersInH1) {
+  const auto u = SmallUniverse();
+  WebsiteOptions opt;
+  opt.num_pages = 20;
+  Rng rng(4);
+  const auto site = GenerateWebsite(u, opt, rng);
+  for (const auto& page : site.pages) {
+    bool found = false;
+    for (const auto& node : page.dom.nodes) {
+      if (node.tag == "h1" && node.text == page.topic_name) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(WebsiteGeneratorTest, TemplateMostlyConsistentWithinSite) {
+  // The label cell preceding each attribute's value matches the site
+  // vocabulary on most pages (template drift hits a small minority) —
+  // the regularity wrapper induction exploits.
+  const auto u = SmallUniverse();
+  WebsiteOptions opt;
+  opt.num_pages = 60;
+  Rng rng(5);
+  const auto site = GenerateWebsite(u, opt, rng);
+  size_t consistent = 0, total = 0;
+  for (const auto& page : site.pages) {
+    const auto parents = extract::ParentMap(page.dom);
+    for (const auto& [attr, node] : page.value_nodes) {
+      const auto parent = parents[node];
+      std::string label;
+      for (auto sibling : page.dom.node(parent).children) {
+        if (sibling == node) break;
+        if (!page.dom.node(sibling).text.empty()) {
+          label = page.dom.node(sibling).text;
+        }
+      }
+      ++total;
+      consistent += label == site.attr_labels.at(attr);
+    }
+  }
+  EXPECT_GT(static_cast<double>(consistent) / total, 0.8);
+}
+
+TEST(WebsiteGeneratorTest, ChromeDepthChangesPaths) {
+  const auto u = SmallUniverse();
+  WebsiteOptions shallow, deep;
+  shallow.num_pages = deep.num_pages = 5;
+  shallow.chrome_depth = 0;
+  deep.chrome_depth = 2;
+  shallow.attr_missing_rate = deep.attr_missing_rate = 0.0;
+  Rng r1(6), r2(6);
+  const auto site_a = GenerateWebsite(u, shallow, r1);
+  const auto site_b = GenerateWebsite(u, deep, r2);
+  const auto& page_a = site_a.pages[0];
+  const auto& page_b = site_b.pages[0];
+  const std::string attr = page_a.value_nodes.begin()->first;
+  ASSERT_TRUE(page_b.value_nodes.count(attr));
+  EXPECT_NE(extract::NodePath(page_a.dom, page_a.value_nodes.at(attr)),
+            extract::NodePath(page_b.dom, page_b.value_nodes.at(attr)));
+}
+
+TEST(WebsiteGeneratorTest, ExtraAttrsPresent) {
+  const auto u = SmallUniverse();
+  WebsiteOptions opt;
+  opt.num_pages = 30;
+  opt.num_extra_attrs = 3;
+  opt.attr_missing_rate = 0.0;
+  Rng rng(7);
+  const auto site = GenerateWebsite(u, opt, rng);
+  const auto canonical = CanonicalColumns(site.domain);
+  size_t extra_values = 0;
+  for (const auto& page : site.pages) {
+    for (const auto& [attr, value] : page.displayed_values) {
+      if (std::find(canonical.begin(), canonical.end(), attr) ==
+          canonical.end()) {
+        ++extra_values;
+      }
+    }
+  }
+  EXPECT_EQ(extra_values, 3 * site.pages.size());
+}
+
+TEST(WebCorpusTest, CoversAllDomainsWithVariedTemplates) {
+  const auto u = SmallUniverse();
+  Rng rng(8);
+  const auto corpus = GenerateWebCorpus(u, 9, 20, rng);
+  ASSERT_EQ(corpus.size(), 9u);
+  std::set<SourceDomain> domains;
+  std::set<std::string> names;
+  for (const auto& site : corpus) {
+    domains.insert(site.domain);
+    names.insert(site.name);
+    EXPECT_EQ(site.pages.size(), 20u);
+  }
+  EXPECT_EQ(domains.size(), 3u);
+  EXPECT_EQ(names.size(), 9u);
+}
+
+}  // namespace
+}  // namespace kg::synth

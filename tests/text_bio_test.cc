@@ -1,0 +1,103 @@
+#include "text/bio.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kg::text {
+namespace {
+
+TEST(BioTest, SpansToBioBasic) {
+  auto tags = SpansToBio({{1, 3, "flavor"}}, 4);
+  ASSERT_TRUE(tags.ok());
+  EXPECT_EQ(*tags, (std::vector<std::string>{"O", "B-flavor", "I-flavor",
+                                             "O"}));
+}
+
+TEST(BioTest, SpansToBioRejectsOverlap) {
+  EXPECT_FALSE(SpansToBio({{0, 2, "a"}, {1, 3, "b"}}, 4).ok());
+}
+
+TEST(BioTest, SpansToBioRejectsOutOfRange) {
+  EXPECT_FALSE(SpansToBio({{2, 5, "a"}}, 4).ok());
+  EXPECT_FALSE(SpansToBio({{2, 2, "a"}}, 4).ok());
+}
+
+TEST(BioTest, BioToSpansHandlesAdjacentSpans) {
+  const auto spans =
+      BioToSpans({"B-a", "I-a", "B-a", "O", "B-b"});
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0], (Span{0, 2, "a"}));
+  EXPECT_EQ(spans[1], (Span{2, 3, "a"}));
+  EXPECT_EQ(spans[2], (Span{4, 5, "b"}));
+}
+
+TEST(BioTest, BioToSpansToleratesOrphanI) {
+  const auto spans = BioToSpans({"O", "I-x", "I-x", "O"});
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{1, 3, "x"}));
+}
+
+TEST(BioTest, LabelChangeWithoutBOpensNewSpan) {
+  const auto spans = BioToSpans({"B-a", "I-b"});
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].label, "a");
+  EXPECT_EQ(spans[1].label, "b");
+}
+
+TEST(BioTest, MalformedTagsTreatedAsO) {
+  const auto spans = BioToSpans({"B-a", "garbage", "B"});
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{0, 1, "a"}));
+}
+
+class BioRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BioRoundTripTest, RandomSpansSurviveRoundTrip) {
+  Rng rng(GetParam());
+  const size_t n = 1 + rng.UniformIndex(30);
+  // Build random non-overlapping spans.
+  std::vector<Span> spans;
+  size_t pos = 0;
+  while (pos + 1 < n) {
+    if (rng.Bernoulli(0.4)) {
+      const size_t len = 1 + rng.UniformIndex(3);
+      const size_t end = std::min(n, pos + len);
+      spans.push_back(
+          {pos, end, std::string(1, static_cast<char>('a' + rng.UniformIndex(3)))});
+      pos = end + 1;  // Gap prevents B/B adjacency ambiguity... none needed,
+                      // but keeps spans sparse.
+    } else {
+      ++pos;
+    }
+  }
+  auto tags = SpansToBio(spans, n);
+  ASSERT_TRUE(tags.ok());
+  EXPECT_EQ(BioToSpans(*tags), spans);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BioRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(SpanScorerTest, ExactMatchScoring) {
+  SpanScorer scorer;
+  scorer.Add({{0, 2, "a"}, {3, 4, "b"}}, {{0, 2, "a"}, {5, 6, "b"}});
+  const SpanScore s = scorer.Score();
+  EXPECT_EQ(s.num_gold, 2u);
+  EXPECT_EQ(s.num_predicted, 2u);
+  EXPECT_EQ(s.num_correct, 1u);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+}
+
+TEST(SpanScorerTest, EmptyCases) {
+  SpanScorer scorer;
+  scorer.Add({}, {});
+  const SpanScore s = scorer.Score();
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace kg::text

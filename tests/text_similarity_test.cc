@@ -1,0 +1,117 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synth/names.h"
+
+namespace kg::text {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+}
+
+TEST(LevenshteinSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("a", "a"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", ""), 0.0);
+  // Prefix boost: martha/marhta classic example ~0.961.
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.961, 0.01);
+}
+
+TEST(JaccardTest, SetSemantics) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "a", "a"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+}
+
+TEST(OverlapCoefficientTest, ContainmentScoresHigh) {
+  // "Xin Dong" vs "Xin Luna Dong".
+  EXPECT_DOUBLE_EQ(
+      OverlapCoefficient({"xin", "dong"}, {"xin", "luna", "dong"}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({}, {"a"}), 0.0);
+}
+
+TEST(MongeElkanTest, TolerantToTokenNoise) {
+  const double sim =
+      MongeElkanSimilarity({"marta", "keller"}, {"martha", "keller"});
+  EXPECT_GT(sim, 0.9);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(NumericSimilarityTest, DecaysWithDistance) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity(5, 5, 2.0), 1.0);
+  EXPECT_GT(NumericSimilarity(5, 6, 2.0), NumericSimilarity(5, 9, 2.0));
+  EXPECT_DOUBLE_EQ(NumericSimilarity(1, 2, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(2, 2, 0.0), 1.0);
+}
+
+TEST(DiceBigramTest, Bounds) {
+  EXPECT_DOUBLE_EQ(DiceBigramSimilarity("night", "night"), 1.0);
+  EXPECT_DOUBLE_EQ(DiceBigramSimilarity("", ""), 1.0);
+  EXPECT_GT(DiceBigramSimilarity("night", "nacht"), 0.0);
+}
+
+// Property sweep: all similarities bounded in [0, 1] and symmetric (the
+// symmetric ones) over random noisy name pairs.
+class SimilarityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimilarityPropertyTest, BoundsAndSymmetry) {
+  Rng rng(GetParam());
+  synth::NameFactory names(rng.Fork());
+  for (int i = 0; i < 50; ++i) {
+    const std::string a = names.PersonName();
+    const std::string b = rng.Bernoulli(0.5)
+                              ? synth::NameVariant(a, 1.0, rng)
+                              : names.PersonName();
+    for (double sim : {LevenshteinSimilarity(a, b), JaroSimilarity(a, b),
+                       JaroWinklerSimilarity(a, b),
+                       DiceBigramSimilarity(a, b)}) {
+      EXPECT_GE(sim, 0.0);
+      EXPECT_LE(sim, 1.0 + 1e-12);
+    }
+    EXPECT_NEAR(LevenshteinSimilarity(a, b), LevenshteinSimilarity(b, a),
+                1e-12);
+    EXPECT_NEAR(JaroSimilarity(a, b), JaroSimilarity(b, a), 1e-12);
+    EXPECT_NEAR(DiceBigramSimilarity(a, b), DiceBigramSimilarity(b, a),
+                1e-12);
+    // Identity always maxes.
+    EXPECT_DOUBLE_EQ(JaroWinklerSimilarity(a, a), 1.0);
+  }
+}
+
+TEST_P(SimilarityPropertyTest, VariantsScoreAboveStrangers) {
+  Rng rng(GetParam() + 1000);
+  synth::NameFactory names(rng.Fork());
+  int wins = 0, total = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::string name = names.PersonName();
+    const std::string variant = synth::NameVariant(name, 1.0, rng);
+    const std::string stranger = names.PersonName();
+    if (variant == name || stranger == name) continue;
+    ++total;
+    if (JaroWinklerSimilarity(name, variant) >=
+        JaroWinklerSimilarity(name, stranger)) {
+      ++wins;
+    }
+  }
+  if (total > 0) {
+    EXPECT_GT(static_cast<double>(wins) / total, 0.8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace kg::text

@@ -1,0 +1,70 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::text {
+namespace {
+
+TEST(SparseVectorTest, NormAndDot) {
+  SparseVector a{{{0, 3.0}, {2, 4.0}}};
+  SparseVector b{{{2, 1.0}, {3, 5.0}}};
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.Dot(b), 4.0);
+  EXPECT_DOUBLE_EQ(b.Dot(a), 4.0);
+}
+
+TEST(CosineTest, Bounds) {
+  SparseVector a{{{0, 1.0}}};
+  SparseVector b{{{0, 2.0}}};
+  SparseVector c{{{1, 1.0}}};
+  SparseVector empty;
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, c), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, empty), 0.0);
+}
+
+TEST(TfidfTest, RareTermsWeighMore) {
+  TfidfVectorizer vec;
+  vec.Fit({{"the", "cat"}, {"the", "dog"}, {"the", "fox"}});
+  EXPECT_EQ(vec.vocabulary_size(), 4u);
+  const auto cat_vec = vec.Transform({"the", "cat"});
+  ASSERT_EQ(cat_vec.entries.size(), 2u);
+  const int64_t the_id = vec.TermId("the");
+  const int64_t cat_id = vec.TermId("cat");
+  double the_w = 0, cat_w = 0;
+  for (const auto& [id, w] : cat_vec.entries) {
+    if (id == static_cast<uint32_t>(the_id)) the_w = w;
+    if (id == static_cast<uint32_t>(cat_id)) cat_w = w;
+  }
+  EXPECT_GT(cat_w, the_w);
+}
+
+TEST(TfidfTest, UnknownTermsDropped) {
+  TfidfVectorizer vec;
+  vec.Fit({{"a", "b"}});
+  EXPECT_TRUE(vec.Transform({"zzz"}).entries.empty());
+  EXPECT_EQ(vec.TermId("zzz"), -1);
+}
+
+TEST(TfidfTest, SimilarDocsScoreHigher) {
+  TfidfVectorizer vec;
+  vec.Fit({{"green", "tea", "leaf"},
+           {"black", "tea", "leaf"},
+           {"espresso", "coffee", "bean"}});
+  const auto g = vec.Transform({"green", "tea"});
+  const auto b = vec.Transform({"black", "tea"});
+  const auto c = vec.Transform({"espresso", "coffee"});
+  EXPECT_GT(CosineSimilarity(g, b), CosineSimilarity(g, c));
+}
+
+TEST(TfidfTest, TermFrequencyScales) {
+  TfidfVectorizer vec;
+  vec.Fit({{"x", "y"}});
+  const auto once = vec.Transform({"x"});
+  const auto twice = vec.Transform({"x", "x"});
+  EXPECT_DOUBLE_EQ(twice.entries[0].second,
+                   2.0 * once.entries[0].second);
+}
+
+}  // namespace
+}  // namespace kg::text

@@ -1,0 +1,75 @@
+#include "text/tokenize.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::text {
+namespace {
+
+TEST(TokenizeTest, SplitsOnPunctuationAndLowercases) {
+  const auto tokens = Tokenize("Hello, World! 42");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "42");
+}
+
+TEST(TokenizeTest, KeepsHyphensByDefault) {
+  const auto tokens = Tokenize("sci-fi movie");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "sci-fi");
+}
+
+TEST(TokenizeTest, SplitHyphensOption) {
+  TokenizeOptions opt;
+  opt.split_hyphens = true;
+  const auto tokens = Tokenize("sci-fi", opt);
+  ASSERT_EQ(tokens.size(), 2u);
+}
+
+TEST(TokenizeTest, DropNumbersOption) {
+  TokenizeOptions opt;
+  opt.keep_numbers = false;
+  const auto tokens = Tokenize("model 3000 car", opt);
+  ASSERT_EQ(tokens.size(), 2u);
+}
+
+TEST(TokenizeTest, NoLowercaseOption) {
+  TokenizeOptions opt;
+  opt.lowercase = false;
+  EXPECT_EQ(Tokenize("MixedCase", opt)[0], "MixedCase");
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!! ---").empty());
+}
+
+TEST(CharNgramsTest, PadsWithSentinels) {
+  const auto grams = CharNgrams("ab", 2);
+  // ^ab$ -> ^a, ab, b$.
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "^a");
+  EXPECT_EQ(grams[2], "b$");
+}
+
+TEST(CharNgramsTest, TooShortYieldsEmpty) {
+  EXPECT_TRUE(CharNgrams("", 4).empty());
+  EXPECT_TRUE(CharNgrams("x", 0).empty());
+}
+
+TEST(TokenNgramsTest, JoinsWithUnderscore) {
+  const auto grams = TokenNgrams({"a", "b", "c"}, 2);
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "a_b");
+  EXPECT_EQ(grams[1], "b_c");
+}
+
+TEST(NormalizeForMatchTest, CollapsesNoise) {
+  EXPECT_EQ(NormalizeForMatch("  The-Movie:  2023! "), "the movie 2023");
+  EXPECT_EQ(NormalizeForMatch("Xin Luna Dong"),
+            NormalizeForMatch("xin   luna DONG"));
+  EXPECT_EQ(NormalizeForMatch(""), "");
+}
+
+}  // namespace
+}  // namespace kg::text

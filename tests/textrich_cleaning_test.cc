@@ -1,0 +1,99 @@
+#include "textrich/cleaning.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kg::textrich {
+namespace {
+
+std::vector<CatalogAssertion> Corpus() {
+  std::vector<CatalogAssertion> corpus;
+  // 20 ice creams with normal flavors, 1 with "spicy".
+  for (uint32_t i = 0; i < 10; ++i) {
+    corpus.push_back({i, "icecream", "flavor", "vanilla", "vanilla cup"});
+  }
+  for (uint32_t i = 10; i < 20; ++i) {
+    corpus.push_back(
+        {i, "icecream", "flavor", "chocolate", "chocolate cup"});
+  }
+  corpus.push_back({20, "icecream", "flavor", "spicy", "frozen treat"});
+  return corpus;
+}
+
+TEST(CatalogCleanerTest, DropsPopulationAnomalies) {
+  CatalogCleaner cleaner;
+  cleaner.Fit(Corpus());
+  CatalogCleaner::Options opt;
+  opt.text_rescue = false;
+  EXPECT_TRUE(cleaner.ShouldDrop(
+      {20, "icecream", "flavor", "spicy", "frozen treat"}, opt));
+  EXPECT_FALSE(cleaner.ShouldDrop(
+      {0, "icecream", "flavor", "vanilla", "vanilla cup"}, opt));
+}
+
+TEST(CatalogCleanerTest, TextEvidenceRescuesRareValues) {
+  CatalogCleaner cleaner;
+  cleaner.Fit(Corpus());
+  CatalogCleaner::Options opt;
+  opt.text_rescue = true;
+  // Rare value whose product text mentions it verbatim: kept.
+  EXPECT_FALSE(cleaner.ShouldDrop({21, "icecream", "flavor", "spicy",
+                                   "a spicy chili icecream"},
+                                  opt));
+  // Rare value with no text support: dropped.
+  EXPECT_TRUE(cleaner.ShouldDrop(
+      {22, "icecream", "flavor", "spicy", "frozen treat"}, opt));
+}
+
+TEST(CatalogCleanerTest, UnseenTypeAttrDropsWithoutText) {
+  CatalogCleaner cleaner;
+  cleaner.Fit(Corpus());
+  CatalogCleaner::Options opt;
+  opt.text_rescue = false;
+  EXPECT_TRUE(cleaner.ShouldDrop(
+      {30, "sofa", "color", "red", "red sofa"}, opt));
+}
+
+TEST(CatalogCleanerTest, CleanFiltersBatch) {
+  CatalogCleaner cleaner;
+  const auto corpus = Corpus();
+  cleaner.Fit(corpus);
+  CatalogCleaner::Options opt;
+  opt.text_rescue = false;
+  const auto kept = cleaner.Clean(corpus, opt);
+  EXPECT_EQ(kept.size(), corpus.size() - 1);  // Only "spicy" dropped.
+}
+
+TEST(CatalogCleanerTest, CleaningImprovesNoisyCorpusAccuracy) {
+  // Inject 10% uniform noise into a skewed value population; cleaning
+  // should remove mostly-noise assertions.
+  kg::Rng rng(1);
+  std::vector<CatalogAssertion> corpus;
+  size_t noisy = 0;
+  for (uint32_t i = 0; i < 500; ++i) {
+    CatalogAssertion a;
+    a.product_id = i;
+    a.type_name = "widget";
+    a.attribute = "color";
+    if (rng.Bernoulli(0.1)) {
+      a.value = "junk" + std::to_string(i);  // unique noise value.
+      ++noisy;
+    } else {
+      a.value = rng.Bernoulli(0.5) ? "red" : "blue";
+    }
+    corpus.push_back(a);
+  }
+  CatalogCleaner cleaner;
+  cleaner.Fit(corpus);
+  const auto kept = cleaner.Clean(corpus, {});
+  size_t kept_noise = 0;
+  for (const auto& a : kept) {
+    kept_noise += a.value.rfind("junk", 0) == 0;
+  }
+  EXPECT_LT(kept_noise, noisy / 5);
+  EXPECT_GT(kept.size(), corpus.size() - noisy - 10);
+}
+
+}  // namespace
+}  // namespace kg::textrich

@@ -1,0 +1,69 @@
+#include "textrich/description_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/catalog_generator.h"
+
+namespace kg::textrich {
+namespace {
+
+TEST(DescriptionExtractorTest, ParsesAttrColonValue) {
+  const auto found = ExtractFromDescription(
+      "This sofa comes from Velora. flavor: dark roast. color: teal.",
+      {"flavor", "color"});
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].attribute, "flavor");
+  EXPECT_EQ(found[0].value, "dark roast");
+  EXPECT_EQ(found[1].attribute, "color");
+  EXPECT_EQ(found[1].value, "teal");
+}
+
+TEST(DescriptionExtractorTest, IgnoresUnknownAttributesAndNoise) {
+  const auto found = ExtractFromDescription(
+      "warranty: 2 years. note: handle with care. flavor: mint.",
+      {"flavor"});
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].attribute, "flavor");
+  EXPECT_EQ(found[0].value, "mint");
+}
+
+TEST(DescriptionExtractorTest, EmptyValueSkipped) {
+  EXPECT_TRUE(ExtractFromDescription("flavor: .", {"flavor"}).empty());
+  EXPECT_TRUE(ExtractFromDescription("", {"flavor"}).empty());
+}
+
+TEST(DescriptionExtractorTest, HighAccuracyOnGeneratedCatalog) {
+  kg::Rng rng(1);
+  synth::CatalogOptions opt;
+  opt.num_types = 12;
+  opt.num_products = 400;
+  opt.desc_mention_rate = 0.7;
+  const auto catalog = synth::ProductCatalog::Generate(opt, rng);
+  size_t extracted = 0, correct = 0;
+  for (const auto& product : catalog.products()) {
+    const auto found = ExtractFromDescription(
+        product.description, catalog.AttributesForType(product.type));
+    for (const auto& e : found) {
+      ++extracted;
+      auto it = product.true_values.find(e.attribute);
+      correct += it != product.true_values.end() && it->second == e.value;
+    }
+  }
+  ASSERT_GT(extracted, 400u);
+  // Descriptions render true values verbatim: rules should be near-exact.
+  EXPECT_GT(static_cast<double>(correct) / extracted, 0.99);
+}
+
+TEST(MergeStreamsTest, EarlierStreamsWin) {
+  const auto merged = MergeExtractionStreams({
+      {{"flavor", "ner-value"}},
+      {{"flavor", "desc-value"}, {"color", "desc-color"}},
+      {{"flavor", "catalog"}, {"size", "catalog-size"}},
+  });
+  EXPECT_EQ(merged.at("flavor"), "ner-value");
+  EXPECT_EQ(merged.at("color"), "desc-color");
+  EXPECT_EQ(merged.at("size"), "catalog-size");
+}
+
+}  // namespace
+}  // namespace kg::textrich

@@ -1,0 +1,69 @@
+#include "textrich/taxonomy_mining.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::textrich {
+namespace {
+
+struct World {
+  synth::ProductCatalog catalog;
+  synth::BehaviorLog log;
+};
+
+World MakeWorld(uint64_t seed) {
+  kg::Rng rng(seed);
+  synth::CatalogOptions copt;
+  copt.num_types = 16;
+  copt.num_products = 600;
+  World world{synth::ProductCatalog::Generate(copt, rng), {}};
+  synth::BehaviorOptions bopt;
+  bopt.num_searches = 30000;
+  world.log = synth::GenerateBehavior(world.catalog, bopt, rng);
+  return world;
+}
+
+TEST(TaxonomyMiningTest, MinesHypernymsWithGoodPrecision) {
+  const World world = MakeWorld(1);
+  const auto mined = MineTaxonomy(world.catalog, world.log, {});
+  const auto score = ScoreMinedTaxonomy(world.catalog, mined);
+  EXPECT_GT(score.hypernyms_mined, 10u);
+  // The "tea -> green tea" signal is strong in the generator, so mined
+  // edges should be mostly right and cover much of the taxonomy.
+  EXPECT_GT(score.hypernym_precision, 0.8);
+  EXPECT_GT(score.hypernym_recall, 0.5);
+}
+
+TEST(TaxonomyMiningTest, FindsAliasSynonyms) {
+  const World world = MakeWorld(2);
+  TaxonomyMiningOptions opt;
+  opt.min_query_support = 10;
+  const auto mined = MineTaxonomy(world.catalog, world.log, opt);
+  const auto score = ScoreMinedTaxonomy(world.catalog, mined);
+  if (score.synonyms_mined > 0) {
+    EXPECT_GT(score.synonym_precision, 0.7);
+  }
+  // At least some alias should surface given 30k searches.
+  EXPECT_GT(score.synonyms_mined, 0u);
+}
+
+TEST(TaxonomyMiningTest, NoiseOnlyLogYieldsNothing) {
+  kg::Rng rng(3);
+  synth::CatalogOptions copt;
+  copt.num_types = 8;
+  copt.num_products = 200;
+  const auto catalog = synth::ProductCatalog::Generate(copt, rng);
+  synth::BehaviorOptions bopt;
+  bopt.num_searches = 5000;
+  bopt.purchase_noise = 1.0;  // purchases unrelated to queries.
+  const auto log = synth::GenerateBehavior(catalog, bopt, rng);
+  const auto mined = MineTaxonomy(catalog, log, {});
+  // With pure noise every query looks broad and floods edges toward all
+  // types, so precision collapses (sanity: the miner is reading the
+  // purchase signal, not leaking generator structure).
+  const auto score = ScoreMinedTaxonomy(catalog, mined);
+  EXPECT_LT(score.hypernym_precision, 0.7);
+  EXPECT_GT(score.hypernyms_mined, 0u);
+}
+
+}  // namespace
+}  // namespace kg::textrich

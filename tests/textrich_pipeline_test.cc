@@ -1,0 +1,72 @@
+#include "textrich/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::textrich {
+namespace {
+
+synth::ProductCatalog TestCatalog(uint64_t seed = 1) {
+  synth::CatalogOptions opt;
+  opt.num_types = 16;
+  opt.num_products = 700;
+  kg::Rng rng(seed);
+  return synth::ProductCatalog::Generate(opt, rng);
+}
+
+TEST(PipelineTest, ManualModeReachesGate) {
+  const auto catalog = TestCatalog();
+  PipelineOptions opt;
+  opt.mode = PipelineMode::kManual;
+  kg::Rng rng(2);
+  const auto result = RunExtractionPipeline(
+      catalog, catalog.attributes()[0], opt, rng);
+  ASSERT_GE(result.stages.size(), 4u);
+  // Stage progression: postprocessing does not hurt, final F1 is
+  // production grade (>90%, §3.2).
+  EXPECT_GT(result.final_f1, 0.9);
+  EXPECT_TRUE(result.passed_gate);
+}
+
+TEST(PipelineTest, StagesImproveOverBaseModel) {
+  const auto catalog = TestCatalog(3);
+  PipelineOptions opt;
+  opt.mode = PipelineMode::kAutomated;
+  kg::Rng rng(4);
+  const auto result = RunExtractionPipeline(
+      catalog, catalog.attributes()[0], opt, rng);
+  const double base_f1 = result.stages.front().f1;
+  EXPECT_GE(result.final_f1 + 0.02, base_f1);
+}
+
+TEST(PipelineTest, AutomationCutsCostByAnOrderOfMagnitude) {
+  const auto catalog = TestCatalog(5);
+  PipelineOptions manual_opt, auto_opt;
+  manual_opt.mode = PipelineMode::kManual;
+  auto_opt.mode = PipelineMode::kAutomated;
+  kg::Rng r1(6), r2(6);
+  const auto manual = RunExtractionPipeline(
+      catalog, catalog.attributes()[0], manual_opt, r1);
+  const auto automated = RunExtractionPipeline(
+      catalog, catalog.attributes()[0], auto_opt, r2);
+  // Months -> weeks (§3.2): at least 5x cheaper.
+  EXPECT_GT(manual.total_cost_person_days,
+            5.0 * automated.total_cost_person_days);
+  // And the automated pipeline still reaches a usable quality bar.
+  EXPECT_GT(automated.final_f1, 0.75);
+}
+
+TEST(PipelineTest, CostsAccumulateMonotonically) {
+  const auto catalog = TestCatalog(7);
+  PipelineOptions opt;
+  kg::Rng rng(8);
+  const auto result = RunExtractionPipeline(
+      catalog, catalog.attributes()[1], opt, rng);
+  double prev = 0.0;
+  for (const auto& stage : result.stages) {
+    EXPECT_GE(stage.cost_person_days, prev);
+    prev = stage.cost_person_days;
+  }
+}
+
+}  // namespace
+}  // namespace kg::textrich

@@ -1,0 +1,67 @@
+#include "textrich/related_products.h"
+
+#include <gtest/gtest.h>
+
+namespace kg::textrich {
+namespace {
+
+struct World {
+  synth::ProductCatalog catalog;
+  synth::BehaviorLog log;
+};
+
+World MakeWorld(uint64_t seed) {
+  kg::Rng rng(seed);
+  synth::CatalogOptions copt;
+  copt.num_types = 16;
+  copt.num_products = 400;
+  World world{synth::ProductCatalog::Generate(copt, rng), {}};
+  synth::BehaviorOptions bopt;
+  bopt.num_co_views = 20000;
+  bopt.num_co_purchases = 10000;
+  bopt.co_view_same_category = 0.9;
+  world.log = synth::GenerateBehavior(world.catalog, bopt, rng);
+  return world;
+}
+
+TEST(RelatedProductsTest, MinesBothKinds) {
+  const World world = MakeWorld(1);
+  const auto pairs = MineRelatedProducts(world.log, {});
+  const auto score = ScoreRelatedProducts(world.catalog, pairs);
+  EXPECT_GT(score.substitutes, 20u);
+  EXPECT_GT(score.complements, 5u);
+}
+
+TEST(RelatedProductsTest, SubstitutesStayInCategory) {
+  const World world = MakeWorld(2);
+  const auto pairs = MineRelatedProducts(world.log, {});
+  const auto score = ScoreRelatedProducts(world.catalog, pairs);
+  // Co-views are 90% same-category by construction; mined substitutes
+  // should reflect that strongly.
+  EXPECT_GT(score.substitute_same_category_rate, 0.8);
+}
+
+TEST(RelatedProductsTest, ComplementsSkewCrossCategory) {
+  const World world = MakeWorld(3);
+  const auto pairs = MineRelatedProducts(world.log, {});
+  const auto score = ScoreRelatedProducts(world.catalog, pairs);
+  EXPECT_GT(score.complement_cross_category_rate, 0.5);
+}
+
+TEST(RelatedProductsTest, MinSupportFilters) {
+  synth::BehaviorLog tiny;
+  tiny.co_views = {{1, 2}, {1, 2}};  // Support 2 < default 3.
+  EXPECT_TRUE(MineRelatedProducts(tiny, {}).empty());
+  RelatedProductsOptions loose;
+  loose.min_support = 2;
+  EXPECT_EQ(MineRelatedProducts(tiny, loose).size(), 1u);
+}
+
+TEST(RelatedProductsTest, SelfPairsIgnored) {
+  synth::BehaviorLog log;
+  for (int i = 0; i < 10; ++i) log.co_views.push_back({5, 5});
+  EXPECT_TRUE(MineRelatedProducts(log, {}).empty());
+}
+
+}  // namespace
+}  // namespace kg::textrich
