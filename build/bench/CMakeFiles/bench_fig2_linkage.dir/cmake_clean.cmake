@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_linkage.dir/bench_fig2_linkage.cc.o"
+  "CMakeFiles/bench_fig2_linkage.dir/bench_fig2_linkage.cc.o.d"
+  "bench_fig2_linkage"
+  "bench_fig2_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

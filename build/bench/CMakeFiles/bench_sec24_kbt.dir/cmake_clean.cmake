@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec24_kbt.dir/bench_sec24_kbt.cc.o"
+  "CMakeFiles/bench_sec24_kbt.dir/bench_sec24_kbt.cc.o.d"
+  "bench_sec24_kbt"
+  "bench_sec24_kbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec24_kbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec24_nell.dir/bench_sec24_nell.cc.o"
+  "CMakeFiles/bench_sec24_nell.dir/bench_sec24_nell.cc.o.d"
+  "bench_sec24_nell"
+  "bench_sec24_nell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec24_nell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec24_webscale.dir/bench_sec24_webscale.cc.o"
+  "CMakeFiles/bench_sec24_webscale.dir/bench_sec24_webscale.cc.o.d"
+  "bench_sec24_webscale"
+  "bench_sec24_webscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec24_webscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec31_taxonomy.dir/bench_sec31_taxonomy.cc.o"
+  "CMakeFiles/bench_sec31_taxonomy.dir/bench_sec31_taxonomy.cc.o.d"
+  "bench_sec31_taxonomy"
+  "bench_sec31_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

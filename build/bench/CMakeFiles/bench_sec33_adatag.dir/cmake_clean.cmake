@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_adatag.dir/bench_sec33_adatag.cc.o"
+  "CMakeFiles/bench_sec33_adatag.dir/bench_sec33_adatag.cc.o.d"
+  "bench_sec33_adatag"
+  "bench_sec33_adatag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_adatag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_txtract.dir/bench_sec33_txtract.cc.o"
+  "CMakeFiles/bench_sec33_txtract.dir/bench_sec33_txtract.cc.o.d"
+  "bench_sec33_txtract"
+  "bench_sec33_txtract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_txtract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

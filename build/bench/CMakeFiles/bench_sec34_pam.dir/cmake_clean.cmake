@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec34_pam.dir/bench_sec34_pam.cc.o"
+  "CMakeFiles/bench_sec34_pam.dir/bench_sec34_pam.cc.o.d"
+  "bench_sec34_pam"
+  "bench_sec34_pam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec34_pam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_dual.dir/bench_sec4_dual.cc.o"
+  "CMakeFiles/bench_sec4_dual.dir/bench_sec4_dual.cc.o.d"
+  "bench_sec4_dual"
+  "bench_sec4_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

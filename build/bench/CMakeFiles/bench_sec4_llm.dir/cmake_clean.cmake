@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_llm.dir/bench_sec4_llm.cc.o"
+  "CMakeFiles/bench_sec4_llm.dir/bench_sec4_llm.cc.o.d"
+  "bench_sec4_llm"
+  "bench_sec4_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_qa.dir/dual_qa.cpp.o"
+  "CMakeFiles/dual_qa.dir/dual_qa.cpp.o.d"
+  "dual_qa"
+  "dual_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

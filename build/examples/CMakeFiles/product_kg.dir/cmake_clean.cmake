@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_kg.dir/product_kg.cpp.o"
+  "CMakeFiles/product_kg.dir/product_kg.cpp.o.d"
+  "product_kg"
+  "product_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

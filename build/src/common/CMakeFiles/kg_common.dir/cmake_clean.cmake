@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_common.dir/csv.cc.o"
+  "CMakeFiles/kg_common.dir/csv.cc.o.d"
+  "CMakeFiles/kg_common.dir/logging.cc.o"
+  "CMakeFiles/kg_common.dir/logging.cc.o.d"
+  "CMakeFiles/kg_common.dir/rng.cc.o"
+  "CMakeFiles/kg_common.dir/rng.cc.o.d"
+  "CMakeFiles/kg_common.dir/status.cc.o"
+  "CMakeFiles/kg_common.dir/status.cc.o.d"
+  "CMakeFiles/kg_common.dir/strings.cc.o"
+  "CMakeFiles/kg_common.dir/strings.cc.o.d"
+  "CMakeFiles/kg_common.dir/table_printer.cc.o"
+  "CMakeFiles/kg_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/kg_common.dir/thread_pool.cc.o"
+  "CMakeFiles/kg_common.dir/thread_pool.cc.o.d"
+  "libkg_common.a"
+  "libkg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_core.dir/conversions.cc.o"
+  "CMakeFiles/kg_core.dir/conversions.cc.o.d"
+  "CMakeFiles/kg_core.dir/entity_kg_pipeline.cc.o"
+  "CMakeFiles/kg_core.dir/entity_kg_pipeline.cc.o.d"
+  "CMakeFiles/kg_core.dir/extraction_scoring.cc.o"
+  "CMakeFiles/kg_core.dir/extraction_scoring.cc.o.d"
+  "CMakeFiles/kg_core.dir/knowledge_cleaning.cc.o"
+  "CMakeFiles/kg_core.dir/knowledge_cleaning.cc.o.d"
+  "CMakeFiles/kg_core.dir/textrich_kg_pipeline.cc.o"
+  "CMakeFiles/kg_core.dir/textrich_kg_pipeline.cc.o.d"
+  "libkg_core.a"
+  "libkg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

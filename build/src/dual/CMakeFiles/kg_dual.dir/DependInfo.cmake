@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dual/answerers.cc" "src/dual/CMakeFiles/kg_dual.dir/answerers.cc.o" "gcc" "src/dual/CMakeFiles/kg_dual.dir/answerers.cc.o.d"
+  "/root/repo/src/dual/llm_sim.cc" "src/dual/CMakeFiles/kg_dual.dir/llm_sim.cc.o" "gcc" "src/dual/CMakeFiles/kg_dual.dir/llm_sim.cc.o.d"
+  "/root/repo/src/dual/qa_eval.cc" "src/dual/CMakeFiles/kg_dual.dir/qa_eval.cc.o" "gcc" "src/dual/CMakeFiles/kg_dual.dir/qa_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/kg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/kg_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/kg_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_dual.dir/answerers.cc.o"
+  "CMakeFiles/kg_dual.dir/answerers.cc.o.d"
+  "CMakeFiles/kg_dual.dir/llm_sim.cc.o"
+  "CMakeFiles/kg_dual.dir/llm_sim.cc.o.d"
+  "CMakeFiles/kg_dual.dir/qa_eval.cc.o"
+  "CMakeFiles/kg_dual.dir/qa_eval.cc.o.d"
+  "libkg_dual.a"
+  "libkg_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/distant_supervision.cc" "src/extract/CMakeFiles/kg_extract.dir/distant_supervision.cc.o" "gcc" "src/extract/CMakeFiles/kg_extract.dir/distant_supervision.cc.o.d"
+  "/root/repo/src/extract/dom.cc" "src/extract/CMakeFiles/kg_extract.dir/dom.cc.o" "gcc" "src/extract/CMakeFiles/kg_extract.dir/dom.cc.o.d"
+  "/root/repo/src/extract/open_extraction.cc" "src/extract/CMakeFiles/kg_extract.dir/open_extraction.cc.o" "gcc" "src/extract/CMakeFiles/kg_extract.dir/open_extraction.cc.o.d"
+  "/root/repo/src/extract/opentag.cc" "src/extract/CMakeFiles/kg_extract.dir/opentag.cc.o" "gcc" "src/extract/CMakeFiles/kg_extract.dir/opentag.cc.o.d"
+  "/root/repo/src/extract/pattern_bootstrap.cc" "src/extract/CMakeFiles/kg_extract.dir/pattern_bootstrap.cc.o" "gcc" "src/extract/CMakeFiles/kg_extract.dir/pattern_bootstrap.cc.o.d"
+  "/root/repo/src/extract/wrapper_induction.cc" "src/extract/CMakeFiles/kg_extract.dir/wrapper_induction.cc.o" "gcc" "src/extract/CMakeFiles/kg_extract.dir/wrapper_induction.cc.o.d"
+  "/root/repo/src/extract/zeroshot_extraction.cc" "src/extract/CMakeFiles/kg_extract.dir/zeroshot_extraction.cc.o" "gcc" "src/extract/CMakeFiles/kg_extract.dir/zeroshot_extraction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/kg_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

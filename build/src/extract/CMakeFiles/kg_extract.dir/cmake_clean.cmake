@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_extract.dir/distant_supervision.cc.o"
+  "CMakeFiles/kg_extract.dir/distant_supervision.cc.o.d"
+  "CMakeFiles/kg_extract.dir/dom.cc.o"
+  "CMakeFiles/kg_extract.dir/dom.cc.o.d"
+  "CMakeFiles/kg_extract.dir/open_extraction.cc.o"
+  "CMakeFiles/kg_extract.dir/open_extraction.cc.o.d"
+  "CMakeFiles/kg_extract.dir/opentag.cc.o"
+  "CMakeFiles/kg_extract.dir/opentag.cc.o.d"
+  "CMakeFiles/kg_extract.dir/pattern_bootstrap.cc.o"
+  "CMakeFiles/kg_extract.dir/pattern_bootstrap.cc.o.d"
+  "CMakeFiles/kg_extract.dir/wrapper_induction.cc.o"
+  "CMakeFiles/kg_extract.dir/wrapper_induction.cc.o.d"
+  "CMakeFiles/kg_extract.dir/zeroshot_extraction.cc.o"
+  "CMakeFiles/kg_extract.dir/zeroshot_extraction.cc.o.d"
+  "libkg_extract.a"
+  "libkg_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuse/confidence_model.cc" "src/fuse/CMakeFiles/kg_fuse.dir/confidence_model.cc.o" "gcc" "src/fuse/CMakeFiles/kg_fuse.dir/confidence_model.cc.o.d"
+  "/root/repo/src/fuse/kbt.cc" "src/fuse/CMakeFiles/kg_fuse.dir/kbt.cc.o" "gcc" "src/fuse/CMakeFiles/kg_fuse.dir/kbt.cc.o.d"
+  "/root/repo/src/fuse/pra.cc" "src/fuse/CMakeFiles/kg_fuse.dir/pra.cc.o" "gcc" "src/fuse/CMakeFiles/kg_fuse.dir/pra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/kg_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

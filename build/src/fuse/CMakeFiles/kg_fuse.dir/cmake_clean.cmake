@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_fuse.dir/confidence_model.cc.o"
+  "CMakeFiles/kg_fuse.dir/confidence_model.cc.o.d"
+  "CMakeFiles/kg_fuse.dir/kbt.cc.o"
+  "CMakeFiles/kg_fuse.dir/kbt.cc.o.d"
+  "CMakeFiles/kg_fuse.dir/pra.cc.o"
+  "CMakeFiles/kg_fuse.dir/pra.cc.o.d"
+  "libkg_fuse.a"
+  "libkg_fuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_fuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

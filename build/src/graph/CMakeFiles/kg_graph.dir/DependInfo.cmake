@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/knowledge_graph.cc" "src/graph/CMakeFiles/kg_graph.dir/knowledge_graph.cc.o" "gcc" "src/graph/CMakeFiles/kg_graph.dir/knowledge_graph.cc.o.d"
+  "/root/repo/src/graph/ontology.cc" "src/graph/CMakeFiles/kg_graph.dir/ontology.cc.o" "gcc" "src/graph/CMakeFiles/kg_graph.dir/ontology.cc.o.d"
+  "/root/repo/src/graph/paths.cc" "src/graph/CMakeFiles/kg_graph.dir/paths.cc.o" "gcc" "src/graph/CMakeFiles/kg_graph.dir/paths.cc.o.d"
+  "/root/repo/src/graph/query.cc" "src/graph/CMakeFiles/kg_graph.dir/query.cc.o" "gcc" "src/graph/CMakeFiles/kg_graph.dir/query.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/graph/CMakeFiles/kg_graph.dir/serialization.cc.o" "gcc" "src/graph/CMakeFiles/kg_graph.dir/serialization.cc.o.d"
+  "/root/repo/src/graph/taxonomy.cc" "src/graph/CMakeFiles/kg_graph.dir/taxonomy.cc.o" "gcc" "src/graph/CMakeFiles/kg_graph.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_graph.dir/knowledge_graph.cc.o"
+  "CMakeFiles/kg_graph.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/kg_graph.dir/ontology.cc.o"
+  "CMakeFiles/kg_graph.dir/ontology.cc.o.d"
+  "CMakeFiles/kg_graph.dir/paths.cc.o"
+  "CMakeFiles/kg_graph.dir/paths.cc.o.d"
+  "CMakeFiles/kg_graph.dir/query.cc.o"
+  "CMakeFiles/kg_graph.dir/query.cc.o.d"
+  "CMakeFiles/kg_graph.dir/serialization.cc.o"
+  "CMakeFiles/kg_graph.dir/serialization.cc.o.d"
+  "CMakeFiles/kg_graph.dir/taxonomy.cc.o"
+  "CMakeFiles/kg_graph.dir/taxonomy.cc.o.d"
+  "libkg_graph.a"
+  "libkg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

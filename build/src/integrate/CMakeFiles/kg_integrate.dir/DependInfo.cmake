@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integrate/copy_detection.cc" "src/integrate/CMakeFiles/kg_integrate.dir/copy_detection.cc.o" "gcc" "src/integrate/CMakeFiles/kg_integrate.dir/copy_detection.cc.o.d"
+  "/root/repo/src/integrate/dedup.cc" "src/integrate/CMakeFiles/kg_integrate.dir/dedup.cc.o" "gcc" "src/integrate/CMakeFiles/kg_integrate.dir/dedup.cc.o.d"
+  "/root/repo/src/integrate/fusion.cc" "src/integrate/CMakeFiles/kg_integrate.dir/fusion.cc.o" "gcc" "src/integrate/CMakeFiles/kg_integrate.dir/fusion.cc.o.d"
+  "/root/repo/src/integrate/linkage.cc" "src/integrate/CMakeFiles/kg_integrate.dir/linkage.cc.o" "gcc" "src/integrate/CMakeFiles/kg_integrate.dir/linkage.cc.o.d"
+  "/root/repo/src/integrate/record.cc" "src/integrate/CMakeFiles/kg_integrate.dir/record.cc.o" "gcc" "src/integrate/CMakeFiles/kg_integrate.dir/record.cc.o.d"
+  "/root/repo/src/integrate/schema_alignment.cc" "src/integrate/CMakeFiles/kg_integrate.dir/schema_alignment.cc.o" "gcc" "src/integrate/CMakeFiles/kg_integrate.dir/schema_alignment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/kg_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

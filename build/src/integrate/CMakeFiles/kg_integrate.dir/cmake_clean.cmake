@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_integrate.dir/copy_detection.cc.o"
+  "CMakeFiles/kg_integrate.dir/copy_detection.cc.o.d"
+  "CMakeFiles/kg_integrate.dir/dedup.cc.o"
+  "CMakeFiles/kg_integrate.dir/dedup.cc.o.d"
+  "CMakeFiles/kg_integrate.dir/fusion.cc.o"
+  "CMakeFiles/kg_integrate.dir/fusion.cc.o.d"
+  "CMakeFiles/kg_integrate.dir/linkage.cc.o"
+  "CMakeFiles/kg_integrate.dir/linkage.cc.o.d"
+  "CMakeFiles/kg_integrate.dir/record.cc.o"
+  "CMakeFiles/kg_integrate.dir/record.cc.o.d"
+  "CMakeFiles/kg_integrate.dir/schema_alignment.cc.o"
+  "CMakeFiles/kg_integrate.dir/schema_alignment.cc.o.d"
+  "libkg_integrate.a"
+  "libkg_integrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

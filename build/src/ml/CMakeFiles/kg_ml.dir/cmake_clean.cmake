@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_ml.dir/active_learning.cc.o"
+  "CMakeFiles/kg_ml.dir/active_learning.cc.o.d"
+  "CMakeFiles/kg_ml.dir/dataset.cc.o"
+  "CMakeFiles/kg_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/kg_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/kg_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/kg_ml.dir/graph_propagation.cc.o"
+  "CMakeFiles/kg_ml.dir/graph_propagation.cc.o.d"
+  "CMakeFiles/kg_ml.dir/kmeans.cc.o"
+  "CMakeFiles/kg_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/kg_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/kg_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/kg_ml.dir/metrics.cc.o"
+  "CMakeFiles/kg_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/kg_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/kg_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/kg_ml.dir/random_forest.cc.o"
+  "CMakeFiles/kg_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/kg_ml.dir/sequence_tagger.cc.o"
+  "CMakeFiles/kg_ml.dir/sequence_tagger.cc.o.d"
+  "CMakeFiles/kg_ml.dir/transe.cc.o"
+  "CMakeFiles/kg_ml.dir/transe.cc.o.d"
+  "libkg_ml.a"
+  "libkg_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/behavior_generator.cc" "src/synth/CMakeFiles/kg_synth.dir/behavior_generator.cc.o" "gcc" "src/synth/CMakeFiles/kg_synth.dir/behavior_generator.cc.o.d"
+  "/root/repo/src/synth/catalog_generator.cc" "src/synth/CMakeFiles/kg_synth.dir/catalog_generator.cc.o" "gcc" "src/synth/CMakeFiles/kg_synth.dir/catalog_generator.cc.o.d"
+  "/root/repo/src/synth/entity_universe.cc" "src/synth/CMakeFiles/kg_synth.dir/entity_universe.cc.o" "gcc" "src/synth/CMakeFiles/kg_synth.dir/entity_universe.cc.o.d"
+  "/root/repo/src/synth/names.cc" "src/synth/CMakeFiles/kg_synth.dir/names.cc.o" "gcc" "src/synth/CMakeFiles/kg_synth.dir/names.cc.o.d"
+  "/root/repo/src/synth/qa_generator.cc" "src/synth/CMakeFiles/kg_synth.dir/qa_generator.cc.o" "gcc" "src/synth/CMakeFiles/kg_synth.dir/qa_generator.cc.o.d"
+  "/root/repo/src/synth/structured_source.cc" "src/synth/CMakeFiles/kg_synth.dir/structured_source.cc.o" "gcc" "src/synth/CMakeFiles/kg_synth.dir/structured_source.cc.o.d"
+  "/root/repo/src/synth/text_corpus.cc" "src/synth/CMakeFiles/kg_synth.dir/text_corpus.cc.o" "gcc" "src/synth/CMakeFiles/kg_synth.dir/text_corpus.cc.o.d"
+  "/root/repo/src/synth/website_generator.cc" "src/synth/CMakeFiles/kg_synth.dir/website_generator.cc.o" "gcc" "src/synth/CMakeFiles/kg_synth.dir/website_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/kg_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/kg_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_synth.dir/behavior_generator.cc.o"
+  "CMakeFiles/kg_synth.dir/behavior_generator.cc.o.d"
+  "CMakeFiles/kg_synth.dir/catalog_generator.cc.o"
+  "CMakeFiles/kg_synth.dir/catalog_generator.cc.o.d"
+  "CMakeFiles/kg_synth.dir/entity_universe.cc.o"
+  "CMakeFiles/kg_synth.dir/entity_universe.cc.o.d"
+  "CMakeFiles/kg_synth.dir/names.cc.o"
+  "CMakeFiles/kg_synth.dir/names.cc.o.d"
+  "CMakeFiles/kg_synth.dir/qa_generator.cc.o"
+  "CMakeFiles/kg_synth.dir/qa_generator.cc.o.d"
+  "CMakeFiles/kg_synth.dir/structured_source.cc.o"
+  "CMakeFiles/kg_synth.dir/structured_source.cc.o.d"
+  "CMakeFiles/kg_synth.dir/text_corpus.cc.o"
+  "CMakeFiles/kg_synth.dir/text_corpus.cc.o.d"
+  "CMakeFiles/kg_synth.dir/website_generator.cc.o"
+  "CMakeFiles/kg_synth.dir/website_generator.cc.o.d"
+  "libkg_synth.a"
+  "libkg_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

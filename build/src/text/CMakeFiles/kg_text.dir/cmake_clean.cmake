@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_text.dir/bio.cc.o"
+  "CMakeFiles/kg_text.dir/bio.cc.o.d"
+  "CMakeFiles/kg_text.dir/similarity.cc.o"
+  "CMakeFiles/kg_text.dir/similarity.cc.o.d"
+  "CMakeFiles/kg_text.dir/tfidf.cc.o"
+  "CMakeFiles/kg_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/kg_text.dir/tokenize.cc.o"
+  "CMakeFiles/kg_text.dir/tokenize.cc.o.d"
+  "libkg_text.a"
+  "libkg_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

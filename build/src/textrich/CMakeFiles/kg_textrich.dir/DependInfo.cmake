@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/textrich/cleaning.cc" "src/textrich/CMakeFiles/kg_textrich.dir/cleaning.cc.o" "gcc" "src/textrich/CMakeFiles/kg_textrich.dir/cleaning.cc.o.d"
+  "/root/repo/src/textrich/description_extractor.cc" "src/textrich/CMakeFiles/kg_textrich.dir/description_extractor.cc.o" "gcc" "src/textrich/CMakeFiles/kg_textrich.dir/description_extractor.cc.o.d"
+  "/root/repo/src/textrich/example_builder.cc" "src/textrich/CMakeFiles/kg_textrich.dir/example_builder.cc.o" "gcc" "src/textrich/CMakeFiles/kg_textrich.dir/example_builder.cc.o.d"
+  "/root/repo/src/textrich/pipeline.cc" "src/textrich/CMakeFiles/kg_textrich.dir/pipeline.cc.o" "gcc" "src/textrich/CMakeFiles/kg_textrich.dir/pipeline.cc.o.d"
+  "/root/repo/src/textrich/product_graph.cc" "src/textrich/CMakeFiles/kg_textrich.dir/product_graph.cc.o" "gcc" "src/textrich/CMakeFiles/kg_textrich.dir/product_graph.cc.o.d"
+  "/root/repo/src/textrich/related_products.cc" "src/textrich/CMakeFiles/kg_textrich.dir/related_products.cc.o" "gcc" "src/textrich/CMakeFiles/kg_textrich.dir/related_products.cc.o.d"
+  "/root/repo/src/textrich/taxonomy_mining.cc" "src/textrich/CMakeFiles/kg_textrich.dir/taxonomy_mining.cc.o" "gcc" "src/textrich/CMakeFiles/kg_textrich.dir/taxonomy_mining.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/kg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/kg_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/kg_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_textrich.dir/cleaning.cc.o"
+  "CMakeFiles/kg_textrich.dir/cleaning.cc.o.d"
+  "CMakeFiles/kg_textrich.dir/description_extractor.cc.o"
+  "CMakeFiles/kg_textrich.dir/description_extractor.cc.o.d"
+  "CMakeFiles/kg_textrich.dir/example_builder.cc.o"
+  "CMakeFiles/kg_textrich.dir/example_builder.cc.o.d"
+  "CMakeFiles/kg_textrich.dir/pipeline.cc.o"
+  "CMakeFiles/kg_textrich.dir/pipeline.cc.o.d"
+  "CMakeFiles/kg_textrich.dir/product_graph.cc.o"
+  "CMakeFiles/kg_textrich.dir/product_graph.cc.o.d"
+  "CMakeFiles/kg_textrich.dir/related_products.cc.o"
+  "CMakeFiles/kg_textrich.dir/related_products.cc.o.d"
+  "CMakeFiles/kg_textrich.dir/taxonomy_mining.cc.o"
+  "CMakeFiles/kg_textrich.dir/taxonomy_mining.cc.o.d"
+  "libkg_textrich.a"
+  "libkg_textrich.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_textrich.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cleaning_test.dir/core_cleaning_test.cc.o"
+  "CMakeFiles/core_cleaning_test.dir/core_cleaning_test.cc.o.d"
+  "core_cleaning_test"
+  "core_cleaning_test.pdb"
+  "core_cleaning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cleaning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_entity_pipeline_test.cc" "tests/CMakeFiles/core_entity_pipeline_test.dir/core_entity_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/core_entity_pipeline_test.dir/core_entity_pipeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dual/CMakeFiles/kg_dual.dir/DependInfo.cmake"
+  "/root/repo/build/src/textrich/CMakeFiles/kg_textrich.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuse/CMakeFiles/kg_fuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrate/CMakeFiles/kg_integrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/kg_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/kg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/kg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_llm_test.dir/dual_llm_test.cc.o"
+  "CMakeFiles/dual_llm_test.dir/dual_llm_test.cc.o.d"
+  "dual_llm_test"
+  "dual_llm_test.pdb"
+  "dual_llm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_llm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

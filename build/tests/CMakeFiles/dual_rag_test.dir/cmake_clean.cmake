@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_rag_test.dir/dual_rag_test.cc.o"
+  "CMakeFiles/dual_rag_test.dir/dual_rag_test.cc.o.d"
+  "dual_rag_test"
+  "dual_rag_test.pdb"
+  "dual_rag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_rag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_bootstrap_test.dir/extract_bootstrap_test.cc.o"
+  "CMakeFiles/extract_bootstrap_test.dir/extract_bootstrap_test.cc.o.d"
+  "extract_bootstrap_test"
+  "extract_bootstrap_test.pdb"
+  "extract_bootstrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

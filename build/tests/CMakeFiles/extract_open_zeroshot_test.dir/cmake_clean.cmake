@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_open_zeroshot_test.dir/extract_open_zeroshot_test.cc.o"
+  "CMakeFiles/extract_open_zeroshot_test.dir/extract_open_zeroshot_test.cc.o.d"
+  "extract_open_zeroshot_test"
+  "extract_open_zeroshot_test.pdb"
+  "extract_open_zeroshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_open_zeroshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

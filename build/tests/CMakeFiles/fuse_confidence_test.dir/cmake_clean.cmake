@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_confidence_test.dir/fuse_confidence_test.cc.o"
+  "CMakeFiles/fuse_confidence_test.dir/fuse_confidence_test.cc.o.d"
+  "fuse_confidence_test"
+  "fuse_confidence_test.pdb"
+  "fuse_confidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_confidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

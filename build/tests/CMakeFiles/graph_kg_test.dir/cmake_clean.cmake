@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_kg_test.dir/graph_kg_test.cc.o"
+  "CMakeFiles/graph_kg_test.dir/graph_kg_test.cc.o.d"
+  "graph_kg_test"
+  "graph_kg_test.pdb"
+  "graph_kg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_kg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_ontology_test.dir/graph_ontology_test.cc.o"
+  "CMakeFiles/graph_ontology_test.dir/graph_ontology_test.cc.o.d"
+  "graph_ontology_test"
+  "graph_ontology_test.pdb"
+  "graph_ontology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_ontology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

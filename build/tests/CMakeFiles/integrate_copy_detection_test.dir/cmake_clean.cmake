@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrate_copy_detection_test.dir/integrate_copy_detection_test.cc.o"
+  "CMakeFiles/integrate_copy_detection_test.dir/integrate_copy_detection_test.cc.o.d"
+  "integrate_copy_detection_test"
+  "integrate_copy_detection_test.pdb"
+  "integrate_copy_detection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrate_copy_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrate_dedup_test.dir/integrate_dedup_test.cc.o"
+  "CMakeFiles/integrate_dedup_test.dir/integrate_dedup_test.cc.o.d"
+  "integrate_dedup_test"
+  "integrate_dedup_test.pdb"
+  "integrate_dedup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrate_dedup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

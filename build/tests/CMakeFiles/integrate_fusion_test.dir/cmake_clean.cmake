@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrate_fusion_test.dir/integrate_fusion_test.cc.o"
+  "CMakeFiles/integrate_fusion_test.dir/integrate_fusion_test.cc.o.d"
+  "integrate_fusion_test"
+  "integrate_fusion_test.pdb"
+  "integrate_fusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrate_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

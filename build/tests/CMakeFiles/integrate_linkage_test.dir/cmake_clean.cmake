@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrate_linkage_test.dir/integrate_linkage_test.cc.o"
+  "CMakeFiles/integrate_linkage_test.dir/integrate_linkage_test.cc.o.d"
+  "integrate_linkage_test"
+  "integrate_linkage_test.pdb"
+  "integrate_linkage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrate_linkage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrate_schema_test.dir/integrate_schema_test.cc.o"
+  "CMakeFiles/integrate_schema_test.dir/integrate_schema_test.cc.o.d"
+  "integrate_schema_test"
+  "integrate_schema_test.pdb"
+  "integrate_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrate_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

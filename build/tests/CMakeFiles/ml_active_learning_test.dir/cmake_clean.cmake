@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_active_learning_test.dir/ml_active_learning_test.cc.o"
+  "CMakeFiles/ml_active_learning_test.dir/ml_active_learning_test.cc.o.d"
+  "ml_active_learning_test"
+  "ml_active_learning_test.pdb"
+  "ml_active_learning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_active_learning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_gnn_test.dir/ml_gnn_test.cc.o"
+  "CMakeFiles/ml_gnn_test.dir/ml_gnn_test.cc.o.d"
+  "ml_gnn_test"
+  "ml_gnn_test.pdb"
+  "ml_gnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_gnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_logreg_test.dir/ml_logreg_test.cc.o"
+  "CMakeFiles/ml_logreg_test.dir/ml_logreg_test.cc.o.d"
+  "ml_logreg_test"
+  "ml_logreg_test.pdb"
+  "ml_logreg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_logreg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

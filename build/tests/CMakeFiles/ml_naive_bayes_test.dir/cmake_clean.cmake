@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_naive_bayes_test.dir/ml_naive_bayes_test.cc.o"
+  "CMakeFiles/ml_naive_bayes_test.dir/ml_naive_bayes_test.cc.o.d"
+  "ml_naive_bayes_test"
+  "ml_naive_bayes_test.pdb"
+  "ml_naive_bayes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_naive_bayes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

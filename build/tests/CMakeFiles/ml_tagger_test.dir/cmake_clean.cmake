@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tagger_test.dir/ml_tagger_test.cc.o"
+  "CMakeFiles/ml_tagger_test.dir/ml_tagger_test.cc.o.d"
+  "ml_tagger_test"
+  "ml_tagger_test.pdb"
+  "ml_tagger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tagger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_transe_test.dir/ml_transe_test.cc.o"
+  "CMakeFiles/ml_transe_test.dir/ml_transe_test.cc.o.d"
+  "ml_transe_test"
+  "ml_transe_test.pdb"
+  "ml_transe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_transe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_behavior_qa_test.dir/synth_behavior_qa_test.cc.o"
+  "CMakeFiles/synth_behavior_qa_test.dir/synth_behavior_qa_test.cc.o.d"
+  "synth_behavior_qa_test"
+  "synth_behavior_qa_test.pdb"
+  "synth_behavior_qa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_behavior_qa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_catalog_test.dir/synth_catalog_test.cc.o"
+  "CMakeFiles/synth_catalog_test.dir/synth_catalog_test.cc.o.d"
+  "synth_catalog_test"
+  "synth_catalog_test.pdb"
+  "synth_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

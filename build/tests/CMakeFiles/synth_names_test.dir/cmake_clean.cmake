@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_names_test.dir/synth_names_test.cc.o"
+  "CMakeFiles/synth_names_test.dir/synth_names_test.cc.o.d"
+  "synth_names_test"
+  "synth_names_test.pdb"
+  "synth_names_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_names_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_source_test.dir/synth_source_test.cc.o"
+  "CMakeFiles/synth_source_test.dir/synth_source_test.cc.o.d"
+  "synth_source_test"
+  "synth_source_test.pdb"
+  "synth_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_universe_test.dir/synth_universe_test.cc.o"
+  "CMakeFiles/synth_universe_test.dir/synth_universe_test.cc.o.d"
+  "synth_universe_test"
+  "synth_universe_test.pdb"
+  "synth_universe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_universe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

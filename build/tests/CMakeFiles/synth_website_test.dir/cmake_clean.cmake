@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_website_test.dir/synth_website_test.cc.o"
+  "CMakeFiles/synth_website_test.dir/synth_website_test.cc.o.d"
+  "synth_website_test"
+  "synth_website_test.pdb"
+  "synth_website_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_website_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

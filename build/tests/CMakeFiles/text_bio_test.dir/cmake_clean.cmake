@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_bio_test.dir/text_bio_test.cc.o"
+  "CMakeFiles/text_bio_test.dir/text_bio_test.cc.o.d"
+  "text_bio_test"
+  "text_bio_test.pdb"
+  "text_bio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_bio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_tokenize_test.dir/text_tokenize_test.cc.o"
+  "CMakeFiles/text_tokenize_test.dir/text_tokenize_test.cc.o.d"
+  "text_tokenize_test"
+  "text_tokenize_test.pdb"
+  "text_tokenize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_tokenize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

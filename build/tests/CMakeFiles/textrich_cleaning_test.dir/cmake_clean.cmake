@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textrich_cleaning_test.dir/textrich_cleaning_test.cc.o"
+  "CMakeFiles/textrich_cleaning_test.dir/textrich_cleaning_test.cc.o.d"
+  "textrich_cleaning_test"
+  "textrich_cleaning_test.pdb"
+  "textrich_cleaning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textrich_cleaning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textrich_description_test.dir/textrich_description_test.cc.o"
+  "CMakeFiles/textrich_description_test.dir/textrich_description_test.cc.o.d"
+  "textrich_description_test"
+  "textrich_description_test.pdb"
+  "textrich_description_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textrich_description_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textrich_mining_test.dir/textrich_mining_test.cc.o"
+  "CMakeFiles/textrich_mining_test.dir/textrich_mining_test.cc.o.d"
+  "textrich_mining_test"
+  "textrich_mining_test.pdb"
+  "textrich_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textrich_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

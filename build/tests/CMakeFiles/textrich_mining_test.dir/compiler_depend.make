@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for textrich_mining_test.
+# This may be replaced when dependencies are built.

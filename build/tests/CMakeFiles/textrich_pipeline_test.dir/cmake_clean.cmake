@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textrich_pipeline_test.dir/textrich_pipeline_test.cc.o"
+  "CMakeFiles/textrich_pipeline_test.dir/textrich_pipeline_test.cc.o.d"
+  "textrich_pipeline_test"
+  "textrich_pipeline_test.pdb"
+  "textrich_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textrich_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

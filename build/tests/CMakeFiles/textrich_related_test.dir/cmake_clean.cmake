@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textrich_related_test.dir/textrich_related_test.cc.o"
+  "CMakeFiles/textrich_related_test.dir/textrich_related_test.cc.o.d"
+  "textrich_related_test"
+  "textrich_related_test.pdb"
+  "textrich_related_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textrich_related_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[CrossModuleTest.BuildSerializeReloadQuery]=]  /root/repo/build/tests/cross_module_test [==[--gtest_filter=CrossModuleTest.BuildSerializeReloadQuery]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CrossModuleTest.BuildSerializeReloadQuery]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  cross_module_test_TESTS CrossModuleTest.BuildSerializeReloadQuery)
