@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "common/rng.h"
+#include "common/stage_timer.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/extraction_scoring.h"
@@ -29,6 +30,10 @@ struct MethodResult {
   core::ExtractionQuality quality;
   size_t annotated_pages = 0;  ///< Human annotation cost.
 };
+
+// Harness-level per-method stage metrics (wall time, pages/sec),
+// printed after the aggregate table.
+StageTimer g_metrics;
 
 // Seed KG for distant supervision: clean canonical values for the
 // head-biased half of each domain.
@@ -94,6 +99,7 @@ int main() {
   // domains only, applied to music sites (unseen domain).
   extract::ZeroshotExtractor zs;
   {
+    StageTimer::Scope stage(&g_metrics, "zero_shot.fit");
     std::vector<extract::ZeroshotExtractor::TrainingPage> training;
     for (const auto& site : corpus) {
       if (site.domain == synth::SourceDomain::kMusic) continue;
@@ -109,6 +115,7 @@ int main() {
     }
     Rng zs_rng(7);
     zs.Fit(training, {}, zs_rng);
+    stage.AddItems(training.size());
   }
 
   TablePrinter per_site({"site", "domain", "method", "accuracy",
@@ -120,6 +127,7 @@ int main() {
                                                       : "music";
     // Wrapper induction: 5 annotated pages per site.
     {
+      StageTimer::Scope stage(&g_metrics, "wrapper.induce_extract");
       constexpr size_t kAnnotated = 5;
       std::vector<const extract::DomPage*> pages;
       std::vector<extract::PageAnnotation> annotations;
@@ -137,6 +145,7 @@ int main() {
         core::ScoreClosedExtractions(site.pages[p],
                                      w.Extract(site.pages[p].dom), &q);
       }
+      stage.AddItems(site.pages.size() - kAnnotated);
       wrapper.quality.extracted += q.extracted;
       wrapper.quality.correct += q.correct;
       wrapper.annotated_pages += kAnnotated;
@@ -148,6 +157,8 @@ int main() {
     }
     // ClosedIE via distant supervision: no annotations, a seed KG.
     {
+      StageTimer::Scope stage(&g_metrics, "closed_ie.fit_extract",
+                              site.pages.size());
       const size_t seed_size =
           site.domain == synth::SourceDomain::kMovies   ? 800
           : site.domain == synth::SourceDomain::kPeople ? 1200
@@ -171,6 +182,8 @@ int main() {
     }
     // OpenIE: no schema at all.
     {
+      StageTimer::Scope stage(&g_metrics, "open_ie.extract",
+                              site.pages.size());
       core::ExtractionQuality q;
       for (const auto& page : site.pages) {
         core::ScoreOpenExtractions(site, page,
@@ -188,6 +201,8 @@ int main() {
     }
     // Zero-shot on the unseen domain only.
     if (site.domain == synth::SourceDomain::kMusic) {
+      StageTimer::Scope stage(&g_metrics, "zero_shot.extract",
+                              site.pages.size());
       core::ExtractionQuality q;
       for (const auto& page : site.pages) {
         core::ScoreOpenExtractions(site, page, zs.Extract(page.dom), &q);
@@ -235,5 +250,8 @@ int main() {
   std::cout << "Paper: Ceres/ClosedIE >90% accuracy (production); "
                "OpenIE increases knowledge at much lower accuracy; "
                "wrapper induction >95% but needs per-site annotation.\n";
+
+  PrintBanner(std::cout, "Stage timing");
+  g_metrics.Print(std::cout);
   return 0;
 }

@@ -2,14 +2,110 @@
 // pipeline lifts raw NER quality (85-95%) above the production bar via
 // tuning and ML post-processing, and the automated variant (Figure 5b)
 // cuts time-to-deploy from "a couple of months to a couple of weeks"
-// while retaining most of the quality.
+// while retaining most of the quality. Also covers the §2.3-2.4
+// scalability angle: both end-to-end builders re-run under
+// ExecPolicy{hardware_concurrency} and must produce bit-identical KGs at
+// a wall-clock speedup, with per-stage StageTimer rows.
 
 #include <iostream>
 
+#include "common/exec_policy.h"
 #include "common/rng.h"
+#include "common/stage_timer.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/entity_kg_pipeline.h"
+#include "core/textrich_kg_pipeline.h"
 #include "textrich/pipeline.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+struct ScalingRun {
+  double seconds = 0.0;
+  uint64_t fingerprint = 0;
+};
+
+ScalingRun RunEntityBuild(const ExecPolicy& exec, StageTimer* metrics) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 800;
+  uopt.num_movies = 1200;
+  uopt.num_songs = 100;
+  Rng rng(42);
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+  synth::SourceOptions wiki, imdb, webdb;
+  wiki.name = "wikipedia";
+  wiki.coverage = 0.6;
+  imdb.name = "imdb";
+  imdb.coverage = 0.6;
+  imdb.schema_dialect = 1;
+  webdb.name = "webdb";
+  webdb.coverage = 0.5;
+  webdb.schema_dialect = 2;
+
+  core::EntityKgBuilder::Options opt;
+  opt.forest.num_trees = 40;
+  opt.exec = exec;
+  opt.metrics = metrics;
+  core::EntityKgBuilder builder(synth::SourceDomain::kMovies, opt);
+  const auto t_wiki = synth::EmitSource(universe, wiki, rng);
+  const auto t_imdb = synth::EmitSource(universe, imdb, rng);
+  const auto t_webdb = synth::EmitSource(universe, webdb, rng);
+
+  WallTimer clock;
+  builder.IngestAnchor(t_wiki, rng);
+  builder.IngestAndLink(t_imdb, rng);
+  builder.IngestAndLink(t_webdb, rng);
+  builder.FuseValues();
+  return ScalingRun{clock.ElapsedSeconds(),
+                    graph::TripleSetFingerprint(builder.kg())};
+}
+
+ScalingRun RunTextRichBuild(const ExecPolicy& exec, StageTimer* metrics) {
+  Rng rng(42);
+  synth::CatalogOptions copt;
+  copt.num_types = 16;
+  copt.num_products = 1200;
+  const auto catalog = synth::ProductCatalog::Generate(copt, rng);
+  synth::BehaviorOptions bopt;
+  bopt.num_searches = 8000;
+  const auto behavior = synth::GenerateBehavior(catalog, bopt, rng);
+
+  core::TextRichBuildOptions opt;
+  // Extractor training is the one serial stage; a lean training split
+  // keeps it from dominating so the sharded per-page loop sets the
+  // scaling ceiling (Amdahl).
+  opt.train_fraction = 0.15;
+  opt.exec = exec;
+  opt.metrics = metrics;
+
+  WallTimer clock;
+  const auto build = core::BuildTextRichKg(catalog, behavior, opt, rng);
+  return ScalingRun{clock.ElapsedSeconds(),
+                    graph::TripleSetFingerprint(build.kg)};
+}
+
+void ReportScaling(const std::string& name, const ScalingRun& serial,
+                   const ScalingRun& parallel, const StageTimer& metrics,
+                   size_t threads) {
+  PrintBanner(std::cout,
+              name + " — per-stage metrics (" + std::to_string(threads) +
+                  " threads)");
+  metrics.Print(std::cout);
+  const double speedup =
+      parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0;
+  std::cout << name << ": serial " << FormatDouble(serial.seconds, 2)
+            << "s, parallel " << FormatDouble(parallel.seconds, 2)
+            << "s, speedup " << FormatDouble(speedup, 2) << "x, KG "
+            << (serial.fingerprint == parallel.fingerprint
+                    ? "bit-identical"
+                    : "MISMATCH (determinism bug!)")
+            << "\n";
+}
+
+}  // namespace
 
 int main() {
   using namespace kg;  // NOLINT
@@ -62,5 +158,45 @@ int main() {
   std::cout << "Paper: base NER 85-95%; pipeline pushes >95% (manual) "
                "while automation cuts deployment cost ~an order of "
                "magnitude (months -> weeks) at a modest quality cost.\n";
+
+  // ---- §2.3-2.4 scalability: parallel sharded construction ------------
+  const ExecPolicy hw = ExecPolicy::Hardware();
+  PrintBanner(std::cout,
+              "Parallel sharded construction (ExecPolicy{" +
+                  std::to_string(hw.num_threads) + " threads})");
+
+  StageTimer entity_metrics;
+  const ScalingRun entity_serial =
+      RunEntityBuild(ExecPolicy::Serial(), nullptr);
+  const ScalingRun entity_parallel = RunEntityBuild(hw, &entity_metrics);
+  ReportScaling("entity KG build", entity_serial, entity_parallel,
+                entity_metrics, hw.num_threads);
+
+  StageTimer textrich_metrics;
+  const ScalingRun textrich_serial =
+      RunTextRichBuild(ExecPolicy::Serial(), nullptr);
+  const ScalingRun textrich_parallel =
+      RunTextRichBuild(hw, &textrich_metrics);
+  ReportScaling("text-rich KG build", textrich_serial, textrich_parallel,
+                textrich_metrics, hw.num_threads);
+
+  PrintBanner(std::cout, "Scaling verdict");
+  const bool deterministic =
+      entity_serial.fingerprint == entity_parallel.fingerprint &&
+      textrich_serial.fingerprint == textrich_parallel.fingerprint;
+  const double entity_speedup =
+      entity_parallel.seconds > 0.0
+          ? entity_serial.seconds / entity_parallel.seconds
+          : 0.0;
+  std::cout << "serial==parallel KGs: " << (deterministic ? "yes" : "NO")
+            << "; entity-build speedup at " << hw.num_threads
+            << " threads: " << FormatDouble(entity_speedup, 2) << "x";
+  if (hw.num_threads == 1) {
+    std::cout << "  [single-core host: speedup not demonstrable here; "
+                 "shape verified by the determinism tests]";
+  } else if (entity_speedup >= 2.0) {
+    std::cout << "  [SHAPE OK: >=2x over serial]";
+  }
+  std::cout << "\n";
   return 0;
 }

@@ -1,0 +1,57 @@
+#ifndef KGRAPH_COMMON_EXEC_POLICY_H_
+#define KGRAPH_COMMON_EXEC_POLICY_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+
+namespace kg {
+
+/// How a pipeline stage executes its sharded hot loops. Plumbed through
+/// the builders' Options so callers choose serial or parallel execution
+/// without touching stage code. The invariant every stage upholds: output
+/// is bit-identical for any `num_threads` (shards write to index-addressed
+/// slots or per-shard buffers merged in shard order, and any per-shard
+/// randomness comes from `Rng::Split`, never from a shared stream).
+struct ExecPolicy {
+  /// Worker threads for sharded loops; <= 1 means serial inline execution
+  /// (no pool, no extra threads).
+  size_t num_threads = 1;
+
+  /// Shard granularity for chunked loops; 0 = auto (at most
+  /// ThreadPool::kAutoChunks contiguous blocks, independent of
+  /// num_threads so chunk boundaries never depend on parallelism).
+  size_t chunk_size = 0;
+
+  bool parallel() const { return num_threads > 1; }
+
+  /// Serial execution (the default).
+  static ExecPolicy Serial() { return ExecPolicy{}; }
+
+  /// One worker per hardware thread.
+  static ExecPolicy Hardware();
+
+  /// `n` worker threads.
+  static ExecPolicy WithThreads(size_t n) {
+    ExecPolicy p;
+    p.num_threads = n;
+    return p;
+  }
+};
+
+/// Runs `fn(begin, end)` over contiguous chunks of [0, n) under `policy`:
+/// inline (in chunk order) when serial, on a transient `ThreadPool`
+/// otherwise. Chunk boundaries are identical in both modes.
+void ParallelForChunked(const ExecPolicy& policy, size_t n,
+                        const std::function<void(size_t, size_t)>& fn);
+
+/// Same, with first-error/cancellation propagation (see
+/// ThreadPool::TryParallelForChunked). Serially, the first failing chunk
+/// aborts the loop and its status is returned.
+Status TryParallelForChunked(const ExecPolicy& policy, size_t n,
+                             const std::function<Status(size_t, size_t)>& fn);
+
+}  // namespace kg
+
+#endif  // KGRAPH_COMMON_EXEC_POLICY_H_

@@ -16,7 +16,7 @@ namespace kg {
 /// reproducible bit-for-bit across runs.
 class Rng {
  public:
-  explicit Rng(uint64_t seed) : engine_(seed) {}
+  explicit Rng(uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
   int64_t UniformInt(int64_t lo, int64_t hi) {
@@ -73,11 +73,38 @@ class Rng {
 
   /// Derives an independent child RNG; used to give each subsystem its own
   /// stream so adding randomness in one place does not perturb another.
+  /// Advances this RNG (sequential composition); for parallel shards use
+  /// `Split`, which does not.
   Rng Fork() { return Rng(engine_()); }
+
+  /// Derives the `shard_id`-th parallel stream of this RNG. Unlike
+  /// `Fork()`, the result is a pure function of this RNG's construction
+  /// seed and `shard_id` — the engine state is untouched — so every shard
+  /// of a parallel loop draws the same stream regardless of thread count,
+  /// scheduling, or how many draws other shards make. This is what makes
+  /// sharded stochastic stages bit-identical to their serial runs.
+  Rng Split(uint64_t shard_id) const {
+    return Rng(SplitMix64(seed_ ^ SplitMix64(shard_id + kSplitPhi)));
+  }
+
+  /// The seed this RNG was constructed with (identifies its stream).
+  uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  static constexpr uint64_t kSplitPhi = 0x9e3779b97f4a7c15ULL;
+
+  /// SplitMix64 finalizer: a strong 64-bit mix so shard seeds are
+  /// decorrelated even for adjacent shard ids.
+  static constexpr uint64_t SplitMix64(uint64_t z) {
+    z += kSplitPhi;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t seed_ = 0;
   std::mt19937_64 engine_;
 };
 

@@ -1,0 +1,43 @@
+#include "common/stage_timer.h"
+
+#include "common/strings.h"
+#include "common/table_printer.h"
+
+namespace kg {
+
+void StageTimer::Record(const std::string& stage, double seconds,
+                        size_t items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = index_.emplace(stage, rows_.size());
+  if (inserted) {
+    rows_.push_back(Row{stage, 0, 0.0, 0});
+  }
+  Row& row = rows_[it->second];
+  ++row.calls;
+  row.seconds += seconds;
+  row.items += items;
+}
+
+std::vector<StageTimer::Row> StageTimer::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+void StageTimer::Print(std::ostream& os) const {
+  TablePrinter table({"stage", "calls", "wall_s", "items", "items/s"});
+  for (const Row& row : rows()) {
+    table.AddRow({row.stage, std::to_string(row.calls),
+                  FormatDouble(row.seconds, 3),
+                  FormatCount(static_cast<int64_t>(row.items)),
+                  FormatCount(static_cast<int64_t>(row.ItemsPerSec()))});
+  }
+  table.Print(os);
+}
+
+void StageTimer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.clear();
+  index_.clear();
+}
+
+}  // namespace kg

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kIoError:
       return "io_error";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  kCancelled,
 };
 
 /// Returns the canonical lower-case name of `code` (e.g. "invalid_argument").
@@ -58,6 +59,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace kg {
@@ -51,6 +52,66 @@ void ThreadPool::ParallelFor(size_t n,
     });
   }
   WaitIdle();
+}
+
+size_t ThreadPool::ChunkSizeFor(size_t n) {
+  return std::max<size_t>(1, (n + kAutoChunks - 1) / kAutoChunks);
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t n, size_t chunk_size,
+    const std::function<void(size_t, size_t)>& fn) {
+  // Delegate to the Status path with an always-OK body; the lambda is
+  // trivial so the wrapper cost is one virtual-ish call per chunk.
+  (void)TryParallelForChunked(n, chunk_size,
+                              [&fn](size_t begin, size_t end) {
+                                fn(begin, end);
+                                return Status::OK();
+                              });
+}
+
+Status ThreadPool::TryParallelForChunked(
+    size_t n, size_t chunk_size,
+    const std::function<Status(size_t, size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (chunk_size == 0) chunk_size = ChunkSizeFor(n);
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  // Of the chunks that failed before cancellation took effect, keep the
+  // one with the lowest index — the error a serial run would hit first.
+  std::mutex err_mu;
+  size_t err_chunk = num_chunks;
+  Status err;
+
+  auto run_chunks = [&] {
+    while (true) {
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      if (cancelled.load(std::memory_order_acquire)) return;
+      const size_t begin = c * chunk_size;
+      const size_t end = std::min(n, begin + chunk_size);
+      Status s = fn(begin, end);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (c < err_chunk) {
+          err_chunk = c;
+          err = std::move(s);
+        }
+        cancelled.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  const size_t workers = std::min(num_chunks, threads_.size());
+  if (workers <= 1) {
+    run_chunks();  // Serial fallback: chunk order == index order.
+    return err;
+  }
+  for (size_t w = 0; w < workers; ++w) Submit(run_chunks);
+  WaitIdle();
+  return err;
 }
 
 void ThreadPool::WorkerLoop() {

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace kg {
 
 /// Fixed-size worker pool used by the heavier experiment sweeps (random
@@ -34,6 +36,34 @@ class ThreadPool {
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Block-scheduled parallel loop: splits [0, n) into contiguous chunks
+  /// of `chunk_size` (0 = auto, see `ChunkSizeFor`) and runs
+  /// `fn(begin, end)` once per chunk. Contiguous blocks amortize
+  /// scheduling overhead and keep per-shard output trivially mergeable in
+  /// chunk order, which is how the pipelines stay bit-identical to their
+  /// serial runs.
+  void ParallelForChunked(size_t n, size_t chunk_size,
+                          const std::function<void(size_t, size_t)>& fn);
+
+  /// `ParallelForChunked` with first-error propagation: the first chunk
+  /// (lowest begin index among executed chunks) returning a non-OK
+  /// `Status` wins, chunks not yet started are cancelled, and that status
+  /// is returned. Chunks may also cooperatively abort the loop by
+  /// returning `Status::Cancelled`. Always waits for in-flight chunks
+  /// before returning, so `fn` may safely capture stack state.
+  Status TryParallelForChunked(
+      size_t n, size_t chunk_size,
+      const std::function<Status(size_t, size_t)>& fn);
+
+  /// The auto chunk size used when callers pass `chunk_size == 0`: splits
+  /// n into at most `kAutoChunks` blocks. Deliberately independent of the
+  /// pool's thread count so chunk boundaries (and anything derived from
+  /// them, e.g. `Rng::Split(begin)` shard streams) are identical across
+  /// serial and parallel runs.
+  static size_t ChunkSizeFor(size_t n);
+
+  static constexpr size_t kAutoChunks = 64;
 
  private:
   void WorkerLoop();

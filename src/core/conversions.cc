@@ -59,18 +59,24 @@ ml::Dataset BuildLinkagePairs(const integrate::RecordSet& a,
                               const std::vector<uint32_t>& a_truth,
                               const integrate::RecordSet& b,
                               const std::vector<uint32_t>& b_truth,
-                              const integrate::LinkageSchema& schema) {
+                              const integrate::LinkageSchema& schema,
+                              const ExecPolicy& exec) {
   KG_CHECK(a.records.size() == a_truth.size());
   KG_CHECK(b.records.size() == b_truth.size());
   ml::Dataset data;
   data.feature_names = integrate::LinkageFeatureNames(schema);
-  for (const auto& [i, j] : integrate::BlockCandidates(a, b, schema)) {
-    ml::Example ex;
-    ex.features =
-        integrate::PairFeatures(a.records[i], b.records[j], schema);
-    ex.label = a_truth[i] == b_truth[j] ? 1 : 0;
-    data.examples.push_back(std::move(ex));
-  }
+  const auto candidates = integrate::BlockCandidates(a, b, schema, exec);
+  data.examples.resize(candidates.size());
+  ParallelForChunked(exec, candidates.size(),
+                     [&](size_t begin, size_t end) {
+                       for (size_t c = begin; c < end; ++c) {
+                         const auto& [i, j] = candidates[c];
+                         data.examples[c].features = integrate::PairFeatures(
+                             a.records[i], b.records[j], schema);
+                         data.examples[c].label =
+                             a_truth[i] == b_truth[j] ? 1 : 0;
+                       }
+                     });
   return data;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_policy.h"
 #include "common/rng.h"
 #include "integrate/linkage.h"
 #include "integrate/record.h"
@@ -32,12 +33,15 @@ integrate::LinkageSchema LinkageSchemaFor(synth::SourceDomain domain);
 /// Builds a labeled pair dataset for linkage training/evaluation: blocks
 /// candidates between `a` and `b`, features each pair, labels it by
 /// hidden-entity equality. This is the pool Figure 2's label-budget sweep
-/// draws from.
+/// draws from. Featurization (the hot loop) shards under `exec` into
+/// index-addressed examples, so the dataset is identical for any thread
+/// count.
 ml::Dataset BuildLinkagePairs(const integrate::RecordSet& a,
                               const std::vector<uint32_t>& a_truth,
                               const integrate::RecordSet& b,
                               const std::vector<uint32_t>& b_truth,
-                              const integrate::LinkageSchema& schema);
+                              const integrate::LinkageSchema& schema,
+                              const ExecPolicy& exec = {});
 
 }  // namespace kg::core
 

@@ -18,6 +18,8 @@ std::string EntityKgBuilder::NextEntityName() {
 void EntityKgBuilder::IngestAnchor(const synth::SourceTable& table,
                                    Rng& rng) {
   (void)rng;
+  StageTimer::Scope stage(options_.metrics, "entity.ingest_anchor",
+                          table.records.size());
   const auto mapping = ManualMappingFor(table);
   std::vector<uint32_t> truth;
   const auto records = ToRecordSet(table, mapping, &truth);
@@ -60,7 +62,13 @@ void EntityKgBuilder::IngestAndLink(const synth::SourceTable& table,
   }
 
   // Oracle-labeled training pairs within the label budget.
-  auto pool = BuildLinkagePairs(records, truth, kg_side, kg_truth, schema);
+  ml::Dataset pool;
+  {
+    StageTimer::Scope stage(options_.metrics, "entity.pair_pool");
+    pool = BuildLinkagePairs(records, truth, kg_side, kg_truth, schema,
+                             options_.exec);
+    stage.AddItems(pool.examples.size());
+  }
   ml::Dataset train;
   train.feature_names = pool.feature_names;
   if (!pool.examples.empty()) {
@@ -93,9 +101,22 @@ void EntityKgBuilder::IngestAndLink(const synth::SourceTable& table,
   if (!train.examples.empty()) {
     integrate::EntityLinker linker;
     Rng fit_rng = rng.Fork();
-    linker.Fit(train, options_.forest, fit_rng);
-    const auto matches = linker.Link(records, kg_side, schema,
-                                     options_.linkage_threshold);
+    // Tree training is already scheduling-independent (one pre-forked RNG
+    // per tree), so it may inherit the pipeline's thread budget.
+    ml::ForestOptions forest_options = options_.forest;
+    if (options_.exec.parallel() && forest_options.num_threads <= 1) {
+      forest_options.num_threads = options_.exec.num_threads;
+    }
+    {
+      StageTimer::Scope stage(options_.metrics, "entity.train_linker",
+                              train.examples.size());
+      linker.Fit(train, forest_options, fit_rng);
+    }
+    StageTimer::Scope stage(options_.metrics, "entity.link",
+                            records.records.size());
+    const auto matches =
+        linker.Link(records, kg_side, schema, options_.linkage_threshold,
+                    options_.exec);
     size_t correct = 0;
     for (const integrate::Match& m : matches) {
       linked_to[m.index_a] = static_cast<int>(m.index_b);
@@ -117,27 +138,48 @@ void EntityKgBuilder::IngestAndLink(const synth::SourceTable& table,
                             static_cast<double>(linkable);
   }
 
+  StageTimer::Scope staging_stage(options_.metrics, "entity.stage_claims",
+                                  records.records.size());
+  // Serial pass: entity creation (the name counter and node ids depend on
+  // record order) and merged-view enrichment for linking later sources.
+  std::vector<size_t> entity_of(records.records.size());
   for (size_t i = 0; i < records.records.size(); ++i) {
-    size_t entity_index;
     if (linked_to[i] >= 0) {
-      entity_index = static_cast<size_t>(linked_to[i]);
+      entity_of[i] = static_cast<size_t>(linked_to[i]);
       // Enrich the merged view with newly seen attributes (helps linking
       // later sources).
       for (const auto& [attr, value] : records.records[i].attrs) {
-        entities_[entity_index].merged.attrs.emplace(attr, value);
+        entities_[entity_of[i]].merged.attrs.emplace(attr, value);
       }
     } else {
       EntityState state;
       state.hidden_truth = truth[i];
       state.merged = records.records[i];
       state.node = kg_.AddNode(NextEntityName(), graph::NodeKind::kEntity);
-      entity_index = entities_.size();
+      entity_of[i] = entities_.size();
       entities_.push_back(std::move(state));
       ++report.new_entities;
     }
-    for (const auto& [attr, value] : records.records[i].attrs) {
-      claims_[{entity_index, attr}].push_back(
-          integrate::Claim{table.source_name, value});
+  }
+  // Sharded pass: stage this source's claims into per-record slots, then
+  // merge in record order — per-key claim lists end up in the exact order
+  // the serial append produced.
+  std::vector<std::vector<std::pair<std::string, integrate::Claim>>>
+      staged(records.records.size());
+  ParallelForChunked(
+      options_.exec, records.records.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          staged[i].reserve(records.records[i].attrs.size());
+          for (const auto& [attr, value] : records.records[i].attrs) {
+            staged[i].emplace_back(
+                attr, integrate::Claim{table.source_name, value});
+          }
+        }
+      });
+  for (size_t i = 0; i < staged.size(); ++i) {
+    for (auto& [attr, claim] : staged[i]) {
+      claims_[{entity_of[i], attr}].push_back(std::move(claim));
     }
   }
   report.kg_entities_after = entities_.size();
@@ -146,6 +188,8 @@ void EntityKgBuilder::IngestAndLink(const synth::SourceTable& table,
 }
 
 void EntityKgBuilder::FuseValues() {
+  StageTimer::Scope stage(options_.metrics, "entity.fuse",
+                          claims_.size());
   // Re-key claims into string item ids for the fusion engine.
   integrate::ClaimSet claim_set;
   for (const auto& [key, claims] : claims_) {

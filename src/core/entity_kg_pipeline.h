@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_policy.h"
 #include "common/rng.h"
+#include "common/stage_timer.h"
 #include "core/conversions.h"
 #include "graph/knowledge_graph.h"
 #include "integrate/fusion.h"
@@ -38,6 +40,13 @@ class EntityKgBuilder {
     double linkage_threshold = 0.6;
     ml::ForestOptions forest;
     bool use_accu_fusion = true;
+    /// Sharding of the hot loops (candidate pairing, featurization, RF
+    /// scoring, claim staging). Output is bit-identical for any thread
+    /// count. When parallel and `forest.num_threads` is 1, tree training
+    /// inherits `exec.num_threads`.
+    ExecPolicy exec;
+    /// Optional per-stage wall-time/throughput registry (not owned).
+    StageTimer* metrics = nullptr;
   };
 
   EntityKgBuilder(synth::SourceDomain domain, const Options& options);

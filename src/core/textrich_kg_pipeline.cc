@@ -41,50 +41,71 @@ TextRichKgBuild BuildTextRichKg(const synth::ProductCatalog& catalog,
   extractor_options.type_aware = true;
   extractor_options.tagger.epochs = 5;
   {
+    StageTimer::Scope stage(options.metrics, "textrich.fit_extractor",
+                            train_examples.size());
     Rng fit_rng = rng.Fork();
     extractor.Fit(train_examples, extractor_options, fit_rng);
   }
 
-  // 2. Extract assertions for every product.
+  // 2. Extract assertions for every product. Pages are independent given
+  //    the trained (immutable) extractor, so the loop shards under
+  //    `options.exec`: each page writes its own slot, and the slots merge
+  //    in page order below — bit-identical to the serial scan.
   std::map<uint32_t, std::map<std::string, std::string>> assertions;
-  for (size_t idx : all_idx) {
-    const synth::Product& product = catalog.products()[idx];
-    for (const std::string& attr :
-         catalog.AttributesForType(product.type)) {
-      extract::AttributeExample ex;
-      ex.tokens = product.title_tokens;
-      ex.attribute = attr;
-      ex.type_name = catalog.taxonomy().Name(product.type);
-      const auto& parents = catalog.taxonomy().Parents(product.type);
-      if (!parents.empty()) {
-        ex.category_name = catalog.taxonomy().Name(parents[0]);
-      }
-      for (size_t a = 0; a < catalog.attributes().size(); ++a) {
-        if (catalog.attributes()[a] == attr) {
-          ex.attribute_cluster =
-              "c" + std::to_string(catalog.attribute_clusters()[a]);
-        }
-      }
-      const auto values = extractor.ExtractValues(ex);
-      if (!values.empty()) {
-        assertions[product.id][attr] = values.front();
-      }
+  {
+    StageTimer::Scope stage(options.metrics, "textrich.extract_pages",
+                            all_idx.size());
+    std::vector<std::map<std::string, std::string>> page_values(
+        all_idx.size());
+    ParallelForChunked(
+        options.exec, all_idx.size(), [&](size_t begin, size_t end) {
+          for (size_t slot = begin; slot < end; ++slot) {
+            const synth::Product& product =
+                catalog.products()[all_idx[slot]];
+            std::map<std::string, std::string> ner_stream;
+            for (const std::string& attr :
+                 catalog.AttributesForType(product.type)) {
+              extract::AttributeExample ex;
+              ex.tokens = product.title_tokens;
+              ex.attribute = attr;
+              ex.type_name = catalog.taxonomy().Name(product.type);
+              const auto& parents =
+                  catalog.taxonomy().Parents(product.type);
+              if (!parents.empty()) {
+                ex.category_name = catalog.taxonomy().Name(parents[0]);
+              }
+              for (size_t a = 0; a < catalog.attributes().size(); ++a) {
+                if (catalog.attributes()[a] == attr) {
+                  ex.attribute_cluster =
+                      "c" + std::to_string(catalog.attribute_clusters()[a]);
+                }
+              }
+              const auto values = extractor.ExtractValues(ex);
+              if (!values.empty()) {
+                ner_stream[attr] = values.front();
+              }
+            }
+            // Lower-priority streams: description rules, then the
+            // structured catalog — merged without overriding NER output.
+            std::map<std::string, std::string> desc_stream;
+            for (const auto& d : textrich::ExtractFromDescription(
+                     product.description,
+                     catalog.AttributesForType(product.type))) {
+              desc_stream.emplace(d.attribute, d.value);
+            }
+            std::vector<std::map<std::string, std::string>> streams;
+            streams.push_back(std::move(ner_stream));
+            streams.push_back(std::move(desc_stream));
+            if (options.backfill_from_catalog) {
+              streams.push_back(product.catalog_values);
+            }
+            page_values[slot] = textrich::MergeExtractionStreams(streams);
+          }
+        });
+    for (size_t slot = 0; slot < all_idx.size(); ++slot) {
+      assertions[catalog.products()[all_idx[slot]].id] =
+          std::move(page_values[slot]);
     }
-    // Lower-priority streams: description rules, then the structured
-    // catalog — merged without overriding NER output.
-    std::map<std::string, std::string> desc_stream;
-    for (const auto& d : textrich::ExtractFromDescription(
-             product.description,
-             catalog.AttributesForType(product.type))) {
-      desc_stream.emplace(d.attribute, d.value);
-    }
-    std::vector<std::map<std::string, std::string>> streams;
-    streams.push_back(assertions[product.id]);
-    streams.push_back(std::move(desc_stream));
-    if (options.backfill_from_catalog) {
-      streams.push_back(product.catalog_values);
-    }
-    assertions[product.id] = textrich::MergeExtractionStreams(streams);
   }
 
   auto accuracy_of = [&](const std::map<
@@ -112,6 +133,8 @@ TextRichKgBuild BuildTextRichKg(const synth::ProductCatalog& catalog,
 
   // 3. Cleaning.
   if (options.clean) {
+    StageTimer::Scope stage(options.metrics, "textrich.clean",
+                            build.report.extracted_assertions);
     textrich::CatalogCleaner cleaner;
     std::vector<textrich::CatalogAssertion> corpus;
     for (const auto& [pid, attrs] : assertions) {
@@ -139,12 +162,15 @@ TextRichKgBuild BuildTextRichKg(const synth::ProductCatalog& catalog,
 
   // 4. Taxonomy enrichment from behavior logs.
   if (options.mine_taxonomy) {
+    StageTimer::Scope stage(options.metrics, "textrich.mine_taxonomy",
+                            behavior.searches.size());
     build.mined = textrich::MineTaxonomy(catalog, behavior, {});
     build.report.synonyms_added = build.mined.synonyms.size();
     build.report.hypernyms_mined = build.mined.hypernyms.size();
   }
 
   // 5. Assemble the bipartite product KG.
+  StageTimer::Scope stage(options.metrics, "textrich.assemble", kept);
   build.kg = textrich::BuildProductGraph(
       catalog, assertions,
       options.mine_taxonomy ? &build.mined : nullptr);

@@ -1,7 +1,9 @@
 #ifndef KGRAPH_CORE_TEXTRICH_KG_PIPELINE_H_
 #define KGRAPH_CORE_TEXTRICH_KG_PIPELINE_H_
 
+#include "common/exec_policy.h"
 #include "common/rng.h"
+#include "common/stage_timer.h"
 #include "graph/knowledge_graph.h"
 #include "synth/behavior_generator.h"
 #include "synth/catalog_generator.h"
@@ -17,6 +19,12 @@ struct TextRichBuildOptions {
   bool backfill_from_catalog = true;
   bool clean = true;
   bool mine_taxonomy = true;
+  /// Sharding of the per-page extraction loop (the pipeline's hot path).
+  /// Page results land in index-addressed slots and are merged in page
+  /// order, so the built KG is bit-identical for any thread count.
+  ExecPolicy exec;
+  /// Optional per-stage wall-time/throughput registry (not owned).
+  StageTimer* metrics = nullptr;
 };
 
 struct TextRichBuildReport {

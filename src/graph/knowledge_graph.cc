@@ -207,6 +207,27 @@ std::string KnowledgeGraph::TripleToString(TripleId id) const {
          "--> " + nodes_[t.object].name;
 }
 
+uint64_t TripleSetFingerprint(const KnowledgeGraph& kg) {
+  uint64_t fingerprint = 0;
+  for (TripleId id : kg.AllTriples()) {
+    const Triple& t = kg.triple(id);
+    std::string key;
+    key += kg.NodeName(t.subject);
+    key += '\x01';
+    key += static_cast<char>(kg.GetNodeKind(t.subject));
+    key += '\x01';
+    key += kg.PredicateName(t.predicate);
+    key += '\x01';
+    key += kg.NodeName(t.object);
+    key += '\x01';
+    key += static_cast<char>(kg.GetNodeKind(t.object));
+    // Commutative combine (sum) keeps the fingerprint independent of
+    // triple enumeration order.
+    fingerprint += Fnv1a64(key);
+  }
+  return fingerprint;
+}
+
 double KnowledgeGraph::MaxConfidence(TripleId id) const {
   KG_CHECK(id < provenance_.size());
   double best = 0.0;

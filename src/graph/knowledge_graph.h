@@ -174,6 +174,15 @@ class KnowledgeGraph {
   std::unordered_map<PredicateId, std::vector<TripleId>> p_index_;
 };
 
+/// Order-insensitive 64-bit fingerprint of the live triple set: FNV-1a of
+/// each (subject name+kind, predicate name, object name+kind) combined
+/// commutatively. Two graphs asserting the same knowledge fingerprint
+/// identically regardless of node ids or insertion order; stable across
+/// platforms and runs (built on Fnv1a64, not std::hash). Used by the
+/// parallel-determinism golden tests and the scaling benches to assert the
+/// serial ≡ parallel invariant.
+uint64_t TripleSetFingerprint(const KnowledgeGraph& kg);
+
 }  // namespace kg::graph
 
 #endif  // KGRAPH_GRAPH_KNOWLEDGE_GRAPH_H_

@@ -77,11 +77,13 @@ ml::FeatureVector PairFeatures(const Record& a, const Record& b,
 }
 
 std::vector<std::pair<size_t, size_t>> BlockCandidates(
-    const RecordSet& a, const RecordSet& b, const LinkageSchema& schema) {
+    const RecordSet& a, const RecordSet& b, const LinkageSchema& schema,
+    const ExecPolicy& exec) {
   const std::vector<std::string>& blocking =
       schema.blocking_attrs.empty() ? schema.name_attrs
                                     : schema.blocking_attrs;
-  // Key = any token of any blocking attribute.
+  // Key = any token of any blocking attribute. The index is built once,
+  // serially; shards below only read it.
   std::unordered_map<std::string, std::vector<size_t>> index_b;
   for (size_t j = 0; j < b.records.size(); ++j) {
     for (const auto& attr : blocking) {
@@ -96,20 +98,29 @@ std::vector<std::pair<size_t, size_t>> BlockCandidates(
   // discriminative signal.
   const size_t frequency_cap =
       std::max<size_t>(20, b.records.size() / 20);
-  std::set<std::pair<size_t, size_t>> seen;
-  std::vector<std::pair<size_t, size_t>> pairs;
-  for (size_t i = 0; i < a.records.size(); ++i) {
-    for (const auto& attr : blocking) {
-      for (const auto& token :
-           text::Tokenize(a.records[i].Get(attr))) {
-        auto it = index_b.find(token);
-        if (it == index_b.end()) continue;
-        if (it->second.size() > frequency_cap) continue;
-        for (size_t j : it->second) {
-          if (seen.insert({i, j}).second) pairs.emplace_back(i, j);
+  // One slot per a-record: a pair (i, j) can only be produced while
+  // visiting record i, so per-record dedup equals global dedup and the
+  // in-order concatenation of slots equals the serial scan.
+  std::vector<std::vector<size_t>> matches_of(a.records.size());
+  ParallelForChunked(exec, a.records.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      std::set<size_t> seen_j;
+      for (const auto& attr : blocking) {
+        for (const auto& token :
+             text::Tokenize(a.records[i].Get(attr))) {
+          auto it = index_b.find(token);
+          if (it == index_b.end()) continue;
+          if (it->second.size() > frequency_cap) continue;
+          for (size_t j : it->second) {
+            if (seen_j.insert(j).second) matches_of[i].push_back(j);
+          }
         }
       }
     }
+  });
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t i = 0; i < matches_of.size(); ++i) {
+    for (size_t j : matches_of[i]) pairs.emplace_back(i, j);
   }
   return pairs;
 }
@@ -127,11 +138,27 @@ double EntityLinker::ScorePair(const Record& a, const Record& b,
 std::vector<Match> EntityLinker::Link(const RecordSet& a,
                                       const RecordSet& b,
                                       const LinkageSchema& schema,
-                                      double threshold) const {
+                                      double threshold,
+                                      const ExecPolicy& exec) const {
+  const auto candidates = BlockCandidates(a, b, schema, exec);
+  // Score into index-addressed slots (featurization + forest inference is
+  // the hot loop); the threshold filter below runs serially in candidate
+  // order, so the scored list matches the serial scan exactly.
+  std::vector<double> scores(candidates.size());
+  ParallelForChunked(exec, candidates.size(),
+                     [&](size_t begin, size_t end) {
+                       for (size_t c = begin; c < end; ++c) {
+                         const auto& [i, j] = candidates[c];
+                         scores[c] = ScorePair(a.records[i], b.records[j],
+                                               schema);
+                       }
+                     });
   std::vector<Match> scored;
-  for (const auto& [i, j] : BlockCandidates(a, b, schema)) {
-    const double score = ScorePair(a.records[i], b.records[j], schema);
-    if (score >= threshold) scored.push_back({i, j, score});
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (scores[c] >= threshold) {
+      scored.push_back({candidates[c].first, candidates[c].second,
+                        scores[c]});
+    }
   }
   std::sort(scored.begin(), scored.end(),
             [](const Match& x, const Match& y) { return x.score > y.score; });

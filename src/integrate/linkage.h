@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/exec_policy.h"
 #include "common/rng.h"
 #include "integrate/record.h"
 #include "ml/dataset.h"
@@ -40,8 +41,12 @@ ml::FeatureVector PairFeatures(const Record& a, const Record& b,
 /// Candidate generation: all cross-source pairs sharing a blocking key
 /// (any name-attribute token, lowercased). Without blocking the pair
 /// space is |A|x|B|; with it, linkage scales to millions of records.
+/// Sharded over `a`'s records under `exec`; the candidate list is
+/// identical for every thread count (per-record results are concatenated
+/// in record order, and deduplication is per-record by construction).
 std::vector<std::pair<size_t, size_t>> BlockCandidates(
-    const RecordSet& a, const RecordSet& b, const LinkageSchema& schema);
+    const RecordSet& a, const RecordSet& b, const LinkageSchema& schema,
+    const ExecPolicy& exec = {});
 
 /// A scored match between record indices of two record sets.
 struct Match {
@@ -64,10 +69,13 @@ class EntityLinker {
                    const LinkageSchema& schema) const;
 
   /// Links two record sets: blocks, scores, thresholds, then enforces a
-  /// 1-1 constraint greedily by descending score.
+  /// 1-1 constraint greedily by descending score. Candidate pairing and
+  /// forest scoring shard under `exec` (scores land in index-addressed
+  /// slots), so matches are bit-identical for any thread count.
   std::vector<Match> Link(const RecordSet& a, const RecordSet& b,
                           const LinkageSchema& schema,
-                          double threshold = 0.5) const;
+                          double threshold = 0.5,
+                          const ExecPolicy& exec = {}) const;
 
   const ml::RandomForest& forest() const { return forest_; }
 

@@ -1,0 +1,116 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace kg {
+namespace {
+
+// Raw mt19937_64 outputs are fully specified by the C++ standard, so these
+// golden streams pin Split's behavior across platforms and compilers.
+// Regenerate (only if the Split mixing function deliberately changes) by
+// printing Rng(42).Split(shard).engine()() ten times per shard.
+constexpr uint64_t kExpected[4][10] = {
+    // shard 0
+    {2634440447081024816ULL, 1820987917041237109ULL,
+     13037550764499033374ULL, 4655635372978506640ULL,
+     7356819061247034444ULL, 1916287782993452631ULL,
+     8829021679604019918ULL, 16079697981679594751ULL,
+     12573527161957353331ULL, 14427783202588178996ULL},
+    // shard 1
+    {5902466118967155341ULL, 10410330840763893017ULL,
+     7187036391553770098ULL, 5355452437944497382ULL,
+     14070470277998234926ULL, 16945181658251027004ULL,
+     8148133643679642287ULL, 3717964983328908422ULL,
+     5553641907423200082ULL, 14613721377709182881ULL},
+    // shard 2
+    {210554078924749278ULL, 10274272111491794861ULL,
+     1001315208180475940ULL, 2205355984741621379ULL,
+     13514859891668753840ULL, 1574086175199027846ULL,
+     17657269862853843094ULL, 5850072922946373122ULL,
+     11972868086172473143ULL, 5620980925612191390ULL},
+    // shard 3
+    {15534206786027812474ULL, 3884173044072065852ULL,
+     14758637498151657242ULL, 13994128819442202394ULL,
+     15658243551855822325ULL, 16140351574564930521ULL,
+     5812454582488240373ULL, 14977807589130681785ULL,
+     16739678670657891446ULL, 14905842783864904317ULL},
+};
+
+TEST(RngSplitTest, FirstTenDrawsPerShardAreStable) {
+  Rng root(42);
+  for (uint64_t shard = 0; shard < 4; ++shard) {
+    Rng stream = root.Split(shard);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(stream.engine()(), kExpected[shard][i])
+          << "shard " << shard << " draw " << i;
+    }
+  }
+}
+
+TEST(RngSplitTest, SplitDoesNotPerturbParent) {
+  Rng with_splits(42);
+  Rng untouched(42);
+  (void)with_splits.Split(0);
+  (void)with_splits.Split(17);
+  (void)with_splits.Split(0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(with_splits.engine()(), untouched.engine()());
+  }
+}
+
+TEST(RngSplitTest, SameShardIdYieldsSameStream) {
+  Rng root(7);
+  Rng a = root.Split(3);
+  Rng b = root.Split(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.engine()(), b.engine()());
+  }
+}
+
+TEST(RngSplitTest, ShardSeedsAreDistinctFromParentAndEachOther) {
+  Rng root(42);
+  std::unordered_set<uint64_t> seeds{root.seed()};
+  for (uint64_t shard = 0; shard < 1000; ++shard) {
+    EXPECT_TRUE(seeds.insert(root.Split(shard).seed()).second)
+        << "seed collision at shard " << shard;
+  }
+}
+
+TEST(RngSplitTest, StreamsArePairwiseNonOverlappingOver1e5Draws) {
+  // Overlapping mt19937_64 streams would repeat values; with 4 x 1e5
+  // 64-bit draws, a single accidental collision has probability ~4e-9,
+  // and the check is fully deterministic for these fixed seeds.
+  constexpr size_t kShards = 4;
+  constexpr size_t kDraws = 100000;
+  Rng root(42);
+  std::unordered_set<uint64_t> all;
+  all.reserve(kShards * kDraws);
+  for (uint64_t shard = 0; shard < kShards; ++shard) {
+    Rng stream = root.Split(shard);
+    for (size_t i = 0; i < kDraws; ++i) {
+      all.insert(stream.engine()());
+    }
+  }
+  EXPECT_EQ(all.size(), kShards * kDraws);
+}
+
+TEST(RngSplitTest, SplitStreamsIndependentOfParentConsumption) {
+  // Split depends only on the construction seed, not on how much the
+  // parent has already drawn — the property that lets shards be derived
+  // lazily inside a parallel loop.
+  Rng fresh(42);
+  Rng consumed(42);
+  for (int i = 0; i < 12345; ++i) (void)consumed.engine()();
+  Rng a = fresh.Split(5);
+  Rng b = consumed.Split(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.engine()(), b.engine()());
+  }
+}
+
+}  // namespace
+}  // namespace kg

@@ -1,0 +1,208 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace kg {
+namespace {
+
+TEST(ThreadPoolStressTest, ConcurrentSubmitFromMultipleProducers) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 500;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStressTest, WaitIdleUnderContention) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::atomic<bool> producing{true};
+  // A producer keeps feeding work while other threads repeatedly call
+  // WaitIdle; every WaitIdle return must observe a momentarily drained
+  // queue, and nothing may deadlock.
+  std::thread producer([&] {
+    for (int i = 0; i < 300; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+      if (i % 50 == 0) std::this_thread::yield();
+    }
+    producing.store(false);
+  });
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < 3; ++w) {
+    waiters.emplace_back([&] {
+      while (producing.load()) pool.WaitIdle();
+    });
+  }
+  producer.join();
+  for (auto& t : waiters) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 300);
+}
+
+TEST(ThreadPoolStressTest, ParallelForEdgeSizes) {
+  ThreadPool pool(4);
+  {
+    pool.ParallelFor(0, [](size_t) { FAIL() << "n=0 must not invoke"; });
+  }
+  {
+    std::atomic<int> hits{0};
+    pool.ParallelFor(1, [&hits](size_t i) {
+      EXPECT_EQ(i, 0u);
+      hits.fetch_add(1);
+    });
+    EXPECT_EQ(hits.load(), 1);
+  }
+  {
+    // n >> threads: every index exactly once.
+    constexpr size_t kN = 20000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolStressTest, ParallelForChunkedCoversDisjointChunks) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10007;  // Prime: exercises the ragged last chunk.
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<size_t> chunks{0};
+  pool.ParallelForChunked(kN, 64, [&](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, kN);
+    ASSERT_TRUE(end - begin == 64 || end == kN);
+    chunks.fetch_add(1);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+  EXPECT_EQ(chunks.load(), (kN + 63) / 64);
+}
+
+TEST(ThreadPoolStressTest, ParallelForChunkedAutoChunkingAndEdgeSizes) {
+  ThreadPool pool(3);
+  pool.ParallelForChunked(0, 0, [](size_t, size_t) { FAIL(); });
+  std::atomic<int> calls{0};
+  pool.ParallelForChunked(1, 0, [&calls](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+  // Auto chunk size is thread-count independent: at most kAutoChunks
+  // blocks regardless of pool width.
+  EXPECT_EQ(ThreadPool::ChunkSizeFor(1), 1u);
+  EXPECT_EQ(ThreadPool::ChunkSizeFor(64), 1u);
+  EXPECT_EQ(ThreadPool::ChunkSizeFor(6400), 100u);
+}
+
+TEST(ThreadPoolStressTest, TryParallelForChunkedAllOk) {
+  ThreadPool pool(4);
+  std::atomic<int> covered{0};
+  const Status s =
+      pool.TryParallelForChunked(1000, 10, [&](size_t begin, size_t end) {
+        covered.fetch_add(static_cast<int>(end - begin));
+        return Status::OK();
+      });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(covered.load(), 1000);
+}
+
+TEST(ThreadPoolStressTest, TryParallelForChunkedPropagatesFirstError) {
+  ThreadPool pool(4);
+  const Status s =
+      pool.TryParallelForChunked(1000, 10, [](size_t begin, size_t) {
+        if (begin == 500) {
+          return Status::InvalidArgument("bad shard " +
+                                         std::to_string(begin));
+        }
+        return Status::OK();
+      });
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shard 500");
+}
+
+TEST(ThreadPoolStressTest, TryParallelForChunkedCancelsRemainingChunks) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  const Status s =
+      pool.TryParallelForChunked(100000, 1, [&](size_t begin, size_t) {
+        executed.fetch_add(1);
+        if (begin == 0) return Status::Cancelled("stop everything");
+        return Status::OK();
+      });
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  // Cancellation is advisory for in-flight chunks but must prevent the
+  // bulk of the not-yet-started ones from running.
+  EXPECT_LT(executed.load(), 100000);
+}
+
+TEST(ThreadPoolStressTest,
+     TryParallelForChunkedReturnsLowestFailingChunkOfMany) {
+  // With every chunk failing, the lowest *executed* failure wins. Under
+  // contention the winner is scheduling-dependent (an early chunk can be
+  // cancelled by an even earlier-failing later chunk), so only the shape
+  // is asserted; the single-worker case below is exact.
+  ThreadPool pool(4);
+  const Status s =
+      pool.TryParallelForChunked(64, 1, [](size_t begin, size_t) {
+        return Status::Internal("chunk " + std::to_string(begin));
+      });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message().rfind("chunk ", 0), 0u);
+
+  ThreadPool serial_pool(1);
+  const Status serial =
+      serial_pool.TryParallelForChunked(64, 1, [](size_t begin, size_t) {
+        return Status::Internal("chunk " + std::to_string(begin));
+      });
+  EXPECT_EQ(serial.message(), "chunk 0");
+}
+
+TEST(ThreadPoolStressTest, TeardownWithNonEmptyQueueDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        counter.fetch_add(1);
+      });
+    }
+    // Destructor runs while most of the queue is still pending; current
+    // semantics drain the queue before joining, with no exceptions or
+    // leaks (TSan/ASan builds of this test verify the latter).
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolStressTest, RepeatedParallelLoopsReuseThePoolSafely) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelForChunked(257, 0, [&](size_t begin, size_t end) {
+      total.fetch_add(static_cast<long>(end - begin));
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * 257);
+}
+
+}  // namespace
+}  // namespace kg

@@ -1,0 +1,144 @@
+// Golden serial ≡ parallel tests: both end-to-end KG-construction
+// pipelines must produce bit-identical graphs for any ExecPolicy thread
+// count, given the same seed. This is the invariant that makes the
+// sharded execution layer shippable in a seeded-RNG codebase.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/entity_kg_pipeline.h"
+#include "core/textrich_kg_pipeline.h"
+
+namespace kg::core {
+namespace {
+
+struct EntityRunResult {
+  size_t entities = 0;
+  size_t triples = 0;
+  uint64_t fingerprint = 0;
+  std::vector<SourceIngestReport> reports;
+};
+
+EntityRunResult RunEntityPipeline(size_t num_threads) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 150;
+  uopt.num_movies = 250;
+  uopt.num_songs = 40;
+  Rng rng(42);
+  const auto universe = synth::EntityUniverse::Generate(uopt, rng);
+
+  synth::SourceOptions wiki, imdb, webdb;
+  wiki.name = "wikipedia";
+  wiki.coverage = 0.6;
+  imdb.name = "imdb";
+  imdb.coverage = 0.6;
+  imdb.schema_dialect = 1;
+  webdb.name = "webdb";
+  webdb.coverage = 0.4;
+  webdb.schema_dialect = 2;
+
+  EntityKgBuilder::Options opt;
+  opt.forest.num_trees = 20;
+  opt.exec = ExecPolicy::WithThreads(num_threads);
+  EntityKgBuilder builder(synth::SourceDomain::kMovies, opt);
+  builder.IngestAnchor(synth::EmitSource(universe, wiki, rng), rng);
+  builder.IngestAndLink(synth::EmitSource(universe, imdb, rng), rng);
+  builder.IngestAndLink(synth::EmitSource(universe, webdb, rng), rng);
+  builder.FuseValues();
+
+  EntityRunResult result;
+  result.entities = builder.reports().back().kg_entities_after;
+  result.triples = builder.kg().num_triples();
+  result.fingerprint = graph::TripleSetFingerprint(builder.kg());
+  result.reports = builder.reports();
+  return result;
+}
+
+TEST(ParallelDeterminismTest, EntityPipelineIdenticalAt1_2_8Threads) {
+  const EntityRunResult serial = RunEntityPipeline(1);
+  ASSERT_GT(serial.entities, 0u);
+  ASSERT_GT(serial.triples, 0u);
+  for (size_t threads : {2u, 8u}) {
+    const EntityRunResult parallel = RunEntityPipeline(threads);
+    EXPECT_EQ(parallel.entities, serial.entities) << threads << " threads";
+    EXPECT_EQ(parallel.triples, serial.triples) << threads << " threads";
+    EXPECT_EQ(parallel.fingerprint, serial.fingerprint)
+        << threads << " threads";
+    // Per-source reports (linkage decisions included) must match too —
+    // the whole construction trace is deterministic, not just the
+    // final graph.
+    ASSERT_EQ(parallel.reports.size(), serial.reports.size());
+    for (size_t r = 0; r < serial.reports.size(); ++r) {
+      EXPECT_EQ(parallel.reports[r].linked, serial.reports[r].linked);
+      EXPECT_EQ(parallel.reports[r].new_entities,
+                serial.reports[r].new_entities);
+      EXPECT_DOUBLE_EQ(parallel.reports[r].linkage_precision,
+                       serial.reports[r].linkage_precision);
+      EXPECT_DOUBLE_EQ(parallel.reports[r].linkage_recall,
+                       serial.reports[r].linkage_recall);
+    }
+  }
+}
+
+struct TextRichRunResult {
+  TextRichBuildReport report;
+  uint64_t fingerprint = 0;
+};
+
+TextRichRunResult RunTextRichPipeline(size_t num_threads) {
+  Rng rng(7);
+  synth::CatalogOptions copt;
+  copt.num_types = 8;
+  copt.num_products = 220;
+  const auto catalog = synth::ProductCatalog::Generate(copt, rng);
+  synth::BehaviorOptions bopt;
+  bopt.num_searches = 3000;
+  const auto behavior = synth::GenerateBehavior(catalog, bopt, rng);
+
+  TextRichBuildOptions opt;
+  opt.exec = ExecPolicy::WithThreads(num_threads);
+  const auto build = BuildTextRichKg(catalog, behavior, opt, rng);
+  return TextRichRunResult{build.report,
+                           graph::TripleSetFingerprint(build.kg)};
+}
+
+TEST(ParallelDeterminismTest, TextRichPipelineIdenticalAt1_2_8Threads) {
+  const TextRichRunResult serial = RunTextRichPipeline(1);
+  ASSERT_GT(serial.report.kg_triples, 0u);
+  for (size_t threads : {2u, 8u}) {
+    const TextRichRunResult parallel = RunTextRichPipeline(threads);
+    EXPECT_EQ(parallel.fingerprint, serial.fingerprint)
+        << threads << " threads";
+    EXPECT_EQ(parallel.report.extracted_assertions,
+              serial.report.extracted_assertions);
+    EXPECT_EQ(parallel.report.after_cleaning,
+              serial.report.after_cleaning);
+    EXPECT_EQ(parallel.report.kg_triples, serial.report.kg_triples);
+    EXPECT_DOUBLE_EQ(parallel.report.accuracy_after_cleaning,
+                     serial.report.accuracy_after_cleaning);
+  }
+}
+
+TEST(ParallelDeterminismTest, FingerprintIsOrderInsensitiveButValueSensitive) {
+  graph::KnowledgeGraph ab, ba, other;
+  ab.AddTriple("a", "p", "x", graph::NodeKind::kEntity,
+               graph::NodeKind::kText, {});
+  ab.AddTriple("b", "p", "y", graph::NodeKind::kEntity,
+               graph::NodeKind::kText, {});
+  ba.AddTriple("b", "p", "y", graph::NodeKind::kEntity,
+               graph::NodeKind::kText, {});
+  ba.AddTriple("a", "p", "x", graph::NodeKind::kEntity,
+               graph::NodeKind::kText, {});
+  other.AddTriple("a", "p", "x", graph::NodeKind::kEntity,
+                  graph::NodeKind::kText, {});
+  other.AddTriple("b", "p", "z", graph::NodeKind::kEntity,
+                  graph::NodeKind::kText, {});
+  EXPECT_EQ(graph::TripleSetFingerprint(ab),
+            graph::TripleSetFingerprint(ba));
+  EXPECT_NE(graph::TripleSetFingerprint(ab),
+            graph::TripleSetFingerprint(other));
+}
+
+}  // namespace
+}  // namespace kg::core
