@@ -12,6 +12,7 @@
 #include "common/exec_policy.h"
 #include "common/rng.h"
 #include "common/stage_timer.h"
+#include "common/status.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
@@ -55,9 +56,9 @@ ScalingRun RunEntityBuild(const ExecPolicy& exec, StageTimer* metrics) {
   const auto t_webdb = synth::EmitSource(universe, webdb, rng);
 
   WallTimer clock;
-  builder.IngestAnchor(t_wiki, rng);
-  builder.IngestAndLink(t_imdb, rng);
-  builder.IngestAndLink(t_webdb, rng);
+  ExitIfError(builder.TryIngestAnchor(t_wiki, rng), "ingest wikipedia");
+  ExitIfError(builder.TryIngestAndLink(t_imdb, rng), "ingest imdb");
+  ExitIfError(builder.TryIngestAndLink(t_webdb, rng), "ingest webdb");
   builder.FuseValues();
   return ScalingRun{clock.ElapsedSeconds(),
                     graph::TripleSetFingerprint(builder.kg())};
@@ -82,9 +83,10 @@ ScalingRun RunTextRichBuild(const ExecPolicy& exec, StageTimer* metrics) {
   opt.metrics = metrics;
 
   WallTimer clock;
-  const auto build = core::BuildTextRichKg(catalog, behavior, opt, rng);
+  const auto build = core::TryBuildTextRichKg(catalog, behavior, opt, rng);
+  ExitIfError(build.status(), "text-rich build");
   return ScalingRun{clock.ElapsedSeconds(),
-                    graph::TripleSetFingerprint(build.kg)};
+                    graph::TripleSetFingerprint(build->kg)};
 }
 
 void ReportScaling(const std::string& name, const ScalingRun& serial,
@@ -198,5 +200,7 @@ int main() {
     std::cout << "  [SHAPE OK: >=2x over serial]";
   }
   std::cout << "\n";
-  return 0;
+  // A determinism mismatch is a correctness bug, not a perf shortfall:
+  // fail the binary so CI catches it.
+  return deterministic ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/entity_kg_pipeline.h"
@@ -49,9 +50,16 @@ int main() {
   core::EntityKgBuilder::Options opt;
   opt.forest.num_trees = 30;
   core::EntityKgBuilder builder(synth::SourceDomain::kMovies, opt);
-  builder.IngestAnchor(synth::EmitSource(universe, wiki, rng), rng);
-  builder.IngestAndLink(synth::EmitSource(universe, imdb, rng), rng);
-  builder.IngestAndLink(synth::EmitSource(universe, webdb, rng), rng);
+  ExitIfError(
+      builder.TryIngestAnchor(synth::EmitSource(universe, wiki, rng), rng),
+      "ingest wikipedia");
+  ExitIfError(
+      builder.TryIngestAndLink(synth::EmitSource(universe, imdb, rng), rng),
+      "ingest imdb");
+  ExitIfError(
+      builder.TryIngestAndLink(synth::EmitSource(universe, webdb, rng),
+                               rng),
+      "ingest webdb");
   builder.FuseValues();
 
   PrintBanner(std::cout, "Source-by-source ingestion (Figure 4a)");

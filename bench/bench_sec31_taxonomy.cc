@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/textrich_kg_pipeline.h"
@@ -64,7 +65,10 @@ int main() {
   PrintBanner(std::cout, "AutoKnow end-to-end (Figure 4b pipeline)");
   core::TextRichBuildOptions opt;
   Rng build_rng(7);
-  const auto build = BuildTextRichKg(catalog, behavior, opt, build_rng);
+  const auto built =
+      core::TryBuildTextRichKg(catalog, behavior, opt, build_rng);
+  ExitIfError(built.status(), "AutoKnow end-to-end build");
+  const auto& build = *built;
   TablePrinter pipeline({"metric", "value"});
   pipeline.AddRow({"products", std::to_string(build.report.products)});
   pipeline.AddRow({"assertions extracted",

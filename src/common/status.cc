@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace kg {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -24,8 +27,23 @@ const char* StatusCodeToString(StatusCode code) {
       return "io_error";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
+}
+
+bool IsRetriable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
+
+void ExitIfError(const Status& status, const std::string& context) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s: %s\n", context.c_str(),
+               status.ToString().c_str());
+  std::exit(1);
 }
 
 std::string Status::ToString() const {

@@ -20,10 +20,17 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kCancelled,
+  kUnavailable,       ///< Transient upstream failure; retrying may succeed.
+  kDeadlineExceeded,  ///< A retry/deadline budget ran out; do not retry.
 };
 
 /// Returns the canonical lower-case name of `code` (e.g. "invalid_argument").
 const char* StatusCodeToString(StatusCode code);
+
+/// True for codes that model transient conditions a caller may retry
+/// (today only `kUnavailable`). `kDeadlineExceeded` is deliberately not
+/// retriable: it means a retry budget was already spent.
+bool IsRetriable(StatusCode code);
 
 /// Result of an operation that can fail. Cheap to copy when OK (no message
 /// allocation). Library code returns `Status`/`Result<T>` instead of throwing.
@@ -63,6 +70,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +96,11 @@ class Status {
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
+
+/// Prints "context: status" to stderr and exits with code 1 when
+/// `status` is non-OK. Bench and example mains route fallible calls
+/// through this so failures gate CI via exit codes, not log scraping.
+void ExitIfError(const Status& status, const std::string& context);
 
 /// Either a value of type `T` or a non-OK `Status`. Mirrors
 /// `arrow::Result` / `absl::StatusOr` semantics.

@@ -1,8 +1,10 @@
 #include "core/entity_kg_pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace kg::core {
@@ -15,8 +17,104 @@ std::string EntityKgBuilder::NextEntityName() {
   return "ent:" + std::to_string(entity_counter_++);
 }
 
+Status EntityKgBuilder::FetchSource(
+    const synth::SourceTable& table, const Rng& rng,
+    std::optional<synth::SourceTable>* payload) {
+  if (options_.faults == nullptr) return Status::OK();
+  const FaultInjector injector(*options_.faults);
+  SourceDegradation row;
+  row.source = table.source_name;
+  CircuitBreaker& breaker =
+      breakers_
+          .try_emplace(table.source_name,
+                       options_.retry.breaker_failure_threshold)
+          .first->second;
+  const RetryOutcome outcome = RetryWithBackoff(
+      options_.retry, rng.Split(Fnv1a64(table.source_name)), &breaker,
+      [&](size_t attempt) {
+        const FaultInjector::Attempt probe =
+            injector.Probe(table.source_name, attempt);
+        return AttemptResult{probe.status, probe.latency_ms};
+      });
+  row.attempts = outcome.attempts;
+  row.retries = outcome.retries;
+  row.virtual_ms = outcome.virtual_ms;
+  if (options_.metrics != nullptr) {
+    options_.metrics->Record("entity.fetch_source",
+                             outcome.virtual_ms / 1000.0,
+                             outcome.attempts);
+  }
+  if (!outcome.status.ok()) {
+    row.quarantined = true;
+    row.final_status = outcome.status;
+    for (const synth::SourceRecord& r : table.records) {
+      row.claims_dropped += r.fields.size();
+    }
+    row.records_dropped = table.records.size();
+    degradation_.sources.push_back(std::move(row));
+    return outcome.status;
+  }
+  const double keep = injector.KeepFraction(table.source_name);
+  const bool corrupting = injector.plan().corrupt_rate > 0.0;
+  if (keep < 1.0 || corrupting) {
+    synth::SourceTable delivered = table;
+    if (keep < 1.0 && !delivered.records.empty()) {
+      // Truncated page: the tail of the payload never arrives.
+      const size_t kept = std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(
+                 keep * static_cast<double>(delivered.records.size()))));
+      for (size_t i = kept; i < delivered.records.size(); ++i) {
+        row.claims_dropped += delivered.records[i].fields.size();
+      }
+      row.records_dropped = delivered.records.size() - kept;
+      delivered.records.resize(kept);
+    }
+    if (corrupting) {
+      for (synth::SourceRecord& record : delivered.records) {
+        for (auto& [attr, value] : record.fields) {
+          std::string mutated = injector.MaybeCorrupt(
+              table.source_name, record.local_id + "\x01" + attr, value);
+          if (mutated != value) {
+            value = std::move(mutated);
+            ++row.claims_corrupted;
+          }
+        }
+      }
+    }
+    *payload = std::move(delivered);
+  }
+  degradation_.sources.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status EntityKgBuilder::TryIngestAnchor(const synth::SourceTable& table,
+                                        Rng& rng) {
+  std::optional<synth::SourceTable> payload;
+  KG_RETURN_IF_ERROR(FetchSource(table, rng, &payload));
+  IngestAnchorImpl(payload ? *payload : table, rng);
+  return Status::OK();
+}
+
+Status EntityKgBuilder::TryIngestAndLink(const synth::SourceTable& table,
+                                         Rng& rng) {
+  std::optional<synth::SourceTable> payload;
+  KG_RETURN_IF_ERROR(FetchSource(table, rng, &payload));
+  IngestAndLinkImpl(payload ? *payload : table, rng);
+  return Status::OK();
+}
+
 void EntityKgBuilder::IngestAnchor(const synth::SourceTable& table,
                                    Rng& rng) {
+  KG_CHECK_OK(TryIngestAnchor(table, rng));
+}
+
+void EntityKgBuilder::IngestAndLink(const synth::SourceTable& table,
+                                    Rng& rng) {
+  KG_CHECK_OK(TryIngestAndLink(table, rng));
+}
+
+void EntityKgBuilder::IngestAnchorImpl(const synth::SourceTable& table,
+                                       Rng& rng) {
   (void)rng;
   StageTimer::Scope stage(options_.metrics, "entity.ingest_anchor",
                           table.records.size());
@@ -45,8 +143,8 @@ void EntityKgBuilder::IngestAnchor(const synth::SourceTable& table,
   reports_.push_back(report);
 }
 
-void EntityKgBuilder::IngestAndLink(const synth::SourceTable& table,
-                                    Rng& rng) {
+void EntityKgBuilder::IngestAndLinkImpl(const synth::SourceTable& table,
+                                        Rng& rng) {
   const auto mapping = ManualMappingFor(table);
   std::vector<uint32_t> truth;
   const auto records = ToRecordSet(table, mapping, &truth);

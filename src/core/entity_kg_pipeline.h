@@ -2,10 +2,13 @@
 #define KGRAPH_CORE_ENTITY_KG_PIPELINE_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/exec_policy.h"
+#include "common/fault.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/stage_timer.h"
 #include "core/conversions.h"
@@ -47,20 +50,45 @@ class EntityKgBuilder {
     ExecPolicy exec;
     /// Optional per-stage wall-time/throughput registry (not owned).
     StageTimer* metrics = nullptr;
+    /// Optional chaos profile applied to every ingested source (not
+    /// owned). Null skips the fault layer entirely; a plan with all
+    /// rates zero runs the layer but leaves output bit-identical to the
+    /// null case. Faulting callers must use the `Try*` entry points.
+    const FaultPlan* faults = nullptr;
+    /// Retry/backoff/breaker/deadline policy for flaky source fetches.
+    /// Jitter is drawn from `Rng::Split(hash(source))`, never wall
+    /// clock, so retried runs replay bit-for-bit.
+    RetryPolicy retry;
   };
 
   EntityKgBuilder(synth::SourceDomain domain, const Options& options);
 
   /// Transforms the anchor source (Wikipedia-infobox role, §2.1): every
   /// record becomes an entity. `truth` = hidden universe ids, used only
-  /// for reports and the simulated labeling oracle.
+  /// for reports and the simulated labeling oracle. Requires a
+  /// fault-free configuration (aborts on quarantine); faulting callers
+  /// use `TryIngestAnchor`.
   void IngestAnchor(const synth::SourceTable& table, Rng& rng);
 
   /// Integrates a further source (§2.2): aligns its schema, trains a
   /// linker on `linkage_label_budget` oracle-labeled pairs, links records
   /// to existing entities, creates entities for the rest, and stages all
-  /// values as fusion claims.
+  /// values as fusion claims. Fault-free configurations only, like
+  /// `IngestAnchor`.
   void IngestAndLink(const synth::SourceTable& table, Rng& rng);
+
+  /// Fault-aware `IngestAnchor`: fetches the source through the
+  /// retry/backoff/breaker layer of `Options::faults`/`Options::retry`.
+  /// Returns OK when the (possibly truncated/corrupted) payload was
+  /// ingested; a non-OK status means the source was quarantined — the
+  /// builder stays consistent, later sources still ingest, and the
+  /// outcome is recorded in `degradation()`. Graceful degradation is the
+  /// caller continuing past non-OK returns.
+  Status TryIngestAnchor(const synth::SourceTable& table, Rng& rng);
+
+  /// Fault-aware `IngestAndLink` (same quarantine contract as
+  /// `TryIngestAnchor`).
+  Status TryIngestAndLink(const synth::SourceTable& table, Rng& rng);
 
   /// Resolves conflicting attribute values across sources and writes the
   /// fused triples into the KG.
@@ -70,6 +98,11 @@ class EntityKgBuilder {
   const std::vector<SourceIngestReport>& reports() const {
     return reports_;
   }
+
+  /// Per-source fault/retry/quarantine accounting. Empty unless
+  /// `Options::faults` was set (a zero-rate plan still yields one
+  /// healthy row per source).
+  const DegradationReport& degradation() const { return degradation_; }
 
   /// Fraction of fused attribute values equal to the universe truth —
   /// computable because entities carry their hidden ids. `truth_of`
@@ -87,6 +120,17 @@ class EntityKgBuilder {
 
   std::string NextEntityName();
 
+  /// Runs the fault/retry layer for `table` and records a degradation
+  /// row. On OK, `*payload` holds the delivered copy only when faults
+  /// actually touched it (truncation/corruption); otherwise callers use
+  /// the original table unchanged, keeping the zero-fault path
+  /// copy-free and bit-identical.
+  Status FetchSource(const synth::SourceTable& table, const Rng& rng,
+                     std::optional<synth::SourceTable>* payload);
+
+  void IngestAnchorImpl(const synth::SourceTable& table, Rng& rng);
+  void IngestAndLinkImpl(const synth::SourceTable& table, Rng& rng);
+
   synth::SourceDomain domain_;
   Options options_;
   graph::KnowledgeGraph kg_;
@@ -96,6 +140,9 @@ class EntityKgBuilder {
   std::map<std::pair<size_t, std::string>, std::vector<integrate::Claim>>
       claims_;
   size_t entity_counter_ = 0;
+  DegradationReport degradation_;
+  /// One breaker per source name, persistent across re-fetches.
+  std::map<std::string, CircuitBreaker> breakers_;
 };
 
 }  // namespace kg::core

@@ -1,5 +1,7 @@
 #include "core/textrich_kg_pipeline.h"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "common/logging.h"
@@ -11,11 +13,28 @@
 #include "textrich/product_graph.h"
 
 namespace kg::core {
+namespace {
+
+/// Salt for per-page jitter streams, so page backoff draws never collide
+/// with the small shard ids other stages pass to `Rng::Split`.
+constexpr uint64_t kPageJitterSalt = 0x70616765'6A697474ULL;  // "pagejitt"
+
+}  // namespace
 
 TextRichKgBuild BuildTextRichKg(const synth::ProductCatalog& catalog,
                                 const synth::BehaviorLog& behavior,
                                 const TextRichBuildOptions& options,
                                 Rng& rng) {
+  Result<TextRichKgBuild> build =
+      TryBuildTextRichKg(catalog, behavior, options, rng);
+  KG_CHECK_OK(build.status());
+  return std::move(build).value();
+}
+
+Result<TextRichKgBuild> TryBuildTextRichKg(
+    const synth::ProductCatalog& catalog,
+    const synth::BehaviorLog& behavior,
+    const TextRichBuildOptions& options, Rng& rng) {
   TextRichKgBuild build;
   build.report.products = catalog.products().size();
 
@@ -52,21 +71,80 @@ TextRichKgBuild BuildTextRichKg(const synth::ProductCatalog& catalog,
   //    `options.exec`: each page writes its own slot, and the slots merge
   //    in page order below — bit-identical to the serial scan.
   std::map<uint32_t, std::map<std::string, std::string>> assertions;
+  const bool faulting = options.faults != nullptr;
+  const FaultInjector injector(faulting ? *options.faults : FaultPlan{});
   {
     StageTimer::Scope stage(options.metrics, "textrich.extract_pages",
                             all_idx.size());
     std::vector<std::map<std::string, std::string>> page_values(
         all_idx.size());
+    // Per-page fault accounting lands in index-addressed slots too, so
+    // the degradation report is merged in page order below and stays
+    // thread-count independent like the KG itself.
+    std::vector<SourceDegradation> page_rows(faulting ? all_idx.size()
+                                                      : 0);
+    std::vector<char> quarantined(all_idx.size(), 0);
     ParallelForChunked(
         options.exec, all_idx.size(), [&](size_t begin, size_t end) {
           for (size_t slot = begin; slot < end; ++slot) {
             const synth::Product& product =
                 catalog.products()[all_idx[slot]];
+            // The fault layer treats each page as a flaky source: fetch
+            // with retries, then deliver a possibly truncated view. All
+            // decisions are pure functions of (plan seed, page id,
+            // attempt) — never of thread count or schedule.
+            std::string source_id;
+            synth::Product faulted_page;
+            const synth::Product* view = &product;
+            if (faulting) {
+              source_id = "page:" + std::to_string(product.id);
+              SourceDegradation& row = page_rows[slot];
+              row.source = source_id;
+              CircuitBreaker breaker(
+                  options.retry.breaker_failure_threshold);
+              const RetryOutcome outcome = RetryWithBackoff(
+                  options.retry,
+                  rng.Split(kPageJitterSalt ^ product.id), &breaker,
+                  [&](size_t attempt) {
+                    const FaultInjector::Attempt probe =
+                        injector.Probe(source_id, attempt);
+                    return AttemptResult{probe.status, probe.latency_ms};
+                  });
+              row.attempts = outcome.attempts;
+              row.retries = outcome.retries;
+              row.virtual_ms = outcome.virtual_ms;
+              if (!outcome.status.ok()) {
+                row.quarantined = true;
+                row.final_status = outcome.status;
+                row.claims_dropped =
+                    catalog.AttributesForType(product.type).size();
+                quarantined[slot] = 1;
+                continue;
+              }
+              const double keep = injector.KeepFraction(source_id);
+              if (keep < 1.0) {
+                // Truncated page: the tail of the title/description
+                // never arrives; catalog values are a separate store
+                // and survive.
+                faulted_page = product;
+                if (!faulted_page.title_tokens.empty()) {
+                  faulted_page.title_tokens.resize(std::max<size_t>(
+                      1, static_cast<size_t>(std::ceil(
+                             keep * static_cast<double>(
+                                        faulted_page.title_tokens
+                                            .size())))));
+                }
+                faulted_page.description.resize(static_cast<size_t>(
+                    keep * static_cast<double>(
+                               faulted_page.description.size())));
+                view = &faulted_page;
+              }
+            }
             std::map<std::string, std::string> ner_stream;
             for (const std::string& attr :
                  catalog.AttributesForType(product.type)) {
               extract::AttributeExample ex;
-              ex.tokens = product.title_tokens;
+              ex.tokens = view->title_tokens;
               ex.attribute = attr;
               ex.type_name = catalog.taxonomy().Name(product.type);
               const auto& parents =
@@ -89,7 +167,7 @@ TextRichKgBuild BuildTextRichKg(const synth::ProductCatalog& catalog,
             // structured catalog — merged without overriding NER output.
             std::map<std::string, std::string> desc_stream;
             for (const auto& d : textrich::ExtractFromDescription(
-                     product.description,
+                     view->description,
                      catalog.AttributesForType(product.type))) {
               desc_stream.emplace(d.attribute, d.value);
             }
@@ -100,11 +178,36 @@ TextRichKgBuild BuildTextRichKg(const synth::ProductCatalog& catalog,
               streams.push_back(product.catalog_values);
             }
             page_values[slot] = textrich::MergeExtractionStreams(streams);
+            if (faulting && injector.plan().corrupt_rate > 0.0) {
+              for (auto& [attr, value] : page_values[slot]) {
+                std::string mutated =
+                    injector.MaybeCorrupt(source_id, attr, value);
+                if (mutated != value) {
+                  value = std::move(mutated);
+                  ++page_rows[slot].claims_corrupted;
+                }
+              }
+            }
           }
         });
     for (size_t slot = 0; slot < all_idx.size(); ++slot) {
+      if (quarantined[slot]) continue;
       assertions[catalog.products()[all_idx[slot]].id] =
           std::move(page_values[slot]);
+    }
+    if (faulting) {
+      double virtual_ms = 0.0;
+      size_t attempts = 0;
+      for (const SourceDegradation& row : page_rows) {
+        virtual_ms += row.virtual_ms;
+        attempts += row.attempts;
+        if (row.quarantined) ++build.report.pages_quarantined;
+      }
+      if (options.metrics != nullptr) {
+        options.metrics->Record("textrich.fetch_pages",
+                                virtual_ms / 1000.0, attempts);
+      }
+      build.degradation.sources = std::move(page_rows);
     }
   }
 

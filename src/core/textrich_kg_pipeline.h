@@ -2,6 +2,8 @@
 #define KGRAPH_CORE_TEXTRICH_KG_PIPELINE_H_
 
 #include "common/exec_policy.h"
+#include "common/fault.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/stage_timer.h"
 #include "graph/knowledge_graph.h"
@@ -25,10 +27,19 @@ struct TextRichBuildOptions {
   ExecPolicy exec;
   /// Optional per-stage wall-time/throughput registry (not owned).
   StageTimer* metrics = nullptr;
+  /// Optional chaos profile applied per product page (not owned). Each
+  /// page is a "source" (id "page:<product id>"): its fetch retries
+  /// under `retry`, and exhausted pages are quarantined — the build
+  /// completes on the surviving pages. Fault decisions and jitter are
+  /// pure functions of (plan seed, page id, attempt), so a faulted
+  /// build is still bit-identical at any thread count.
+  const FaultPlan* faults = nullptr;
+  RetryPolicy retry;
 };
 
 struct TextRichBuildReport {
   size_t products = 0;
+  size_t pages_quarantined = 0;
   size_t extracted_assertions = 0;
   size_t after_cleaning = 0;
   /// Value-level accuracy of assertions vs latent truth, before and
@@ -45,13 +56,28 @@ struct TextRichKgBuild {
   graph::KnowledgeGraph kg;
   TextRichBuildReport report;
   textrich::MinedTaxonomy mined;
+  /// Per-page fault/retry/quarantine rows (page order). Empty unless
+  /// `TextRichBuildOptions::faults` was set.
+  DegradationReport degradation;
 };
 
 /// Runs extract -> clean -> enrich -> assemble over the product world.
+/// Requires a fault-free configuration (aborts otherwise); faulting
+/// callers use `TryBuildTextRichKg`.
 TextRichKgBuild BuildTextRichKg(const synth::ProductCatalog& catalog,
                                 const synth::BehaviorLog& behavior,
                                 const TextRichBuildOptions& options,
                                 Rng& rng);
+
+/// Fault-aware build: pages whose retries/breaker/deadline are exhausted
+/// are quarantined (contributing no assertions) and the build completes
+/// on the surviving pages, with the losses accounted in
+/// `TextRichKgBuild::degradation`. Non-OK only on internal failure,
+/// never because pages degraded.
+Result<TextRichKgBuild> TryBuildTextRichKg(
+    const synth::ProductCatalog& catalog,
+    const synth::BehaviorLog& behavior,
+    const TextRichBuildOptions& options, Rng& rng);
 
 }  // namespace kg::core
 

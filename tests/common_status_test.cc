@@ -27,8 +27,29 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 }
 
 TEST(StatusCodeTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded);
+       ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(StatusCodeTest, RetryCodesNamedAndConstructible) {
+  EXPECT_EQ(Status::Unavailable("s down").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("s down").ToString(),
+            "unavailable: s down");
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "deadline_exceeded: late");
+}
+
+TEST(StatusCodeTest, OnlyUnavailableIsRetriable) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded);
+       ++c) {
+    const auto code = static_cast<StatusCode>(c);
+    EXPECT_EQ(IsRetriable(code), code == StatusCode::kUnavailable)
+        << StatusCodeToString(code);
   }
 }
 

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace kg {
 namespace {
 
@@ -174,6 +176,79 @@ TEST(ThreadPoolStressTest,
         return Status::Internal("chunk " + std::to_string(begin));
       });
   EXPECT_EQ(serial.message(), "chunk 0");
+}
+
+TEST(ThreadPoolStressTest, RetriableAndTerminalStatusesBothCancelLoop) {
+  // A chunk failure cancels the loop whether the status is retriable
+  // (kUnavailable) or terminal (kInternal) — retrying is the *caller's*
+  // decision, made by re-running the whole loop; the pool itself must
+  // treat both identically (first executed failure wins, rest cancelled).
+  ThreadPool pool(4);
+  for (const StatusCode code :
+       {StatusCode::kUnavailable, StatusCode::kInternal}) {
+    std::atomic<int> executed{0};
+    const Status s =
+        pool.TryParallelForChunked(50000, 1, [&](size_t begin, size_t) {
+          executed.fetch_add(1);
+          if (begin == 0) {
+            return Status(code, "chunk 0 faulted");
+          }
+          return Status::OK();
+        });
+    EXPECT_EQ(s.code(), code);
+    EXPECT_LT(executed.load(), 50000) << StatusCodeToString(code);
+  }
+}
+
+TEST(ThreadPoolStressTest, CallerRetryLoopDrainsTransientChunkFaults) {
+  // Retry-over-the-pool: chunks fail transiently per (chunk, pass)
+  // through a deterministic fault oracle, and the caller re-runs the
+  // loop while the failure is retriable. The loop must converge, cover
+  // every index exactly once on the clean pass, and never deadlock or
+  // leak under repeated cancellation.
+  ThreadPool pool(4);
+  constexpr size_t kN = 1024;
+  constexpr size_t kChunk = 64;  // 16 chunks: a clean pass is likely
+                                 // within a few retries at 15% faults.
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.transient_rate = 0.15;
+  const FaultInjector injector(plan);
+  std::vector<std::atomic<int>> hits(kN);
+  Status status;
+  size_t passes = 0;
+  constexpr size_t kMaxPasses = 256;
+  for (; passes < kMaxPasses; ++passes) {
+    for (auto& h : hits) h.store(0);
+    status = pool.TryParallelForChunked(
+        kN, kChunk, [&](size_t begin, size_t end) {
+          const auto probe = injector.Probe(
+              "chunk" + std::to_string(begin), /*attempt=*/passes);
+          if (!probe.status.ok()) return probe.status;
+          for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+          return Status::OK();
+        });
+    if (status.ok()) break;
+    ASSERT_TRUE(IsRetriable(status.code())) << status;
+  }
+  ASSERT_TRUE(status.ok()) << "no clean pass in " << kMaxPasses;
+  EXPECT_GT(passes, 0u);  // 30% per-chunk faults: pass 0 cannot be clean.
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolStressTest, TerminalFaultAmongTransientsWinsWhenEarliest) {
+  // Mixed retriable/terminal failures: the lowest executed failing chunk
+  // wins under single-worker determinism, so a terminal fault at chunk 0
+  // must surface even when later chunks fail retriably.
+  ThreadPool serial_pool(1);
+  const Status s =
+      serial_pool.TryParallelForChunked(64, 1, [](size_t begin, size_t) {
+        if (begin == 0) return Status::Internal("hard fault");
+        return Status::Unavailable("soft fault " + std::to_string(begin));
+      });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "hard fault");
+  EXPECT_FALSE(IsRetriable(s.code()));
 }
 
 TEST(ThreadPoolStressTest, TeardownWithNonEmptyQueueDrainsCleanly) {
