@@ -28,15 +28,17 @@ Result<NodeKind> ParseKind(const std::string& name) {
   return Status::InvalidArgument("unknown node kind: " + name);
 }
 
+}  // namespace
+
 // Tabs and newlines inside names would corrupt the line format.
-std::string Escape(const std::string& s) {
+std::string EscapeTsvField(std::string_view s) {
   std::string out = ReplaceAll(s, "\\", "\\\\");
   out = ReplaceAll(out, "\t", "\\t");
   out = ReplaceAll(out, "\n", "\\n");
   return out;
 }
 
-std::string Unescape(const std::string& s) {
+std::string UnescapeTsvField(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (size_t i = 0; i < s.size(); ++i) {
@@ -59,19 +61,17 @@ std::string Unescape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
 std::string SerializeKg(const KnowledgeGraph& kg) {
   std::ostringstream out;
   for (TripleId id : kg.AllTriples()) {
     const Triple& t = kg.triple(id);
     for (const Provenance& prov : kg.provenance(id)) {
-      out << Escape(kg.NodeName(t.subject)) << '\t'
+      out << EscapeTsvField(kg.NodeName(t.subject)) << '\t'
           << KindName(kg.GetNodeKind(t.subject)) << '\t'
-          << Escape(kg.PredicateName(t.predicate)) << '\t'
-          << Escape(kg.NodeName(t.object)) << '\t'
+          << EscapeTsvField(kg.PredicateName(t.predicate)) << '\t'
+          << EscapeTsvField(kg.NodeName(t.object)) << '\t'
           << KindName(kg.GetNodeKind(t.object)) << '\t'
-          << Escape(prov.source) << '\t' << prov.confidence << '\t'
+          << EscapeTsvField(prov.source) << '\t' << prov.confidence << '\t'
           << prov.timestamp << '\n';
     }
   }
@@ -93,7 +93,7 @@ Result<KnowledgeGraph> DeserializeKg(const std::string& data) {
     KG_ASSIGN_OR_RETURN(const NodeKind subject_kind, ParseKind(fields[1]));
     KG_ASSIGN_OR_RETURN(const NodeKind object_kind, ParseKind(fields[4]));
     Provenance prov;
-    prov.source = Unescape(fields[5]);
+    prov.source = UnescapeTsvField(fields[5]);
     try {
       prov.confidence = std::stod(fields[6]);
       prov.timestamp = std::stoll(fields[7]);
@@ -101,8 +101,8 @@ Result<KnowledgeGraph> DeserializeKg(const std::string& data) {
       return Status::InvalidArgument("line " + std::to_string(line_number) +
                                      ": bad confidence/timestamp");
     }
-    kg.AddTriple(Unescape(fields[0]), Unescape(fields[2]),
-                 Unescape(fields[3]), subject_kind, object_kind,
+    kg.AddTriple(UnescapeTsvField(fields[0]), UnescapeTsvField(fields[2]),
+                 UnescapeTsvField(fields[3]), subject_kind, object_kind,
                  std::move(prov));
   }
   return kg;

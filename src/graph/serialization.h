@@ -2,11 +2,21 @@
 #define KGRAPH_GRAPH_SERIALIZATION_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "graph/knowledge_graph.h"
 
 namespace kg::graph {
+
+/// Escapes backslashes, tabs, and newlines so an arbitrary byte string can
+/// ride in one field of the line/tab-delimited formats (`SerializeKg`,
+/// snapshot serialization). The output contains no raw '\t' or '\n'.
+std::string EscapeTsvField(std::string_view s);
+
+/// Inverts `EscapeTsvField`. Unknown escapes decode to the escaped
+/// character; a trailing lone backslash decodes to itself.
+std::string UnescapeTsvField(std::string_view s);
 
 /// Serializes a KG to a TSV-style text format, one provenance entry per
 /// line:

@@ -1,0 +1,131 @@
+#ifndef KGRAPH_SERVE_QUERY_ENGINE_H_
+#define KGRAPH_SERVE_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/exec_policy.h"
+#include "common/stage_timer.h"
+#include "graph/knowledge_graph.h"
+#include "serve/lru_cache.h"
+#include "serve/snapshot.h"
+
+namespace kg::serve {
+
+/// The four point-read shapes consumer KG serving is made of (§5's
+/// knowledge-based QA: entity cards, neighborhoods, typed attribute
+/// scans, related-entity shelves).
+enum class QueryKind : uint8_t {
+  kPointLookup = 0,     ///< Objects of (node, predicate, ?).
+  kNeighborhood = 1,    ///< All out- and in-edges of a node.
+  kAttributeByType = 2, ///< (s, predicate, ?) for every s of a class.
+  kTopKRelated = 3,     ///< Entities ranked by shared-neighbor count.
+};
+
+inline constexpr size_t kNumQueryKinds = 4;
+
+/// Canonical lower_snake name of `kind` (stable; used for stage metrics
+/// and the JSON report).
+const char* QueryKindName(QueryKind kind);
+
+/// One serving query. Nodes are addressed by (name, kind) exactly as in
+/// the KnowledgeGraph vocabulary; names that are not in the snapshot yield
+/// empty results (absence of knowledge is a normal answer, never an
+/// error).
+struct Query {
+  QueryKind kind = QueryKind::kPointLookup;
+  /// Subject / center node (point lookup, neighborhood, top-k).
+  std::string node;
+  graph::NodeKind node_kind = graph::NodeKind::kEntity;
+  /// Attribute predicate (point lookup, attribute-by-type).
+  std::string predicate;
+  /// Class node name + membership predicate (attribute-by-type).
+  std::string type_name;
+  std::string type_predicate = "type";
+  /// Result budget (top-k).
+  size_t k = 10;
+
+  static Query PointLookup(std::string node, std::string predicate,
+                           graph::NodeKind kind = graph::NodeKind::kEntity);
+  static Query Neighborhood(std::string node,
+                            graph::NodeKind kind = graph::NodeKind::kEntity);
+  static Query AttributeByType(std::string type_name, std::string predicate,
+                               std::string type_predicate = "type");
+  static Query TopKRelated(std::string node, size_t k,
+                           graph::NodeKind kind = graph::NodeKind::kEntity);
+
+  /// Injective canonical rendering (length-prefixed fields), used as the
+  /// result-cache key. Two queries with equal keys are the same query.
+  std::string CacheKey() const;
+};
+
+/// Deterministic result rows. Every query kind defines a total order on
+/// its rows (lexicographic, except top-k: score-desc then name), so equal
+/// knowledge always serves byte-equal results — the invariant the
+/// property harness checks against a brute-force scan.
+///
+/// Row shapes ("<node>" is RenderNode's kind-tagged form):
+///   point lookup:      "<object>"
+///   neighborhood:      "out\t<predicate>\t<object>" /
+///                      "in\t<predicate>\t<subject>"
+///   attribute-by-type: "<subject>\t<object>"
+///   top-k related:     "<entity>\t<shared-neighbor count>"
+using QueryResult = std::vector<std::string>;
+
+/// "E:name" / "T:name" / "C:name" — the kind-tagged node rendering used in
+/// result rows (kinds can share a surface name, so the tag keeps rows
+/// unambiguous).
+std::string RenderNodeName(std::string_view name, graph::NodeKind kind);
+
+struct ServeOptions {
+  /// Sharding policy for BatchExecute.
+  ExecPolicy exec;
+  /// Result-cache entries; 0 serves every query uncached.
+  size_t cache_capacity = 0;
+  size_t cache_shards = 8;
+  /// Per-query-class wall time, recorded when non-null.
+  StageTimer* metrics = nullptr;
+};
+
+/// Read path over an immutable KgSnapshot. Thread-safe: Execute only
+/// reads the snapshot, and the result cache is internally sharded/locked.
+/// BatchExecute shards a query vector over ExecPolicy with index-addressed
+/// result slots, so its output is bit-identical at any thread count (the
+/// cache can reorder *work*, never *answers*).
+class QueryEngine {
+ public:
+  explicit QueryEngine(const KgSnapshot& snapshot, ServeOptions options = {});
+
+  /// Answers one query, through the result cache when enabled.
+  QueryResult Execute(const Query& query) const;
+
+  /// Bypasses the cache (the reference path the cache is checked against).
+  QueryResult ExecuteUncached(const Query& query) const;
+
+  /// Answers `queries[i]` into slot i, sharded over `options.exec`.
+  std::vector<QueryResult> BatchExecute(
+      const std::vector<Query>& queries) const;
+
+  /// Null when the cache is disabled.
+  ShardedLruCache* cache() const { return cache_.get(); }
+
+  const KgSnapshot& snapshot() const { return snapshot_; }
+
+ private:
+  QueryResult PointLookup(const Query& query) const;
+  QueryResult Neighborhood(const Query& query) const;
+  QueryResult AttributeByType(const Query& query) const;
+  QueryResult TopKRelated(const Query& query) const;
+
+  const KgSnapshot& snapshot_;
+  ServeOptions options_;
+  // Mutable by design: caching must be invisible to callers, and the
+  // sharded cache is internally synchronized.
+  mutable std::unique_ptr<ShardedLruCache> cache_;
+};
+
+}  // namespace kg::serve
+
+#endif  // KGRAPH_SERVE_QUERY_ENGINE_H_

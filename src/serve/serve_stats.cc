@@ -1,0 +1,124 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/strings.h"
+#include "common/table_printer.h"
+
+namespace kg::serve {
+
+namespace {
+
+ServeStats::Row MakeRow(const std::string& name,
+                        std::vector<double> samples) {
+  ServeStats::Row row;
+  row.query_class = name;
+  row.calls = samples.size();
+  row.total_seconds =
+      std::accumulate(samples.begin(), samples.end(), 0.0);
+  row.qps = row.total_seconds > 0.0
+                ? static_cast<double>(row.calls) / row.total_seconds
+                : 0.0;
+  row.p50_us = Percentile(samples, 0.50) * 1e6;
+  row.p99_us = Percentile(std::move(samples), 0.99) * 1e6;
+  return row;
+}
+
+void AppendJsonRow(std::ostringstream* out, const ServeStats::Row& row) {
+  *out << "{\"class\":\"" << row.query_class << "\",\"calls\":" << row.calls
+       << ",\"qps\":" << FormatDouble(row.qps, 1)
+       << ",\"p50_us\":" << FormatDouble(row.p50_us, 3)
+       << ",\"p99_us\":" << FormatDouble(row.p99_us, 3) << "}";
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest sample covering fraction q of the mass.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+void ServeStats::Record(QueryKind kind, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_[static_cast<size_t>(kind)].push_back(seconds);
+}
+
+void ServeStats::SetCacheCounters(
+    const ShardedLruCache::Counters& counters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_ = counters;
+}
+
+std::vector<ServeStats::Row> ServeStats::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row> out;
+  std::vector<double> all;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    if (samples_[i].empty()) continue;
+    out.push_back(
+        MakeRow(QueryKindName(static_cast<QueryKind>(i)), samples_[i]));
+    all.insert(all.end(), samples_[i].begin(), samples_[i].end());
+  }
+  out.push_back(MakeRow("all", std::move(all)));
+  return out;
+}
+
+std::optional<ShardedLruCache::Counters> ServeStats::cache_counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_;
+}
+
+void ServeStats::Print(std::ostream& os) const {
+  TablePrinter table({"query class", "calls", "qps", "p50 us", "p99 us"});
+  for (const Row& row : rows()) {
+    table.AddRow({row.query_class, FormatCount(static_cast<int64_t>(row.calls)),
+                  FormatDouble(row.qps, 0), FormatDouble(row.p50_us, 2),
+                  FormatDouble(row.p99_us, 2)});
+  }
+  table.Print(os);
+  if (const auto cache = cache_counters()) {
+    os << "cache: " << cache->hits << " hits, " << cache->misses
+       << " misses, " << cache->evictions << " evictions (hit rate "
+       << FormatDouble(cache->HitRate(), 3) << ")\n";
+  }
+}
+
+std::string ServeStats::ToJson() const {
+  std::ostringstream out;
+  const auto all_rows = rows();
+  out << "{\"classes\":[";
+  bool first = true;
+  for (const Row& row : all_rows) {
+    if (row.query_class == "all") continue;
+    if (!first) out << ',';
+    first = false;
+    AppendJsonRow(&out, row);
+  }
+  out << "],\"overall\":";
+  AppendJsonRow(&out, all_rows.back());
+  if (const auto cache = cache_counters()) {
+    out << ",\"cache\":{\"hits\":" << cache->hits
+        << ",\"misses\":" << cache->misses
+        << ",\"evictions\":" << cache->evictions
+        << ",\"hit_rate\":" << FormatDouble(cache->HitRate(), 4) << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+void ServeStats::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : samples_) s.clear();
+  cache_.reset();
+}
+
+}  // namespace kg::serve

@@ -1,0 +1,65 @@
+#ifndef KGRAPH_SERVE_SERVE_STATS_H_
+#define KGRAPH_SERVE_SERVE_STATS_H_
+
+#include <array>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "serve/lru_cache.h"
+#include "serve/query_engine.h"
+
+namespace kg::serve {
+
+/// Nearest-rank percentile of `samples` (q in [0, 1]); 0 when empty.
+/// Sorts a copy, so callers keep their sample order.
+double Percentile(std::vector<double> samples, double q);
+
+/// Per-query-class latency/throughput aggregation for a serving replay,
+/// plus the result-cache counters, rendered as a `table_printer` report
+/// and as machine-readable JSON (`BENCH_serve.json`). Recording is
+/// mutex-guarded so replay loops may record from worker threads; reading
+/// is meant for after the run.
+class ServeStats {
+ public:
+  struct Row {
+    std::string query_class;
+    size_t calls = 0;
+    double total_seconds = 0.0;
+    double qps = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+  };
+
+  /// Adds one query's wall time to its class.
+  void Record(QueryKind kind, double seconds);
+
+  /// Attaches the replay's cache counters to the report.
+  void SetCacheCounters(const ShardedLruCache::Counters& counters);
+
+  /// Per-class rows (classes with at least one sample, enum order),
+  /// followed by an "all" row aggregating every sample.
+  std::vector<Row> rows() const;
+
+  std::optional<ShardedLruCache::Counters> cache_counters() const;
+
+  /// Renders the class table and a cache summary line.
+  void Print(std::ostream& os) const;
+
+  /// {"classes": [...], "overall": {...}, "cache": {...}} — the
+  /// BENCH_serve.json payload.
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::array<std::vector<double>, kNumQueryKinds> samples_;
+  std::optional<ShardedLruCache::Counters> cache_;
+};
+
+}  // namespace kg::serve
+
+#endif  // KGRAPH_SERVE_SERVE_STATS_H_

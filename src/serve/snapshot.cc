@@ -1,0 +1,406 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "graph/serialization.h"
+
+namespace kg::serve {
+
+namespace {
+
+using graph::NodeKind;
+
+const char* KindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kEntity:
+      return "entity";
+    case NodeKind::kText:
+      return "text";
+    case NodeKind::kClass:
+      return "class";
+  }
+  return "entity";
+}
+
+Result<NodeKind> ParseKind(const std::string& name) {
+  if (name == "entity") return NodeKind::kEntity;
+  if (name == "text") return NodeKind::kText;
+  if (name == "class") return NodeKind::kClass;
+  return Status::InvalidArgument("unknown node kind: " + name);
+}
+
+// CSR construction: bucket `edges` (already tagged with their row) into
+// `num_rows` rows and sort each row by the entry pair. `row_of` extracts
+// the row id, `entry_of` the stored pair.
+template <typename RowOf, typename EntryOf>
+void BuildCsr(const std::vector<std::array<uint32_t, 3>>& triples,
+              size_t num_rows, RowOf row_of, EntryOf entry_of,
+              std::vector<uint32_t>* offsets,
+              std::vector<KgSnapshot::Edge>* entries) {
+  offsets->assign(num_rows + 1, 0);
+  for (const auto& t : triples) ++(*offsets)[row_of(t) + 1];
+  std::partial_sum(offsets->begin(), offsets->end(), offsets->begin());
+  entries->resize(triples.size());
+  std::vector<uint32_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (const auto& t : triples) {
+    (*entries)[cursor[row_of(t)]++] = entry_of(t);
+  }
+  for (size_t row = 0; row < num_rows; ++row) {
+    std::sort(entries->begin() + (*offsets)[row],
+              entries->begin() + (*offsets)[row + 1],
+              [](const KgSnapshot::Edge& a, const KgSnapshot::Edge& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : a.second < b.second;
+              });
+  }
+}
+
+// The contiguous run of `edges` whose `first` field equals `key`
+// (edges are sorted by (first, second)).
+std::span<const KgSnapshot::Edge> EqualFirstRange(
+    std::span<const KgSnapshot::Edge> edges, uint32_t key) {
+  const auto lo = std::partition_point(
+      edges.begin(), edges.end(),
+      [key](const KgSnapshot::Edge& e) { return e.first < key; });
+  const auto hi = std::partition_point(
+      lo, edges.end(),
+      [key](const KgSnapshot::Edge& e) { return e.first <= key; });
+  return edges.subspan(static_cast<size_t>(lo - edges.begin()),
+                       static_cast<size_t>(hi - lo));
+}
+
+void HashBytes(uint64_t* h, std::string_view bytes) {
+  for (char c : bytes) {
+    *h ^= static_cast<uint8_t>(c);
+    *h *= 1099511628211ULL;
+  }
+}
+
+void HashU32(uint64_t* h, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    *h ^= (v >> shift) & 0xffu;
+    *h *= 1099511628211ULL;
+  }
+}
+
+}  // namespace
+
+KgSnapshot KgSnapshot::Compile(const graph::KnowledgeGraph& kg) {
+  // 1. Collect the live vocabulary: nodes and predicates that occur in at
+  //    least one non-tombstoned triple.
+  const auto live = kg.AllTriples();
+  std::vector<bool> node_live(kg.num_nodes(), false);
+  std::vector<bool> pred_live(kg.num_predicates(), false);
+  for (graph::TripleId id : live) {
+    const graph::Triple& t = kg.triple(id);
+    node_live[t.subject] = true;
+    node_live[t.object] = true;
+    pred_live[t.predicate] = true;
+  }
+
+  // 2. Assign dense ids in (kind, name) / name order. Names are unique per
+  //    kind, so the order — and everything derived from it — is independent
+  //    of the source KG's insertion history.
+  std::vector<graph::NodeId> node_order;
+  for (graph::NodeId n = 0; n < kg.num_nodes(); ++n) {
+    if (node_live[n]) node_order.push_back(n);
+  }
+  std::sort(node_order.begin(), node_order.end(),
+            [&kg](graph::NodeId a, graph::NodeId b) {
+              const auto ka = kg.GetNodeKind(a), kb = kg.GetNodeKind(b);
+              if (ka != kb) return ka < kb;
+              return kg.NodeName(a) < kg.NodeName(b);
+            });
+  std::vector<graph::PredicateId> pred_order;
+  for (graph::PredicateId p = 0; p < kg.num_predicates(); ++p) {
+    if (pred_live[p]) pred_order.push_back(p);
+  }
+  std::sort(pred_order.begin(), pred_order.end(),
+            [&kg](graph::PredicateId a, graph::PredicateId b) {
+              return kg.PredicateName(a) < kg.PredicateName(b);
+            });
+
+  KgSnapshot snap;
+  std::vector<NodeId> node_remap(kg.num_nodes(), kInvalidNode);
+  snap.node_names_.reserve(node_order.size());
+  snap.node_kinds_.reserve(node_order.size());
+  for (size_t i = 0; i < node_order.size(); ++i) {
+    node_remap[node_order[i]] = static_cast<NodeId>(i);
+    snap.node_names_.push_back(kg.NodeName(node_order[i]));
+    snap.node_kinds_.push_back(kg.GetNodeKind(node_order[i]));
+  }
+  std::vector<PredicateId> pred_remap(kg.num_predicates(), 0);
+  snap.predicate_names_.reserve(pred_order.size());
+  for (size_t i = 0; i < pred_order.size(); ++i) {
+    pred_remap[pred_order[i]] = static_cast<PredicateId>(i);
+    snap.predicate_names_.push_back(kg.PredicateName(pred_order[i]));
+  }
+
+  // 3. Remap triples into dense id space.
+  std::vector<std::array<uint32_t, 3>> triples;
+  triples.reserve(live.size());
+  for (graph::TripleId id : live) {
+    const graph::Triple& t = kg.triple(id);
+    triples.push_back({node_remap[t.subject], pred_remap[t.predicate],
+                       node_remap[t.object]});
+  }
+
+  snap.BuildIndexes(std::move(triples));
+  return snap;
+}
+
+void KgSnapshot::BuildIndexes(
+    std::vector<std::array<uint32_t, 3>> triples) {
+  std::sort(triples.begin(), triples.end());
+
+  std::array<size_t, 3> kind_counts{};
+  for (const graph::NodeKind kind : node_kinds_) {
+    ++kind_counts[static_cast<size_t>(kind)];
+  }
+  for (size_t k = 0; k < node_index_.size(); ++k) {
+    node_index_[k].Reserve(kind_counts[k]);
+  }
+  for (size_t i = 0; i < node_names_.size(); ++i) {
+    node_index_[static_cast<size_t>(node_kinds_[i])].Insert(
+        node_names_[i], static_cast<uint32_t>(i));
+  }
+  predicate_index_.Reserve(predicate_names_.size());
+  for (size_t i = 0; i < predicate_names_.size(); ++i) {
+    predicate_index_.Insert(predicate_names_[i],
+                            static_cast<uint32_t>(i));
+  }
+
+  BuildCsr(
+      triples, num_nodes(), [](const auto& t) { return t[0]; },
+      [](const auto& t) { return Edge{t[1], t[2]}; }, &spo_offsets_, &spo_);
+  BuildCsr(
+      triples, num_predicates(), [](const auto& t) { return t[1]; },
+      [](const auto& t) { return Edge{t[2], t[0]}; }, &pos_offsets_, &pos_);
+  BuildCsr(
+      triples, num_nodes(), [](const auto& t) { return t[2]; },
+      [](const auto& t) { return Edge{t[1], t[0]}; }, &osp_offsets_, &osp_);
+
+  // FNV-1a over the canonical content (vocabulary in id order, triples in
+  // (s, p, o) order) — the whole snapshot is derivable from these, so
+  // equal fingerprints mean identical serving behavior.
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < node_names_.size(); ++i) {
+    HashU32(&h, static_cast<uint32_t>(node_kinds_[i]));
+    HashU32(&h, static_cast<uint32_t>(node_names_[i].size()));
+    HashBytes(&h, node_names_[i]);
+  }
+  for (const std::string& p : predicate_names_) {
+    HashU32(&h, static_cast<uint32_t>(p.size()));
+    HashBytes(&h, p);
+  }
+  for (const auto& t : triples) {
+    HashU32(&h, t[0]);
+    HashU32(&h, t[1]);
+    HashU32(&h, t[2]);
+  }
+  fingerprint_ = h;
+}
+
+void KgSnapshot::NameIndex::Reserve(size_t n) {
+  size_t capacity = 4;
+  while (capacity < 2 * n) capacity *= 2;
+  slots.assign(capacity, {0, 0});
+  mask = capacity - 1;
+}
+
+void KgSnapshot::NameIndex::Insert(std::string_view name, uint32_t id) {
+  const uint64_t h = Fnv1a64(name);
+  uint64_t slot = h & mask;
+  while (slots[slot].second != 0) slot = (slot + 1) & mask;
+  slots[slot] = {h, id + 1};
+}
+
+Result<NodeId> KgSnapshot::FindNode(std::string_view name,
+                                    NodeKind kind) const {
+  const uint32_t id = node_index_[static_cast<size_t>(kind)].Find(
+      name,
+      [this](uint32_t i) -> const std::string& { return node_names_[i]; });
+  if (id == UINT32_MAX) {
+    return Status::NotFound("node not in snapshot: " + std::string(name));
+  }
+  return id;
+}
+
+Result<PredicateId> KgSnapshot::FindPredicate(std::string_view name) const {
+  const uint32_t id = predicate_index_.Find(
+      name, [this](uint32_t i) -> const std::string& {
+        return predicate_names_[i];
+      });
+  if (id == UINT32_MAX) {
+    return Status::NotFound("predicate not in snapshot: " +
+                            std::string(name));
+  }
+  return id;
+}
+
+std::span<const KgSnapshot::Edge> KgSnapshot::OutEdges(NodeId s) const {
+  KG_CHECK(s < num_nodes());
+  return {spo_.data() + spo_offsets_[s],
+          spo_.data() + spo_offsets_[s + 1]};
+}
+
+std::span<const KgSnapshot::Edge> KgSnapshot::InEdges(NodeId o) const {
+  KG_CHECK(o < num_nodes());
+  return {osp_.data() + osp_offsets_[o],
+          osp_.data() + osp_offsets_[o + 1]};
+}
+
+std::span<const KgSnapshot::Edge> KgSnapshot::PredicateEdges(
+    PredicateId p) const {
+  KG_CHECK(p < num_predicates());
+  return {pos_.data() + pos_offsets_[p],
+          pos_.data() + pos_offsets_[p + 1]};
+}
+
+std::span<const KgSnapshot::Edge> KgSnapshot::ObjectEdges(
+    NodeId s, PredicateId p) const {
+  return EqualFirstRange(OutEdges(s), p);
+}
+
+std::vector<NodeId> KgSnapshot::Objects(NodeId s, PredicateId p) const {
+  const auto range = ObjectEdges(s, p);
+  std::vector<NodeId> out;
+  out.reserve(range.size());
+  for (const Edge& e : range) out.push_back(e.second);
+  return out;
+}
+
+std::vector<NodeId> KgSnapshot::Subjects(PredicateId p, NodeId o) const {
+  std::vector<NodeId> out;
+  for (const Edge& e : EqualFirstRange(PredicateEdges(p), o)) {
+    out.push_back(e.second);
+  }
+  return out;
+}
+
+bool KgSnapshot::HasTriple(NodeId s, PredicateId p, NodeId o) const {
+  const auto range = EqualFirstRange(OutEdges(s), p);
+  return std::binary_search(
+      range.begin(), range.end(), Edge{p, o},
+      [](const Edge& a, const Edge& b) { return a.second < b.second; });
+}
+
+// --- Serialization ------------------------------------------------------
+
+std::string SerializeSnapshot(const KgSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "kgsnap\t1\t" << snapshot.num_nodes() << '\t'
+      << snapshot.num_predicates() << '\t' << snapshot.num_triples()
+      << '\n';
+  for (NodeId n = 0; n < snapshot.num_nodes(); ++n) {
+    out << "N\t" << KindName(snapshot.NodeKindOf(n)) << '\t'
+        << graph::EscapeTsvField(snapshot.NodeName(n)) << '\n';
+  }
+  for (PredicateId p = 0; p < snapshot.num_predicates(); ++p) {
+    out << "P\t" << graph::EscapeTsvField(snapshot.PredicateName(p))
+        << '\n';
+  }
+  // Triples in canonical (s, p, o) order — exactly the SPO index walk.
+  for (NodeId s = 0; s < snapshot.num_nodes(); ++s) {
+    for (const KgSnapshot::Edge& e : snapshot.OutEdges(s)) {
+      out << "T\t" << s << '\t' << e.first << '\t' << e.second << '\n';
+    }
+  }
+  return out.str();
+}
+
+Result<KgSnapshot> DeserializeSnapshot(const std::string& data) {
+  const std::vector<std::string> lines = Split(data, '\n');
+  size_t line_no = 0;
+  auto bad = [&line_no](const std::string& why) {
+    return Status::InvalidArgument("snapshot line " +
+                                   std::to_string(line_no) + ": " + why);
+  };
+  if (lines.empty()) return bad("empty input");
+
+  ++line_no;
+  const auto header = Split(lines[0], '\t');
+  if (header.size() != 5 || header[0] != "kgsnap") {
+    return bad("missing kgsnap header");
+  }
+  size_t version = 0, num_nodes = 0, num_preds = 0, num_triples = 0;
+  try {
+    version = std::stoul(header[1]);
+    num_nodes = std::stoul(header[2]);
+    num_preds = std::stoul(header[3]);
+    num_triples = std::stoul(header[4]);
+  } catch (const std::exception&) {
+    return bad("malformed header counts");
+  }
+  if (version != 1) return bad("unsupported version " + header[1]);
+
+  KgSnapshot snap;
+  std::vector<std::array<uint32_t, 3>> triples;
+  triples.reserve(num_triples);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    ++line_no;
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields[0] == "N") {
+      if (fields.size() != 3) return bad("N record needs 3 fields");
+      KG_ASSIGN_OR_RETURN(const NodeKind kind, ParseKind(fields[1]));
+      snap.node_kinds_.push_back(kind);
+      snap.node_names_.push_back(graph::UnescapeTsvField(fields[2]));
+    } else if (fields[0] == "P") {
+      if (fields.size() != 2) return bad("P record needs 2 fields");
+      snap.predicate_names_.push_back(graph::UnescapeTsvField(fields[1]));
+    } else if (fields[0] == "T") {
+      if (fields.size() != 4) return bad("T record needs 4 fields");
+      std::array<uint32_t, 3> t{};
+      try {
+        t[0] = static_cast<uint32_t>(std::stoul(fields[1]));
+        t[1] = static_cast<uint32_t>(std::stoul(fields[2]));
+        t[2] = static_cast<uint32_t>(std::stoul(fields[3]));
+      } catch (const std::exception&) {
+        return bad("malformed triple ids");
+      }
+      if (t[0] >= num_nodes || t[2] >= num_nodes || t[1] >= num_preds) {
+        return bad("triple id out of range");
+      }
+      triples.push_back(t);
+    } else {
+      return bad("unknown record type: " + fields[0]);
+    }
+  }
+  if (snap.node_names_.size() != num_nodes) {
+    return bad("node count mismatch");
+  }
+  if (snap.predicate_names_.size() != num_preds) {
+    return bad("predicate count mismatch");
+  }
+  if (triples.size() != num_triples) {
+    return bad("triple count mismatch");
+  }
+  snap.BuildIndexes(std::move(triples));
+  return snap;
+}
+
+Status SaveSnapshot(const KgSnapshot& snapshot, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << SerializeSnapshot(snapshot);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<KgSnapshot> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DeserializeSnapshot(buf.str());
+}
+
+}  // namespace kg::serve

@@ -1,0 +1,178 @@
+#ifndef KGRAPH_SERVE_SNAPSHOT_H_
+#define KGRAPH_SERVE_SNAPSHOT_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "graph/knowledge_graph.h"
+
+namespace kg::serve {
+
+/// Dense node handle inside one snapshot. Assigned by sorting the live
+/// vocabulary by (kind, name), so equal knowledge always compiles to equal
+/// ids regardless of how the source KnowledgeGraph was built.
+using NodeId = uint32_t;
+/// Dense predicate handle, assigned by sorted name.
+using PredicateId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = graph::kInvalidNode;
+
+/// An immutable, read-optimized compilation of a KnowledgeGraph: the live
+/// triple set re-interned into dense sorted ids with CSR-style adjacency in
+/// the three access orders the serving queries need —
+///   SPO (per subject, sorted by predicate then object),
+///   POS (per predicate, sorted by object then subject),
+///   OSP (per object,  sorted by predicate then subject).
+/// Lookups are a binary search inside one contiguous span (O(log degree +
+/// answer)), against the builder KG's hash-map-of-vectors scans. Tombstoned
+/// triples and nodes/predicates that appear only in tombstones are compiled
+/// out, so the snapshot — including `Fingerprint()` — is a pure function of
+/// the asserted knowledge.
+///
+/// Thread-safe for concurrent readers (it never mutates after Compile).
+class KgSnapshot {
+ public:
+  /// One adjacency entry; field meaning depends on the index it lives in.
+  struct Edge {
+    uint32_t first = 0;
+    uint32_t second = 0;
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+  };
+
+  /// Compiles the live triples of `kg`. O(V log V + T log T).
+  static KgSnapshot Compile(const graph::KnowledgeGraph& kg);
+
+  // --- Vocabulary -------------------------------------------------------
+
+  size_t num_nodes() const { return node_names_.size(); }
+  size_t num_predicates() const { return predicate_names_.size(); }
+  size_t num_triples() const { return spo_.size(); }
+
+  /// Looks up a node by (name, kind); NotFound when the pair never occurs
+  /// in a live triple.
+  Result<NodeId> FindNode(std::string_view name,
+                          graph::NodeKind kind) const;
+  Result<PredicateId> FindPredicate(std::string_view name) const;
+
+  const std::string& NodeName(NodeId id) const { return node_names_[id]; }
+  graph::NodeKind NodeKindOf(NodeId id) const { return node_kinds_[id]; }
+  const std::string& PredicateName(PredicateId id) const {
+    return predicate_names_[id];
+  }
+
+  // --- Indexed access ---------------------------------------------------
+
+  /// Out-edges of `s`: Edge{predicate, object}, sorted (p, o).
+  std::span<const Edge> OutEdges(NodeId s) const;
+
+  /// In-edges of `o`: Edge{predicate, subject}, sorted (p, s).
+  std::span<const Edge> InEdges(NodeId o) const;
+
+  /// All assertions of `p`: Edge{object, subject}, sorted (o, s).
+  std::span<const Edge> PredicateEdges(PredicateId p) const;
+
+  /// The (s, p, *) slice of the SPO index: the contiguous out-edges of `s`
+  /// whose predicate is `p` (Edge{predicate, object}, objects ascending).
+  /// Zero-copy — this is the raw O(log deg(s)) index read the serving
+  /// latency claim is about.
+  std::span<const Edge> ObjectEdges(NodeId s, PredicateId p) const;
+
+  /// Objects o with (s, p, o), ascending. O(log deg(s) + |answer|).
+  std::vector<NodeId> Objects(NodeId s, PredicateId p) const;
+
+  /// Subjects s with (s, p, o), ascending. O(log deg(p) + |answer|).
+  std::vector<NodeId> Subjects(PredicateId p, NodeId o) const;
+
+  bool HasTriple(NodeId s, PredicateId p, NodeId o) const;
+
+  size_t OutDegree(NodeId s) const { return OutEdges(s).size(); }
+  size_t InDegree(NodeId o) const { return InEdges(o).size(); }
+
+  /// FNV-1a over the sorted vocabulary and triple list; stable across
+  /// platforms, runs, and source-KG insertion orders. Two snapshots with
+  /// equal fingerprints serve identical answers.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
+ private:
+  friend Result<KgSnapshot> DeserializeSnapshot(const std::string& data);
+
+  /// Rebuilds the CSR indexes and fingerprint from the vocabulary tables
+  /// and `triples` (s, p, o), which must reference valid ids. Shared by
+  /// Compile and DeserializeSnapshot.
+  void BuildIndexes(std::vector<std::array<uint32_t, 3>> triples);
+
+  /// Flat open-addressing name index: a power-of-two slot array at <= 50%
+  /// load, probed linearly. Each slot stores (hash, id + 1) — second == 0
+  /// marks an empty slot — so a by-name probe scans one contiguous run of
+  /// slots, short-circuits on the 64-bit hash, and dereferences the actual
+  /// name at most once. This keeps the resolution step of every by-name
+  /// request to a couple of cache lines, where a chained hash map costs a
+  /// bucket pointer chase per probe.
+  struct NameIndex {
+    std::vector<std::pair<uint64_t, uint32_t>> slots;
+    uint64_t mask = 0;
+
+    /// Sizes the table for `n` entries and clears it.
+    void Reserve(size_t n);
+    /// Inserts a name that is not already present (snapshot vocabularies
+    /// are unique per table).
+    void Insert(std::string_view name, uint32_t id);
+    /// Returns the id inserted under `name`, or UINT32_MAX when absent.
+    /// `name_of` maps a candidate id back to its name for the final
+    /// equality check on hash match.
+    template <typename NameOf>
+    uint32_t Find(std::string_view name, NameOf&& name_of) const {
+      if (slots.empty()) return UINT32_MAX;
+      const uint64_t h = Fnv1a64(name);
+      for (uint64_t slot = h & mask;; slot = (slot + 1) & mask) {
+        const auto& [slot_hash, slot_id] = slots[slot];
+        if (slot_id == 0) return UINT32_MAX;
+        if (slot_hash == h && name_of(slot_id - 1) == name) {
+          return slot_id - 1;
+        }
+      }
+    }
+  };
+
+  std::vector<std::string> node_names_;
+  std::vector<graph::NodeKind> node_kinds_;
+  std::vector<std::string> predicate_names_;
+  std::array<NameIndex, 3> node_index_;  ///< One table per NodeKind.
+  NameIndex predicate_index_;
+
+  // CSR: offsets_[i]..offsets_[i+1] delimit row i of the entry array.
+  std::vector<uint32_t> spo_offsets_;
+  std::vector<Edge> spo_;
+  std::vector<uint32_t> pos_offsets_;
+  std::vector<Edge> pos_;
+  std::vector<uint32_t> osp_offsets_;
+  std::vector<Edge> osp_;
+
+  uint64_t fingerprint_ = 0;
+};
+
+/// Serializes a snapshot to a versioned TSV text format (vocabulary in id
+/// order, then triples as id tuples). Deterministic: equal snapshots
+/// serialize byte-identically.
+std::string SerializeSnapshot(const KgSnapshot& snapshot);
+
+/// Parses `SerializeSnapshot` output; rejects malformed or out-of-range
+/// input with a descriptive status. Round-trips bit-identically
+/// (fingerprint, vocabulary, and adjacency all preserved).
+Result<KgSnapshot> DeserializeSnapshot(const std::string& data);
+
+/// File convenience wrappers.
+Status SaveSnapshot(const KgSnapshot& snapshot, const std::string& path);
+Result<KgSnapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace kg::serve
+
+#endif  // KGRAPH_SERVE_SNAPSHOT_H_
