@@ -8,6 +8,7 @@
 // contract, so CI treats a degradation cliff like a test failure.
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -151,6 +152,33 @@ ChaosRow RunTextRichSweepPoint(const synth::ProductCatalog& catalog,
   return row;
 }
 
+std::string JsonNumber(double v) { return FormatDouble(v, 3); }
+
+/// One pipeline's sweep as a JSON array, same row fields as the table.
+std::string SweepJson(const std::vector<ChaosRow>& rows) {
+  const double baseline = static_cast<double>(rows.front().yield_units);
+  std::string out = "[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ChaosRow& row = rows[i];
+    const double yield_ratio =
+        baseline > 0.0 ? static_cast<double>(row.yield_units) / baseline
+                       : 0.0;
+    if (i) out += ",";
+    out += "{\"rate\":" + JsonNumber(row.rate) +
+           ",\"sources\":" + std::to_string(row.sources) +
+           ",\"quarantined\":" + std::to_string(row.quarantined) +
+           ",\"retries\":" + std::to_string(row.retries) +
+           ",\"claims_dropped\":" + std::to_string(row.claims_dropped) +
+           ",\"claims_corrupted\":" + std::to_string(row.claims_corrupted) +
+           ",\"yield_units\":" + std::to_string(row.yield_units) +
+           ",\"yield_ratio\":" + JsonNumber(yield_ratio) +
+           ",\"proportional_floor\":" + JsonNumber(row.proportional_floor) +
+           ",\"accuracy\":" + JsonNumber(row.accuracy) +
+           ",\"fingerprint\":" + std::to_string(row.fingerprint) + "}";
+  }
+  return out + "]";
+}
+
 /// Prints one pipeline's sweep and checks the degradation contract.
 /// Returns false when a rate fails to complete or falls off a cliff.
 bool ReportSweep(const std::string& name,
@@ -248,5 +276,33 @@ int main() {
                "proportionally to the quarantined + truncated share.\n";
   const bool ok = entity_ok && textrich_ok;
   std::cout << "verdict: " << (ok ? "GRACEFUL" : "VIOLATED") << "\n";
+
+  // ---- JSON report (BENCH_serve.json schema style) -------------------
+  {
+    std::ofstream json("BENCH_chaos.json");
+    json << "{\"bench\":\"chaos\",\"seed\":" << kSeed << ",\"rates\":[";
+    for (size_t i = 0; i < rates.size(); ++i) {
+      if (i) json << ",";
+      json << JsonNumber(rates[i]);
+    }
+    json << "],\"entity\":{\"fault_free_fingerprint\":"
+         << entity_fault_free.fingerprint
+         << ",\"zero_rate_bit_identical\":"
+         << (entity_rows.front().fingerprint ==
+                     entity_fault_free.fingerprint
+                 ? "true"
+                 : "false")
+         << ",\"sweep\":" << SweepJson(entity_rows) << "}"
+         << ",\"textrich\":{\"fault_free_fingerprint\":"
+         << textrich_fault_free.fingerprint
+         << ",\"zero_rate_bit_identical\":"
+         << (textrich_rows.front().fingerprint ==
+                     textrich_fault_free.fingerprint
+                 ? "true"
+                 : "false")
+         << ",\"sweep\":" << SweepJson(textrich_rows) << "}"
+         << ",\"graceful\":" << (ok ? "true" : "false") << "}\n";
+  }
+  std::cout << "wrote BENCH_chaos.json\n";
   return ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // ExecPolicy{hardware_concurrency} and must produce bit-identical KGs at
 // a wall-clock speedup, with per-stage StageTimer rows.
 
+#include <fstream>
 #include <iostream>
 
 #include "common/exec_policy.h"
@@ -107,6 +108,20 @@ void ReportScaling(const std::string& name, const ScalingRun& serial,
             << "\n";
 }
 
+std::string JsonNumber(double v) { return FormatDouble(v, 3); }
+
+std::string ScalingJson(const ScalingRun& serial, const ScalingRun& parallel,
+                        size_t threads) {
+  const double speedup =
+      parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0;
+  return "{\"serial_seconds\":" + JsonNumber(serial.seconds) +
+         ",\"parallel_seconds\":" + JsonNumber(parallel.seconds) +
+         ",\"threads\":" + std::to_string(threads) +
+         ",\"speedup\":" + JsonNumber(speedup) + ",\"bit_identical\":" +
+         (serial.fingerprint == parallel.fingerprint ? "true" : "false") +
+         "}";
+}
+
 }  // namespace
 
 int main() {
@@ -123,16 +138,18 @@ int main() {
       catalog.attributes().begin(),
       catalog.attributes().begin() + 3);
 
+  std::string modes_json;
   for (auto mode : {textrich::PipelineMode::kManual,
                     textrich::PipelineMode::kAutomated}) {
-    const char* mode_name =
-        mode == textrich::PipelineMode::kManual ? "manual (Figure 5a)"
-                                                : "automated (Figure 5b)";
+    const bool manual = mode == textrich::PipelineMode::kManual;
+    const char* mode_name = manual ? "manual (Figure 5a)"
+                                   : "automated (Figure 5b)";
     PrintBanner(std::cout, std::string("Pipeline: ") + mode_name);
     TablePrinter table({"attribute", "stage", "P", "R", "F1",
                         "cum. person-days"});
     double total_cost = 0.0;
     double final_f1_sum = 0.0;
+    std::string stages_json;
     for (const auto& attr : attributes) {
       textrich::PipelineOptions popt;
       popt.mode = mode;
@@ -144,16 +161,31 @@ int main() {
                       FormatDouble(stage.recall, 3),
                       FormatDouble(stage.f1, 3),
                       FormatDouble(stage.cost_person_days, 1)});
+        if (!stages_json.empty()) stages_json += ",";
+        stages_json += "{\"attribute\":\"" + attr + "\",\"stage\":\"" +
+                       stage.stage +
+                       "\",\"precision\":" + JsonNumber(stage.precision) +
+                       ",\"recall\":" + JsonNumber(stage.recall) +
+                       ",\"f1\":" + JsonNumber(stage.f1) +
+                       ",\"cum_person_days\":" +
+                       JsonNumber(stage.cost_person_days) + "}";
       }
       total_cost += result.total_cost_person_days;
       final_f1_sum += result.final_f1;
     }
     table.Print(std::cout);
-    std::cout << "mean final F1 "
-              << FormatDouble(final_f1_sum / attributes.size(), 3)
+    const double mean_f1 = final_f1_sum / attributes.size();
+    std::cout << "mean final F1 " << FormatDouble(mean_f1, 3)
               << ", total cost " << FormatDouble(total_cost, 1)
               << " person-days for " << attributes.size()
               << " attributes\n";
+    if (!modes_json.empty()) modes_json += ",";
+    modes_json += std::string("{\"mode\":\"") +
+                  (manual ? "manual" : "automated") +
+                  "\",\"mean_final_f1\":" + JsonNumber(mean_f1) +
+                  ",\"total_cost_person_days\":" + JsonNumber(total_cost) +
+                  ",\"attributes\":" + std::to_string(attributes.size()) +
+                  ",\"stages\":[" + stages_json + "]}";
   }
 
   PrintBanner(std::cout, "Reproduction verdict");
@@ -200,6 +232,20 @@ int main() {
     std::cout << "  [SHAPE OK: >=2x over serial]";
   }
   std::cout << "\n";
+
+  // ---- JSON report (BENCH_serve.json schema style) ---------------------
+  {
+    std::ofstream json("BENCH_fig5.json");
+    json << "{\"bench\":\"fig5\",\"seed\":42,\"pipelines\":[" << modes_json
+         << "],\"scaling\":{\"entity\":"
+         << ScalingJson(entity_serial, entity_parallel, hw.num_threads)
+         << ",\"textrich\":"
+         << ScalingJson(textrich_serial, textrich_parallel, hw.num_threads)
+         << "},\"deterministic\":" << (deterministic ? "true" : "false")
+         << "}\n";
+  }
+  std::cout << "wrote BENCH_fig5.json\n";
+
   // A determinism mismatch is a correctness bug, not a perf shortfall:
   // fail the binary so CI catches it.
   return deterministic ? 0 : 1;

@@ -19,6 +19,15 @@ inline uint64_t Fnv1a64(std::string_view data) {
   return h;
 }
 
+/// 32-bit checksum for framed on-disk records (e.g. the store WAL): the
+/// two halves of `Fnv1a64` folded together, so it inherits FNV-1a's
+/// platform stability while fitting a fixed 4-byte frame header. Not
+/// cryptographic — it detects torn writes and bit rot, not adversaries.
+inline uint32_t Checksum32(std::string_view data) {
+  const uint64_t h = Fnv1a64(data);
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
 /// Boost-style hash combiner.
 inline size_t HashCombine(size_t seed, size_t value) {
   return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));

@@ -88,6 +88,15 @@ class KnowledgeGraph {
 
   /// Adds (s, p, o) with `prov`; if the triple already exists, appends the
   /// provenance instead of duplicating. Returns the triple handle.
+  ///
+  /// Duplicate-assertion semantics (pinned by
+  /// KnowledgeGraphTest.DuplicateAssertionIsProvenanceAppend): asserting
+  /// the same (s, p, o) twice yields ONE triple — same handle, one
+  /// AllTriples entry, unchanged query answers — whose provenance list
+  /// holds every assertion in order, with MaxConfidence tracking the
+  /// best of them. Re-asserting a *removed* triple revives the same
+  /// handle carrying only the new provenance (the tombstoned history
+  /// does not resurrect).
   TripleId AddTriple(NodeId s, PredicateId p, NodeId o, Provenance prov);
 
   /// Convenience overload interning names on the fly. `object_kind` selects

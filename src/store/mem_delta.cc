@@ -1,0 +1,97 @@
+#include "store/mem_delta.h"
+
+namespace kg::store {
+
+namespace {
+
+MemDelta::State StateOf(const Mutation& m) {
+  return m.op == MutationOp::kUpsert ? MemDelta::State::kUpserted
+                                     : MemDelta::State::kRetracted;
+}
+
+}  // namespace
+
+void MemDelta::Apply(const Mutation& m, uint64_t seq) {
+  const TripleName name = TripleName::Of(m);
+  const Entry entry{StateOf(m), seq};
+  const auto [it, inserted] = by_subject_.insert_or_assign(name, entry);
+  if (inserted) ++predicate_counts_[name.predicate];
+  by_object_[ObjectKey{name.object_kind, name.object, name.predicate,
+                       name.subject_kind, name.subject}] = entry;
+  if (seq > last_seq_) last_seq_ = seq;
+}
+
+MemDelta::State MemDelta::Lookup(const TripleName& t) const {
+  const auto it = by_subject_.find(t);
+  return it == by_subject_.end() ? State::kUntouched : it->second.state;
+}
+
+bool MemDelta::TouchesSubject(graph::NodeKind kind,
+                              std::string_view name) const {
+  const auto it = by_subject_.lower_bound(
+      TripleName{kind, std::string(name), "", graph::NodeKind::kEntity, ""});
+  return it != by_subject_.end() && it->first.subject_kind == kind &&
+         it->first.subject == name;
+}
+
+bool MemDelta::TouchesPredicate(std::string_view name) const {
+  const auto it = predicate_counts_.find(name);
+  return it != predicate_counts_.end() && it->second > 0;
+}
+
+bool MemDelta::TouchesObject(graph::NodeKind kind,
+                             std::string_view name) const {
+  const auto it = by_object_.lower_bound(ObjectKey{
+      kind, std::string(name), "", graph::NodeKind::kEntity, ""});
+  return it != by_object_.end() && std::get<0>(it->first) == kind &&
+         std::get<1>(it->first) == name;
+}
+
+void MemDelta::ForEachBySubject(
+    graph::NodeKind kind, std::string_view name,
+    const std::function<void(const TripleName&, const Entry&)>& fn) const {
+  for (auto it = by_subject_.lower_bound(TripleName{
+           kind, std::string(name), "", graph::NodeKind::kEntity, ""});
+       it != by_subject_.end() && it->first.subject_kind == kind &&
+       it->first.subject == name;
+       ++it) {
+    fn(it->first, it->second);
+  }
+}
+
+void MemDelta::ForEachByObject(
+    graph::NodeKind kind, std::string_view name,
+    const std::function<void(const TripleName&, const Entry&)>& fn) const {
+  for (auto it = by_object_.lower_bound(ObjectKey{
+           kind, std::string(name), "", graph::NodeKind::kEntity, ""});
+       it != by_object_.end() && std::get<0>(it->first) == kind &&
+       std::get<1>(it->first) == name;
+       ++it) {
+    const auto& [o_kind, object, predicate, s_kind, subject] = it->first;
+    fn(TripleName{s_kind, subject, predicate, o_kind, object}, it->second);
+  }
+}
+
+void MemDelta::ForEach(
+    const std::function<void(const TripleName&, const Entry&)>& fn) const {
+  for (const auto& [name, entry] : by_subject_) fn(name, entry);
+}
+
+void MemDelta::TrimThrough(uint64_t seq) {
+  for (auto it = by_subject_.begin(); it != by_subject_.end();) {
+    if (it->second.seq <= seq) {
+      const auto count = predicate_counts_.find(it->first.predicate);
+      if (count != predicate_counts_.end() && --count->second == 0) {
+        predicate_counts_.erase(count);
+      }
+      it = by_subject_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = by_object_.begin(); it != by_object_.end();) {
+    it = it->second.seq <= seq ? by_object_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace kg::store

@@ -1,0 +1,775 @@
+#include "store/versioned_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace kg::store {
+
+namespace {
+
+/// Name-space node address used by the merged read path: snapshot ids are
+/// epoch-local, so the overlay merge works in (kind, name) coordinates and
+/// renders at the end.
+using NodeRef = std::pair<graph::NodeKind, std::string>;
+
+std::string Render(const NodeRef& n) {
+  return serve::RenderNodeName(n.second, n.first);
+}
+
+NodeRef RefOf(const serve::KgSnapshot& base, serve::NodeId id) {
+  return NodeRef{base.NodeKindOf(id), base.NodeName(id)};
+}
+
+/// One epoch's worth of read state: a base snapshot plus the overlay that
+/// shadows it. Every method mirrors a QueryEngine access pattern with the
+/// delta folded in, and is checked (store_property_test) to answer exactly
+/// like QueryEngine over a from-scratch rebuild at the same version.
+struct MergedView {
+  const serve::KgSnapshot& base;
+  const MemDelta& delta;
+  /// Sorted base ids of every node the overlay names (as subject or
+  /// object). Lets per-node hot loops (top-k adjacency) test "does the
+  /// overlay touch this node" with an integer binary search instead of
+  /// two string-keyed map probes; built once per view in O(|delta|).
+  std::vector<uint32_t> touched_ids;
+
+  MergedView(const serve::KgSnapshot& b, const MemDelta& d)
+      : base(b), delta(d) {
+    delta.ForEach([&](const TripleName& t, const MemDelta::Entry&) {
+      if (const auto s = base.FindNode(t.subject, t.subject_kind); s.ok()) {
+        touched_ids.push_back(static_cast<uint32_t>(*s));
+      }
+      if (const auto o = base.FindNode(t.object, t.object_kind); o.ok()) {
+        touched_ids.push_back(static_cast<uint32_t>(*o));
+      }
+    });
+    std::sort(touched_ids.begin(), touched_ids.end());
+    touched_ids.erase(std::unique(touched_ids.begin(), touched_ids.end()),
+                      touched_ids.end());
+  }
+
+  bool TouchedBaseNode(uint32_t id) const {
+    return std::binary_search(touched_ids.begin(), touched_ids.end(), id);
+  }
+
+  bool BaseHasTriple(const TripleName& t) const {
+    const auto s = base.FindNode(t.subject, t.subject_kind);
+    const auto p = base.FindPredicate(t.predicate);
+    const auto o = base.FindNode(t.object, t.object_kind);
+    return s.ok() && p.ok() && o.ok() && base.HasTriple(*s, *p, *o);
+  }
+
+  bool Retracted(const TripleName& t) const {
+    return delta.Lookup(t) == MemDelta::State::kRetracted;
+  }
+
+  /// Objects o with (s, pred, o) live in the merged view: base objects
+  /// not shadowed by a retract, plus overlay upserts the base lacks
+  /// (upserts the base already has would double-count).
+  std::vector<NodeRef> Objects(const NodeRef& s,
+                               const std::string& pred) const {
+    std::vector<NodeRef> out;
+    const bool touched = delta.TouchesSubject(s.first, s.second);
+    const auto s_id = base.FindNode(s.second, s.first);
+    const auto p_id = base.FindPredicate(pred);
+    if (s_id.ok() && p_id.ok()) {
+      for (const serve::KgSnapshot::Edge& e : base.ObjectEdges(*s_id, *p_id)) {
+        if (touched && Retracted(TripleName{s.first, s.second, pred,
+                                            base.NodeKindOf(e.second),
+                                            base.NodeName(e.second)})) {
+          continue;
+        }
+        out.push_back(RefOf(base, e.second));
+      }
+    }
+    if (touched) {
+      delta.ForEachBySubject(
+          s.first, s.second,
+          [&](const TripleName& t, const MemDelta::Entry& e) {
+            if (e.state != MemDelta::State::kUpserted) return;
+            if (t.predicate != pred) return;
+            if (BaseHasTriple(t)) return;
+            out.emplace_back(t.object_kind, t.object);
+          });
+    }
+    return out;
+  }
+
+  /// Appends "out\t<pred>\t<object>" rows for every live out-edge of `c`.
+  void AppendOutRows(const NodeRef& c, serve::QueryResult* rows) const {
+    const bool touched = delta.TouchesSubject(c.first, c.second);
+    const auto c_id = base.FindNode(c.second, c.first);
+    if (c_id.ok()) {
+      for (const serve::KgSnapshot::Edge& e : base.OutEdges(*c_id)) {
+        const std::string& pred = base.PredicateName(e.first);
+        if (touched && Retracted(TripleName{c.first, c.second, pred,
+                                            base.NodeKindOf(e.second),
+                                            base.NodeName(e.second)})) {
+          continue;
+        }
+        rows->push_back("out\t" + pred + '\t' + Render(RefOf(base, e.second)));
+      }
+    }
+    if (touched) {
+      delta.ForEachBySubject(
+          c.first, c.second,
+          [&](const TripleName& t, const MemDelta::Entry& e) {
+            if (e.state != MemDelta::State::kUpserted) return;
+            if (BaseHasTriple(t)) return;
+            rows->push_back("out\t" + t.predicate + '\t' +
+                            Render(NodeRef{t.object_kind, t.object}));
+          });
+    }
+  }
+
+  /// Appends "in\t<pred>\t<subject>" rows for every live in-edge of `c`.
+  void AppendInRows(const NodeRef& c, serve::QueryResult* rows) const {
+    const bool touched = delta.TouchesObject(c.first, c.second);
+    const auto c_id = base.FindNode(c.second, c.first);
+    if (c_id.ok()) {
+      for (const serve::KgSnapshot::Edge& e : base.InEdges(*c_id)) {
+        const std::string& pred = base.PredicateName(e.first);
+        if (touched && Retracted(TripleName{base.NodeKindOf(e.second),
+                                            base.NodeName(e.second), pred,
+                                            c.first, c.second})) {
+          continue;
+        }
+        rows->push_back("in\t" + pred + '\t' + Render(RefOf(base, e.second)));
+      }
+    }
+    if (touched) {
+      delta.ForEachByObject(
+          c.first, c.second,
+          [&](const TripleName& t, const MemDelta::Entry& e) {
+            if (e.state != MemDelta::State::kUpserted) return;
+            if (BaseHasTriple(t)) return;
+            rows->push_back("in\t" + t.predicate + '\t' +
+                            Render(NodeRef{t.subject_kind, t.subject}));
+          });
+    }
+  }
+
+  /// Members of class `type_name` under `type_pred` (distinct subjects).
+  std::vector<NodeRef> ClassMembers(const std::string& type_name,
+                                    const std::string& type_pred) const {
+    std::vector<NodeRef> members;
+    const bool touched =
+        delta.TouchesObject(graph::NodeKind::kClass, type_name);
+    const auto cls = base.FindNode(type_name, graph::NodeKind::kClass);
+    const auto tp = base.FindPredicate(type_pred);
+    if (cls.ok() && tp.ok()) {
+      for (serve::NodeId s : base.Subjects(*tp, *cls)) {
+        if (touched && Retracted(TripleName{base.NodeKindOf(s),
+                                            base.NodeName(s), type_pred,
+                                            graph::NodeKind::kClass,
+                                            type_name})) {
+          continue;
+        }
+        members.push_back(RefOf(base, s));
+      }
+    }
+    if (touched) {
+      delta.ForEachByObject(
+          graph::NodeKind::kClass, type_name,
+          [&](const TripleName& t, const MemDelta::Entry& e) {
+            if (e.state != MemDelta::State::kUpserted) return;
+            if (t.predicate != type_pred) return;
+            if (BaseHasTriple(t)) return;
+            members.emplace_back(t.subject_kind, t.subject);
+          });
+    }
+    return members;
+  }
+
+  /// Sorted-unique nodes adjacent to `n` over live merged edges, either
+  /// direction — the merged twin of the engine's AdjacentNodes (multiple
+  /// predicates between a pair collapse to one adjacency).
+  std::vector<NodeRef> AdjacentNodes(const NodeRef& n) const {
+    std::vector<NodeRef> out;
+    const auto n_id = base.FindNode(n.second, n.first);
+    const bool touches_s = delta.TouchesSubject(n.first, n.second);
+    const bool touches_o = delta.TouchesObject(n.first, n.second);
+    if (n_id.ok()) {
+      for (const serve::KgSnapshot::Edge& e : base.OutEdges(*n_id)) {
+        if (touches_s &&
+            Retracted(TripleName{n.first, n.second,
+                                 base.PredicateName(e.first),
+                                 base.NodeKindOf(e.second),
+                                 base.NodeName(e.second)})) {
+          continue;
+        }
+        out.push_back(RefOf(base, e.second));
+      }
+      for (const serve::KgSnapshot::Edge& e : base.InEdges(*n_id)) {
+        if (touches_o &&
+            Retracted(TripleName{base.NodeKindOf(e.second),
+                                 base.NodeName(e.second),
+                                 base.PredicateName(e.first), n.first,
+                                 n.second})) {
+          continue;
+        }
+        out.push_back(RefOf(base, e.second));
+      }
+    }
+    if (touches_s) {
+      delta.ForEachBySubject(
+          n.first, n.second,
+          [&](const TripleName& t, const MemDelta::Entry& e) {
+            if (e.state != MemDelta::State::kUpserted) return;
+            if (BaseHasTriple(t)) return;
+            out.emplace_back(t.object_kind, t.object);
+          });
+    }
+    if (touches_o) {
+      delta.ForEachByObject(
+          n.first, n.second,
+          [&](const TripleName& t, const MemDelta::Entry& e) {
+            if (e.state != MemDelta::State::kUpserted) return;
+            if (BaseHasTriple(t)) return;
+            out.emplace_back(t.subject_kind, t.subject);
+          });
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+};
+
+serve::QueryResult MergedPointLookup(const MergedView& view,
+                                     const serve::Query& q) {
+  serve::QueryResult rows;
+  for (const NodeRef& o :
+       view.Objects(NodeRef{q.node_kind, q.node}, q.predicate)) {
+    rows.push_back(Render(o));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+serve::QueryResult MergedNeighborhood(const MergedView& view,
+                                      const serve::Query& q) {
+  serve::QueryResult rows;
+  const NodeRef c{q.node_kind, q.node};
+  view.AppendOutRows(c, &rows);
+  view.AppendInRows(c, &rows);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+serve::QueryResult MergedAttributeByType(const MergedView& view,
+                                         const serve::Query& q) {
+  serve::QueryResult rows;
+  const serve::KgSnapshot& base = view.base;
+  // Base members iterate by id; only members the overlay names (an
+  // integer check against the precomputed touched set) pay string-keyed
+  // overlay probes. The overlay is small (bounded by compaction), so
+  // nearly every member takes the raw CSR path, same as the engine.
+  const auto cls = base.FindNode(q.type_name, graph::NodeKind::kClass);
+  const auto tp = base.FindPredicate(q.type_predicate);
+  const auto p_id = base.FindPredicate(q.predicate);
+  const bool class_touched =
+      view.delta.TouchesObject(graph::NodeKind::kClass, q.type_name);
+  if (cls.ok() && tp.ok()) {
+    for (serve::NodeId s : base.Subjects(*tp, *cls)) {
+      const bool touched = view.TouchedBaseNode(static_cast<uint32_t>(s));
+      if (class_touched && touched &&
+          view.Retracted(TripleName{base.NodeKindOf(s), base.NodeName(s),
+                                    q.type_predicate,
+                                    graph::NodeKind::kClass, q.type_name})) {
+        continue;
+      }
+      const std::string subject =
+          serve::RenderNodeName(base.NodeName(s), base.NodeKindOf(s));
+      if (touched) {
+        for (const NodeRef& o :
+             view.Objects(RefOf(base, s), q.predicate)) {
+          rows.push_back(subject + '\t' + Render(o));
+        }
+      } else if (p_id.ok()) {
+        for (const serve::KgSnapshot::Edge& e : base.ObjectEdges(s, *p_id)) {
+          rows.push_back(subject + '\t' +
+                         serve::RenderNodeName(base.NodeName(e.second),
+                                               base.NodeKindOf(e.second)));
+        }
+      }
+    }
+  }
+  // Members the overlay adds to the class (absent from the base).
+  if (class_touched) {
+    view.delta.ForEachByObject(
+        graph::NodeKind::kClass, q.type_name,
+        [&](const TripleName& t, const MemDelta::Entry& e) {
+          if (e.state != MemDelta::State::kUpserted) return;
+          if (t.predicate != q.type_predicate) return;
+          if (view.BaseHasTriple(t)) return;
+          const NodeRef member{t.subject_kind, t.subject};
+          const std::string subject = Render(member);
+          for (const NodeRef& o : view.Objects(member, q.predicate)) {
+            rows.push_back(subject + '\t' + Render(o));
+          }
+        });
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Merged top-k in id space. Nodes present in the base use their snapshot
+/// ids; delta-only nodes get local ids appended past base.num_nodes().
+/// Adjacency for a node the overlay doesn't touch is a raw CSR scan
+/// (integer ops, no string work — the hot path, since the overlay is
+/// small); touched nodes fall back to the name-space merge and map back.
+/// Strings are materialized only for ranking tie-breaks and the final k
+/// rendered rows, so a miss costs about what the immutable engine pays.
+serve::QueryResult MergedTopKRelated(const MergedView& view,
+                                     const serve::Query& q) {
+  if (q.k == 0) return {};
+  const serve::KgSnapshot& base = view.base;
+  const uint32_t base_n = static_cast<uint32_t>(base.num_nodes());
+  std::map<NodeRef, uint32_t> extra_ids;
+  std::vector<const NodeRef*> extra_refs;
+  const auto local_id = [&](const NodeRef& n) -> uint32_t {
+    const auto id = base.FindNode(n.second, n.first);
+    if (id.ok()) return static_cast<uint32_t>(*id);
+    const auto [it, inserted] =
+        extra_ids.emplace(n, base_n + static_cast<uint32_t>(extra_refs.size()));
+    if (inserted) extra_refs.push_back(&it->first);
+    return it->second;
+  };
+  const auto adjacency = [&](uint32_t id) {
+    std::vector<uint32_t> out;
+    if (id < base_n) {
+      if (!view.TouchedBaseNode(id)) {
+        out.reserve(base.OutDegree(id) + base.InDegree(id));
+        for (const serve::KgSnapshot::Edge& e : base.OutEdges(id)) {
+          out.push_back(e.second);
+        }
+        for (const serve::KgSnapshot::Edge& e : base.InEdges(id)) {
+          out.push_back(e.second);
+        }
+      } else {
+        // Touched node, still id space: a retracted base edge names both
+        // endpoints in the overlay, so only edges into *other touched
+        // nodes* need the string-keyed retract probe; everything else is
+        // a raw CSR read. Overlay additions come from the per-node delta
+        // scans (a handful of entries).
+        const graph::NodeKind kind = base.NodeKindOf(id);
+        const std::string& name = base.NodeName(id);
+        for (const serve::KgSnapshot::Edge& e : base.OutEdges(id)) {
+          if (view.TouchedBaseNode(e.second) &&
+              view.Retracted(TripleName{kind, name,
+                                        base.PredicateName(e.first),
+                                        base.NodeKindOf(e.second),
+                                        base.NodeName(e.second)})) {
+            continue;
+          }
+          out.push_back(e.second);
+        }
+        for (const serve::KgSnapshot::Edge& e : base.InEdges(id)) {
+          if (view.TouchedBaseNode(e.second) &&
+              view.Retracted(TripleName{base.NodeKindOf(e.second),
+                                        base.NodeName(e.second),
+                                        base.PredicateName(e.first), kind,
+                                        name})) {
+            continue;
+          }
+          out.push_back(e.second);
+        }
+        view.delta.ForEachBySubject(
+            kind, name, [&](const TripleName& t, const MemDelta::Entry& e) {
+              if (e.state != MemDelta::State::kUpserted) return;
+              if (view.BaseHasTriple(t)) return;
+              out.push_back(local_id(NodeRef{t.object_kind, t.object}));
+            });
+        view.delta.ForEachByObject(
+            kind, name, [&](const TripleName& t, const MemDelta::Entry& e) {
+              if (e.state != MemDelta::State::kUpserted) return;
+              if (view.BaseHasTriple(t)) return;
+              out.push_back(local_id(NodeRef{t.subject_kind, t.subject}));
+            });
+      }
+    } else {
+      for (const NodeRef& n : view.AdjacentNodes(*extra_refs[id - base_n])) {
+        out.push_back(local_id(n));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+  const auto kind_of = [&](uint32_t id) {
+    return id < base_n ? base.NodeKindOf(id) : extra_refs[id - base_n]->first;
+  };
+  const auto name_of = [&](uint32_t id) -> const std::string& {
+    return id < base_n ? base.NodeName(id) : extra_refs[id - base_n]->second;
+  };
+
+  const uint32_t center = local_id(NodeRef{q.node_kind, q.node});
+  std::unordered_map<uint32_t, size_t> score;
+  for (const uint32_t n : adjacency(center)) {
+    if (n == center) continue;
+    for (const uint32_t m : adjacency(n)) {
+      if (m == center) continue;
+      if (kind_of(m) != graph::NodeKind::kEntity) continue;
+      ++score[m];
+    }
+  }
+  std::vector<std::pair<uint32_t, size_t>> ranked(score.begin(), score.end());
+  // Count desc, then raw entity name asc — scored nodes are all kEntity,
+  // whose names are unique, so the name is a complete tie-break.
+  std::sort(ranked.begin(), ranked.end(), [&](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return name_of(a.first) < name_of(b.first);
+  });
+  if (ranked.size() > q.k) ranked.resize(q.k);
+  serve::QueryResult rows;
+  rows.reserve(ranked.size());
+  for (const auto& [m, count] : ranked) {
+    rows.push_back(
+        serve::RenderNodeName(name_of(m), graph::NodeKind::kEntity) + '\t' +
+        std::to_string(count));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<VersionedKgStore>> VersionedKgStore::Open(
+    graph::KnowledgeGraph base, StoreOptions options) {
+  std::unique_ptr<VersionedKgStore> store(new VersionedKgStore());
+  store->options_ = options;
+  store->kg_ = std::move(base);
+  if (!options.wal_path.empty()) {
+    WalReplay replay;
+    KG_ASSIGN_OR_RETURN(Wal wal, Wal::Open(options.wal_path, &replay));
+    store->wal_.emplace(std::move(wal));
+    // Recovered mutations consume sequence numbers exactly as the live
+    // appends that wrote them did, so a reopened store is bit-identical
+    // to one that never crashed.
+    for (const Mutation& m : replay.mutations) {
+      store->ApplyToGraph(m);
+      ++store->next_seq_;
+    }
+  }
+  if (options.cache_capacity > 0) {
+    store->cache_ = std::make_unique<serve::ShardedLruCache>(
+        options.cache_capacity, options.cache_shards);
+  }
+  auto epoch = std::make_shared<StoreEpoch>();
+  epoch->version = 0;
+  epoch->base = std::make_shared<const serve::KgSnapshot>(
+      serve::KgSnapshot::Compile(store->kg_));
+  epoch->delta = std::make_shared<const MemDelta>();
+  store->current_ = std::move(epoch);
+  return store;
+}
+
+void VersionedKgStore::ApplyToGraph(const Mutation& m) {
+  if (m.op == MutationOp::kUpsert) {
+    kg_.AddTriple(m.subject, m.predicate, m.object, m.subject_kind,
+                  m.object_kind, m.prov);
+    return;
+  }
+  const auto s = kg_.FindNode(m.subject, m.subject_kind);
+  const auto p = kg_.FindPredicate(m.predicate);
+  const auto o = kg_.FindNode(m.object, m.object_kind);
+  if (!s.ok() || !p.ok() || !o.ok()) return;  // retracting the absent: no-op
+  const graph::TripleId id = kg_.FindTriple(*s, *p, *o);
+  if (id != graph::kInvalidTriple) kg_.RemoveTriple(id);
+}
+
+std::vector<std::string> VersionedKgStore::AffectedCacheKeys(
+    const Mutation& m) {
+  // A mutation (s, p, o) can only change the answers of the point lookup
+  // (s, p) and the neighborhoods of s and o — the full invalidation set
+  // for the erase-based query classes.
+  return {
+      serve::Query::PointLookup(m.subject, m.predicate, m.subject_kind)
+          .CacheKey(),
+      serve::Query::Neighborhood(m.subject, m.subject_kind).CacheKey(),
+      serve::Query::Neighborhood(m.object, m.object_kind).CacheKey(),
+  };
+}
+
+void VersionedKgStore::PublishEpoch(std::shared_ptr<const StoreEpoch> epoch,
+                                    const std::function<void()>& invalidate) {
+  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+  current_ = std::move(epoch);
+  // Cache maintenance happens inside the exclusive section so no reader
+  // can fill a stale answer between the swap and the invalidation.
+  if (invalidate) invalidate();
+}
+
+Status VersionedKgStore::Apply(const Mutation& mutation) {
+  return ApplyBatch(std::span<const Mutation>(&mutation, 1));
+}
+
+Status VersionedKgStore::ApplyBatch(std::span<const Mutation> mutations) {
+  if (mutations.empty()) return Status::OK();
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  if (wal_) {
+    // Log before apply: if the append fails, no state changed and the
+    // caller may retry; if we crash after it, replay redoes the batch.
+    KG_RETURN_IF_ERROR(wal_->AppendBatch(mutations));
+  }
+  // Holding writer_mu_ makes the unlocked read of current_ safe: only
+  // writers store to it, and they all serialize here.
+  auto next_delta = std::make_shared<MemDelta>(*current_->delta);
+  std::vector<std::string> affected;
+  for (const Mutation& m : mutations) {
+    ApplyToGraph(m);
+    next_delta->Apply(m, next_seq_++);
+    if (cache_) {
+      for (std::string& key : AffectedCacheKeys(m)) {
+        affected.push_back(std::move(key));
+      }
+    }
+  }
+  auto epoch = std::make_shared<StoreEpoch>();
+  epoch->version = current_->version + 1;
+  epoch->base = current_->base;
+  epoch->delta = std::move(next_delta);
+  PublishEpoch(std::move(epoch), [&] {
+    for (const std::string& key : affected) cache_->Erase(key);
+  });
+  if (cache_) BumpGenerations(mutations);
+  return Status::OK();
+}
+
+std::string VersionedKgStore::GenTag(const serve::Query& q) const {
+  const auto gen = [](const std::unordered_map<std::string, uint64_t>& map,
+                      const std::string& key) -> uint64_t {
+    const auto it = map.find(key);
+    return it == map.end() ? 0 : it->second;
+  };
+  std::shared_lock<std::shared_mutex> lock(gen_mu_);
+  switch (q.kind) {
+    case serve::QueryKind::kAttributeByType:
+      // The answer is members(type_predicate) x objects(predicate): only
+      // triples carrying one of those two predicates can change it.
+      return "#g" + std::to_string(gen(predicate_gen_, q.predicate)) + '.' +
+             std::to_string(gen(predicate_gen_, q.type_predicate));
+    case serve::QueryKind::kTopKRelated:
+      return "#g" + std::to_string(gen(
+                        node_gen_, serve::RenderNodeName(q.node, q.node_kind)));
+    default:
+      return {};
+  }
+}
+
+void VersionedKgStore::BumpGenerations(std::span<const Mutation> mutations) {
+  // Top-k(x) depends on edges incident to x (first hop) and to x's
+  // neighbors (second hop). A mutation of edge (s, o) therefore affects
+  // {s, o}, plus N(s) — but only when o is an entity (for x in N(s) the
+  // edge contributes the candidate o via the path x–s–o, and candidates
+  // are entity-filtered) — and symmetrically N(o) only when s is an
+  // entity. Adjacency is read from the just-published epoch; within a
+  // batch that post-state union still covers every intermediate state,
+  // because a neighbor another batch entry disconnected appears in that
+  // entry's own {s, o} set.
+  const MergedView view{*current_->base, *current_->delta};
+  std::set<std::string> preds;
+  std::set<std::string> nodes;
+  for (const Mutation& m : mutations) {
+    preds.insert(m.predicate);
+    const NodeRef s{m.subject_kind, m.subject};
+    const NodeRef o{m.object_kind, m.object};
+    nodes.insert(Render(s));
+    nodes.insert(Render(o));
+    if (o.first == graph::NodeKind::kEntity) {
+      for (const NodeRef& n : view.AdjacentNodes(s)) nodes.insert(Render(n));
+    }
+    if (s.first == graph::NodeKind::kEntity) {
+      for (const NodeRef& n : view.AdjacentNodes(o)) nodes.insert(Render(n));
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(gen_mu_);
+  for (const std::string& p : preds) ++predicate_gen_[p];
+  for (const std::string& n : nodes) ++node_gen_[n];
+}
+
+std::shared_ptr<const StoreEpoch> VersionedKgStore::PinEpoch() const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  return current_;
+}
+
+serve::QueryResult VersionedKgStore::ExecuteAt(
+    const StoreEpoch& epoch, const serve::Query& query) const {
+  // An empty overlay (fresh store, or right after a fold) makes the
+  // merged path the identity: serve straight off the base snapshot's
+  // id-space engine.
+  if (epoch.delta->empty()) {
+    return serve::QueryEngine(*epoch.base).ExecuteUncached(query);
+  }
+  const MergedView view{*epoch.base, *epoch.delta};
+  switch (query.kind) {
+    case serve::QueryKind::kPointLookup:
+      return MergedPointLookup(view, query);
+    case serve::QueryKind::kNeighborhood:
+      return MergedNeighborhood(view, query);
+    case serve::QueryKind::kAttributeByType:
+      // The answer only depends on triples carrying the attribute or the
+      // type predicate; when the overlay has neither, the base snapshot
+      // is exact and the id-space scan is much cheaper than the merge.
+      if (!epoch.delta->TouchesPredicate(query.predicate) &&
+          !epoch.delta->TouchesPredicate(query.type_predicate)) {
+        return serve::QueryEngine(*epoch.base).ExecuteUncached(query);
+      }
+      return MergedAttributeByType(view, query);
+    case serve::QueryKind::kTopKRelated:
+      return MergedTopKRelated(view, query);
+  }
+  return {};
+}
+
+serve::QueryResult VersionedKgStore::Execute(const serve::Query& query) const {
+  if (cache_ == nullptr) return ExecuteAt(*PinEpoch(), query);
+  const bool erase_invalidated =
+      query.kind == serve::QueryKind::kPointLookup ||
+      query.kind == serve::QueryKind::kNeighborhood;
+  // Gen-tagged classes read the tag BEFORE pinning: the pinned state is
+  // then always at-or-after the tag, so a fill can never park an older
+  // answer under a current tag. (The converse — a newer answer under an
+  // old tag — only happens when a concurrent write already retired that
+  // tag, so nothing stale survives it.) The tag lives in row 0 of the
+  // cached value — not in the key — so every query owns exactly one
+  // entry: a retired generation is overwritten in place by the next
+  // read instead of lingering as unreachable garbage that would crowd
+  // live entries out of the LRU.
+  const std::string key = query.CacheKey();
+  const std::string tag = erase_invalidated ? std::string() : GenTag(query);
+  serve::QueryResult cached;
+  if (cache_->Get(key, &cached)) {
+    if (erase_invalidated) return cached;
+    if (!cached.empty() && cached.front() == tag) {
+      cached.erase(cached.begin());
+      return cached;
+    }
+    // Retired generation: recompute and overwrite below.
+  }
+  const std::shared_ptr<const StoreEpoch> epoch = PinEpoch();
+  serve::QueryResult result = ExecuteAt(*epoch, query);
+  if (erase_invalidated) {
+    // Fill only while the epoch we computed against is still current.
+    // try_to_lock so a publisher holding the exclusive lock is never
+    // waited on (writers must not block readers); losing the race just
+    // skips the fill.
+    std::shared_lock<std::shared_mutex> lock(epoch_mu_, std::try_to_lock);
+    if (lock.owns_lock() && current_->version == epoch->version) {
+      cache_->Put(key, result);
+    }
+  } else {
+    serve::QueryResult stored;
+    stored.reserve(result.size() + 1);
+    stored.push_back(tag);
+    stored.insert(stored.end(), result.begin(), result.end());
+    cache_->Put(key, std::move(stored));
+  }
+  return result;
+}
+
+std::vector<serve::QueryResult> VersionedKgStore::BatchExecute(
+    const std::vector<serve::Query>& queries, const ExecPolicy& exec) const {
+  const std::shared_ptr<const StoreEpoch> epoch = PinEpoch();
+  std::vector<serve::QueryResult> results(queries.size());
+  // One pinned epoch + index-addressed slots: the output is a pure
+  // function of (epoch, queries), identical at any thread count.
+  ParallelForChunked(exec, queries.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = ExecuteAt(*epoch, queries[i]);
+    }
+  });
+  return results;
+}
+
+VersionedKgStore::CompactionStats VersionedKgStore::Compact() {
+  CompactionStats stats;
+  if (compaction_in_flight_.exchange(true, std::memory_order_acq_rel)) {
+    return stats;  // another fold is running; ran stays false
+  }
+  const auto started = std::chrono::steady_clock::now();
+  graph::KnowledgeGraph frozen;
+  uint64_t fold_seq = 0;
+  {
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    frozen = kg_;  // O(graph) copy; Apply resumes as soon as we unlock
+    fold_seq = next_seq_ - 1;
+  }
+  // The slow part — compiling the CSR snapshot — runs without any lock,
+  // so writers and readers proceed at full speed underneath it.
+  auto base = std::make_shared<const serve::KgSnapshot>(
+      serve::KgSnapshot::Compile(frozen));
+  {
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    const std::shared_ptr<const MemDelta> old_delta = current_->delta;
+    auto next_delta = std::make_shared<MemDelta>(*old_delta);
+    // Entries at or before the fold line are the new base's; newer ones
+    // keep shadowing it (their state already accounts for any base).
+    next_delta->TrimThrough(fold_seq);
+    stats.folded = old_delta->size() - next_delta->size();
+    std::set<size_t> shards;
+    if (cache_) {
+      // Defense in depth: cached answers are maintained incrementally by
+      // Apply and stay correct across the swap, but flushing the shards
+      // the folded mutations map to keeps the blast radius of any future
+      // merge bug bounded — and only those shards, the rest keep serving.
+      old_delta->ForEach([&](const TripleName& t, const MemDelta::Entry& e) {
+        if (e.seq > fold_seq) return;
+        Mutation m;
+        m.subject = t.subject;
+        m.subject_kind = t.subject_kind;
+        m.predicate = t.predicate;
+        m.object = t.object;
+        m.object_kind = t.object_kind;
+        for (const std::string& key : AffectedCacheKeys(m)) {
+          shards.insert(cache_->ShardOf(key));
+        }
+      });
+    }
+    auto epoch = std::make_shared<StoreEpoch>();
+    epoch->version = current_->version + 1;
+    epoch->base = std::move(base);
+    epoch->delta = std::move(next_delta);
+    stats.version = epoch->version;
+    stats.base_fingerprint = epoch->base->Fingerprint();
+    PublishEpoch(std::move(epoch), [&] {
+      for (size_t shard : shards) {
+        cache_->InvalidateShard(shard);
+        ++stats.shards_invalidated;
+      }
+    });
+  }
+  stats.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+  stats.ran = true;
+  compaction_in_flight_.store(false, std::memory_order_release);
+  return stats;
+}
+
+bool VersionedKgStore::CompactInBackground(ThreadPool& pool) {
+  if (compaction_in_flight_.load(std::memory_order_acquire)) return false;
+  pool.Submit([this] { Compact(); });
+  return true;
+}
+
+uint64_t VersionedKgStore::version() const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  return current_->version;
+}
+
+uint64_t VersionedKgStore::applied_mutations() const {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  return next_seq_ - 1;
+}
+
+size_t VersionedKgStore::delta_size() const { return PinEpoch()->delta->size(); }
+
+uint64_t VersionedKgStore::AuthoritativeFingerprint() const {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  return graph::TripleSetFingerprint(kg_);
+}
+
+}  // namespace kg::store

@@ -1,0 +1,242 @@
+#ifndef KGRAPH_STORE_VERSIONED_STORE_H_
+#define KGRAPH_STORE_VERSIONED_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/exec_policy.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/knowledge_graph.h"
+#include "serve/lru_cache.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "store/mem_delta.h"
+#include "store/wal.h"
+
+namespace kg::store {
+
+struct StoreOptions {
+  /// WAL file for durability; empty runs the store in-memory (tests,
+  /// ephemeral replicas). When the file exists, Open replays it —
+  /// truncating any torn tail — before serving.
+  std::string wal_path;
+  /// Result-cache entries; 0 disables caching.
+  size_t cache_capacity = 0;
+  size_t cache_shards = 8;
+};
+
+/// One immutable MVCC version of the store: a base snapshot plus the
+/// overlay of mutations applied after the base was compiled. Readers pin
+/// an epoch with a `shared_ptr` and keep a frozen, consistent view for
+/// as long as they hold it, while writers publish successors; an epoch
+/// is reclaimed when its last pin drops.
+struct StoreEpoch {
+  uint64_t version = 0;  ///< Bumps on every applied batch and compaction.
+  std::shared_ptr<const serve::KgSnapshot> base;
+  std::shared_ptr<const MemDelta> delta;
+};
+
+/// A versioned, mutable KG store layered on the immutable serving
+/// snapshot — the LSM-style write path production KGs use so a stream of
+/// corrections never forces a rebuild-the-world redeploy:
+///
+///   Apply --> WAL (durable, framed+checksummed)
+///         --> authoritative KnowledgeGraph (writer-only)
+///         --> copy-on-write MemDelta --> new StoreEpoch published
+///
+/// Reads pin an epoch and merge base CSR range reads with the overlay
+/// (retractions shadow base triples, upserts surface new ones), so every
+/// answer is byte-identical to `serve::QueryEngine` over a from-scratch
+/// rebuild at that version (store_property_test, 100 worlds). Background
+/// compaction compiles base+overlay into a fresh `KgSnapshot` on a
+/// `ThreadPool` and swaps it in atomically; because the delta keeps any
+/// entry newer than the fold line, serving is never wrong during or
+/// after the fold, and the compacted snapshot's fingerprint equals the
+/// batch-build fingerprint by construction.
+///
+/// Concurrency contract:
+///   - Writers (Apply*/Compact) serialize on an internal writer lock.
+///   - Readers never block writers and writers never block readers
+///     beyond the epoch-pointer swap (a pointer assignment under a brief
+///     exclusive lock). Pinned epochs stay valid forever.
+///   - Mutation order is fully specified by the log; replaying the WAL
+///     onto the same base yields a bit-identical store.
+///
+/// Cache policy — every query class is cached, with a class-appropriate
+/// targeted invalidation:
+///   - Node-addressed classes (point lookup, neighborhood) have an exact
+///     erase set: a mutation (s, p, o) can only change the point lookup
+///     (s, p) and the neighborhoods of s and o. Apply erases exactly
+///     those keys inside the publish section, and fills are gated on the
+///     epoch still being current, so a slow reader can never poison the
+///     cache with a stale answer.
+///   - Scan-shaped classes (attribute-by-type, top-k related) are cached
+///     under generation-tagged keys instead: an attribute-by-type answer
+///     depends only on triples whose predicate is the queried attribute
+///     or the type predicate, so its tag is those two predicates'
+///     generation counters; a top-k answer depends only on the 2-hop
+///     ball around its center, so its tag is the center's node
+///     generation, and a mutation of edge (s, o) bumps {s, o}, plus
+///     N(s) when o is an entity and N(o) when s is an entity (second-hop
+///     candidates are entity-filtered, so a center two hops away only
+///     sees the edge through its entity endpoint). The tag is stored in
+///     the cached value (row 0) under a stable key, so a bump retires an
+///     entry logically and the next read overwrites it in place — no
+///     scans, no flushes, no unreachable garbage crowding the LRU, and
+///     untouched predicates/nodes keep their hits across writes.
+class VersionedKgStore {
+ public:
+  struct CompactionStats {
+    bool ran = false;         ///< False when another fold was in flight.
+    uint64_t folded = 0;      ///< Overlay entries folded into the base.
+    uint64_t version = 0;     ///< Version of the installed epoch.
+    uint64_t base_fingerprint = 0;
+    size_t shards_invalidated = 0;
+    double seconds = 0.0;
+  };
+
+  /// Builds a store over `base`. With a WAL path, existing records are
+  /// replayed (torn tail truncated) before the first epoch is compiled,
+  /// so reopening after a crash reproduces the pre-crash state
+  /// bit-identically.
+  static Result<std::unique_ptr<VersionedKgStore>> Open(
+      graph::KnowledgeGraph base, StoreOptions options = {});
+
+  VersionedKgStore(const VersionedKgStore&) = delete;
+  VersionedKgStore& operator=(const VersionedKgStore&) = delete;
+
+  // --- Write path -------------------------------------------------------
+
+  Status Apply(const Mutation& mutation);
+
+  /// Applies `mutations` in order as one logical commit (one WAL flush,
+  /// one published epoch).
+  Status ApplyBatch(std::span<const Mutation> mutations);
+
+  // --- Read path --------------------------------------------------------
+
+  /// Pins the current epoch. The returned view is immutable and
+  /// consistent; concurrent writers publish successors without
+  /// disturbing it.
+  std::shared_ptr<const StoreEpoch> PinEpoch() const;
+
+  /// Answers `query` against the current epoch, through the result
+  /// cache when enabled.
+  serve::QueryResult Execute(const serve::Query& query) const;
+
+  /// Answers `query` against a pinned epoch, bypassing the cache (the
+  /// cache tracks the *current* version; time-travel reads must not mix
+  /// with it). This is the reference path Execute is checked against.
+  serve::QueryResult ExecuteAt(const StoreEpoch& epoch,
+                               const serve::Query& query) const;
+
+  /// Answers `queries[i]` into slot i over one pinned epoch, sharded by
+  /// `exec` with index-addressed slots — bit-identical at any thread
+  /// count (store_property_test pins 1/2/8).
+  std::vector<serve::QueryResult> BatchExecute(
+      const std::vector<serve::Query>& queries,
+      const ExecPolicy& exec = {}) const;
+
+  // --- Compaction -------------------------------------------------------
+
+  /// Folds the overlay into a fresh base snapshot and publishes it.
+  /// Runs on the calling thread; concurrent Apply keeps working (the
+  /// writer lock is held only to copy the graph and to install the
+  /// result, not while compiling). Returns `ran == false` when another
+  /// compaction is in flight.
+  CompactionStats Compact();
+
+  /// Schedules Compact() on `pool`; returns false (and does nothing)
+  /// when one is already queued or running. Use `pool.WaitIdle()` to
+  /// join it.
+  bool CompactInBackground(ThreadPool& pool);
+
+  bool compaction_in_flight() const {
+    return compaction_in_flight_.load(std::memory_order_acquire);
+  }
+
+  // --- Introspection ----------------------------------------------------
+
+  /// Version of the current epoch (0 right after Open).
+  uint64_t version() const;
+
+  /// Mutations applied since Open (includes WAL-replayed ones).
+  uint64_t applied_mutations() const;
+
+  /// Overlay entries awaiting compaction.
+  size_t delta_size() const;
+
+  /// `graph::TripleSetFingerprint` of the authoritative graph — equals
+  /// the fingerprint of a from-scratch batch build that applied the
+  /// same mutation log.
+  uint64_t AuthoritativeFingerprint() const;
+
+  /// Null when caching is disabled.
+  serve::ShardedLruCache* cache() const { return cache_.get(); }
+
+  const Wal* wal() const { return wal_ ? &*wal_ : nullptr; }
+
+ private:
+  VersionedKgStore() = default;
+
+  /// Applies one mutation to the authoritative graph (upsert = AddTriple
+  /// provenance-append semantics; retracting an absent triple is a
+  /// no-op). Caller holds `writer_mu_`.
+  void ApplyToGraph(const Mutation& m);
+
+  /// The node-addressed cache keys whose answers `m` can change.
+  static std::vector<std::string> AffectedCacheKeys(const Mutation& m);
+
+  /// The generation suffix for `q`'s cache key ("" for node-addressed
+  /// classes, which use erase-based invalidation instead).
+  std::string GenTag(const serve::Query& q) const;
+
+  /// Advances the generation counters invalidated by `mutations`
+  /// (computed against the just-published epoch; caller holds
+  /// `writer_mu_`).
+  void BumpGenerations(std::span<const Mutation> mutations);
+
+  /// Publishes `epoch` and runs `invalidate` (cache maintenance) under
+  /// the epoch lock, so no stale fill can slip between the two.
+  void PublishEpoch(std::shared_ptr<const StoreEpoch> epoch,
+                    const std::function<void()>& invalidate);
+
+  StoreOptions options_;
+  std::optional<Wal> wal_;
+
+  /// Serializes writers; guards kg_ and next_seq_.
+  mutable std::mutex writer_mu_;
+  graph::KnowledgeGraph kg_;
+  uint64_t next_seq_ = 1;
+
+  /// Guards the current-epoch pointer and gates cache fills against
+  /// concurrent publishes. Shared: pin + fill; exclusive: publish.
+  mutable std::shared_mutex epoch_mu_;
+  std::shared_ptr<const StoreEpoch> current_;
+
+  std::unique_ptr<serve::ShardedLruCache> cache_;
+  std::atomic<bool> compaction_in_flight_{false};
+
+  /// Generation counters behind the gen-tagged cache keys. Written by
+  /// writers (after publish, still inside the writer section), read by
+  /// every attribute-by-type / top-k Execute. Entries accumulate per
+  /// distinct touched predicate/node — bounded by the vocabulary, not by
+  /// the write count.
+  mutable std::shared_mutex gen_mu_;
+  std::unordered_map<std::string, uint64_t> predicate_gen_;
+  std::unordered_map<std::string, uint64_t> node_gen_;
+};
+
+}  // namespace kg::store
+
+#endif  // KGRAPH_STORE_VERSIONED_STORE_H_

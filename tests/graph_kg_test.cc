@@ -46,6 +46,31 @@ TEST(KnowledgeGraphTest, DeduplicatesTriplesAndMergesProvenance) {
   EXPECT_EQ(kg.provenance(t1).size(), 2u);
 }
 
+// Regression pin for the duplicate-assertion contract documented on
+// AddTriple: a second assertion of the same (s, p, o) with different
+// provenance is an append, never a second triple — the ingestion paths
+// (store upserts, multi-extractor fusion) rely on every one of these.
+TEST(KnowledgeGraphTest, DuplicateAssertionIsProvenanceAppend) {
+  KnowledgeGraph kg;
+  const TripleId t1 = kg.AddTriple("s", "p", "o", NodeKind::kEntity,
+                                   NodeKind::kText, P("feed_a", 0.3));
+  const TripleId t2 = kg.AddTriple("s", "p", "o", NodeKind::kEntity,
+                                   NodeKind::kText, P("feed_b", 0.9));
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(kg.num_triples(), 1u);
+  EXPECT_EQ(kg.AllTriples().size(), 1u);
+  // Provenance accumulates in assertion order; confidence is the best.
+  ASSERT_EQ(kg.provenance(t1).size(), 2u);
+  EXPECT_EQ(kg.provenance(t1)[0].source, "feed_a");
+  EXPECT_EQ(kg.provenance(t1)[1].source, "feed_b");
+  EXPECT_DOUBLE_EQ(kg.MaxConfidence(t1), 0.9);
+  // Query answers are those of a single triple.
+  const NodeId s = *kg.FindNode("s", NodeKind::kEntity);
+  const PredicateId p = *kg.FindPredicate("p");
+  EXPECT_EQ(kg.Objects(s, p).size(), 1u);
+  EXPECT_EQ(kg.TriplesWithSubject(s).size(), 1u);
+}
+
 TEST(KnowledgeGraphTest, RemoveHidesFromQueries) {
   KnowledgeGraph kg;
   const TripleId t = kg.AddTriple("s", "p", "o", NodeKind::kEntity,

@@ -138,6 +138,88 @@ TEST(LruCacheTest, CountersExactUnderConcurrentReaders) {
   EXPECT_EQ(c.evictions, 0u);
 }
 
+TEST(LruCacheTest, EraseDropsExactlyTheNamedKey) {
+  ShardedLruCache cache(/*capacity=*/16, /*num_shards=*/4);
+  cache.Put("keep", Val("K"));
+  cache.Put("drop", Val("D"));
+  EXPECT_TRUE(cache.Erase("drop"));
+  EXPECT_FALSE(cache.Erase("drop"));    // Already gone.
+  EXPECT_FALSE(cache.Erase("absent"));  // Never present.
+  EXPECT_FALSE(cache.Get("drop", nullptr));
+  Value out;
+  ASSERT_TRUE(cache.Get("keep", &out));
+  EXPECT_EQ(out, Val("K"));
+  const auto c = cache.counters();
+  EXPECT_EQ(c.invalidations, 1u);  // Only the successful erase counts.
+  EXPECT_EQ(c.evictions, 0u);      // Invalidation is not eviction.
+}
+
+TEST(LruCacheTest, InvalidateShardDropsOnlyThatShard) {
+  ShardedLruCache cache(/*capacity=*/256, /*num_shards=*/4);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back("k" + std::to_string(i));
+  for (const auto& k : keys) cache.Put(k, Val(k));
+  const size_t target = cache.ShardOf(keys[0]);
+  size_t expected = 0;
+  for (const auto& k : keys) expected += cache.ShardOf(k) == target ? 1 : 0;
+
+  EXPECT_EQ(cache.InvalidateShard(target), expected);
+  EXPECT_EQ(cache.size(), keys.size() - expected);
+  for (const auto& k : keys) {
+    EXPECT_EQ(cache.Get(k, nullptr), cache.ShardOf(k) != target) << k;
+  }
+  EXPECT_EQ(cache.counters().invalidations, expected);
+  EXPECT_EQ(cache.InvalidateShard(target), 0u);  // Idempotent when empty.
+}
+
+TEST(LruCacheTest, CountersExactUnderConcurrentInvalidateAndGet) {
+  // Readers hammer a fixed key set while one thread erases keys and
+  // another flushes whole shards. The exact hit/miss split is
+  // schedule-dependent, but the invariants are not: every Get counts
+  // exactly one hit or miss, every dropped entry counts exactly one
+  // invalidation, and a hit must return the exact value put.
+  const size_t kKeys = 64;
+  const size_t kReaders = 6;
+  const size_t kReadsPerThread = 4000;
+  ShardedLruCache cache(/*capacity=*/256, /*num_shards=*/8);
+  for (size_t i = 0; i < kKeys; ++i) {
+    cache.Put("k" + std::to_string(i), Val("v" + std::to_string(i)));
+  }
+  cache.ResetCounters();
+
+  ThreadPool pool(kReaders + 2);
+  pool.ParallelFor(kReaders + 2, [&](size_t t) {
+    if (t == 0) {
+      for (size_t i = 0; i < kKeys; ++i) {
+        cache.Erase("k" + std::to_string(i % kKeys));
+      }
+      return;
+    }
+    if (t == 1) {
+      for (size_t s = 0; s < cache.num_shards(); ++s) {
+        cache.InvalidateShard(s);
+      }
+      return;
+    }
+    for (size_t i = 0; i < kReadsPerThread; ++i) {
+      const size_t j = (t * kReadsPerThread + i) % kKeys;
+      Value out;
+      if (cache.Get("k" + std::to_string(j), &out)) {
+        EXPECT_EQ(out, Val("v" + std::to_string(j)));
+      }
+    }
+  });
+
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses, kReaders * kReadsPerThread);
+  // Nothing is ever re-put and both droppers cover every key, so each
+  // of the kKeys entries is dropped exactly once — by Erase or by a
+  // shard flush, never both, never neither.
+  EXPECT_EQ(c.invalidations, kKeys);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(cache.size(), 0u);  // Every key was eventually dropped.
+}
+
 TEST(LruCacheTest, ClearDropsEntriesKeepsCounters) {
   ShardedLruCache cache(/*capacity=*/8, /*num_shards=*/2);
   cache.Put("a", Val("A"));

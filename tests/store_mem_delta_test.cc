@@ -1,0 +1,183 @@
+// MemDelta: last-op-wins state per triple, subject/object-major
+// iteration order, prefix-probe exactness (TouchesSubject must not match
+// name prefixes), fold-line trimming, and the copy-on-write property the
+// store's epoch publishing relies on.
+
+#include "store/mem_delta.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "store/wal.h"
+
+namespace kg::store {
+namespace {
+
+using graph::NodeKind;
+using graph::Provenance;
+
+Mutation Up(const std::string& s, const std::string& p,
+            const std::string& o, NodeKind sk = NodeKind::kEntity,
+            NodeKind ok = NodeKind::kEntity) {
+  return Mutation::Upsert(s, p, o, sk, ok, Provenance{"test", 1.0, 0});
+}
+
+Mutation Rt(const std::string& s, const std::string& p,
+            const std::string& o, NodeKind sk = NodeKind::kEntity,
+            NodeKind ok = NodeKind::kEntity) {
+  return Mutation::Retract(s, p, o, sk, ok);
+}
+
+TEST(MemDeltaTest, LastOpWinsPerTriple) {
+  MemDelta delta;
+  EXPECT_TRUE(delta.empty());
+  delta.Apply(Up("a", "p", "b"), 1);
+  EXPECT_EQ(delta.Lookup(TripleName::Of(Up("a", "p", "b"))),
+            MemDelta::State::kUpserted);
+  delta.Apply(Rt("a", "p", "b"), 2);
+  EXPECT_EQ(delta.Lookup(TripleName::Of(Up("a", "p", "b"))),
+            MemDelta::State::kRetracted);
+  delta.Apply(Up("a", "p", "b"), 3);
+  EXPECT_EQ(delta.Lookup(TripleName::Of(Up("a", "p", "b"))),
+            MemDelta::State::kUpserted);
+  EXPECT_EQ(delta.size(), 1u);  // one triple, whatever its history
+  EXPECT_EQ(delta.last_seq(), 3u);
+}
+
+TEST(MemDeltaTest, LookupDistinguishesKinds) {
+  MemDelta delta;
+  delta.Apply(Up("x", "p", "y", NodeKind::kEntity, NodeKind::kText), 1);
+  EXPECT_EQ(delta.Lookup(TripleName{NodeKind::kEntity, "x", "p",
+                                    NodeKind::kText, "y"}),
+            MemDelta::State::kUpserted);
+  EXPECT_EQ(delta.Lookup(TripleName{NodeKind::kEntity, "x", "p",
+                                    NodeKind::kEntity, "y"}),
+            MemDelta::State::kUntouched);
+  EXPECT_EQ(delta.Lookup(TripleName{NodeKind::kText, "x", "p",
+                                    NodeKind::kText, "y"}),
+            MemDelta::State::kUntouched);
+}
+
+TEST(MemDeltaTest, TouchProbesAreExactNotPrefixMatches) {
+  MemDelta delta;
+  delta.Apply(Up("ab", "p", "zz"), 1);
+  EXPECT_TRUE(delta.TouchesSubject(NodeKind::kEntity, "ab"));
+  EXPECT_FALSE(delta.TouchesSubject(NodeKind::kEntity, "a"));
+  EXPECT_FALSE(delta.TouchesSubject(NodeKind::kEntity, "abc"));
+  EXPECT_FALSE(delta.TouchesSubject(NodeKind::kText, "ab"));
+  EXPECT_TRUE(delta.TouchesObject(NodeKind::kEntity, "zz"));
+  EXPECT_FALSE(delta.TouchesObject(NodeKind::kEntity, "z"));
+  EXPECT_FALSE(delta.TouchesObject(NodeKind::kEntity, "ab"));
+}
+
+TEST(MemDeltaTest, ForEachBySubjectIsOrderedAndScoped) {
+  MemDelta delta;
+  delta.Apply(Up("s", "q", "o2"), 1);
+  delta.Apply(Up("s", "p", "o9"), 2);
+  delta.Apply(Rt("s", "p", "o1"), 3);
+  delta.Apply(Up("other", "p", "o1"), 4);
+  delta.Apply(Up("s", "p", "o5", NodeKind::kEntity, NodeKind::kText), 5);
+
+  std::vector<std::string> seen;
+  delta.ForEachBySubject(
+      NodeKind::kEntity, "s",
+      [&](const TripleName& t, const MemDelta::Entry& e) {
+        seen.push_back(t.predicate + "/" + t.object + "/" +
+                       (e.state == MemDelta::State::kUpserted ? "U" : "R"));
+      });
+  // (predicate, object_kind, object) order; "other"'s entry never shows.
+  const std::vector<std::string> expected = {
+      "p/o1/R",  // p, kEntity, o1
+      "p/o9/U",  // p, kEntity, o9
+      "p/o5/U",  // p, kText, o5 (kText sorts after kEntity)
+      "q/o2/U",
+  };
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(MemDeltaTest, ForEachByObjectReconstructsFullTripleNames) {
+  MemDelta delta;
+  delta.Apply(Up("s1", "p", "hub"), 1);
+  delta.Apply(Rt("s2", "q", "hub"), 2);
+  delta.Apply(Up("s3", "p", "elsewhere"), 3);
+
+  std::vector<TripleName> seen;
+  delta.ForEachByObject(NodeKind::kEntity, "hub",
+                        [&](const TripleName& t, const MemDelta::Entry&) {
+                          seen.push_back(t);
+                        });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0],
+            (TripleName{NodeKind::kEntity, "s1", "p", NodeKind::kEntity,
+                        "hub"}));
+  EXPECT_EQ(seen[1],
+            (TripleName{NodeKind::kEntity, "s2", "q", NodeKind::kEntity,
+                        "hub"}));
+}
+
+TEST(MemDeltaTest, TrimThroughDropsOnlyFoldedEntries) {
+  MemDelta delta;
+  delta.Apply(Up("a", "p", "b"), 1);
+  delta.Apply(Rt("c", "p", "d"), 2);
+  delta.Apply(Up("e", "p", "f"), 3);
+  // Triple (a,p,b) mutated again *after* the fold line: its entry's seq
+  // moves to 4, so it must survive a TrimThrough(3).
+  delta.Apply(Rt("a", "p", "b"), 4);
+
+  delta.TrimThrough(3);
+  EXPECT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta.Lookup(TripleName::Of(Up("a", "p", "b"))),
+            MemDelta::State::kRetracted);
+  EXPECT_EQ(delta.Lookup(TripleName::Of(Up("c", "p", "d"))),
+            MemDelta::State::kUntouched);
+  EXPECT_EQ(delta.Lookup(TripleName::Of(Up("e", "p", "f"))),
+            MemDelta::State::kUntouched);
+  // The object-major index trims in lockstep.
+  bool found = false;
+  delta.ForEachByObject(NodeKind::kEntity, "f",
+                        [&](const TripleName&, const MemDelta::Entry&) {
+                          found = true;
+                        });
+  EXPECT_FALSE(found);
+  delta.TrimThrough(4);
+  EXPECT_TRUE(delta.empty());
+}
+
+TEST(MemDeltaTest, CopyIsIndependentOfTheOriginal) {
+  MemDelta original;
+  original.Apply(Up("a", "p", "b"), 1);
+  const MemDelta snapshot = original;  // the store's copy-on-write publish
+  original.Apply(Rt("a", "p", "b"), 2);
+  original.Apply(Up("new", "p", "triple"), 3);
+
+  EXPECT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot.Lookup(TripleName::Of(Up("a", "p", "b"))),
+            MemDelta::State::kUpserted);
+  EXPECT_FALSE(snapshot.TouchesSubject(NodeKind::kEntity, "new"));
+  // Both secondary-index views of the copy reflect the old state too.
+  int hits = 0;
+  snapshot.ForEachByObject(NodeKind::kEntity, "b",
+                           [&](const TripleName&, const MemDelta::Entry& e) {
+                             EXPECT_EQ(e.state, MemDelta::State::kUpserted);
+                             ++hits;
+                           });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(MemDeltaTest, HostileNamesWithTabsAndEmptiesWork) {
+  MemDelta delta;
+  delta.Apply(Up("", "", "", NodeKind::kText, NodeKind::kClass), 1);
+  delta.Apply(Up("tab\there", "p\tq", "line\nbreak"), 2);
+  EXPECT_TRUE(delta.TouchesSubject(NodeKind::kText, ""));
+  EXPECT_TRUE(delta.TouchesSubject(NodeKind::kEntity, "tab\there"));
+  EXPECT_EQ(delta.Lookup(TripleName{NodeKind::kEntity, "tab\there", "p\tq",
+                                    NodeKind::kEntity, "line\nbreak"}),
+            MemDelta::State::kUpserted);
+  EXPECT_EQ(delta.size(), 2u);
+}
+
+}  // namespace
+}  // namespace kg::store

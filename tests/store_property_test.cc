@@ -1,0 +1,275 @@
+// Property harness for the versioned store — the determinism contract of
+// the whole subsystem. For 100 seeded random (base KG, mutation stream,
+// workload) worlds:
+//   1. every store answer through the overlay == a QueryEngine over a
+//      from-scratch rebuild that applied the same mutations (checked at
+//      multiple checkpoints, cache on);
+//   2. compaction's output snapshot fingerprint == the fingerprint of a
+//      batch build of the same knowledge, and answers are unchanged by
+//      the fold (including folds in the middle of the stream);
+//   3. BatchExecute is bit-identical at 1/2/8 threads;
+//   4. the authoritative graph fingerprints identically to the oracle
+//      after every batch.
+// Worlds come from kg::synth universes plus hostile names, duplicate
+// upserts, retractions of base and overlay triples, and resurrections.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/exec_policy.h"
+#include "common/rng.h"
+#include "graph/knowledge_graph.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "store/versioned_store.h"
+#include "store/wal.h"
+#include "synth/entity_universe.h"
+
+namespace kg::store {
+namespace {
+
+using graph::KnowledgeGraph;
+using graph::NodeKind;
+using graph::Provenance;
+using graph::TripleId;
+using serve::Query;
+using serve::QueryResult;
+
+constexpr int kNumWorlds = 100;
+constexpr int kMutationsPerWorld = 40;
+constexpr int kQueriesPerWorld = 30;
+
+const std::vector<std::string>& HostileNames() {
+  static const std::vector<std::string> kNames = {
+      "", "tab\there", "line\nbreak", "back\\slash", "\\t literal",
+      "h\xc3\xa9llo w\xc3\xb6rld", "quote'\"q", "person:0",
+  };
+  return kNames;
+}
+
+struct World {
+  KnowledgeGraph kg;
+  std::vector<std::string> names;       // node-name pool for mutations
+  std::vector<std::string> predicates;  // predicate pool
+};
+
+World MakeWorld(uint64_t seed) {
+  Rng rng(seed);
+  synth::UniverseOptions options;
+  options.num_people = static_cast<size_t>(rng.UniformInt(10, 25));
+  options.num_movies = static_cast<size_t>(rng.UniformInt(8, 18));
+  options.num_songs = static_cast<size_t>(rng.UniformInt(4, 10));
+  const auto universe = synth::EntityUniverse::Generate(options, rng);
+
+  World world;
+  world.kg = universe.ToKnowledgeGraph();
+  const Provenance prov{"store_prop", 1.0, 0};
+  for (const auto& p : universe.people()) {
+    const std::string name = synth::EntityUniverse::PersonNodeName(p.id);
+    world.kg.AddTriple(name, "type", "Person", NodeKind::kEntity,
+                       NodeKind::kClass, prov);
+    world.names.push_back(name);
+  }
+  for (const auto& m : universe.movies()) {
+    const std::string name = synth::EntityUniverse::MovieNodeName(m.id);
+    world.kg.AddTriple(name, "type", "Movie", NodeKind::kEntity,
+                       NodeKind::kClass, prov);
+    world.names.push_back(name);
+  }
+  for (const auto& s : universe.songs()) {
+    world.names.push_back(synth::EntityUniverse::SongNodeName(s.id));
+  }
+  const auto& hostile = HostileNames();
+  world.names.insert(world.names.end(), hostile.begin(), hostile.end());
+  world.predicates = {"knows",       "type",       "name",    "genre",
+                      "directed_by", "acted_in",   "mentors", "hostile_p",
+                      "performed_by", "no_such_predicate"};
+  return world;
+}
+
+NodeKind RandomKind(Rng& rng) {
+  // Mostly entities; sometimes text/class so kind-collisions and
+  // cross-kind shadowing get exercised.
+  if (rng.Bernoulli(0.7)) return NodeKind::kEntity;
+  return rng.Bernoulli(0.5) ? NodeKind::kText : NodeKind::kClass;
+}
+
+/// One random mutation. Retracts are aimed at live triples half the
+/// time (via the oracle's current state) so shadowing of real base
+/// triples — not just misses — dominates.
+Mutation RandomMutation(const World& world, const KnowledgeGraph& oracle,
+                        Rng& rng) {
+  const double roll = rng.UniformDouble();
+  if (roll < 0.45) {
+    // Retract: prefer an existing live triple.
+    const std::vector<TripleId> live = oracle.AllTriples();
+    if (!live.empty() && rng.Bernoulli(0.8)) {
+      const graph::Triple& t = oracle.triple(live[rng.UniformIndex(live.size())]);
+      return Mutation::Retract(
+          oracle.NodeName(t.subject), oracle.PredicateName(t.predicate),
+          oracle.NodeName(t.object), oracle.GetNodeKind(t.subject),
+          oracle.GetNodeKind(t.object));
+    }
+    return Mutation::Retract(
+        world.names[rng.UniformIndex(world.names.size())],
+        world.predicates[rng.UniformIndex(world.predicates.size())],
+        world.names[rng.UniformIndex(world.names.size())], RandomKind(rng),
+        RandomKind(rng));
+  }
+  // Upsert: sometimes duplicate an existing triple (provenance append /
+  // resurrection), sometimes brand-new knowledge.
+  Provenance prov;
+  prov.source = rng.Bernoulli(0.5) ? "feed_a" : "feed_b";
+  prov.confidence = rng.UniformDouble();
+  prov.timestamp = rng.UniformInt(0, 1000);
+  const std::vector<TripleId> live = oracle.AllTriples();
+  if (!live.empty() && rng.Bernoulli(0.25)) {
+    const graph::Triple& t = oracle.triple(live[rng.UniformIndex(live.size())]);
+    return Mutation::Upsert(
+        oracle.NodeName(t.subject), oracle.PredicateName(t.predicate),
+        oracle.NodeName(t.object), oracle.GetNodeKind(t.subject),
+        oracle.GetNodeKind(t.object), std::move(prov));
+  }
+  return Mutation::Upsert(
+      world.names[rng.UniformIndex(world.names.size())],
+      world.predicates[rng.UniformIndex(world.predicates.size())],
+      world.names[rng.UniformIndex(world.names.size())], RandomKind(rng),
+      RandomKind(rng), std::move(prov));
+}
+
+void ApplyToKg(KnowledgeGraph* kg, const Mutation& m) {
+  if (m.op == MutationOp::kUpsert) {
+    kg->AddTriple(m.subject, m.predicate, m.object, m.subject_kind,
+                  m.object_kind, m.prov);
+    return;
+  }
+  const auto s = kg->FindNode(m.subject, m.subject_kind);
+  const auto p = kg->FindPredicate(m.predicate);
+  const auto o = kg->FindNode(m.object, m.object_kind);
+  if (!s.ok() || !p.ok() || !o.ok()) return;
+  const TripleId id = kg->FindTriple(*s, *p, *o);
+  if (id != graph::kInvalidTriple) kg->RemoveTriple(id);
+}
+
+std::vector<Query> MakeWorkload(const World& world, Rng& rng) {
+  std::vector<Query> queries;
+  const std::vector<std::string> types = {"Person", "Movie", "NoSuchType"};
+  for (int i = 0; i < kQueriesPerWorld; ++i) {
+    const std::string& node =
+        world.names[rng.UniformIndex(world.names.size())];
+    const std::string& pred =
+        world.predicates[rng.UniformIndex(world.predicates.size())];
+    const NodeKind kind =
+        rng.Bernoulli(0.85) ? NodeKind::kEntity : RandomKind(rng);
+    const double roll = rng.UniformDouble();
+    if (roll < 0.35) {
+      queries.push_back(Query::PointLookup(node, pred, kind));
+    } else if (roll < 0.65) {
+      queries.push_back(Query::Neighborhood(node, kind));
+    } else if (roll < 0.85) {
+      queries.push_back(
+          Query::AttributeByType(types[rng.UniformIndex(types.size())],
+                                 pred));
+    } else {
+      queries.push_back(Query::TopKRelated(
+          node, static_cast<size_t>(rng.UniformInt(0, 8)), kind));
+    }
+  }
+  return queries;
+}
+
+/// Checks every workload answer (through the store's cache) against a
+/// QueryEngine over a from-scratch compile of the oracle.
+void ExpectStoreMatchesRebuild(const VersionedKgStore& store,
+                               const KnowledgeGraph& oracle,
+                               const std::vector<Query>& workload,
+                               uint64_t seed, const char* where) {
+  const serve::KgSnapshot snap = serve::KgSnapshot::Compile(oracle);
+  const serve::QueryEngine engine(snap);
+  for (const Query& q : workload) {
+    ASSERT_EQ(store.Execute(q), engine.ExecuteUncached(q))
+        << where << ", world seed " << seed << ", query " << q.CacheKey();
+  }
+}
+
+TEST(StorePropertyTest, OverlayReadsEqualRebuildAcrossWorlds) {
+  int checked = 0;
+  for (int world_idx = 0; world_idx < kNumWorlds; ++world_idx) {
+    const uint64_t seed = 5000 + static_cast<uint64_t>(world_idx);
+    World world = MakeWorld(seed);
+    Rng rng(seed * 131 + 17);
+    const std::vector<Query> workload = MakeWorkload(world, rng);
+
+    StoreOptions options;
+    options.cache_capacity = 32;  // small: forces evictions + refills
+    options.cache_shards = 4;
+    auto opened = VersionedKgStore::Open(world.kg, options);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    auto& store = **opened;
+    KnowledgeGraph oracle = world.kg;
+
+    // Apply the stream in random-size batches with two checkpoints and
+    // (for some worlds) a fold in the middle of the stream.
+    const int mid_compact_at =
+        rng.Bernoulli(0.5) ? static_cast<int>(rng.UniformInt(
+                                 5, kMutationsPerWorld - 5))
+                           : -1;
+    int applied = 0;
+    while (applied < kMutationsPerWorld) {
+      const int batch_size = static_cast<int>(rng.UniformInt(1, 5));
+      std::vector<Mutation> batch;
+      for (int b = 0; b < batch_size && applied < kMutationsPerWorld;
+           ++b, ++applied) {
+        batch.push_back(RandomMutation(world, oracle, rng));
+        ApplyToKg(&oracle, batch.back());
+      }
+      ASSERT_TRUE(store.ApplyBatch(batch).ok());
+      ASSERT_EQ(store.AuthoritativeFingerprint(),
+                graph::TripleSetFingerprint(oracle))
+          << "world seed " << seed << " after " << applied << " mutations";
+      if (mid_compact_at >= 0 && applied >= mid_compact_at &&
+          store.delta_size() > 0) {
+        const auto stats = store.Compact();
+        ASSERT_TRUE(stats.ran);
+        ASSERT_EQ(stats.base_fingerprint,
+                  serve::KgSnapshot::Compile(oracle).Fingerprint())
+            << "mid-stream fold, world seed " << seed;
+      }
+      if (applied == kMutationsPerWorld / 2 ||
+          applied >= kMutationsPerWorld) {
+        ExpectStoreMatchesRebuild(store, oracle, workload, seed,
+                                  "checkpoint");
+        checked += static_cast<int>(workload.size());
+      }
+    }
+
+    // Thread-count invariance over the final overlay state.
+    const auto serial = store.BatchExecute(workload, ExecPolicy::Serial());
+    for (size_t threads : {2u, 8u}) {
+      ASSERT_EQ(store.BatchExecute(workload,
+                                   ExecPolicy::WithThreads(threads)),
+                serial)
+          << "world seed " << seed << ", threads " << threads;
+    }
+
+    // Final fold: compaction output == batch build, answers unchanged.
+    const auto stats = store.Compact();
+    ASSERT_TRUE(stats.ran);
+    ASSERT_EQ(stats.base_fingerprint,
+              serve::KgSnapshot::Compile(oracle).Fingerprint())
+        << "world seed " << seed;
+    ASSERT_EQ(store.delta_size(), 0u);
+    ExpectStoreMatchesRebuild(store, oracle, workload, seed,
+                              "post-compaction");
+    ASSERT_EQ(store.BatchExecute(workload, ExecPolicy::Serial()), serial)
+        << "compaction changed an answer, world seed " << seed;
+  }
+  // The suite only counts if it exercised the budgeted volume.
+  EXPECT_GE(checked, kNumWorlds * kQueriesPerWorld);
+}
+
+}  // namespace
+}  // namespace kg::store

@@ -1,0 +1,387 @@
+// VersionedKgStore unit suite: overlay reads vs a from-scratch rebuild,
+// upsert/retract/resurrect semantics, WAL crash recovery (bit-identical
+// state), compaction folding + fingerprint equality with a batch build,
+// targeted cache invalidation, and thread-count-invariant BatchExecute.
+
+#include "store/versioned_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/exec_policy.h"
+#include "common/thread_pool.h"
+#include "graph/knowledge_graph.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "store/wal.h"
+
+namespace kg::store {
+namespace {
+
+using graph::KnowledgeGraph;
+using graph::NodeKind;
+using graph::Provenance;
+using serve::Query;
+using serve::QueryResult;
+
+const Provenance kProv{"store_test", 1.0, 1};
+
+KnowledgeGraph BaseKg() {
+  KnowledgeGraph kg;
+  kg.AddTriple("alice", "knows", "bob", NodeKind::kEntity, NodeKind::kEntity,
+               kProv);
+  kg.AddTriple("alice", "knows", "carol", NodeKind::kEntity,
+               NodeKind::kEntity, kProv);
+  kg.AddTriple("bob", "knows", "carol", NodeKind::kEntity, NodeKind::kEntity,
+               kProv);
+  kg.AddTriple("alice", "type", "Person", NodeKind::kEntity,
+               NodeKind::kClass, kProv);
+  kg.AddTriple("bob", "type", "Person", NodeKind::kEntity, NodeKind::kClass,
+               kProv);
+  kg.AddTriple("carol", "type", "Person", NodeKind::kEntity,
+               NodeKind::kClass, kProv);
+  kg.AddTriple("alice", "name", "Alice A.", NodeKind::kEntity,
+               NodeKind::kText, kProv);
+  kg.AddTriple("bob", "name", "Bob B.", NodeKind::kEntity, NodeKind::kText,
+               kProv);
+  return kg;
+}
+
+/// Applies `m` to a raw KG exactly as the store's writer does — the
+/// rebuild oracle all overlay answers are checked against.
+void ApplyToKg(KnowledgeGraph* kg, const Mutation& m) {
+  if (m.op == MutationOp::kUpsert) {
+    kg->AddTriple(m.subject, m.predicate, m.object, m.subject_kind,
+                  m.object_kind, m.prov);
+    return;
+  }
+  const auto s = kg->FindNode(m.subject, m.subject_kind);
+  const auto p = kg->FindPredicate(m.predicate);
+  const auto o = kg->FindNode(m.object, m.object_kind);
+  if (!s.ok() || !p.ok() || !o.ok()) return;
+  const graph::TripleId id = kg->FindTriple(*s, *p, *o);
+  if (id != graph::kInvalidTriple) kg->RemoveTriple(id);
+}
+
+std::vector<Query> ProbeQueries() {
+  return {
+      Query::PointLookup("alice", "knows"),
+      Query::PointLookup("alice", "name"),
+      Query::PointLookup("dana", "knows"),
+      Query::Neighborhood("alice"),
+      Query::Neighborhood("carol"),
+      Query::Neighborhood("dana"),
+      Query::AttributeByType("Person", "name"),
+      Query::AttributeByType("Person", "knows"),
+      Query::TopKRelated("alice", 5),
+      Query::TopKRelated("carol", 3),
+  };
+}
+
+/// Asserts every probe answer from `store` equals a fresh QueryEngine
+/// over a from-scratch compile of `expected_kg`.
+void ExpectMatchesRebuild(const VersionedKgStore& store,
+                          const KnowledgeGraph& expected_kg,
+                          const std::string& context) {
+  const serve::KgSnapshot snap = serve::KgSnapshot::Compile(expected_kg);
+  const serve::QueryEngine engine(snap);
+  for (const Query& q : ProbeQueries()) {
+    ASSERT_EQ(store.Execute(q), engine.ExecuteUncached(q))
+        << context << ", query " << q.CacheKey();
+  }
+}
+
+std::unique_ptr<VersionedKgStore> MustOpen(KnowledgeGraph base,
+                                           StoreOptions options = {}) {
+  auto store = VersionedKgStore::Open(std::move(base), std::move(options));
+  EXPECT_TRUE(store.ok()) << store.status();
+  return std::move(*store);
+}
+
+struct TempWalPath {
+  std::string path;
+  explicit TempWalPath(const std::string& tag) {
+    path = (std::filesystem::temp_directory_path() /
+            ("kg_store_vs_test_" + tag + ".wal"))
+               .string();
+    std::filesystem::remove(path);
+  }
+  ~TempWalPath() { std::filesystem::remove(path); }
+};
+
+TEST(VersionedStoreTest, FreshStoreServesTheBaseSnapshot) {
+  auto store = MustOpen(BaseKg());
+  EXPECT_EQ(store->version(), 0u);
+  EXPECT_EQ(store->delta_size(), 0u);
+  EXPECT_EQ(store->applied_mutations(), 0u);
+  ExpectMatchesRebuild(*store, BaseKg(), "fresh");
+}
+
+TEST(VersionedStoreTest, UpsertsAndRetractsMatchRebuildAtEveryStep) {
+  auto store = MustOpen(BaseKg());
+  KnowledgeGraph oracle = BaseKg();
+  const std::vector<Mutation> script = {
+      // New edge from an existing node to a brand-new node.
+      Mutation::Upsert("alice", "knows", "dana", NodeKind::kEntity,
+                       NodeKind::kEntity, kProv),
+      // Entirely new subject, new predicate.
+      Mutation::Upsert("dana", "manages", "bob", NodeKind::kEntity,
+                       NodeKind::kEntity, kProv),
+      // Retract a base triple.
+      Mutation::Retract("alice", "knows", "bob", NodeKind::kEntity,
+                        NodeKind::kEntity),
+      // Retract an overlay triple applied above.
+      Mutation::Retract("dana", "manages", "bob", NodeKind::kEntity,
+                        NodeKind::kEntity),
+      // Resurrect the retracted base triple.
+      Mutation::Upsert("alice", "knows", "bob", NodeKind::kEntity,
+                       NodeKind::kEntity, Provenance{"resurrect", 0.5, 9}),
+      // Upsert of a triple the base already has (provenance append).
+      Mutation::Upsert("bob", "knows", "carol", NodeKind::kEntity,
+                       NodeKind::kEntity, Provenance{"second_source", 0.9, 7}),
+      // Retract something that never existed: a no-op.
+      Mutation::Retract("ghost", "haunts", "nobody", NodeKind::kEntity,
+                        NodeKind::kEntity),
+      // New class member, then give it the attribute queried by probes.
+      Mutation::Upsert("dana", "type", "Person", NodeKind::kEntity,
+                       NodeKind::kClass, kProv),
+      Mutation::Upsert("dana", "name", "Dana D.", NodeKind::kEntity,
+                       NodeKind::kText, kProv),
+  };
+  uint64_t version = store->version();
+  for (size_t i = 0; i < script.size(); ++i) {
+    ASSERT_TRUE(store->Apply(script[i]).ok());
+    ApplyToKg(&oracle, script[i]);
+    EXPECT_EQ(store->version(), ++version);
+    ExpectMatchesRebuild(*store, oracle, "after mutation " +
+                                             std::to_string(i));
+    EXPECT_EQ(store->AuthoritativeFingerprint(),
+              graph::TripleSetFingerprint(oracle));
+  }
+  EXPECT_EQ(store->applied_mutations(), script.size());
+}
+
+TEST(VersionedStoreTest, ApplyBatchIsOneVersionBump) {
+  auto store = MustOpen(BaseKg());
+  KnowledgeGraph oracle = BaseKg();
+  std::vector<Mutation> batch = {
+      Mutation::Upsert("eve", "knows", "alice", NodeKind::kEntity,
+                       NodeKind::kEntity, kProv),
+      Mutation::Retract("bob", "knows", "carol", NodeKind::kEntity,
+                        NodeKind::kEntity),
+  };
+  ASSERT_TRUE(store->ApplyBatch(batch).ok());
+  for (const Mutation& m : batch) ApplyToKg(&oracle, m);
+  EXPECT_EQ(store->version(), 1u);
+  EXPECT_EQ(store->applied_mutations(), 2u);
+  ExpectMatchesRebuild(*store, oracle, "after batch");
+  ASSERT_TRUE(store->ApplyBatch({}).ok());  // empty batch: no-op, no bump
+  EXPECT_EQ(store->version(), 1u);
+}
+
+TEST(VersionedStoreTest, WalRecoveryIsBitIdentical) {
+  TempWalPath wal("recovery");
+  StoreOptions options;
+  options.wal_path = wal.path;
+  KnowledgeGraph oracle = BaseKg();
+  uint64_t fingerprint = 0;
+  {
+    auto store = MustOpen(BaseKg(), options);
+    const std::vector<Mutation> script = {
+        Mutation::Upsert("alice", "knows", "dana", NodeKind::kEntity,
+                         NodeKind::kEntity, kProv),
+        Mutation::Retract("alice", "knows", "bob", NodeKind::kEntity,
+                          NodeKind::kEntity),
+        Mutation::Upsert("tab\there", "p", "line\nbreak", NodeKind::kText,
+                         NodeKind::kText, Provenance{"\\src", 0.25, -5}),
+    };
+    for (const Mutation& m : script) {
+      ASSERT_TRUE(store->Apply(m).ok());
+      ApplyToKg(&oracle, m);
+    }
+    fingerprint = store->AuthoritativeFingerprint();
+    // Store destroyed here: simulates a clean shutdown with no
+    // compaction — every mutation lives only in the WAL.
+  }
+  auto reopened = MustOpen(BaseKg(), options);
+  EXPECT_EQ(reopened->applied_mutations(), 3u);
+  EXPECT_EQ(reopened->AuthoritativeFingerprint(), fingerprint);
+  // Replayed state is already folded into the epoch base (delta empty).
+  EXPECT_EQ(reopened->delta_size(), 0u);
+  ExpectMatchesRebuild(*reopened, oracle, "reopened");
+}
+
+TEST(VersionedStoreTest, WalRecoverySurvivesTornTail) {
+  TempWalPath wal("torn");
+  StoreOptions options;
+  options.wal_path = wal.path;
+  KnowledgeGraph oracle = BaseKg();
+  {
+    auto store = MustOpen(BaseKg(), options);
+    const Mutation m = Mutation::Upsert("alice", "knows", "dana",
+                                        NodeKind::kEntity,
+                                        NodeKind::kEntity, kProv);
+    ASSERT_TRUE(store->Apply(m).ok());
+    ApplyToKg(&oracle, m);
+  }
+  {  // Crash mid-append: garbage after the last complete record.
+    std::ofstream out(wal.path, std::ios::binary | std::ios::app);
+    out.write("\x13\x00\x00\x00torn", 8);
+  }
+  auto reopened = MustOpen(BaseKg(), options);
+  EXPECT_EQ(reopened->applied_mutations(), 1u);
+  ExpectMatchesRebuild(*reopened, oracle, "post-torn-tail");
+  // And the store keeps accepting writes afterwards.
+  const Mutation more = Mutation::Upsert("dana", "knows", "bob",
+                                         NodeKind::kEntity,
+                                         NodeKind::kEntity, kProv);
+  ASSERT_TRUE(reopened->Apply(more).ok());
+  ApplyToKg(&oracle, more);
+  ExpectMatchesRebuild(*reopened, oracle, "post-recovery append");
+}
+
+TEST(VersionedStoreTest, CompactionFoldsOverlayAndMatchesBatchBuild) {
+  auto store = MustOpen(BaseKg());
+  KnowledgeGraph oracle = BaseKg();
+  const std::vector<Mutation> script = {
+      Mutation::Upsert("alice", "knows", "dana", NodeKind::kEntity,
+                       NodeKind::kEntity, kProv),
+      Mutation::Retract("bob", "knows", "carol", NodeKind::kEntity,
+                        NodeKind::kEntity),
+      Mutation::Upsert("dana", "type", "Person", NodeKind::kEntity,
+                       NodeKind::kClass, kProv),
+  };
+  for (const Mutation& m : script) {
+    ASSERT_TRUE(store->Apply(m).ok());
+    ApplyToKg(&oracle, m);
+  }
+  EXPECT_EQ(store->delta_size(), 3u);
+  const uint64_t version_before = store->version();
+
+  const auto stats = store->Compact();
+  ASSERT_TRUE(stats.ran);
+  EXPECT_EQ(stats.folded, 3u);
+  EXPECT_EQ(stats.version, version_before + 1);
+  EXPECT_EQ(store->version(), version_before + 1);
+  EXPECT_EQ(store->delta_size(), 0u);
+  // The compacted base is bit-identical to compiling a from-scratch
+  // batch build of the same knowledge.
+  EXPECT_EQ(stats.base_fingerprint,
+            serve::KgSnapshot::Compile(oracle).Fingerprint());
+  ExpectMatchesRebuild(*store, oracle, "post-compaction");
+
+  // Idempotent on an empty overlay.
+  const auto again = store->Compact();
+  ASSERT_TRUE(again.ran);
+  EXPECT_EQ(again.folded, 0u);
+  EXPECT_EQ(again.base_fingerprint, stats.base_fingerprint);
+}
+
+TEST(VersionedStoreTest, WritesDuringAndAfterCompactionStayCorrect) {
+  auto store = MustOpen(BaseKg());
+  KnowledgeGraph oracle = BaseKg();
+  auto apply = [&](const Mutation& m) {
+    ASSERT_TRUE(store->Apply(m).ok());
+    ApplyToKg(&oracle, m);
+  };
+  apply(Mutation::Upsert("alice", "knows", "dana", NodeKind::kEntity,
+                         NodeKind::kEntity, kProv));
+  ASSERT_TRUE(store->Compact().ran);
+  // Mutations after the fold: retract a compacted triple, retract a base
+  // triple, add a new one.
+  apply(Mutation::Retract("alice", "knows", "dana", NodeKind::kEntity,
+                          NodeKind::kEntity));
+  apply(Mutation::Retract("alice", "knows", "bob", NodeKind::kEntity,
+                          NodeKind::kEntity));
+  apply(Mutation::Upsert("eve", "knows", "alice", NodeKind::kEntity,
+                         NodeKind::kEntity, kProv));
+  ExpectMatchesRebuild(*store, oracle, "writes after compaction");
+  const auto stats = store->Compact();
+  ASSERT_TRUE(stats.ran);
+  EXPECT_EQ(stats.base_fingerprint,
+            serve::KgSnapshot::Compile(oracle).Fingerprint());
+  ExpectMatchesRebuild(*store, oracle, "second compaction");
+}
+
+TEST(VersionedStoreTest, BackgroundCompactionOnThreadPool) {
+  auto store = MustOpen(BaseKg());
+  KnowledgeGraph oracle = BaseKg();
+  const Mutation m = Mutation::Upsert("alice", "knows", "dana",
+                                      NodeKind::kEntity, NodeKind::kEntity,
+                                      kProv);
+  ASSERT_TRUE(store->Apply(m).ok());
+  ApplyToKg(&oracle, m);
+  ThreadPool pool(2);
+  ASSERT_TRUE(store->CompactInBackground(pool));
+  pool.WaitIdle();
+  EXPECT_FALSE(store->compaction_in_flight());
+  EXPECT_EQ(store->delta_size(), 0u);
+  ExpectMatchesRebuild(*store, oracle, "background compaction");
+}
+
+TEST(VersionedStoreTest, CacheHitsAreInvalidatedByAffectingWrites) {
+  StoreOptions options;
+  options.cache_capacity = 64;
+  options.cache_shards = 4;
+  auto store = MustOpen(BaseKg(), options);
+  ASSERT_NE(store->cache(), nullptr);
+
+  const Query affected = Query::PointLookup("alice", "knows");
+  const Query bystander = Query::Neighborhood("carol");
+  const QueryResult first = store->Execute(affected);
+  const QueryResult second = store->Execute(affected);
+  EXPECT_EQ(first, second);
+  (void)store->Execute(bystander);
+  auto counters = store->cache()->counters();
+  EXPECT_GE(counters.hits, 1u);
+
+  // A write touching (alice, knows, dana) must invalidate the point
+  // lookup and both neighborhoods — and nothing else.
+  ASSERT_TRUE(store->Apply(Mutation::Upsert("alice", "knows", "dana",
+                                            NodeKind::kEntity,
+                                            NodeKind::kEntity, kProv))
+                  .ok());
+  QueryResult updated = store->Execute(affected);
+  ASSERT_EQ(updated.size(), first.size() + 1);
+  // The fresh answer includes the new object and is served consistently
+  // (second read hits the refilled entry).
+  EXPECT_EQ(store->Execute(affected), updated);
+
+  counters = store->cache()->counters();
+  EXPECT_GE(counters.invalidations, 1u);
+
+  // Cached answers always equal uncached recomputation.
+  KnowledgeGraph oracle = BaseKg();
+  ApplyToKg(&oracle,
+            Mutation::Upsert("alice", "knows", "dana", NodeKind::kEntity,
+                             NodeKind::kEntity, kProv));
+  ExpectMatchesRebuild(*store, oracle, "cached store");
+}
+
+TEST(VersionedStoreTest, BatchExecuteIsThreadCountInvariant) {
+  auto store = MustOpen(BaseKg());
+  ASSERT_TRUE(store
+                  ->Apply(Mutation::Upsert("alice", "knows", "dana",
+                                           NodeKind::kEntity,
+                                           NodeKind::kEntity, kProv))
+                  .ok());
+  const std::vector<Query> workload = ProbeQueries();
+  const auto serial = store->BatchExecute(workload, ExecPolicy::Serial());
+  for (size_t threads : {2u, 8u}) {
+    EXPECT_EQ(store->BatchExecute(workload, ExecPolicy::WithThreads(threads)),
+              serial)
+        << threads << " threads";
+  }
+  // And each slot equals the single-query path.
+  for (size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ(serial[i], store->Execute(workload[i])) << "slot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kg::store
