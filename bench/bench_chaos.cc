@@ -11,13 +11,16 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/exec_policy.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "obs/bench_sink.h"
 #include "core/entity_kg_pipeline.h"
 #include "core/textrich_kg_pipeline.h"
 
@@ -279,8 +282,8 @@ int main() {
 
   // ---- JSON report (BENCH_serve.json schema style) -------------------
   {
-    std::ofstream json("BENCH_chaos.json");
-    json << "{\"bench\":\"chaos\",\"seed\":" << kSeed << ",\"rates\":[";
+    std::ostringstream json;
+    json << "{\"rates\":[";
     for (size_t i = 0; i < rates.size(); ++i) {
       if (i) json << ",";
       json << JsonNumber(rates[i]);
@@ -301,8 +304,10 @@ int main() {
                  ? "true"
                  : "false")
          << ",\"sweep\":" << SweepJson(textrich_rows) << "}"
-         << ",\"graceful\":" << (ok ? "true" : "false") << "}\n";
+         << ",\"graceful\":" << (ok ? "true" : "false") << "}";
+    const obs::JsonSink sink("chaos", kSeed,
+                             ExecPolicy::Hardware().num_threads);
+    KG_CHECK_OK(sink.WriteFile("BENCH_chaos.json", json.str()));
   }
-  std::cout << "wrote BENCH_chaos.json\n";
   return ok ? 0 : 1;
 }

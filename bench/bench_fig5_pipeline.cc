@@ -9,14 +9,17 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/exec_policy.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/stage_timer.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "obs/bench_sink.h"
 #include "core/entity_kg_pipeline.h"
 #include "core/textrich_kg_pipeline.h"
 #include "textrich/pipeline.h"
@@ -235,16 +238,17 @@ int main() {
 
   // ---- JSON report (BENCH_serve.json schema style) ---------------------
   {
-    std::ofstream json("BENCH_fig5.json");
-    json << "{\"bench\":\"fig5\",\"seed\":42,\"pipelines\":[" << modes_json
+    std::ostringstream json;
+    json << "{\"pipelines\":[" << modes_json
          << "],\"scaling\":{\"entity\":"
          << ScalingJson(entity_serial, entity_parallel, hw.num_threads)
          << ",\"textrich\":"
          << ScalingJson(textrich_serial, textrich_parallel, hw.num_threads)
          << "},\"deterministic\":" << (deterministic ? "true" : "false")
-         << "}\n";
+         << "}";
+    const obs::JsonSink sink("fig5", 42, hw.num_threads);
+    KG_CHECK_OK(sink.WriteFile("BENCH_fig5.json", json.str()));
   }
-  std::cout << "wrote BENCH_fig5.json\n";
 
   // A determinism mismatch is a correctness bug, not a perf shortfall:
   // fail the binary so CI catches it.

@@ -1,0 +1,260 @@
+// E22: observability overhead and determinism. The instrumentation
+// contract is that watching the system never changes what it computes
+// and costs <=5% on the hottest path we serve. Three rungs over the
+// fig5 snapshot's point-lookup loop measure that directly:
+//   A  bare QueryEngine (no registry — compiled-out equivalent of
+//      KG_OBS_NOOP at runtime: every obs call site is skipped)
+//   B  registry counters ("serve.queries.*", one sharded-atomic
+//      increment per query) — the always-on production configuration;
+//      gated at <=5% over A
+//   C  counters + per-query latency histograms (time_queries: two
+//      clock reads per query) — reported, not gated; timing is opt-in
+//      precisely because clocks dwarf counter increments
+// The determinism half reruns an instrumented workload at 1/2/8
+// threads: metrics exposition and (FixedTraceClock) trace JSON must be
+// byte-identical across thread counts, or the binary exits non-zero.
+// Emits BENCH_obs.json and BENCH_obs_trace.json through obs::JsonSink.
+
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/exec_policy.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/textrich_kg_pipeline.h"
+#include "graph/knowledge_graph.h"
+#include "obs/bench_sink.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "synth/behavior_generator.h"
+#include "synth/catalog_generator.h"
+#include "synth/entity_universe.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+constexpr size_t kLookups = 200000;   // per rung, per repetition
+constexpr size_t kRepetitions = 5;    // best-of, interleaved
+constexpr double kOverheadBudgetPct = 5.0;
+constexpr double kZipfExponent = 1.05;
+
+// The fig5 universe, exactly as bench_serve compiles it, so the gated
+// path is the same one the serving bench measures.
+graph::KnowledgeGraph BuildFig5Kg(synth::EntityUniverse* universe) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 800;
+  uopt.num_movies = 1200;
+  uopt.num_songs = 100;
+  Rng rng(42);
+  *universe = synth::EntityUniverse::Generate(uopt, rng);
+  return universe->ToKnowledgeGraph();
+}
+
+// Zipf-popular point lookups only: the cheapest query class, where a
+// fixed per-query cost is the largest relative overhead.
+std::vector<serve::Query> MakeLookups(const synth::EntityUniverse& u,
+                                      size_t n, Rng& rng) {
+  const ZipfDistribution person_zipf(u.people().size(), kZipfExponent);
+  const std::vector<std::string> preds = {"name", "birth_year",
+                                          "nationality", "acted_in"};
+  std::vector<serve::Query> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(serve::Query::PointLookup(
+        synth::EntityUniverse::PersonNodeName(
+            u.people()[person_zipf.Sample(rng)].id),
+        preds[rng.UniformIndex(preds.size())]));
+  }
+  return out;
+}
+
+// One timed pass over the workload; the row-count sum keeps the loop
+// from being optimized away.
+double TimeReplay(const serve::QueryEngine& engine,
+                  const std::vector<serve::Query>& workload,
+                  size_t* sink) {
+  WallTimer clock;
+  size_t rows = 0;
+  for (const serve::Query& q : workload) {
+    rows += engine.Execute(q).size();
+  }
+  const double seconds = clock.ElapsedSeconds();
+  *sink += rows;
+  return seconds;
+}
+
+std::string JsonNumber(double v) { return FormatDouble(v, 3); }
+
+// A small text-rich build traced under a FixedTraceClock: chunk spans
+// from the sharded extraction loop are named by chunk begin index, so
+// the exported JSON is a pure function of (seed, structure) — the
+// byte-equality witness for trace determinism.
+std::string TracedTextRichBuild(size_t threads, std::string* kg_digest) {
+  Rng rng(42);
+  synth::CatalogOptions copt;
+  copt.num_types = 8;
+  copt.num_products = 200;
+  const auto catalog = synth::ProductCatalog::Generate(copt, rng);
+  synth::BehaviorOptions bopt;
+  bopt.num_searches = 1000;
+  const auto behavior = synth::GenerateBehavior(catalog, bopt, rng);
+
+  obs::FixedTraceClock clock;
+  obs::Tracer tracer(/*seed=*/42, &clock);
+  core::TextRichBuildOptions opt;
+  opt.train_fraction = 0.15;
+  opt.exec = ExecPolicy::WithThreads(threads);
+  opt.tracer = &tracer;
+  Rng build_rng(42);
+  const auto build =
+      core::BuildTextRichKg(catalog, behavior, opt, build_rng);
+  *kg_digest = std::to_string(graph::TripleSetFingerprint(build.kg));
+  return tracer.ToJson();
+}
+
+// Metrics exposition for one instrumented batch replay at `threads`.
+std::string MeteredReplay(const serve::KgSnapshot& snap,
+                          const std::vector<serve::Query>& workload,
+                          size_t threads) {
+  obs::MetricsRegistry registry;
+  serve::ServeOptions options;
+  options.exec = ExecPolicy::WithThreads(threads);
+  options.registry = &registry;
+  const serve::QueryEngine engine(snap, options);
+  const auto results = engine.BatchExecute(workload);
+  KG_CHECK(!results.empty()) << "empty batch replay";
+  return registry.ToJson();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E22: observability overhead gate + exposition "
+               "determinism (seed 42)\n";
+#ifdef KG_OBS_NOOP
+  std::cout << "built with KG_OBS_NOOP: instrumented rungs compile to "
+               "the bare path; the gate is trivially satisfied\n";
+#endif
+
+  synth::EntityUniverse universe;
+  const graph::KnowledgeGraph kg = BuildFig5Kg(&universe);
+  const serve::KgSnapshot snap = serve::KgSnapshot::Compile(kg);
+  Rng rng(42);
+  const std::vector<serve::Query> workload =
+      MakeLookups(universe, kLookups, rng);
+
+  // ---- Overhead rungs --------------------------------------------------
+  obs::MetricsRegistry registry_b;
+  obs::MetricsRegistry registry_c;
+  const serve::QueryEngine bare(snap, {});
+  serve::ServeOptions opt_b;
+  opt_b.registry = &registry_b;
+  const serve::QueryEngine counted(snap, opt_b);
+  serve::ServeOptions opt_c;
+  opt_c.registry = &registry_c;
+  opt_c.time_queries = true;
+  const serve::QueryEngine timed(snap, opt_c);
+
+  // Interleaved best-of-N: rung-vs-rung drift (frequency scaling, page
+  // cache) hits all three rungs alike within a repetition.
+  double best_a = 1e30, best_b = 1e30, best_c = 1e30;
+  size_t sink = 0;
+  for (size_t rep = 0; rep < kRepetitions; ++rep) {
+    best_a = std::min(best_a, TimeReplay(bare, workload, &sink));
+    best_b = std::min(best_b, TimeReplay(counted, workload, &sink));
+    best_c = std::min(best_c, TimeReplay(timed, workload, &sink));
+  }
+  KG_CHECK(sink > 0) << "replay produced no rows";
+  const double ns_a = best_a / kLookups * 1e9;
+  const double ns_b = best_b / kLookups * 1e9;
+  const double ns_c = best_c / kLookups * 1e9;
+  const double counter_pct = (best_b / best_a - 1.0) * 100.0;
+  const double timed_pct = (best_c / best_a - 1.0) * 100.0;
+  const bool gate_ok = counter_pct <= kOverheadBudgetPct;
+
+  PrintBanner(std::cout, "Point-lookup overhead (best of " +
+                             std::to_string(kRepetitions) + " x " +
+                             std::to_string(kLookups) + " lookups)");
+  TablePrinter table({"rung", "ns/lookup", "overhead"});
+  table.AddRow({"A bare engine", FormatDouble(ns_a, 1), "-"});
+  table.AddRow({"B registry counters", FormatDouble(ns_b, 1),
+                FormatDouble(counter_pct, 2) + "%"});
+  table.AddRow({"C + latency histograms", FormatDouble(ns_c, 1),
+                FormatDouble(timed_pct, 2) + "%"});
+  table.Print(std::cout);
+  std::cout << "counter-rung gate: " << FormatDouble(counter_pct, 2)
+            << "% vs budget " << FormatDouble(kOverheadBudgetPct, 1)
+            << "% -> " << (gate_ok ? "OK" : "FAIL") << "\n";
+  const uint64_t counted_queries =
+      registry_b.GetCounter("serve.queries.point_lookup").Value();
+  KG_CHECK(counted_queries == kRepetitions * kLookups)
+      << "counter missed queries";
+
+  // ---- Metrics exposition determinism at 1/2/8 threads -----------------
+  const std::vector<serve::Query> det_workload(
+      workload.begin(), workload.begin() + 20000);
+  const std::string metrics_1 = MeteredReplay(snap, det_workload, 1);
+  const std::string metrics_2 = MeteredReplay(snap, det_workload, 2);
+  const std::string metrics_8 = MeteredReplay(snap, det_workload, 8);
+  const bool metrics_deterministic =
+      metrics_1 == metrics_2 && metrics_2 == metrics_8;
+
+  // ---- Trace determinism at 1/2/8 threads ------------------------------
+  std::string digest_1, digest_2, digest_8;
+  const std::string trace_1 = TracedTextRichBuild(1, &digest_1);
+  const std::string trace_2 = TracedTextRichBuild(2, &digest_2);
+  const std::string trace_8 = TracedTextRichBuild(8, &digest_8);
+  const bool trace_deterministic = trace_1 == trace_2 && trace_2 == trace_8;
+  const bool kg_deterministic = digest_1 == digest_2 && digest_2 == digest_8;
+
+  PrintBanner(std::cout, "Exposition determinism (1/2/8 threads)");
+  std::cout << "metrics JSON byte-identical: "
+            << (metrics_deterministic ? "yes" : "NO") << "\n"
+            << "trace JSON byte-identical:   "
+            << (trace_deterministic ? "yes" : "NO") << "\n"
+            << "traced KG bit-identical:     "
+            << (kg_deterministic ? "yes" : "NO") << "\n";
+
+  // ---- Artifacts -------------------------------------------------------
+  const size_t threads = ExecPolicy::Hardware().num_threads;
+  {
+    std::ostringstream payload;
+    payload << "{\"lookups\":" << kLookups
+            << ",\"repetitions\":" << kRepetitions
+            << ",\"rungs\":{\"bare_ns\":" << JsonNumber(ns_a)
+            << ",\"counters_ns\":" << JsonNumber(ns_b)
+            << ",\"timed_ns\":" << JsonNumber(ns_c) << "}"
+            << ",\"counter_overhead_pct\":" << JsonNumber(counter_pct)
+            << ",\"timed_overhead_pct\":" << JsonNumber(timed_pct)
+            << ",\"budget_pct\":" << JsonNumber(kOverheadBudgetPct)
+            << ",\"gate_ok\":" << (gate_ok ? "true" : "false")
+            << ",\"metrics_deterministic\":"
+            << (metrics_deterministic ? "true" : "false")
+            << ",\"trace_deterministic\":"
+            << (trace_deterministic ? "true" : "false")
+            << ",\"metrics\":" << metrics_1 << "}";
+    const obs::JsonSink sink_json("obs", 42, threads);
+    KG_CHECK_OK(sink_json.WriteFile("BENCH_obs.json", payload.str()));
+  }
+  {
+    const obs::JsonSink trace_sink("obs_trace", 42, threads);
+    KG_CHECK_OK(trace_sink.WriteFile("BENCH_obs_trace.json", trace_8));
+  }
+
+  const bool ok = gate_ok && metrics_deterministic &&
+                  trace_deterministic && kg_deterministic;
+  PrintBanner(std::cout, "Observability verdict");
+  std::cout << "verdict: " << (ok ? "BOUNDED & DETERMINISTIC" : "FAIL")
+            << "\n";
+  return ok ? 0 : 1;
+}

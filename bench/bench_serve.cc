@@ -11,14 +11,17 @@
 #include <cstddef>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/exec_policy.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "obs/bench_sink.h"
 #include "graph/knowledge_graph.h"
 #include "graph/query.h"
 #include "serve/query_engine.h"
@@ -389,8 +392,8 @@ int main() {
   const size_t total_divergences = lookup_mismatches + cold.divergences +
                                    warm.divergences + parallel_divergences;
   {
-    std::ofstream json("BENCH_serve.json");
-    json << "{\"bench\":\"serve\",\"seed\":42,\"workload\":"
+    std::ostringstream json;
+    json << "{\"workload\":"
          << kWorkloadSize << ",\"snapshot\":{\"nodes\":" << snap.num_nodes()
          << ",\"predicates\":" << snap.num_predicates()
          << ",\"triples\":" << snap.num_triples()
@@ -411,9 +414,10 @@ int main() {
          << ",\"seconds\":" << JsonNumber(parallel_seconds)
          << ",\"qps\":" << JsonNumber(kWorkloadSize / parallel_seconds)
          << ",\"divergences\":" << parallel_divergences << "}"
-         << ",\"divergences\":" << total_divergences << "}\n";
+         << ",\"divergences\":" << total_divergences << "}";
+    const obs::JsonSink sink("serve", 42, hw.num_threads);
+    KG_CHECK_OK(sink.WriteFile("BENCH_serve.json", json.str()));
   }
-  std::cout << "wrote BENCH_serve.json\n";
 
   PrintBanner(std::cout, "Serving verdict");
   std::cout << "cached==uncached: "

@@ -16,15 +16,18 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/exec_policy.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/bench_sink.h"
 #include "graph/knowledge_graph.h"
 #include "serve/query_engine.h"
 #include "serve/serve_stats.h"
@@ -373,8 +376,8 @@ int main() {
 
   // ---- JSON report -----------------------------------------------------
   {
-    std::ofstream json("BENCH_store.json");
-    json << "{\"bench\":\"store\",\"seed\":42,\"workload\":" << kOps
+    std::ostringstream json;
+    json << "{\"workload\":" << kOps
          << ",\"snapshot\":{\"nodes\":" << base_snap.num_nodes()
          << ",\"predicates\":" << base_snap.num_predicates()
          << ",\"triples\":" << base_snap.num_triples() << "}"
@@ -394,9 +397,10 @@ int main() {
     }
     json << "],\"p99_ratio_at_1pct\":" << JsonNumber(p99_ratio)
          << ",\"p99_budget\":" << JsonNumber(kP99Budget)
-         << ",\"divergences\":" << total_divergences << "}\n";
+         << ",\"divergences\":" << total_divergences << "}";
+    const obs::JsonSink sink("store", 42, ExecPolicy::Hardware().num_threads);
+    KG_CHECK_OK(sink.WriteFile("BENCH_store.json", json.str()));
   }
-  std::cout << "wrote BENCH_store.json\n";
 
   // Divergence is a correctness bug in the overlay/compaction path; a slow
   // p99 is a perf regression to investigate, not a wrong answer.

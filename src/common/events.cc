@@ -1,0 +1,10 @@
+#include "common/events.h"
+
+namespace kg::events {
+
+ProcessEvents& Process() {
+  static ProcessEvents events;
+  return events;
+}
+
+}  // namespace kg::events

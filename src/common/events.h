@@ -1,0 +1,56 @@
+#ifndef KGRAPH_COMMON_EVENTS_H_
+#define KGRAPH_COMMON_EVENTS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace kg::events {
+
+/// Process-wide monotonic event counters for the common-layer
+/// subsystems (thread pool, retry/backoff, circuit breakers, fault
+/// injector). kg_common cannot depend on kg_obs — the dependency goes
+/// the other way — so these live here as plain atomics and
+/// obs::CaptureProcessEvents mirrors them into a MetricsRegistry at
+/// exposition time.
+///
+/// All counts below are *decision* counts driven by pure functions of
+/// (seed, channel, source, attempt) or of deterministic chunk
+/// geometry, so their deltas across a seeded workload are identical at
+/// any thread count. Tests assert on deltas, never absolutes: the
+/// counters are never reset (other tests in the same binary may have
+/// advanced them).
+struct ProcessEvents {
+  // Parallel-for accounting: loops started and chunks *scheduled*
+  // (= ceil(n / chunk_size), independent of how many threads execute
+  // or whether a Try loop cancels mid-flight).
+  std::atomic<uint64_t> pool_loops{0};
+  std::atomic<uint64_t> pool_chunks{0};
+
+  // RetryWithBackoff: attempts made, backoff sleeps taken, calls that
+  // eventually returned OK, calls that gave up (any non-OK return).
+  std::atomic<uint64_t> retry_attempts{0};
+  std::atomic<uint64_t> retry_backoffs{0};
+  std::atomic<uint64_t> retry_successes{0};
+  std::atomic<uint64_t> retry_giveups{0};
+
+  // CircuitBreaker: closed->open transitions, and calls rejected
+  // because the breaker was already open.
+  std::atomic<uint64_t> breaker_trips{0};
+  std::atomic<uint64_t> breaker_rejections{0};
+
+  // FaultInjector decisions: Probe outcomes by kind, payload
+  // truncations (KeepFraction < 1), and corrupted claims.
+  std::atomic<uint64_t> fault_transient{0};
+  std::atomic<uint64_t> fault_slow{0};
+  std::atomic<uint64_t> fault_terminal{0};
+  std::atomic<uint64_t> fault_truncated_payloads{0};
+  std::atomic<uint64_t> fault_corrupted_claims{0};
+};
+
+/// The singleton. Increment with fetch_add(relaxed); read with
+/// load(relaxed).
+ProcessEvents& Process();
+
+}  // namespace kg::events
+
+#endif  // KGRAPH_COMMON_EVENTS_H_

@@ -1,87 +1,10 @@
 #ifndef KGRAPH_COMMON_STAGE_TIMER_H_
 #define KGRAPH_COMMON_STAGE_TIMER_H_
 
-#include <cstddef>
-#include <mutex>
-#include <ostream>
-#include <string>
-#include <unordered_map>
-#include <vector>
-
-#include "common/timer.h"
-
-namespace kg {
-
-/// Lightweight per-stage metrics registry: wall time, item counts, and
-/// derived throughput for pipeline stages. Builders record into an
-/// optional `StageTimer*` and the bench harnesses print the rows through
-/// `table_printer`, so every figure harness reports stage cost the same
-/// way. Recording is mutex-guarded (stages may finish on worker threads);
-/// reading is meant for after the run.
-class StageTimer {
- public:
-  struct Row {
-    std::string stage;
-    size_t calls = 0;
-    double seconds = 0.0;
-    size_t items = 0;
-    /// items / seconds, or 0 when no time was recorded.
-    double ItemsPerSec() const {
-      return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
-    }
-  };
-
-  /// RAII measurement: adds elapsed wall time and `items` to `stage` when
-  /// destroyed. Null `timer` makes the scope a no-op, so pipelines can
-  /// instrument unconditionally and callers opt in by passing a registry.
-  class Scope {
-   public:
-    Scope(StageTimer* timer, std::string stage, size_t items = 0)
-        : timer_(timer), stage_(std::move(stage)), items_(items) {}
-    Scope(Scope&& other) noexcept
-        : timer_(other.timer_),
-          stage_(std::move(other.stage_)),
-          items_(other.items_),
-          clock_(other.clock_) {
-      other.timer_ = nullptr;
-    }
-    Scope(const Scope&) = delete;
-    Scope& operator=(const Scope&) = delete;
-    Scope& operator=(Scope&&) = delete;
-    ~Scope() {
-      if (timer_ != nullptr) {
-        timer_->Record(stage_, clock_.ElapsedSeconds(), items_);
-      }
-    }
-
-    /// Attributes `n` more processed items to this measurement.
-    void AddItems(size_t n) { items_ += n; }
-
-   private:
-    StageTimer* timer_;
-    std::string stage_;
-    size_t items_;
-    WallTimer clock_;
-  };
-
-  /// Adds one call with `seconds` of wall time and `items` processed to
-  /// `stage`, creating the row on first use (insertion order is kept).
-  void Record(const std::string& stage, double seconds, size_t items = 0);
-
-  /// Rows in first-recorded order.
-  std::vector<Row> rows() const;
-
-  /// Renders "stage | calls | wall_s | items | items/s" via TablePrinter.
-  void Print(std::ostream& os) const;
-
-  void Clear();
-
- private:
-  mutable std::mutex mu_;
-  std::vector<Row> rows_;
-  std::unordered_map<std::string, size_t> index_;
-};
-
-}  // namespace kg
+// StageTimer moved to the observability layer, where it is a thin view
+// over obs::MetricsRegistry. This forwarding header keeps existing
+// `common/stage_timer.h` includes working; targets that compile it
+// must link kg_obs (everything above the common layer already does).
+#include "obs/stage_timer.h"
 
 #endif  // KGRAPH_COMMON_STAGE_TIMER_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/events.h"
+
 namespace kg {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -38,6 +40,8 @@ void ThreadPool::WaitIdle() {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  events::Process().pool_loops.fetch_add(1, std::memory_order_relaxed);
+  events::Process().pool_chunks.fetch_add(n, std::memory_order_relaxed);
   // Static chunking: one contiguous range per worker keeps scheduling
   // overhead negligible for the uniform workloads we run.
   const size_t workers = std::min(n, threads_.size());
@@ -76,6 +80,13 @@ Status ThreadPool::TryParallelForChunked(
   if (n == 0) return Status::OK();
   if (chunk_size == 0) chunk_size = ChunkSizeFor(n);
   const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  // Scheduled-chunk accounting (not executed chunks: a cancelled Try
+  // loop would make that schedule-dependent). ceil(n/chunk) is a pure
+  // function of the input geometry, so the count is identical at any
+  // thread count — the serial path in exec_policy.cc mirrors it.
+  events::Process().pool_loops.fetch_add(1, std::memory_order_relaxed);
+  events::Process().pool_chunks.fetch_add(num_chunks,
+                                          std::memory_order_relaxed);
 
   std::atomic<size_t> next{0};
   std::atomic<bool> cancelled{false};

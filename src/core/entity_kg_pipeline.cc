@@ -21,6 +21,9 @@ Status EntityKgBuilder::FetchSource(
     const synth::SourceTable& table, const Rng& rng,
     std::optional<synth::SourceTable>* payload) {
   if (options_.faults == nullptr) return Status::OK();
+  obs::Span span =
+      obs::Tracer::Start(options_.tracer, "entity.fetch_source");
+  span.SetAttr("source", table.source_name);
   const FaultInjector injector(*options_.faults);
   SourceDegradation row;
   row.source = table.source_name;
@@ -39,6 +42,8 @@ Status EntityKgBuilder::FetchSource(
   row.attempts = outcome.attempts;
   row.retries = outcome.retries;
   row.virtual_ms = outcome.virtual_ms;
+  span.SetAttr("attempts", static_cast<uint64_t>(outcome.attempts));
+  span.SetAttr("quarantined", outcome.status.ok() ? "false" : "true");
   if (options_.metrics != nullptr) {
     options_.metrics->Record("entity.fetch_source",
                              outcome.virtual_ms / 1000.0,
@@ -118,6 +123,10 @@ void EntityKgBuilder::IngestAnchorImpl(const synth::SourceTable& table,
   (void)rng;
   StageTimer::Scope stage(options_.metrics, "entity.ingest_anchor",
                           table.records.size());
+  obs::Span span =
+      obs::Tracer::Start(options_.tracer, "entity.ingest_anchor");
+  span.SetAttr("source", table.source_name);
+  span.SetAttr("records", static_cast<uint64_t>(table.records.size()));
   const auto mapping = ManualMappingFor(table);
   std::vector<uint32_t> truth;
   const auto records = ToRecordSet(table, mapping, &truth);
@@ -145,6 +154,10 @@ void EntityKgBuilder::IngestAnchorImpl(const synth::SourceTable& table,
 
 void EntityKgBuilder::IngestAndLinkImpl(const synth::SourceTable& table,
                                         Rng& rng) {
+  obs::Span span =
+      obs::Tracer::Start(options_.tracer, "entity.ingest_and_link");
+  span.SetAttr("source", table.source_name);
+  span.SetAttr("records", static_cast<uint64_t>(table.records.size()));
   const auto mapping = ManualMappingFor(table);
   std::vector<uint32_t> truth;
   const auto records = ToRecordSet(table, mapping, &truth);
@@ -163,9 +176,11 @@ void EntityKgBuilder::IngestAndLinkImpl(const synth::SourceTable& table,
   ml::Dataset pool;
   {
     StageTimer::Scope stage(options_.metrics, "entity.pair_pool");
+    obs::Span child = span.Child("pair_pool");
     pool = BuildLinkagePairs(records, truth, kg_side, kg_truth, schema,
                              options_.exec);
     stage.AddItems(pool.examples.size());
+    child.SetAttr("pairs", static_cast<uint64_t>(pool.examples.size()));
   }
   ml::Dataset train;
   train.feature_names = pool.feature_names;
@@ -208,10 +223,14 @@ void EntityKgBuilder::IngestAndLinkImpl(const synth::SourceTable& table,
     {
       StageTimer::Scope stage(options_.metrics, "entity.train_linker",
                               train.examples.size());
+      obs::Span child = span.Child("train_linker");
+      child.SetAttr("examples",
+                    static_cast<uint64_t>(train.examples.size()));
       linker.Fit(train, forest_options, fit_rng);
     }
     StageTimer::Scope stage(options_.metrics, "entity.link",
                             records.records.size());
+    obs::Span link_span = span.Child("link");
     const auto matches =
         linker.Link(records, kg_side, schema, options_.linkage_threshold,
                     options_.exec);
@@ -221,6 +240,7 @@ void EntityKgBuilder::IngestAndLinkImpl(const synth::SourceTable& table,
       if (truth[m.index_a] == kg_truth[m.index_b]) ++correct;
     }
     report.linked = matches.size();
+    link_span.SetAttr("matches", static_cast<uint64_t>(matches.size()));
     report.linkage_precision =
         matches.empty() ? 0.0
                         : static_cast<double>(correct) / matches.size();
@@ -238,6 +258,7 @@ void EntityKgBuilder::IngestAndLinkImpl(const synth::SourceTable& table,
 
   StageTimer::Scope staging_stage(options_.metrics, "entity.stage_claims",
                                   records.records.size());
+  obs::Span staging_span = span.Child("stage_claims");
   // Serial pass: entity creation (the name counter and node ids depend on
   // record order) and merged-view enrichment for linking later sources.
   std::vector<size_t> entity_of(records.records.size());
@@ -288,6 +309,8 @@ void EntityKgBuilder::IngestAndLinkImpl(const synth::SourceTable& table,
 void EntityKgBuilder::FuseValues() {
   StageTimer::Scope stage(options_.metrics, "entity.fuse",
                           claims_.size());
+  obs::Span span = obs::Tracer::Start(options_.tracer, "entity.fuse");
+  span.SetAttr("claim_keys", static_cast<uint64_t>(claims_.size()));
   // Re-key claims into string item ids for the fusion engine.
   integrate::ClaimSet claim_set;
   for (const auto& [key, claims] : claims_) {

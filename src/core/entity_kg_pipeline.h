@@ -14,6 +14,7 @@
 #include "core/conversions.h"
 #include "graph/knowledge_graph.h"
 #include "integrate/fusion.h"
+#include "obs/trace.h"
 #include "integrate/linkage.h"
 #include "synth/structured_source.h"
 
@@ -50,6 +51,11 @@ class EntityKgBuilder {
     ExecPolicy exec;
     /// Optional per-stage wall-time/throughput registry (not owned).
     StageTimer* metrics = nullptr;
+    /// Optional structured tracer (not owned). Each ingest/fuse call
+    /// records a root span with per-stage children; span ids are pure
+    /// functions of (tracer seed, span path), so seeded builds replay
+    /// identical trace structure at any thread count.
+    obs::Tracer* tracer = nullptr;
     /// Optional chaos profile applied to every ingested source (not
     /// owned). Null skips the fault layer entirely; a plan with all
     /// rates zero runs the layer but leaves output bit-identical to the

@@ -37,6 +37,8 @@ Result<TextRichKgBuild> TryBuildTextRichKg(
     const TextRichBuildOptions& options, Rng& rng) {
   TextRichKgBuild build;
   build.report.products = catalog.products().size();
+  obs::Span root = obs::Tracer::Start(options.tracer, "textrich.build");
+  root.SetAttr("products", static_cast<uint64_t>(catalog.products().size()));
 
   // 1. One-size-fits-all extractor: attribute-conditioned, type-aware,
   //    trained with distant supervision (§3.2-3.3).
@@ -62,6 +64,9 @@ Result<TextRichKgBuild> TryBuildTextRichKg(
   {
     StageTimer::Scope stage(options.metrics, "textrich.fit_extractor",
                             train_examples.size());
+    obs::Span child = root.Child("fit_extractor");
+    child.SetAttr("examples",
+                  static_cast<uint64_t>(train_examples.size()));
     Rng fit_rng = rng.Fork();
     extractor.Fit(train_examples, extractor_options, fit_rng);
   }
@@ -76,6 +81,8 @@ Result<TextRichKgBuild> TryBuildTextRichKg(
   {
     StageTimer::Scope stage(options.metrics, "textrich.extract_pages",
                             all_idx.size());
+    obs::Span extract_span = root.Child("extract_pages");
+    extract_span.SetAttr("pages", static_cast<uint64_t>(all_idx.size()));
     std::vector<std::map<std::string, std::string>> page_values(
         all_idx.size());
     // Per-page fault accounting lands in index-addressed slots too, so
@@ -86,6 +93,13 @@ Result<TextRichKgBuild> TryBuildTextRichKg(
     std::vector<char> quarantined(all_idx.size(), 0);
     ParallelForChunked(
         options.exec, all_idx.size(), [&](size_t begin, size_t end) {
+          // Named by the chunk's begin index: concurrent same-name
+          // siblings would get completion-order sequence numbers, and
+          // the begin index is the schedule-independent identity.
+          obs::Span chunk_span =
+              extract_span.Child("chunk@" + std::to_string(begin));
+          chunk_span.SetAttr("pages",
+                             static_cast<uint64_t>(end - begin));
           for (size_t slot = begin; slot < end; ++slot) {
             const synth::Product& product =
                 catalog.products()[all_idx[slot]];
@@ -207,6 +221,10 @@ Result<TextRichKgBuild> TryBuildTextRichKg(
         options.metrics->Record("textrich.fetch_pages",
                                 virtual_ms / 1000.0, attempts);
       }
+      extract_span.SetAttr("attempts", static_cast<uint64_t>(attempts));
+      extract_span.SetAttr(
+          "quarantined",
+          static_cast<uint64_t>(build.report.pages_quarantined));
       build.degradation.sources = std::move(page_rows);
     }
   }
@@ -238,6 +256,10 @@ Result<TextRichKgBuild> TryBuildTextRichKg(
   if (options.clean) {
     StageTimer::Scope stage(options.metrics, "textrich.clean",
                             build.report.extracted_assertions);
+    obs::Span child = root.Child("clean");
+    child.SetAttr(
+        "assertions",
+        static_cast<uint64_t>(build.report.extracted_assertions));
     textrich::CatalogCleaner cleaner;
     std::vector<textrich::CatalogAssertion> corpus;
     for (const auto& [pid, attrs] : assertions) {
@@ -267,6 +289,9 @@ Result<TextRichKgBuild> TryBuildTextRichKg(
   if (options.mine_taxonomy) {
     StageTimer::Scope stage(options.metrics, "textrich.mine_taxonomy",
                             behavior.searches.size());
+    obs::Span child = root.Child("mine_taxonomy");
+    child.SetAttr("searches",
+                  static_cast<uint64_t>(behavior.searches.size()));
     build.mined = textrich::MineTaxonomy(catalog, behavior, {});
     build.report.synonyms_added = build.mined.synonyms.size();
     build.report.hypernyms_mined = build.mined.hypernyms.size();
@@ -274,6 +299,8 @@ Result<TextRichKgBuild> TryBuildTextRichKg(
 
   // 5. Assemble the bipartite product KG.
   StageTimer::Scope stage(options.metrics, "textrich.assemble", kept);
+  obs::Span assemble_span = root.Child("assemble");
+  assemble_span.SetAttr("assertions", static_cast<uint64_t>(kept));
   build.kg = textrich::BuildProductGraph(
       catalog, assertions,
       options.mine_taxonomy ? &build.mined : nullptr);

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/stage_timer.h"
 #include "graph/knowledge_graph.h"
+#include "obs/trace.h"
 #include "synth/behavior_generator.h"
 #include "synth/catalog_generator.h"
 #include "textrich/taxonomy_mining.h"
@@ -27,6 +28,11 @@ struct TextRichBuildOptions {
   ExecPolicy exec;
   /// Optional per-stage wall-time/throughput registry (not owned).
   StageTimer* metrics = nullptr;
+  /// Optional structured tracer (not owned). The build records a
+  /// "textrich.build" root with one child per stage, plus a
+  /// "chunk@<begin>" child per extraction chunk (named by the chunk's
+  /// begin index, so span ids stay deterministic under any schedule).
+  obs::Tracer* tracer = nullptr;
   /// Optional chaos profile applied per product page (not owned). Each
   /// page is a "source" (id "page:<product id>"): its fetch retries
   /// under `retry`, and exhausted pages are quarantined — the build

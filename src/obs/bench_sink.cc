@@ -1,0 +1,51 @@
+#include "obs/bench_sink.h"
+
+#include <fstream>
+#include <iostream>
+
+#include "obs/json.h"
+
+namespace kg::obs {
+
+std::string GitDescribe() {
+#ifdef KG_GIT_DESCRIBE
+  return KG_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+JsonSink::JsonSink(std::string bench_name, uint64_t seed, size_t threads)
+    : bench_name_(std::move(bench_name)),
+      seed_(seed),
+      threads_(threads),
+      git_(GitDescribe()) {}
+
+std::string JsonSink::Render(std::string_view payload_json) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("bench").String(bench_name_);
+  w.Key("seed").UInt(seed_);
+  w.Key("threads").UInt(static_cast<uint64_t>(threads_));
+  w.Key("git").String(git_);
+  w.Key("payload").Raw(payload_json);
+  w.EndObject();
+  return w.Take();
+}
+
+Status JsonSink::WriteFile(const std::string& path,
+                           std::string_view payload_json) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << Render(payload_json) << "\n";
+  if (!out) {
+    return Status::IoError("short write to " + path);
+  }
+  std::cout << "wrote " << path << "\n";
+  return Status::OK();
+}
+
+}  // namespace kg::obs

@@ -1,0 +1,43 @@
+#ifndef KGRAPH_OBS_BENCH_SINK_H_
+#define KGRAPH_OBS_BENCH_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace kg::obs {
+
+/// The git description baked in at configure time (KG_GIT_DESCRIBE),
+/// or "unknown" outside a git checkout.
+std::string GitDescribe();
+
+/// Shared envelope for every BENCH_*.json artifact:
+///   {"schema_version":1,"bench":...,"seed":...,"threads":...,
+///    "git":...,"payload":{...}}
+/// Benches render their payload with JsonWriter and hand it here, so
+/// every emitted number carries the same metadata and every file
+/// parses under one schema (enforced by the round-trip test).
+class JsonSink {
+ public:
+  JsonSink(std::string bench_name, uint64_t seed, size_t threads);
+
+  /// Full envelope with `payload_json` (a valid JSON value) spliced in.
+  std::string Render(std::string_view payload_json) const;
+
+  /// Renders and writes `path` (with trailing newline), logging the
+  /// destination to stdout the way the benches always have.
+  Status WriteFile(const std::string& path,
+                   std::string_view payload_json) const;
+
+ private:
+  std::string bench_name_;
+  uint64_t seed_;
+  size_t threads_;
+  std::string git_;
+};
+
+}  // namespace kg::obs
+
+#endif  // KGRAPH_OBS_BENCH_SINK_H_

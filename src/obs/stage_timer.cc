@@ -1,0 +1,79 @@
+#include "obs/stage_timer.h"
+
+#include "common/strings.h"
+#include "common/table_printer.h"
+
+namespace kg {
+
+StageTimer::StageTimer()
+    : owned_registry_(std::make_unique<obs::MetricsRegistry>()),
+      registry_(owned_registry_.get()) {}
+
+StageTimer::StageTimer(obs::MetricsRegistry* registry)
+    : registry_(registry) {}
+
+StageTimer::StageHandles& StageTimer::HandlesFor(const std::string& stage) {
+  auto [it, inserted] = index_.emplace(stage, stages_.size());
+  if (inserted) {
+    StageHandles handles;
+    handles.stage = stage;
+    const std::string prefix = "stage." + stage;
+    handles.calls = &registry_->GetCounter(prefix + ".calls");
+    handles.items = &registry_->GetCounter(prefix + ".items");
+    handles.seconds_ticks = &registry_->GetCounter(prefix + ".seconds_ticks");
+    stages_.push_back(std::move(handles));
+  }
+  return stages_[it->second];
+}
+
+void StageTimer::Record(const std::string& stage, double seconds,
+                        size_t items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageHandles& handles = HandlesFor(stage);
+  handles.calls->Inc(1);
+  if (items > 0) handles.items->Inc(items);
+  if (seconds > 0.0) {
+    handles.seconds_ticks->Inc(
+        static_cast<uint64_t>(obs::Histogram::ToTicks(seconds)));
+  }
+}
+
+std::vector<StageTimer::Row> StageTimer::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row> rows;
+  rows.reserve(stages_.size());
+  for (const StageHandles& handles : stages_) {
+    Row row;
+    row.stage = handles.stage;
+    row.calls = handles.calls->Value();
+    row.items = handles.items->Value();
+    row.seconds = static_cast<double>(handles.seconds_ticks->Value()) /
+                  obs::kFixedPointScale;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void StageTimer::Print(std::ostream& os) const {
+  TablePrinter table({"stage", "calls", "wall_s", "items", "items/s"});
+  for (const Row& row : rows()) {
+    table.AddRow({row.stage, std::to_string(row.calls),
+                  FormatDouble(row.seconds, 3),
+                  FormatCount(static_cast<int64_t>(row.items)),
+                  FormatCount(static_cast<int64_t>(row.ItemsPerSec()))});
+  }
+  table.Print(os);
+}
+
+void StageTimer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (StageHandles& handles : stages_) {
+    handles.calls->Reset();
+    handles.items->Reset();
+    handles.seconds_ticks->Reset();
+  }
+  stages_.clear();
+  index_.clear();
+}
+
+}  // namespace kg

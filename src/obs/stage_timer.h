@@ -1,0 +1,116 @@
+#ifndef KGRAPH_OBS_STAGE_TIMER_H_
+#define KGRAPH_OBS_STAGE_TIMER_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace kg {
+
+/// Per-stage pipeline metrics: wall time, item counts, and derived
+/// throughput. Historically a standalone mutex-guarded table; now a
+/// thin view over an obs::MetricsRegistry — each stage becomes three
+/// metrics ("stage.<name>.calls", "stage.<name>.items", and
+/// "stage.<name>.seconds_ticks" in fixed-point nanoseconds), so stage
+/// cost shows up in the same exposition as every other metric. The
+/// rows()/Print/Clear API and insertion ordering are unchanged, and
+/// builders still record through an optional `StageTimer*`.
+///
+/// By default the timer owns a private registry; pass an external one
+/// to merge stage rows into a wider exposition. Under KG_OBS_NOOP the
+/// underlying counters are compiled out and every row reads zero.
+class StageTimer {
+ public:
+  struct Row {
+    std::string stage;
+    size_t calls = 0;
+    double seconds = 0.0;
+    size_t items = 0;
+    /// items / seconds, or 0 when no time was recorded.
+    double ItemsPerSec() const {
+      return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+    }
+  };
+
+  /// RAII measurement: adds elapsed wall time and `items` to `stage` when
+  /// destroyed. Null `timer` makes the scope a no-op, so pipelines can
+  /// instrument unconditionally and callers opt in by passing a registry.
+  class Scope {
+   public:
+    Scope(StageTimer* timer, std::string stage, size_t items = 0)
+        : timer_(timer), stage_(std::move(stage)), items_(items) {}
+    Scope(Scope&& other) noexcept
+        : timer_(other.timer_),
+          stage_(std::move(other.stage_)),
+          items_(other.items_),
+          clock_(other.clock_) {
+      other.timer_ = nullptr;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+    ~Scope() {
+      if (timer_ != nullptr) {
+        timer_->Record(stage_, clock_.ElapsedSeconds(), items_);
+      }
+    }
+
+    /// Attributes `n` more processed items to this measurement.
+    void AddItems(size_t n) { items_ += n; }
+
+   private:
+    StageTimer* timer_;
+    std::string stage_;
+    size_t items_;
+    WallTimer clock_;
+  };
+
+  /// Owns a private registry.
+  StageTimer();
+  /// Records into `registry` (not owned; must outlive the timer).
+  explicit StageTimer(obs::MetricsRegistry* registry);
+
+  /// Adds one call with `seconds` of wall time and `items` processed to
+  /// `stage`, creating the stage's metrics on first use (insertion
+  /// order is kept for rows()/Print).
+  void Record(const std::string& stage, double seconds, size_t items = 0);
+
+  /// Rows in first-recorded order.
+  std::vector<Row> rows() const;
+
+  /// Renders "stage | calls | wall_s | items | items/s" via TablePrinter.
+  void Print(std::ostream& os) const;
+
+  void Clear();
+
+  /// The backing registry (owned or external).
+  obs::MetricsRegistry& registry() { return *registry_; }
+  const obs::MetricsRegistry& registry() const { return *registry_; }
+
+ private:
+  struct StageHandles {
+    std::string stage;
+    obs::Counter* calls = nullptr;
+    obs::Counter* items = nullptr;
+    obs::Counter* seconds_ticks = nullptr;
+  };
+
+  StageHandles& HandlesFor(const std::string& stage);
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  mutable std::mutex mu_;
+  std::vector<StageHandles> stages_;  // insertion order
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace kg
+
+#endif  // KGRAPH_OBS_STAGE_TIMER_H_

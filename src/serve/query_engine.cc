@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/timer.h"
+
 namespace kg::serve {
 
 namespace {
@@ -131,10 +133,39 @@ QueryEngine::QueryEngine(const KgSnapshot& snapshot, ServeOptions options)
     cache_ = std::make_unique<ShardedLruCache>(options_.cache_capacity,
                                                options_.cache_shards);
   }
+  if (options_.registry != nullptr) {
+    for (size_t i = 0; i < kNumQueryKinds; ++i) {
+      const char* name = QueryKindName(static_cast<QueryKind>(i));
+      query_counters_[i] = &options_.registry->GetCounter(
+          std::string("serve.queries.") + name);
+      if (options_.time_queries) {
+        latency_us_[i] = &options_.registry->GetHistogram(
+            std::string("serve.latency_us.") + name,
+            obs::LatencyBucketsUs());
+      }
+    }
+  }
 }
 
 QueryResult QueryEngine::Execute(const Query& query) const {
-  StageTimer::Scope scope(options_.metrics, QueryKindName(query.kind), 1);
+  const size_t k = static_cast<size_t>(query.kind);
+  if (query_counters_[k] != nullptr) query_counters_[k]->Inc();
+  if (options_.metrics == nullptr && latency_us_[k] == nullptr) {
+    // Hot path: no timing requested, so no clock reads and no string
+    // for a StageTimer scope.
+    return ExecuteCacheAware(query);
+  }
+  WallTimer timer;
+  QueryResult result = ExecuteCacheAware(query);
+  const double seconds = timer.ElapsedSeconds();
+  if (latency_us_[k] != nullptr) latency_us_[k]->Observe(seconds * 1e6);
+  if (options_.metrics != nullptr) {
+    options_.metrics->Record(QueryKindName(query.kind), seconds, 1);
+  }
+  return result;
+}
+
+QueryResult QueryEngine::ExecuteCacheAware(const Query& query) const {
   if (cache_ == nullptr) return ExecuteUncached(query);
   const std::string key = query.CacheKey();
   QueryResult cached;
@@ -142,6 +173,17 @@ QueryResult QueryEngine::Execute(const Query& query) const {
   QueryResult result = ExecuteUncached(query);
   cache_->Put(key, result);
   return result;
+}
+
+void QueryEngine::PublishCacheMetrics() const {
+  if (options_.registry == nullptr || cache_ == nullptr) return;
+  const ShardedLruCache::Counters counters = cache_->counters();
+  options_.registry->GetGauge("serve.cache.hits")
+      .Set(static_cast<int64_t>(counters.hits));
+  options_.registry->GetGauge("serve.cache.misses")
+      .Set(static_cast<int64_t>(counters.misses));
+  options_.registry->GetGauge("serve.cache.evictions")
+      .Set(static_cast<int64_t>(counters.evictions));
 }
 
 QueryResult QueryEngine::ExecuteUncached(const Query& query) const {

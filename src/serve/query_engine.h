@@ -1,6 +1,7 @@
 #ifndef KGRAPH_SERVE_QUERY_ENGINE_H_
 #define KGRAPH_SERVE_QUERY_ENGINE_H_
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 #include "common/exec_policy.h"
 #include "common/stage_timer.h"
 #include "graph/knowledge_graph.h"
+#include "obs/metrics.h"
 #include "serve/lru_cache.h"
 #include "serve/snapshot.h"
 
@@ -87,6 +89,15 @@ struct ServeOptions {
   size_t cache_shards = 8;
   /// Per-query-class wall time, recorded when non-null.
   StageTimer* metrics = nullptr;
+  /// Per-class "serve.queries.<class>" counters land here when
+  /// non-null (one sharded-atomic increment per query — hot-path
+  /// safe; see bench_obs for the measured bound). Not owned; must
+  /// outlive the engine.
+  obs::MetricsRegistry* registry = nullptr;
+  /// With `registry`, also time every query into a
+  /// "serve.latency_us.<class>" histogram. Costs two clock reads per
+  /// query, so it is opt-in rather than implied by `registry`.
+  bool time_queries = false;
 };
 
 /// Read path over an immutable KgSnapshot. Thread-safe: Execute only
@@ -113,7 +124,15 @@ class QueryEngine {
 
   const KgSnapshot& snapshot() const { return snapshot_; }
 
+  /// Mirrors the result cache's hit/miss/eviction counters into
+  /// "serve.cache.*" gauges of the configured registry. The cache
+  /// already counts its own traffic in atomics, so the bridge runs at
+  /// exposition time instead of taxing every lookup. No-op without a
+  /// registry or cache.
+  void PublishCacheMetrics() const;
+
  private:
+  QueryResult ExecuteCacheAware(const Query& query) const;
   QueryResult PointLookup(const Query& query) const;
   QueryResult Neighborhood(const Query& query) const;
   QueryResult AttributeByType(const Query& query) const;
@@ -121,6 +140,10 @@ class QueryEngine {
 
   const KgSnapshot& snapshot_;
   ServeOptions options_;
+  // Pre-resolved registry handles (null when options_.registry is):
+  // registration takes a lock, so it happens once here, never per query.
+  std::array<obs::Counter*, kNumQueryKinds> query_counters_{};
+  std::array<obs::Histogram*, kNumQueryKinds> latency_us_{};
   // Mutable by design: caching must be invisible to callers, and the
   // sharded cache is internally synchronized.
   mutable std::unique_ptr<ShardedLruCache> cache_;

@@ -2,39 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
-#include <sstream>
 
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "obs/json.h"
 
 namespace kg::serve {
-
-namespace {
-
-ServeStats::Row MakeRow(const std::string& name,
-                        std::vector<double> samples) {
-  ServeStats::Row row;
-  row.query_class = name;
-  row.calls = samples.size();
-  row.total_seconds =
-      std::accumulate(samples.begin(), samples.end(), 0.0);
-  row.qps = row.total_seconds > 0.0
-                ? static_cast<double>(row.calls) / row.total_seconds
-                : 0.0;
-  row.p50_us = Percentile(samples, 0.50) * 1e6;
-  row.p99_us = Percentile(std::move(samples), 0.99) * 1e6;
-  return row;
-}
-
-void AppendJsonRow(std::ostringstream* out, const ServeStats::Row& row) {
-  *out << "{\"class\":\"" << row.query_class << "\",\"calls\":" << row.calls
-       << ",\"qps\":" << FormatDouble(row.qps, 1)
-       << ",\"p50_us\":" << FormatDouble(row.p50_us, 3)
-       << ",\"p99_us\":" << FormatDouble(row.p99_us, 3) << "}";
-}
-
-}  // namespace
 
 double Percentile(std::vector<double> samples, double q) {
   if (samples.empty()) return 0.0;
@@ -46,28 +19,84 @@ double Percentile(std::vector<double> samples, double q) {
   return samples[rank == 0 ? 0 : rank - 1];
 }
 
+ServeStats::ServeStats()
+    : owned_registry_(std::make_unique<obs::MetricsRegistry>()),
+      registry_(owned_registry_.get()) {
+  RegisterHistograms();
+}
+
+ServeStats::ServeStats(obs::MetricsRegistry* registry)
+    : registry_(registry) {
+  RegisterHistograms();
+}
+
+void ServeStats::RegisterHistograms() {
+  const std::vector<double>& buckets = obs::LatencyBucketsUs();
+  for (size_t i = 0; i < kNumQueryKinds; ++i) {
+    per_kind_us_[i] = &registry_->GetHistogram(
+        std::string("serve.latency_us.") +
+            QueryKindName(static_cast<QueryKind>(i)),
+        buckets);
+  }
+  all_us_ = &registry_->GetHistogram("serve.latency_us.all", buckets);
+}
+
 void ServeStats::Record(QueryKind kind, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  samples_[static_cast<size_t>(kind)].push_back(seconds);
+  const double us = seconds * 1e6;
+  per_kind_us_[static_cast<size_t>(kind)]->Observe(us);
+  all_us_->Observe(us);
 }
 
 void ServeStats::SetCacheCounters(
     const ShardedLruCache::Counters& counters) {
-  std::lock_guard<std::mutex> lock(mu_);
-  cache_ = counters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_ = counters;
+  }
+  registry_->GetGauge("serve.cache.hits")
+      .Set(static_cast<int64_t>(counters.hits));
+  registry_->GetGauge("serve.cache.misses")
+      .Set(static_cast<int64_t>(counters.misses));
+  registry_->GetGauge("serve.cache.evictions")
+      .Set(static_cast<int64_t>(counters.evictions));
 }
 
+namespace {
+
+ServeStats::Row MakeRow(const std::string& name,
+                        const obs::Histogram& hist) {
+  ServeStats::Row row;
+  row.query_class = name;
+  row.calls = hist.Count();
+  row.total_seconds = hist.Sum() * 1e-6;  // histogram unit is us
+  row.qps = row.total_seconds > 0.0
+                ? static_cast<double>(row.calls) / row.total_seconds
+                : 0.0;
+  row.p50_us = hist.Quantile(0.50);
+  row.p99_us = hist.Quantile(0.99);
+  return row;
+}
+
+void WriteJsonRow(obs::JsonWriter& w, const ServeStats::Row& row) {
+  w.BeginObject();
+  w.Key("class").String(row.query_class);
+  w.Key("calls").UInt(static_cast<uint64_t>(row.calls));
+  w.Key("qps").Double(row.qps, 1);
+  w.Key("p50_us").Double(row.p50_us, 3);
+  w.Key("p99_us").Double(row.p99_us, 3);
+  w.EndObject();
+}
+
+}  // namespace
+
 std::vector<ServeStats::Row> ServeStats::rows() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Row> out;
-  std::vector<double> all;
-  for (size_t i = 0; i < samples_.size(); ++i) {
-    if (samples_[i].empty()) continue;
-    out.push_back(
-        MakeRow(QueryKindName(static_cast<QueryKind>(i)), samples_[i]));
-    all.insert(all.end(), samples_[i].begin(), samples_[i].end());
+  for (size_t i = 0; i < kNumQueryKinds; ++i) {
+    if (per_kind_us_[i]->Count() == 0) continue;
+    out.push_back(MakeRow(QueryKindName(static_cast<QueryKind>(i)),
+                          *per_kind_us_[i]));
   }
-  out.push_back(MakeRow("all", std::move(all)));
+  out.push_back(MakeRow("all", *all_us_));
   return out;
 }
 
@@ -93,32 +122,39 @@ void ServeStats::Print(std::ostream& os) const {
 }
 
 std::string ServeStats::ToJson() const {
-  std::ostringstream out;
   const auto all_rows = rows();
-  out << "{\"classes\":[";
-  bool first = true;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("classes").BeginArray();
   for (const Row& row : all_rows) {
     if (row.query_class == "all") continue;
-    if (!first) out << ',';
-    first = false;
-    AppendJsonRow(&out, row);
+    WriteJsonRow(w, row);
   }
-  out << "],\"overall\":";
-  AppendJsonRow(&out, all_rows.back());
+  w.EndArray();
+  w.Key("overall");
+  WriteJsonRow(w, all_rows.back());
   if (const auto cache = cache_counters()) {
-    out << ",\"cache\":{\"hits\":" << cache->hits
-        << ",\"misses\":" << cache->misses
-        << ",\"evictions\":" << cache->evictions
-        << ",\"hit_rate\":" << FormatDouble(cache->HitRate(), 4) << "}";
+    w.Key("cache").BeginObject();
+    w.Key("hits").UInt(cache->hits);
+    w.Key("misses").UInt(cache->misses);
+    w.Key("evictions").UInt(cache->evictions);
+    w.Key("hit_rate").Double(cache->HitRate(), 4);
+    w.EndObject();
   }
-  out << "}";
-  return out.str();
+  w.EndObject();
+  return w.Take();
 }
 
 void ServeStats::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& s : samples_) s.clear();
-  cache_.reset();
+  for (obs::Histogram* hist : per_kind_us_) hist->Reset();
+  all_us_->Reset();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.reset();
+  }
+  registry_->GetGauge("serve.cache.hits").Reset();
+  registry_->GetGauge("serve.cache.misses").Reset();
+  registry_->GetGauge("serve.cache.evictions").Reset();
 }
 
 }  // namespace kg::serve

@@ -2,12 +2,14 @@
 #define KGRAPH_SERVE_SERVE_STATS_H_
 
 #include <array>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/lru_cache.h"
 #include "serve/query_engine.h"
 
@@ -19,9 +21,16 @@ double Percentile(std::vector<double> samples, double q);
 
 /// Per-query-class latency/throughput aggregation for a serving replay,
 /// plus the result-cache counters, rendered as a `table_printer` report
-/// and as machine-readable JSON (`BENCH_serve.json`). Recording is
-/// mutex-guarded so replay loops may record from worker threads; reading
-/// is meant for after the run.
+/// and as machine-readable JSON (the BENCH_serve.json payload).
+///
+/// Historically this kept raw per-class sample vectors; it is now a
+/// thin view over an obs::MetricsRegistry — each class records into a
+/// "serve.latency_us.<class>" histogram (fixed log-spaced buckets,
+/// LatencyBucketsUs) plus a "serve.latency_us.all" aggregate, and
+/// cache counters land in "serve.cache.*" gauges. Percentiles are
+/// therefore bucket-resolution estimates (1.25x spacing), unbounded
+/// memory per run becomes ~KBs, and recording is lock-free. Reading is
+/// meant for after the run.
 class ServeStats {
  public:
   struct Row {
@@ -33,10 +42,16 @@ class ServeStats {
     double p99_us = 0.0;
   };
 
+  /// Owns a private registry.
+  ServeStats();
+  /// Records into `registry` (not owned; must outlive the stats).
+  explicit ServeStats(obs::MetricsRegistry* registry);
+
   /// Adds one query's wall time to its class.
   void Record(QueryKind kind, double seconds);
 
-  /// Attaches the replay's cache counters to the report.
+  /// Attaches the replay's cache counters to the report (and mirrors
+  /// them into serve.cache.{hits,misses,evictions} gauges).
   void SetCacheCounters(const ShardedLruCache::Counters& counters);
 
   /// Per-class rows (classes with at least one sample, enum order),
@@ -49,14 +64,23 @@ class ServeStats {
   void Print(std::ostream& os) const;
 
   /// {"classes": [...], "overall": {...}, "cache": {...}} — the
-  /// BENCH_serve.json payload.
+  /// BENCH_serve.json payload (rendered through obs::JsonWriter).
   std::string ToJson() const;
 
   void Clear();
 
+  /// The backing registry (owned or external).
+  obs::MetricsRegistry& registry() { return *registry_; }
+  const obs::MetricsRegistry& registry() const { return *registry_; }
+
  private:
-  mutable std::mutex mu_;
-  std::array<std::vector<double>, kNumQueryKinds> samples_;
+  void RegisterHistograms();
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::array<obs::Histogram*, kNumQueryKinds> per_kind_us_{};
+  obs::Histogram* all_us_ = nullptr;
+  mutable std::mutex mu_;  // guards cache_ only
   std::optional<ShardedLruCache::Counters> cache_;
 };
 

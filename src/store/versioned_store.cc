@@ -441,6 +441,20 @@ Result<std::unique_ptr<VersionedKgStore>> VersionedKgStore::Open(
   std::unique_ptr<VersionedKgStore> store(new VersionedKgStore());
   store->options_ = options;
   store->kg_ = std::move(base);
+  if (obs::MetricsRegistry* reg = options.registry) {
+    store->metrics_.applied_mutations =
+        &reg->GetCounter("store.applied_mutations");
+    store->metrics_.wal_appended =
+        &reg->GetCounter("store.wal.appended_records");
+    store->metrics_.compactions = &reg->GetCounter("store.compactions");
+    store->metrics_.folded = &reg->GetCounter("store.compaction.folded");
+    store->metrics_.epoch_version = &reg->GetGauge("store.epoch.version");
+    store->metrics_.delta_size = &reg->GetGauge("store.delta.size");
+    store->metrics_.wal_replayed =
+        &reg->GetGauge("store.wal.replayed_records");
+    store->metrics_.compaction_last_us =
+        &reg->GetGauge("store.compaction.last_us");
+  }
   if (!options.wal_path.empty()) {
     WalReplay replay;
     KG_ASSIGN_OR_RETURN(Wal wal, Wal::Open(options.wal_path, &replay));
@@ -451,6 +465,10 @@ Result<std::unique_ptr<VersionedKgStore>> VersionedKgStore::Open(
     for (const Mutation& m : replay.mutations) {
       store->ApplyToGraph(m);
       ++store->next_seq_;
+    }
+    if (store->metrics_.wal_replayed != nullptr) {
+      store->metrics_.wal_replayed->Set(
+          static_cast<int64_t>(replay.mutations.size()));
     }
   }
   if (options.cache_capacity > 0) {
@@ -531,10 +549,18 @@ Status VersionedKgStore::ApplyBatch(std::span<const Mutation> mutations) {
   epoch->version = current_->version + 1;
   epoch->base = current_->base;
   epoch->delta = std::move(next_delta);
+  const uint64_t published_version = epoch->version;
+  const size_t published_delta = epoch->delta->size();
   PublishEpoch(std::move(epoch), [&] {
     for (const std::string& key : affected) cache_->Erase(key);
   });
   if (cache_) BumpGenerations(mutations);
+  if (metrics_.applied_mutations != nullptr) {
+    metrics_.applied_mutations->Inc(mutations.size());
+    if (wal_) metrics_.wal_appended->Inc(mutations.size());
+    metrics_.epoch_version->Set(static_cast<int64_t>(published_version));
+    metrics_.delta_size->Set(static_cast<int64_t>(published_delta));
+  }
   return Status::OK();
 }
 
@@ -734,17 +760,28 @@ VersionedKgStore::CompactionStats VersionedKgStore::Compact() {
     epoch->delta = std::move(next_delta);
     stats.version = epoch->version;
     stats.base_fingerprint = epoch->base->Fingerprint();
+    const size_t remaining_delta = epoch->delta->size();
     PublishEpoch(std::move(epoch), [&] {
       for (size_t shard : shards) {
         cache_->InvalidateShard(shard);
         ++stats.shards_invalidated;
       }
     });
+    if (metrics_.delta_size != nullptr) {
+      metrics_.epoch_version->Set(static_cast<int64_t>(stats.version));
+      metrics_.delta_size->Set(static_cast<int64_t>(remaining_delta));
+    }
   }
   stats.seconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - started)
                       .count();
   stats.ran = true;
+  if (metrics_.compactions != nullptr) {
+    metrics_.compactions->Inc();
+    metrics_.folded->Inc(stats.folded);
+    metrics_.compaction_last_us->Set(
+        static_cast<int64_t>(stats.seconds * 1e6));
+  }
   compaction_in_flight_.store(false, std::memory_order_release);
   return stats;
 }

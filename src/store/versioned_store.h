@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/knowledge_graph.h"
+#include "obs/metrics.h"
 #include "serve/lru_cache.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
@@ -33,6 +34,13 @@ struct StoreOptions {
   /// Result-cache entries; 0 disables caching.
   size_t cache_capacity = 0;
   size_t cache_shards = 8;
+  /// Write-path metrics land here when non-null (not owned; must outlive
+  /// the store): "store.applied_mutations" / "store.wal.appended_records"
+  /// / "store.compactions" / "store.compaction.folded" counters plus
+  /// "store.epoch.version" / "store.delta.size" /
+  /// "store.wal.replayed_records" / "store.compaction.last_us" gauges.
+  /// All updates happen on the (serialized) write path, never per read.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// One immutable MVCC version of the store: a base snapshot plus the
@@ -211,7 +219,21 @@ class VersionedKgStore {
   void PublishEpoch(std::shared_ptr<const StoreEpoch> epoch,
                     const std::function<void()>& invalidate);
 
+  /// Pre-resolved registry handles (all null when options_.registry is);
+  /// registration locks once in Open, never on the write path.
+  struct StoreMetrics {
+    obs::Counter* applied_mutations = nullptr;
+    obs::Counter* wal_appended = nullptr;
+    obs::Counter* compactions = nullptr;
+    obs::Counter* folded = nullptr;
+    obs::Gauge* epoch_version = nullptr;
+    obs::Gauge* delta_size = nullptr;
+    obs::Gauge* wal_replayed = nullptr;
+    obs::Gauge* compaction_last_us = nullptr;
+  };
+
   StoreOptions options_;
+  StoreMetrics metrics_{};
   std::optional<Wal> wal_;
 
   /// Serializes writers; guards kg_ and next_seq_.

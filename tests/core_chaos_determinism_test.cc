@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/events.h"
 #include "core/entity_kg_pipeline.h"
 #include "core/textrich_kg_pipeline.h"
 
@@ -146,6 +147,28 @@ TEST(ChaosDeterminismTest,
     }
   }
   EXPECT_EQ(result.ingested + result.degradation.quarantined(), 5u);
+}
+
+TEST(ChaosDeterminismTest, EntityChaosEventCountersMatchDegradation) {
+  // The global retry/breaker event counters must agree exactly with the
+  // degradation report: every row's attempts land in retry_attempts,
+  // every quarantined source is exactly one giveup, every survivor
+  // exactly one success. Events are process-global, so assert deltas.
+  const FaultPlan plan = FaultPlan::Uniform(kChaosSeed, 0.25);
+  const events::ProcessEvents& ev = events::Process();
+  const uint64_t attempts0 = ev.retry_attempts.load();
+  const uint64_t successes0 = ev.retry_successes.load();
+  const uint64_t giveups0 = ev.retry_giveups.load();
+  const EntityChaosResult result = RunEntityChaos(2, &plan);
+  uint64_t report_attempts = 0;
+  for (const SourceDegradation& row : result.degradation.sources) {
+    report_attempts += row.attempts;
+  }
+  EXPECT_EQ(ev.retry_attempts.load() - attempts0, report_attempts);
+  EXPECT_EQ(ev.retry_successes.load() - successes0,
+            static_cast<uint64_t>(result.ingested));
+  EXPECT_EQ(ev.retry_giveups.load() - giveups0,
+            static_cast<uint64_t>(result.degradation.quarantined()));
 }
 
 struct TextRichChaosResult {

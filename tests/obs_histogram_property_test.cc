@@ -1,0 +1,142 @@
+// Property tests for the fixed-bucket histogram: against seeded random
+// workloads the bucket-resolution quantile estimate must land within
+// one bucket of the brute-force order statistic, and merging shards
+// written from 1/2/8 real threads must expose byte-identical JSON —
+// the fixed-point sum is what makes that possible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace kg::obs {
+namespace {
+
+// Bucket index under "le" semantics: first bound >= value, else the
+// +inf overflow bucket (== bounds.size()).
+size_t BucketIndexOf(const std::vector<double>& bounds, double value) {
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) return i;
+  }
+  return bounds.size();
+}
+
+// Nearest-rank order statistic: the q-quantile of the observed sample.
+double BruteForceQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double target = q * static_cast<double>(values.size());
+  size_t rank = static_cast<size_t>(std::ceil(target));
+  if (rank == 0) rank = 1;
+  rank = std::min(rank, values.size());
+  return values[rank - 1];
+}
+
+std::vector<double> MakeWorkload(uint64_t seed, size_t n, int shape) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (shape) {
+      case 0:  // uniform latencies across the bucket range
+        values.push_back(rng.UniformDouble(0.05, 500.0));
+        break;
+      case 1:  // log-uniform: mass spread evenly over bucket indexes
+        values.push_back(0.1 * std::pow(10.0, rng.UniformDouble(0.0, 4.0)));
+        break;
+      default:  // heavy tail with mass beyond the last finite bound
+        values.push_back(rng.Bernoulli(0.02)
+                             ? rng.UniformDouble(2e5, 1e6)
+                             : rng.UniformDouble(0.5, 50.0));
+        break;
+    }
+  }
+  return values;
+}
+
+TEST(HistogramPropertyTest, QuantilesWithinOneBucketOfBruteForce) {
+  const std::vector<double>& bounds = LatencyBucketsUs();
+  for (uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    for (int shape : {0, 1, 2}) {
+      const std::vector<double> values = MakeWorkload(seed, 20000, shape);
+      Histogram h(bounds);
+      for (double v : values) h.Observe(v);
+      ASSERT_EQ(h.Count(), values.size());
+      for (double q : {0.5, 0.9, 0.99}) {
+        const double truth = BruteForceQuantile(values, q);
+        const double est = h.Quantile(q);
+        const size_t truth_bucket = BucketIndexOf(bounds, truth);
+        size_t est_bucket = BucketIndexOf(bounds, est);
+        if (truth_bucket == bounds.size()) {
+          // True quantile overflowed: the estimate clamps to the last
+          // finite bound by contract.
+          EXPECT_DOUBLE_EQ(est, bounds.back())
+              << "seed " << seed << " shape " << shape << " q " << q;
+          continue;
+        }
+        const size_t lo = std::min(truth_bucket, est_bucket);
+        const size_t hi = std::max(truth_bucket, est_bucket);
+        EXPECT_LE(hi - lo, 1u)
+            << "seed " << seed << " shape " << shape << " q " << q
+            << ": truth " << truth << " (bucket " << truth_bucket
+            << ") vs estimate " << est << " (bucket " << est_bucket << ")";
+      }
+    }
+  }
+}
+
+TEST(HistogramPropertyTest, SumIsExactInFixedPoint) {
+  // Integer tick accumulation: the merged sum equals the sum of
+  // per-value ticks exactly, with no float-association error.
+  const std::vector<double> values = MakeWorkload(99, 5000, 1);
+  Histogram h(LatencyBucketsUs());
+  int64_t expected_ticks = 0;
+  for (double v : values) {
+    h.Observe(v);
+    expected_ticks += Histogram::ToTicks(v);
+  }
+  EXPECT_EQ(h.SumTicks(), expected_ticks);
+}
+
+// Observes `values` from `threads` real threads (contiguous partition)
+// into a fresh registry and returns its exposition.
+std::string ExposeFromThreads(const std::vector<double>& values,
+                              size_t threads) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("lat_us", LatencyBucketsUs());
+  Counter& c = registry.GetCounter("observed");
+  std::vector<std::thread> workers;
+  const size_t per = (values.size() + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t begin = std::min(t * per, values.size());
+    const size_t end = std::min(begin + per, values.size());
+    workers.emplace_back([&, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        h.Observe(values[i]);
+        c.Inc();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return registry.ToJson();
+}
+
+TEST(HistogramPropertyTest, MergedExpositionIdenticalAt1_2_8Threads) {
+  for (uint64_t seed : {3u, 42u}) {
+    const std::vector<double> values = MakeWorkload(seed, 30000, 2);
+    const std::string json_1 = ExposeFromThreads(values, 1);
+    const std::string json_2 = ExposeFromThreads(values, 2);
+    const std::string json_8 = ExposeFromThreads(values, 8);
+    EXPECT_EQ(json_1, json_2) << "seed " << seed;
+    EXPECT_EQ(json_2, json_8) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kg::obs

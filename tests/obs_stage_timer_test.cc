@@ -1,0 +1,149 @@
+// StageTimer is now a thin view over an obs::MetricsRegistry: rows are
+// reconstructed from "stage.<name>.{calls,items,seconds_ticks}"
+// counters, so stage cost shows up in the same exposition as every
+// other metric while the historical rows()/Print/Scope API holds.
+
+#include "obs/stage_timer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace kg {
+namespace {
+
+TEST(StageTimerTest, RecordAccumulatesCallsSecondsItems) {
+  StageTimer timer;
+  timer.Record("parse", 1.5, 10);
+  timer.Record("parse", 0.25, 6);
+  const auto rows = timer.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].stage, "parse");
+  EXPECT_EQ(rows[0].calls, 2u);
+  EXPECT_EQ(rows[0].items, 16u);
+  // 1.5 and 0.25 are exact in fixed-point ticks.
+  EXPECT_DOUBLE_EQ(rows[0].seconds, 1.75);
+  EXPECT_DOUBLE_EQ(rows[0].ItemsPerSec(), 16.0 / 1.75);
+}
+
+TEST(StageTimerTest, RowsKeepFirstRecordedOrder) {
+  StageTimer timer;
+  timer.Record("zeta", 0.1);
+  timer.Record("alpha", 0.1);
+  timer.Record("zeta", 0.1);
+  const auto rows = timer.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].stage, "zeta");
+  EXPECT_EQ(rows[1].stage, "alpha");
+}
+
+TEST(StageTimerTest, ZeroSecondsRowReportsZeroThroughput) {
+  StageTimer timer;
+  timer.Record("instant", 0.0, 100);
+  const auto rows = timer.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].seconds, 0.0);
+  EXPECT_DOUBLE_EQ(rows[0].ItemsPerSec(), 0.0);
+}
+
+TEST(StageTimerTest, ScopeRecordsOnDestructionWithAddedItems) {
+  StageTimer timer;
+  {
+    StageTimer::Scope scope(&timer, "load", 3);
+    scope.AddItems(7);
+  }
+  const auto rows = timer.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].stage, "load");
+  EXPECT_EQ(rows[0].calls, 1u);
+  EXPECT_EQ(rows[0].items, 10u);
+  EXPECT_GE(rows[0].seconds, 0.0);
+}
+
+TEST(StageTimerTest, NullTimerScopeIsANoOp) {
+  StageTimer::Scope scope(nullptr, "ignored", 5);
+  scope.AddItems(5);
+  // Destruction must not crash; nothing to assert beyond survival.
+}
+
+TEST(StageTimerTest, MovedFromScopeDoesNotDoubleRecord) {
+  StageTimer timer;
+  {
+    StageTimer::Scope a(&timer, "stage", 1);
+    StageTimer::Scope b = std::move(a);
+    b.AddItems(1);
+  }
+  const auto rows = timer.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].calls, 1u);
+  EXPECT_EQ(rows[0].items, 2u);
+}
+
+TEST(StageTimerTest, ExternalRegistryExposesStageMetrics) {
+  obs::MetricsRegistry registry;
+  StageTimer timer(&registry);
+  timer.Record("fuse", 2.0, 4);
+  EXPECT_EQ(registry.GetCounter("stage.fuse.calls").Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("stage.fuse.items").Value(), 4u);
+  EXPECT_EQ(registry.GetCounter("stage.fuse.seconds_ticks").Value(),
+            static_cast<uint64_t>(2.0 * obs::kFixedPointScale));
+  // The stage rows ride along in the shared exposition.
+  EXPECT_NE(registry.ToJson().find("stage.fuse.calls"), std::string::npos);
+  EXPECT_EQ(&timer.registry(), &registry);
+}
+
+TEST(StageTimerTest, OwnedRegistryBacksRowsExactly) {
+  StageTimer timer;
+  timer.Record("link", 0.5, 2);
+  EXPECT_EQ(timer.registry().GetCounter("stage.link.calls").Value(), 1u);
+}
+
+TEST(StageTimerTest, ClearResetsRowsAndValues) {
+  obs::MetricsRegistry registry;
+  StageTimer timer(&registry);
+  timer.Record("stage", 1.0, 5);
+  timer.Clear();
+  EXPECT_TRUE(timer.rows().empty());
+  // The registry entry survives (handles are stable) but reads zero.
+  EXPECT_EQ(registry.GetCounter("stage.stage.calls").Value(), 0u);
+  // Recording after Clear re-creates the row.
+  timer.Record("stage", 1.0, 5);
+  ASSERT_EQ(timer.rows().size(), 1u);
+  EXPECT_EQ(timer.rows()[0].calls, 1u);
+}
+
+TEST(StageTimerTest, PrintRendersEveryStageRow) {
+  StageTimer timer;
+  timer.Record("extract", 0.5, 100);
+  timer.Record("assemble", 0.1, 7);
+  std::ostringstream os;
+  timer.Print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("extract"), std::string::npos);
+  EXPECT_NE(text.find("assemble"), std::string::npos);
+  EXPECT_NE(text.find("items/s"), std::string::npos);
+}
+
+TEST(StageTimerTest, ConcurrentRecordsSumExactly) {
+  StageTimer timer;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&timer] {
+      for (int i = 0; i < 500; ++i) timer.Record("hot", 0.001, 2);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const auto rows = timer.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].calls, 2000u);
+  EXPECT_EQ(rows[0].items, 4000u);
+  EXPECT_DOUBLE_EQ(rows[0].seconds, 2.0);
+}
+
+}  // namespace
+}  // namespace kg

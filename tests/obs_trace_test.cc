@@ -1,0 +1,218 @@
+// Structured tracing semantics: deterministic span ids from
+// (seed, qualified path), per-(parent,name) sequence numbering, inert
+// null-tracer spans, and a JSON export that is a pure function of the
+// trace structure under an injected clock.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace kg::obs {
+namespace {
+
+// One scripted build: root -> {load, work, work}, with attrs, under a
+// deterministic clock timeline.
+std::string ScriptedTrace(uint64_t seed, uint64_t* root_id = nullptr) {
+  FixedTraceClock clock;
+  Tracer tracer(seed, &clock);
+  Span root = tracer.Root("build");
+  if (root_id != nullptr) *root_id = root.id();
+  root.SetAttr("source", "unit");
+  clock.Advance(0.25);
+  {
+    Span load = root.Child("load");
+    load.SetAttr("rows", uint64_t{12});
+    clock.Advance(0.5);
+  }
+  for (int i = 0; i < 2; ++i) {
+    Span work = root.Child("work");
+    clock.Advance(0.125);
+  }
+  root.End();
+  return tracer.ToJson();
+}
+
+TEST(TracerTest, SameSeedAndStructureExportIdentically) {
+  uint64_t id_a = 0, id_b = 0;
+  const std::string a = ScriptedTrace(42, &id_a);
+  const std::string b = ScriptedTrace(42, &id_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(id_a, id_b);
+}
+
+TEST(TracerTest, SeedChangesEverySpanId) {
+  uint64_t id_a = 0, id_b = 0;
+  const std::string a = ScriptedTrace(42, &id_a);
+  const std::string b = ScriptedTrace(43, &id_b);
+  EXPECT_NE(id_a, id_b);
+  EXPECT_NE(a, b);
+}
+
+TEST(TracerTest, PathsChainNameAndSequence) {
+  Tracer tracer(1);
+  Span root = tracer.Root("build");
+  EXPECT_EQ(root.path(), "/build#0");
+  Span c0 = root.Child("stage");
+  Span c1 = root.Child("stage");
+  EXPECT_EQ(c0.path(), "/build#0/stage#0");
+  EXPECT_EQ(c1.path(), "/build#0/stage#1");
+  c0.End();
+  c1.End();
+  // A second root of the same name gets the next sequence number.
+  root.End();
+  Span again = tracer.Root("build");
+  EXPECT_EQ(again.path(), "/build#1");
+}
+
+TEST(TracerTest, JsonNestsChildrenSortedByNameAndSeq) {
+  FixedTraceClock clock(2.0);
+  Tracer tracer(7, &clock);
+  {
+    Span root = tracer.Root("build");
+    // Finish children out of name order: export must sort by (name, seq).
+    Span z = root.Child("zeta");
+    Span a = root.Child("alpha");
+    z.End();
+    a.End();
+  }
+  const auto parsed = ParseJson(tracer.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue& v = *parsed;
+  EXPECT_DOUBLE_EQ(v.Find("schema_version")->number, 1.0);
+  EXPECT_DOUBLE_EQ(v.Find("seed")->number, 7.0);
+  EXPECT_DOUBLE_EQ(v.Find("span_count")->number, 3.0);
+  ASSERT_EQ(v.Find("spans")->array.size(), 1u);
+  const JsonValue& root = v.Find("spans")->array[0];
+  EXPECT_EQ(root.Find("name")->string_value, "build");
+  EXPECT_DOUBLE_EQ(root.Find("start_s")->number, 2.0);
+  const JsonValue* children = root.Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->array.size(), 2u);
+  EXPECT_EQ(children->array[0].Find("name")->string_value, "alpha");
+  EXPECT_EQ(children->array[1].Find("name")->string_value, "zeta");
+}
+
+TEST(TracerTest, AttrsExportInInsertionOrderAsStrings) {
+  FixedTraceClock clock;
+  Tracer tracer(1, &clock);
+  {
+    Span root = tracer.Root("r");
+    root.SetAttr("text", "hello");
+    root.SetAttr("count", int64_t{-4});
+    root.SetAttr("total", uint64_t{9});
+    root.SetAttr("ratio", 0.5, 2);
+  }
+  const auto parsed = ParseJson(tracer.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* attrs = parsed->Find("spans")->array[0].Find("attrs");
+  ASSERT_NE(attrs, nullptr);
+  EXPECT_EQ(attrs->Find("text")->string_value, "hello");
+  EXPECT_EQ(attrs->Find("count")->string_value, "-4");
+  EXPECT_EQ(attrs->Find("total")->string_value, "9");
+  EXPECT_EQ(attrs->Find("ratio")->string_value, "0.50");
+}
+
+TEST(TracerTest, NullTracerAndDefaultSpansAreInert) {
+  Span inert = Tracer::Start(nullptr, "anything");
+  EXPECT_FALSE(inert.active());
+  inert.SetAttr("k", "v");
+  Span child = inert.Child("sub");
+  EXPECT_FALSE(child.active());
+  inert.End();  // safe, no-op
+  Span defaulted;
+  defaulted.End();
+  EXPECT_EQ(defaulted.id(), 0u);
+}
+
+TEST(TracerTest, StartWithTracerRecordsARoot) {
+  Tracer tracer(1);
+  {
+    Span span = Tracer::Start(&tracer, "job");
+#ifndef KG_OBS_NOOP
+    EXPECT_TRUE(span.active());
+#endif
+  }
+#ifndef KG_OBS_NOOP
+  EXPECT_EQ(tracer.finished_spans(), 1u);
+#endif
+}
+
+TEST(TracerTest, MoveTransfersOwnershipWithoutDoubleRecord) {
+  Tracer tracer(1);
+  {
+    Span a = tracer.Root("r");
+    Span b = std::move(a);
+    EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.active());
+    a.End();  // inert moved-from span: no record
+  }
+  EXPECT_EQ(tracer.finished_spans(), 1u);
+  // Move-assignment ends the destination span first.
+  Span c = tracer.Root("r");
+  c = tracer.Root("r");
+  c.End();
+  c.End();  // idempotent
+  EXPECT_EQ(tracer.finished_spans(), 3u);
+}
+
+TEST(TracerTest, UnfinishedSpansAreNotExported) {
+  Tracer tracer(1);
+  Span root = tracer.Root("pending");
+  const auto parsed = ParseJson(tracer.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->Find("span_count")->number, 0.0);
+  root.End();
+  EXPECT_EQ(tracer.finished_spans(), 1u);
+}
+
+TEST(TracerTest, ClearResetsSequencesForExactReplay) {
+  FixedTraceClock clock;
+  Tracer tracer(5, &clock);
+  auto run = [&] {
+    Span root = tracer.Root("build");
+    root.Child("stage").End();
+    root.Child("stage").End();
+  };
+  run();
+  const std::string first = tracer.ToJson();
+  tracer.Clear();
+  clock.Set(0.0);
+  run();
+  EXPECT_EQ(tracer.ToJson(), first);
+}
+
+TEST(TracerTest, ConcurrentUniquelyNamedChildrenExportDeterministically) {
+  // The deterministic-id contract under concurrency: same-parent spans
+  // created from worker threads must carry caller-unique names (the
+  // "chunk@<begin>" convention); then the export is independent of
+  // completion order and thread count.
+  auto traced = [](size_t threads) {
+    FixedTraceClock clock;
+    Tracer tracer(9, &clock);
+    Span root = tracer.Root("parallel");
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&root, t, threads] {
+        for (size_t chunk = t; chunk < 16; chunk += threads) {
+          Span span = root.Child("chunk@" + std::to_string(chunk));
+          span.SetAttr("items", uint64_t{4});
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    root.End();
+    return tracer.ToJson();
+  };
+  const std::string serial = traced(1);
+  EXPECT_EQ(traced(2), serial);
+  EXPECT_EQ(traced(8), serial);
+}
+
+}  // namespace
+}  // namespace kg::obs
