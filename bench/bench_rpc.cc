@@ -1,0 +1,352 @@
+// E23: RPC serving front-end. Serves the fig5 entity KG (seed 42) from
+// an RpcServer over the in-memory loopback transport and replays a
+// seeded Zipf query workload through N concurrent client connections.
+// Every remote answer is compared against the in-process QueryEngine
+// answer for the same query — any divergence exits non-zero (the wire
+// must be invisible to correctness). A second overload phase bursts
+// pipelined requests past the admission caps and measures the shed
+// rate: overflow must come back as clean, retriable kUnavailable
+// responses, never dropped or wrong. Emits BENCH_rpc.json with
+// qps/p50/p99 and shed-rate numbers.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/exec_policy.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "graph/knowledge_graph.h"
+#include "obs/bench_sink.h"
+#include "rpc/client.h"
+#include "rpc/frame.h"
+#include "rpc/server.h"
+#include "rpc/transport.h"
+#include "serve/query_engine.h"
+#include "serve/serve_stats.h"
+#include "serve/snapshot.h"
+#include "synth/entity_universe.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+constexpr size_t kConnections = 4;
+constexpr size_t kQueriesPerConnection = 3000;
+constexpr size_t kCacheCapacity = 4096;
+constexpr double kZipfExponent = 1.05;
+constexpr size_t kOverloadBurst = 256;  // Pipelined frames per connection.
+
+// The fig5 universe plus explicit class membership — the same knowledge
+// bench_serve and bench_store measure, now behind a wire.
+graph::KnowledgeGraph BuildFig5Kg(synth::EntityUniverse* universe) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 800;
+  uopt.num_movies = 1200;
+  uopt.num_songs = 100;
+  Rng rng(42);
+  *universe = synth::EntityUniverse::Generate(uopt, rng);
+  graph::KnowledgeGraph kg = universe->ToKnowledgeGraph();
+  const graph::Provenance prov{"ground_truth", 1.0, 0};
+  using graph::NodeKind;
+  for (const auto& p : universe->people()) {
+    kg.AddTriple(synth::EntityUniverse::PersonNodeName(p.id), "type",
+                 "Person", NodeKind::kEntity, NodeKind::kClass, prov);
+  }
+  for (const auto& m : universe->movies()) {
+    kg.AddTriple(synth::EntityUniverse::MovieNodeName(m.id), "type",
+                 "Movie", NodeKind::kEntity, NodeKind::kClass, prov);
+  }
+  for (const auto& s : universe->songs()) {
+    kg.AddTriple(synth::EntityUniverse::SongNodeName(s.id), "type", "Song",
+                 NodeKind::kEntity, NodeKind::kClass, prov);
+  }
+  return kg;
+}
+
+// The bench_serve query mix: 40% point lookups, 25% neighborhoods, 20%
+// typed attribute scans, 15% top-k shelves, all Zipf-popular.
+std::vector<serve::Query> MakeWorkload(const synth::EntityUniverse& u,
+                                       size_t n, Rng& rng) {
+  const ZipfDistribution person_zipf(u.people().size(), kZipfExponent);
+  const ZipfDistribution movie_zipf(u.movies().size(), kZipfExponent);
+  const ZipfDistribution song_zipf(u.songs().size(), kZipfExponent);
+  const std::vector<double> domain_weights = {
+      static_cast<double>(u.people().size()),
+      static_cast<double>(u.movies().size()),
+      static_cast<double>(u.songs().size())};
+  const std::vector<std::string> types = {"Person", "Movie", "Song"};
+  static const std::vector<std::vector<std::string>> kPreds = {
+      {"name", "birth_year", "nationality", "acted_in"},
+      {"title", "release_year", "genre", "directed_by"},
+      {"title", "performed_by", "song_year", "song_genre"},
+  };
+  auto sample_node = [&](size_t domain) -> std::string {
+    switch (domain) {
+      case 0:
+        return synth::EntityUniverse::PersonNodeName(
+            u.people()[person_zipf.Sample(rng)].id);
+      case 1:
+        return synth::EntityUniverse::MovieNodeName(
+            u.movies()[movie_zipf.Sample(rng)].id);
+      default:
+        return synth::EntityUniverse::SongNodeName(
+            u.songs()[song_zipf.Sample(rng)].id);
+    }
+  };
+  std::vector<serve::Query> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double r = rng.UniformDouble();
+    const size_t domain = rng.Weighted(domain_weights);
+    const std::string pred =
+        kPreds[domain][rng.UniformIndex(kPreds[domain].size())];
+    if (r < 0.40) {
+      out.push_back(serve::Query::PointLookup(sample_node(domain), pred));
+    } else if (r < 0.65) {
+      out.push_back(serve::Query::Neighborhood(sample_node(domain)));
+    } else if (r < 0.85) {
+      out.push_back(serve::Query::AttributeByType(types[domain], pred));
+    } else {
+      out.push_back(serve::Query::TopKRelated(
+          sample_node(domain), 5 * (1 + rng.UniformIndex(4))));
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) { return FormatDouble(v, 3); }
+
+}  // namespace
+
+int main() {
+  std::cout << "E23: RPC front-end — fig5 KG over loopback, "
+            << kConnections << " connections x " << kQueriesPerConnection
+            << " Zipf queries, remote answers vs in-process (seed 42)\n";
+
+  synth::EntityUniverse universe;
+  const graph::KnowledgeGraph kg = BuildFig5Kg(&universe);
+  const serve::KgSnapshot snap = serve::KgSnapshot::Compile(kg);
+
+  const size_t total_queries = kConnections * kQueriesPerConnection;
+  Rng workload_rng(271828);
+  const std::vector<serve::Query> workload =
+      MakeWorkload(universe, total_queries, workload_rng);
+
+  // In-process reference, computed before any server exists.
+  const serve::QueryEngine reference_engine(snap);
+  std::vector<serve::QueryResult> reference;
+  reference.reserve(workload.size());
+  for (const serve::Query& q : workload) {
+    reference.push_back(reference_engine.Execute(q));
+  }
+
+  // ---- Serving phase ----------------------------------------------------
+  serve::ServeOptions engine_options;
+  engine_options.cache_capacity = kCacheCapacity;
+  const serve::QueryEngine engine(snap, engine_options);
+
+  rpc::RpcServerOptions server_options;
+  server_options.worker_threads = kConnections;
+  auto listener = std::make_unique<rpc::InMemoryTransportServer>();
+  rpc::InMemoryTransportServer* loopback = listener.get();
+  rpc::RpcServer server(rpc::EngineHandler(&engine), std::move(listener),
+                        server_options);
+  KG_CHECK_OK(server.Start());
+
+  std::atomic<size_t> divergences{0};
+  std::atomic<size_t> transport_failures{0};
+  std::vector<std::vector<double>> latency_us(kConnections);
+  std::vector<std::thread> clients;
+  WallTimer serving_clock;
+  for (size_t c = 0; c < kConnections; ++c) {
+    clients.emplace_back([&, c] {
+      auto transport = loopback->Connect();
+      if (!transport.ok()) {
+        ++transport_failures;
+        return;
+      }
+      rpc::RpcClient client(std::move(*transport));
+      if (!client.Handshake().ok()) {
+        ++transport_failures;
+        return;
+      }
+      latency_us[c].reserve(kQueriesPerConnection);
+      const size_t begin = c * kQueriesPerConnection;
+      for (size_t i = 0; i < kQueriesPerConnection; ++i) {
+        WallTimer per_query;
+        const auto remote = client.Execute(workload[begin + i]);
+        latency_us[c].push_back(per_query.ElapsedSeconds() * 1e6);
+        if (!remote.ok() || *remote != reference[begin + i]) {
+          ++divergences;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double serving_seconds = serving_clock.ElapsedSeconds();
+  const rpc::RpcServer::Stats serving_stats = server.stats();
+  server.Stop();
+
+  std::vector<double> all_latencies;
+  all_latencies.reserve(total_queries);
+  for (const auto& per_conn : latency_us) {
+    all_latencies.insert(all_latencies.end(), per_conn.begin(),
+                         per_conn.end());
+  }
+  const double qps =
+      serving_seconds > 0.0 ? all_latencies.size() / serving_seconds : 0.0;
+  const double p50_us = serve::Percentile(all_latencies, 0.50);
+  const double p99_us = serve::Percentile(all_latencies, 0.99);
+
+  // ---- Overload phase ---------------------------------------------------
+  // Pipelined bursts past the admission caps: every request must still
+  // get exactly one response, with the overflow shed as kUnavailable.
+  rpc::RpcServerOptions tight;
+  tight.worker_threads = 1;
+  tight.max_queue_per_connection = 4;
+  tight.max_inflight = 8;
+  auto tight_listener = std::make_unique<rpc::InMemoryTransportServer>();
+  rpc::InMemoryTransportServer* tight_loopback = tight_listener.get();
+  rpc::RpcServer tight_server(rpc::EngineHandler(&engine),
+                              std::move(tight_listener), tight);
+  KG_CHECK_OK(tight_server.Start());
+
+  std::atomic<size_t> overload_ok{0};
+  std::atomic<size_t> overload_shed{0};
+  std::atomic<size_t> overload_anomalies{0};
+  std::vector<std::thread> bursters;
+  for (size_t c = 0; c < kConnections; ++c) {
+    bursters.emplace_back([&, c] {
+      auto transport = tight_loopback->Connect();
+      if (!transport.ok()) {
+        overload_anomalies += kOverloadBurst;
+        return;
+      }
+      auto& wire = **transport;
+      // Handshake by hand; RpcClient is strictly serial and this phase
+      // needs many requests in flight on one connection.
+      std::string out;
+      rpc::HandshakeRequest hello;
+      hello.max_schema_version = serve::kSnapshotSchemaVersion;
+      rpc::AppendFrame(&out, rpc::MessageType::kHandshakeRequest, 0,
+                       rpc::EncodeHandshakeRequest(hello));
+      const size_t begin = c * kQueriesPerConnection;
+      for (uint32_t i = 0; i < kOverloadBurst; ++i) {
+        rpc::AppendFrame(&out, rpc::MessageType::kQueryRequest, i + 1,
+                         rpc::EncodeQuery(workload[begin + i]));
+      }
+      if (!wire.Write(out).ok()) {
+        overload_anomalies += kOverloadBurst;
+        return;
+      }
+      rpc::FrameDecoder decoder;
+      size_t responses = 0;
+      bool handshook = false;
+      while (responses < kOverloadBurst) {
+        rpc::Frame frame;
+        rpc::FrameDecoder::Step step;
+        while ((step = decoder.Next(&frame)) ==
+               rpc::FrameDecoder::Step::kFrame) {
+          if (frame.type == rpc::MessageType::kHandshakeResponse) {
+            handshook = true;
+            continue;
+          }
+          ++responses;
+          const auto resp = rpc::DecodeQueryResponse(frame.body);
+          if (!resp.ok()) {
+            ++overload_anomalies;
+          } else if (resp->code == StatusCode::kOk) {
+            ++overload_ok;
+          } else if (resp->code == StatusCode::kUnavailable) {
+            ++overload_shed;
+          } else {
+            ++overload_anomalies;
+          }
+        }
+        if (step == rpc::FrameDecoder::Step::kError) break;
+        std::string chunk;
+        const auto read = wire.Read(&chunk, 64 * 1024, 5000);
+        if (!read.ok() || *read == 0) break;  // Closed or stalled.
+        decoder.Feed(chunk);
+      }
+      if (!handshook || responses < kOverloadBurst) {
+        overload_anomalies += kOverloadBurst - responses;
+      }
+    });
+  }
+  for (auto& t : bursters) t.join();
+  const rpc::RpcServer::Stats tight_stats = tight_server.stats();
+  tight_server.Stop();
+
+  const size_t overload_total = kConnections * kOverloadBurst;
+  const double shed_rate =
+      static_cast<double>(overload_shed.load()) / overload_total;
+
+  // ---- Report -----------------------------------------------------------
+  PrintBanner(std::cout, "RPC serving verdict");
+  TablePrinter table({"phase", "requests", "qps", "p50 us", "p99 us",
+                      "shed", "divergences"});
+  table.AddRow({"serving", std::to_string(all_latencies.size()),
+                FormatDouble(qps, 0), FormatDouble(p50_us, 1),
+                FormatDouble(p99_us, 1),
+                std::to_string(serving_stats.requests_shed),
+                std::to_string(divergences.load())});
+  table.AddRow({"overload", std::to_string(overload_total), "-", "-", "-",
+                std::to_string(overload_shed.load()) + " (" +
+                    FormatDouble(shed_rate * 100.0, 1) + "%)",
+                std::to_string(overload_anomalies.load())});
+  table.Print(std::cout);
+  std::cout << "serving wall " << FormatDouble(serving_seconds, 3)
+            << "s over " << kConnections << " connections; overload: "
+            << overload_ok.load() << " served, " << overload_shed.load()
+            << " shed cleanly, " << overload_anomalies.load()
+            << " anomalies (lost/garbled/unexpected)\n";
+  const bool ok = divergences.load() == 0 && transport_failures.load() == 0 &&
+                  overload_anomalies.load() == 0;
+  std::cout << "remote-vs-local: "
+            << (divergences.load() == 0 ? "IDENTICAL (OK)" : "DIVERGED (FAIL)")
+            << "; every overload request answered or shed: "
+            << (overload_anomalies.load() == 0 ? "OK" : "FAIL") << "\n";
+
+  // ---- JSON report ------------------------------------------------------
+  {
+    std::ostringstream json;
+    json << "{\"connections\":" << kConnections
+         << ",\"snapshot\":{\"nodes\":" << snap.num_nodes()
+         << ",\"predicates\":" << snap.num_predicates()
+         << ",\"triples\":" << snap.num_triples() << "}"
+         << ",\"serving\":{\"requests\":" << all_latencies.size()
+         << ",\"seconds\":" << JsonNumber(serving_seconds)
+         << ",\"qps\":" << JsonNumber(qps)
+         << ",\"p50_us\":" << JsonNumber(p50_us)
+         << ",\"p99_us\":" << JsonNumber(p99_us)
+         << ",\"shed\":" << serving_stats.requests_shed
+         << ",\"divergences\":" << divergences.load() << "}"
+         << ",\"overload\":{\"requests\":" << overload_total
+         << ",\"served\":" << overload_ok.load()
+         << ",\"shed\":" << overload_shed.load()
+         << ",\"shed_rate\":" << JsonNumber(shed_rate)
+         << ",\"anomalies\":" << overload_anomalies.load()
+         << ",\"server_accepted\":" << tight_stats.requests_accepted
+         << ",\"server_shed\":" << tight_stats.requests_shed << "}"
+         << ",\"gate\":\"" << (ok ? "ok" : "fail") << "\"}";
+    const obs::JsonSink sink("rpc", 42, ExecPolicy::Hardware().num_threads);
+    KG_CHECK_OK(sink.WriteFile("BENCH_rpc.json", json.str()));
+  }
+
+  // A divergence means the wire altered an answer; an anomaly means a
+  // request vanished instead of being answered or shed. Both are
+  // correctness bugs, not perf regressions.
+  return ok ? 0 : 1;
+}

@@ -368,11 +368,21 @@ int main() {
                     FormatDouble(r.read_p99_us, 1)});
   }
   verdict.Print(std::cout);
+  const bool p99_gate_ok = p99_ratio <= kP99Budget;
   std::cout << "read p99 at 1% writes vs immutable: "
             << FormatDouble(p99_ratio, 2) << "x ("
-            << (p99_ratio <= kP99Budget ? "OK: <=2x" : "SHORTFALL: >2x")
+            << (p99_gate_ok ? "OK: <=2x" : "SHORTFALL: >2x")
             << "); overlay-vs-rebuild divergences: " << total_divergences
             << (total_divergences == 0 ? " (OK)" : " (FAIL)") << "\n";
+  if (!p99_gate_ok) {
+    // Soft gate: a noisy-neighbor CI box can blow the tail without the
+    // store being wrong, so the budget miss is a loud warning plus a
+    // machine-readable verdict in the JSON, not an exit code.
+    std::cout << "WARN: read p99 tail-latency budget exceeded ("
+              << FormatDouble(p99_ratio, 2) << "x > "
+              << FormatDouble(kP99Budget, 1)
+              << "x immutable baseline at 1% writes)\n";
+  }
 
   // ---- JSON report -----------------------------------------------------
   {
@@ -397,6 +407,7 @@ int main() {
     }
     json << "],\"p99_ratio_at_1pct\":" << JsonNumber(p99_ratio)
          << ",\"p99_budget\":" << JsonNumber(kP99Budget)
+         << ",\"p99_gate\":\"" << (p99_gate_ok ? "ok" : "warn") << "\""
          << ",\"divergences\":" << total_divergences << "}";
     const obs::JsonSink sink("store", 42, ExecPolicy::Hardware().num_threads);
     KG_CHECK_OK(sink.WriteFile("BENCH_store.json", json.str()));

@@ -35,6 +35,14 @@ const char* StatusCodeToString(StatusCode code) {
   return "unknown";
 }
 
+std::optional<StatusCode> StatusCodeFromInt(int value) {
+  if (value < static_cast<int>(StatusCode::kOk) ||
+      value > static_cast<int>(StatusCode::kDeadlineExceeded)) {
+    return std::nullopt;
+  }
+  return static_cast<StatusCode>(value);
+}
+
 bool IsRetriable(StatusCode code) {
   return code == StatusCode::kUnavailable;
 }

@@ -1,6 +1,7 @@
 #ifndef KGRAPH_COMMON_STATUS_H_
 #define KGRAPH_COMMON_STATUS_H_
 
+#include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -26,6 +27,12 @@ enum class StatusCode {
 
 /// Returns the canonical lower-case name of `code` (e.g. "invalid_argument").
 const char* StatusCodeToString(StatusCode code);
+
+/// Returns the StatusCode whose numeric value is `value`, or nullopt when
+/// `value` lies outside the enum. Deserializers (the RPC wire protocol)
+/// must route received codes through this instead of a bare static_cast,
+/// so a corrupt byte can never fabricate a code the enum doesn't have.
+std::optional<StatusCode> StatusCodeFromInt(int value);
 
 /// True for codes that model transient conditions a caller may retry
 /// (today only `kUnavailable`). `kDeadlineExceeded` is deliberately not

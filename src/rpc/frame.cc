@@ -1,0 +1,327 @@
+#include "rpc/frame.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace kg::rpc {
+
+namespace {
+
+uint32_t ReadU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+void AppendU32Le(std::string* buf, uint32_t v) {
+  buf->push_back(static_cast<char>(v & 0xff));
+  buf->push_back(static_cast<char>((v >> 8) & 0xff));
+  buf->push_back(static_cast<char>((v >> 16) & 0xff));
+  buf->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void AppendU16Le(std::string* buf, uint16_t v) {
+  buf->push_back(static_cast<char>(v & 0xff));
+  buf->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendU64Le(std::string* buf, uint64_t v) {
+  AppendU32Le(buf, static_cast<uint32_t>(v & 0xffffffffu));
+  AppendU32Le(buf, static_cast<uint32_t>(v >> 32));
+}
+
+void AppendString(std::string* buf, std::string_view s) {
+  AppendU32Le(buf, static_cast<uint32_t>(s.size()));
+  buf->append(s);
+}
+
+/// Sequential reader over a body; every Take* fails cleanly at the end
+/// of the buffer instead of reading past it.
+class BodyReader {
+ public:
+  explicit BodyReader(std::string_view body) : body_(body) {}
+
+  Result<uint8_t> TakeU8() {
+    if (pos_ + 1 > body_.size()) return Short("u8");
+    return static_cast<uint8_t>(body_[pos_++]);
+  }
+  Result<uint16_t> TakeU16() {
+    if (pos_ + 2 > body_.size()) return Short("u16");
+    const uint16_t v =
+        static_cast<uint16_t>(static_cast<uint8_t>(body_[pos_])) |
+        static_cast<uint16_t>(static_cast<uint8_t>(body_[pos_ + 1])) << 8;
+    pos_ += 2;
+    return v;
+  }
+  Result<uint32_t> TakeU32() {
+    if (pos_ + 4 > body_.size()) return Short("u32");
+    const uint32_t v = ReadU32Le(body_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> TakeU64() {
+    KG_ASSIGN_OR_RETURN(const uint32_t lo, TakeU32());
+    KG_ASSIGN_OR_RETURN(const uint32_t hi, TakeU32());
+    return static_cast<uint64_t>(hi) << 32 | lo;
+  }
+  Result<std::string> TakeString() {
+    KG_ASSIGN_OR_RETURN(const uint32_t len, TakeU32());
+    if (len > body_.size() - pos_) return Short("string body");
+    std::string out(body_.substr(pos_, len));
+    pos_ += len;
+    return out;
+  }
+
+  /// Decoders call this last: a well-formed body has no trailing bytes.
+  Status ExpectEnd() const {
+    if (pos_ != body_.size()) {
+      return Status::InvalidArgument(
+          "trailing bytes after message body: " +
+          std::to_string(body_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Short(const char* what) const {
+    return Status::InvalidArgument(std::string("message body truncated at ") +
+                                   what);
+  }
+
+  std::string_view body_;
+  size_t pos_ = 0;
+};
+
+Result<StatusCode> TakeStatusCode(BodyReader* reader) {
+  KG_ASSIGN_OR_RETURN(const uint8_t raw, reader->TakeU8());
+  const auto code = StatusCodeFromInt(raw);
+  if (!code.has_value()) {
+    return Status::InvalidArgument("unknown status code on wire: " +
+                                   std::to_string(raw));
+  }
+  return *code;
+}
+
+Result<graph::NodeKind> NodeKindFromWire(uint8_t raw) {
+  switch (raw) {
+    case 0:
+      return graph::NodeKind::kEntity;
+    case 1:
+      return graph::NodeKind::kText;
+    case 2:
+      return graph::NodeKind::kClass;
+  }
+  return Status::InvalidArgument("unknown node kind on wire: " +
+                                 std::to_string(raw));
+}
+
+uint8_t NodeKindToWire(graph::NodeKind kind) {
+  switch (kind) {
+    case graph::NodeKind::kEntity:
+      return 0;
+    case graph::NodeKind::kText:
+      return 1;
+    case graph::NodeKind::kClass:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kHandshakeRequest:
+      return "handshake_request";
+    case MessageType::kHandshakeResponse:
+      return "handshake_response";
+    case MessageType::kQueryRequest:
+      return "query_request";
+    case MessageType::kQueryResponse:
+      return "query_response";
+  }
+  return "unknown";
+}
+
+void AppendFrame(std::string* buf, MessageType type, uint32_t request_id,
+                 std::string_view body) {
+  std::string payload;
+  payload.reserve(kMessageHeaderBytes + body.size());
+  payload.push_back(static_cast<char>(kProtocolVersion));
+  payload.push_back(static_cast<char>(type));
+  AppendU16Le(&payload, 0);  // flags, reserved
+  AppendU32Le(&payload, request_id);
+  payload.append(body);
+  AppendU32Le(buf, static_cast<uint32_t>(payload.size()));
+  AppendU32Le(buf, Checksum32(payload));
+  buf->append(payload);
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Compact lazily: drop consumed prefix before growing the buffer.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+FrameDecoder::Step FrameDecoder::Next(Frame* out) {
+  if (!error_.ok()) return Step::kError;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return Step::kNeedMore;
+  const uint32_t length = ReadU32Le(buf_.data() + pos_);
+  const uint32_t checksum = ReadU32Le(buf_.data() + pos_ + 4);
+  if (length > kMaxPayloadBytes) {
+    error_ = Status::InvalidArgument("frame length " + std::to_string(length) +
+                                     " exceeds limit");
+    return Step::kError;
+  }
+  if (length < kMessageHeaderBytes) {
+    error_ = Status::InvalidArgument("frame length " + std::to_string(length) +
+                                     " shorter than message header");
+    return Step::kError;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + length) return Step::kNeedMore;
+  const std::string_view payload(buf_.data() + pos_ + kFrameHeaderBytes,
+                                 length);
+  if (Checksum32(payload) != checksum) {
+    error_ = Status::InvalidArgument("frame checksum mismatch");
+    return Step::kError;
+  }
+  const uint8_t version = static_cast<uint8_t>(payload[0]);
+  if (version != kProtocolVersion) {
+    error_ = Status::InvalidArgument("unsupported protocol version " +
+                                     std::to_string(version));
+    return Step::kError;
+  }
+  const uint8_t raw_type = static_cast<uint8_t>(payload[1]);
+  if (raw_type > static_cast<uint8_t>(MessageType::kQueryResponse)) {
+    error_ = Status::InvalidArgument("unknown message type " +
+                                     std::to_string(raw_type));
+    return Step::kError;
+  }
+  const uint16_t flags =
+      static_cast<uint16_t>(static_cast<uint8_t>(payload[2])) |
+      static_cast<uint16_t>(static_cast<uint8_t>(payload[3])) << 8;
+  if (flags != 0) {
+    error_ = Status::InvalidArgument("nonzero reserved flags " +
+                                     std::to_string(flags));
+    return Step::kError;
+  }
+  out->protocol_version = version;
+  out->type = static_cast<MessageType>(raw_type);
+  out->request_id = ReadU32Le(payload.data() + 4);
+  out->body.assign(payload.substr(kMessageHeaderBytes));
+  pos_ += kFrameHeaderBytes + length;
+  return Step::kFrame;
+}
+
+// ---- Handshake ----------------------------------------------------------
+
+std::string EncodeHandshakeRequest(const HandshakeRequest& req) {
+  std::string body;
+  AppendU32Le(&body, req.max_schema_version);
+  return body;
+}
+
+Result<HandshakeRequest> DecodeHandshakeRequest(std::string_view body) {
+  BodyReader reader(body);
+  HandshakeRequest req;
+  KG_ASSIGN_OR_RETURN(req.max_schema_version, reader.TakeU32());
+  KG_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeHandshakeResponse(const HandshakeResponse& resp) {
+  std::string body;
+  body.push_back(static_cast<char>(resp.code));
+  AppendString(&body, resp.message);
+  AppendU32Le(&body, resp.schema_version);
+  return body;
+}
+
+Result<HandshakeResponse> DecodeHandshakeResponse(std::string_view body) {
+  BodyReader reader(body);
+  HandshakeResponse resp;
+  KG_ASSIGN_OR_RETURN(resp.code, TakeStatusCode(&reader));
+  KG_ASSIGN_OR_RETURN(resp.message, reader.TakeString());
+  KG_ASSIGN_OR_RETURN(resp.schema_version, reader.TakeU32());
+  KG_RETURN_IF_ERROR(reader.ExpectEnd());
+  return resp;
+}
+
+// ---- Query --------------------------------------------------------------
+
+std::string EncodeQuery(const serve::Query& query) {
+  std::string body;
+  body.push_back(static_cast<char>(query.kind));
+  body.push_back(static_cast<char>(NodeKindToWire(query.node_kind)));
+  AppendU64Le(&body, query.k);
+  AppendString(&body, query.node);
+  AppendString(&body, query.predicate);
+  AppendString(&body, query.type_name);
+  AppendString(&body, query.type_predicate);
+  return body;
+}
+
+Result<serve::Query> DecodeQuery(std::string_view body) {
+  BodyReader reader(body);
+  serve::Query query;
+  KG_ASSIGN_OR_RETURN(const uint8_t raw_kind, reader.TakeU8());
+  if (raw_kind >= serve::kNumQueryKinds) {
+    return Status::InvalidArgument("unknown query kind on wire: " +
+                                   std::to_string(raw_kind));
+  }
+  query.kind = static_cast<serve::QueryKind>(raw_kind);
+  KG_ASSIGN_OR_RETURN(const uint8_t raw_node_kind, reader.TakeU8());
+  KG_ASSIGN_OR_RETURN(query.node_kind, NodeKindFromWire(raw_node_kind));
+  KG_ASSIGN_OR_RETURN(const uint64_t k, reader.TakeU64());
+  query.k = static_cast<size_t>(k);
+  KG_ASSIGN_OR_RETURN(query.node, reader.TakeString());
+  KG_ASSIGN_OR_RETURN(query.predicate, reader.TakeString());
+  KG_ASSIGN_OR_RETURN(query.type_name, reader.TakeString());
+  KG_ASSIGN_OR_RETURN(query.type_predicate, reader.TakeString());
+  KG_RETURN_IF_ERROR(reader.ExpectEnd());
+  return query;
+}
+
+// ---- Query response -----------------------------------------------------
+
+std::string EncodeQueryResponse(const QueryResponse& resp) {
+  std::string body;
+  body.push_back(static_cast<char>(resp.code));
+  AppendString(&body, resp.message);
+  AppendU32Le(&body, static_cast<uint32_t>(resp.rows.size()));
+  for (const std::string& row : resp.rows) {
+    AppendString(&body, row);
+  }
+  return body;
+}
+
+Result<QueryResponse> DecodeQueryResponse(std::string_view body) {
+  BodyReader reader(body);
+  QueryResponse resp;
+  KG_ASSIGN_OR_RETURN(resp.code, TakeStatusCode(&reader));
+  KG_ASSIGN_OR_RETURN(resp.message, reader.TakeString());
+  KG_ASSIGN_OR_RETURN(const uint32_t rows, reader.TakeU32());
+  // Each row costs at least its 4-byte length prefix; a count promising
+  // more rows than the body could hold is corruption, not data.
+  if (static_cast<uint64_t>(rows) * 4 > body.size()) {
+    return Status::InvalidArgument("row count " + std::to_string(rows) +
+                                   " exceeds body capacity");
+  }
+  resp.rows.reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    KG_ASSIGN_OR_RETURN(std::string row, reader.TakeString());
+    resp.rows.push_back(std::move(row));
+  }
+  KG_RETURN_IF_ERROR(reader.ExpectEnd());
+  return resp;
+}
+
+}  // namespace kg::rpc

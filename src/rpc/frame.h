@@ -1,0 +1,130 @@
+#ifndef KGRAPH_RPC_FRAME_H_
+#define KGRAPH_RPC_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/query_engine.h"
+
+namespace kg::rpc {
+
+/// Protocol generation of the wire format itself. Carried in every
+/// message header; a decoder rejects frames from a different generation
+/// before looking at the body, so incompatible peers fail fast with a
+/// clean error instead of misparsing each other.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Refuse to believe a single message exceeds this; a larger declared
+/// length is corruption, not data (the WAL framing rule — keeps a
+/// flipped length bit from swallowing the stream as one "frame").
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 24;
+
+/// Bytes of the fixed frame prefix: u32 payload length, u32 checksum.
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Bytes of the message header inside the payload: u8 protocol version,
+/// u8 message type, u16 flags (reserved, zero), u32 request id.
+inline constexpr size_t kMessageHeaderBytes = 8;
+
+/// The four message shapes of the request/response protocol.
+enum class MessageType : uint8_t {
+  kHandshakeRequest = 0,   ///< First message on every connection.
+  kHandshakeResponse = 1,
+  kQueryRequest = 2,
+  kQueryResponse = 3,
+};
+
+const char* MessageTypeName(MessageType type);
+
+/// One decoded message. `request_id` correlates a response with its
+/// request (the client assigns ids; the server echoes them).
+struct Frame {
+  uint8_t protocol_version = kProtocolVersion;
+  MessageType type = MessageType::kQueryRequest;
+  uint32_t request_id = 0;
+  std::string body;
+};
+
+/// Appends one framed message to `*buf`:
+///   [u32le payload length][u32le Checksum32(payload)][payload]
+/// where payload = [u8 version][u8 type][u16le flags=0][u32le request id]
+/// [body]. The checksum covers the message header too, so a bit flip in
+/// the version/type/id fields is caught like one in the body.
+void AppendFrame(std::string* buf, MessageType type, uint32_t request_id,
+                 std::string_view body);
+
+/// Incremental frame scanner for a byte stream. Feed() appends received
+/// bytes; Next() yields complete frames until the buffer holds only a
+/// partial one. Any malformed input — oversize length, checksum
+/// mismatch, wrong protocol version, unknown type, nonzero flags —
+/// parks the decoder in an error state (the stream is unrecoverable
+/// once framing is lost; the connection must be dropped). Never throws
+/// or crashes on arbitrary bytes (rpc_frame_fuzz_test).
+class FrameDecoder {
+ public:
+  enum class Step {
+    kFrame,     ///< *out holds the next complete frame.
+    kNeedMore,  ///< No complete frame buffered; feed more bytes.
+    kError,     ///< Stream corrupt; see error(). Sticky.
+  };
+
+  void Feed(std::string_view bytes);
+  Step Next(Frame* out);
+
+  const Status& error() const { return error_; }
+  /// Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+  Status error_;
+};
+
+// ---- Message bodies -----------------------------------------------------
+// All integers little-endian; all strings length-prefixed (u32le), so
+// every encoding is injective and byte-deterministic. Decoders reject
+// short bodies, out-of-range enums, and trailing garbage.
+
+/// Client hello: the newest snapshot schema generation the client can
+/// consume. The server refuses (kUnavailable) when its snapshot is
+/// newer — the wire twin of serve::QueryEngine::TryExecute's check.
+struct HandshakeRequest {
+  uint32_t max_schema_version = 0;
+};
+
+/// Server reply: OK plus the serving snapshot's schema generation, or a
+/// non-OK status explaining the refusal.
+struct HandshakeResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  uint32_t schema_version = 0;
+};
+
+/// Query answer: the result rows on success, else the failure status.
+/// kUnavailable is the load-shed/overload signal — retriable by design,
+/// so the common retry/breaker machinery applies across the wire.
+struct QueryResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  serve::QueryResult rows;
+};
+
+std::string EncodeHandshakeRequest(const HandshakeRequest& req);
+Result<HandshakeRequest> DecodeHandshakeRequest(std::string_view body);
+
+std::string EncodeHandshakeResponse(const HandshakeResponse& resp);
+Result<HandshakeResponse> DecodeHandshakeResponse(std::string_view body);
+
+/// Serializes a serve::Query (kind, node kind, k, then the four string
+/// fields). Deterministic: equal queries encode byte-identically.
+std::string EncodeQuery(const serve::Query& query);
+Result<serve::Query> DecodeQuery(std::string_view body);
+
+std::string EncodeQueryResponse(const QueryResponse& resp);
+Result<QueryResponse> DecodeQueryResponse(std::string_view body);
+
+}  // namespace kg::rpc
+
+#endif  // KGRAPH_RPC_FRAME_H_

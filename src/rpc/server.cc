@@ -1,0 +1,387 @@
+#include "rpc/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "store/versioned_store.h"
+
+namespace kg::rpc {
+
+namespace {
+/// One poll pass reads at most this many bytes per connection, so a
+/// firehose connection cannot starve its neighbors inside a pass.
+constexpr size_t kReadChunkBytes = 64 * 1024;
+/// Event-loop nap when a full pass over every connection read nothing.
+constexpr auto kIdleNap = std::chrono::microseconds(200);
+}  // namespace
+
+QueryHandler EngineHandler(const serve::QueryEngine* engine) {
+  return [engine](const serve::Query& query) {
+    return engine->TryExecute(query);
+  };
+}
+
+QueryHandler StoreHandler(const store::VersionedKgStore* store) {
+  return [store](const serve::Query& query) {
+    return store->TryExecute(query);
+  };
+}
+
+struct RpcServer::Connection {
+  explicit Connection(std::unique_ptr<ITransport> t)
+      : transport(std::move(t)) {}
+
+  std::unique_ptr<ITransport> transport;
+  FrameDecoder decoder;
+  bool handshook = false;
+  std::atomic<bool> closed{false};
+  /// Requests queued or executing on this connection (admission bound).
+  std::atomic<size_t> queued{0};
+  /// Serializes response writes (workers and the event loop interleave).
+  std::mutex write_mu;
+};
+
+struct RpcServer::Task {
+  std::shared_ptr<Connection> conn;
+  uint32_t request_id = 0;
+  serve::Query query;
+  std::chrono::steady_clock::time_point received;
+};
+
+struct RpcServer::Impl {
+  QueryHandler handler;
+  RpcServerOptions options;
+
+  std::atomic<bool> running{false};
+  std::thread acceptor;
+  std::thread event_loop;
+  std::vector<std::thread> workers;
+
+  std::mutex conns_mu;
+  std::vector<std::shared_ptr<Connection>> conns;
+
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<Task> queue;
+
+  std::atomic<size_t> inflight{0};
+
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> requests_accepted{0};
+  std::atomic<uint64_t> requests_shed{0};
+  std::atomic<uint64_t> frame_errors{0};
+
+  // Pre-resolved registry handles (all null without a registry):
+  // registration locks once at Start, never per frame.
+  obs::Counter* m_accepted_conns = nullptr;
+  obs::Counter* m_accepted_reqs = nullptr;
+  obs::Counter* m_shed = nullptr;
+  obs::Counter* m_frame_errors = nullptr;
+  obs::Gauge* m_active_conns = nullptr;
+  obs::Gauge* m_inflight = nullptr;
+  std::array<obs::Histogram*, serve::kNumQueryKinds> m_latency_us{};
+};
+
+RpcServer::RpcServer(QueryHandler handler,
+                     std::unique_ptr<ITransportServer> listener,
+                     RpcServerOptions options)
+    : impl_(std::make_unique<Impl>()), listener_(std::move(listener)) {
+  impl_->handler = std::move(handler);
+  impl_->options = options;
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+Status RpcServer::Start() {
+  if (impl_->running.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (auto* registry = impl_->options.registry) {
+    impl_->m_accepted_conns =
+        &registry->GetCounter("rpc.connections.accepted");
+    impl_->m_accepted_reqs = &registry->GetCounter("rpc.requests.accepted");
+    impl_->m_shed = &registry->GetCounter("rpc.requests.shed");
+    impl_->m_frame_errors = &registry->GetCounter("rpc.frame_errors");
+    impl_->m_active_conns = &registry->GetGauge("rpc.connections.active");
+    impl_->m_inflight = &registry->GetGauge("rpc.inflight");
+    for (size_t k = 0; k < serve::kNumQueryKinds; ++k) {
+      impl_->m_latency_us[k] = &registry->GetHistogram(
+          std::string("rpc.latency_us.") +
+              serve::QueryKindName(static_cast<serve::QueryKind>(k)),
+          obs::LatencyBucketsUs());
+    }
+  }
+  impl_->acceptor = std::thread([this] { AcceptLoop(); });
+  impl_->event_loop = std::thread([this] { EventLoop(); });
+  const size_t workers = std::max<size_t>(1, impl_->options.worker_threads);
+  impl_->workers.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    impl_->workers.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void RpcServer::Stop() {
+  if (!impl_->running.exchange(false)) return;
+  listener_->Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(impl_->conns_mu);
+    for (auto& conn : impl_->conns) {
+      conn->closed.store(true, std::memory_order_release);
+      conn->transport->Close();
+    }
+  }
+  impl_->queue_cv.notify_all();
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  if (impl_->event_loop.joinable()) impl_->event_loop.join();
+  for (auto& worker : impl_->workers) {
+    if (worker.joinable()) worker.join();
+  }
+  impl_->workers.clear();
+  {
+    // Tasks still queued die with their connections: the transports are
+    // closed, so clients see kUnavailable, the retriable signal.
+    std::lock_guard<std::mutex> lock(impl_->queue_mu);
+    impl_->queue.clear();
+  }
+}
+
+RpcServer::Stats RpcServer::stats() const {
+  Stats stats;
+  stats.connections_accepted =
+      impl_->connections_accepted.load(std::memory_order_relaxed);
+  stats.requests_accepted =
+      impl_->requests_accepted.load(std::memory_order_relaxed);
+  stats.requests_shed =
+      impl_->requests_shed.load(std::memory_order_relaxed);
+  stats.frame_errors = impl_->frame_errors.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void RpcServer::AcceptLoop() {
+  while (impl_->running.load(std::memory_order_acquire)) {
+    auto accepted = listener_->Accept();
+    if (!accepted.ok()) {
+      if (!impl_->running.load(std::memory_order_acquire)) return;
+      // kCancelled means Shutdown(); anything else is a listener
+      // failure — either way there is nothing to serve on.
+      return;
+    }
+    impl_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    if (impl_->m_accepted_conns) impl_->m_accepted_conns->Inc();
+    std::lock_guard<std::mutex> lock(impl_->conns_mu);
+    impl_->conns.push_back(
+        std::make_shared<Connection>(std::move(*accepted)));
+    if (impl_->m_active_conns) {
+      impl_->m_active_conns->Set(static_cast<int64_t>(impl_->conns.size()));
+    }
+  }
+}
+
+void RpcServer::EventLoop() {
+  std::string chunk;
+  while (impl_->running.load(std::memory_order_acquire)) {
+    std::vector<std::shared_ptr<Connection>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(impl_->conns_mu);
+      snapshot = impl_->conns;
+    }
+    bool did_work = false;
+    bool any_closed = false;
+    for (const auto& conn : snapshot) {
+      if (conn->closed.load(std::memory_order_acquire)) {
+        any_closed = true;
+        continue;
+      }
+      chunk.clear();
+      auto read = conn->transport->TryRead(&chunk, kReadChunkBytes);
+      if (!read.ok()) {
+        conn->closed.store(true, std::memory_order_release);
+        any_closed = true;
+        continue;
+      }
+      if (*read == 0) continue;
+      did_work = true;
+      conn->decoder.Feed(chunk);
+      Frame frame;
+      FrameDecoder::Step step;
+      while ((step = conn->decoder.Next(&frame)) ==
+             FrameDecoder::Step::kFrame) {
+        HandleFrame(conn, std::move(frame));
+        if (conn->closed.load(std::memory_order_acquire)) break;
+      }
+      if (step == FrameDecoder::Step::kError) {
+        // Framing is gone; nothing sent on this stream can be trusted
+        // or answered. Drop the connection — the client sees
+        // kUnavailable and retries elsewhere.
+        impl_->frame_errors.fetch_add(1, std::memory_order_relaxed);
+        if (impl_->m_frame_errors) impl_->m_frame_errors->Inc();
+        conn->closed.store(true, std::memory_order_release);
+        conn->transport->Close();
+        any_closed = true;
+      }
+    }
+    if (any_closed) {
+      std::lock_guard<std::mutex> lock(impl_->conns_mu);
+      std::erase_if(impl_->conns, [](const auto& conn) {
+        return conn->closed.load(std::memory_order_acquire) &&
+               conn->queued.load(std::memory_order_acquire) == 0;
+      });
+      if (impl_->m_active_conns) {
+        impl_->m_active_conns->Set(
+            static_cast<int64_t>(impl_->conns.size()));
+      }
+    }
+    if (!did_work) std::this_thread::sleep_for(kIdleNap);
+  }
+}
+
+void RpcServer::WriteResponse(const std::shared_ptr<Connection>& conn,
+                              MessageType type, uint32_t request_id,
+                              std::string_view body) {
+  std::string frame;
+  AppendFrame(&frame, type, request_id, body);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  if (!conn->transport->Write(frame).ok()) {
+    conn->closed.store(true, std::memory_order_release);
+  }
+}
+
+void RpcServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                            Frame&& frame) {
+  switch (frame.type) {
+    case MessageType::kHandshakeRequest: {
+      HandshakeResponse resp;
+      resp.schema_version = impl_->options.schema_version;
+      auto req = DecodeHandshakeRequest(frame.body);
+      if (!req.ok()) {
+        resp.code = req.status().code();
+        resp.message = req.status().message();
+      } else if (req->max_schema_version < impl_->options.schema_version) {
+        // The client cannot consume what this server serves. Refuse
+        // retriably: an older replica may still speak its dialect.
+        resp.code = StatusCode::kUnavailable;
+        resp.message = "serving snapshot schema version " +
+                       std::to_string(impl_->options.schema_version) +
+                       " is newer than client supports (" +
+                       std::to_string(req->max_schema_version) + ")";
+      } else {
+        conn->handshook = true;
+      }
+      WriteResponse(conn, MessageType::kHandshakeResponse, frame.request_id,
+                    EncodeHandshakeResponse(resp));
+      if (!conn->handshook) {
+        conn->closed.store(true, std::memory_order_release);
+        conn->transport->Close();
+      }
+      return;
+    }
+    case MessageType::kQueryRequest: {
+      if (!conn->handshook) {
+        QueryResponse resp;
+        resp.code = StatusCode::kFailedPrecondition;
+        resp.message = "query before handshake";
+        WriteResponse(conn, MessageType::kQueryResponse, frame.request_id,
+                      EncodeQueryResponse(resp));
+        conn->closed.store(true, std::memory_order_release);
+        conn->transport->Close();
+        return;
+      }
+      // Admission control: shed rather than queue without bound. The
+      // response goes out on the event-loop thread immediately, so an
+      // overloaded server stays responsive about being overloaded.
+      const size_t inflight =
+          impl_->inflight.load(std::memory_order_acquire);
+      const size_t queued = conn->queued.load(std::memory_order_acquire);
+      if (inflight >= impl_->options.max_inflight ||
+          queued >= impl_->options.max_queue_per_connection) {
+        impl_->requests_shed.fetch_add(1, std::memory_order_relaxed);
+        if (impl_->m_shed) impl_->m_shed->Inc();
+        QueryResponse resp;
+        resp.code = StatusCode::kUnavailable;
+        resp.message =
+            inflight >= impl_->options.max_inflight
+                ? "server overloaded: global in-flight limit"
+                : "server overloaded: per-connection queue limit";
+        WriteResponse(conn, MessageType::kQueryResponse, frame.request_id,
+                      EncodeQueryResponse(resp));
+        return;
+      }
+      auto query = DecodeQuery(frame.body);
+      if (!query.ok()) {
+        // The frame was well-formed (checksum passed) but the body is
+        // not a query: a client bug, answered cleanly, not a stream
+        // corruption worth killing the connection over.
+        QueryResponse resp;
+        resp.code = query.status().code();
+        resp.message = query.status().message();
+        WriteResponse(conn, MessageType::kQueryResponse, frame.request_id,
+                      EncodeQueryResponse(resp));
+        return;
+      }
+      impl_->requests_accepted.fetch_add(1, std::memory_order_relaxed);
+      if (impl_->m_accepted_reqs) impl_->m_accepted_reqs->Inc();
+      impl_->inflight.fetch_add(1, std::memory_order_acq_rel);
+      if (impl_->m_inflight) impl_->m_inflight->Add(1);
+      conn->queued.fetch_add(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lock(impl_->queue_mu);
+        impl_->queue.push_back(Task{conn, frame.request_id,
+                                    std::move(*query),
+                                    std::chrono::steady_clock::now()});
+      }
+      impl_->queue_cv.notify_one();
+      return;
+    }
+    case MessageType::kHandshakeResponse:
+    case MessageType::kQueryResponse:
+      // Responses flowing toward the server are a protocol violation.
+      conn->closed.store(true, std::memory_order_release);
+      conn->transport->Close();
+      return;
+  }
+}
+
+void RpcServer::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(impl_->queue_mu);
+      impl_->queue_cv.wait(lock, [this] {
+        return !impl_->queue.empty() ||
+               !impl_->running.load(std::memory_order_acquire);
+      });
+      if (impl_->queue.empty()) return;  // Only on shutdown.
+      task = std::move(impl_->queue.front());
+      impl_->queue.pop_front();
+    }
+    QueryResponse resp;
+    auto result = impl_->handler(task.query);
+    if (result.ok()) {
+      resp.rows = std::move(*result);
+    } else {
+      resp.code = result.status().code();
+      resp.message = result.status().message();
+    }
+    WriteResponse(task.conn, MessageType::kQueryResponse, task.request_id,
+                  EncodeQueryResponse(resp));
+    task.conn->queued.fetch_sub(1, std::memory_order_acq_rel);
+    impl_->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    if (impl_->m_inflight) impl_->m_inflight->Add(-1);
+    if (auto* histogram =
+            impl_->m_latency_us[static_cast<size_t>(task.query.kind)]) {
+      histogram->Observe(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - task.received)
+                             .count());
+    }
+  }
+}
+
+}  // namespace kg::rpc

@@ -1,0 +1,127 @@
+#ifndef KGRAPH_RPC_SERVER_H_
+#define KGRAPH_RPC_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "rpc/frame.h"
+#include "rpc/transport.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+
+namespace kg::store {
+class VersionedKgStore;
+}  // namespace kg::store
+
+namespace kg::rpc {
+
+/// What the server fronts: anything that can answer a serve::Query with
+/// a Result. Must be thread-safe (worker threads call it concurrently);
+/// both QueryEngine and VersionedKgStore read paths are.
+using QueryHandler =
+    std::function<Result<serve::QueryResult>(const serve::Query&)>;
+
+/// Handler over an immutable serving engine (TryExecute: answers carry
+/// the schema-version gate).
+QueryHandler EngineHandler(const serve::QueryEngine* engine);
+
+/// Handler over a mutable versioned store (TryExecute against the
+/// current epoch; writers keep publishing underneath).
+QueryHandler StoreHandler(const store::VersionedKgStore* store);
+
+struct RpcServerOptions {
+  /// Threads executing queries (the event loop and acceptor are extra).
+  size_t worker_threads = 2;
+  /// Admission control: a connection may have at most this many
+  /// requests queued or executing; the excess is shed immediately with
+  /// kUnavailable instead of building an unbounded backlog.
+  size_t max_queue_per_connection = 64;
+  /// Global in-flight cap across all connections — the server's
+  /// load-shedding horizon.
+  size_t max_inflight = 256;
+  /// Schema generation of the snapshot being served; the handshake
+  /// refuses clients that cannot consume it.
+  uint32_t schema_version = serve::kSnapshotSchemaVersion;
+  /// "rpc.*" counters/gauges/histograms land here when non-null (not
+  /// owned; must outlive the server): accepted/active connections,
+  /// accepted/shed requests, frame errors, inflight, and per-class
+  /// "rpc.latency_us.<class>" wire latency.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// Multi-connection RPC front-end over an ITransportServer:
+///
+///   acceptor thread --> connection table --> event-loop thread
+///       (one non-blocking TryRead poll pass over every connection,
+///        frames decoded incrementally, admission decided inline)
+///   --> bounded work queue --> worker pool --> handler --> response
+///
+/// Contract highlights, in the order the wire sees them:
+///   - First message on a connection must be a handshake; the server
+///     refuses (kUnavailable) clients whose supported snapshot schema
+///     is older than what it serves, so version skew fails loudly at
+///     connect time, not as garbage answers later.
+///   - Backpressure is load-shedding, not buffering: past the bounded
+///     per-connection queue or the global in-flight cap, a request gets
+///     an immediate kUnavailable response — retriable by contract, so
+///     client RetryWithBackoff + CircuitBreaker apply unchanged across
+///     the wire.
+///   - A framing error (bad checksum, wrong version, unknown type) is
+///     unrecoverable mid-stream: the connection is dropped. Malformed
+///     *bodies* inside valid frames get clean kInvalidArgument
+///     responses. Neither ever crashes the server (rpc_frame_fuzz_test,
+///     rpc_chaos_test).
+class RpcServer {
+ public:
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t requests_accepted = 0;
+    uint64_t requests_shed = 0;
+    uint64_t frame_errors = 0;
+  };
+
+  RpcServer(QueryHandler handler,
+            std::unique_ptr<ITransportServer> listener,
+            RpcServerOptions options = {});
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Spawns the acceptor, event loop, and workers. Call once.
+  Status Start();
+
+  /// Stops accepting, closes every connection, joins every thread.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  const ITransportServer* listener() const { return listener_.get(); }
+  std::string address() const { return listener_->address(); }
+
+  Stats stats() const;
+
+ private:
+  struct Connection;
+  struct Task;
+  struct Impl;
+
+  void AcceptLoop();
+  void EventLoop();
+  void WorkerLoop();
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   Frame&& frame);
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     MessageType type, uint32_t request_id,
+                     std::string_view body);
+
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<ITransportServer> listener_;
+};
+
+}  // namespace kg::rpc
+
+#endif  // KGRAPH_RPC_SERVER_H_

@@ -165,6 +165,17 @@ QueryResult QueryEngine::Execute(const Query& query) const {
   return result;
 }
 
+Result<QueryResult> QueryEngine::TryExecute(const Query& query) const {
+  if (snapshot_.schema_version() > kSnapshotSchemaVersion) {
+    return Status::Unavailable(
+        "snapshot schema version " +
+        std::to_string(snapshot_.schema_version()) +
+        " is newer than this engine supports (" +
+        std::to_string(kSnapshotSchemaVersion) + ")");
+  }
+  return Execute(query);
+}
+
 QueryResult QueryEngine::ExecuteCacheAware(const Query& query) const {
   if (cache_ == nullptr) return ExecuteUncached(query);
   const std::string key = query.CacheKey();

@@ -112,6 +112,14 @@ class QueryEngine {
   /// Answers one query, through the result cache when enabled.
   QueryResult Execute(const Query& query) const;
 
+  /// Execute with the forward-compatibility gate: refuses with
+  /// kUnavailable — the retriable "try another replica" signal, never a
+  /// crash or a plausible-but-wrong empty answer — when the snapshot's
+  /// schema generation is newer than this build understands. The RPC
+  /// handshake makes the same check at connection time; this is its
+  /// in-process twin, and the path the RPC server serves through.
+  Result<QueryResult> TryExecute(const Query& query) const;
+
   /// Bypasses the cache (the reference path the cache is checked against).
   QueryResult ExecuteUncached(const Query& query) const;
 

@@ -24,6 +24,13 @@ using PredicateId = uint32_t;
 
 inline constexpr NodeId kInvalidNode = graph::kInvalidNode;
 
+/// Schema generation of the snapshot format this build compiles and
+/// serves. A snapshot stamped with a *newer* generation (a replica fed
+/// by an upgraded builder, a file from a future version) must be
+/// refused with kUnavailable — never misread — by both the in-process
+/// engine (QueryEngine::TryExecute) and the RPC handshake.
+inline constexpr uint32_t kSnapshotSchemaVersion = 1;
+
 /// An immutable, read-optimized compilation of a KnowledgeGraph: the live
 /// triple set re-interned into dense sorted ids with CSR-style adjacency in
 /// the three access orders the serving queries need —
@@ -101,6 +108,16 @@ class KgSnapshot {
   /// equal fingerprints serve identical answers.
   uint64_t Fingerprint() const { return fingerprint_; }
 
+  /// Schema generation this snapshot claims to be encoded in. Compile()
+  /// stamps the build's own kSnapshotSchemaVersion.
+  uint32_t schema_version() const { return schema_version_; }
+
+  /// Re-stamps the claimed schema generation. This models receiving a
+  /// snapshot from a newer builder (replication, forward-compat tests);
+  /// engines must refuse to serve it when the stamp is newer than they
+  /// understand.
+  void OverrideSchemaVersion(uint32_t version) { schema_version_ = version; }
+
  private:
   friend Result<KgSnapshot> DeserializeSnapshot(const std::string& data);
 
@@ -157,6 +174,7 @@ class KgSnapshot {
   std::vector<Edge> osp_;
 
   uint64_t fingerprint_ = 0;
+  uint32_t schema_version_ = kSnapshotSchemaVersion;
 };
 
 /// Serializes a snapshot to a versioned TSV text format (vocabulary in id

@@ -650,6 +650,19 @@ serve::QueryResult VersionedKgStore::ExecuteAt(
   return {};
 }
 
+Result<serve::QueryResult> VersionedKgStore::TryExecute(
+    const serve::Query& query) const {
+  const auto epoch = PinEpoch();
+  if (epoch->base->schema_version() > serve::kSnapshotSchemaVersion) {
+    return Status::Unavailable(
+        "snapshot schema version " +
+        std::to_string(epoch->base->schema_version()) +
+        " is newer than this store supports (" +
+        std::to_string(serve::kSnapshotSchemaVersion) + ")");
+  }
+  return Execute(query);
+}
+
 serve::QueryResult VersionedKgStore::Execute(const serve::Query& query) const {
   if (cache_ == nullptr) return ExecuteAt(*PinEpoch(), query);
   const bool erase_invalidated =

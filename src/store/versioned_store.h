@@ -142,6 +142,12 @@ class VersionedKgStore {
   /// cache when enabled.
   serve::QueryResult Execute(const serve::Query& query) const;
 
+  /// Execute with the forward-compatibility gate: kUnavailable when the
+  /// current epoch's base snapshot claims a schema generation newer
+  /// than this build (serve::kSnapshotSchemaVersion). The path the RPC
+  /// server fronts a mutable store through.
+  Result<serve::QueryResult> TryExecute(const serve::Query& query) const;
+
   /// Answers `query` against a pinned epoch, bypassing the cache (the
   /// cache tracks the *current* version; time-travel reads must not mix
   /// with it). This is the reference path Execute is checked against.

@@ -44,6 +44,23 @@ TEST(StatusCodeTest, RetryCodesNamedAndConstructible) {
             "deadline_exceeded: late");
 }
 
+TEST(StatusCodeTest, FromIntRoundTripsEveryCode) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded);
+       ++c) {
+    const auto decoded = StatusCodeFromInt(c);
+    ASSERT_TRUE(decoded.has_value()) << c;
+    EXPECT_EQ(static_cast<int>(*decoded), c);
+  }
+}
+
+TEST(StatusCodeTest, FromIntRejectsOutOfRange) {
+  EXPECT_FALSE(StatusCodeFromInt(-1).has_value());
+  EXPECT_FALSE(
+      StatusCodeFromInt(static_cast<int>(StatusCode::kDeadlineExceeded) + 1)
+          .has_value());
+  EXPECT_FALSE(StatusCodeFromInt(255).has_value());  // Wire byte garbage.
+}
+
 TEST(StatusCodeTest, OnlyUnavailableIsRetriable) {
   for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded);
        ++c) {

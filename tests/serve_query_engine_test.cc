@@ -169,6 +169,27 @@ TEST_F(QueryEngineTest, BatchExecuteIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_F(QueryEngineTest, TryExecuteRefusesNewerSchemaSnapshot) {
+  // Regression: a snapshot stamped with a newer schema generation than
+  // this build must be refused with kUnavailable — the retriable
+  // "another replica may serve you" signal — never a crash and never a
+  // plausible-but-wrong empty success.
+  KgSnapshot newer = KgSnapshot::Compile(kg_);
+  newer.OverrideSchemaVersion(kSnapshotSchemaVersion + 1);
+  const QueryEngine engine(newer);
+  const auto result = engine.TryExecute(Query::PointLookup("m1", "title"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetriable(result.status().code()));
+
+  // Same generation (and older stamps, if they ever exist) serve
+  // normally, identically to Execute.
+  const QueryEngine current(snap_);
+  const auto ok = current.TryExecute(Query::PointLookup("m1", "title"));
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(*ok, current.Execute(Query::PointLookup("m1", "title")));
+}
+
 TEST_F(QueryEngineTest, MetricsRecordPerQueryClass) {
   StageTimer metrics;
   ServeOptions options;

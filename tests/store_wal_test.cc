@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "graph/knowledge_graph.h"
@@ -209,6 +213,88 @@ TEST(WalTest, OpenTruncatesTornTailAndAppendsExtendValidPrefix) {
   EXPECT_TRUE(reread->clean);
   ASSERT_EQ(reread->mutations.size(), mutations.size() + 1);
   EXPECT_EQ(reread->mutations.back(), extra);
+}
+
+// Reopen under concurrent append: while one thread is appending a
+// deterministic record sequence, another repeatedly snapshots the file
+// and replays the copy. Because the log is append-only and framed,
+// every snapshot's valid prefix must be bit-identical to the canonical
+// framing of the first k records — a reader racing a writer can see a
+// torn tail, but never a rewritten or reordered prefix. Each snapshot
+// is also reopened through Wal::Open to check recovery (truncate the
+// torn tail, keep the valid prefix) holds mid-write, not just after a
+// clean shutdown.
+TEST(WalTest, ReopenUnderConcurrentAppendRecoversBitIdenticalPrefix) {
+  TempWal tmp("concurrent");
+  TempWal copy("concurrent_copy");
+  constexpr size_t kRecords = 600;
+  std::vector<Mutation> expected;
+  expected.reserve(kRecords);
+  for (size_t i = 0; i < kRecords; ++i) {
+    expected.push_back(Mutation::Upsert(
+        "subj" + std::to_string(i), "knows", "obj" + std::to_string(i % 7),
+        NodeKind::kEntity, NodeKind::kEntity,
+        Provenance{"writer", 0.5, static_cast<int64_t>(i)}));
+  }
+  const std::string canonical = FrameAll(expected);
+
+  auto wal = Wal::Open(tmp.path);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  std::atomic<bool> done{false};
+  std::atomic<bool> append_failed{false};
+  std::thread writer([&] {
+    for (const Mutation& m : expected) {
+      if (!wal->Append(m).ok()) {
+        append_failed.store(true);
+        break;
+      }
+    }
+    done.store(true);
+  });
+
+  size_t snapshots = 0;
+  size_t max_records_seen = 0;
+  while (!done.load() || snapshots == 0) {
+    std::ifstream in(tmp.path, std::ios::binary);
+    const std::string prefix((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    ++snapshots;
+    const WalReplay replay = ReplayWalBuffer(prefix);
+    ASSERT_LE(replay.mutations.size(), expected.size());
+    // Bit-identical prefix: the snapshot's valid bytes are exactly the
+    // canonical framing of the records it recovered.
+    ASSERT_EQ(std::string_view(prefix).substr(0, replay.valid_bytes),
+              std::string_view(canonical).substr(0, replay.valid_bytes));
+    for (size_t i = 0; i < replay.mutations.size(); ++i) {
+      ASSERT_EQ(replay.mutations[i], expected[i])
+          << "snapshot " << snapshots << ", record " << i;
+    }
+    max_records_seen = std::max(max_records_seen, replay.mutations.size());
+
+    // Reopen the snapshot as a real WAL: recovery must accept the valid
+    // prefix and truncate any torn tail the racing reader captured.
+    {
+      std::ofstream out(copy.path,
+                        std::ios::binary | std::ios::trunc);
+      out.write(prefix.data(),
+                static_cast<std::streamsize>(prefix.size()));
+    }
+    WalReplay reopened;
+    auto copy_wal = Wal::Open(copy.path, &reopened);
+    ASSERT_TRUE(copy_wal.ok()) << copy_wal.status();
+    ASSERT_EQ(reopened.mutations.size(), replay.mutations.size());
+    ASSERT_EQ(std::filesystem::file_size(copy.path), replay.valid_bytes);
+  }
+  writer.join();
+  ASSERT_FALSE(append_failed.load());
+
+  // With the writer drained, the final replay is clean and complete.
+  auto final_replay = Wal::Replay(tmp.path);
+  ASSERT_TRUE(final_replay.ok()) << final_replay.status();
+  EXPECT_TRUE(final_replay->clean);
+  ASSERT_EQ(final_replay->mutations.size(), expected.size());
+  EXPECT_EQ(final_replay->valid_bytes, canonical.size());
+  EXPECT_GE(max_records_seen, 1u);
 }
 
 TEST(WalTest, OpenCreatesMissingFile) {
