@@ -1,0 +1,315 @@
+// E24: sharded serving cluster under churn. Partitions the fig5-style
+// entity KG across 4 shard groups (primary + 1 WAL-shipped replica
+// each) and replays a seeded Zipf query workload through the
+// scatter-gather router while one member per window is killed and
+// revived — odd windows a replica (exercising resubscribe/catch-up),
+// even windows a primary (exercising breaker-driven failover to the
+// replica). Every routed answer is compared against a single
+// VersionedKgStore applying the same mutation stream: any divergence
+// exits non-zero, as does a shed request, an unhealed replica lag after
+// quiesce, or a pathological p99 cliff. Emits BENCH_cluster.json.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/exec_policy.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "graph/knowledge_graph.h"
+#include "obs/bench_sink.h"
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+#include "serve/serve_stats.h"
+#include "store/versioned_store.h"
+#include "store/wal.h"
+#include "synth/entity_universe.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+constexpr size_t kShards = 4;
+constexpr size_t kReplicas = 1;
+constexpr size_t kWindows = 12;
+constexpr size_t kQueriesPerWindow = 500;
+constexpr size_t kMutationsPerWindow = 24;
+constexpr double kZipfExponent = 1.05;
+constexpr size_t kLagSampleEvery = 50;
+// Lenient cliff gate: routed point reads are in-process function calls,
+// so a p99 past this is a scheduling pathology, not noise.
+constexpr double kP99CeilingUs = 250000.0;
+
+graph::KnowledgeGraph BuildKg(synth::EntityUniverse* universe) {
+  synth::UniverseOptions uopt;
+  uopt.num_people = 300;
+  uopt.num_movies = 450;
+  uopt.num_songs = 60;
+  Rng rng(42);
+  *universe = synth::EntityUniverse::Generate(uopt, rng);
+  graph::KnowledgeGraph kg = universe->ToKnowledgeGraph();
+  const graph::Provenance prov{"ground_truth", 1.0, 0};
+  using graph::NodeKind;
+  for (const auto& p : universe->people()) {
+    kg.AddTriple(synth::EntityUniverse::PersonNodeName(p.id), "type",
+                 "Person", NodeKind::kEntity, NodeKind::kClass, prov);
+  }
+  for (const auto& m : universe->movies()) {
+    kg.AddTriple(synth::EntityUniverse::MovieNodeName(m.id), "type",
+                 "Movie", NodeKind::kEntity, NodeKind::kClass, prov);
+  }
+  for (const auto& s : universe->songs()) {
+    kg.AddTriple(synth::EntityUniverse::SongNodeName(s.id), "type", "Song",
+                 NodeKind::kEntity, NodeKind::kClass, prov);
+  }
+  return kg;
+}
+
+// The bench_serve/bench_rpc query mix: 40% point lookups, 25%
+// neighborhoods, 20% typed attribute scans, 15% top-k shelves.
+std::vector<serve::Query> MakeWorkload(const synth::EntityUniverse& u,
+                                       size_t n, Rng& rng) {
+  const ZipfDistribution person_zipf(u.people().size(), kZipfExponent);
+  const ZipfDistribution movie_zipf(u.movies().size(), kZipfExponent);
+  const ZipfDistribution song_zipf(u.songs().size(), kZipfExponent);
+  const std::vector<double> domain_weights = {
+      static_cast<double>(u.people().size()),
+      static_cast<double>(u.movies().size()),
+      static_cast<double>(u.songs().size())};
+  const std::vector<std::string> types = {"Person", "Movie", "Song"};
+  static const std::vector<std::vector<std::string>> kPreds = {
+      {"name", "birth_year", "nationality", "acted_in"},
+      {"title", "release_year", "genre", "directed_by"},
+      {"title", "performed_by", "song_year", "song_genre"},
+  };
+  auto sample_node = [&](size_t domain) -> std::string {
+    switch (domain) {
+      case 0:
+        return synth::EntityUniverse::PersonNodeName(
+            u.people()[person_zipf.Sample(rng)].id);
+      case 1:
+        return synth::EntityUniverse::MovieNodeName(
+            u.movies()[movie_zipf.Sample(rng)].id);
+      default:
+        return synth::EntityUniverse::SongNodeName(
+            u.songs()[song_zipf.Sample(rng)].id);
+    }
+  };
+  std::vector<serve::Query> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double r = rng.UniformDouble();
+    const size_t domain = rng.Weighted(domain_weights);
+    const std::string pred =
+        kPreds[domain][rng.UniformIndex(kPreds[domain].size())];
+    if (r < 0.40) {
+      out.push_back(serve::Query::PointLookup(sample_node(domain), pred));
+    } else if (r < 0.65) {
+      out.push_back(serve::Query::Neighborhood(sample_node(domain)));
+    } else if (r < 0.85) {
+      out.push_back(serve::Query::AttributeByType(types[domain], pred));
+    } else {
+      out.push_back(serve::Query::TopKRelated(
+          sample_node(domain), 5 * (1 + rng.UniformIndex(4))));
+    }
+  }
+  return out;
+}
+
+std::vector<store::Mutation> MakeBatch(const synth::EntityUniverse& u,
+                                       size_t n, Rng& rng) {
+  using graph::NodeKind;
+  std::vector<store::Mutation> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string person = synth::EntityUniverse::PersonNodeName(
+        u.people()[rng.UniformIndex(u.people().size())].id);
+    const std::string movie = synth::EntityUniverse::MovieNodeName(
+        u.movies()[rng.UniformIndex(u.movies().size())].id);
+    if (rng.Bernoulli(0.2)) {
+      batch.push_back(store::Mutation::Retract(
+          person, "acted_in", movie, NodeKind::kEntity, NodeKind::kEntity));
+    } else {
+      batch.push_back(store::Mutation::Upsert(
+          person, "acted_in", movie, NodeKind::kEntity, NodeKind::kEntity,
+          graph::Provenance{"churn_feed", rng.UniformDouble(),
+                            rng.UniformInt(0, 1000)}));
+    }
+  }
+  return batch;
+}
+
+std::string JsonNumber(double v) { return FormatDouble(v, 3); }
+
+}  // namespace
+
+int main() {
+  std::cout << "E24: sharded cluster — " << kShards << " shards x "
+            << (1 + kReplicas) << " members, " << kWindows << " windows x "
+            << kQueriesPerWindow
+            << " Zipf queries, one member killed per window (seed 42)\n";
+
+  synth::EntityUniverse universe;
+  const graph::KnowledgeGraph kg = BuildKg(&universe);
+
+  auto reference = store::VersionedKgStore::Open(kg, {});
+  KG_CHECK_OK(reference.status());
+
+  obs::MetricsRegistry registry;
+  cluster::ClusterOptions copts;
+  copts.num_shards = kShards;
+  copts.replicas_per_shard = kReplicas;
+  copts.registry = &registry;
+  copts.heartbeat_interval_ms = 2;
+  copts.receiver.dial_retry_ms = 1;
+  copts.receiver.max_dial_attempts = 100;
+  copts.supervisor.interval_ms = 10;
+  auto cluster = cluster::Cluster::Create(kg, copts);
+  KG_CHECK_OK(cluster.status());
+
+  Rng rng(271828);
+  const std::vector<serve::Query> workload =
+      MakeWorkload(universe, kWindows * kQueriesPerWindow, rng);
+
+  size_t divergences = 0;
+  size_t transport_failures = 0;
+  size_t kill_cycles = 0;
+  uint64_t max_lag_observed = 0;
+  std::vector<double> latency_us;
+  latency_us.reserve(workload.size());
+  WallTimer serving_clock;
+  double serving_seconds = 0.0;
+
+  for (size_t w = 0; w < kWindows; ++w) {
+    // Mutate through the router while every primary is up, so the
+    // reference and the cluster see the identical committed stream.
+    const auto batch = MakeBatch(universe, kMutationsPerWindow, rng);
+    KG_CHECK_OK((*reference)->ApplyBatch(batch));
+    KG_CHECK_OK((*cluster)->Apply(batch));
+    // Quiesce before the kill: the window's serving phase starts from
+    // caught-up replicas, so a query finding the primary's breaker
+    // still open (from an earlier kill) always has a provably fresh
+    // replica to fail over to — shed during the drill means *lost*.
+    KG_CHECK((*cluster)->WaitForCatchUp(30000))
+        << "replicas failed to catch up after window " << w << " batch";
+
+    // Kill one member for the window: replicas on odd windows (the
+    // primary proves freshness alone), primaries on even windows past
+    // the first (the caught-up replica serves the shard).
+    const size_t shard = w % kShards;
+    const bool kill_primary = (w % 2 == 0) && w > 0;
+    if (kill_primary) {
+      (*cluster)->KillPrimary(shard);
+      ++kill_cycles;
+    } else if (w > 0) {
+      (*cluster)->KillReplica(shard, 0);
+      ++kill_cycles;
+    }
+
+    WallTimer window_clock;
+    for (size_t i = 0; i < kQueriesPerWindow; ++i) {
+      const serve::Query& q = workload[w * kQueriesPerWindow + i];
+      const auto expected = (*reference)->TryExecute(q);
+      WallTimer per_query;
+      const auto actual = (*cluster)->Execute(q);
+      latency_us.push_back(per_query.ElapsedSeconds() * 1e6);
+      if (!expected.ok() || !actual.ok()) {
+        ++transport_failures;
+      } else if (*actual != *expected) {
+        ++divergences;
+      }
+      if (i % kLagSampleEvery == 0) {
+        max_lag_observed =
+            std::max(max_lag_observed, (*cluster)->MaxReplicaLagBytes());
+      }
+    }
+    serving_seconds += window_clock.ElapsedSeconds();
+
+    if (kill_primary) {
+      KG_CHECK_OK((*cluster)->RevivePrimary(shard));
+    } else if (w > 0) {
+      (*cluster)->ReviveReplica(shard, 0);
+    }
+  }
+  const double wall_seconds = serving_clock.ElapsedSeconds();
+
+  // Quiesce: every revived member must converge — replica lag is
+  // bounded by churn, not growing without bound.
+  const bool converged = (*cluster)->WaitForCatchUp(30000);
+  const uint64_t final_lag = (*cluster)->MaxReplicaLagBytes();
+  const auto router_stats = (*cluster)->router().stats();
+
+  const double qps =
+      serving_seconds > 0.0 ? latency_us.size() / serving_seconds : 0.0;
+  const double p50_us = serve::Percentile(latency_us, 0.50);
+  const double p99_us = serve::Percentile(latency_us, 0.99);
+
+  PrintBanner(std::cout, "Cluster serving verdict");
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"requests", std::to_string(latency_us.size())});
+  table.AddRow({"qps", FormatDouble(qps, 0)});
+  table.AddRow({"p50 us", FormatDouble(p50_us, 1)});
+  table.AddRow({"p99 us", FormatDouble(p99_us, 1)});
+  table.AddRow({"kill/revive cycles", std::to_string(kill_cycles)});
+  table.AddRow({"failovers", std::to_string(router_stats.failovers)});
+  table.AddRow({"shed", std::to_string(router_stats.shed)});
+  table.AddRow({"stale rejects", std::to_string(router_stats.stale_rejects)});
+  table.AddRow({"max lag observed B", std::to_string(max_lag_observed)});
+  table.AddRow({"final lag B", std::to_string(final_lag)});
+  table.AddRow({"divergences", std::to_string(divergences)});
+  table.Print(std::cout);
+  std::cout << "serving wall " << FormatDouble(wall_seconds, 3)
+            << "s; every routed answer compared against the single-store "
+               "reference\n";
+
+  // Gates. A shed request under this drill is a lost answer (at most
+  // one member per shard group was ever down); a failover count of zero
+  // would mean the primary-kill windows never actually exercised the
+  // replica path.
+  const bool ok = divergences == 0 && transport_failures == 0 &&
+                  router_stats.shed == 0 && router_stats.failovers > 0 &&
+                  converged && final_lag == 0 && p99_us < kP99CeilingUs;
+  std::cout << "sharded-vs-single: "
+            << (divergences == 0 ? "IDENTICAL (OK)" : "DIVERGED (FAIL)")
+            << "; convergence after churn: "
+            << (converged && final_lag == 0 ? "OK" : "FAIL")
+            << "; p99 cliff: " << (p99_us < kP99CeilingUs ? "OK" : "FAIL")
+            << "\n";
+
+  {
+    std::ostringstream json;
+    json << "{\"shards\":" << kShards << ",\"replicas\":" << kReplicas
+         << ",\"windows\":" << kWindows
+         << ",\"requests\":" << latency_us.size()
+         << ",\"seconds\":" << JsonNumber(serving_seconds)
+         << ",\"qps\":" << JsonNumber(qps)
+         << ",\"p50_us\":" << JsonNumber(p50_us)
+         << ",\"p99_us\":" << JsonNumber(p99_us)
+         << ",\"kill_cycles\":" << kill_cycles
+         << ",\"failovers\":" << router_stats.failovers
+         << ",\"shed\":" << router_stats.shed
+         << ",\"stale_rejects\":" << router_stats.stale_rejects
+         << ",\"probes\":" << router_stats.probes
+         << ",\"max_lag_bytes\":" << max_lag_observed
+         << ",\"final_lag_bytes\":" << final_lag
+         << ",\"divergences\":" << divergences
+         << ",\"gate\":\"" << (ok ? "ok" : "fail") << "\"}";
+    const obs::JsonSink sink("cluster", 42,
+                             ExecPolicy::Hardware().num_threads);
+    KG_CHECK_OK(sink.WriteFile("BENCH_cluster.json", json.str()));
+  }
+
+  // A divergence means sharding altered an answer; a shed request means
+  // the group lost an answer it could have served. Both are correctness
+  // bugs, not perf regressions.
+  return ok ? 0 : 1;
+}

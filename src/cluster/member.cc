@@ -1,0 +1,196 @@
+#include "cluster/member.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "store/wal.h"
+
+namespace kg::cluster {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+// ---- PrimaryMember -------------------------------------------------------
+
+PrimaryMember::PrimaryMember(size_t shard, PrimaryOptions options)
+    : shard_(shard),
+      options_(std::move(options)),
+      label_("s" + std::to_string(shard) + ".primary") {}
+
+Result<std::unique_ptr<PrimaryMember>> PrimaryMember::Create(
+    size_t shard, graph::KnowledgeGraph base, PrimaryOptions options) {
+  auto member = std::unique_ptr<PrimaryMember>(
+      new PrimaryMember(shard, std::move(options)));
+  store::StoreOptions sopts;
+  sopts.wal_path = member->options_.wal_path;
+  sopts.registry = member->options_.registry;
+  KG_ASSIGN_OR_RETURN(member->store_,
+                      store::VersionedKgStore::Open(std::move(base), sopts));
+  {
+    std::lock_guard<std::mutex> lock(member->server_mu_);
+    KG_RETURN_IF_ERROR(member->StartServerLocked());
+  }
+  return member;
+}
+
+PrimaryMember::~PrimaryMember() { Kill(); }
+
+Status PrimaryMember::StartServerLocked() {
+  auto listener = std::make_unique<rpc::InMemoryTransportServer>();
+  loopback_ = listener.get();
+  rpc::RpcServerOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.registry = options_.registry;
+  sopts.wal_source = &log_;
+  sopts.wal_heartbeat_interval_ms = options_.heartbeat_interval_ms;
+  sopts.wal_batch_max_bytes = options_.wal_batch_max_bytes;
+  server_ = std::make_unique<rpc::RpcServer>(
+      rpc::StoreHandler(store_.get()), std::move(listener), sopts);
+  const Status started = server_->Start();
+  if (!started.ok()) {
+    server_.reset();
+    loopback_ = nullptr;
+  }
+  return started;
+}
+
+Status PrimaryMember::ApplyBatch(std::span<const store::Mutation> mutations) {
+  if (killed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable(label_ + " is down");
+  }
+  KG_RETURN_IF_ERROR(store_->ApplyBatch(mutations));
+  log_.Append(mutations);
+  store_->set_applied_watermark(log_.EndOffset());
+  return Status::OK();
+}
+
+rpc::TransportFactory PrimaryMember::DialFactory() {
+  return [this]() -> Result<std::unique_ptr<rpc::ITransport>> {
+    std::lock_guard<std::mutex> lock(server_mu_);
+    if (server_ == nullptr || killed_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("primary shipping endpoint down");
+    }
+    return loopback_->Connect();
+  };
+}
+
+void PrimaryMember::Kill() {
+  killed_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(server_mu_);
+  if (server_ != nullptr) {
+    server_->Stop();
+    server_.reset();
+    loopback_ = nullptr;
+  }
+}
+
+Status PrimaryMember::Revive() {
+  std::lock_guard<std::mutex> lock(server_mu_);
+  if (server_ == nullptr) {
+    KG_RETURN_IF_ERROR(StartServerLocked());
+  }
+  killed_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<serve::EpochTaggedResult> PrimaryMember::Execute(
+    const serve::Query& query) const {
+  if (killed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable(label_ + " is down");
+  }
+  return store_->TryExecuteTagged(query);
+}
+
+// ---- ReplicaMember -------------------------------------------------------
+
+ReplicaMember::ReplicaMember(size_t shard, size_t index,
+                             ReplicaOptions options)
+    : shard_(shard),
+      index_(index),
+      options_(std::move(options)),
+      label_("s" + std::to_string(shard) + ".replica" +
+             std::to_string(index)) {}
+
+Result<std::unique_ptr<ReplicaMember>> ReplicaMember::Create(
+    size_t shard, size_t index, graph::KnowledgeGraph base,
+    rpc::TransportFactory dial, ReplicaOptions options) {
+  auto member = std::unique_ptr<ReplicaMember>(
+      new ReplicaMember(shard, index, std::move(options)));
+
+  // Recover the resume point *before* the store truncates a torn tail:
+  // the verified prefix of the local WAL is exactly the primary-log
+  // prefix this replica had applied, and its chain resumes from there.
+  uint32_t initial_chain = 0;
+  uint64_t resume_offset = 0;
+  if (!member->options_.wal_path.empty()) {
+    const std::string bytes = ReadFileBytes(member->options_.wal_path);
+    if (!bytes.empty()) {
+      const store::WalReplay replay = store::ReplayWalBuffer(bytes);
+      resume_offset = replay.valid_bytes;
+      initial_chain = ShardLog::FoldChain(
+          0, std::string_view(bytes).substr(0, replay.valid_bytes));
+    }
+  }
+
+  store::StoreOptions sopts;
+  sopts.wal_path = member->options_.wal_path;
+  sopts.registry = member->options_.registry;
+  KG_ASSIGN_OR_RETURN(member->store_,
+                      store::VersionedKgStore::Open(std::move(base), sopts));
+  member->store_->set_applied_watermark(resume_offset);
+
+  WalReceiverOptions ropts = member->options_.receiver;
+  ropts.registry = member->options_.registry;
+  member->receiver_ = std::make_unique<WalReceiver>(
+      std::move(dial), member->store_.get(), initial_chain, member->label_,
+      ropts);
+  member->receiver_->Start();
+  return member;
+}
+
+ReplicaMember::~ReplicaMember() {
+  if (receiver_ != nullptr) receiver_->Stop();
+}
+
+void ReplicaMember::Kill() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  killed_.store(true, std::memory_order_release);
+  receiver_->Stop();
+}
+
+void ReplicaMember::Revive() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  killed_.store(false, std::memory_order_release);
+  receiver_->Start();
+}
+
+void ReplicaMember::EnsureLink() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (killed_.load(std::memory_order_acquire)) return;
+  if (!receiver_->running()) receiver_->Start();
+}
+
+uint64_t ReplicaMember::lag_bytes() const {
+  const uint64_t seen = receiver_->last_seen_log_end();
+  const uint64_t applied = store_->applied_watermark();
+  return seen > applied ? seen - applied : 0;
+}
+
+Result<serve::EpochTaggedResult> ReplicaMember::Execute(
+    const serve::Query& query) const {
+  if (killed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable(label_ + " is down");
+  }
+  return store_->TryExecuteTagged(query);
+}
+
+}  // namespace kg::cluster

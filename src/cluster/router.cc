@@ -1,0 +1,250 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace kg::cluster {
+namespace {
+
+/// The node portion (third field) of a neighborhood row
+/// "dir\tpredicate\tnode". Predicates must not contain tabs (DESIGN
+/// §14) — the node itself may contain anything, since it is the
+/// remainder after the second tab.
+std::string_view NeighborRowNode(std::string_view row) {
+  const size_t first = row.find('\t');
+  if (first == std::string_view::npos) return {};
+  const size_t second = row.find('\t', first + 1);
+  if (second == std::string_view::npos) return {};
+  return row.substr(second + 1);
+}
+
+/// Inverts serve::RenderNodeName: "E:alice" -> ("alice", kEntity).
+bool ParseRender(std::string_view render, std::string* name,
+                 graph::NodeKind* kind) {
+  if (render.size() < 2 || render[1] != ':') return false;
+  switch (render[0]) {
+    case 'E':
+      *kind = graph::NodeKind::kEntity;
+      break;
+    case 'T':
+      *kind = graph::NodeKind::kText;
+      break;
+    case 'C':
+      *kind = graph::NodeKind::kClass;
+      break;
+    default:
+      return false;
+  }
+  *name = std::string(render.substr(2));
+  return true;
+}
+
+}  // namespace
+
+size_t ShardOf(std::string_view subject, graph::NodeKind kind,
+               size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return Fnv1a64(serve::RenderNodeName(subject, kind)) % num_shards;
+}
+
+QueryRouter::QueryRouter(std::vector<std::vector<ShardMember*>> members,
+                         std::vector<PrimaryMember*> primaries,
+                         RouterOptions options)
+    : members_(std::move(members)),
+      primaries_(std::move(primaries)),
+      options_(options) {
+  committed_.reserve(members_.size());
+  health_.reserve(members_.size());
+  for (const auto& group : members_) {
+    committed_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    std::vector<std::unique_ptr<MemberHealth>> group_health;
+    group_health.reserve(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      group_health.push_back(
+          std::make_unique<MemberHealth>(options_.breaker_failure_threshold));
+    }
+    health_.push_back(std::move(group_health));
+  }
+  if (options_.registry != nullptr) {
+    failovers_metric_ = &options_.registry->GetCounter("cluster.failovers");
+    shed_metric_ = &options_.registry->GetCounter("cluster.requests.shed");
+    stale_metric_ = &options_.registry->GetCounter("cluster.stale_rejects");
+  }
+}
+
+Status QueryRouter::Apply(std::span<const store::Mutation> mutations) {
+  std::vector<std::vector<store::Mutation>> per_shard(members_.size());
+  for (const store::Mutation& m : mutations) {
+    per_shard[ShardOf(m.subject, m.subject_kind, members_.size())]
+        .push_back(m);
+  }
+  for (size_t shard = 0; shard < per_shard.size(); ++shard) {
+    if (per_shard[shard].empty()) continue;
+    KG_RETURN_IF_ERROR(primaries_[shard]->ApplyBatch(per_shard[shard]));
+    committed_[shard]->store(primaries_[shard]->log_end(),
+                             std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+bool QueryRouter::AllowMember(MemberHealth& health, bool* is_probe) {
+  std::lock_guard<std::mutex> lock(health.mu);
+  if (health.breaker.Allow()) return true;
+  if (++health.skips_while_open >= options_.breaker_probe_interval) {
+    health.skips_while_open = 0;
+    *is_probe = true;
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void QueryRouter::RecordOutcome(MemberHealth& health, bool ok,
+                                bool was_probe) {
+  std::lock_guard<std::mutex> lock(health.mu);
+  if (ok) {
+    if (was_probe || health.breaker.open()) {
+      // CircuitBreaker opens permanently by design; a successful probe
+      // of a revived member earns it a fresh breaker.
+      health.breaker = CircuitBreaker(options_.breaker_failure_threshold);
+    }
+    health.breaker.RecordSuccess();
+  } else {
+    health.breaker.RecordFailure();
+  }
+}
+
+Result<serve::QueryResult> QueryRouter::AskShard(size_t shard,
+                                                 const serve::Query& query) {
+  const uint64_t committed =
+      committed_[shard]->load(std::memory_order_acquire);
+  const uint64_t floor = committed > options_.max_staleness_bytes
+                             ? committed - options_.max_staleness_bytes
+                             : 0;
+  const auto& group = members_[shard];
+  for (size_t i = 0; i < group.size(); ++i) {
+    MemberHealth& health = *health_[shard][i];
+    bool is_probe = false;
+    if (!AllowMember(health, &is_probe)) continue;
+    auto tagged = group[i]->Execute(query);
+    if (!tagged.ok()) {
+      RecordOutcome(health, false, is_probe);
+      continue;
+    }
+    RecordOutcome(health, true, is_probe);
+    if (tagged->epoch < floor) {
+      // Healthy but unable to prove freshness: not a fault, keep
+      // walking the failover order.
+      stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+      if (stale_metric_ != nullptr) stale_metric_->Inc();
+      continue;
+    }
+    if (i != 0) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      if (failovers_metric_ != nullptr) failovers_metric_->Inc();
+    }
+    return std::move(tagged->rows);
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  if (shed_metric_ != nullptr) shed_metric_->Inc();
+  return Status::Unavailable("shard " + std::to_string(shard) +
+                             ": no member could serve at the required "
+                             "staleness bound");
+}
+
+Result<serve::QueryResult> QueryRouter::FanOut(const serve::Query& query) {
+  std::vector<serve::QueryResult> parts;
+  parts.reserve(members_.size());
+  for (size_t shard = 0; shard < members_.size(); ++shard) {
+    KG_ASSIGN_OR_RETURN(serve::QueryResult rows, AskShard(shard, query));
+    parts.push_back(std::move(rows));
+  }
+  return serve::MergeShardResults(std::move(parts));
+}
+
+Result<serve::QueryResult> QueryRouter::TopKRelated(
+    const serve::Query& query) {
+  if (query.k == 0) return serve::QueryResult{};
+  const std::string center =
+      serve::RenderNodeName(query.node, query.node_kind);
+
+  // Phase 1: the center's distinct neighbors, cluster-wide (out-edges
+  // live on the center's shard, in-edges on each subject's shard).
+  KG_ASSIGN_OR_RETURN(
+      serve::QueryResult ring,
+      FanOut(serve::Query::Neighborhood(query.node, query.node_kind)));
+  std::set<std::string> neighbors;
+  for (const std::string& row : ring) {
+    const std::string_view node = NeighborRowNode(row);
+    if (node.empty() || node == center) continue;
+    neighbors.emplace(node);
+  }
+
+  // Phase 2: for each neighbor n, its distinct neighbors m score one
+  // shared-neighbor path center—n—m. This reproduces the single-store
+  // engine exactly: distinct (n, m) adjacency pairs, entity candidates
+  // only, the center never in its own shelf.
+  std::map<std::string, size_t> score;
+  for (const std::string& n : neighbors) {
+    std::string name;
+    graph::NodeKind kind = graph::NodeKind::kEntity;
+    if (!ParseRender(n, &name, &kind)) continue;
+    KG_ASSIGN_OR_RETURN(serve::QueryResult rows,
+                        FanOut(serve::Query::Neighborhood(name, kind)));
+    std::set<std::string> seen;
+    for (const std::string& row : rows) {
+      const std::string_view m = NeighborRowNode(row);
+      if (m.empty() || m == center) continue;
+      if (m[0] != 'E') continue;  // Entities only.
+      seen.emplace(m);
+    }
+    for (const std::string& m : seen) ++score[m];
+  }
+
+  // Rank: count desc, then render asc. Candidates all carry the "E:"
+  // prefix, so render order equals the engine's raw-name tiebreak. The
+  // map already iterates render-asc; a stable sort by count preserves
+  // it within ties.
+  std::vector<std::pair<std::string, size_t>> ranked(score.begin(),
+                                                     score.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (ranked.size() > query.k) ranked.resize(query.k);
+  serve::QueryResult rows;
+  rows.reserve(ranked.size());
+  for (const auto& [m, count] : ranked) {
+    rows.push_back(m + '\t' + std::to_string(count));
+  }
+  return rows;
+}
+
+Result<serve::QueryResult> QueryRouter::Execute(const serve::Query& query) {
+  switch (query.kind) {
+    case serve::QueryKind::kPointLookup:
+      return AskShard(ShardOf(query.node, query.node_kind, members_.size()),
+                      query);
+    case serve::QueryKind::kNeighborhood:
+    case serve::QueryKind::kAttributeByType:
+      return FanOut(query);
+    case serve::QueryKind::kTopKRelated:
+      return TopKRelated(query);
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+QueryRouter::Stats QueryRouter::stats() const {
+  Stats s;
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.stale_rejects = stale_rejects_.load(std::memory_order_relaxed);
+  s.probes = probes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace kg::cluster

@@ -1,0 +1,134 @@
+#ifndef KGRAPH_CLUSTER_ROUTER_H_
+#define KGRAPH_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "cluster/member.h"
+#include "graph/knowledge_graph.h"
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+#include "store/wal.h"
+
+namespace kg::cluster {
+
+/// Which shard owns `subject`: every triple lives on its subject's
+/// shard (hash of the kind-tagged name, so "E:x" and "T:x" are distinct
+/// keys — the same tagging the serving layer renders). Disjoint subject
+/// partitioning is what makes scatter-gather exact: point lookups and a
+/// node's out-edges live on one known shard, while in-edges and scans
+/// spread across all of them and are fanned out + merged.
+size_t ShardOf(std::string_view subject, graph::NodeKind kind,
+               size_t num_shards);
+
+struct RouterOptions {
+  /// How many shipped-log bytes behind the committed offset an answer
+  /// may be and still be served. 0 = strict: every answer is provably
+  /// byte-identical to the single-store reference at the committed
+  /// state (the cluster property suite runs here).
+  uint64_t max_staleness_bytes = 0;
+  /// Consecutive failures that open a member's circuit breaker.
+  size_t breaker_failure_threshold = 3;
+  /// While a breaker is open, one probe is let through every this many
+  /// selections, so a revived member is rediscovered without waiting on
+  /// the supervisor.
+  size_t breaker_probe_interval = 4;
+  /// "cluster.*" metrics land here when non-null (not owned).
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// Scatter-gather front door of the cluster. The router is the sole
+/// writer: Apply routes each mutation to its subject's shard primary
+/// (preserving order within a shard) and records the resulting log end
+/// as that shard's *committed offset*. Reads walk a shard group in
+/// failover order (primary, then replicas), skip members whose breaker
+/// is open, and accept the first answer whose applied-epoch tag is
+/// within max_staleness_bytes of committed — a too-stale replica is
+/// not an error, just not proof, so the router keeps looking. When no
+/// live member can prove freshness the query is shed with kUnavailable.
+///
+///   - point lookup        -> the subject's shard only
+///   - neighborhood / scan -> every shard, rows merged deterministically
+///                            (id-ordered; ties broken by shard index)
+///   - top-k related       -> two-phase scatter-gather (the aggregate is
+///                            not per-shard decomposable; see DESIGN §14)
+///
+/// Thread-safe for concurrent Execute; Apply is single-writer.
+class QueryRouter {
+ public:
+  struct Stats {
+    uint64_t failovers = 0;      ///< Primary skipped, replica answered.
+    uint64_t shed = 0;           ///< No member could serve.
+    uint64_t stale_rejects = 0;  ///< Answers refused by the epoch gate.
+    uint64_t probes = 0;         ///< Open-breaker probe attempts.
+  };
+
+  /// `members[shard][0]` is the shard primary, the rest its replicas,
+  /// in failover order. Raw pointers are not owned and must outlive the
+  /// router.
+  QueryRouter(std::vector<std::vector<ShardMember*>> members,
+              std::vector<PrimaryMember*> primaries,
+              RouterOptions options = {});
+
+  /// Applies one logical commit, split by subject shard. Mutations for
+  /// the same shard keep their relative order; per-shard sub-batches
+  /// are applied in shard order.
+  Status Apply(std::span<const store::Mutation> mutations);
+
+  Result<serve::QueryResult> Execute(const serve::Query& query);
+
+  uint64_t committed(size_t shard) const {
+    return committed_[shard]->load(std::memory_order_acquire);
+  }
+  size_t num_shards() const { return members_.size(); }
+  Stats stats() const;
+
+ private:
+  struct MemberHealth {
+    std::mutex mu;
+    CircuitBreaker breaker;
+    size_t skips_while_open = 0;
+    explicit MemberHealth(size_t threshold) : breaker(threshold) {}
+  };
+
+  /// True when this selection may try the member (breaker closed, or an
+  /// open-breaker probe turn).
+  bool AllowMember(MemberHealth& health, bool* is_probe);
+  void RecordOutcome(MemberHealth& health, bool ok, bool was_probe);
+
+  /// One shard's answer under the staleness gate and failover order.
+  Result<serve::QueryResult> AskShard(size_t shard,
+                                      const serve::Query& query);
+  /// Fans `query` out to every shard and merges deterministically.
+  Result<serve::QueryResult> FanOut(const serve::Query& query);
+  Result<serve::QueryResult> TopKRelated(const serve::Query& query);
+
+  std::vector<std::vector<ShardMember*>> members_;
+  std::vector<PrimaryMember*> primaries_;
+  RouterOptions options_;
+  /// Per-shard committed shipped-log offset (unique_ptr: atomics don't
+  /// move, vectors need to).
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> committed_;
+  std::vector<std::vector<std::unique_ptr<MemberHealth>>> health_;
+
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> stale_rejects_{0};
+  std::atomic<uint64_t> probes_{0};
+
+  obs::Counter* failovers_metric_ = nullptr;
+  obs::Counter* shed_metric_ = nullptr;
+  obs::Counter* stale_metric_ = nullptr;
+};
+
+}  // namespace kg::cluster
+
+#endif  // KGRAPH_CLUSTER_ROUTER_H_

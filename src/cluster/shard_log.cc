@@ -1,0 +1,127 @@
+#include "cluster/shard_log.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace kg::cluster {
+namespace {
+
+// Reads the u32le payload length at `offset`; the frame spans
+// [offset, offset + 8 + length).
+uint64_t FrameSpan(std::string_view bytes, uint64_t offset) {
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(bytes[offset + i]))
+              << (8 * i);
+  }
+  return 8 + static_cast<uint64_t>(length);
+}
+
+}  // namespace
+
+uint32_t ShardLog::ChainStep(uint32_t chain, std::string_view frame_bytes) {
+  std::string seed;
+  seed.reserve(4 + frame_bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    seed.push_back(static_cast<char>((chain >> (8 * i)) & 0xff));
+  }
+  seed.append(frame_bytes);
+  return Checksum32(seed);
+}
+
+uint32_t ShardLog::FoldChain(uint32_t chain, std::string_view frames) {
+  uint64_t offset = 0;
+  while (offset + 8 <= frames.size()) {
+    const uint64_t span = FrameSpan(frames, offset);
+    if (offset + span > frames.size()) break;  // Caller validated; be safe.
+    chain = ChainStep(chain, frames.substr(offset, span));
+    offset += span;
+  }
+  return chain;
+}
+
+void ShardLog::Append(std::span<const store::Mutation> mutations) {
+  if (mutations.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t chain = boundaries_.empty() ? 0 : boundaries_.back().second;
+  for (const store::Mutation& mutation : mutations) {
+    const size_t frame_start = log_.size();
+    store::AppendWalFrame(&log_, store::EncodeMutation(mutation));
+    chain = ChainStep(
+        chain, std::string_view(log_).substr(frame_start,
+                                             log_.size() - frame_start));
+    boundaries_.emplace_back(log_.size(), chain);
+  }
+}
+
+uint64_t ShardLog::EndOffset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+bool ShardLog::IsBoundary(uint64_t offset) const {
+  if (offset == 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(
+      boundaries_.begin(), boundaries_.end(), offset,
+      [](const std::pair<uint64_t, uint32_t>& b, uint64_t o) {
+        return b.first < o;
+      });
+  return it != boundaries_.end() && it->first == offset;
+}
+
+uint32_t ShardLog::ChainAt(uint64_t offset) const {
+  if (offset == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(
+      boundaries_.begin(), boundaries_.end(), offset,
+      [](const std::pair<uint64_t, uint32_t>& b, uint64_t o) {
+        return b.first < o;
+      });
+  if (it == boundaries_.end() || it->first != offset) return 0;
+  return it->second;
+}
+
+std::string ShardLog::ReadFrom(uint64_t offset, size_t max_bytes,
+                               uint64_t* end_offset,
+                               uint32_t* chain_after) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *end_offset = offset;
+  *chain_after = 0;
+  if (offset >= log_.size()) {
+    // Nothing past here (or a bogus offset); report the chain at the
+    // requested boundary when we know it.
+    if (offset == 0) return {};
+    const auto it = std::lower_bound(
+        boundaries_.begin(), boundaries_.end(), offset,
+        [](const std::pair<uint64_t, uint32_t>& b, uint64_t o) {
+          return b.first < o;
+        });
+    if (it != boundaries_.end() && it->first == offset) {
+      *chain_after = it->second;
+    }
+    return {};
+  }
+  // Walk whole frames from `offset` until adding the next would exceed
+  // max_bytes (always shipping at least one frame so progress is
+  // guaranteed even with a tiny budget).
+  const auto begin = std::upper_bound(
+      boundaries_.begin(), boundaries_.end(), offset,
+      [](uint64_t o, const std::pair<uint64_t, uint32_t>& b) {
+        return o < b.first;
+      });
+  uint64_t end = offset;
+  uint32_t chain = 0;
+  for (auto it = begin; it != boundaries_.end(); ++it) {
+    if (it->first - offset > max_bytes && end != offset) break;
+    end = it->first;
+    chain = it->second;
+  }
+  *end_offset = end;
+  *chain_after = chain;
+  return log_.substr(offset, end - offset);
+}
+
+}  // namespace kg::cluster

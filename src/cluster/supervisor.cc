@@ -1,0 +1,78 @@
+#include "cluster/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace kg::cluster {
+
+ClusterSupervisor::ClusterSupervisor(std::vector<ReplicaMember*> replicas,
+                                     SupervisorOptions options)
+    : replicas_(std::move(replicas)), options_(options) {
+  if (options_.registry != nullptr) {
+    restarts_metric_ =
+        &options_.registry->GetCounter("cluster.supervisor.restarts");
+    max_lag_gauge_ =
+        &options_.registry->GetGauge("cluster.replica.lag_bytes.max");
+    down_gauge_ = &options_.registry->GetGauge("cluster.replicas.down");
+  }
+}
+
+ClusterSupervisor::~ClusterSupervisor() { Stop(); }
+
+void ClusterSupervisor::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!stop_.load(std::memory_order_acquire)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      Tick();
+      for (int waited = 0;
+           waited < options_.interval_ms &&
+           !stop_.load(std::memory_order_acquire);
+           ++waited) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+}
+
+void ClusterSupervisor::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void ClusterSupervisor::Tick() {
+  uint64_t max_lag = 0;
+  int64_t down = 0;
+  for (ReplicaMember* replica : replicas_) {
+    if (!replica->alive()) {
+      ++down;
+      continue;
+    }
+    WalReceiver& receiver = replica->receiver();
+    if (!receiver.running()) {
+      // The receiver exhausted its dial budget while the primary was
+      // unreachable and exited. Restart it; the subscribe resumes from
+      // the replica's verified offset.
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (restarts_metric_ != nullptr) restarts_metric_->Inc();
+      replica->EnsureLink();
+    } else if (receiver.ms_since_progress() > options_.stall_timeout_ms) {
+      // Nominally connected but silent well past the heartbeat cadence:
+      // kick the session so it re-dials rather than hanging forever.
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (restarts_metric_ != nullptr) restarts_metric_->Inc();
+      receiver.Stop();
+      replica->EnsureLink();
+    }
+    max_lag = std::max(max_lag, replica->lag_bytes());
+  }
+  if (max_lag_gauge_ != nullptr) {
+    max_lag_gauge_->Set(static_cast<int64_t>(max_lag));
+  }
+  if (down_gauge_ != nullptr) down_gauge_->Set(down);
+}
+
+}  // namespace kg::cluster

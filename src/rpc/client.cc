@@ -1,9 +1,28 @@
 #include "rpc/client.h"
 
+#include <atomic>
 #include <chrono>
 #include <utility>
 
 namespace kg::rpc {
+
+TransportFactory ChaosConnectFactory(TransportFactory inner,
+                                     const FaultInjector* injector,
+                                     std::string channel) {
+  auto attempts = std::make_shared<std::atomic<size_t>>(0);
+  return [inner = std::move(inner), injector,
+          channel = channel + "/connect",
+          attempts]() -> Result<std::unique_ptr<ITransport>> {
+    const size_t attempt =
+        attempts->fetch_add(1, std::memory_order_relaxed);
+    const FaultInjector::Attempt probe = injector->Probe(channel, attempt);
+    if (probe.kind == FaultKind::kTransient ||
+        probe.kind == FaultKind::kTerminal) {
+      return Status::Unavailable("injected: connection refused");
+    }
+    return inner();
+  };
+}
 
 RpcClient::RpcClient(std::unique_ptr<ITransport> transport,
                      RpcClientOptions options)
@@ -45,6 +64,16 @@ Result<Frame> RpcClient::ReadResponse(uint32_t request_id,
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           deadline - std::chrono::steady_clock::now());
       if (left.count() <= 0) {
+        if (decoder_.buffered_bytes() > 0) {
+          // The deadline landed mid-frame: a partial header or body is
+          // sitting in the decoder. Carrying on would splice the next
+          // response's bytes onto this fragment and "resynchronize" on
+          // garbage — the stream is broken, not merely slow.
+          healthy_ = false;
+          transport_->Close();
+          return Status::Unavailable(
+              "response timed out mid-frame; stream broken");
+        }
         // The response never arrived (lost frame, stalled server). The
         // stream stays usable: if the answer limps in later it carries
         // an older request id and the skip above discards it.

@@ -81,6 +81,19 @@ class RpcClient {
 using TransportFactory =
     std::function<Result<std::unique_ptr<ITransport>>()>;
 
+/// Wraps a transport factory with dial-time chaos: the `attempt`-th
+/// dial consults `injector->Probe(channel + "/connect", attempt)`, and
+/// a transient or terminal fault refuses the connection with
+/// kUnavailable — a dead or unreachable peer, without real process
+/// death — so failover paths (RetryingClient reconnects, cluster
+/// primary→replica routing) can be exercised deterministically.
+/// Successful dials pass through `inner` untouched; compose with
+/// ChaosTransport inside `inner` for stream-level faults. The injector
+/// must outlive the returned factory.
+TransportFactory ChaosConnectFactory(TransportFactory inner,
+                                     const FaultInjector* injector,
+                                     std::string channel);
+
 /// RpcClient wrapped in the repo's standard resilience machinery:
 /// RetryWithBackoff over kUnavailable (virtual-time backoff, seeded
 /// jitter) plus a CircuitBreaker, reconnecting through the factory

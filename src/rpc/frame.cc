@@ -141,6 +141,12 @@ const char* MessageTypeName(MessageType type) {
       return "query_request";
     case MessageType::kQueryResponse:
       return "query_response";
+    case MessageType::kWalSubscribe:
+      return "wal_subscribe";
+    case MessageType::kWalBatch:
+      return "wal_batch";
+    case MessageType::kWalHeartbeat:
+      return "wal_heartbeat";
   }
   return "unknown";
 }
@@ -200,7 +206,7 @@ FrameDecoder::Step FrameDecoder::Next(Frame* out) {
     return Step::kError;
   }
   const uint8_t raw_type = static_cast<uint8_t>(payload[1]);
-  if (raw_type > static_cast<uint8_t>(MessageType::kQueryResponse)) {
+  if (raw_type > kMaxMessageType) {
     error_ = Status::InvalidArgument("unknown message type " +
                                      std::to_string(raw_type));
     return Step::kError;
@@ -322,6 +328,69 @@ Result<QueryResponse> DecodeQueryResponse(std::string_view body) {
   }
   KG_RETURN_IF_ERROR(reader.ExpectEnd());
   return resp;
+}
+
+// ---- WAL shipping -------------------------------------------------------
+
+std::string EncodeWalSubscribe(const WalSubscribe& req) {
+  std::string body;
+  AppendU64Le(&body, req.from_offset);
+  return body;
+}
+
+Result<WalSubscribe> DecodeWalSubscribe(std::string_view body) {
+  BodyReader reader(body);
+  WalSubscribe req;
+  KG_ASSIGN_OR_RETURN(req.from_offset, reader.TakeU64());
+  KG_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeWalBatch(const WalBatch& batch) {
+  std::string body;
+  body.push_back(static_cast<char>(batch.code));
+  AppendString(&body, batch.message);
+  AppendU64Le(&body, batch.start_offset);
+  AppendU64Le(&body, batch.end_offset);
+  AppendU32Le(&body, batch.chain_after);
+  AppendU64Le(&body, batch.log_end);
+  AppendString(&body, batch.frames);
+  return body;
+}
+
+Result<WalBatch> DecodeWalBatch(std::string_view body) {
+  BodyReader reader(body);
+  WalBatch batch;
+  KG_ASSIGN_OR_RETURN(batch.code, TakeStatusCode(&reader));
+  KG_ASSIGN_OR_RETURN(batch.message, reader.TakeString());
+  KG_ASSIGN_OR_RETURN(batch.start_offset, reader.TakeU64());
+  KG_ASSIGN_OR_RETURN(batch.end_offset, reader.TakeU64());
+  KG_ASSIGN_OR_RETURN(batch.chain_after, reader.TakeU32());
+  KG_ASSIGN_OR_RETURN(batch.log_end, reader.TakeU64());
+  KG_ASSIGN_OR_RETURN(batch.frames, reader.TakeString());
+  KG_RETURN_IF_ERROR(reader.ExpectEnd());
+  if (batch.end_offset < batch.start_offset ||
+      batch.end_offset - batch.start_offset != batch.frames.size()) {
+    return Status::InvalidArgument(
+        "wal batch offsets disagree with frame bytes");
+  }
+  return batch;
+}
+
+std::string EncodeWalHeartbeat(const WalHeartbeat& hb) {
+  std::string body;
+  AppendU64Le(&body, hb.log_end);
+  AppendU32Le(&body, hb.chain_at_end);
+  return body;
+}
+
+Result<WalHeartbeat> DecodeWalHeartbeat(std::string_view body) {
+  BodyReader reader(body);
+  WalHeartbeat hb;
+  KG_ASSIGN_OR_RETURN(hb.log_end, reader.TakeU64());
+  KG_ASSIGN_OR_RETURN(hb.chain_at_end, reader.TakeU32());
+  KG_RETURN_IF_ERROR(reader.ExpectEnd());
+  return hb;
 }
 
 }  // namespace kg::rpc

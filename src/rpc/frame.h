@@ -27,13 +27,24 @@ inline constexpr size_t kFrameHeaderBytes = 8;
 /// u8 message type, u16 flags (reserved, zero), u32 request id.
 inline constexpr size_t kMessageHeaderBytes = 8;
 
-/// The four message shapes of the request/response protocol.
+/// The message shapes of the protocol: the four request/response pairs
+/// of the serving path, plus the three WAL-shipping messages of the
+/// replication path (a subscriber sends kWalSubscribe once after the
+/// handshake; the server then streams kWalBatch frames as the log grows
+/// and kWalHeartbeat frames when it does not).
 enum class MessageType : uint8_t {
   kHandshakeRequest = 0,   ///< First message on every connection.
   kHandshakeResponse = 1,
   kQueryRequest = 2,
   kQueryResponse = 3,
+  kWalSubscribe = 4,       ///< Client: stream the WAL from this offset.
+  kWalBatch = 5,           ///< Server: whole WAL frames + checksum chain.
+  kWalHeartbeat = 6,       ///< Server: liveness + log end while idle.
 };
+
+/// Highest MessageType value the decoder accepts.
+inline constexpr uint8_t kMaxMessageType =
+    static_cast<uint8_t>(MessageType::kWalHeartbeat);
 
 const char* MessageTypeName(MessageType type);
 
@@ -124,6 +135,49 @@ Result<serve::Query> DecodeQuery(std::string_view body);
 
 std::string EncodeQueryResponse(const QueryResponse& resp);
 Result<QueryResponse> DecodeQueryResponse(std::string_view body);
+
+// ---- WAL shipping (replication path) ------------------------------------
+
+/// Subscriber hello: stream the primary's WAL to me starting at
+/// `from_offset` (a frame boundary the subscriber has verified —
+/// byte offset 0 for a fresh replica, its persisted applied offset for
+/// a catch-up resume).
+struct WalSubscribe {
+  uint64_t from_offset = 0;
+};
+
+/// One shipped slice of the primary's WAL: whole framed records
+/// covering [start_offset, end_offset), plus `chain_after` — the
+/// primary's Checksum32 chain value at end_offset — so the subscriber
+/// proves its replayed prefix is byte-identical before serving from it.
+/// `log_end` is the primary's current log end (lag = log_end -
+/// end_offset). A non-OK `code` refuses the subscription (bad offset,
+/// no log behind this server) and the connection closes after it.
+struct WalBatch {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  uint64_t start_offset = 0;
+  uint64_t end_offset = 0;
+  uint32_t chain_after = 0;
+  uint64_t log_end = 0;
+  std::string frames;
+};
+
+/// Idle-stream liveness: the log end and the chain value there, so a
+/// fully-caught-up subscriber keeps verifying it has not diverged.
+struct WalHeartbeat {
+  uint64_t log_end = 0;
+  uint32_t chain_at_end = 0;
+};
+
+std::string EncodeWalSubscribe(const WalSubscribe& req);
+Result<WalSubscribe> DecodeWalSubscribe(std::string_view body);
+
+std::string EncodeWalBatch(const WalBatch& batch);
+Result<WalBatch> DecodeWalBatch(std::string_view body);
+
+std::string EncodeWalHeartbeat(const WalHeartbeat& hb);
+Result<WalHeartbeat> DecodeWalHeartbeat(std::string_view body);
 
 }  // namespace kg::rpc
 

@@ -1,5 +1,6 @@
 #include "rpc/server.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -40,6 +41,12 @@ struct RpcServer::Connection {
   std::unique_ptr<ITransport> transport;
   FrameDecoder decoder;
   bool handshook = false;
+  /// WAL subscription state; owned by the event-loop thread (HandleFrame
+  /// and ServeSubscriptions both run there, so no lock is needed).
+  bool subscribed = false;
+  uint64_t sub_offset = 0;
+  uint32_t sub_request_id = 0;
+  std::chrono::steady_clock::time_point last_push{};
   std::atomic<bool> closed{false};
   /// Requests queued or executing on this connection (admission bound).
   std::atomic<size_t> queued{0};
@@ -125,6 +132,30 @@ Status RpcServer::Start() {
     impl_->workers.emplace_back([this] { WorkerLoop(); });
   }
   return Status::OK();
+}
+
+void RpcServer::Drain(int max_wait_ms) {
+  if (!impl_->running.load(std::memory_order_acquire)) return;
+  // New connections stop here; established ones keep their streams so
+  // in-flight responses still go out.
+  listener_->Shutdown();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(max_wait_ms < 0 ? 0
+                                                                  : max_wait_ms);
+  for (;;) {
+    bool queue_empty;
+    {
+      std::lock_guard<std::mutex> lock(impl_->queue_mu);
+      queue_empty = impl_->queue.empty();
+    }
+    if (queue_empty &&
+        impl_->inflight.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Stop();
 }
 
 void RpcServer::Stop() {
@@ -227,6 +258,10 @@ void RpcServer::EventLoop() {
         any_closed = true;
       }
     }
+    if (impl_->options.wal_source != nullptr &&
+        ServeSubscriptions(snapshot)) {
+      did_work = true;
+    }
     if (any_closed) {
       std::lock_guard<std::mutex> lock(impl_->conns_mu);
       std::erase_if(impl_->conns, [](const auto& conn) {
@@ -240,6 +275,43 @@ void RpcServer::EventLoop() {
     }
     if (!did_work) std::this_thread::sleep_for(kIdleNap);
   }
+}
+
+bool RpcServer::ServeSubscriptions(
+    const std::vector<std::shared_ptr<Connection>>& conns) {
+  WalSource* log = impl_->options.wal_source;
+  const auto now = std::chrono::steady_clock::now();
+  const auto heartbeat =
+      std::chrono::milliseconds(impl_->options.wal_heartbeat_interval_ms);
+  bool sent = false;
+  for (const auto& conn : conns) {
+    if (!conn->subscribed || conn->closed.load(std::memory_order_acquire)) {
+      continue;
+    }
+    const uint64_t end = log->EndOffset();
+    if (end > conn->sub_offset) {
+      WalBatch batch;
+      batch.start_offset = conn->sub_offset;
+      batch.frames =
+          log->ReadFrom(conn->sub_offset, impl_->options.wal_batch_max_bytes,
+                        &batch.end_offset, &batch.chain_after);
+      batch.log_end = std::max(end, batch.end_offset);
+      WriteResponse(conn, MessageType::kWalBatch, conn->sub_request_id,
+                    EncodeWalBatch(batch));
+      conn->sub_offset = batch.end_offset;
+      conn->last_push = now;
+      sent = true;
+    } else if (now - conn->last_push >= heartbeat) {
+      WalHeartbeat hb;
+      hb.log_end = end;
+      hb.chain_at_end = log->ChainAt(end);
+      WriteResponse(conn, MessageType::kWalHeartbeat, conn->sub_request_id,
+                    EncodeWalHeartbeat(hb));
+      conn->last_push = now;
+      sent = true;
+    }
+  }
+  return sent;
 }
 
 void RpcServer::WriteResponse(const std::shared_ptr<Connection>& conn,
@@ -340,8 +412,51 @@ void RpcServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       impl_->queue_cv.notify_one();
       return;
     }
+    case MessageType::kWalSubscribe: {
+      // The subscription answer rides the kWalBatch shape either way:
+      // a refusal is a non-OK batch, acceptance is an immediate
+      // heartbeat (the ack carrying the log end) followed by batches
+      // from ServeSubscriptions as the log grows.
+      WalBatch refusal;
+      auto req = DecodeWalSubscribe(frame.body);
+      WalSource* log = impl_->options.wal_source;
+      if (!conn->handshook) {
+        refusal.code = StatusCode::kFailedPrecondition;
+        refusal.message = "subscribe before handshake";
+      } else if (log == nullptr) {
+        refusal.code = StatusCode::kFailedPrecondition;
+        refusal.message = "no wal behind this server";
+      } else if (!req.ok()) {
+        refusal.code = req.status().code();
+        refusal.message = req.status().message();
+      } else if (req->from_offset > log->EndOffset() ||
+                 !log->IsBoundary(req->from_offset)) {
+        refusal.code = StatusCode::kInvalidArgument;
+        refusal.message = "subscribe offset " +
+                          std::to_string(req->from_offset) +
+                          " is not a frame boundary of this log";
+      } else {
+        conn->subscribed = true;
+        conn->sub_offset = req->from_offset;
+        conn->sub_request_id = frame.request_id;
+        conn->last_push = std::chrono::steady_clock::now();
+        WalHeartbeat ack;
+        ack.log_end = log->EndOffset();
+        ack.chain_at_end = log->ChainAt(ack.log_end);
+        WriteResponse(conn, MessageType::kWalHeartbeat, frame.request_id,
+                      EncodeWalHeartbeat(ack));
+        return;
+      }
+      WriteResponse(conn, MessageType::kWalBatch, frame.request_id,
+                    EncodeWalBatch(refusal));
+      conn->closed.store(true, std::memory_order_release);
+      conn->transport->Close();
+      return;
+    }
     case MessageType::kHandshakeResponse:
     case MessageType::kQueryResponse:
+    case MessageType::kWalBatch:
+    case MessageType::kWalHeartbeat:
       // Responses flowing toward the server are a protocol violation.
       conn->closed.store(true, std::memory_order_release);
       conn->transport->Close();

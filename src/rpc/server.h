@@ -33,6 +33,38 @@ QueryHandler EngineHandler(const serve::QueryEngine* engine);
 /// current epoch; writers keep publishing underneath).
 QueryHandler StoreHandler(const store::VersionedKgStore* store);
 
+/// What a replication-enabled server streams to kWalSubscribe
+/// subscribers: an append-only log of framed WAL records (the
+/// store::AppendWalFrame framing) with a running Checksum32 chain over
+/// whole frames, so a subscriber can prove its replayed prefix is
+/// byte-identical to the primary's before serving from it.
+///
+/// Offsets are byte offsets into the log; a "boundary" is an offset
+/// that starts a frame (or the log end). Implementations must be
+/// thread-safe: the event loop reads while the owner appends.
+class WalSource {
+ public:
+  virtual ~WalSource() = default;
+
+  /// Current log end (a boundary by construction).
+  virtual uint64_t EndOffset() const = 0;
+
+  /// True when `offset` is a frame boundary (0 and EndOffset included).
+  virtual bool IsBoundary(uint64_t offset) const = 0;
+
+  /// Chain value at boundary `offset`: 0 at offset 0, then
+  /// chain' = Checksum32(le32(chain) ++ frame_bytes) per frame.
+  virtual uint32_t ChainAt(uint64_t offset) const = 0;
+
+  /// Copies whole frames from boundary `offset`, at most `max_bytes`
+  /// (always at least one frame when any exists). Writes the boundary
+  /// after the last copied frame to `*end_offset` and the chain value
+  /// there to `*chain_after`.
+  virtual std::string ReadFrom(uint64_t offset, size_t max_bytes,
+                               uint64_t* end_offset,
+                               uint32_t* chain_after) const = 0;
+};
+
 struct RpcServerOptions {
   /// Threads executing queries (the event loop and acceptor are extra).
   size_t worker_threads = 2;
@@ -51,6 +83,17 @@ struct RpcServerOptions {
   /// accepted/shed requests, frame errors, inflight, and per-class
   /// "rpc.latency_us.<class>" wire latency.
   obs::MetricsRegistry* registry = nullptr;
+  /// WAL log served to kWalSubscribe subscribers; null refuses
+  /// subscriptions with kFailedPrecondition. Not owned; must outlive
+  /// the server.
+  WalSource* wal_source = nullptr;
+  /// Heartbeat cadence on idle subscriptions (the replica's liveness
+  /// signal; its receiver treats several missed intervals as a dead
+  /// primary and reconnects).
+  int wal_heartbeat_interval_ms = 25;
+  /// Largest kWalBatch frame payload; bigger backlogs ship as several
+  /// batches across event-loop passes.
+  size_t wal_batch_max_bytes = 256 * 1024;
 };
 
 /// Multi-connection RPC front-end over an ITransportServer:
@@ -99,6 +142,12 @@ class RpcServer {
   /// Idempotent; the destructor calls it.
   void Stop();
 
+  /// Graceful shutdown: stops accepting new connections, lets queued
+  /// and in-flight requests finish (bounded by `max_wait_ms`), then
+  /// Stop()s. This is what a SIGTERM handler should call — no request
+  /// that was admitted dies mid-frame (examples/rpc_server.cpp).
+  void Drain(int max_wait_ms = 5000);
+
   const ITransportServer* listener() const { return listener_.get(); }
   std::string address() const { return listener_->address(); }
 
@@ -111,6 +160,11 @@ class RpcServer {
 
   void AcceptLoop();
   void EventLoop();
+  /// One pass over subscribed connections: pushes a kWalBatch where the
+  /// log has grown past the subscriber, a kWalHeartbeat where it has
+  /// been idle past the interval. Returns true when anything was sent.
+  bool ServeSubscriptions(
+      const std::vector<std::shared_ptr<Connection>>& conns);
   void WorkerLoop();
   void HandleFrame(const std::shared_ptr<Connection>& conn,
                    Frame&& frame);

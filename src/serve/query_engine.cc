@@ -74,6 +74,28 @@ std::string RenderNodeName(std::string_view name, graph::NodeKind kind) {
   return out;
 }
 
+QueryResult MergeShardResults(std::vector<QueryResult> parts) {
+  QueryResult merged;
+  for (QueryResult& part : parts) {
+    if (part.empty()) continue;
+    if (merged.empty()) {
+      merged = std::move(part);
+      continue;
+    }
+    QueryResult next;
+    next.reserve(merged.size() + part.size());
+    // std::merge is stable: equal rows come from the lower-indexed
+    // shard first, so the fold order *is* the tie-break rule.
+    std::merge(std::make_move_iterator(merged.begin()),
+               std::make_move_iterator(merged.end()),
+               std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()),
+               std::back_inserter(next));
+    merged = std::move(next);
+  }
+  return merged;
+}
+
 Query Query::PointLookup(std::string node, std::string predicate,
                          graph::NodeKind kind) {
   Query q;

@@ -81,6 +81,27 @@ using QueryResult = std::vector<std::string>;
 /// unambiguous).
 std::string RenderNodeName(std::string_view name, graph::NodeKind kind);
 
+/// A query answer tagged with the replication epoch the serving member
+/// had applied when the answer was computed. The tag is read *before*
+/// the rows, so the rows always reflect at least the tagged state —
+/// that inequality is what lets a router enforce a bounded-staleness
+/// policy: an answer tagged >= the router's committed epoch is provably
+/// equal to the committed state's answer (kg::cluster::QueryRouter).
+struct EpochTaggedResult {
+  uint64_t epoch = 0;
+  QueryResult rows;
+};
+
+/// Deterministic scatter-gather merge for shard-partitioned answers:
+/// folds per-shard sorted row lists (indexed by shard) into one sorted
+/// list with a stable merge, so equal rows keep lower-shard-index order
+/// and the output is a pure function of the inputs. Correct for the
+/// row-sorted query classes (point lookup, neighborhood,
+/// attribute-by-type) over a disjoint subject partition, where every
+/// row is produced by exactly one shard; top-k rows are score-ordered
+/// and need the router's rank-aware path instead.
+QueryResult MergeShardResults(std::vector<QueryResult> parts);
+
 struct ServeOptions {
   /// Sharding policy for BatchExecute.
   ExecPolicy exec;

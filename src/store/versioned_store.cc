@@ -663,6 +663,16 @@ Result<serve::QueryResult> VersionedKgStore::TryExecute(
   return Execute(query);
 }
 
+Result<serve::EpochTaggedResult> VersionedKgStore::TryExecuteTagged(
+    const serve::Query& query) const {
+  serve::EpochTaggedResult tagged;
+  // Watermark before rows: the content the rows are computed from can
+  // only be at or past the tag, never behind it.
+  tagged.epoch = applied_watermark();
+  KG_ASSIGN_OR_RETURN(tagged.rows, TryExecute(query));
+  return tagged;
+}
+
 serve::QueryResult VersionedKgStore::Execute(const serve::Query& query) const {
   if (cache_ == nullptr) return ExecuteAt(*PinEpoch(), query);
   const bool erase_invalidated =

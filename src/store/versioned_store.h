@@ -148,6 +148,13 @@ class VersionedKgStore {
   /// server fronts a mutable store through.
   Result<serve::QueryResult> TryExecute(const serve::Query& query) const;
 
+  /// TryExecute plus the replication-epoch tag (see applied_watermark).
+  /// The tag is read *before* the rows are computed, so the rows always
+  /// reflect at least the tagged offset — the inequality the cluster
+  /// router's bounded-staleness policy rests on.
+  Result<serve::EpochTaggedResult> TryExecuteTagged(
+      const serve::Query& query) const;
+
   /// Answers `query` against a pinned epoch, bypassing the cache (the
   /// cache tracks the *current* version; time-travel reads must not mix
   /// with it). This is the reference path Execute is checked against.
@@ -199,6 +206,18 @@ class VersionedKgStore {
   serve::ShardedLruCache* cache() const { return cache_.get(); }
 
   const Wal* wal() const { return wal_ ? &*wal_ : nullptr; }
+
+  /// Replication watermark: an opaque monotone offset (the shipped-WAL
+  /// byte offset in kg::cluster) describing how much of some external
+  /// log this store's content reflects. The store never interprets it;
+  /// a replica's apply loop advances it *after* the matching ApplyBatch
+  /// commits, so content always covers the watermark.
+  uint64_t applied_watermark() const {
+    return applied_watermark_.load(std::memory_order_acquire);
+  }
+  void set_applied_watermark(uint64_t offset) {
+    applied_watermark_.store(offset, std::memory_order_release);
+  }
 
  private:
   VersionedKgStore() = default;
@@ -254,6 +273,7 @@ class VersionedKgStore {
 
   std::unique_ptr<serve::ShardedLruCache> cache_;
   std::atomic<bool> compaction_in_flight_{false};
+  std::atomic<uint64_t> applied_watermark_{0};
 
   /// Generation counters behind the gen-tagged cache keys. Written by
   /// writers (after publish, still inside the writer section), read by

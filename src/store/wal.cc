@@ -145,6 +145,7 @@ WalReplay ReplayWalBuffer(std::string_view data) {
     auto decoded = DecodeMutation(payload);
     if (!decoded.ok()) break;
     replay.mutations.push_back(std::move(*decoded));
+    replay.frame_offsets.push_back(offset);
     offset += kFrameHeaderBytes + length;
   }
   replay.valid_bytes = offset;

@@ -72,8 +72,14 @@ void AppendWalFrame(std::string* buf, std::string_view payload);
 /// The result of scanning a WAL image. `mutations` is the longest valid
 /// record prefix; `valid_bytes` is where that prefix ends (the recovery
 /// truncation point); `clean` is true when the scan consumed every byte.
+/// `frame_offsets[i]` is the byte offset where `mutations[i]`'s frame
+/// starts, so `frame_offsets.back()` is the offset of the last valid
+/// frame — the resume point a catch-up subscriber needs: replaying the
+/// suffix from any `frame_offsets[i]` yields exactly `mutations[i..]`
+/// (store_wal_test proves the bit-identical-resume property).
 struct WalReplay {
   std::vector<Mutation> mutations;
+  std::vector<uint64_t> frame_offsets;
   uint64_t valid_bytes = 0;
   uint64_t dropped_bytes = 0;
   bool clean = true;

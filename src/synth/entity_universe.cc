@@ -60,9 +60,13 @@ EntityUniverse EntityUniverse::Generate(const UniverseOptions& options,
     // Popular movies tend to involve popular people: sample participants
     // from a head-biased window of the person list.
     auto sample_person = [&]() -> uint32_t {
-      const size_t window = std::max<size_t>(
-          10, static_cast<size_t>(static_cast<double>(options.num_people) *
-                                  (0.05 + 0.95 * rng.UniformDouble())));
+      // Window floor of 10 keeps tiny tails head-biased, but can never
+      // exceed the pool itself (tiny universes index out of it otherwise).
+      const size_t window = std::min<size_t>(
+          options.num_people,
+          std::max<size_t>(
+              10, static_cast<size_t>(static_cast<double>(options.num_people) *
+                                      (0.05 + 0.95 * rng.UniformDouble()))));
       return static_cast<uint32_t>(rng.UniformIndex(window));
     };
     m.director = sample_person();

@@ -229,6 +229,66 @@ TEST(RpcChaosTest, TerminalWireDegradesToCleanUnavailable) {
   EXPECT_LE(run.stats.reconnects, 6u);
 }
 
+// Dial-time chaos: ChaosConnectFactory refuses connections with a
+// retriable kUnavailable — without ever invoking the wrapped factory —
+// and the refusal pattern is a pure function of (seed, channel,
+// attempt index).
+TEST(RpcChaosTest, ConnectFactoryRefusalsAreInjectedAndDeterministic) {
+  auto counting_inner = [](size_t* dials) {
+    return [dials]() -> Result<std::unique_ptr<ITransport>> {
+      ++*dials;
+      return Status::Internal("inner factory reached");
+    };
+  };
+
+  // Certain refusal: every dial is refused before the inner factory.
+  FaultPlan always;
+  always.seed = 42;
+  always.transient_rate = 1.0;
+  const FaultInjector refuse_all(always);
+  size_t dials = 0;
+  TransportFactory refused =
+      ChaosConnectFactory(counting_inner(&dials), &refuse_all, "ship");
+  for (int i = 0; i < 5; ++i) {
+    const auto conn = refused();
+    ASSERT_FALSE(conn.ok());
+    EXPECT_EQ(conn.status().code(), StatusCode::kUnavailable);
+    EXPECT_NE(conn.status().message().find("connection refused"),
+              std::string::npos);
+  }
+  EXPECT_EQ(dials, 0u);
+
+  // Inactive plan: every dial passes through untouched.
+  const FaultPlan clean;
+  const FaultInjector no_faults(clean);
+  size_t clean_dials = 0;
+  TransportFactory passthrough = ChaosConnectFactory(
+      counting_inner(&clean_dials), &no_faults, "ship");
+  for (int i = 0; i < 5; ++i) (void)passthrough();
+  EXPECT_EQ(clean_dials, 5u);
+
+  // Partial refusal is per-attempt-index deterministic: two factories
+  // over the same (injector, channel) refuse the same dial indices.
+  FaultPlan half;
+  half.seed = 7;
+  half.transient_rate = 0.5;
+  const FaultInjector coin(half);
+  InMemoryTransportServer loopback;
+  auto refusal_pattern = [&] {
+    TransportFactory f = ChaosConnectFactory(
+        [&loopback] { return loopback.Connect(); }, &coin, "ship");
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      pattern += f().ok() ? '.' : 'x';
+    }
+    return pattern;
+  };
+  const std::string a = refusal_pattern();
+  EXPECT_EQ(a, refusal_pattern());
+  EXPECT_NE(a.find('x'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
 // Direct ChaosTransport determinism: the same seed drops and garbles
 // the same frame indices, independent of everything else.
 TEST(RpcChaosTest, ChaosTransportFaultsAreReproducible) {

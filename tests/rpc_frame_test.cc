@@ -160,7 +160,8 @@ TEST(RpcFrameTest, RejectsWrongProtocolVersion) {
 TEST(RpcFrameTest, RejectsUnknownMessageTypeAndNonzeroFlags) {
   for (const auto& [offset, value, what] :
        std::vector<std::tuple<size_t, char, std::string>>{
-           {1, 4, "message type"}, {2, 1, "flags"}}) {
+           {1, static_cast<char>(kMaxMessageType + 1), "message type"},
+           {2, 1, "flags"}}) {
     std::string frame =
         EncodeFrame(MessageType::kQueryRequest, 1,
                     EncodeQuery(serve::Query::Neighborhood("n")));

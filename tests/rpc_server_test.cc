@@ -427,5 +427,65 @@ TEST(RpcServerTest, StopUnblocksIdleConnectionsAndIsIdempotent) {
   EXPECT_TRUE(!read.ok() || *read == 0);
 }
 
+// Regression: a read timeout that lands MID-FRAME (a partial header
+// sitting in the decoder) must break the stream, not leave it "usable".
+// Resynchronizing after a fragment would splice the next response's
+// bytes onto it and manufacture garbage; the client must return
+// kUnavailable, mark itself unhealthy, and refuse further traffic.
+TEST(RpcClientTest, TimeoutMidFrameBreaksTheStream) {
+  InMemoryTransportServer loopback;
+  auto client_end = loopback.Connect();
+  ASSERT_TRUE(client_end.ok());
+  auto server_end = loopback.Accept();
+  ASSERT_TRUE(server_end.ok());
+
+  RpcClientOptions options;
+  options.read_timeout_ms = 100;
+  RpcClient client(std::move(*client_end), options);
+
+  // Hand-driven server: answer the handshake honestly, then answer the
+  // query with only the first 5 bytes of a valid response frame and go
+  // silent with the connection still open.
+  auto server = std::async(std::launch::async, [&]() -> Status {
+    FrameDecoder decoder;
+    KG_ASSIGN_OR_RETURN(Frame hs,
+                        ReadOneFrame(server_end->get(), &decoder));
+    if (hs.type != MessageType::kHandshakeRequest) {
+      return Status::Internal("expected handshake");
+    }
+    HandshakeResponse resp;
+    resp.schema_version = serve::kSnapshotSchemaVersion;
+    std::string out;
+    AppendFrame(&out, MessageType::kHandshakeResponse, hs.request_id,
+                EncodeHandshakeResponse(resp));
+    KG_RETURN_IF_ERROR((*server_end)->Write(out));
+    KG_ASSIGN_OR_RETURN(Frame query,
+                        ReadOneFrame(server_end->get(), &decoder));
+    QueryResponse qr;
+    qr.rows = {"E:answer"};
+    out.clear();
+    AppendFrame(&out, MessageType::kQueryResponse, query.request_id,
+                EncodeQueryResponse(qr));
+    return (*server_end)->Write(std::string_view(out).substr(0, 5));
+  });
+
+  ASSERT_TRUE(client.Handshake().ok());
+  const auto result =
+      client.Execute(serve::Query::PointLookup("m1", "title"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("mid-frame"), std::string::npos)
+      << result.status();
+  EXPECT_FALSE(client.healthy());
+
+  // A broken client refuses immediately instead of reusing the stream.
+  const auto after =
+      client.Execute(serve::Query::PointLookup("m1", "title"));
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(server.get().ok());
+  (*server_end)->Close();
+}
+
 }  // namespace
 }  // namespace kg::rpc
