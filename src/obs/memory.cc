@@ -1,0 +1,33 @@
+#include "obs/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace kg::obs {
+
+ProcessMemory ReadProcessMemory() {
+  ProcessMemory out;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return out;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+      out.rss_bytes = static_cast<uint64_t>(kb) * 1024;
+    } else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      out.peak_bytes = static_cast<uint64_t>(kb) * 1024;
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+void PublishProcessMemory(MetricsRegistry& registry) {
+  const ProcessMemory mem = ReadProcessMemory();
+  registry.GetGauge("process.mem.rss_bytes")
+      .Set(static_cast<int64_t>(mem.rss_bytes));
+  registry.GetGauge("process.mem.peak_bytes")
+      .Set(static_cast<int64_t>(mem.peak_bytes));
+}
+
+}  // namespace kg::obs

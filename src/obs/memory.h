@@ -1,0 +1,29 @@
+#ifndef KGRAPH_OBS_MEMORY_H_
+#define KGRAPH_OBS_MEMORY_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace kg::obs {
+
+/// Process memory as the kernel accounts it, in bytes. Zeros on
+/// platforms without /proc (the scale experiments only assert budgets
+/// where the numbers exist).
+struct ProcessMemory {
+  uint64_t rss_bytes = 0;   ///< VmRSS: resident set right now
+  uint64_t peak_bytes = 0;  ///< VmHWM: resident high-water mark
+};
+
+/// Reads /proc/self/status. Cheap (one small pseudo-file parse), safe to
+/// call from bench loops between phases.
+ProcessMemory ReadProcessMemory();
+
+/// Publishes ReadProcessMemory() as "process.mem.rss_bytes" /
+/// "process.mem.peak_bytes" gauges. The memory-budget view the scale
+/// bench (E25) exports next to the snapshot's own footprint gauges.
+void PublishProcessMemory(MetricsRegistry& registry);
+
+}  // namespace kg::obs
+
+#endif  // KGRAPH_OBS_MEMORY_H_

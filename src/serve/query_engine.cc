@@ -265,12 +265,12 @@ QueryResult QueryEngine::Neighborhood(const Query& query) const {
   QueryResult rows;
   rows.reserve(snapshot_.OutDegree(*node) + snapshot_.InDegree(*node));
   for (const KgSnapshot::Edge& e : snapshot_.OutEdges(*node)) {
-    rows.push_back("out\t" + snapshot_.PredicateName(e.first) + '\t' +
-                   RenderNode(snapshot_, e.second));
+    rows.push_back("out\t" + std::string(snapshot_.PredicateName(e.first)) +
+                   '\t' + RenderNode(snapshot_, e.second));
   }
   for (const KgSnapshot::Edge& e : snapshot_.InEdges(*node)) {
-    rows.push_back("in\t" + snapshot_.PredicateName(e.first) + '\t' +
-                   RenderNode(snapshot_, e.second));
+    rows.push_back("in\t" + std::string(snapshot_.PredicateName(e.first)) +
+                   '\t' + RenderNode(snapshot_, e.second));
   }
   std::sort(rows.begin(), rows.end());
   return rows;

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "graph/serialization.h"
+#include "obs/metrics.h"
 
 namespace kg::serve {
 
@@ -35,46 +36,6 @@ Result<NodeKind> ParseKind(const std::string& name) {
   return Status::InvalidArgument("unknown node kind: " + name);
 }
 
-// CSR construction: bucket `edges` (already tagged with their row) into
-// `num_rows` rows and sort each row by the entry pair. `row_of` extracts
-// the row id, `entry_of` the stored pair.
-template <typename RowOf, typename EntryOf>
-void BuildCsr(const std::vector<std::array<uint32_t, 3>>& triples,
-              size_t num_rows, RowOf row_of, EntryOf entry_of,
-              std::vector<uint32_t>* offsets,
-              std::vector<KgSnapshot::Edge>* entries) {
-  offsets->assign(num_rows + 1, 0);
-  for (const auto& t : triples) ++(*offsets)[row_of(t) + 1];
-  std::partial_sum(offsets->begin(), offsets->end(), offsets->begin());
-  entries->resize(triples.size());
-  std::vector<uint32_t> cursor(offsets->begin(), offsets->end() - 1);
-  for (const auto& t : triples) {
-    (*entries)[cursor[row_of(t)]++] = entry_of(t);
-  }
-  for (size_t row = 0; row < num_rows; ++row) {
-    std::sort(entries->begin() + (*offsets)[row],
-              entries->begin() + (*offsets)[row + 1],
-              [](const KgSnapshot::Edge& a, const KgSnapshot::Edge& b) {
-                return a.first != b.first ? a.first < b.first
-                                          : a.second < b.second;
-              });
-  }
-}
-
-// The contiguous run of `edges` whose `first` field equals `key`
-// (edges are sorted by (first, second)).
-std::span<const KgSnapshot::Edge> EqualFirstRange(
-    std::span<const KgSnapshot::Edge> edges, uint32_t key) {
-  const auto lo = std::partition_point(
-      edges.begin(), edges.end(),
-      [key](const KgSnapshot::Edge& e) { return e.first < key; });
-  const auto hi = std::partition_point(
-      lo, edges.end(),
-      [key](const KgSnapshot::Edge& e) { return e.first <= key; });
-  return edges.subspan(static_cast<size_t>(lo - edges.begin()),
-                       static_cast<size_t>(hi - lo));
-}
-
 void HashBytes(uint64_t* h, std::string_view bytes) {
   for (char c : bytes) {
     *h ^= static_cast<uint8_t>(c);
@@ -89,7 +50,439 @@ void HashU32(uint64_t* h, uint32_t v) {
   }
 }
 
+inline constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+
+/// Core row encoder over packed (first << 32 | second) entries, the form
+/// the builder's transient per-order buffer holds (uint64 sort order ==
+/// (first, second) lexicographic order, so a sorted slice is a sorted
+/// row). Format documented at AppendEdgeRow.
+void EncodeRowPacked(const uint64_t* begin, const uint64_t* end,
+                     std::string* out) {
+  if (begin == end) return;  // empty row: zero bytes
+  AppendVarint(out, static_cast<uint64_t>(end - begin));
+  uint32_t prev_first = 0, prev_second = 0;
+  for (const uint64_t* p = begin; p != end; ++p) {
+    const uint32_t first = static_cast<uint32_t>(*p >> 32);
+    const uint32_t second = static_cast<uint32_t>(*p);
+    const uint32_t d1 = first - prev_first;
+    AppendVarint(out, d1);
+    AppendVarint(out, d1 == 0 ? second - prev_second : second);
+    prev_first = first;
+    prev_second = second;
+  }
+}
+
+/// Sizes a flat open-addressing table for `n` names at <= 50% load.
+/// Matches the historical NameIndex::Reserve geometry so fingerprint-
+/// equal snapshots also probe identically.
+size_t IndexCapacity(size_t n) {
+  size_t capacity = 4;
+  while (capacity < 2 * n) capacity *= 2;
+  return capacity;
+}
+
+void IndexInsert(std::vector<SnapshotIndexSlot>* slots, uint64_t mask,
+                 std::string_view name, uint32_t id) {
+  const uint64_t h = Fnv1a64(name);
+  uint64_t slot = h & mask;
+  while ((*slots)[slot].id_plus_1 != 0) slot = (slot + 1) & mask;
+  (*slots)[slot] = SnapshotIndexSlot{h, id + 1, 0};
+}
+
+std::string_view ViewOf(const std::string& s) {
+  return std::string_view(s.data(), s.size());
+}
+
+template <typename T>
+std::string_view ViewOf(const std::vector<T>& v) {
+  return std::string_view(reinterpret_cast<const char*>(v.data()),
+                          v.size() * sizeof(T));
+}
+
 }  // namespace
+
+// --- EdgeRange ----------------------------------------------------------
+
+KgSnapshot::EdgeRange::EdgeRange(const uint8_t* begin, const uint8_t* end) {
+  if (begin == nullptr || begin >= end) return;
+  uint64_t count = 0;
+  const size_t n = DecodeVarint(begin, end, &count);
+  if (n == 0) return;
+  payload_ = begin + n;
+  end_ = end;
+  // A real edge costs at least two bytes (two varints); clamp a hostile
+  // count so size() can never promise more than the payload could hold.
+  const uint64_t max_count = static_cast<uint64_t>(end_ - payload_) / 2;
+  count_ = count < max_count ? count : max_count;
+}
+
+void KgSnapshot::EdgeRange::iterator::Advance() {
+  if (left_ == 0) {
+    avail_ = false;
+    return;
+  }
+  uint64_t d1 = 0, v2 = 0;
+  size_t n = DecodeVarint(p_, end_, &d1);
+  if (n == 0) {
+    left_ = 0;
+    avail_ = false;
+    return;
+  }
+  p_ += n;
+  n = DecodeVarint(p_, end_, &v2);
+  if (n == 0) {
+    left_ = 0;
+    avail_ = false;
+    return;
+  }
+  p_ += n;
+  const uint64_t first = static_cast<uint64_t>(cur_.first) + d1;
+  const uint64_t second = d1 == 0 ? static_cast<uint64_t>(cur_.second) + v2
+                                  : v2;
+  if (first > UINT32_MAX || second > UINT32_MAX) {  // malformed bytes
+    left_ = 0;
+    avail_ = false;
+    return;
+  }
+  cur_.first = static_cast<uint32_t>(first);
+  cur_.second = static_cast<uint32_t>(second);
+  --left_;
+  avail_ = true;
+}
+
+// --- Row codec ----------------------------------------------------------
+
+void AppendEdgeRow(std::string* out,
+                   const std::vector<KgSnapshot::Edge>& edges) {
+  std::vector<uint64_t> packed;
+  packed.reserve(edges.size());
+  for (const KgSnapshot::Edge& e : edges) {
+    packed.push_back(static_cast<uint64_t>(e.first) << 32 | e.second);
+  }
+  EncodeRowPacked(packed.data(), packed.data() + packed.size(), out);
+}
+
+bool DecodeEdgeRow(std::string_view bytes,
+                   std::vector<KgSnapshot::Edge>* out) {
+  out->clear();
+  if (bytes.empty()) return true;  // empty row
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  const uint8_t* end = p + bytes.size();
+  uint64_t count = 0;
+  size_t n = DecodeVarint(p, end, &count);
+  if (n == 0) return false;
+  p += n;
+  if (count == 0 || count > static_cast<uint64_t>(end - p) / 2) {
+    out->clear();
+    return false;
+  }
+  out->reserve(count);
+  uint32_t prev_first = 0, prev_second = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t d1 = 0, v2 = 0;
+    n = DecodeVarint(p, end, &d1);
+    if (n == 0) break;
+    p += n;
+    n = DecodeVarint(p, end, &v2);
+    if (n == 0) break;
+    p += n;
+    const uint64_t first = static_cast<uint64_t>(prev_first) + d1;
+    const uint64_t second =
+        d1 == 0 ? static_cast<uint64_t>(prev_second) + v2 : v2;
+    if (first > UINT32_MAX || second > UINT32_MAX) break;
+    // Sortedness inside an equal-first run is free (unsigned delta); an
+    // explicit check guards the cross-run boundary.
+    if (i > 0 && d1 == 0 && second < prev_second) break;
+    out->push_back(KgSnapshot::Edge{static_cast<uint32_t>(first),
+                                    static_cast<uint32_t>(second)});
+    prev_first = static_cast<uint32_t>(first);
+    prev_second = static_cast<uint32_t>(second);
+  }
+  if (out->size() != count || p != end) {
+    out->clear();
+    return false;
+  }
+  return true;
+}
+
+// --- SnapshotBuilder ----------------------------------------------------
+
+struct SnapshotBuilder::Storage {
+  std::vector<uint8_t> node_kinds;
+  std::vector<uint32_t> node_name_offsets{0};
+  std::string node_arena;
+  std::vector<uint32_t> pred_name_offsets{0};
+  std::string pred_arena;
+
+  std::vector<uint64_t> spo_offsets, pos_offsets, osp_offsets;
+  std::string spo_bytes, pos_bytes, osp_bytes;
+
+  std::array<std::vector<SnapshotIndexSlot>, 3> node_index;
+  std::vector<SnapshotIndexSlot> pred_index;
+
+  uint64_t num_triples = 0;
+  uint64_t fingerprint = 0;
+
+  size_t num_nodes() const { return node_kinds.size(); }
+  size_t num_preds() const { return pred_name_offsets.size() - 1; }
+
+  std::string_view NodeNameAt(size_t i) const {
+    return std::string_view(node_arena)
+        .substr(node_name_offsets[i],
+                node_name_offsets[i + 1] - node_name_offsets[i]);
+  }
+  std::string_view PredNameAt(size_t i) const {
+    return std::string_view(pred_arena)
+        .substr(pred_name_offsets[i],
+                pred_name_offsets[i + 1] - pred_name_offsets[i]);
+  }
+};
+
+SnapshotBuilder::SnapshotBuilder() : storage_(std::make_shared<Storage>()) {}
+
+void SnapshotBuilder::AddNode(std::string_view name, graph::NodeKind kind) {
+  KG_CHECK(!built_);
+  storage_->node_kinds.push_back(static_cast<uint8_t>(kind));
+  storage_->node_arena.append(name);
+  storage_->node_name_offsets.push_back(
+      static_cast<uint32_t>(storage_->node_arena.size()));
+}
+
+void SnapshotBuilder::AddPredicate(std::string_view name) {
+  KG_CHECK(!built_);
+  storage_->pred_arena.append(name);
+  storage_->pred_name_offsets.push_back(
+      static_cast<uint32_t>(storage_->pred_arena.size()));
+}
+
+Result<KgSnapshot> SnapshotBuilder::Build(const TripleStream& stream) {
+  if (built_) {
+    return Status::InvalidArgument("SnapshotBuilder already built");
+  }
+  built_ = true;
+  Storage& st = *storage_;
+  const size_t n = st.num_nodes();
+  const size_t m = st.num_preds();
+  if (n >= UINT32_MAX || m >= UINT32_MAX) {
+    return Status::InvalidArgument("vocabulary exceeds 32-bit id space");
+  }
+
+  // Fingerprint prefix: the vocabulary in id order (same walk the
+  // historical Compile hashed, so fingerprints stay comparable across
+  // representation generations).
+  uint64_t h = kFnvOffset;
+  for (size_t i = 0; i < n; ++i) {
+    HashU32(&h, st.node_kinds[i]);
+    const std::string_view name = st.NodeNameAt(i);
+    HashU32(&h, static_cast<uint32_t>(name.size()));
+    HashBytes(&h, name);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const std::string_view name = st.PredNameAt(i);
+    HashU32(&h, static_cast<uint32_t>(name.size()));
+    HashBytes(&h, name);
+  }
+
+  // Pass 1 over the stream: validate ids and (s, p, o) ordering, encode
+  // the SPO order directly (the stream order *is* SPO row order), count
+  // rows for the other two orders, and extend the fingerprint with the
+  // triple walk.
+  std::vector<uint64_t> pos_counts(m, 0), osp_counts(n, 0);
+  std::vector<uint64_t> row_edges;  // (p << 32 | o) of the open SPO row
+  Status error = Status::OK();
+  uint64_t prev_s = 0, prev_p = 0, prev_o = 0;
+  bool any = false;
+  uint64_t open_row = 0;  // subject of row_edges
+  st.spo_offsets.assign(1, 0);
+  auto flush_rows_through = [&](uint64_t next_s) {
+    // Close the open row, then empty rows up to (excluding) next_s.
+    if (!row_edges.empty()) {
+      EncodeRowPacked(row_edges.data(), row_edges.data() + row_edges.size(),
+                      &st.spo_bytes);
+      row_edges.clear();
+    }
+    while (st.spo_offsets.size() <= next_s) {
+      st.spo_offsets.push_back(st.spo_bytes.size());
+    }
+  };
+  stream([&](uint32_t s, uint32_t p, uint32_t o) {
+    if (!error.ok()) return;
+    if (s >= n || o >= n || p >= m) {
+      error = Status::InvalidArgument("triple id out of range");
+      return;
+    }
+    if (any && std::tuple(s, p, o) < std::tuple(static_cast<uint32_t>(prev_s),
+                                                static_cast<uint32_t>(prev_p),
+                                                static_cast<uint32_t>(prev_o))) {
+      error = Status::InvalidArgument("triple stream not sorted by (s,p,o)");
+      return;
+    }
+    if (!any || s != open_row) {
+      flush_rows_through(s);
+      open_row = s;
+    }
+    row_edges.push_back(static_cast<uint64_t>(p) << 32 | o);
+    ++pos_counts[p];
+    ++osp_counts[o];
+    ++st.num_triples;
+    HashU32(&h, s);
+    HashU32(&h, p);
+    HashU32(&h, o);
+    prev_s = s;
+    prev_p = p;
+    prev_o = o;
+    any = true;
+  });
+  if (!error.ok()) return error;
+  flush_rows_through(n);
+  st.fingerprint = h;
+
+  // Passes 2 and 3: for each remaining order, place packed entries into
+  // their rows with a cursor array, sort each row, and varint-encode.
+  // Transient cost is 8 bytes per posting for exactly one order at a
+  // time, independent of how the stream produces the triples.
+  const auto build_order = [&](const std::vector<uint64_t>& counts,
+                               auto key_row, auto key_packed,
+                               std::vector<uint64_t>* offsets,
+                               std::string* bytes) -> Status {
+    const size_t rows = counts.size();
+    std::vector<uint64_t> starts(rows + 1, 0);
+    std::partial_sum(counts.begin(), counts.end(), starts.begin() + 1);
+    std::vector<uint64_t> cursor(starts.begin(), starts.end() - 1);
+    std::vector<uint64_t> packed(st.num_triples);
+    Status pass_error = Status::OK();
+    stream([&](uint32_t s, uint32_t p, uint32_t o) {
+      if (!pass_error.ok()) return;
+      const uint64_t row = key_row(s, p, o);
+      if (row >= rows || cursor[row] >= starts[row + 1]) {
+        pass_error =
+            Status::InvalidArgument("triple stream did not replay identically");
+        return;
+      }
+      packed[cursor[row]++] = key_packed(s, p, o);
+    });
+    if (!pass_error.ok()) return pass_error;
+    for (size_t row = 0; row < rows; ++row) {
+      if (cursor[row] != starts[row + 1]) {
+        return Status::InvalidArgument(
+            "triple stream did not replay identically");
+      }
+    }
+    offsets->assign(1, 0);
+    offsets->reserve(rows + 1);
+    for (size_t row = 0; row < rows; ++row) {
+      uint64_t* b = packed.data() + starts[row];
+      uint64_t* e = packed.data() + starts[row + 1];
+      std::sort(b, e);
+      EncodeRowPacked(b, e, bytes);
+      offsets->push_back(bytes->size());
+    }
+    return Status::OK();
+  };
+  KG_RETURN_IF_ERROR(build_order(
+      pos_counts, [](uint32_t, uint32_t p, uint32_t) { return p; },
+      [](uint32_t s, uint32_t, uint32_t o) {
+        return static_cast<uint64_t>(o) << 32 | s;
+      },
+      &st.pos_offsets, &st.pos_bytes));
+  KG_RETURN_IF_ERROR(build_order(
+      osp_counts, [](uint32_t, uint32_t, uint32_t o) { return o; },
+      [](uint32_t s, uint32_t p, uint32_t) {
+        return static_cast<uint64_t>(p) << 32 | s;
+      },
+      &st.osp_offsets, &st.osp_bytes));
+
+  // Name indexes, one table per node kind plus one for predicates.
+  std::array<size_t, 3> kind_counts{};
+  for (const uint8_t kind : st.node_kinds) ++kind_counts[kind <= 2 ? kind : 0];
+  for (size_t k = 0; k < 3; ++k) {
+    st.node_index[k].assign(IndexCapacity(kind_counts[k]),
+                            SnapshotIndexSlot{});
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t k = st.node_kinds[i] <= 2 ? st.node_kinds[i] : 0;
+    IndexInsert(&st.node_index[k], st.node_index[k].size() - 1,
+                st.NodeNameAt(i), static_cast<uint32_t>(i));
+  }
+  st.pred_index.assign(IndexCapacity(m), SnapshotIndexSlot{});
+  for (size_t i = 0; i < m; ++i) {
+    IndexInsert(&st.pred_index, st.pred_index.size() - 1, st.PredNameAt(i),
+                static_cast<uint32_t>(i));
+  }
+
+  KgSnapshot::RawParts parts;
+  parts.num_nodes = n;
+  parts.num_predicates = m;
+  parts.num_triples = st.num_triples;
+  parts.fingerprint = st.fingerprint;
+  parts.schema_version = kSnapshotSchemaVersion;
+  parts.sections[kSectionNodeKinds] = ViewOf(st.node_kinds);
+  parts.sections[kSectionNodeNameOffsets] = ViewOf(st.node_name_offsets);
+  parts.sections[kSectionNodeArena] = ViewOf(st.node_arena);
+  parts.sections[kSectionPredNameOffsets] = ViewOf(st.pred_name_offsets);
+  parts.sections[kSectionPredArena] = ViewOf(st.pred_arena);
+  parts.sections[kSectionSpoOffsets] = ViewOf(st.spo_offsets);
+  parts.sections[kSectionSpoBytes] = ViewOf(st.spo_bytes);
+  parts.sections[kSectionPosOffsets] = ViewOf(st.pos_offsets);
+  parts.sections[kSectionPosBytes] = ViewOf(st.pos_bytes);
+  parts.sections[kSectionOspOffsets] = ViewOf(st.osp_offsets);
+  parts.sections[kSectionOspBytes] = ViewOf(st.osp_bytes);
+  parts.sections[kSectionNodeIndexEntity] = ViewOf(st.node_index[0]);
+  parts.sections[kSectionNodeIndexText] = ViewOf(st.node_index[1]);
+  parts.sections[kSectionNodeIndexClass] = ViewOf(st.node_index[2]);
+  parts.sections[kSectionPredIndex] = ViewOf(st.pred_index);
+  return KgSnapshot::FromRawParts(parts, storage_);
+}
+
+// --- KgSnapshot ---------------------------------------------------------
+
+KgSnapshot KgSnapshot::FromRawParts(const RawParts& parts,
+                                    std::shared_ptr<const void> backing) {
+  KgSnapshot s;
+  s.num_nodes_ = parts.num_nodes;
+  s.num_predicates_ = parts.num_predicates;
+  s.num_triples_ = parts.num_triples;
+  s.fingerprint_ = parts.fingerprint;
+  s.schema_version_ = parts.schema_version;
+  const auto& sec = parts.sections;
+  const auto u8 = [](std::string_view v) {
+    return v.empty() ? nullptr : reinterpret_cast<const uint8_t*>(v.data());
+  };
+  const auto u32 = [](std::string_view v) {
+    return v.empty() ? nullptr : reinterpret_cast<const uint32_t*>(v.data());
+  };
+  const auto u64 = [](std::string_view v) {
+    return v.empty() ? nullptr : reinterpret_cast<const uint64_t*>(v.data());
+  };
+  s.node_kinds_ = u8(sec[kSectionNodeKinds]);
+  s.node_name_offsets_ = u32(sec[kSectionNodeNameOffsets]);
+  s.node_arena_ = sec[kSectionNodeArena].data();
+  s.node_arena_size_ = sec[kSectionNodeArena].size();
+  s.pred_name_offsets_ = u32(sec[kSectionPredNameOffsets]);
+  s.pred_arena_ = sec[kSectionPredArena].data();
+  s.pred_arena_size_ = sec[kSectionPredArena].size();
+  s.spo_ = CsrView{u64(sec[kSectionSpoOffsets]),
+                   u8(sec[kSectionSpoBytes]), sec[kSectionSpoBytes].size()};
+  s.pos_ = CsrView{u64(sec[kSectionPosOffsets]),
+                   u8(sec[kSectionPosBytes]), sec[kSectionPosBytes].size()};
+  s.osp_ = CsrView{u64(sec[kSectionOspOffsets]),
+                   u8(sec[kSectionOspBytes]), sec[kSectionOspBytes].size()};
+  const auto index = [](std::string_view v) {
+    IndexView out;
+    const size_t slots = v.size() / sizeof(SnapshotIndexSlot);
+    if (slots != 0) {
+      out.slots = reinterpret_cast<const SnapshotIndexSlot*>(v.data());
+      out.mask = slots - 1;
+    }
+    return out;
+  };
+  s.node_index_[0] = index(sec[kSectionNodeIndexEntity]);
+  s.node_index_[1] = index(sec[kSectionNodeIndexText]);
+  s.node_index_[2] = index(sec[kSectionNodeIndexClass]);
+  s.predicate_index_ = index(sec[kSectionPredIndex]);
+  s.backing_ = std::move(backing);
+  return s;
+}
 
 KgSnapshot KgSnapshot::Compile(const graph::KnowledgeGraph& kg) {
   // 1. Collect the live vocabulary: nodes and predicates that occur in at
@@ -126,23 +519,21 @@ KgSnapshot KgSnapshot::Compile(const graph::KnowledgeGraph& kg) {
               return kg.PredicateName(a) < kg.PredicateName(b);
             });
 
-  KgSnapshot snap;
+  SnapshotBuilder builder;
   std::vector<NodeId> node_remap(kg.num_nodes(), kInvalidNode);
-  snap.node_names_.reserve(node_order.size());
-  snap.node_kinds_.reserve(node_order.size());
   for (size_t i = 0; i < node_order.size(); ++i) {
     node_remap[node_order[i]] = static_cast<NodeId>(i);
-    snap.node_names_.push_back(kg.NodeName(node_order[i]));
-    snap.node_kinds_.push_back(kg.GetNodeKind(node_order[i]));
+    builder.AddNode(kg.NodeName(node_order[i]),
+                    kg.GetNodeKind(node_order[i]));
   }
   std::vector<PredicateId> pred_remap(kg.num_predicates(), 0);
-  snap.predicate_names_.reserve(pred_order.size());
   for (size_t i = 0; i < pred_order.size(); ++i) {
     pred_remap[pred_order[i]] = static_cast<PredicateId>(i);
-    snap.predicate_names_.push_back(kg.PredicateName(pred_order[i]));
+    builder.AddPredicate(kg.PredicateName(pred_order[i]));
   }
 
-  // 3. Remap triples into dense id space.
+  // 3. Remap triples into dense id space and sort once; the builder
+  //    replays the sorted vector per order.
   std::vector<std::array<uint32_t, 3>> triples;
   triples.reserve(live.size());
   for (graph::TripleId id : live) {
@@ -150,82 +541,23 @@ KgSnapshot KgSnapshot::Compile(const graph::KnowledgeGraph& kg) {
     triples.push_back({node_remap[t.subject], pred_remap[t.predicate],
                        node_remap[t.object]});
   }
-
-  snap.BuildIndexes(std::move(triples));
-  return snap;
-}
-
-void KgSnapshot::BuildIndexes(
-    std::vector<std::array<uint32_t, 3>> triples) {
   std::sort(triples.begin(), triples.end());
 
-  std::array<size_t, 3> kind_counts{};
-  for (const graph::NodeKind kind : node_kinds_) {
-    ++kind_counts[static_cast<size_t>(kind)];
-  }
-  for (size_t k = 0; k < node_index_.size(); ++k) {
-    node_index_[k].Reserve(kind_counts[k]);
-  }
-  for (size_t i = 0; i < node_names_.size(); ++i) {
-    node_index_[static_cast<size_t>(node_kinds_[i])].Insert(
-        node_names_[i], static_cast<uint32_t>(i));
-  }
-  predicate_index_.Reserve(predicate_names_.size());
-  for (size_t i = 0; i < predicate_names_.size(); ++i) {
-    predicate_index_.Insert(predicate_names_[i],
-                            static_cast<uint32_t>(i));
-  }
-
-  BuildCsr(
-      triples, num_nodes(), [](const auto& t) { return t[0]; },
-      [](const auto& t) { return Edge{t[1], t[2]}; }, &spo_offsets_, &spo_);
-  BuildCsr(
-      triples, num_predicates(), [](const auto& t) { return t[1]; },
-      [](const auto& t) { return Edge{t[2], t[0]}; }, &pos_offsets_, &pos_);
-  BuildCsr(
-      triples, num_nodes(), [](const auto& t) { return t[2]; },
-      [](const auto& t) { return Edge{t[1], t[0]}; }, &osp_offsets_, &osp_);
-
-  // FNV-1a over the canonical content (vocabulary in id order, triples in
-  // (s, p, o) order) — the whole snapshot is derivable from these, so
-  // equal fingerprints mean identical serving behavior.
-  uint64_t h = 14695981039346656037ULL;
-  for (size_t i = 0; i < node_names_.size(); ++i) {
-    HashU32(&h, static_cast<uint32_t>(node_kinds_[i]));
-    HashU32(&h, static_cast<uint32_t>(node_names_[i].size()));
-    HashBytes(&h, node_names_[i]);
-  }
-  for (const std::string& p : predicate_names_) {
-    HashU32(&h, static_cast<uint32_t>(p.size()));
-    HashBytes(&h, p);
-  }
-  for (const auto& t : triples) {
-    HashU32(&h, t[0]);
-    HashU32(&h, t[1]);
-    HashU32(&h, t[2]);
-  }
-  fingerprint_ = h;
-}
-
-void KgSnapshot::NameIndex::Reserve(size_t n) {
-  size_t capacity = 4;
-  while (capacity < 2 * n) capacity *= 2;
-  slots.assign(capacity, {0, 0});
-  mask = capacity - 1;
-}
-
-void KgSnapshot::NameIndex::Insert(std::string_view name, uint32_t id) {
-  const uint64_t h = Fnv1a64(name);
-  uint64_t slot = h & mask;
-  while (slots[slot].second != 0) slot = (slot + 1) & mask;
-  slots[slot] = {h, id + 1};
+  auto built = builder.Build([&triples](const SnapshotBuilder::TripleSink& sink) {
+    for (const auto& t : triples) sink(t[0], t[1], t[2]);
+  });
+  KG_CHECK_OK(built.status());  // ids and order are correct by construction
+  return *std::move(built);
 }
 
 Result<NodeId> KgSnapshot::FindNode(std::string_view name,
                                     NodeKind kind) const {
-  const uint32_t id = node_index_[static_cast<size_t>(kind)].Find(
-      name,
-      [this](uint32_t i) -> const std::string& { return node_names_[i]; });
+  const size_t k = static_cast<size_t>(kind) <= 2
+                       ? static_cast<size_t>(kind)
+                       : 0;
+  const uint32_t id = node_index_[k].Find(
+      name, static_cast<uint32_t>(num_nodes_),
+      [this](uint32_t i) { return NodeName(i); });
   if (id == UINT32_MAX) {
     return Status::NotFound("node not in snapshot: " + std::string(name));
   }
@@ -234,9 +566,8 @@ Result<NodeId> KgSnapshot::FindNode(std::string_view name,
 
 Result<PredicateId> KgSnapshot::FindPredicate(std::string_view name) const {
   const uint32_t id = predicate_index_.Find(
-      name, [this](uint32_t i) -> const std::string& {
-        return predicate_names_[i];
-      });
+      name, static_cast<uint32_t>(num_predicates_),
+      [this](uint32_t i) { return PredicateName(i); });
   if (id == UINT32_MAX) {
     return Status::NotFound("predicate not in snapshot: " +
                             std::string(name));
@@ -244,54 +575,176 @@ Result<PredicateId> KgSnapshot::FindPredicate(std::string_view name) const {
   return id;
 }
 
-std::span<const KgSnapshot::Edge> KgSnapshot::OutEdges(NodeId s) const {
-  KG_CHECK(s < num_nodes());
-  return {spo_.data() + spo_offsets_[s],
-          spo_.data() + spo_offsets_[s + 1]};
+KgSnapshot::EdgeRange KgSnapshot::Row(const CsrView& csr,
+                                      uint64_t row) const {
+  if (csr.offsets == nullptr || csr.bytes == nullptr) return EdgeRange();
+  uint64_t b = csr.offsets[row], e = csr.offsets[row + 1];
+  // Clamp hostile offsets to the physical section so a corrupt table can
+  // shorten a row, never escape it.
+  if (b > csr.byte_size) b = csr.byte_size;
+  if (e > csr.byte_size) e = csr.byte_size;
+  if (e < b) e = b;
+  return EdgeRange(csr.bytes + b, csr.bytes + e);
 }
 
-std::span<const KgSnapshot::Edge> KgSnapshot::InEdges(NodeId o) const {
-  KG_CHECK(o < num_nodes());
-  return {osp_.data() + osp_offsets_[o],
-          osp_.data() + osp_offsets_[o + 1]};
+KgSnapshot::EdgeRange KgSnapshot::OutEdges(NodeId s) const {
+  KG_CHECK(s < num_nodes_);
+  return Row(spo_, s);
 }
 
-std::span<const KgSnapshot::Edge> KgSnapshot::PredicateEdges(
-    PredicateId p) const {
-  KG_CHECK(p < num_predicates());
-  return {pos_.data() + pos_offsets_[p],
-          pos_.data() + pos_offsets_[p + 1]};
+KgSnapshot::EdgeRange KgSnapshot::InEdges(NodeId o) const {
+  KG_CHECK(o < num_nodes_);
+  return Row(osp_, o);
 }
 
-std::span<const KgSnapshot::Edge> KgSnapshot::ObjectEdges(
-    NodeId s, PredicateId p) const {
-  return EqualFirstRange(OutEdges(s), p);
+KgSnapshot::EdgeRange KgSnapshot::PredicateEdges(PredicateId p) const {
+  KG_CHECK(p < num_predicates_);
+  return Row(pos_, p);
 }
 
 std::vector<NodeId> KgSnapshot::Objects(NodeId s, PredicateId p) const {
-  const auto range = ObjectEdges(s, p);
   std::vector<NodeId> out;
-  out.reserve(range.size());
-  for (const Edge& e : range) out.push_back(e.second);
+  for (const Edge& e : OutEdges(s)) {
+    if (e.first < p) continue;
+    if (e.first > p) break;
+    out.push_back(e.second);
+  }
   return out;
+}
+
+size_t KgSnapshot::CountObjects(NodeId s, PredicateId p) const {
+  size_t count = 0;
+  for (const Edge& e : OutEdges(s)) {
+    if (e.first < p) continue;
+    if (e.first > p) break;
+    ++count;
+  }
+  return count;
 }
 
 std::vector<NodeId> KgSnapshot::Subjects(PredicateId p, NodeId o) const {
   std::vector<NodeId> out;
-  for (const Edge& e : EqualFirstRange(PredicateEdges(p), o)) {
+  for (const Edge& e : PredicateEdges(p)) {
+    if (e.first < o) continue;
+    if (e.first > o) break;
     out.push_back(e.second);
   }
   return out;
 }
 
 bool KgSnapshot::HasTriple(NodeId s, PredicateId p, NodeId o) const {
-  const auto range = EqualFirstRange(OutEdges(s), p);
-  return std::binary_search(
-      range.begin(), range.end(), Edge{p, o},
-      [](const Edge& a, const Edge& b) { return a.second < b.second; });
+  for (const Edge& e : OutEdges(s)) {
+    if (e.first < p) continue;
+    if (e.first > p) break;
+    if (e.second == o) return true;
+    if (e.second > o) break;
+  }
+  return false;
 }
 
-// --- Serialization ------------------------------------------------------
+KgSnapshot::Footprint KgSnapshot::MemoryFootprint() const {
+  const auto sections = SectionBytes();
+  Footprint f;
+  f.kind_bytes = sections[kSectionNodeKinds].size();
+  f.arena_bytes = sections[kSectionNodeArena].size() +
+                  sections[kSectionPredArena].size();
+  f.offset_bytes = sections[kSectionNodeNameOffsets].size() +
+                   sections[kSectionPredNameOffsets].size() +
+                   sections[kSectionSpoOffsets].size() +
+                   sections[kSectionPosOffsets].size() +
+                   sections[kSectionOspOffsets].size();
+  f.posting_bytes = sections[kSectionSpoBytes].size() +
+                    sections[kSectionPosBytes].size() +
+                    sections[kSectionOspBytes].size();
+  f.index_bytes = sections[kSectionNodeIndexEntity].size() +
+                  sections[kSectionNodeIndexText].size() +
+                  sections[kSectionNodeIndexClass].size() +
+                  sections[kSectionPredIndex].size();
+  return f;
+}
+
+std::array<std::string_view, kNumSnapshotSections> KgSnapshot::SectionBytes()
+    const {
+  std::array<std::string_view, kNumSnapshotSections> out{};
+  const auto view = [](const void* p, uint64_t bytes) {
+    return p == nullptr ? std::string_view()
+                        : std::string_view(static_cast<const char*>(p),
+                                           bytes);
+  };
+  out[kSectionNodeKinds] = view(node_kinds_, num_nodes_);
+  out[kSectionNodeNameOffsets] =
+      view(node_name_offsets_, (num_nodes_ + 1) * sizeof(uint32_t));
+  out[kSectionNodeArena] = view(node_arena_, node_arena_size_);
+  out[kSectionPredNameOffsets] =
+      view(pred_name_offsets_, (num_predicates_ + 1) * sizeof(uint32_t));
+  out[kSectionPredArena] = view(pred_arena_, pred_arena_size_);
+  out[kSectionSpoOffsets] =
+      view(spo_.offsets, (num_nodes_ + 1) * sizeof(uint64_t));
+  out[kSectionSpoBytes] = view(spo_.bytes, spo_.byte_size);
+  out[kSectionPosOffsets] =
+      view(pos_.offsets, (num_predicates_ + 1) * sizeof(uint64_t));
+  out[kSectionPosBytes] = view(pos_.bytes, pos_.byte_size);
+  out[kSectionOspOffsets] =
+      view(osp_.offsets, (num_nodes_ + 1) * sizeof(uint64_t));
+  out[kSectionOspBytes] = view(osp_.bytes, osp_.byte_size);
+  const auto index_view = [&view](const IndexView& idx) {
+    return idx.slots == nullptr
+               ? std::string_view()
+               : view(idx.slots, (idx.mask + 1) * sizeof(SnapshotIndexSlot));
+  };
+  out[kSectionNodeIndexEntity] = index_view(node_index_[0]);
+  out[kSectionNodeIndexText] = index_view(node_index_[1]);
+  out[kSectionNodeIndexClass] = index_view(node_index_[2]);
+  out[kSectionPredIndex] = index_view(predicate_index_);
+  return out;
+}
+
+uint64_t RecomputeFingerprint(const KgSnapshot& snapshot) {
+  uint64_t h = kFnvOffset;
+  for (NodeId n = 0; n < snapshot.num_nodes(); ++n) {
+    HashU32(&h, static_cast<uint32_t>(snapshot.NodeKindOf(n)));
+    const std::string_view name = snapshot.NodeName(n);
+    HashU32(&h, static_cast<uint32_t>(name.size()));
+    HashBytes(&h, name);
+  }
+  for (PredicateId p = 0; p < snapshot.num_predicates(); ++p) {
+    const std::string_view name = snapshot.PredicateName(p);
+    HashU32(&h, static_cast<uint32_t>(name.size()));
+    HashBytes(&h, name);
+  }
+  for (NodeId s = 0; s < snapshot.num_nodes(); ++s) {
+    for (const KgSnapshot::Edge& e : snapshot.OutEdges(s)) {
+      HashU32(&h, s);
+      HashU32(&h, e.first);
+      HashU32(&h, e.second);
+    }
+  }
+  return h;
+}
+
+void PublishSnapshotFootprint(const KgSnapshot& snapshot,
+                              obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const KgSnapshot::Footprint f = snapshot.MemoryFootprint();
+  registry->GetGauge("serve.snapshot.bytes.kinds")
+      .Set(static_cast<int64_t>(f.kind_bytes));
+  registry->GetGauge("serve.snapshot.bytes.arena")
+      .Set(static_cast<int64_t>(f.arena_bytes));
+  registry->GetGauge("serve.snapshot.bytes.offsets")
+      .Set(static_cast<int64_t>(f.offset_bytes));
+  registry->GetGauge("serve.snapshot.bytes.postings")
+      .Set(static_cast<int64_t>(f.posting_bytes));
+  registry->GetGauge("serve.snapshot.bytes.index")
+      .Set(static_cast<int64_t>(f.index_bytes));
+  registry->GetGauge("serve.snapshot.bytes.total")
+      .Set(static_cast<int64_t>(f.total()));
+  registry->GetGauge("serve.snapshot.nodes")
+      .Set(static_cast<int64_t>(snapshot.num_nodes()));
+  registry->GetGauge("serve.snapshot.triples")
+      .Set(static_cast<int64_t>(snapshot.num_triples()));
+}
+
+// --- TSV serialization --------------------------------------------------
 
 std::string SerializeSnapshot(const KgSnapshot& snapshot) {
   std::ostringstream out;
@@ -303,8 +756,7 @@ std::string SerializeSnapshot(const KgSnapshot& snapshot) {
         << graph::EscapeTsvField(snapshot.NodeName(n)) << '\n';
   }
   for (PredicateId p = 0; p < snapshot.num_predicates(); ++p) {
-    out << "P\t" << graph::EscapeTsvField(snapshot.PredicateName(p))
-        << '\n';
+    out << "P\t" << graph::EscapeTsvField(snapshot.PredicateName(p)) << '\n';
   }
   // Triples in canonical (s, p, o) order — exactly the SPO index walk.
   for (NodeId s = 0; s < snapshot.num_nodes(); ++s) {
@@ -339,8 +791,20 @@ Result<KgSnapshot> DeserializeSnapshot(const std::string& data) {
     return bad("malformed header counts");
   }
   if (version != 1) return bad("unsupported version " + header[1]);
+  // Every record occupies one physical line, so the header may not claim
+  // more records than the input could hold. Checked before any reserve —
+  // a hostile header must not size an allocation.
+  if (num_nodes > lines.size() || num_preds > lines.size() ||
+      num_triples > lines.size() ||
+      num_nodes + num_preds + num_triples > lines.size()) {
+    return bad("header counts exceed input size");
+  }
+  if (num_nodes >= UINT32_MAX || num_preds >= UINT32_MAX) {
+    return bad("header counts exceed id space");
+  }
 
-  KgSnapshot snap;
+  SnapshotBuilder builder;
+  size_t seen_nodes = 0, seen_preds = 0;
   std::vector<std::array<uint32_t, 3>> triples;
   triples.reserve(num_triples);
   for (size_t i = 1; i < lines.size(); ++i) {
@@ -350,14 +814,20 @@ Result<KgSnapshot> DeserializeSnapshot(const std::string& data) {
     const auto fields = Split(line, '\t');
     if (fields[0] == "N") {
       if (fields.size() != 3) return bad("N record needs 3 fields");
+      if (seen_nodes == num_nodes) return bad("more N records than header");
       KG_ASSIGN_OR_RETURN(const NodeKind kind, ParseKind(fields[1]));
-      snap.node_kinds_.push_back(kind);
-      snap.node_names_.push_back(graph::UnescapeTsvField(fields[2]));
+      builder.AddNode(graph::UnescapeTsvField(fields[2]), kind);
+      ++seen_nodes;
     } else if (fields[0] == "P") {
       if (fields.size() != 2) return bad("P record needs 2 fields");
-      snap.predicate_names_.push_back(graph::UnescapeTsvField(fields[1]));
+      if (seen_preds == num_preds) return bad("more P records than header");
+      builder.AddPredicate(graph::UnescapeTsvField(fields[1]));
+      ++seen_preds;
     } else if (fields[0] == "T") {
       if (fields.size() != 4) return bad("T record needs 4 fields");
+      if (triples.size() == num_triples) {
+        return bad("more T records than header");
+      }
       std::array<uint32_t, 3> t{};
       try {
         t[0] = static_cast<uint32_t>(std::stoul(fields[1]));
@@ -374,17 +844,13 @@ Result<KgSnapshot> DeserializeSnapshot(const std::string& data) {
       return bad("unknown record type: " + fields[0]);
     }
   }
-  if (snap.node_names_.size() != num_nodes) {
-    return bad("node count mismatch");
-  }
-  if (snap.predicate_names_.size() != num_preds) {
-    return bad("predicate count mismatch");
-  }
-  if (triples.size() != num_triples) {
-    return bad("triple count mismatch");
-  }
-  snap.BuildIndexes(std::move(triples));
-  return snap;
+  if (seen_nodes != num_nodes) return bad("node count mismatch");
+  if (seen_preds != num_preds) return bad("predicate count mismatch");
+  if (triples.size() != num_triples) return bad("triple count mismatch");
+  std::sort(triples.begin(), triples.end());
+  return builder.Build([&triples](const SnapshotBuilder::TripleSink& sink) {
+    for (const auto& t : triples) sink(t[0], t[1], t[2]);
+  });
 }
 
 Status SaveSnapshot(const KgSnapshot& snapshot, const std::string& path) {

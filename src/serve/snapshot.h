@@ -3,7 +3,9 @@
 
 #include <array>
 #include <cstdint>
-#include <span>
+#include <functional>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -12,6 +14,11 @@
 #include "common/hash.h"
 #include "common/status.h"
 #include "graph/knowledge_graph.h"
+#include "serve/varint.h"
+
+namespace kg::obs {
+class MetricsRegistry;
+}  // namespace kg::obs
 
 namespace kg::serve {
 
@@ -31,19 +38,58 @@ inline constexpr NodeId kInvalidNode = graph::kInvalidNode;
 /// engine (QueryEngine::TryExecute) and the RPC handshake.
 inline constexpr uint32_t kSnapshotSchemaVersion = 1;
 
+/// The sections of a compiled snapshot, in the order they appear in the
+/// binary file format (DESIGN.md §15). Exposed so the binary save/load
+/// path, the footprint accounting, and the fuzz tests all agree on one
+/// enumeration.
+enum SnapshotSection : size_t {
+  kSectionNodeKinds = 0,     ///< uint8_t[num_nodes]
+  kSectionNodeNameOffsets,   ///< uint32_t[num_nodes + 1] into node arena
+  kSectionNodeArena,         ///< concatenated node names, id order
+  kSectionPredNameOffsets,   ///< uint32_t[num_predicates + 1]
+  kSectionPredArena,         ///< concatenated predicate names, id order
+  kSectionSpoOffsets,        ///< uint64_t[num_nodes + 1] into SPO bytes
+  kSectionSpoBytes,          ///< varint edge rows, Edge{predicate, object}
+  kSectionPosOffsets,        ///< uint64_t[num_predicates + 1]
+  kSectionPosBytes,          ///< varint edge rows, Edge{object, subject}
+  kSectionOspOffsets,        ///< uint64_t[num_nodes + 1]
+  kSectionOspBytes,          ///< varint edge rows, Edge{predicate, subject}
+  kSectionNodeIndexEntity,   ///< IndexSlot[power of two], kEntity names
+  kSectionNodeIndexText,     ///< IndexSlot[power of two], kText names
+  kSectionNodeIndexClass,    ///< IndexSlot[power of two], kClass names
+  kSectionPredIndex,         ///< IndexSlot[power of two], predicate names
+  kNumSnapshotSections,
+};
+
+/// One slot of a persisted flat open-addressing name index: the 64-bit
+/// FNV-1a of the name, then the owning id + 1 (0 marks an empty slot).
+/// Fixed 16-byte layout so the table can live in the mmap'd file.
+struct SnapshotIndexSlot {
+  uint64_t hash = 0;
+  uint32_t id_plus_1 = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(SnapshotIndexSlot) == 16);
+
 /// An immutable, read-optimized compilation of a KnowledgeGraph: the live
 /// triple set re-interned into dense sorted ids with CSR-style adjacency in
 /// the three access orders the serving queries need —
 ///   SPO (per subject, sorted by predicate then object),
 ///   POS (per predicate, sorted by object then subject),
 ///   OSP (per object,  sorted by predicate then subject).
-/// Lookups are a binary search inside one contiguous span (O(log degree +
-/// answer)), against the builder KG's hash-map-of-vectors scans. Tombstoned
-/// triples and nodes/predicates that appear only in tombstones are compiled
-/// out, so the snapshot — including `Fingerprint()` — is a pure function of
-/// the asserted knowledge.
+/// Tombstoned triples and nodes/predicates that appear only in tombstones
+/// are compiled out, so the snapshot — including `Fingerprint()` — is a
+/// pure function of the asserted knowledge.
 ///
-/// Thread-safe for concurrent readers (it never mutates after Compile).
+/// Representation (built for 10M+ node worlds): names live in one string
+/// arena addressed by offset (no per-name allocation), and each CSR row is
+/// a count-prefixed delta-varint byte string (see AppendEdgeRow), decoded
+/// on the fly by EdgeRange. The whole object is a set of views over one
+/// backing allocation — either heap storage produced by SnapshotBuilder or
+/// an mmap'd snapshot file — so copies are shallow and loads stay
+/// O(pages touched).
+///
+/// Thread-safe for concurrent readers (it never mutates after build).
 class KgSnapshot {
  public:
   /// One adjacency entry; field meaning depends on the index it lives in.
@@ -54,14 +100,76 @@ class KgSnapshot {
     friend bool operator==(const Edge&, const Edge&) = default;
   };
 
+  /// A lazily decoded CSR row: forward-iterable, yields Edge in sorted
+  /// (first, second) order. Decoding is bounds-clamped — malformed bytes
+  /// end the range early rather than reading out of the row.
+  class EdgeRange {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::input_iterator_tag;
+      using value_type = Edge;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const Edge*;
+      using reference = const Edge&;
+
+      iterator() = default;
+      iterator(const uint8_t* p, const uint8_t* end, uint64_t count)
+          : p_(p), end_(end), left_(count) {
+        Advance();
+      }
+
+      reference operator*() const { return cur_; }
+      pointer operator->() const { return &cur_; }
+      iterator& operator++() {
+        Advance();
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator copy = *this;
+        Advance();
+        return copy;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.avail_ == b.avail_ && (!a.avail_ || a.p_ == b.p_);
+      }
+
+     private:
+      void Advance();
+
+      const uint8_t* p_ = nullptr;
+      const uint8_t* end_ = nullptr;
+      uint64_t left_ = 0;  ///< entries not yet decoded
+      bool avail_ = false;
+      Edge cur_{};
+    };
+
+    EdgeRange() = default;
+    /// Wraps one encoded row (empty bytes == empty row). Clamps a hostile
+    /// count to what the payload could physically hold (>= 2 bytes/edge).
+    EdgeRange(const uint8_t* begin, const uint8_t* end);
+
+    iterator begin() const { return iterator(payload_, end_, count_); }
+    iterator end() const { return iterator(); }
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+   private:
+    const uint8_t* payload_ = nullptr;
+    const uint8_t* end_ = nullptr;
+    uint64_t count_ = 0;
+  };
+
+  KgSnapshot() = default;
+
   /// Compiles the live triples of `kg`. O(V log V + T log T).
   static KgSnapshot Compile(const graph::KnowledgeGraph& kg);
 
   // --- Vocabulary -------------------------------------------------------
 
-  size_t num_nodes() const { return node_names_.size(); }
-  size_t num_predicates() const { return predicate_names_.size(); }
-  size_t num_triples() const { return spo_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_predicates() const { return num_predicates_; }
+  size_t num_triples() const { return num_triples_; }
 
   /// Looks up a node by (name, kind); NotFound when the pair never occurs
   /// in a live triple.
@@ -69,33 +177,41 @@ class KgSnapshot {
                           graph::NodeKind kind) const;
   Result<PredicateId> FindPredicate(std::string_view name) const;
 
-  const std::string& NodeName(NodeId id) const { return node_names_[id]; }
-  graph::NodeKind NodeKindOf(NodeId id) const { return node_kinds_[id]; }
-  const std::string& PredicateName(PredicateId id) const {
-    return predicate_names_[id];
+  /// The name bytes of `id`, viewing into the snapshot's arena. Valid as
+  /// long as the snapshot (or any copy of it) is alive.
+  std::string_view NodeName(NodeId id) const {
+    return ArenaSlice(node_name_offsets_, node_arena_, node_arena_size_,
+                      id);
+  }
+  graph::NodeKind NodeKindOf(NodeId id) const {
+    return static_cast<graph::NodeKind>(node_kinds_[id] <= 2
+                                            ? node_kinds_[id]
+                                            : 0);
+  }
+  std::string_view PredicateName(PredicateId id) const {
+    return ArenaSlice(pred_name_offsets_, pred_arena_, pred_arena_size_,
+                      id);
   }
 
   // --- Indexed access ---------------------------------------------------
 
   /// Out-edges of `s`: Edge{predicate, object}, sorted (p, o).
-  std::span<const Edge> OutEdges(NodeId s) const;
+  EdgeRange OutEdges(NodeId s) const;
 
   /// In-edges of `o`: Edge{predicate, subject}, sorted (p, s).
-  std::span<const Edge> InEdges(NodeId o) const;
+  EdgeRange InEdges(NodeId o) const;
 
   /// All assertions of `p`: Edge{object, subject}, sorted (o, s).
-  std::span<const Edge> PredicateEdges(PredicateId p) const;
+  EdgeRange PredicateEdges(PredicateId p) const;
 
-  /// The (s, p, *) slice of the SPO index: the contiguous out-edges of `s`
-  /// whose predicate is `p` (Edge{predicate, object}, objects ascending).
-  /// Zero-copy — this is the raw O(log deg(s)) index read the serving
-  /// latency claim is about.
-  std::span<const Edge> ObjectEdges(NodeId s, PredicateId p) const;
-
-  /// Objects o with (s, p, o), ascending. O(log deg(s) + |answer|).
+  /// Objects o with (s, p, o), ascending. One pass over row s with early
+  /// exit past predicate p: O(deg(s)) worst case, O(prefix) typical.
   std::vector<NodeId> Objects(NodeId s, PredicateId p) const;
 
-  /// Subjects s with (s, p, o), ascending. O(log deg(p) + |answer|).
+  /// |Objects(s, p)| without materializing the vector.
+  size_t CountObjects(NodeId s, PredicateId p) const;
+
+  /// Subjects s with (s, p, o), ascending.
   std::vector<NodeId> Subjects(PredicateId p, NodeId o) const;
 
   bool HasTriple(NodeId s, PredicateId p, NodeId o) const;
@@ -118,63 +234,161 @@ class KgSnapshot {
   /// understand.
   void OverrideSchemaVersion(uint32_t version) { schema_version_ = version; }
 
+  // --- Introspection ----------------------------------------------------
+
+  /// Resident size of the compiled representation, by component.
+  struct Footprint {
+    uint64_t kind_bytes = 0;      ///< node kind array
+    uint64_t arena_bytes = 0;     ///< node + predicate name bytes
+    uint64_t offset_bytes = 0;    ///< name-offset + CSR-offset arrays
+    uint64_t posting_bytes = 0;   ///< varint edge rows, all three orders
+    uint64_t index_bytes = 0;     ///< name index slot arrays
+
+    uint64_t total() const {
+      return kind_bytes + arena_bytes + offset_bytes + posting_bytes +
+             index_bytes;
+    }
+  };
+  Footprint MemoryFootprint() const;
+
+  /// Raw bytes of every section in SnapshotSection order; zero-copy views
+  /// into this snapshot. The binary serializer writes exactly these.
+  std::array<std::string_view, kNumSnapshotSections> SectionBytes() const;
+
+  /// Internal-format entry point used by SnapshotBuilder and the binary
+  /// loader: assembles a snapshot whose views point into `sections`
+  /// (which must outlive the snapshot via `backing` and satisfy the
+  /// alignment of their element types). Callers are responsible for the
+  /// structural validity of the bytes; the accessors above only promise
+  /// memory safety (bounds clamping), not correct answers, for byte
+  /// soup.
+  struct RawParts {
+    uint64_t num_nodes = 0;
+    uint64_t num_predicates = 0;
+    uint64_t num_triples = 0;
+    uint64_t fingerprint = 0;
+    uint32_t schema_version = kSnapshotSchemaVersion;
+    std::array<std::string_view, kNumSnapshotSections> sections;
+  };
+  static KgSnapshot FromRawParts(const RawParts& parts,
+                                 std::shared_ptr<const void> backing);
+
  private:
-  friend Result<KgSnapshot> DeserializeSnapshot(const std::string& data);
+  friend class SnapshotBuilder;
 
-  /// Rebuilds the CSR indexes and fingerprint from the vocabulary tables
-  /// and `triples` (s, p, o), which must reference valid ids. Shared by
-  /// Compile and DeserializeSnapshot.
-  void BuildIndexes(std::vector<std::array<uint32_t, 3>> triples);
+  /// A persisted flat open-addressing name index (power-of-two slots,
+  /// linear probing, <= 50% load when built). Probes are capped at the
+  /// slot count so corrupt tables terminate.
+  struct IndexView {
+    const SnapshotIndexSlot* slots = nullptr;
+    uint64_t mask = 0;  ///< slot count - 1; slots == nullptr when empty
 
-  /// Flat open-addressing name index: a power-of-two slot array at <= 50%
-  /// load, probed linearly. Each slot stores (hash, id + 1) — second == 0
-  /// marks an empty slot — so a by-name probe scans one contiguous run of
-  /// slots, short-circuits on the 64-bit hash, and dereferences the actual
-  /// name at most once. This keeps the resolution step of every by-name
-  /// request to a couple of cache lines, where a chained hash map costs a
-  /// bucket pointer chase per probe.
-  struct NameIndex {
-    std::vector<std::pair<uint64_t, uint32_t>> slots;
-    uint64_t mask = 0;
-
-    /// Sizes the table for `n` entries and clears it.
-    void Reserve(size_t n);
-    /// Inserts a name that is not already present (snapshot vocabularies
-    /// are unique per table).
-    void Insert(std::string_view name, uint32_t id);
-    /// Returns the id inserted under `name`, or UINT32_MAX when absent.
-    /// `name_of` maps a candidate id back to its name for the final
-    /// equality check on hash match.
     template <typename NameOf>
-    uint32_t Find(std::string_view name, NameOf&& name_of) const {
-      if (slots.empty()) return UINT32_MAX;
+    uint32_t Find(std::string_view name, uint32_t id_limit,
+                  NameOf&& name_of) const {
+      if (slots == nullptr) return UINT32_MAX;
       const uint64_t h = Fnv1a64(name);
-      for (uint64_t slot = h & mask;; slot = (slot + 1) & mask) {
-        const auto& [slot_hash, slot_id] = slots[slot];
-        if (slot_id == 0) return UINT32_MAX;
-        if (slot_hash == h && name_of(slot_id - 1) == name) {
-          return slot_id - 1;
+      for (uint64_t probe = 0, slot = h & mask; probe <= mask;
+           ++probe, slot = (slot + 1) & mask) {
+        const SnapshotIndexSlot& s = slots[slot];
+        if (s.id_plus_1 == 0) return UINT32_MAX;
+        if (s.hash == h) {
+          const uint32_t id = s.id_plus_1 - 1;
+          if (id < id_limit && name_of(id) == name) return id;
         }
       }
+      return UINT32_MAX;  // corrupt over-full table: every slot probed
     }
   };
 
-  std::vector<std::string> node_names_;
-  std::vector<graph::NodeKind> node_kinds_;
-  std::vector<std::string> predicate_names_;
-  std::array<NameIndex, 3> node_index_;  ///< One table per NodeKind.
-  NameIndex predicate_index_;
+  /// One CSR order: row i's encoded bytes are bytes[offsets[i],
+  /// offsets[i+1]).
+  struct CsrView {
+    const uint64_t* offsets = nullptr;  ///< rows + 1 entries
+    const uint8_t* bytes = nullptr;
+    uint64_t byte_size = 0;
+  };
 
-  // CSR: offsets_[i]..offsets_[i+1] delimit row i of the entry array.
-  std::vector<uint32_t> spo_offsets_;
-  std::vector<Edge> spo_;
-  std::vector<uint32_t> pos_offsets_;
-  std::vector<Edge> pos_;
-  std::vector<uint32_t> osp_offsets_;
-  std::vector<Edge> osp_;
+  static std::string_view ArenaSlice(const uint32_t* offsets,
+                                     const char* arena, uint64_t arena_size,
+                                     uint32_t id) {
+    uint64_t b = offsets[id], e = offsets[id + 1];
+    if (b > arena_size) b = arena_size;
+    if (e > arena_size) e = arena_size;
+    if (e < b) e = b;
+    return {arena + b, static_cast<size_t>(e - b)};
+  }
+
+  EdgeRange Row(const CsrView& csr, uint64_t row) const;
+
+  uint64_t num_nodes_ = 0;
+  uint64_t num_predicates_ = 0;
+  uint64_t num_triples_ = 0;
+
+  const uint8_t* node_kinds_ = nullptr;
+  const uint32_t* node_name_offsets_ = nullptr;
+  const char* node_arena_ = nullptr;
+  uint64_t node_arena_size_ = 0;
+  const uint32_t* pred_name_offsets_ = nullptr;
+  const char* pred_arena_ = nullptr;
+  uint64_t pred_arena_size_ = 0;
+
+  CsrView spo_{};
+  CsrView pos_{};
+  CsrView osp_{};
+
+  std::array<IndexView, 3> node_index_{};  ///< One table per NodeKind.
+  IndexView predicate_index_{};
 
   uint64_t fingerprint_ = 0;
   uint32_t schema_version_ = kSnapshotSchemaVersion;
+
+  /// Owns whatever the views point into (heap storage or an mmap).
+  std::shared_ptr<const void> backing_;
+};
+
+/// Appends the encoding of one CSR row to `out`: varint(edge count), then
+/// per edge varint(first - prev.first) followed by varint(second -
+/// prev.second) when the first delta is zero, else varint(second).
+/// Precondition: `edges` sorted by (first, second). An empty row encodes
+/// to zero bytes.
+void AppendEdgeRow(std::string* out,
+                   const std::vector<KgSnapshot::Edge>& edges);
+
+/// Decodes a full row back to a vector (test/verify helper — the serving
+/// path iterates EdgeRange instead). Strict: returns false on malformed
+/// bytes, a count mismatch, unsorted edges, or trailing garbage.
+bool DecodeEdgeRow(std::string_view bytes,
+                   std::vector<KgSnapshot::Edge>* out);
+
+/// Streams a snapshot together without materializing a KnowledgeGraph:
+/// feed the vocabulary in dense-id order, then Build() with a triple
+/// stream. Peak transient memory is O(vocab + 8 bytes * max per-order
+/// postings), independent of how the triples are produced.
+class SnapshotBuilder {
+ public:
+  using TripleSink = std::function<void(uint32_t s, uint32_t p, uint32_t o)>;
+  using TripleStream = std::function<void(const TripleSink&)>;
+
+  SnapshotBuilder();
+
+  /// Phase 1: vocabulary, in the exact dense-id order the triples will
+  /// reference. For canonical (Compile-equal) snapshots that order is
+  /// (kind, name)-sorted nodes and name-sorted predicates.
+  void AddNode(std::string_view name, graph::NodeKind kind);
+  void AddPredicate(std::string_view name);
+
+  /// Phase 2: `stream` must invoke the sink once per triple, sorted by
+  /// (s, p, o) (duplicates allowed), and must replay the identical
+  /// sequence each time it is called — Build calls it up to three times,
+  /// once per CSR order. Returns InvalidArgument on out-of-range ids or
+  /// ordering violations.
+  Result<KgSnapshot> Build(const TripleStream& stream);
+
+ private:
+  struct Storage;
+  std::shared_ptr<Storage> storage_;
+  bool built_ = false;
 };
 
 /// Serializes a snapshot to a versioned TSV text format (vocabulary in id
@@ -184,12 +398,25 @@ std::string SerializeSnapshot(const KgSnapshot& snapshot);
 
 /// Parses `SerializeSnapshot` output; rejects malformed or out-of-range
 /// input with a descriptive status. Round-trips bit-identically
-/// (fingerprint, vocabulary, and adjacency all preserved).
+/// (fingerprint, vocabulary, and adjacency all preserved). Header counts
+/// are bounds-checked against the physical input size before any
+/// allocation, so hostile headers cannot drive huge reserves.
 Result<KgSnapshot> DeserializeSnapshot(const std::string& data);
 
 /// File convenience wrappers.
 Status SaveSnapshot(const KgSnapshot& snapshot, const std::string& path);
 Result<KgSnapshot> LoadSnapshot(const std::string& path);
+
+/// Recomputes the canonical FNV-1a fingerprint from the snapshot's
+/// vocabulary and SPO walk (the same function Compile evaluates). Used by
+/// the binary loader's verify mode and the property tests; O(content).
+uint64_t RecomputeFingerprint(const KgSnapshot& snapshot);
+
+/// Publishes the component byte sizes of `snapshot` (MemoryFootprint plus
+/// node/triple counts) as `serve.snapshot.*` gauges. No-op when
+/// `registry` is null.
+void PublishSnapshotFootprint(const KgSnapshot& snapshot,
+                              obs::MetricsRegistry* registry);
 
 }  // namespace kg::serve
 

@@ -1,0 +1,291 @@
+#include "serve/snapshot_binary.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include "common/hash.h"
+
+namespace kg::serve {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+struct ParsedHeader {
+  uint32_t container_version = 0;
+  uint32_t schema_version = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_predicates = 0;
+  uint64_t num_triples = 0;
+  uint64_t fingerprint = 0;
+  struct Section {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+  };
+  std::array<Section, kNumSnapshotSections> sections;
+  uint32_t payload_checksum = 0;
+};
+
+/// Validates everything about `data` except the payload checksum and
+/// returns the parsed header. Every check here is O(1); passing means the
+/// section table is structurally sound — each section lies inside the
+/// file, is aligned for its element type, and has exactly the size the
+/// header counts demand — so FromRawParts views can be wired without
+/// touching a payload byte.
+Result<ParsedHeader> ValidateHeader(std::string_view data) {
+  const auto bad = [](const char* why) {
+    return Status::InvalidArgument(std::string("binary snapshot: ") + why);
+  };
+  if (data.size() < kBinarySnapshotHeaderSize) return bad("truncated header");
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  if (std::memcmp(p, kBinarySnapshotMagic, 8) != 0) return bad("bad magic");
+
+  ParsedHeader h;
+  h.container_version = ReadU32(p + 8);
+  h.schema_version = ReadU32(p + 12);
+  h.num_nodes = ReadU64(p + 16);
+  h.num_predicates = ReadU64(p + 24);
+  h.num_triples = ReadU64(p + 32);
+  h.fingerprint = ReadU64(p + 40);
+  size_t at = 48;
+  for (size_t i = 0; i < kNumSnapshotSections; ++i) {
+    h.sections[i].offset = ReadU64(p + at);
+    h.sections[i].size = ReadU64(p + at + 8);
+    at += 16;
+  }
+  h.payload_checksum = ReadU32(p + at);
+  const uint32_t header_checksum = ReadU32(p + at + 4);
+
+  // The header checksum gates everything parsed above: a flipped bit in
+  // a count or a section-table entry is caught before any derived check
+  // could be reasoned about with corrupt inputs.
+  if (Checksum32(data.substr(0, kBinarySnapshotHeaderSize - 4)) !=
+      header_checksum) {
+    return bad("header checksum mismatch");
+  }
+  if (h.container_version != kBinarySnapshotContainerVersion) {
+    return Status::Unavailable(
+        "binary snapshot: container version " +
+        std::to_string(h.container_version) + " newer than supported " +
+        std::to_string(kBinarySnapshotContainerVersion));
+  }
+  if (h.num_nodes >= UINT32_MAX || h.num_predicates >= UINT32_MAX) {
+    return bad("counts exceed 32-bit id space");
+  }
+
+  // Per-section bounds: overflow-safe (size is checked against the space
+  // *after* offset, never via offset + size).
+  for (const auto& s : h.sections) {
+    if (s.offset < kBinarySnapshotHeaderSize || s.offset > data.size()) {
+      return bad("section offset out of bounds");
+    }
+    if (s.size > data.size() - s.offset) return bad("section overruns file");
+  }
+
+  // Exact sizes implied by the counts. These are what make the zero-copy
+  // views memory-safe: ArenaSlice may read offsets[id + 1] for any valid
+  // id, so the offset arrays must physically hold count + 1 entries.
+  const auto expect = [&bad](const ParsedHeader::Section& s, uint64_t bytes,
+                             uint64_t align) -> Status {
+    if (s.size != bytes) return bad("section size does not match counts");
+    if (align > 1 && s.offset % align != 0) return bad("misaligned section");
+    return Status::OK();
+  };
+  const uint64_t n = h.num_nodes, m = h.num_predicates;
+  KG_RETURN_IF_ERROR(expect(h.sections[kSectionNodeKinds], n, 1));
+  KG_RETURN_IF_ERROR(
+      expect(h.sections[kSectionNodeNameOffsets], (n + 1) * 4, 4));
+  KG_RETURN_IF_ERROR(
+      expect(h.sections[kSectionPredNameOffsets], (m + 1) * 4, 4));
+  KG_RETURN_IF_ERROR(expect(h.sections[kSectionSpoOffsets], (n + 1) * 8, 8));
+  KG_RETURN_IF_ERROR(expect(h.sections[kSectionPosOffsets], (m + 1) * 8, 8));
+  KG_RETURN_IF_ERROR(expect(h.sections[kSectionOspOffsets], (n + 1) * 8, 8));
+  // Variable-size sections: arenas and posting bytes are free-form (the
+  // accessors clamp), index tables must be whole power-of-two slot
+  // arrays so the probe mask is valid.
+  for (const SnapshotSection sec :
+       {kSectionNodeIndexEntity, kSectionNodeIndexText,
+        kSectionNodeIndexClass, kSectionPredIndex}) {
+    const auto& s = h.sections[sec];
+    if (s.size % sizeof(SnapshotIndexSlot) != 0) {
+      return bad("index section not a whole slot array");
+    }
+    const uint64_t slots = s.size / sizeof(SnapshotIndexSlot);
+    if (slots != 0 && (slots & (slots - 1)) != 0) {
+      return bad("index slot count not a power of two");
+    }
+    if (s.size != 0 && s.offset % 8 != 0) return bad("misaligned section");
+  }
+  for (const SnapshotSection sec : {kSectionNodeArena, kSectionPredArena}) {
+    if (h.sections[sec].size > UINT32_MAX) {
+      return bad("arena exceeds 32-bit offset space");
+    }
+  }
+  return h;
+}
+
+/// Wires a validated header + backing bytes into a snapshot.
+KgSnapshot Assemble(const ParsedHeader& h, std::string_view data,
+                    std::shared_ptr<const void> backing) {
+  KgSnapshot::RawParts parts;
+  parts.num_nodes = h.num_nodes;
+  parts.num_predicates = h.num_predicates;
+  parts.num_triples = h.num_triples;
+  parts.fingerprint = h.fingerprint;
+  parts.schema_version = h.schema_version;
+  for (size_t i = 0; i < kNumSnapshotSections; ++i) {
+    parts.sections[i] = data.substr(h.sections[i].offset, h.sections[i].size);
+  }
+  return KgSnapshot::FromRawParts(parts, std::move(backing));
+}
+
+Result<KgSnapshot> ParseBinary(std::string_view data, BinaryVerify verify,
+                               std::shared_ptr<const void> backing) {
+  KG_ASSIGN_OR_RETURN(const ParsedHeader h, ValidateHeader(data));
+  if (verify == BinaryVerify::kChecksum &&
+      Checksum32(data.substr(kBinarySnapshotHeaderSize)) !=
+          h.payload_checksum) {
+    return Status::InvalidArgument("binary snapshot: payload checksum mismatch");
+  }
+  return Assemble(h, data, std::move(backing));
+}
+
+/// An mmap'd file region released with the last snapshot view into it.
+struct Mapping {
+  void* base = nullptr;
+  size_t size = 0;
+
+  ~Mapping() {
+    if (base != nullptr) ::munmap(base, size);
+  }
+};
+
+}  // namespace
+
+std::string SerializeSnapshotBinary(const KgSnapshot& snapshot) {
+  const auto sections = snapshot.SectionBytes();
+
+  // Lay out the payload: sections in enum order, each 8-aligned.
+  std::array<uint64_t, kNumSnapshotSections> offsets{};
+  uint64_t at = kBinarySnapshotHeaderSize;
+  for (size_t i = 0; i < kNumSnapshotSections; ++i) {
+    at = (at + 7) & ~uint64_t{7};
+    offsets[i] = at;
+    at += sections[i].size();
+  }
+
+  std::string payload;
+  payload.reserve(at - kBinarySnapshotHeaderSize);
+  for (size_t i = 0; i < kNumSnapshotSections; ++i) {
+    payload.append(
+        offsets[i] - kBinarySnapshotHeaderSize - payload.size(), '\0');
+    payload.append(sections[i]);
+  }
+
+  std::string out;
+  out.reserve(kBinarySnapshotHeaderSize + payload.size());
+  out.append(kBinarySnapshotMagic, 8);
+  AppendU32(&out, kBinarySnapshotContainerVersion);
+  AppendU32(&out, snapshot.schema_version());
+  AppendU64(&out, snapshot.num_nodes());
+  AppendU64(&out, snapshot.num_predicates());
+  AppendU64(&out, snapshot.num_triples());
+  AppendU64(&out, snapshot.Fingerprint());
+  for (size_t i = 0; i < kNumSnapshotSections; ++i) {
+    AppendU64(&out, offsets[i]);
+    AppendU64(&out, sections[i].size());
+  }
+  AppendU32(&out, Checksum32(payload));
+  AppendU32(&out, Checksum32(out));  // header checksum over all bytes so far
+  out.append(payload);
+  return out;
+}
+
+Result<KgSnapshot> DeserializeSnapshotBinary(std::string_view data,
+                                             BinaryVerify verify) {
+  // Copy into an 8-aligned heap buffer: the u32/u64 section views cast
+  // to typed pointers, and a std::string caller buffer guarantees no
+  // alignment. uint64_t allocation alignment covers every section type.
+  const size_t words = (data.size() + 7) / 8;
+  auto buf = std::make_shared<std::vector<uint64_t>>(words, 0);
+  if (!data.empty()) {  // empty vector data() may be null; memcpy is nonnull
+    std::memcpy(buf->data(), data.data(), data.size());
+  }
+  const std::string_view aligned(reinterpret_cast<const char*>(buf->data()),
+                                 data.size());
+  return ParseBinary(aligned, verify, std::move(buf));
+}
+
+Status SaveSnapshotBinary(const KgSnapshot& snapshot,
+                          const std::string& path) {
+  const std::string bytes = SerializeSnapshotBinary(snapshot);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<KgSnapshot> LoadSnapshotBinary(const std::string& path,
+                                      BinaryVerify verify) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("binary snapshot: empty file");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (base == MAP_FAILED) return Status::IoError("mmap failed: " + path);
+  auto mapping = std::make_shared<Mapping>();
+  mapping->base = base;
+  mapping->size = size;
+  // Page alignment of the mapping base satisfies every section's
+  // alignment; section offsets were checked relative to it.
+  return ParseBinary(
+      std::string_view(static_cast<const char*>(base), size), verify,
+      std::move(mapping));
+}
+
+}  // namespace kg::serve

@@ -1,0 +1,81 @@
+#include "serve/varint.h"
+
+namespace kg::serve {
+
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+size_t DecodeVarint(const uint8_t* p, const uint8_t* end, uint64_t* out) {
+  uint64_t value = 0;
+  size_t n = 0;
+  for (; n < kMaxVarintBytes && p + n < end; ++n) {
+    const uint8_t byte = p[n];
+    const uint64_t group = byte & 0x7f;
+    if (n == 9) {
+      // Groups 0..8 cover 63 bits; the 10th group may only carry bit 63.
+      if (group > 1) return 0;  // would overflow uint64_t
+    }
+    value |= group << (7 * n);
+    if ((byte & 0x80) == 0) {
+      // Canonical form is minimal: a multi-byte encoding must not end in
+      // an all-zero group (it would also encode in one fewer byte).
+      if (n > 0 && group == 0) return 0;
+      *out = value;
+      return n + 1;
+    }
+  }
+  return 0;  // truncated, or continuation bit set past the 10-byte cap
+}
+
+void EncodeDeltaList(const std::vector<uint64_t>& ids, std::string* out) {
+  AppendVarint(out, ids.size());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    AppendVarint(out, i == 0 ? ids[0] : ids[i] - prev);
+    prev = ids[i];
+  }
+}
+
+namespace {
+
+bool DecodeDeltaListImpl(std::string_view bytes,
+                         std::vector<uint64_t>* out) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  const uint8_t* end = p + bytes.size();
+  uint64_t count = 0;
+  size_t n = DecodeVarint(p, end, &count);
+  if (n == 0) return false;
+  p += n;
+  // Each element costs at least one byte; a count the payload cannot hold
+  // is rejected up front so a hostile header can't drive a huge reserve.
+  if (count > static_cast<uint64_t>(end - p)) return false;
+  out->reserve(count);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    n = DecodeVarint(p, end, &delta);
+    if (n == 0) return false;
+    p += n;
+    const uint64_t value = (i == 0) ? delta : prev + delta;
+    if (i > 0 && value < prev) return false;  // delta overflowed
+    out->push_back(value);
+    prev = value;
+  }
+  return p == end;  // strict: no trailing garbage
+}
+
+}  // namespace
+
+bool DecodeDeltaList(std::string_view bytes, std::vector<uint64_t>* out) {
+  out->clear();
+  if (DecodeDeltaListImpl(bytes, out)) return true;
+  out->clear();
+  return false;
+}
+
+}  // namespace kg::serve

@@ -20,7 +20,7 @@ std::string Render(const NodeRef& n) {
 }
 
 NodeRef RefOf(const serve::KgSnapshot& base, serve::NodeId id) {
-  return NodeRef{base.NodeKindOf(id), base.NodeName(id)};
+  return NodeRef{base.NodeKindOf(id), std::string(base.NodeName(id))};
 }
 
 /// One epoch's worth of read state: a base snapshot plus the overlay that
@@ -76,13 +76,13 @@ struct MergedView {
     const auto s_id = base.FindNode(s.second, s.first);
     const auto p_id = base.FindPredicate(pred);
     if (s_id.ok() && p_id.ok()) {
-      for (const serve::KgSnapshot::Edge& e : base.ObjectEdges(*s_id, *p_id)) {
-        if (touched && Retracted(TripleName{s.first, s.second, pred,
-                                            base.NodeKindOf(e.second),
-                                            base.NodeName(e.second)})) {
+      for (const serve::NodeId o : base.Objects(*s_id, *p_id)) {
+        if (touched &&
+            Retracted(TripleName{s.first, s.second, pred, base.NodeKindOf(o),
+                                 std::string(base.NodeName(o))})) {
           continue;
         }
-        out.push_back(RefOf(base, e.second));
+        out.push_back(RefOf(base, o));
       }
     }
     if (touched) {
@@ -104,10 +104,11 @@ struct MergedView {
     const auto c_id = base.FindNode(c.second, c.first);
     if (c_id.ok()) {
       for (const serve::KgSnapshot::Edge& e : base.OutEdges(*c_id)) {
-        const std::string& pred = base.PredicateName(e.first);
-        if (touched && Retracted(TripleName{c.first, c.second, pred,
-                                            base.NodeKindOf(e.second),
-                                            base.NodeName(e.second)})) {
+        const std::string pred(base.PredicateName(e.first));
+        if (touched &&
+            Retracted(TripleName{c.first, c.second, pred,
+                                 base.NodeKindOf(e.second),
+                                 std::string(base.NodeName(e.second))})) {
           continue;
         }
         rows->push_back("out\t" + pred + '\t' + Render(RefOf(base, e.second)));
@@ -131,10 +132,11 @@ struct MergedView {
     const auto c_id = base.FindNode(c.second, c.first);
     if (c_id.ok()) {
       for (const serve::KgSnapshot::Edge& e : base.InEdges(*c_id)) {
-        const std::string& pred = base.PredicateName(e.first);
-        if (touched && Retracted(TripleName{base.NodeKindOf(e.second),
-                                            base.NodeName(e.second), pred,
-                                            c.first, c.second})) {
+        const std::string pred(base.PredicateName(e.first));
+        if (touched &&
+            Retracted(TripleName{base.NodeKindOf(e.second),
+                                 std::string(base.NodeName(e.second)), pred,
+                                 c.first, c.second})) {
           continue;
         }
         rows->push_back("in\t" + pred + '\t' + Render(RefOf(base, e.second)));
@@ -162,10 +164,10 @@ struct MergedView {
     const auto tp = base.FindPredicate(type_pred);
     if (cls.ok() && tp.ok()) {
       for (serve::NodeId s : base.Subjects(*tp, *cls)) {
-        if (touched && Retracted(TripleName{base.NodeKindOf(s),
-                                            base.NodeName(s), type_pred,
-                                            graph::NodeKind::kClass,
-                                            type_name})) {
+        if (touched &&
+            Retracted(TripleName{base.NodeKindOf(s),
+                                 std::string(base.NodeName(s)), type_pred,
+                                 graph::NodeKind::kClass, type_name})) {
           continue;
         }
         members.push_back(RefOf(base, s));
@@ -196,9 +198,9 @@ struct MergedView {
       for (const serve::KgSnapshot::Edge& e : base.OutEdges(*n_id)) {
         if (touches_s &&
             Retracted(TripleName{n.first, n.second,
-                                 base.PredicateName(e.first),
+                                 std::string(base.PredicateName(e.first)),
                                  base.NodeKindOf(e.second),
-                                 base.NodeName(e.second)})) {
+                                 std::string(base.NodeName(e.second))})) {
           continue;
         }
         out.push_back(RefOf(base, e.second));
@@ -206,9 +208,9 @@ struct MergedView {
       for (const serve::KgSnapshot::Edge& e : base.InEdges(*n_id)) {
         if (touches_o &&
             Retracted(TripleName{base.NodeKindOf(e.second),
-                                 base.NodeName(e.second),
-                                 base.PredicateName(e.first), n.first,
-                                 n.second})) {
+                                 std::string(base.NodeName(e.second)),
+                                 std::string(base.PredicateName(e.first)),
+                                 n.first, n.second})) {
           continue;
         }
         out.push_back(RefOf(base, e.second));
@@ -276,7 +278,8 @@ serve::QueryResult MergedAttributeByType(const MergedView& view,
     for (serve::NodeId s : base.Subjects(*tp, *cls)) {
       const bool touched = view.TouchedBaseNode(static_cast<uint32_t>(s));
       if (class_touched && touched &&
-          view.Retracted(TripleName{base.NodeKindOf(s), base.NodeName(s),
+          view.Retracted(TripleName{base.NodeKindOf(s),
+                                    std::string(base.NodeName(s)),
                                     q.type_predicate,
                                     graph::NodeKind::kClass, q.type_name})) {
         continue;
@@ -289,10 +292,10 @@ serve::QueryResult MergedAttributeByType(const MergedView& view,
           rows.push_back(subject + '\t' + Render(o));
         }
       } else if (p_id.ok()) {
-        for (const serve::KgSnapshot::Edge& e : base.ObjectEdges(s, *p_id)) {
+        for (const serve::NodeId o : base.Objects(s, *p_id)) {
           rows.push_back(subject + '\t' +
-                         serve::RenderNodeName(base.NodeName(e.second),
-                                               base.NodeKindOf(e.second)));
+                         serve::RenderNodeName(base.NodeName(o),
+                                               base.NodeKindOf(o)));
         }
       }
     }
@@ -356,23 +359,23 @@ serve::QueryResult MergedTopKRelated(const MergedView& view,
         // a raw CSR read. Overlay additions come from the per-node delta
         // scans (a handful of entries).
         const graph::NodeKind kind = base.NodeKindOf(id);
-        const std::string& name = base.NodeName(id);
+        const std::string name(base.NodeName(id));
         for (const serve::KgSnapshot::Edge& e : base.OutEdges(id)) {
           if (view.TouchedBaseNode(e.second) &&
-              view.Retracted(TripleName{kind, name,
-                                        base.PredicateName(e.first),
-                                        base.NodeKindOf(e.second),
-                                        base.NodeName(e.second)})) {
+              view.Retracted(TripleName{
+                  kind, name, std::string(base.PredicateName(e.first)),
+                  base.NodeKindOf(e.second),
+                  std::string(base.NodeName(e.second))})) {
             continue;
           }
           out.push_back(e.second);
         }
         for (const serve::KgSnapshot::Edge& e : base.InEdges(id)) {
           if (view.TouchedBaseNode(e.second) &&
-              view.Retracted(TripleName{base.NodeKindOf(e.second),
-                                        base.NodeName(e.second),
-                                        base.PredicateName(e.first), kind,
-                                        name})) {
+              view.Retracted(TripleName{
+                  base.NodeKindOf(e.second),
+                  std::string(base.NodeName(e.second)),
+                  std::string(base.PredicateName(e.first)), kind, name})) {
             continue;
           }
           out.push_back(e.second);
@@ -402,8 +405,9 @@ serve::QueryResult MergedTopKRelated(const MergedView& view,
   const auto kind_of = [&](uint32_t id) {
     return id < base_n ? base.NodeKindOf(id) : extra_refs[id - base_n]->first;
   };
-  const auto name_of = [&](uint32_t id) -> const std::string& {
-    return id < base_n ? base.NodeName(id) : extra_refs[id - base_n]->second;
+  const auto name_of = [&](uint32_t id) -> std::string_view {
+    if (id < base_n) return base.NodeName(id);
+    return extra_refs[id - base_n]->second;
   };
 
   const uint32_t center = local_id(NodeRef{q.node_kind, q.node});

@@ -66,8 +66,8 @@ TEST(SnapshotTest, LookupsMatchSourceGraph) {
 
   const auto subs = snap.Subjects(directed, ada);
   ASSERT_EQ(subs.size(), 2u);
-  std::vector<std::string> names{snap.NodeName(subs[0]),
-                                 snap.NodeName(subs[1])};
+  std::vector<std::string> names{std::string(snap.NodeName(subs[0])),
+                                 std::string(snap.NodeName(subs[1]))};
   std::sort(names.begin(), names.end());
   EXPECT_EQ(names, (std::vector<std::string>{"m1", "m2"}));
 
@@ -93,7 +93,8 @@ TEST(SnapshotTest, EdgeSpansAreSorted) {
                  NodeKind::kEntity, NodeKind::kEntity, kProv);
   }
   const KgSnapshot snap = KgSnapshot::Compile(kg);
-  const auto sorted_pairs = [](std::span<const KgSnapshot::Edge> edges) {
+  const auto sorted_pairs = [](const KgSnapshot::EdgeRange& range) {
+    const std::vector<KgSnapshot::Edge> edges(range.begin(), range.end());
     return std::is_sorted(edges.begin(), edges.end(),
                           [](const auto& a, const auto& b) {
                             return a.first != b.first
