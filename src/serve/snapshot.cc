@@ -222,6 +222,7 @@ struct SnapshotBuilder::Storage {
 
   uint64_t num_triples = 0;
   uint64_t fingerprint = 0;
+  bool arena_overflow = false;  ///< a name arena would exceed UINT32_MAX
 
   size_t num_nodes() const { return node_kinds.size(); }
   size_t num_preds() const { return pred_name_offsets.size() - 1; }
@@ -243,14 +244,26 @@ SnapshotBuilder::SnapshotBuilder() : storage_(std::make_shared<Storage>()) {}
 void SnapshotBuilder::AddNode(std::string_view name, graph::NodeKind kind) {
   KG_CHECK(!built_);
   storage_->node_kinds.push_back(static_cast<uint8_t>(kind));
-  storage_->node_arena.append(name);
+  // The offset table is uint32_t, so the arena must stay addressable in
+  // 32 bits (the loader enforces the same limit). Stop growing on
+  // overflow and let Build() report it, instead of wrapping the offsets
+  // into a self-consistent but corrupt snapshot.
+  if (name.size() > UINT32_MAX - storage_->node_arena.size()) {
+    storage_->arena_overflow = true;
+  } else {
+    storage_->node_arena.append(name);
+  }
   storage_->node_name_offsets.push_back(
       static_cast<uint32_t>(storage_->node_arena.size()));
 }
 
 void SnapshotBuilder::AddPredicate(std::string_view name) {
   KG_CHECK(!built_);
-  storage_->pred_arena.append(name);
+  if (name.size() > UINT32_MAX - storage_->pred_arena.size()) {
+    storage_->arena_overflow = true;
+  } else {
+    storage_->pred_arena.append(name);
+  }
   storage_->pred_name_offsets.push_back(
       static_cast<uint32_t>(storage_->pred_arena.size()));
 }
@@ -265,6 +278,9 @@ Result<KgSnapshot> SnapshotBuilder::Build(const TripleStream& stream) {
   const size_t m = st.num_preds();
   if (n >= UINT32_MAX || m >= UINT32_MAX) {
     return Status::InvalidArgument("vocabulary exceeds 32-bit id space");
+  }
+  if (st.arena_overflow) {
+    return Status::InvalidArgument("name arena exceeds 32-bit offset space");
   }
 
   // Fingerprint prefix: the vocabulary in id order (same walk the
@@ -588,17 +604,17 @@ KgSnapshot::EdgeRange KgSnapshot::Row(const CsrView& csr,
 }
 
 KgSnapshot::EdgeRange KgSnapshot::OutEdges(NodeId s) const {
-  KG_CHECK(s < num_nodes_);
+  if (s >= num_nodes_) return EdgeRange();
   return Row(spo_, s);
 }
 
 KgSnapshot::EdgeRange KgSnapshot::InEdges(NodeId o) const {
-  KG_CHECK(o < num_nodes_);
+  if (o >= num_nodes_) return EdgeRange();
   return Row(osp_, o);
 }
 
 KgSnapshot::EdgeRange KgSnapshot::PredicateEdges(PredicateId p) const {
-  KG_CHECK(p < num_predicates_);
+  if (p >= num_predicates_) return EdgeRange();
   return Row(pos_, p);
 }
 

@@ -178,22 +178,31 @@ class KgSnapshot {
   Result<PredicateId> FindPredicate(std::string_view name) const;
 
   /// The name bytes of `id`, viewing into the snapshot's arena. Valid as
-  /// long as the snapshot (or any copy of it) is alive.
+  /// long as the snapshot (or any copy of it) is alive. Out-of-range ids
+  /// (possible when corrupt postings are served under BinaryVerify::
+  /// kHeader) yield an empty name, never an out-of-bounds read.
   std::string_view NodeName(NodeId id) const {
+    if (id >= num_nodes_) return {};
     return ArenaSlice(node_name_offsets_, node_arena_, node_arena_size_,
                       id);
   }
   graph::NodeKind NodeKindOf(NodeId id) const {
+    if (id >= num_nodes_) return graph::NodeKind::kEntity;
     return static_cast<graph::NodeKind>(node_kinds_[id] <= 2
                                             ? node_kinds_[id]
                                             : 0);
   }
   std::string_view PredicateName(PredicateId id) const {
+    if (id >= num_predicates_) return {};
     return ArenaSlice(pred_name_offsets_, pred_arena_, pred_arena_size_,
                       id);
   }
 
   // --- Indexed access ---------------------------------------------------
+  // Out-of-range row ids yield an empty range rather than aborting:
+  // corrupt postings served under BinaryVerify::kHeader can put any
+  // uint32 into an Edge, and query paths (BFS expansion, merged reads)
+  // feed decoded ids straight back into these accessors.
 
   /// Out-edges of `s`: Edge{predicate, object}, sorted (p, o).
   EdgeRange OutEdges(NodeId s) const;
@@ -381,8 +390,9 @@ class SnapshotBuilder {
   /// Phase 2: `stream` must invoke the sink once per triple, sorted by
   /// (s, p, o) (duplicates allowed), and must replay the identical
   /// sequence each time it is called — Build calls it up to three times,
-  /// once per CSR order. Returns InvalidArgument on out-of-range ids or
-  /// ordering violations.
+  /// once per CSR order. Returns InvalidArgument on out-of-range ids,
+  /// ordering violations, or a vocabulary whose name arena would exceed
+  /// the 32-bit offset space of the snapshot format.
   Result<KgSnapshot> Build(const TripleStream& stream);
 
  private:

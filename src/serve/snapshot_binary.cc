@@ -5,9 +5,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <memory>
 
 #include "common/hash.h"
@@ -150,6 +152,23 @@ Result<ParsedHeader> ValidateHeader(std::string_view data) {
       return bad("arena exceeds 32-bit offset space");
     }
   }
+
+  // Sections must be mutually disjoint. The per-section checks above are
+  // what memory safety rests on, but a re-stamped header could still
+  // alias one section's bytes into another (offsets table over posting
+  // bytes, say) — reject so the section table is structurally sound, not
+  // merely in-bounds.
+  std::array<ParsedHeader::Section, kNumSnapshotSections> sorted = h.sections;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ParsedHeader::Section& a, const ParsedHeader::Section& b) {
+              return a.offset < b.offset;
+            });
+  uint64_t prev_end = kBinarySnapshotHeaderSize;
+  for (const auto& s : sorted) {
+    if (s.size == 0) continue;  // empty sections cannot alias anything
+    if (s.offset < prev_end) return bad("overlapping sections");
+    prev_end = s.offset + s.size;  // in-bounds per the checks above
+  }
   return h;
 }
 
@@ -248,15 +267,46 @@ Result<KgSnapshot> DeserializeSnapshotBinary(std::string_view data,
 Status SaveSnapshotBinary(const KgSnapshot& snapshot,
                           const std::string& path) {
   const std::string bytes = SerializeSnapshotBinary(snapshot);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open " + tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) return Status::IoError("write failed: " + tmp);
+  // mkstemp: concurrent saves to the same path must not stomp each
+  // other's in-flight temp file (last rename still wins, atomically).
+  std::string tmp = path + ".tmp.XXXXXX";
+  const int fd = ::mkstemp(tmp.data());
+  if (fd < 0) return Status::IoError("cannot create temp file for " + path);
+  Status status = Status::OK();
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = Status::IoError("write failed: " + tmp);
+      break;
+    }
+    written += static_cast<size_t>(n);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError("rename failed: " + path);
+  // Durability before visibility: the bytes must be on stable storage
+  // before rename publishes them under the final name, or a crash right
+  // after the rename could leave an empty/partial file at `path`.
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IoError("fsync failed: " + tmp);
+  }
+  ::close(fd);
+  if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::IoError("rename failed: " + path);
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Best-effort fsync of the directory so the rename itself survives a
+  // crash; some filesystems refuse directory fsync, which is fine.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   return Status::OK();
 }

@@ -68,18 +68,51 @@ size_t ExerciseSnapshot(const KgSnapshot& snap) {
   size_t sink = 0;
   const size_t nodes = snap.num_nodes();
   const size_t preds = snap.num_predicates();
+  // Render every decoded edge id exactly the way the query paths do
+  // (RenderNode, merged-read retraction checks): corrupt postings can
+  // put ANY uint32 into an Edge, and NodeName/NodeKindOf/PredicateName
+  // must clamp it rather than index the offset tables with it.
+  const auto render = [&snap, &sink](uint32_t pred_id, uint32_t node_id) {
+    sink += snap.PredicateName(pred_id).size();
+    sink += snap.NodeName(node_id).size();
+    sink += static_cast<size_t>(snap.NodeKindOf(node_id));
+  };
   for (size_t n = 0; n < nodes; ++n) {
     const NodeId id = static_cast<NodeId>(n);
     sink += snap.NodeName(id).size();
     sink += static_cast<size_t>(snap.NodeKindOf(id));
-    for (const KgSnapshot::Edge& e : snap.OutEdges(id)) sink += e.second;
-    for (const KgSnapshot::Edge& e : snap.InEdges(id)) sink += e.second;
+    for (const KgSnapshot::Edge& e : snap.OutEdges(id)) {
+      render(e.first, e.second);  // Edge{predicate, object}
+      // Expand through the decoded id the way TopKRelated's BFS does.
+      sink += snap.OutEdges(e.second).size();
+      sink += snap.InEdges(e.second).size();
+    }
+    for (const KgSnapshot::Edge& e : snap.InEdges(id)) {
+      render(e.first, e.second);  // Edge{predicate, subject}
+    }
     sink += snap.FindNode(snap.NodeName(id), snap.NodeKindOf(id)).ok();
   }
   for (size_t p = 0; p < preds; ++p) {
     const PredicateId id = static_cast<PredicateId>(p);
     sink += snap.PredicateName(id).size();
-    for (const KgSnapshot::Edge& e : snap.PredicateEdges(id)) sink += e.first;
+    for (const KgSnapshot::Edge& e : snap.PredicateEdges(id)) {
+      // Edge{object, subject}: both halves are node ids.
+      sink += snap.NodeName(e.first).size();
+      sink += snap.NodeName(e.second).size();
+      sink += static_cast<size_t>(snap.NodeKindOf(e.first));
+    }
+  }
+  // Out-of-range ids must degrade (empty name / default kind / empty
+  // range), never read or abort.
+  for (const uint32_t hostile :
+       {static_cast<uint32_t>(nodes), static_cast<uint32_t>(nodes + 1),
+        static_cast<uint32_t>(preds), UINT32_MAX}) {
+    sink += snap.NodeName(hostile).size();
+    sink += static_cast<size_t>(snap.NodeKindOf(hostile));
+    sink += snap.PredicateName(hostile).size();
+    sink += snap.OutEdges(hostile).size();
+    sink += snap.InEdges(hostile).size();
+    sink += snap.PredicateEdges(hostile).size();
   }
   if (nodes > 0 && preds > 0) {
     sink += snap.Objects(0, 0).size();
@@ -90,6 +123,10 @@ size_t ExerciseSnapshot(const KgSnapshot& snap) {
   const QueryEngine engine(snap);
   sink += engine.Execute(Query::Neighborhood("plain")).size();
   sink += engine.Execute(Query::PointLookup("e000000001", "has_brand")).size();
+  // TopKRelated BFS-expands decoded edge targets through OutEdges/
+  // InEdges and renders the winners; runs on whatever ids survive.
+  sink += engine.Execute(Query::TopKRelated("e000000001", 5)).size();
+  sink += engine.Execute(Query::TopKRelated("plain", 3)).size();
   return sink;
 }
 
@@ -200,6 +237,46 @@ TEST(SnapshotBinaryFuzzTest, MutatedHeadersNeverCrash) {
       auto result = DeserializeSnapshotBinary(mutated, verify);
       if (result.ok()) ExerciseSnapshot(*result);
     }
+  }
+}
+
+TEST(SnapshotBinaryFuzzTest, RejectsOverlappingSectionsEvenWithValidChecksums) {
+  // A crafted header can pass every per-section bounds/size/alignment
+  // check while aliasing two sections onto the same bytes. That is
+  // memory-safe but structurally unsound; the loader must reject it.
+  std::string bytes = SerializeSnapshotBinary(HostileSnapshot());
+  const auto read_u64 = [&bytes](size_t at) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[at + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  const auto write_u64 = [&bytes](size_t at, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes[at + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+  };
+  // Point the predicate arena at the node arena's bytes. Both are
+  // free-form byte sections (no size-from-counts or alignment demands),
+  // and the node arena is the larger, so every per-section check passes.
+  const size_t table = 48;
+  const uint64_t node_arena_off = read_u64(table + 16 * kSectionNodeArena);
+  write_u64(table + 16 * kSectionPredArena, node_arena_off);
+  // Re-stamp the header checksum; the payload bytes are untouched, so
+  // the payload checksum stays valid and overlap is the only defect.
+  const uint32_t fixed = Checksum32(
+      std::string_view(bytes).substr(0, kBinarySnapshotHeaderSize - 4));
+  for (int i = 0; i < 4; ++i) {
+    bytes[kBinarySnapshotHeaderSize - 4 + i] =
+        static_cast<char>((fixed >> (8 * i)) & 0xff);
+  }
+  for (const BinaryVerify verify :
+       {BinaryVerify::kHeader, BinaryVerify::kChecksum}) {
+    const auto result = DeserializeSnapshotBinary(bytes, verify);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   }
 }
 

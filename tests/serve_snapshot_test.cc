@@ -208,6 +208,28 @@ TEST(SnapshotTest, SaveLoadFileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotTest, OutOfRangeIdsDegradeInsteadOfReading) {
+  // Corrupt postings served under BinaryVerify::kHeader can hand any
+  // uint32 to these accessors (regression: NodeName used to index the
+  // offset table unclamped, and the edge accessors KG_CHECK-aborted).
+  const KgSnapshot snap = KgSnapshot::Compile(SampleKg());
+  const auto n = static_cast<NodeId>(snap.num_nodes());
+  const auto p = static_cast<PredicateId>(snap.num_predicates());
+  for (const uint32_t id : {n, n + 1, UINT32_MAX}) {
+    EXPECT_EQ(snap.NodeName(id), "");
+    EXPECT_EQ(snap.NodeKindOf(id), NodeKind::kEntity);
+    EXPECT_TRUE(snap.OutEdges(id).empty());
+    EXPECT_TRUE(snap.InEdges(id).empty());
+  }
+  for (const uint32_t id : {p, p + 1, UINT32_MAX}) {
+    EXPECT_EQ(snap.PredicateName(id), "");
+    EXPECT_TRUE(snap.PredicateEdges(id).empty());
+  }
+  // In-range behavior is unchanged.
+  EXPECT_NE(snap.NodeName(0), "");
+  EXPECT_FALSE(snap.OutEdges(0).empty() && snap.InEdges(0).empty());
+}
+
 TEST(SnapshotTest, EmptyGraphCompiles) {
   graph::KnowledgeGraph kg;
   const KgSnapshot snap = KgSnapshot::Compile(kg);
