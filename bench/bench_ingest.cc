@@ -1,0 +1,572 @@
+// E26: streaming ingest + hybrid symbolic/ANN QA — the gen-1 -> gen-3
+// loop closed end to end. Three phases:
+//
+//   A. Determinism sweep: 100 seeded mini-worlds x {1,2,8} workers with
+//      chaos rates cycling 0..25%, a reader hammering the live store
+//      during every run. Gates: the drained store fingerprint is
+//      bit-identical across worker counts AND equals the serial offline
+//      rebuild; committed mutations equal the oracle's (zero lost
+//      upserts); probe answers never diverge from an engine over the
+//      rebuild.
+//   B. Throughput: one larger world through the pipeline at 8 workers,
+//      wide-open and through a deliberately tiny queue (the
+//      backpressure/shed regime). Reports unit/mutation qps, per-stage
+//      p50/p99 from the obs histograms, and the shed rate.
+//   C. Hybrid QA: a popularity-biased crawl (coverage ~half the
+//      universe, head-skewed) ingested from an empty base, TransE +
+//      HNSW over the result, KgAnswerer vs HybridAnswerer per
+//      popularity bucket. Gates: ANN recall@10 >= 0.95 against brute
+//      force on the real QA query points; hybrid accuracy >= symbolic
+//      accuracy; symbolic accuracy ordered head >= torso >= tail (the
+//      popularity-biased coverage shape the paper's §4 study rests on).
+//
+// Emits BENCH_ingest.json; any gate failure exits non-zero.
+
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ann/hnsw.h"
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "dual/answerers.h"
+#include "dual/kg_embedding.h"
+#include "dual/qa_eval.h"
+#include "graph/knowledge_graph.h"
+#include "ingest/crawl.h"
+#include "ingest/pipeline.h"
+#include "obs/bench_sink.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "store/versioned_store.h"
+#include "synth/entity_universe.h"
+#include "synth/qa_generator.h"
+
+namespace {
+
+using namespace kg;  // NOLINT
+
+constexpr uint64_t kSeed = 42;
+constexpr size_t kNumWorlds = 100;
+const size_t kWorkerCounts[] = {1, 2, 8};
+constexpr double kRecallFloor = 0.95;
+
+// ---- Phase A ----------------------------------------------------------
+
+struct MiniWorld {
+  synth::EntityUniverse universe;
+  graph::KnowledgeGraph base;
+  ingest::CrawlPlan plan;
+};
+
+MiniWorld MakeMiniWorld(uint64_t seed) {
+  synth::UniverseOptions uo;
+  uo.num_people = 40;
+  uo.num_movies = 20;
+  uo.num_songs = 15;
+  Rng rng(seed);
+  MiniWorld w{synth::EntityUniverse::Generate(uo, rng), {}, {}};
+  w.base = w.universe.ToKnowledgeGraph();
+  ingest::CrawlPlanOptions po;
+  po.num_catalog_sources = 3;
+  po.records_per_chunk = 8;
+  po.num_websites = 2;
+  po.pages_per_site = 6;
+  w.plan = ingest::BuildCrawlPlan(w.universe, po, rng);
+  return w;
+}
+
+std::vector<serve::Query> ProbeQueries() {
+  std::vector<serve::Query> probes;
+  for (uint32_t id = 0; id < 4; ++id) {
+    const std::string person = synth::EntityUniverse::PersonNodeName(id);
+    probes.push_back(serve::Query::PointLookup(person, "name"));
+    probes.push_back(serve::Query::Neighborhood(person));
+  }
+  probes.push_back(serve::Query::AttributeByType("Movie", "release_year"));
+  probes.push_back(
+      serve::Query::TopKRelated(synth::EntityUniverse::PersonNodeName(0), 5));
+  return probes;
+}
+
+struct PhaseAResult {
+  size_t worlds = 0;
+  size_t runs = 0;
+  size_t fingerprint_divergences = 0;
+  size_t answer_divergences = 0;
+  uint64_t lost_upserts = 0;
+  size_t degraded_units = 0;
+  double seconds = 0.0;
+};
+
+PhaseAResult RunPhaseA() {
+  PhaseAResult out;
+  const std::vector<serve::Query> probes = ProbeQueries();
+  WallTimer clock;
+  for (size_t world_i = 0; world_i < kNumWorlds; ++world_i) {
+    const uint64_t seed = kSeed + world_i;
+    const double chaos = static_cast<double>(world_i % 6) * 0.05;
+    const MiniWorld w = MakeMiniWorld(seed);
+    const ingest::SurfaceLinker linker(w.base);
+
+    ingest::IngestOptions base_options;
+    base_options.seed = seed;
+    if (chaos > 0.0) base_options.faults = FaultPlan::Uniform(seed, chaos);
+
+    ingest::UnitContext ctx;
+    FaultInjector injector(base_options.faults);
+    if (base_options.faults.active()) ctx.faults = &injector;
+    ctx.retry = base_options.retry;
+    ctx.seed = base_options.seed;
+    uint64_t oracle_mutations = 0;
+    const graph::KnowledgeGraph rebuilt = ingest::OfflineRebuild(
+        w.plan, w.base, linker, ctx, nullptr, &oracle_mutations);
+    const uint64_t oracle_fp = graph::TripleSetFingerprint(rebuilt);
+    const serve::KgSnapshot oracle_snap = serve::KgSnapshot::Compile(rebuilt);
+    const serve::QueryEngine oracle_engine(oracle_snap);
+
+    for (size_t workers : kWorkerCounts) {
+      auto store = store::VersionedKgStore::Open(w.base, store::StoreOptions{});
+      KG_CHECK(store.ok()) << store.status().ToString();
+      ingest::IngestOptions options = base_options;
+      options.num_workers = workers;
+      options.queue_capacity = 8;
+      options.commit_unit_batch = 3;
+      ingest::IngestPipeline pipeline(**store, linker, w.plan, options);
+
+      // A reader keeps answering against live epochs during the run.
+      std::atomic<bool> stop{false};
+      std::thread reader([&] {
+        size_t i = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          (void)(*store)->Execute(probes[i++ % probes.size()]);
+        }
+      });
+      const ingest::IngestReport report = pipeline.RunAll();
+      stop.store(true, std::memory_order_release);
+      reader.join();
+
+      ++out.runs;
+      out.degraded_units += report.units_degraded;
+      if (report.mutations_committed != oracle_mutations ||
+          (*store)->applied_mutations() != oracle_mutations) {
+        out.lost_upserts +=
+            oracle_mutations > report.mutations_committed
+                ? oracle_mutations - report.mutations_committed
+                : 1;
+      }
+      if ((*store)->AuthoritativeFingerprint() != oracle_fp) {
+        ++out.fingerprint_divergences;
+      }
+      for (const serve::Query& q : probes) {
+        if ((*store)->Execute(q) != oracle_engine.Execute(q)) {
+          ++out.answer_divergences;
+        }
+      }
+    }
+    ++out.worlds;
+  }
+  out.seconds = clock.ElapsedSeconds();
+  return out;
+}
+
+// ---- Phase B ----------------------------------------------------------
+
+struct PhaseBResult {
+  size_t units = 0;
+  uint64_t mutations = 0;
+  double seconds = 0.0;
+  double unit_qps = 0.0;
+  double mutation_qps = 0.0;
+  double fetch_p50_us = 0.0, fetch_p99_us = 0.0;
+  double extract_p50_us = 0.0, extract_p99_us = 0.0;
+  double link_p50_us = 0.0, link_p99_us = 0.0;
+  double commit_p50_us = 0.0, commit_p99_us = 0.0;
+  uint64_t sheds = 0;
+  double shed_rate = 0.0;  ///< sheds / submission attempts, tiny queue.
+};
+
+PhaseBResult RunPhaseB() {
+  synth::UniverseOptions uo;
+  uo.num_people = 400;
+  uo.num_movies = 200;
+  uo.num_songs = 120;
+  Rng rng(kSeed);
+  const auto universe = synth::EntityUniverse::Generate(uo, rng);
+  const graph::KnowledgeGraph base = universe.ToKnowledgeGraph();
+  ingest::CrawlPlanOptions po;
+  po.num_catalog_sources = 8;
+  po.records_per_chunk = 16;
+  po.num_websites = 6;
+  po.pages_per_site = 40;
+  const ingest::CrawlPlan plan = ingest::BuildCrawlPlan(universe, po, rng);
+  const ingest::SurfaceLinker linker(base);
+
+  PhaseBResult out;
+  out.units = plan.num_units();
+
+  // Wide-open run: the throughput measurement.
+  obs::MetricsRegistry registry;
+  {
+    auto store = store::VersionedKgStore::Open(base, store::StoreOptions{});
+    KG_CHECK(store.ok());
+    ingest::IngestOptions options;
+    options.num_workers = 8;
+    options.queue_capacity = 64;
+    options.seed = kSeed;
+    options.registry = &registry;
+    ingest::IngestPipeline pipeline(**store, linker, plan, options);
+    WallTimer clock;
+    const ingest::IngestReport report = pipeline.RunAll();
+    out.seconds = clock.ElapsedSeconds();
+    out.mutations = report.mutations_committed;
+    out.unit_qps = static_cast<double>(report.units_processed) / out.seconds;
+    out.mutation_qps =
+        static_cast<double>(report.mutations_committed) / out.seconds;
+  }
+  const auto& buckets = obs::LatencyBucketsUs();
+  const obs::Histogram& fetch =
+      registry.GetHistogram("ingest.stage.fetch_us", buckets);
+  const obs::Histogram& extract =
+      registry.GetHistogram("ingest.stage.extract_us", buckets);
+  const obs::Histogram& link =
+      registry.GetHistogram("ingest.stage.link_us", buckets);
+  const obs::Histogram& commit =
+      registry.GetHistogram("ingest.stage.commit_us", buckets);
+  out.fetch_p50_us = fetch.Quantile(0.5);
+  out.fetch_p99_us = fetch.Quantile(0.99);
+  out.extract_p50_us = extract.Quantile(0.5);
+  out.extract_p99_us = extract.Quantile(0.99);
+  out.link_p50_us = link.Quantile(0.5);
+  out.link_p99_us = link.Quantile(0.99);
+  out.commit_p50_us = commit.Quantile(0.5);
+  out.commit_p99_us = commit.Quantile(0.99);
+
+  // Backpressure run: a 2-slot queue and a single hot submitter. Every
+  // TrySubmit that returns kUnavailable is a shed; the loop retries
+  // until accepted, so nothing is lost — the shed rate prices the
+  // backpressure, not data loss.
+  {
+    auto store = store::VersionedKgStore::Open(base, store::StoreOptions{});
+    KG_CHECK(store.ok());
+    ingest::IngestOptions options;
+    options.num_workers = 2;
+    options.queue_capacity = 2;
+    options.seed = kSeed;
+    ingest::IngestPipeline pipeline(**store, linker, plan, options);
+    pipeline.Start();
+    uint64_t attempts = 0;
+    for (size_t i = 0; i < plan.num_units(); ++i) {
+      while (true) {
+        ++attempts;
+        const Status s = pipeline.TrySubmit(i);
+        if (s.ok()) break;
+        KG_CHECK(IsRetriable(s.code())) << s.ToString();
+        std::this_thread::yield();
+      }
+    }
+    const ingest::IngestReport report = pipeline.Finish();
+    out.sheds = report.sheds;
+    out.shed_rate =
+        attempts == 0 ? 0.0
+                      : static_cast<double>(report.sheds) /
+                            static_cast<double>(attempts);
+    KG_CHECK(report.units_processed == plan.num_units());
+  }
+  return out;
+}
+
+// ---- Phase C ----------------------------------------------------------
+
+struct BucketRow {
+  std::string name;
+  double kg_accuracy = 0.0;
+  double hybrid_accuracy = 0.0;
+  double kg_abstention = 0.0;
+  double hybrid_abstention = 0.0;
+};
+
+struct PhaseCResult {
+  double recall_at_10 = 0.0;
+  size_t recall_queries = 0;
+  double kg_accuracy = 0.0;
+  double hybrid_accuracy = 0.0;
+  std::vector<BucketRow> buckets;
+  size_t ann_routed = 0;
+  bool ordering_ok = false;
+  bool recall_ok = false;
+  bool hybrid_ok = false;
+};
+
+PhaseCResult RunPhaseC() {
+  // A bigger universe crawled with popularity-biased partial coverage
+  // from an EMPTY base: what the KG knows afterwards is head-skewed,
+  // exactly the regime the §4 bucket study measures.
+  synth::UniverseOptions uo;
+  uo.num_people = 300;
+  uo.num_movies = 150;
+  uo.num_songs = 80;
+  Rng rng(kSeed + 7);
+  const auto universe = synth::EntityUniverse::Generate(uo, rng);
+  ingest::CrawlPlanOptions po;
+  po.num_catalog_sources = 6;
+  po.records_per_chunk = 12;
+  po.num_websites = 3;
+  po.pages_per_site = 20;
+  po.coverage = 0.45;
+  po.popularity_bias = 0.85;
+  const ingest::CrawlPlan plan = ingest::BuildCrawlPlan(universe, po, rng);
+
+  const graph::KnowledgeGraph empty_base;
+  const ingest::SurfaceLinker linker(empty_base);
+  auto store =
+      store::VersionedKgStore::Open(empty_base, store::StoreOptions{});
+  KG_CHECK(store.ok());
+  ingest::IngestOptions options;
+  options.num_workers = 8;
+  options.seed = kSeed + 7;
+  ingest::IngestPipeline pipeline(**store, linker, plan, options);
+  pipeline.RunAll();
+
+  // The served graph is the offline rebuild (same content as the store,
+  // by the phase-A gates — here we need the KnowledgeGraph itself).
+  ingest::UnitContext ctx;
+  const graph::KnowledgeGraph served =
+      ingest::OfflineRebuild(plan, empty_base, linker, ctx);
+  KG_CHECK(graph::TripleSetFingerprint(served) ==
+           (*store)->AuthoritativeFingerprint())
+      << "phase C rebuild diverged from the ingested store";
+
+  dual::KgEmbeddingOptions eo;
+  eo.transe.dim = 24;
+  eo.transe.epochs = 60;
+  eo.seed = kSeed + 7;
+  const dual::KgEmbeddingSpace space(served, eo);
+
+  synth::QaOptions qo;
+  qo.num_questions = 900;
+  Rng qa_rng(kSeed + 8);
+  const auto items = synth::GenerateQaWorkload(universe, qo, qa_rng);
+
+  PhaseCResult out;
+
+  // ANN recall@10 on the real query points (subject+predicate pairs the
+  // hybrid path actually searches), brute force as the oracle.
+  double recall_sum = 0.0;
+  for (const synth::QaItem& item : items) {
+    const auto query = space.EmbeddingQuery(item.subject_name, item.predicate);
+    if (!query.has_value()) continue;
+    const auto exact = space.index().BruteForce(*query, 10);
+    const auto approx = space.index().Search(*query, 10);
+    if (exact.empty()) continue;
+    size_t hit = 0;
+    for (const auto& e : exact) {
+      for (const auto& a : approx) {
+        if (a.id == e.id) {
+          ++hit;
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(hit) / static_cast<double>(exact.size());
+    ++out.recall_queries;
+  }
+  out.recall_at_10 =
+      out.recall_queries == 0 ? 0.0
+                              : recall_sum / static_cast<double>(
+                                                 out.recall_queries);
+  out.recall_ok = out.recall_queries > 0 && out.recall_at_10 >= kRecallFloor;
+
+  // Per-bucket symbolic vs hybrid.
+  dual::KgAnswerer kg_only(served);
+  dual::HybridAnswerer hybrid(served, space);
+  Rng rng_a(kSeed + 9), rng_b(kSeed + 9);
+  const dual::QaEvaluation kg_eval =
+      dual::EvaluateAnswerer(kg_only, items, rng_a);
+  const dual::QaEvaluation hybrid_eval =
+      dual::EvaluateAnswerer(hybrid, items, rng_b);
+  out.kg_accuracy = kg_eval.overall.accuracy;
+  out.hybrid_accuracy = hybrid_eval.overall.accuracy;
+  out.ann_routed = hybrid.ann_hits();
+
+  for (auto bucket : {synth::PopularityBucket::kHead,
+                      synth::PopularityBucket::kTorso,
+                      synth::PopularityBucket::kTail}) {
+    BucketRow row;
+    row.name = synth::PopularityBucketName(bucket);
+    const auto kg_it = kg_eval.by_bucket.find(bucket);
+    const auto hy_it = hybrid_eval.by_bucket.find(bucket);
+    if (kg_it != kg_eval.by_bucket.end()) {
+      row.kg_accuracy = kg_it->second.accuracy;
+      row.kg_abstention = kg_it->second.abstention_rate;
+    }
+    if (hy_it != hybrid_eval.by_bucket.end()) {
+      row.hybrid_accuracy = hy_it->second.accuracy;
+      row.hybrid_abstention = hy_it->second.abstention_rate;
+    }
+    out.buckets.push_back(row);
+  }
+  out.ordering_ok = out.buckets.size() == 3 &&
+                    out.buckets[0].kg_accuracy >= out.buckets[1].kg_accuracy &&
+                    out.buckets[1].kg_accuracy >= out.buckets[2].kg_accuracy;
+  out.hybrid_ok = out.hybrid_accuracy >= out.kg_accuracy;
+  return out;
+}
+
+std::string Pct(double v) { return FormatDouble(v * 100.0, 1) + "%"; }
+
+}  // namespace
+
+int main() {
+  std::cout << "E26: streaming ingest + hybrid symbolic/ANN QA (seed "
+            << kSeed << ")\n";
+
+  // ---- Phase A ---------------------------------------------------------
+  const PhaseAResult a = RunPhaseA();
+  PrintBanner(std::cout, "Phase A: determinism sweep (100 worlds x 1/2/8 "
+                         "workers, chaos 0-25%)");
+  TablePrinter a_table({"worlds", "runs", "fp divergences",
+                        "answer divergences", "lost upserts",
+                        "degraded units", "wall s"});
+  a_table.AddRow({std::to_string(a.worlds), std::to_string(a.runs),
+                  std::to_string(a.fingerprint_divergences),
+                  std::to_string(a.answer_divergences),
+                  std::to_string(a.lost_upserts),
+                  std::to_string(a.degraded_units),
+                  FormatDouble(a.seconds, 2)});
+  a_table.Print(std::cout);
+
+  // ---- Phase B ---------------------------------------------------------
+  const PhaseBResult b = RunPhaseB();
+  PrintBanner(std::cout, "Phase B: throughput (8 workers) + backpressure "
+                         "(2-slot queue)");
+  TablePrinter b_table({"stage", "p50 us", "p99 us"});
+  b_table.AddRow({"fetch", FormatDouble(b.fetch_p50_us, 1),
+                  FormatDouble(b.fetch_p99_us, 1)});
+  b_table.AddRow({"extract", FormatDouble(b.extract_p50_us, 1),
+                  FormatDouble(b.extract_p99_us, 1)});
+  b_table.AddRow({"link", FormatDouble(b.link_p50_us, 1),
+                  FormatDouble(b.link_p99_us, 1)});
+  b_table.AddRow({"commit", FormatDouble(b.commit_p50_us, 1),
+                  FormatDouble(b.commit_p99_us, 1)});
+  b_table.Print(std::cout);
+  std::cout << b.units << " units, " << b.mutations << " mutations in "
+            << FormatDouble(b.seconds, 3) << "s  ("
+            << FormatDouble(b.unit_qps, 0) << " units/s, "
+            << FormatDouble(b.mutation_qps, 0) << " mutations/s)\n"
+            << "backpressure: " << b.sheds << " sheds, shed rate "
+            << Pct(b.shed_rate) << " (all retried; nothing lost)\n";
+
+  // ---- Phase C ---------------------------------------------------------
+  const PhaseCResult c = RunPhaseC();
+  PrintBanner(std::cout, "Phase C: hybrid QA over the ingested KG "
+                         "(popularity-biased coverage)");
+  TablePrinter c_table(
+      {"bucket", "kg acc", "hybrid acc", "kg abstain", "hybrid abstain"});
+  for (const BucketRow& row : c.buckets) {
+    c_table.AddRow({row.name, Pct(row.kg_accuracy), Pct(row.hybrid_accuracy),
+                    Pct(row.kg_abstention), Pct(row.hybrid_abstention)});
+  }
+  c_table.AddRow({"all", Pct(c.kg_accuracy), Pct(c.hybrid_accuracy), "-",
+                  "-"});
+  c_table.Print(std::cout);
+  std::cout << "ANN recall@10 " << FormatDouble(c.recall_at_10, 4) << " over "
+            << c.recall_queries << " QA query points (floor "
+            << FormatDouble(kRecallFloor, 2) << "); " << c.ann_routed
+            << " questions served via the ANN route\n";
+
+  // ---- Verdict + JSON --------------------------------------------------
+  const bool phase_a_ok = a.fingerprint_divergences == 0 &&
+                          a.answer_divergences == 0 && a.lost_upserts == 0;
+  const bool ok =
+      phase_a_ok && c.recall_ok && c.ordering_ok && c.hybrid_ok;
+  PrintBanner(std::cout, "Ingest verdict");
+  std::cout << "determinism/zero-lost (A): "
+            << (phase_a_ok ? "OK" : "FAIL")
+            << "\nrecall@10 >= " << FormatDouble(kRecallFloor, 2) << " (C): "
+            << (c.recall_ok ? "OK" : "FAIL")
+            << "\nhead >= torso >= tail (C): "
+            << (c.ordering_ok ? "OK" : "FAIL")
+            << "\nhybrid >= symbolic (C): " << (c.hybrid_ok ? "OK" : "FAIL")
+            << "\n";
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("phase_a").BeginObject();
+  w.Key("worlds").UInt(a.worlds);
+  w.Key("runs").UInt(a.runs);
+  w.Key("fingerprint_divergences").UInt(a.fingerprint_divergences);
+  w.Key("answer_divergences").UInt(a.answer_divergences);
+  w.Key("lost_upserts").UInt(a.lost_upserts);
+  w.Key("degraded_units").UInt(a.degraded_units);
+  w.Key("seconds").Double(a.seconds, 3);
+  w.EndObject();
+  w.Key("phase_b").BeginObject();
+  w.Key("units").UInt(b.units);
+  w.Key("mutations").UInt(b.mutations);
+  w.Key("seconds").Double(b.seconds, 4);
+  w.Key("unit_qps").Double(b.unit_qps, 1);
+  w.Key("mutation_qps").Double(b.mutation_qps, 1);
+  w.Key("stages").BeginObject();
+  w.Key("fetch").BeginObject();
+  w.Key("p50_us").Double(b.fetch_p50_us, 2);
+  w.Key("p99_us").Double(b.fetch_p99_us, 2);
+  w.EndObject();
+  w.Key("extract").BeginObject();
+  w.Key("p50_us").Double(b.extract_p50_us, 2);
+  w.Key("p99_us").Double(b.extract_p99_us, 2);
+  w.EndObject();
+  w.Key("link").BeginObject();
+  w.Key("p50_us").Double(b.link_p50_us, 2);
+  w.Key("p99_us").Double(b.link_p99_us, 2);
+  w.EndObject();
+  w.Key("commit").BeginObject();
+  w.Key("p50_us").Double(b.commit_p50_us, 2);
+  w.Key("p99_us").Double(b.commit_p99_us, 2);
+  w.EndObject();
+  w.EndObject();
+  w.Key("sheds").UInt(b.sheds);
+  w.Key("shed_rate").Double(b.shed_rate, 4);
+  w.EndObject();
+  w.Key("phase_c").BeginObject();
+  w.Key("recall_at_10").Double(c.recall_at_10, 4);
+  w.Key("recall_queries").UInt(c.recall_queries);
+  w.Key("kg_accuracy").Double(c.kg_accuracy, 4);
+  w.Key("hybrid_accuracy").Double(c.hybrid_accuracy, 4);
+  w.Key("ann_routed").UInt(c.ann_routed);
+  w.Key("buckets").BeginArray();
+  for (const BucketRow& row : c.buckets) {
+    w.BeginObject();
+    w.Key("bucket").String(row.name);
+    w.Key("kg_accuracy").Double(row.kg_accuracy, 4);
+    w.Key("hybrid_accuracy").Double(row.hybrid_accuracy, 4);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Key("gates").BeginObject();
+  w.Key("determinism_ok").Bool(phase_a_ok);
+  w.Key("recall_ok").Bool(c.recall_ok);
+  w.Key("ordering_ok").Bool(c.ordering_ok);
+  w.Key("hybrid_ok").Bool(c.hybrid_ok);
+  w.EndObject();
+  w.EndObject();
+
+  const obs::JsonSink sink("ingest", kSeed, 8);
+  const Status written = sink.WriteFile("BENCH_ingest.json", w.Take());
+  if (!written.ok()) {
+    std::cerr << "BENCH_ingest.json: " << written.ToString() << "\n";
+    return 1;
+  }
+  std::cout << (ok ? "\nE26 PASS\n" : "\nE26 FAIL\n");
+  return ok ? 0 : 1;
+}

@@ -1,15 +1,36 @@
 // Dual neural KG question answering (§4): a parametric LLM simulator
 // answers what it absorbed from a popularity-skewed corpus; the
 // knowledge graph serves torso/tail and post-cutoff facts; the dual
-// router combines them.
+// router combines them. The second half swaps the LLM for the KG's own
+// learned geometry: a HybridAnswerer tries the symbolic triple lookup
+// first and falls back to ANN search through TransE embeddings,
+// printing which route served each question.
 
 #include <iostream>
+#include <string>
 
 #include "common/rng.h"
 #include "common/strings.h"
 #include "dual/answerers.h"
+#include "dual/kg_embedding.h"
 #include "dual/qa_eval.h"
+#include "graph/knowledge_graph.h"
 #include "synth/qa_generator.h"
+
+namespace {
+
+const char* RouteName(kg::dual::HybridAnswerer::Route route) {
+  switch (route) {
+    case kg::dual::HybridAnswerer::Route::kSymbolic:
+      return "symbolic";
+    case kg::dual::HybridAnswerer::Route::kAnn:
+      return "ann-fallback";
+    default:
+      return "abstain";
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace kg;  // NOLINT
@@ -68,5 +89,54 @@ int main() {
             << ", hallucination "
             << FormatDouble(dual_eval.overall.hallucination_rate, 3)
             << "\n";
+
+  // --- Hybrid symbolic/ANN routing (gen-3, no LLM involved) -----------
+  // Serve from a KG with holes (every third movie loses release_year)
+  // while the embedding space keeps the full geometry — the "index lags
+  // the stream" shape. The hybrid tries the triple lookup first and
+  // answers the holes through ANN search; each question prints the
+  // route that served it.
+  graph::KnowledgeGraph pruned = universe.ToKnowledgeGraph();
+  if (const auto pred = pruned.FindPredicate("release_year"); pred.ok()) {
+    for (uint32_t id = 0; id < universe.movies().size(); id += 3) {
+      const auto node = pruned.FindNode(
+          synth::EntityUniverse::MovieNodeName(id),
+          graph::NodeKind::kEntity);
+      if (!node.ok()) continue;
+      for (graph::TripleId t : pruned.TriplesWithSubject(*node)) {
+        if (pruned.triple(t).predicate == *pred) {
+          pruned.RemoveTriple(t);
+          break;
+        }
+      }
+    }
+  }
+  dual::KgEmbeddingOptions eopt;
+  eopt.transe.dim = 24;
+  eopt.transe.epochs = 30;
+  eopt.seed = 7;
+  const dual::KgEmbeddingSpace space(kg, eopt);
+  dual::HybridAnswerer hybrid(pruned, space);
+
+  std::cout << "\nhybrid symbolic/ANN routing (pruned KG, full "
+               "embedding space):\n";
+  for (const auto& q : questions) {
+    Rng r(1);
+    const auto answer = hybrid.Answer(q, r);
+    std::cout << "  " << q.predicate << " of \"" << q.subject_name
+              << "\" -> "
+              << (answer ? *answer : std::string("(no answer)")) << "  ["
+              << RouteName(hybrid.last_route()) << "]\n";
+  }
+  Rng r3(2);
+  const auto hybrid_eval = EvaluateAnswerer(hybrid, workload, r3);
+  std::cout << "  hybrid over " << workload.size()
+            << " questions: accuracy "
+            << FormatDouble(hybrid_eval.overall.accuracy, 3)
+            << ", abstention "
+            << FormatDouble(hybrid_eval.overall.abstention_rate, 3)
+            << "  (" << hybrid.symbolic_hits() << " symbolic, "
+            << hybrid.ann_hits() << " ann, " << hybrid.abstains()
+            << " abstained)\n";
   return 0;
 }

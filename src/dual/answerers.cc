@@ -116,4 +116,23 @@ std::optional<std::string> RagAnswerer::Answer(const synth::QaItem& item,
   return answer.text;
 }
 
+std::optional<std::string> HybridAnswerer::Answer(const synth::QaItem& item,
+                                                  Rng& rng) {
+  (void)rng;  // Both halves are deterministic.
+  if (auto symbolic = kg_answerer_.Answer(item, rng)) {
+    last_route_ = Route::kSymbolic;
+    ++symbolic_hits_;
+    return symbolic;
+  }
+  if (auto predicted = space_.PredictObject(item.subject_name,
+                                            item.predicate)) {
+    last_route_ = Route::kAnn;
+    ++ann_hits_;
+    return predicted;
+  }
+  last_route_ = Route::kNone;
+  ++abstains_;
+  return std::nullopt;
+}
+
 }  // namespace kg::dual

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "dual/kg_embedding.h"
 #include "dual/llm_sim.h"
 #include "graph/knowledge_graph.h"
 #include "synth/qa_generator.h"
@@ -102,6 +103,40 @@ class RagAnswerer : public Answerer {
   const graph::KnowledgeGraph& kg_;
   const LlmSim& llm_;
   std::unordered_map<std::string, graph::NodeId> surface_index_;
+};
+
+/// The gen-3 hybrid: symbolic triple lookup first (precise, cheap to
+/// verify), ANN top-k through the TransE embedding space when the
+/// symbolic path has no edge to follow. Unlike DualAnswerer this never
+/// consults a language model — the fallback is the KG's own learned
+/// geometry, the "dual neural KG" of §4.
+class HybridAnswerer : public Answerer {
+ public:
+  /// How the last Answer() call was served.
+  enum class Route { kNone, kSymbolic, kAnn };
+
+  /// Both `kg` and `space` must outlive the answerer (and `space` must
+  /// be built over the same graph, or subject resolution will disagree).
+  HybridAnswerer(const graph::KnowledgeGraph& kg,
+                 const KgEmbeddingSpace& space)
+      : kg_answerer_(kg), space_(space) {}
+
+  std::optional<std::string> Answer(const synth::QaItem& item,
+                                    Rng& rng) override;
+  std::string name() const override { return "hybrid"; }
+
+  Route last_route() const { return last_route_; }
+  size_t symbolic_hits() const { return symbolic_hits_; }
+  size_t ann_hits() const { return ann_hits_; }
+  size_t abstains() const { return abstains_; }
+
+ private:
+  KgAnswerer kg_answerer_;
+  const KgEmbeddingSpace& space_;
+  Route last_route_ = Route::kNone;
+  size_t symbolic_hits_ = 0;
+  size_t ann_hits_ = 0;
+  size_t abstains_ = 0;
 };
 
 }  // namespace kg::dual

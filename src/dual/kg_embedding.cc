@@ -1,0 +1,143 @@
+#include "dual/kg_embedding.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "text/tokenize.h"
+
+namespace kg::dual {
+namespace {
+
+const std::string kEmptyDisplay;
+
+}  // namespace
+
+KgEmbeddingSpace::KgEmbeddingSpace(const graph::KnowledgeGraph& kg,
+                                   const KgEmbeddingOptions& options)
+    : top_k_(std::max<size_t>(1, options.top_k)) {
+  // Dense-id every node touched by a live non-type triple, skipping
+  // class nodes ("type" edges would otherwise pull every entity toward
+  // its class centroid and drown the factual structure). NodeIds are
+  // assigned in interning order, so sorting them gives a deterministic
+  // dense numbering independent of triple iteration order.
+  const auto type_pred = kg.FindPredicate("type");
+  std::vector<graph::TripleId> live = kg.AllTriples();
+  std::vector<char> seen(kg.num_nodes(), 0);
+  for (graph::TripleId id : live) {
+    const graph::Triple& t = kg.triple(id);
+    if (type_pred.ok() && t.predicate == *type_pred) continue;
+    if (kg.GetNodeKind(t.object) == graph::NodeKind::kClass) continue;
+    seen[t.subject] = 1;
+    seen[t.object] = 1;
+  }
+  std::vector<graph::NodeId> nodes;
+  for (graph::NodeId n = 0; n < seen.size(); ++n) {
+    if (seen[n]) nodes.push_back(n);
+  }
+  std::unordered_map<graph::NodeId, uint32_t> dense;
+  dense.reserve(nodes.size());
+  displays_.reserve(nodes.size());
+  const auto name_pred = kg.FindPredicate("name");
+  for (graph::NodeId n : nodes) {
+    dense.emplace(n, static_cast<uint32_t>(displays_.size()));
+    // Entities answer through their "name" attribute (mirroring
+    // KgAnswerer); text nodes are their own surface.
+    std::string display = kg.NodeName(n);
+    if (kg.GetNodeKind(n) == graph::NodeKind::kEntity && name_pred.ok()) {
+      const auto names = kg.Objects(n, *name_pred);
+      if (!names.empty()) display = kg.NodeName(names.front());
+    }
+    displays_.push_back(std::move(display));
+  }
+
+  // Dense relation ids in predicate-interning order.
+  std::vector<ml::IdTriple> id_triples;
+  id_triples.reserve(live.size());
+  for (graph::TripleId id : live) {
+    const graph::Triple& t = kg.triple(id);
+    auto s = dense.find(t.subject);
+    auto o = dense.find(t.object);
+    if (s == dense.end() || o == dense.end()) continue;
+    const std::string& pred_name = kg.PredicateName(t.predicate);
+    const auto rit = relation_index_
+                         .emplace(pred_name, static_cast<uint32_t>(
+                                                 relation_index_.size()))
+                         .first;
+    id_triples.push_back({s->second, rit->second, o->second});
+  }
+
+  if (!id_triples.empty()) {
+    Rng rng(options.seed);
+    model_.Fit(id_triples, displays_.size(), relation_index_.size(),
+               options.transe, rng);
+  }
+
+  // Subject surfaces via name/title triples, first-writer-wins — the
+  // same disambiguation rule as KgAnswerer so both halves of the hybrid
+  // resolve a shared name to the same node.
+  for (const char* pred : {"name", "title"}) {
+    auto p = kg.FindPredicate(pred);
+    if (!p.ok()) continue;
+    for (graph::TripleId id : kg.TriplesWithPredicate(*p)) {
+      const graph::Triple& t = kg.triple(id);
+      auto s = dense.find(t.subject);
+      if (s == dense.end()) continue;
+      surface_index_.emplace(text::NormalizeForMatch(kg.NodeName(t.object)),
+                             s->second);
+    }
+  }
+
+  // Freeze the space into the ANN index.
+  if (model_.dim() > 0) {
+    ann::HnswOptions hnsw = options.hnsw;
+    hnsw.dim = model_.dim();
+    hnsw.seed = options.seed;
+    std::vector<float> flat;
+    flat.reserve(displays_.size() * model_.dim());
+    for (uint32_t id = 0; id < displays_.size(); ++id) {
+      for (double x : model_.entity_embedding(id)) {
+        flat.push_back(static_cast<float>(x));
+      }
+    }
+    index_ = ann::HnswIndex::Build(std::move(flat), hnsw);
+  }
+}
+
+std::optional<std::vector<float>> KgEmbeddingSpace::EmbeddingQuery(
+    const std::string& subject_surface,
+    const std::string& predicate) const {
+  if (model_.dim() == 0) return std::nullopt;
+  auto sit = surface_index_.find(text::NormalizeForMatch(subject_surface));
+  if (sit == surface_index_.end()) return std::nullopt;
+  auto rit = relation_index_.find(predicate);
+  if (rit == relation_index_.end()) return std::nullopt;
+  const auto& e = model_.entity_embedding(sit->second);
+  const auto& r = model_.relation_embedding(rit->second);
+  std::vector<float> query(model_.dim());
+  for (size_t k = 0; k < query.size(); ++k) {
+    query[k] = static_cast<float>(e[k] + r[k]);
+  }
+  return query;
+}
+
+std::optional<std::string> KgEmbeddingSpace::PredictObject(
+    const std::string& subject_surface,
+    const std::string& predicate) const {
+  auto query = EmbeddingQuery(subject_surface, predicate);
+  if (!query) return std::nullopt;
+  const uint32_t subject =
+      surface_index_.at(text::NormalizeForMatch(subject_surface));
+  // +1 so the subject's own point can be skipped and still leave top_k.
+  for (const ann::Neighbor& hit : index_.Search(*query, top_k_ + 1)) {
+    if (hit.id == subject) continue;
+    return displays_[hit.id];
+  }
+  return std::nullopt;
+}
+
+const std::string& KgEmbeddingSpace::DisplayOf(uint32_t id) const {
+  if (id >= displays_.size()) return kEmptyDisplay;
+  return displays_[id];
+}
+
+}  // namespace kg::dual

@@ -1,0 +1,79 @@
+#ifndef KGRAPH_DUAL_KG_EMBEDDING_H_
+#define KGRAPH_DUAL_KG_EMBEDDING_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ann/hnsw.h"
+#include "graph/knowledge_graph.h"
+#include "ml/transe.h"
+
+namespace kg::dual {
+
+/// Knobs for building a KgEmbeddingSpace. One seed drives both the TransE
+/// init/negative-sampling stream and the HNSW level draws, so the whole
+/// space is a pure function of (graph, options).
+struct KgEmbeddingOptions {
+  ml::TransEOptions transe;
+  /// HNSW shape; `dim` and `seed` are overwritten from `transe.dim` and
+  /// `seed` below at build time.
+  ann::HnswOptions hnsw;
+  uint64_t seed = 7;
+  /// How many ANN hits PredictObject scans past the subject itself.
+  size_t top_k = 8;
+};
+
+/// The neural half of the gen-3 dual path: TransE embeddings of every
+/// node that participates in a (non-type) triple, indexed by a
+/// deterministic HNSW. Text value nodes are embedded alongside entities,
+/// so attribute questions ("release_year of Avatar") are answerable — the
+/// answer node "2009" lives in the same space the query walks.
+///
+/// Immutable after construction; safe for concurrent readers.
+class KgEmbeddingSpace {
+ public:
+  /// Trains + indexes. Cost is TransE epochs x triples; intended for the
+  /// worlds the QA benches build (thousands of triples).
+  KgEmbeddingSpace(const graph::KnowledgeGraph& kg,
+                   const KgEmbeddingOptions& options);
+
+  /// ANN link prediction: resolve `subject_surface` through name/title
+  /// triples, form the TransE query e_subject + r_predicate, take the
+  /// nearest embedded node that is not the subject itself. nullopt when
+  /// the subject or predicate never made it into the space.
+  std::optional<std::string> PredictObject(
+      const std::string& subject_surface,
+      const std::string& predicate) const;
+
+  /// The raw query point for (subject, predicate) — what PredictObject
+  /// searches with. Exposed so recall tests can replay the exact queries
+  /// against HnswIndex::BruteForce.
+  std::optional<std::vector<float>> EmbeddingQuery(
+      const std::string& subject_surface,
+      const std::string& predicate) const;
+
+  const ann::HnswIndex& index() const { return index_; }
+  size_t num_embedded_nodes() const { return displays_.size(); }
+
+  /// Human-readable surface of dense id `id` (entities through their
+  /// "name" attribute, text nodes verbatim). Empty when out of range.
+  const std::string& DisplayOf(uint32_t id) const;
+
+ private:
+  ann::HnswIndex index_;
+  ml::TransE model_;
+  /// normalized subject surface -> dense embedding id.
+  std::unordered_map<std::string, uint32_t> surface_index_;
+  /// predicate name -> dense relation id.
+  std::unordered_map<std::string, uint32_t> relation_index_;
+  /// dense id -> answer string.
+  std::vector<std::string> displays_;
+  size_t top_k_ = 8;
+};
+
+}  // namespace kg::dual
+
+#endif  // KGRAPH_DUAL_KG_EMBEDDING_H_

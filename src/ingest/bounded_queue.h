@@ -1,0 +1,103 @@
+#ifndef KGRAPH_INGEST_BOUNDED_QUEUE_H_
+#define KGRAPH_INGEST_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace kg::ingest {
+
+/// Fixed-capacity MPMC handoff between pipeline stages. The shape of the
+/// backpressure contract:
+///   - TryPush never blocks: false means "full or closed", which the
+///     pipeline surfaces as a retriable kUnavailable (the same shed
+///     signal the rpc admission queue uses).
+///   - Push blocks until space frees — the internal stages use it where
+///     an item must not be dropped (the zero-lost-upserts gate).
+///   - Pop blocks until an item arrives or the queue is closed *and*
+///     drained, so closing is a graceful drain barrier, not an abort.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    KG_CHECK(capacity_ > 0);
+  }
+
+  /// Non-blocking; false when the queue is at capacity or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking; false only when the queue was closed before space freed.
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty
+  /// (then nullopt — the consumer's termination signal).
+  std::optional<T> Pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Seals the queue: pushes fail from here on, Pop drains what remains.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace kg::ingest
+
+#endif  // KGRAPH_INGEST_BOUNDED_QUEUE_H_

@@ -1,0 +1,470 @@
+#include "ingest/crawl.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "extract/wrapper_induction.h"
+#include "text/tokenize.h"
+
+namespace kg::ingest {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+const char* DomainTag(synth::SourceDomain domain) {
+  switch (domain) {
+    case synth::SourceDomain::kPeople:
+      return "people";
+    case synth::SourceDomain::kMovies:
+      return "movies";
+    case synth::SourceDomain::kMusic:
+      return "music";
+  }
+  return "unknown";
+}
+
+const char* ClassOf(synth::SourceDomain domain) {
+  switch (domain) {
+    case synth::SourceDomain::kPeople:
+      return "Person";
+    case synth::SourceDomain::kMovies:
+      return "Movie";
+    case synth::SourceDomain::kMusic:
+      return "Song";
+  }
+  return "Thing";
+}
+
+const char* SyntheticPrefix(synth::SourceDomain domain) {
+  switch (domain) {
+    case synth::SourceDomain::kPeople:
+      return "person~";
+    case synth::SourceDomain::kMovies:
+      return "movie~";
+    case synth::SourceDomain::kMusic:
+      return "song~";
+  }
+  return "thing~";
+}
+
+/// The subject's name-ish canonical attribute ("name" for people,
+/// "title" otherwise) — also the predicate its surface is asserted
+/// under.
+const char* SurfaceAttr(synth::SourceDomain domain) {
+  return domain == synth::SourceDomain::kPeople ? "name" : "title";
+}
+
+/// Canonical attribute -> KG predicate, with person-reference attributes
+/// mapped to their relation names. Returns nullptr for the surface
+/// attribute (handled separately).
+const char* PredicateFor(synth::SourceDomain domain,
+                         const std::string& attr, bool* person_ref) {
+  *person_ref = false;
+  switch (domain) {
+    case synth::SourceDomain::kPeople:
+      if (attr == "name") return nullptr;
+      return attr.c_str();  // birth_year, nationality
+    case synth::SourceDomain::kMovies:
+      if (attr == "title") return nullptr;
+      if (attr == "director") {
+        *person_ref = true;
+        return "directed_by";
+      }
+      return attr.c_str();  // release_year, genre, extras
+    case synth::SourceDomain::kMusic:
+      if (attr == "title") return nullptr;
+      if (attr == "artist") {
+        *person_ref = true;
+        return "performed_by";
+      }
+      if (attr == "year") return "song_year";
+      if (attr == "genre") return "song_genre";
+      return attr.c_str();
+  }
+  return attr.c_str();
+}
+
+/// One record in canonical attribute space, ready to link.
+struct CanonicalRecord {
+  std::string local_id;
+  std::map<std::string, std::string> attrs;  // ordered => deterministic
+};
+
+void EmitRecordMutations(synth::SourceDomain domain,
+                         const CanonicalRecord& rec,
+                         const SurfaceLinker& linker,
+                         const std::string& source, uint64_t seq,
+                         std::vector<store::Mutation>* out) {
+  const auto surface_it = rec.attrs.find(SurfaceAttr(domain));
+  if (surface_it == rec.attrs.end() || surface_it->second.empty()) {
+    return;  // No subject surface — nothing to anchor the facts to.
+  }
+  const std::string& surface = surface_it->second;
+  const std::string subject = linker.ResolveSubject(domain, surface);
+  const graph::Provenance prov{source, 1.0,
+                               static_cast<int64_t>(seq)};
+
+  out->push_back(store::Mutation::Upsert(
+      subject, SurfaceAttr(domain), surface, graph::NodeKind::kEntity,
+      graph::NodeKind::kText, prov));
+  out->push_back(store::Mutation::Upsert(
+      subject, "type", ClassOf(domain), graph::NodeKind::kEntity,
+      graph::NodeKind::kClass, prov));
+
+  for (const auto& [attr, value] : rec.attrs) {
+    if (value.empty()) continue;
+    bool person_ref = false;
+    const char* pred = PredicateFor(domain, attr, &person_ref);
+    if (pred == nullptr) continue;  // The surface attribute.
+    if (person_ref) {
+      const std::string person = linker.ResolvePerson(value);
+      out->push_back(store::Mutation::Upsert(
+          subject, pred, person, graph::NodeKind::kEntity,
+          graph::NodeKind::kEntity, prov));
+      // Surface the referenced person so lookups can answer with a name.
+      out->push_back(store::Mutation::Upsert(
+          person, "name", value, graph::NodeKind::kEntity,
+          graph::NodeKind::kText, prov));
+    } else {
+      out->push_back(store::Mutation::Upsert(
+          subject, pred, value, graph::NodeKind::kEntity,
+          graph::NodeKind::kText, prov));
+    }
+  }
+}
+
+/// Catalog slice -> canonical records (dialect columns renamed via the
+/// positional zip DialectColumns <-> CanonicalColumns, the manual
+/// mapping of core::ManualMappingFor).
+std::vector<CanonicalRecord> ExtractCatalog(const synth::SourceTable& table,
+                                            uint32_t begin, uint32_t end) {
+  const std::vector<std::string> dialect =
+      synth::DialectColumns(table.domain, table.schema_dialect);
+  const std::vector<std::string> canonical =
+      synth::CanonicalColumns(table.domain);
+  KG_CHECK(dialect.size() == canonical.size());
+  std::map<std::string, std::string> to_canonical;
+  for (size_t i = 0; i < dialect.size(); ++i) {
+    to_canonical[dialect[i]] = canonical[i];
+  }
+  std::vector<CanonicalRecord> out;
+  const uint32_t hi =
+      std::min<uint32_t>(end, static_cast<uint32_t>(table.records.size()));
+  for (uint32_t i = begin; i < hi; ++i) {
+    const synth::SourceRecord& r = table.records[i];
+    CanonicalRecord rec;
+    rec.local_id = r.local_id;
+    for (const auto& [col, value] : r.fields) {
+      auto it = to_canonical.find(col);
+      if (it == to_canonical.end()) continue;
+      rec.attrs[it->second] = value;
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+/// One web page -> at most one canonical record: subject surface from
+/// the <h1> header, values through the label-anchored extraction
+/// primitive (label drift and decoys make this fallibly realistic).
+std::vector<CanonicalRecord> ExtractWebPage(const synth::Website& site,
+                                            uint32_t page_index) {
+  std::vector<CanonicalRecord> out;
+  if (page_index >= site.pages.size()) return out;
+  const synth::WebPage& page = site.pages[page_index];
+
+  std::string surface;
+  for (const extract::DomNode& node : page.dom.nodes) {
+    if (node.tag == "h1" && !node.text.empty()) {
+      surface = node.text;
+      break;
+    }
+  }
+  if (surface.empty()) return out;
+
+  CanonicalRecord rec;
+  rec.local_id = page.dom.url;
+  rec.attrs[SurfaceAttr(site.domain)] = surface;
+  for (const auto& [attr, label] : site.attr_labels) {
+    if (attr == SurfaceAttr(site.domain)) continue;
+    const extract::DomNodeId value_node =
+        extract::FindValueByLabel(page.dom, label);
+    if (value_node == extract::kInvalidDomNode) continue;
+    const std::string& value = page.dom.node(value_node).text;
+    if (!value.empty()) rec.attrs[attr] = value;
+  }
+  out.push_back(std::move(rec));
+  return out;
+}
+
+}  // namespace
+
+CrawlPlan BuildCrawlPlan(const synth::EntityUniverse& universe,
+                         const CrawlPlanOptions& options, Rng& rng) {
+  CrawlPlan plan;
+  constexpr synth::SourceDomain kDomains[] = {
+      synth::SourceDomain::kPeople, synth::SourceDomain::kMovies,
+      synth::SourceDomain::kMusic};
+
+  for (size_t i = 0; i < options.num_catalog_sources; ++i) {
+    synth::SourceOptions src;
+    src.domain = kDomains[i % 3];
+    src.name = std::string("catalog-") + DomainTag(src.domain) + "-" +
+               std::to_string(i);
+    src.coverage = options.coverage;
+    src.popularity_bias = options.popularity_bias;
+    src.value_accuracy = options.value_accuracy;
+    src.missing_rate = options.missing_rate;
+    src.name_noise = options.name_noise;
+    src.schema_dialect = static_cast<int>(i % 3);
+    src.duplicate_rate = options.duplicate_rate;
+    plan.tables.push_back(synth::EmitSource(universe, src, rng));
+  }
+
+  for (size_t i = 0; i < options.num_websites; ++i) {
+    synth::WebsiteOptions site;
+    site.domain = kDomains[i % 3];
+    site.site_name = std::string("site-") + DomainTag(site.domain) + "-" +
+                     std::to_string(i);
+    site.num_pages = options.pages_per_site;
+    site.popularity_bias = options.popularity_bias;
+    site.attr_missing_rate = options.attr_missing_rate;
+    site.name_noise = options.name_noise;
+    site.value_noise = 0.0;
+    site.label_dialect = static_cast<int>(i % 3);
+    site.label_drift = options.label_drift;
+    site.decoy_rate = options.decoy_rate;
+    plan.websites.push_back(synth::GenerateWebsite(universe, site, rng));
+  }
+
+  // Per-source unit streams...
+  std::vector<std::vector<CrawlUnit>> streams;
+  for (uint32_t s = 0; s < plan.tables.size(); ++s) {
+    const synth::SourceTable& table = plan.tables[s];
+    std::vector<CrawlUnit> stream;
+    const uint32_t n = static_cast<uint32_t>(table.records.size());
+    const uint32_t chunk =
+        std::max<uint32_t>(1, static_cast<uint32_t>(options.records_per_chunk));
+    for (uint32_t k = 0, begin = 0; begin < n; ++k, begin += chunk) {
+      CrawlUnit unit;
+      unit.kind = UnitKind::kCatalogChunk;
+      unit.source_index = s;
+      unit.begin = begin;
+      unit.end = std::min(begin + chunk, n);
+      unit.unit_id = table.source_name + "#" + std::to_string(k);
+      stream.push_back(std::move(unit));
+    }
+    streams.push_back(std::move(stream));
+  }
+  for (uint32_t s = 0; s < plan.websites.size(); ++s) {
+    const synth::Website& site = plan.websites[s];
+    std::vector<CrawlUnit> stream;
+    for (uint32_t p = 0; p < site.pages.size(); ++p) {
+      CrawlUnit unit;
+      unit.kind = UnitKind::kWebPage;
+      unit.source_index = s;
+      unit.begin = p;
+      unit.end = p + 1;
+      unit.unit_id = site.name + "#" + std::to_string(p);
+      stream.push_back(std::move(unit));
+    }
+    streams.push_back(std::move(stream));
+  }
+
+  // ...interleaved round-robin, so a truncated run still mixes sources
+  // and every thread count drains the same order.
+  size_t remaining = 0;
+  for (const auto& s : streams) remaining += s.size();
+  std::vector<size_t> cursor(streams.size(), 0);
+  while (remaining > 0) {
+    for (size_t s = 0; s < streams.size(); ++s) {
+      if (cursor[s] >= streams[s].size()) continue;
+      CrawlUnit unit = std::move(streams[s][cursor[s]++]);
+      unit.seq = plan.units.size();
+      plan.units.push_back(std::move(unit));
+      --remaining;
+    }
+  }
+  return plan;
+}
+
+SurfaceLinker::SurfaceLinker(const graph::KnowledgeGraph& base) {
+  const struct {
+    const char* predicate;
+    std::unordered_map<std::string, std::string>* index;
+  } kIndexes[] = {{"name", &by_name_}, {"title", &by_title_}};
+  for (const auto& [predicate, index] : kIndexes) {
+    auto pred = base.FindPredicate(predicate);
+    if (!pred.ok()) continue;
+    for (graph::TripleId id : base.TriplesWithPredicate(*pred)) {
+      const graph::Triple& t = base.triple(id);
+      // First writer wins (KgAnswerer's disambiguation rule).
+      index->emplace(text::NormalizeForMatch(base.NodeName(t.object)),
+                     base.NodeName(t.subject));
+    }
+  }
+}
+
+std::string SurfaceLinker::ResolvePerson(const std::string& surface) const {
+  const std::string norm = text::NormalizeForMatch(surface);
+  auto it = by_name_.find(norm);
+  if (it != by_name_.end()) return it->second;
+  return SyntheticPrefix(synth::SourceDomain::kPeople) + norm;
+}
+
+std::string SurfaceLinker::ResolveSubject(synth::SourceDomain domain,
+                                          const std::string& surface) const {
+  const std::string norm = text::NormalizeForMatch(surface);
+  const auto& index =
+      domain == synth::SourceDomain::kPeople ? by_name_ : by_title_;
+  auto it = index.find(norm);
+  if (it != index.end()) return it->second;
+  return SyntheticPrefix(domain) + norm;
+}
+
+UnitResult ProcessUnit(const CrawlPlan& plan, const CrawlUnit& unit,
+                       const SurfaceLinker& linker,
+                       const UnitContext& ctx) {
+  UnitResult result;
+  result.seq = unit.seq;
+  result.unit_id = unit.unit_id;
+
+  // --- Fetch: the only stage chaos touches. -----------------------------
+  const auto fetch_start = Clock::now();
+  double keep_fraction = 1.0;
+  if (ctx.faults != nullptr && ctx.faults->plan().active()) {
+    // Jitter stream and breaker are scoped per unit: a breaker shared
+    // across concurrently-processed units would make one unit's outcome
+    // depend on which others ran first — scheduling, i.e. thread count.
+    CircuitBreaker breaker(ctx.retry.breaker_failure_threshold);
+    const RetryOutcome outcome = RetryWithBackoff(
+        ctx.retry, Rng(ctx.seed).Split(Fnv1a64(unit.unit_id)), &breaker,
+        [&](size_t attempt) {
+          const FaultInjector::Attempt a =
+              ctx.faults->Probe(unit.unit_id, attempt);
+          return AttemptResult{a.status, a.latency_ms};
+        });
+    result.retries = outcome.retries;
+    result.virtual_ms = outcome.virtual_ms;
+    result.status = outcome.status;
+    keep_fraction = ctx.faults->KeepFraction(unit.unit_id);
+  }
+
+  const uint32_t carried = unit.end - unit.begin;
+  result.records_in = carried;
+  if (!result.status.ok()) {
+    // The unit is lost, not the pipeline: degradation, by design.
+    result.records_dropped = carried;
+    result.fetch_us = ElapsedUs(fetch_start);
+    return result;
+  }
+  result.fetch_us = ElapsedUs(fetch_start);
+
+  // --- Extract. ---------------------------------------------------------
+  const auto extract_start = Clock::now();
+  const synth::SourceDomain domain =
+      unit.kind == UnitKind::kCatalogChunk
+          ? plan.tables[unit.source_index].domain
+          : plan.websites[unit.source_index].domain;
+  const std::string& source_name =
+      unit.kind == UnitKind::kCatalogChunk
+          ? plan.tables[unit.source_index].source_name
+          : plan.websites[unit.source_index].name;
+  std::vector<CanonicalRecord> records =
+      unit.kind == UnitKind::kCatalogChunk
+          ? ExtractCatalog(plan.tables[unit.source_index], unit.begin,
+                           unit.end)
+          : ExtractWebPage(plan.websites[unit.source_index], unit.begin);
+
+  // Truncation drops trailing records; corruption rewrites claim values
+  // (both pure functions of (plan seed, unit, claim), like everything
+  // the injector does).
+  if (keep_fraction < 1.0) {
+    const size_t kept = static_cast<size_t>(
+        std::floor(static_cast<double>(records.size()) * keep_fraction));
+    result.records_dropped = records.size() - kept;
+    records.resize(kept);
+  }
+  if (ctx.faults != nullptr && ctx.faults->plan().corrupt_rate > 0.0) {
+    for (CanonicalRecord& rec : records) {
+      for (auto& [attr, value] : rec.attrs) {
+        std::string maybe = ctx.faults->MaybeCorrupt(
+            unit.unit_id, rec.local_id + "/" + attr, value);
+        if (maybe != value) {
+          ++result.claims_corrupted;
+          value = std::move(maybe);
+        }
+      }
+    }
+  }
+  result.extract_us = ElapsedUs(extract_start);
+
+  // --- Link + mutation assembly. ----------------------------------------
+  const auto link_start = Clock::now();
+  for (const CanonicalRecord& rec : records) {
+    EmitRecordMutations(domain, rec, linker, source_name, unit.seq,
+                        &result.mutations);
+  }
+  result.link_us = ElapsedUs(link_start);
+  return result;
+}
+
+void ApplyMutationToKg(graph::KnowledgeGraph& kg,
+                       const store::Mutation& m) {
+  if (m.op == store::MutationOp::kUpsert) {
+    kg.AddTriple(m.subject, m.predicate, m.object, m.subject_kind,
+                 m.object_kind, m.prov);
+    return;
+  }
+  const auto s = kg.FindNode(m.subject, m.subject_kind);
+  const auto p = kg.FindPredicate(m.predicate);
+  const auto o = kg.FindNode(m.object, m.object_kind);
+  if (!s.ok() || !p.ok() || !o.ok()) return;
+  const graph::TripleId id = kg.FindTriple(*s, *p, *o);
+  if (id != graph::kInvalidTriple) kg.RemoveTriple(id);
+}
+
+graph::KnowledgeGraph OfflineRebuild(const CrawlPlan& plan,
+                                     const graph::KnowledgeGraph& base,
+                                     const SurfaceLinker& linker,
+                                     const UnitContext& ctx,
+                                     DegradationReport* degradation,
+                                     uint64_t* total_mutations) {
+  graph::KnowledgeGraph kg = base;
+  uint64_t mutations = 0;
+  for (const CrawlUnit& unit : plan.units) {
+    UnitResult r = ProcessUnit(plan, unit, linker, ctx);
+    for (const store::Mutation& m : r.mutations) {
+      ApplyMutationToKg(kg, m);
+    }
+    mutations += r.mutations.size();
+    if (degradation != nullptr &&
+        (!r.status.ok() || r.retries > 0 || r.records_dropped > 0 ||
+         r.claims_corrupted > 0)) {
+      SourceDegradation row;
+      row.source = r.unit_id;
+      row.attempts = r.retries + 1;
+      row.retries = r.retries;
+      row.quarantined = !r.status.ok();
+      row.final_status = r.status;
+      row.records_dropped = r.records_dropped;
+      row.claims_dropped = r.records_dropped;
+      row.claims_corrupted = r.claims_corrupted;
+      row.virtual_ms = r.virtual_ms;
+      degradation->sources.push_back(std::move(row));
+    }
+  }
+  if (total_mutations != nullptr) *total_mutations = mutations;
+  return kg;
+}
+
+}  // namespace kg::ingest

@@ -1,0 +1,254 @@
+#include "ingest/pipeline.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace kg::ingest {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+IngestPipeline::IngestPipeline(store::VersionedKgStore& store,
+                               const SurfaceLinker& linker,
+                               const CrawlPlan& plan, IngestOptions options)
+    : store_(store),
+      linker_(linker),
+      plan_(plan),
+      options_(std::move(options)) {
+  ctx_.retry = options_.retry;
+  ctx_.seed = options_.seed;
+  if (options_.faults.active()) {
+    injector_ = std::make_unique<FaultInjector>(options_.faults);
+    ctx_.faults = injector_.get();
+  }
+  const size_t cap = std::max<size_t>(1, options_.queue_capacity);
+  input_ = std::make_unique<BoundedQueue<WorkItem>>(cap);
+  done_ = std::make_unique<BoundedQueue<DoneItem>>(cap);
+
+  if (options_.registry != nullptr) {
+    obs::MetricsRegistry& r = *options_.registry;
+    metrics_.units = &r.GetCounter("ingest.units");
+    metrics_.mutations = &r.GetCounter("ingest.mutations");
+    metrics_.degraded = &r.GetCounter("ingest.units_degraded");
+    metrics_.sheds = &r.GetCounter("ingest.sheds");
+    metrics_.retries = &r.GetCounter("ingest.retries");
+    metrics_.records_dropped = &r.GetCounter("ingest.records_dropped");
+    metrics_.claims_corrupted = &r.GetCounter("ingest.claims_corrupted");
+    metrics_.commit_batches = &r.GetCounter("ingest.commit_batches");
+    const auto& buckets = obs::LatencyBucketsUs();
+    metrics_.fetch_us = &r.GetHistogram("ingest.stage.fetch_us", buckets);
+    metrics_.extract_us =
+        &r.GetHistogram("ingest.stage.extract_us", buckets);
+    metrics_.link_us = &r.GetHistogram("ingest.stage.link_us", buckets);
+    metrics_.commit_us = &r.GetHistogram("ingest.stage.commit_us", buckets);
+    metrics_.input_depth = &r.GetGauge("ingest.input_depth");
+  }
+}
+
+IngestPipeline::~IngestPipeline() {
+  if (started_ && !finished_) Finish();
+}
+
+void IngestPipeline::Start() {
+  KG_CHECK(!started_) << "IngestPipeline::Start called twice";
+  started_ = true;
+  root_span_ = obs::Tracer::Start(options_.tracer, "ingest_run");
+  root_span_.SetAttr("workers",
+                     static_cast<uint64_t>(options_.num_workers));
+  root_span_.SetAttr("queue_capacity",
+                     static_cast<uint64_t>(options_.queue_capacity));
+  root_span_.SetAttr("plan_units",
+                     static_cast<uint64_t>(plan_.num_units()));
+  const size_t n = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  committer_ = std::thread([this] { CommitterLoop(); });
+}
+
+Status IngestPipeline::TrySubmit(size_t unit_index) {
+  if (!started_ || finished_) {
+    return Status::FailedPrecondition("ingest pipeline is not running");
+  }
+  KG_CHECK(unit_index < plan_.num_units());
+  // The ticket is claimed only when the push succeeds, so the ticket
+  // sequence stays dense (the committer releases tickets 0,1,2,...).
+  const uint64_t ticket = submitted_.load(std::memory_order_relaxed);
+  if (!input_->TryPush(WorkItem{ticket, unit_index})) {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.sheds != nullptr) metrics_.sheds->Inc();
+    return Status::Unavailable("ingest input queue full (backpressure)");
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.input_depth != nullptr) {
+    metrics_.input_depth->Set(static_cast<int64_t>(input_->size()));
+  }
+  return Status::OK();
+}
+
+void IngestPipeline::SubmitBlocking(size_t unit_index) {
+  while (true) {
+    const Status s = TrySubmit(unit_index);
+    if (s.ok()) return;
+    KG_CHECK(IsRetriable(s.code())) << s.ToString();
+    std::this_thread::yield();
+  }
+}
+
+IngestReport IngestPipeline::Finish() {
+  KG_CHECK(started_) << "IngestPipeline::Finish before Start";
+  if (finished_) return report_;
+  finished_ = true;
+
+  // Graceful drain: seal the input, let workers exhaust it, then seal
+  // the commit queue behind them, let the committer drain the reorder
+  // buffer.
+  input_->Close();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  done_->Close();
+  committer_.join();
+
+  report_.units_submitted =
+      static_cast<size_t>(submitted_.load(std::memory_order_relaxed));
+  report_.sheds = sheds_.load(std::memory_order_relaxed);
+  KG_CHECK(report_.units_processed == report_.units_submitted)
+      << "ingest drain lost units: processed " << report_.units_processed
+      << " of " << report_.units_submitted;
+
+  root_span_.SetAttr("units",
+                     static_cast<uint64_t>(report_.units_processed));
+  root_span_.SetAttr("mutations", report_.mutations_committed);
+  root_span_.SetAttr("sheds", report_.sheds);
+  root_span_.End();
+  return report_;
+}
+
+IngestReport IngestPipeline::RunAll() {
+  Start();
+  for (size_t i = 0; i < plan_.num_units(); ++i) SubmitBlocking(i);
+  return Finish();
+}
+
+void IngestPipeline::WorkerLoop(size_t worker_index) {
+  obs::Span span = root_span_.Child("worker@" +
+                                    std::to_string(worker_index));
+  size_t processed = 0;
+  while (auto item = input_->Pop()) {
+    UnitResult result =
+        ProcessUnit(plan_, plan_.units[item->unit_index], linker_, ctx_);
+    if (metrics_.fetch_us != nullptr) {
+      metrics_.fetch_us->Observe(result.fetch_us);
+      metrics_.extract_us->Observe(result.extract_us);
+      metrics_.link_us->Observe(result.link_us);
+    }
+    ++processed;
+    // Push must not drop (zero lost upserts): block until the committer
+    // makes room. Only Close() can break the wait, and Finish closes
+    // this queue strictly after the workers exit.
+    KG_CHECK(done_->Push(DoneItem{item->ticket, std::move(result)}))
+        << "commit queue closed while workers were running";
+  }
+  span.SetAttr("units", static_cast<uint64_t>(processed));
+}
+
+void IngestPipeline::CommitBatch(std::vector<store::Mutation>* pending,
+                                 size_t units) {
+  if (pending->empty()) {
+    report_.units_processed += units;
+    return;
+  }
+  const auto start = Clock::now();
+  const Status s = store_.ApplyBatch(*pending);
+  KG_CHECK(s.ok()) << "ingest commit failed: " << s.ToString();
+  report_.mutations_committed += pending->size();
+  ++report_.commit_batches;
+  report_.units_processed += units;
+  if (metrics_.commit_us != nullptr) {
+    metrics_.commit_us->Observe(ElapsedUs(start));
+  }
+  if (metrics_.mutations != nullptr) {
+    metrics_.mutations->Inc(pending->size());
+    metrics_.commit_batches->Inc();
+  }
+  pending->clear();
+}
+
+void IngestPipeline::CommitterLoop() {
+  obs::Span span = root_span_.Child("committer");
+  std::vector<store::Mutation> pending;
+  size_t pending_units = 0;
+  const size_t batch_units = std::max<size_t>(1, options_.commit_unit_batch);
+
+  auto release_ready = [&] {
+    for (auto it = reorder_.begin();
+         it != reorder_.end() && it->first == next_ticket_;
+         it = reorder_.erase(it), ++next_ticket_) {
+      UnitResult& r = it->second;
+      if (metrics_.units != nullptr) metrics_.units->Inc();
+      if (!r.status.ok() && metrics_.degraded != nullptr) {
+        metrics_.degraded->Inc();
+      }
+      if (metrics_.retries != nullptr && r.retries > 0) {
+        metrics_.retries->Inc(r.retries);
+      }
+      if (metrics_.records_dropped != nullptr && r.records_dropped > 0) {
+        metrics_.records_dropped->Inc(r.records_dropped);
+      }
+      if (metrics_.claims_corrupted != nullptr && r.claims_corrupted > 0) {
+        metrics_.claims_corrupted->Inc(r.claims_corrupted);
+      }
+      if (!r.status.ok()) ++report_.units_degraded;
+      report_.retries += r.retries;
+      report_.records_dropped += r.records_dropped;
+      report_.claims_corrupted += r.claims_corrupted;
+      report_.virtual_ms += r.virtual_ms;
+      if (!r.status.ok() || r.retries > 0 || r.records_dropped > 0 ||
+          r.claims_corrupted > 0) {
+        SourceDegradation row;
+        row.source = r.unit_id;
+        row.attempts = r.retries + 1;
+        row.retries = r.retries;
+        row.quarantined = !r.status.ok();
+        row.final_status = r.status;
+        row.records_dropped = r.records_dropped;
+        row.claims_dropped = r.records_dropped;
+        row.claims_corrupted = r.claims_corrupted;
+        row.virtual_ms = r.virtual_ms;
+        report_.degradation.sources.push_back(std::move(row));
+      }
+      for (store::Mutation& m : r.mutations) {
+        pending.push_back(std::move(m));
+      }
+      ++pending_units;
+      if (pending_units >= batch_units) {
+        CommitBatch(&pending, pending_units);
+        pending_units = 0;
+      }
+    }
+  };
+
+  while (auto done = done_->Pop()) {
+    reorder_.emplace(done->ticket, std::move(done->result));
+    release_ready();
+  }
+  release_ready();
+  KG_CHECK(reorder_.empty())
+      << "ingest committer drained with " << reorder_.size()
+      << " units stuck in the reorder buffer";
+  CommitBatch(&pending, pending_units);
+  span.SetAttr("commit_batches", report_.commit_batches);
+  span.End();
+}
+
+}  // namespace kg::ingest

@@ -1,0 +1,192 @@
+#ifndef KGRAPH_INGEST_PIPELINE_H_
+#define KGRAPH_INGEST_PIPELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "ingest/bounded_queue.h"
+#include "ingest/crawl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/versioned_store.h"
+
+namespace kg::ingest {
+
+/// Pipeline knobs.
+struct IngestOptions {
+  /// Extract/link worker threads (the parallel stage).
+  size_t num_workers = 1;
+  /// Capacity of each inter-stage queue. Small values force
+  /// backpressure; TrySubmit then sheds with kUnavailable.
+  size_t queue_capacity = 64;
+  /// Chaos profile applied at the fetch stage (inactive by default).
+  FaultPlan faults;
+  RetryPolicy retry;
+  /// Base seed of the per-unit retry-jitter streams.
+  uint64_t seed = 1;
+  /// Units per ApplyBatch commit (batched WAL flush / epoch publish);
+  /// the committer still applies strictly in seq order.
+  size_t commit_unit_batch = 4;
+  /// Observability sinks; both may be null.
+  obs::MetricsRegistry* registry = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+/// What a drained run did. Store-content invariants (fingerprint,
+/// committed mutation count) are bit-identical at any worker count;
+/// scheduling-dependent observations (sheds, stage timings) are not and
+/// feed dashboards, not gates.
+struct IngestReport {
+  size_t units_submitted = 0;
+  size_t units_processed = 0;
+  size_t units_degraded = 0;  ///< Lost to terminal faults / retry budget.
+  uint64_t mutations_committed = 0;
+  uint64_t commit_batches = 0;
+  /// Backpressure sheds observed at the submission edge (TrySubmit
+  /// returning kUnavailable).
+  uint64_t sheds = 0;
+  uint64_t retries = 0;
+  uint64_t records_dropped = 0;
+  uint64_t claims_corrupted = 0;
+  double virtual_ms = 0.0;  ///< Chaos latency + backoff (virtual).
+  /// Per-unit degradation rows, in seq order (anomalous units only).
+  DegradationReport degradation;
+};
+
+/// The streaming construction loop: crawl units in, mutation batches
+/// into a live VersionedKgStore, while readers keep answering against
+/// the store's epochs.
+///
+///   submit -> [input queue] -> workers: fetch+extract+link (parallel,
+///   pure per unit) -> [commit queue] -> committer: reorder to seq
+///   order -> store.ApplyBatch
+///
+/// Determinism: ProcessUnit is a pure function of (plan, unit, ctx), and
+/// the single committer holds a reorder buffer that releases unit
+/// batches in submission-ticket order — so the store's mutation log, and
+/// therefore its authoritative fingerprint, is a pure function of the
+/// plan and chaos seed, bit-identical at 1, 2, or 8 workers
+/// (ingest_property_test pins this against OfflineRebuild).
+///
+/// Backpressure: TrySubmit never blocks; a full input queue sheds with
+/// retriable kUnavailable, the same contract the rpc admission queue
+/// exposes, so RetryWithBackoff/CircuitBreaker wrap the submission edge
+/// unchanged. Inside the pipeline nothing is ever dropped (the
+/// zero-lost-upserts gate): workers block on the commit queue.
+///
+/// One-shot: construct over a plan, Start, submit, Finish.
+class IngestPipeline {
+ public:
+  /// `store`, `linker`, and `plan` must outlive the pipeline. The store
+  /// should have been opened over the same base graph the linker was
+  /// built from, or the offline-rebuild gates will diverge.
+  IngestPipeline(store::VersionedKgStore& store, const SurfaceLinker& linker,
+                 const CrawlPlan& plan, IngestOptions options);
+
+  /// Joins all stage threads (finishing the run if Finish was not
+  /// called).
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Spawns the stage threads. Call once.
+  void Start();
+
+  /// Enqueues plan unit `unit_index`. kUnavailable = backpressure shed
+  /// (retriable, nothing enqueued); kFailedPrecondition after Finish.
+  /// Single-submitter: call from one thread (tickets are claimed
+  /// non-atomically with the push, which is what keeps the ticket
+  /// sequence dense).
+  Status TrySubmit(size_t unit_index);
+
+  /// Blocking submit used by RunAll: spins TrySubmit, counting sheds.
+  void SubmitBlocking(size_t unit_index);
+
+  /// Seals the input, drains every stage, joins the threads, and
+  /// returns the report. Idempotent.
+  IngestReport Finish();
+
+  /// Start + submit every plan unit in order + Finish.
+  IngestReport RunAll();
+
+  /// Live backpressure depth (input queue occupancy), for dashboards.
+  size_t input_depth() const { return input_->size(); }
+
+ private:
+  struct Metrics {
+    obs::Counter* units = nullptr;
+    obs::Counter* mutations = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* sheds = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* records_dropped = nullptr;
+    obs::Counter* claims_corrupted = nullptr;
+    obs::Counter* commit_batches = nullptr;
+    obs::Histogram* fetch_us = nullptr;
+    obs::Histogram* extract_us = nullptr;
+    obs::Histogram* link_us = nullptr;
+    obs::Histogram* commit_us = nullptr;
+    obs::Gauge* input_depth = nullptr;
+  };
+
+  /// One submitted unit, stamped with its submission ticket. The
+  /// committer releases tickets in order, so the mutation log follows
+  /// the submission sequence even when callers submit a subset of the
+  /// plan.
+  struct WorkItem {
+    uint64_t ticket = 0;
+    size_t unit_index = 0;
+  };
+  struct DoneItem {
+    uint64_t ticket = 0;
+    UnitResult result;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  void CommitterLoop();
+
+  /// Flushes `pending` (mutations of consecutive ready units) into the
+  /// store as one ApplyBatch.
+  void CommitBatch(std::vector<store::Mutation>* pending, size_t units);
+
+  store::VersionedKgStore& store_;
+  const SurfaceLinker& linker_;
+  const CrawlPlan& plan_;
+  const IngestOptions options_;
+  UnitContext ctx_;
+  std::unique_ptr<FaultInjector> injector_;
+
+  std::unique_ptr<BoundedQueue<WorkItem>> input_;
+  std::unique_ptr<BoundedQueue<DoneItem>> done_;
+
+  std::vector<std::thread> workers_;
+  std::thread committer_;
+  bool started_ = false;
+  bool finished_ = false;
+
+  obs::Span root_span_;
+  Metrics metrics_{};
+
+  // Committer-owned (no locking needed beyond the queue): the reorder
+  // buffer and the next ticket to release.
+  std::map<uint64_t, UnitResult> reorder_;
+  uint64_t next_ticket_ = 0;
+
+  // Report accumulators. `submitted_`/`sheds_` are written by the
+  // submitting thread, the rest by the committer; all read after join.
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> sheds_{0};
+  IngestReport report_;
+};
+
+}  // namespace kg::ingest
+
+#endif  // KGRAPH_INGEST_PIPELINE_H_

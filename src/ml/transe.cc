@@ -121,4 +121,9 @@ const std::vector<double>& TransE::entity_embedding(uint32_t id) const {
   return entities_[id];
 }
 
+const std::vector<double>& TransE::relation_embedding(uint32_t id) const {
+  KG_CHECK(id < num_relations_);
+  return relations_[id];
+}
+
 }  // namespace kg::ml

@@ -36,6 +36,15 @@ class TransE {
   TransE() = default;
 
   /// Trains embeddings for ids in [0, num_entities) / [0, num_relations).
+  ///
+  /// Training is serial by design: each SGD step reads embeddings the
+  /// previous step wrote and draws its corruption sample from the shared
+  /// `rng` in triple order, so the result is order-dependent. Sharding
+  /// the triple loop would change (not just reorder) the output, and a
+  /// hogwild-style parallel variant is deterministic only per
+  /// thread-count. The repo's determinism bar (bit-identical at 1/2/8
+  /// threads) therefore pins Fit as serial-only;
+  /// ml_transe_determinism_test enforces seed-reproducibility instead.
   void Fit(const std::vector<IdTriple>& triples, size_t num_entities,
            size_t num_relations, const TransEOptions& options, Rng& rng);
 
@@ -49,7 +58,10 @@ class TransE {
       const std::vector<IdTriple>& known) const;
 
   size_t dim() const { return dim_; }
+  size_t num_entities() const { return num_entities_; }
+  size_t num_relations() const { return num_relations_; }
   const std::vector<double>& entity_embedding(uint32_t id) const;
+  const std::vector<double>& relation_embedding(uint32_t id) const;
 
  private:
   void Normalize(std::vector<double>& v);

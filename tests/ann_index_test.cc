@@ -1,0 +1,207 @@
+// HNSW index contract tests: deterministic seeded construction
+// (byte-identical Serialize for equal inputs), search/brute-force
+// agreement on small sets, the serialized-container hardening contract
+// (every single-byte flip and every truncation rejected, newer
+// container refused with retriable kUnavailable), and atomic
+// Save/Load.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ann/hnsw.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace kg::ann {
+namespace {
+
+std::vector<float> RandomVectors(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n * dim);
+  for (float& v : out) {
+    v = static_cast<float>(rng.UniformDouble() * 2.0 - 1.0);
+  }
+  return out;
+}
+
+HnswOptions SmallOptions(size_t dim) {
+  HnswOptions o;
+  o.dim = dim;
+  o.M = 8;
+  o.ef_construction = 64;
+  o.ef_search = 48;
+  o.seed = 17;
+  return o;
+}
+
+TEST(AnnIndexTest, EmptyIndex) {
+  HnswIndex index = HnswIndex::Build({}, SmallOptions(4));
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.Search(std::vector<float>(4, 0.0f), 5).empty());
+  EXPECT_TRUE(index.BruteForce(std::vector<float>(4, 0.0f), 5).empty());
+
+  const std::string bytes = index.Serialize();
+  auto back = HnswIndex::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), 0u);
+  EXPECT_EQ(back->Serialize(), bytes);
+}
+
+TEST(AnnIndexTest, SingleVector) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f, 4.0f};
+  HnswIndex index = HnswIndex::Build(v, SmallOptions(4));
+  ASSERT_EQ(index.size(), 1u);
+
+  auto hits = index.Search(v, 3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_FLOAT_EQ(hits[0].dist, 0.0f);
+
+  // vector() is clamped, never UB.
+  EXPECT_EQ(index.vector(0).size(), 4u);
+  EXPECT_TRUE(index.vector(1).empty());
+  EXPECT_TRUE(index.vector(123456).empty());
+}
+
+TEST(AnnIndexTest, ExactNearestOnSmallSet) {
+  // With ef >= n, layer-0 beam search degenerates to exhaustive search,
+  // so HNSW must agree with brute force exactly (ids and distances).
+  const size_t kN = 64, kDim = 8;
+  HnswOptions options = SmallOptions(kDim);
+  options.ef_search = kN;
+  HnswIndex index = HnswIndex::Build(RandomVectors(kN, kDim, 3), options);
+
+  Rng rng(99);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<float> query(kDim);
+    for (float& v : query) {
+      v = static_cast<float>(rng.UniformDouble() * 2.0 - 1.0);
+    }
+    EXPECT_EQ(index.Search(query, 10), index.BruteForce(query, 10));
+  }
+}
+
+TEST(AnnIndexTest, ResultsOrderedByDistThenId) {
+  // Duplicate vectors force distance ties; (dist, id) must break them.
+  std::vector<float> vectors;
+  for (int i = 0; i < 8; ++i) {
+    vectors.push_back(1.0f);
+    vectors.push_back(2.0f);
+  }
+  HnswOptions options = SmallOptions(2);
+  options.ef_search = 16;
+  HnswIndex index = HnswIndex::Build(vectors, options);
+  auto hits = index.Search(std::vector<float>{1.0f, 2.0f}, 8);
+  ASSERT_EQ(hits.size(), 8u);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].id, static_cast<uint32_t>(i));
+    EXPECT_FLOAT_EQ(hits[i].dist, 0.0f);
+  }
+}
+
+TEST(AnnIndexTest, BuildIsDeterministic) {
+  const auto vectors = RandomVectors(300, 16, 7);
+  HnswOptions options = SmallOptions(16);
+  const std::string a = HnswIndex::Build(vectors, options).Serialize();
+  const std::string b = HnswIndex::Build(vectors, options).Serialize();
+  EXPECT_EQ(a, b) << "equal inputs must serialize byte-identically";
+
+  // A different seed redraws levels: almost surely a different graph.
+  options.seed = 18;
+  const std::string c = HnswIndex::Build(vectors, options).Serialize();
+  EXPECT_NE(a, c);
+}
+
+TEST(AnnIndexTest, SerializeRoundTrip) {
+  const auto vectors = RandomVectors(200, 12, 11);
+  HnswIndex index = HnswIndex::Build(vectors, SmallOptions(12));
+  auto back = HnswIndex::Deserialize(index.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  EXPECT_EQ(back->size(), index.size());
+  EXPECT_EQ(back->dim(), index.dim());
+  EXPECT_EQ(back->options().M, index.options().M);
+  EXPECT_EQ(back->options().seed, index.options().seed);
+  EXPECT_EQ(back->Serialize(), index.Serialize());
+
+  Rng rng(5);
+  for (int q = 0; q < 10; ++q) {
+    std::vector<float> query(12);
+    for (float& v : query) {
+      v = static_cast<float>(rng.UniformDouble() * 2.0 - 1.0);
+    }
+    EXPECT_EQ(back->Search(query, 5), index.Search(query, 5));
+  }
+}
+
+TEST(AnnIndexTest, EveryTruncationRejected) {
+  HnswIndex index = HnswIndex::Build(RandomVectors(40, 6, 2),
+                                     SmallOptions(6));
+  const std::string bytes = index.Serialize();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto r = HnswIndex::Deserialize(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(r.ok()) << "prefix of " << len << " bytes accepted";
+  }
+  // Trailing garbage is a structural violation too.
+  auto r = HnswIndex::Deserialize(bytes + "x");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AnnIndexTest, EverySingleByteFlipRejected) {
+  // The header checksum covers every header byte and the payload
+  // checksum every payload byte, so no single-byte flip may load.
+  HnswIndex index = HnswIndex::Build(RandomVectors(30, 4, 4),
+                                     SmallOptions(4));
+  const std::string bytes = index.Serialize();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5a);
+    auto r = HnswIndex::Deserialize(corrupt);
+    EXPECT_FALSE(r.ok()) << "flip at byte " << i << " accepted";
+  }
+}
+
+TEST(AnnIndexTest, NewerContainerVersionIsUnavailable) {
+  HnswIndex index = HnswIndex::Build(RandomVectors(10, 4, 6),
+                                     SmallOptions(4));
+  std::string bytes = index.Serialize();
+  // Patch the version field (offset 8, after the 8-byte magic) and
+  // re-stamp the header checksum (last 4 header bytes, covering
+  // everything before it) so only the version is "wrong".
+  const uint32_t newer = kAnnContainerVersion + 1;
+  std::memcpy(bytes.data() + 8, &newer, sizeof newer);
+  constexpr size_t kHeaderSize = 64;
+  const uint32_t checksum =
+      Checksum32(std::string_view(bytes.data(), kHeaderSize - 4));
+  std::memcpy(bytes.data() + kHeaderSize - 4, &checksum, sizeof checksum);
+
+  auto r = HnswIndex::Deserialize(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable)
+      << r.status().ToString();
+}
+
+TEST(AnnIndexTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kg_ann_index_test.bin")
+          .string();
+  HnswIndex index = HnswIndex::Build(RandomVectors(50, 8, 9),
+                                     SmallOptions(8));
+  ASSERT_TRUE(index.Save(path).ok());
+  auto back = HnswIndex::Load(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->Serialize(), index.Serialize());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(HnswIndex::Load(path).ok()) << "missing file accepted";
+}
+
+}  // namespace
+}  // namespace kg::ann

@@ -1,0 +1,267 @@
+// Streaming-ingest pipeline contract tests: a drained run commits the
+// exact mutation log the serial offline rebuild produces (fingerprint
+// equality + zero lost upserts), ticket-ordered commits make subset
+// submission deterministic too, chaos degrades units into the report
+// instead of wedging the drain, the lifecycle errors are typed, and the
+// obs counters agree with the report.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/knowledge_graph.h"
+#include "ingest/crawl.h"
+#include "ingest/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/versioned_store.h"
+#include "synth/entity_universe.h"
+
+namespace kg::ingest {
+namespace {
+
+using graph::KnowledgeGraph;
+using graph::TripleSetFingerprint;
+using store::StoreOptions;
+using store::VersionedKgStore;
+
+synth::EntityUniverse SmallUniverse(uint64_t seed) {
+  synth::UniverseOptions uo;
+  uo.num_people = 80;
+  uo.num_movies = 40;
+  uo.num_songs = 30;
+  Rng rng(seed);
+  return synth::EntityUniverse::Generate(uo, rng);
+}
+
+CrawlPlan SmallPlan(const synth::EntityUniverse& universe, uint64_t seed) {
+  CrawlPlanOptions po;
+  po.num_catalog_sources = 4;
+  po.records_per_chunk = 8;
+  po.num_websites = 3;
+  po.pages_per_site = 10;
+  Rng rng(seed);
+  return BuildCrawlPlan(universe, po, rng);
+}
+
+TEST(IngestPipelineTest, PlanShape) {
+  const auto universe = SmallUniverse(1);
+  const CrawlPlan plan = SmallPlan(universe, 2);
+  ASSERT_EQ(plan.tables.size(), 4u);
+  ASSERT_EQ(plan.websites.size(), 3u);
+  ASSERT_GT(plan.num_units(), 10u);
+  for (size_t i = 0; i < plan.num_units(); ++i) {
+    const CrawlUnit& u = plan.units[i];
+    EXPECT_EQ(u.seq, i) << "units must be stamped in plan order";
+    EXPECT_FALSE(u.unit_id.empty());
+    if (u.kind == UnitKind::kCatalogChunk) {
+      ASSERT_LT(u.source_index, plan.tables.size());
+      EXPECT_LE(u.end, plan.tables[u.source_index].records.size());
+    } else {
+      ASSERT_LT(u.source_index, plan.websites.size());
+      EXPECT_EQ(u.end, u.begin + 1);
+    }
+    EXPECT_LT(u.begin, u.end);
+  }
+  // Two builds of the same plan are the same plan.
+  Rng rng(2);
+  CrawlPlanOptions po;
+  po.num_catalog_sources = 4;
+  po.records_per_chunk = 8;
+  po.num_websites = 3;
+  po.pages_per_site = 10;
+  const CrawlPlan again = BuildCrawlPlan(universe, po, rng);
+  ASSERT_EQ(again.num_units(), plan.num_units());
+  for (size_t i = 0; i < plan.num_units(); ++i) {
+    EXPECT_EQ(again.units[i].unit_id, plan.units[i].unit_id);
+  }
+}
+
+TEST(IngestPipelineTest, DrainedRunMatchesOfflineRebuild) {
+  const auto universe = SmallUniverse(3);
+  KnowledgeGraph base = universe.ToKnowledgeGraph();
+  const CrawlPlan plan = SmallPlan(universe, 4);
+  const SurfaceLinker linker(base);
+
+  UnitContext oracle_ctx;
+  uint64_t oracle_mutations = 0;
+  const KnowledgeGraph rebuilt =
+      OfflineRebuild(plan, base, linker, oracle_ctx, nullptr,
+                     &oracle_mutations);
+  ASSERT_GT(oracle_mutations, 0u);
+
+  auto store = VersionedKgStore::Open(base, StoreOptions{});
+  ASSERT_TRUE(store.ok());
+
+  obs::MetricsRegistry registry;
+  IngestOptions options;
+  options.num_workers = 2;
+  options.registry = &registry;
+  IngestPipeline pipeline(**store, linker, plan, options);
+  const IngestReport report = pipeline.RunAll();
+
+  EXPECT_EQ(report.units_submitted, plan.num_units());
+  EXPECT_EQ(report.units_processed, plan.num_units());
+  EXPECT_EQ(report.units_degraded, 0u);
+  EXPECT_EQ(report.mutations_committed, oracle_mutations)
+      << "zero-lost-upserts: every extracted mutation must commit";
+  EXPECT_EQ(report.mutations_committed, (*store)->applied_mutations());
+  EXPECT_EQ((*store)->AuthoritativeFingerprint(),
+            TripleSetFingerprint(rebuilt))
+      << "drained store must equal the serial offline rebuild";
+
+  // The obs counters tell the same story as the report.
+  EXPECT_EQ(registry.GetCounter("ingest.units").Value(),
+            static_cast<uint64_t>(report.units_processed));
+  EXPECT_EQ(registry.GetCounter("ingest.mutations").Value(),
+            report.mutations_committed);
+  EXPECT_EQ(registry.GetCounter("ingest.commit_batches").Value(),
+            report.commit_batches);
+  EXPECT_GT(report.commit_batches, 1u);
+}
+
+TEST(IngestPipelineTest, CommitBatchSizeDoesNotChangeContent) {
+  const auto universe = SmallUniverse(5);
+  KnowledgeGraph base = universe.ToKnowledgeGraph();
+  const CrawlPlan plan = SmallPlan(universe, 6);
+  const SurfaceLinker linker(base);
+
+  uint64_t fingerprint = 0;
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{64}}) {
+    auto store = VersionedKgStore::Open(base, StoreOptions{});
+    ASSERT_TRUE(store.ok());
+    IngestOptions options;
+    options.num_workers = 2;
+    options.commit_unit_batch = batch;
+    IngestPipeline pipeline(**store, linker, plan, options);
+    pipeline.RunAll();
+    if (fingerprint == 0) {
+      fingerprint = (*store)->AuthoritativeFingerprint();
+    } else {
+      EXPECT_EQ((*store)->AuthoritativeFingerprint(), fingerprint)
+          << "commit_unit_batch " << batch;
+    }
+  }
+}
+
+TEST(IngestPipelineTest, SubsetSubmissionFollowsTicketOrder) {
+  // Submitting every other unit must commit exactly those units, in
+  // submission order — the reorder buffer keys on tickets, not plan seqs.
+  const auto universe = SmallUniverse(7);
+  KnowledgeGraph base = universe.ToKnowledgeGraph();
+  const CrawlPlan plan = SmallPlan(universe, 8);
+  const SurfaceLinker linker(base);
+
+  KnowledgeGraph oracle = base;
+  UnitContext ctx;
+  uint64_t oracle_mutations = 0;
+  for (size_t i = 0; i < plan.num_units(); i += 2) {
+    const UnitResult r = ProcessUnit(plan, plan.units[i], linker, ctx);
+    for (const store::Mutation& m : r.mutations) {
+      ApplyMutationToKg(oracle, m);
+      ++oracle_mutations;
+    }
+  }
+
+  auto store = VersionedKgStore::Open(base, StoreOptions{});
+  ASSERT_TRUE(store.ok());
+  IngestOptions options;
+  options.num_workers = 4;
+  IngestPipeline pipeline(**store, linker, plan, options);
+  pipeline.Start();
+  size_t submitted = 0;
+  for (size_t i = 0; i < plan.num_units(); i += 2) {
+    pipeline.SubmitBlocking(i);
+    ++submitted;
+  }
+  const IngestReport report = pipeline.Finish();
+
+  EXPECT_EQ(report.units_processed, submitted);
+  EXPECT_EQ(report.mutations_committed, oracle_mutations);
+  EXPECT_EQ((*store)->AuthoritativeFingerprint(),
+            TripleSetFingerprint(oracle));
+}
+
+TEST(IngestPipelineTest, ChaosDegradesIntoReportNotDrain) {
+  const auto universe = SmallUniverse(9);
+  KnowledgeGraph base = universe.ToKnowledgeGraph();
+  const CrawlPlan plan = SmallPlan(universe, 10);
+  const SurfaceLinker linker(base);
+
+  IngestOptions options;
+  options.num_workers = 2;
+  options.faults = FaultPlan::Uniform(/*seed=*/77, /*rate=*/0.25);
+  options.seed = 77;
+
+  // Chaos oracle: the serial rebuild under the same fault plan.
+  UnitContext ctx;
+  FaultInjector injector(options.faults);
+  ctx.faults = &injector;
+  ctx.retry = options.retry;
+  ctx.seed = options.seed;
+  DegradationReport oracle_degradation;
+  uint64_t oracle_mutations = 0;
+  const KnowledgeGraph rebuilt = OfflineRebuild(
+      plan, base, linker, ctx, &oracle_degradation, &oracle_mutations);
+
+  auto store = VersionedKgStore::Open(base, StoreOptions{});
+  ASSERT_TRUE(store.ok());
+  obs::Tracer tracer(/*seed=*/1);
+  obs::MetricsRegistry registry;
+  options.registry = &registry;
+  options.tracer = &tracer;
+  IngestPipeline pipeline(**store, linker, plan, options);
+  const IngestReport report = pipeline.RunAll();
+
+  EXPECT_EQ(report.units_processed, plan.num_units())
+      << "chaos must degrade units, never wedge the drain";
+  EXPECT_GT(report.degradation.sources.size(), 0u)
+      << "a 25% fault rate over this many units must leave a mark";
+  EXPECT_EQ(report.mutations_committed, oracle_mutations);
+  EXPECT_EQ((*store)->AuthoritativeFingerprint(),
+            TripleSetFingerprint(rebuilt))
+      << "chaos outcomes must be deterministic per (plan, seed)";
+
+  // Degradation rows match the oracle's, in the same order.
+  ASSERT_EQ(report.degradation.sources.size(),
+            oracle_degradation.sources.size());
+  for (size_t i = 0; i < oracle_degradation.sources.size(); ++i) {
+    const SourceDegradation& got = report.degradation.sources[i];
+    const SourceDegradation& want = oracle_degradation.sources[i];
+    EXPECT_EQ(got.source, want.source) << "row " << i;
+    EXPECT_EQ(got.retries, want.retries) << "row " << i;
+    EXPECT_EQ(got.quarantined, want.quarantined) << "row " << i;
+    EXPECT_EQ(got.records_dropped, want.records_dropped) << "row " << i;
+    EXPECT_EQ(got.claims_corrupted, want.claims_corrupted) << "row " << i;
+  }
+  EXPECT_EQ(report.units_degraded, oracle_degradation.quarantined());
+}
+
+TEST(IngestPipelineTest, LifecycleErrorsAreTyped) {
+  const auto universe = SmallUniverse(11);
+  KnowledgeGraph base = universe.ToKnowledgeGraph();
+  const CrawlPlan plan = SmallPlan(universe, 12);
+  const SurfaceLinker linker(base);
+  auto store = VersionedKgStore::Open(base, StoreOptions{});
+  ASSERT_TRUE(store.ok());
+
+  IngestPipeline pipeline(**store, linker, plan, IngestOptions{});
+  // Submitting before Start is a contract violation, not a shed.
+  EXPECT_EQ(pipeline.TrySubmit(0).code(), StatusCode::kFailedPrecondition);
+  pipeline.Start();
+  EXPECT_TRUE(pipeline.TrySubmit(0).ok());
+  const IngestReport report = pipeline.Finish();
+  EXPECT_EQ(report.units_processed, 1u);
+  // And so is submitting after Finish.
+  EXPECT_EQ(pipeline.TrySubmit(1).code(), StatusCode::kFailedPrecondition);
+  // Finish is idempotent.
+  EXPECT_EQ(pipeline.Finish().units_processed, 1u);
+}
+
+}  // namespace
+}  // namespace kg::ingest
