@@ -1,4 +1,5 @@
-// E24: sharded serving cluster under churn. Partitions the fig5-style
+// E24/E27: sharded serving cluster under churn, with tail-latency
+// attribution and distributed tracing. Partitions the fig5-style
 // entity KG across 4 shard groups (primary + 1 WAL-shipped replica
 // each) and replays a seeded Zipf query workload through the
 // scatter-gather router while one member per window is killed and
@@ -7,7 +8,19 @@
 // replica). Every routed answer is compared against a single
 // VersionedKgStore applying the same mutation stream: any divergence
 // exits non-zero, as does a shed request, an unhealed replica lag after
-// quiesce, or a pathological p99 cliff. Emits BENCH_cluster.json.
+// quiesce, or a pathological p99 cliff.
+//
+// The drill runs with stage timing on, so BENCH_cluster.json carries a
+// per-stage p50/p99 breakdown (fan-out wait per class, cache probe per
+// class, WAL append, overlay merge) next to the end-to-end numbers, and
+// the worst requests land in a slow-query ring written out as
+// BENCH_cluster_slow.json. A cluster-wide kIntrospect scrape over the
+// wire must parse. Then a quiesced traced phase replays a serial query
+// slice on a FixedTraceClock tracer at 1/2/8 server worker threads:
+// every routed query must render as one connected span tree
+// (route -> shard -> member -> store.execute), byte-identical across
+// thread counts and across a second same-seed run
+// (BENCH_cluster_trace.json).
 
 #include <algorithm>
 #include <cstddef>
@@ -27,7 +40,11 @@
 #include "common/timer.h"
 #include "graph/knowledge_graph.h"
 #include "obs/bench_sink.h"
+#include "obs/introspect.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rpc/frame.h"
 #include "serve/query_engine.h"
 #include "serve/serve_stats.h"
 #include "store/versioned_store.h"
@@ -150,6 +167,117 @@ std::vector<store::Mutation> MakeBatch(const synth::EntityUniverse& u,
 
 std::string JsonNumber(double v) { return FormatDouble(v, 3); }
 
+// Worst-N retention for the churn drill: threshold 0 keeps the 32 worst
+// routed requests regardless of absolute latency.
+constexpr size_t kSlowRingCapacity = 32;
+// The traced phase is serial, so keep it small: enough queries that all
+// four classes appear, few enough that the span tree stays readable.
+constexpr size_t kTraceQueries = 48;
+
+struct StageRow {
+  std::string stage;
+  std::string query_class;  // empty for classless stages
+  uint64_t count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// Reads back every stage histogram the drill could have filled and
+// keeps the ones that saw samples. Registration is idempotent, so
+// probing a stage the drill never hit just reads a zero-count histogram.
+std::vector<StageRow> CollectStageRows(obs::MetricsRegistry& registry) {
+  std::vector<StageRow> rows;
+  auto add = [&rows](std::string_view stage, std::string_view query_class,
+                     const obs::Histogram& h) {
+    if (h.Count() == 0) return;
+    rows.push_back({std::string(stage), std::string(query_class), h.Count(),
+                    h.Quantile(0.50), h.Quantile(0.99)});
+  };
+  const obs::Stage per_class[] = {obs::Stage::kFanout,
+                                  obs::Stage::kCacheProbe};
+  for (obs::Stage stage : per_class) {
+    for (size_t k = 0; k < serve::kNumQueryKinds; ++k) {
+      const char* cls = serve::QueryKindName(static_cast<serve::QueryKind>(k));
+      add(obs::StageName(stage), cls,
+          obs::StageHistogram(registry, stage, cls));
+    }
+  }
+  const obs::Stage classless[] = {obs::Stage::kWalAppend,
+                                  obs::Stage::kOverlayMerge};
+  for (obs::Stage stage : classless) {
+    add(obs::StageName(stage), "", obs::StageHistogram(registry, stage));
+  }
+  return rows;
+}
+
+// Walks an exported trace document and checks the acceptance shape:
+// every root is a "route.<class>" span, and every root that fanned out
+// to a member reaches at least one "store.execute" descendant. Returns
+// the number of route roots, or 0 on any violation.
+bool SpanReachesStore(const obs::JsonValue& span) {
+  if (const obs::JsonValue* name = span.Find("name");
+      name != nullptr && name->string_value == "store.execute") {
+    return true;
+  }
+  if (const obs::JsonValue* children = span.Find("children")) {
+    for (const obs::JsonValue& child : children->array) {
+      if (SpanReachesStore(child)) return true;
+    }
+  }
+  return false;
+}
+
+size_t CountConnectedRouteTrees(const std::string& trace_json) {
+  const auto doc = obs::ParseJson(trace_json);
+  if (!doc.ok()) return 0;
+  const obs::JsonValue* spans = doc->Find("spans");
+  if (spans == nullptr || !spans->is_array()) return 0;
+  size_t roots = 0;
+  for (const obs::JsonValue& span : spans->array) {
+    const obs::JsonValue* name = span.Find("name");
+    if (name == nullptr || name->string_value.rfind("route.", 0) != 0) {
+      return 0;  // a stray root means the tree is not connected
+    }
+    if (!SpanReachesStore(span)) return 0;
+    ++roots;
+  }
+  return roots;
+}
+
+// One quiesced traced run: a fresh cluster (no kills, no mutations) on
+// a FixedTraceClock tracer answers the same serial query slice, then
+// exports its span forest. Span ids are pure functions of (seed,
+// structure) and the router is in-process, so the bytes must not depend
+// on the primaries' RPC worker-thread count — that is the gate.
+std::string RunTracedPhase(const graph::KnowledgeGraph& kg,
+                           const synth::EntityUniverse& universe,
+                           size_t worker_threads) {
+  obs::FixedTraceClock clock;
+  obs::Tracer tracer(42, &clock);
+  cluster::ClusterOptions copts;
+  copts.num_shards = kShards;
+  copts.replicas_per_shard = kReplicas;
+  copts.tracer = &tracer;
+  copts.server_worker_threads = worker_threads;
+  copts.heartbeat_interval_ms = 2;
+  copts.receiver.dial_retry_ms = 1;
+  copts.receiver.max_dial_attempts = 100;
+  auto cluster = cluster::Cluster::Create(kg, copts);
+  KG_CHECK_OK(cluster.status());
+  KG_CHECK((*cluster)->WaitForCatchUp(30000));
+
+  Rng rng(9241);
+  const std::vector<serve::Query> slice =
+      MakeWorkload(universe, kTraceQueries, rng);
+  for (const serve::Query& q : slice) {
+    KG_CHECK_OK((*cluster)->Execute(q).status());
+  }
+  // Destroy the cluster before export so no member can still be
+  // holding an open span.
+  (*cluster).reset();
+  return tracer.ToJson();
+}
+
 }  // namespace
 
 int main() {
@@ -165,10 +293,13 @@ int main() {
   KG_CHECK_OK(reference.status());
 
   obs::MetricsRegistry registry;
+  obs::SlowQueryRing slow_ring(kSlowRingCapacity, /*threshold_us=*/0.0);
   cluster::ClusterOptions copts;
   copts.num_shards = kShards;
   copts.replicas_per_shard = kReplicas;
   copts.registry = &registry;
+  copts.time_stages = true;
+  copts.slow_ring = &slow_ring;
   copts.heartbeat_interval_ms = 2;
   copts.receiver.dial_retry_ms = 1;
   copts.receiver.max_dial_attempts = 100;
@@ -271,13 +402,67 @@ int main() {
             << "s; every routed answer compared against the single-store "
                "reference\n";
 
+  // Tail attribution: where the routed requests actually spent their
+  // time, per stage and class.
+  const std::vector<StageRow> stage_rows = CollectStageRows(registry);
+  PrintBanner(std::cout, "Per-stage attribution");
+  TablePrinter stage_table({"stage", "class", "count", "p50 us", "p99 us"});
+  for (const StageRow& row : stage_rows) {
+    stage_table.AddRow({row.stage, row.query_class.empty() ? "-"
+                                                           : row.query_class,
+                        std::to_string(row.count),
+                        FormatDouble(row.p50_us, 1),
+                        FormatDouble(row.p99_us, 1)});
+  }
+  stage_table.Print(std::cout);
+  std::cout << "slow-query ring retained " << slow_ring.size() << "/"
+            << slow_ring.capacity() << " worst requests\n";
+
+  // Introspection over the wire: every shard primary must answer a
+  // kIntrospect scrape, and the merged document must parse.
+  const auto scrape =
+      (*cluster)->ScrapeCluster(rpc::IntrospectWhat::kMetricsJson);
+  const bool scrape_ok = scrape.ok() && obs::ParseJson(*scrape).ok();
+  std::cout << "cluster-wide kIntrospect scrape: "
+            << (scrape_ok ? "OK" : "FAIL") << "\n";
+
   // Gates. A shed request under this drill is a lost answer (at most
   // one member per shard group was ever down); a failover count of zero
   // would mean the primary-kill windows never actually exercised the
   // replica path.
+  // Traced phase: same serial slice, fixed clock, three primary
+  // worker-thread settings and a repeat run. All four exports must be
+  // byte-identical, and run 1 must decompose into one connected
+  // route->...->store.execute tree per routed query.
+  std::cout << "\ntraced phase: " << kTraceQueries
+            << " serial queries at 1/2/8 server worker threads + repeat\n";
+  const std::string trace_1 = RunTracedPhase(kg, universe, 1);
+  const std::string trace_2 = RunTracedPhase(kg, universe, 2);
+  const std::string trace_8 = RunTracedPhase(kg, universe, 8);
+  const std::string trace_repeat = RunTracedPhase(kg, universe, 1);
+  const bool trace_threads_identical = trace_1 == trace_2 && trace_1 == trace_8;
+  const bool trace_repeat_identical = trace_1 == trace_repeat;
+  const size_t route_trees = CountConnectedRouteTrees(trace_1);
+#ifdef KG_OBS_NOOP
+  // Spans compile to nothing: the export is an empty forest, and that
+  // is the expected shape.
+  const bool trace_connected = route_trees == 0;
+#else
+  const bool trace_connected = route_trees == kTraceQueries;
+#endif
+  std::cout << "trace bytes across thread counts: "
+            << (trace_threads_identical ? "IDENTICAL (OK)" : "DIVERGED (FAIL)")
+            << "; repeat run: "
+            << (trace_repeat_identical ? "IDENTICAL (OK)" : "DIVERGED (FAIL)")
+            << "; connected route trees: " << route_trees << "/"
+            << kTraceQueries << " "
+            << (trace_connected ? "(OK)" : "(FAIL)") << "\n";
+
   const bool ok = divergences == 0 && transport_failures == 0 &&
                   router_stats.shed == 0 && router_stats.failovers > 0 &&
-                  converged && final_lag == 0 && p99_us < kP99CeilingUs;
+                  converged && final_lag == 0 && p99_us < kP99CeilingUs &&
+                  scrape_ok && trace_threads_identical &&
+                  trace_repeat_identical && trace_connected;
   std::cout << "sharded-vs-single: "
             << (divergences == 0 ? "IDENTICAL (OK)" : "DIVERGED (FAIL)")
             << "; convergence after churn: "
@@ -302,10 +487,45 @@ int main() {
          << ",\"max_lag_bytes\":" << max_lag_observed
          << ",\"final_lag_bytes\":" << final_lag
          << ",\"divergences\":" << divergences
+         << ",\"stages\":[";
+    for (size_t i = 0; i < stage_rows.size(); ++i) {
+      const StageRow& row = stage_rows[i];
+      if (i > 0) json << ",";
+      json << "{\"stage\":\"" << row.stage << "\"";
+      if (!row.query_class.empty()) {
+        json << ",\"class\":\"" << row.query_class << "\"";
+      }
+      json << ",\"count\":" << row.count
+           << ",\"p50_us\":" << JsonNumber(row.p50_us)
+           << ",\"p99_us\":" << JsonNumber(row.p99_us) << "}";
+    }
+    json << "],\"slow_ring_retained\":" << slow_ring.size()
+         << ",\"trace_queries\":" << kTraceQueries
+         << ",\"trace_threads_identical\":"
+         << (trace_threads_identical ? "true" : "false")
+         << ",\"trace_repeat_identical\":"
+         << (trace_repeat_identical ? "true" : "false")
+         << ",\"route_trees\":" << route_trees
          << ",\"gate\":\"" << (ok ? "ok" : "fail") << "\"}";
     const obs::JsonSink sink("cluster", 42,
                              ExecPolicy::Hardware().num_threads);
     KG_CHECK_OK(sink.WriteFile("BENCH_cluster.json", json.str()));
+    // Forensic artifacts next to the headline report: the worst routed
+    // requests with their per-stage breakdowns, and the deterministic
+    // span forest the trace gates were judged on.
+    KG_CHECK_OK(
+        sink.WriteFile("BENCH_cluster_slow.json", slow_ring.ToJson()));
+    std::ostringstream trace_payload;
+    trace_payload << "{\"queries\":" << kTraceQueries
+                  << ",\"worker_threads\":[1,2,8]"
+                  << ",\"threads_identical\":"
+                  << (trace_threads_identical ? "true" : "false")
+                  << ",\"repeat_identical\":"
+                  << (trace_repeat_identical ? "true" : "false")
+                  << ",\"route_trees\":" << route_trees
+                  << ",\"trace\":" << trace_1 << "}";
+    KG_CHECK_OK(
+        sink.WriteFile("BENCH_cluster_trace.json", trace_payload.str()));
   }
 
   // A divergence means sharding altered an answer; a shed request means

@@ -10,6 +10,15 @@
 //   C  counters + per-query latency histograms (time_queries: two
 //      clock reads per query) — reported, not gated; timing is opt-in
 //      precisely because clocks dwarf counter increments
+// A fourth ladder measures trace propagation on the *remote*
+// point-lookup path (loopback RpcClient -> RpcServer):
+//   D  remote lookups, no trace context on the wire
+//   E  the same requests carrying a sampled TraceContext (17-byte frame
+//      extension each way, server-side extraction) — gated at <=5%
+//      over D, because context propagation is the always-on distributed
+//      configuration
+//   F  E against a server that also records "serve.*" spans —
+//      reported, not gated; span recording is opt-in like rung C
 // The determinism half reruns an instrumented workload at 1/2/8
 // threads: metrics exposition and (FixedTraceClock) trace JSON must be
 // byte-identical across thread counts, or the binary exits non-zero.
@@ -33,6 +42,10 @@
 #include "obs/bench_sink.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rpc/client.h"
+#include "rpc/frame.h"
+#include "rpc/server.h"
+#include "rpc/transport.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
 #include "synth/behavior_generator.h"
@@ -47,6 +60,9 @@ constexpr size_t kLookups = 200000;   // per rung, per repetition
 constexpr size_t kRepetitions = 5;    // best-of, interleaved
 constexpr double kOverheadBudgetPct = 5.0;
 constexpr double kZipfExponent = 1.05;
+// Remote rungs go through a serial loopback client, so each lookup
+// costs a full request/response round trip; keep the count down.
+constexpr size_t kRemoteLookups = 20000;
 
 // The fig5 universe, exactly as bench_serve compiles it, so the gated
 // path is the same one the serving bench measures.
@@ -94,6 +110,47 @@ double TimeReplay(const serve::QueryEngine& engine,
 }
 
 std::string JsonNumber(double v) { return FormatDouble(v, 3); }
+
+// One timed serial pass over the loopback wire; `trace` (when non-null)
+// rides every request's trace-context extension.
+double TimeRemoteReplay(rpc::RpcClient& client,
+                        const std::vector<serve::Query>& workload,
+                        const rpc::TraceContext* trace, size_t* sink) {
+  WallTimer clock;
+  size_t rows = 0;
+  for (const serve::Query& q : workload) {
+    const auto result = client.Execute(q, trace);
+    KG_CHECK_OK(result.status());
+    rows += result->size();
+  }
+  const double seconds = clock.ElapsedSeconds();
+  *sink += rows;
+  return seconds;
+}
+
+// A started loopback server plus one handshaken client against it.
+struct RemoteRig {
+  std::unique_ptr<rpc::RpcServer> server;
+  std::unique_ptr<rpc::RpcClient> client;
+};
+
+RemoteRig MakeRemoteRig(const serve::QueryEngine* engine,
+                        obs::Tracer* tracer) {
+  RemoteRig rig;
+  rpc::RpcServerOptions options;
+  options.worker_threads = 1;
+  options.tracer = tracer;
+  auto listener = std::make_unique<rpc::InMemoryTransportServer>();
+  rpc::InMemoryTransportServer* loopback = listener.get();
+  rig.server = std::make_unique<rpc::RpcServer>(
+      rpc::EngineHandler(engine), std::move(listener), options);
+  KG_CHECK_OK(rig.server->Start());
+  auto transport = loopback->Connect();
+  KG_CHECK_OK(transport.status());
+  rig.client = std::make_unique<rpc::RpcClient>(std::move(*transport));
+  KG_CHECK_OK(rig.client->Handshake().status());
+  return rig;
+}
 
 // A small text-rich build traced under a FixedTraceClock: chunk spans
 // from the sharded extraction loop are named by chunk begin index, so
@@ -200,6 +257,55 @@ int main() {
   KG_CHECK(counted_queries == kRepetitions * kLookups)
       << "counter missed queries";
 
+  // ---- Remote trace-propagation rungs ----------------------------------
+  const std::vector<serve::Query> remote_workload(
+      workload.begin(), workload.begin() + kRemoteLookups);
+  rpc::TraceContext trace_ctx;
+  trace_ctx.trace_id = 0x6b67746163655f31ULL;
+  trace_ctx.parent_span_id = 0x726f6f745f737061ULL;
+  trace_ctx.sampled = true;
+  obs::Tracer remote_tracer(/*seed=*/42);
+  RemoteRig plain_rig = MakeRemoteRig(&bare, /*tracer=*/nullptr);
+  RemoteRig traced_rig = MakeRemoteRig(&bare, &remote_tracer);
+  double best_d = 1e30, best_e = 1e30, best_f = 1e30;
+  for (size_t rep = 0; rep < kRepetitions; ++rep) {
+    best_d = std::min(best_d, TimeRemoteReplay(*plain_rig.client,
+                                               remote_workload, nullptr,
+                                               &sink));
+    best_e = std::min(best_e, TimeRemoteReplay(*plain_rig.client,
+                                               remote_workload, &trace_ctx,
+                                               &sink));
+    best_f = std::min(best_f, TimeRemoteReplay(*traced_rig.client,
+                                               remote_workload, &trace_ctx,
+                                               &sink));
+    // Keep the recording rung honest rep over rep: span retention must
+    // not grow without bound across repetitions.
+    remote_tracer.Clear();
+  }
+  traced_rig.server->Stop();
+  plain_rig.server->Stop();
+  const double us_d = best_d / kRemoteLookups * 1e6;
+  const double us_e = best_e / kRemoteLookups * 1e6;
+  const double us_f = best_f / kRemoteLookups * 1e6;
+  const double propagation_pct = (best_e / best_d - 1.0) * 100.0;
+  const double recording_pct = (best_f / best_d - 1.0) * 100.0;
+  const bool propagation_gate_ok = propagation_pct <= kOverheadBudgetPct;
+
+  PrintBanner(std::cout, "Remote trace propagation (best of " +
+                             std::to_string(kRepetitions) + " x " +
+                             std::to_string(kRemoteLookups) +
+                             " loopback lookups)");
+  TablePrinter remote_table({"rung", "us/lookup", "overhead"});
+  remote_table.AddRow({"D remote bare", FormatDouble(us_d, 2), "-"});
+  remote_table.AddRow({"E + trace context", FormatDouble(us_e, 2),
+                       FormatDouble(propagation_pct, 2) + "%"});
+  remote_table.AddRow({"F + span recording", FormatDouble(us_f, 2),
+                       FormatDouble(recording_pct, 2) + "%"});
+  remote_table.Print(std::cout);
+  std::cout << "propagation-rung gate: " << FormatDouble(propagation_pct, 2)
+            << "% vs budget " << FormatDouble(kOverheadBudgetPct, 1)
+            << "% -> " << (propagation_gate_ok ? "OK" : "FAIL") << "\n";
+
   // ---- Metrics exposition determinism at 1/2/8 threads -----------------
   const std::vector<serve::Query> det_workload(
       workload.begin(), workload.begin() + 20000);
@@ -238,6 +344,14 @@ int main() {
             << ",\"timed_overhead_pct\":" << JsonNumber(timed_pct)
             << ",\"budget_pct\":" << JsonNumber(kOverheadBudgetPct)
             << ",\"gate_ok\":" << (gate_ok ? "true" : "false")
+            << ",\"remote\":{\"lookups\":" << kRemoteLookups
+            << ",\"bare_us\":" << JsonNumber(us_d)
+            << ",\"trace_context_us\":" << JsonNumber(us_e)
+            << ",\"span_recording_us\":" << JsonNumber(us_f)
+            << ",\"propagation_overhead_pct\":" << JsonNumber(propagation_pct)
+            << ",\"recording_overhead_pct\":" << JsonNumber(recording_pct)
+            << ",\"gate_ok\":" << (propagation_gate_ok ? "true" : "false")
+            << "}"
             << ",\"metrics_deterministic\":"
             << (metrics_deterministic ? "true" : "false")
             << ",\"trace_deterministic\":"
@@ -251,7 +365,7 @@ int main() {
     KG_CHECK_OK(trace_sink.WriteFile("BENCH_obs_trace.json", trace_8));
   }
 
-  const bool ok = gate_ok && metrics_deterministic &&
+  const bool ok = gate_ok && propagation_gate_ok && metrics_deterministic &&
                   trace_deterministic && kg_deterministic;
   PrintBanner(std::cout, "Observability verdict");
   std::cout << "verdict: " << (ok ? "BOUNDED & DETERMINISTIC" : "FAIL")

@@ -6,8 +6,11 @@
 // must be invisible to correctness). A second overload phase bursts
 // pipelined requests past the admission caps and measures the shed
 // rate: overflow must come back as clean, retriable kUnavailable
-// responses, never dropped or wrong. Emits BENCH_rpc.json with
-// qps/p50/p99 and shed-rate numbers.
+// responses, never dropped or wrong. The serving server runs with a
+// metrics registry, so the report also breaks the remote tail down by
+// server stage (admission, decode, queue wait, engine execute) per
+// query class. Emits BENCH_rpc.json with qps/p50/p99, the per-stage
+// breakdown, and shed-rate numbers.
 
 #include <atomic>
 #include <cstddef>
@@ -28,6 +31,8 @@
 #include "common/timer.h"
 #include "graph/knowledge_graph.h"
 #include "obs/bench_sink.h"
+#include "obs/introspect.h"
+#include "obs/metrics.h"
 #include "rpc/client.h"
 #include "rpc/frame.h"
 #include "rpc/server.h"
@@ -127,6 +132,33 @@ std::vector<serve::Query> MakeWorkload(const synth::EntityUniverse& u,
 
 std::string JsonNumber(double v) { return FormatDouble(v, 3); }
 
+struct StageRow {
+  std::string stage;
+  std::string query_class;
+  uint64_t count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// The four server-side stages, per query class, for every histogram
+// that saw samples during the serving phase.
+std::vector<StageRow> CollectStageRows(obs::MetricsRegistry& registry) {
+  std::vector<StageRow> rows;
+  const obs::Stage stages[] = {obs::Stage::kAdmission, obs::Stage::kDecode,
+                               obs::Stage::kQueueWait,
+                               obs::Stage::kEngineExecute};
+  for (obs::Stage stage : stages) {
+    for (size_t k = 0; k < serve::kNumQueryKinds; ++k) {
+      const char* cls = serve::QueryKindName(static_cast<serve::QueryKind>(k));
+      const obs::Histogram& h = obs::StageHistogram(registry, stage, cls);
+      if (h.Count() == 0) continue;
+      rows.push_back({obs::StageName(stage), cls, h.Count(),
+                      h.Quantile(0.50), h.Quantile(0.99)});
+    }
+  }
+  return rows;
+}
+
 }  // namespace
 
 int main() {
@@ -156,8 +188,10 @@ int main() {
   engine_options.cache_capacity = kCacheCapacity;
   const serve::QueryEngine engine(snap, engine_options);
 
+  obs::MetricsRegistry registry;
   rpc::RpcServerOptions server_options;
   server_options.worker_threads = kConnections;
+  server_options.registry = &registry;
   auto listener = std::make_unique<rpc::InMemoryTransportServer>();
   rpc::InMemoryTransportServer* loopback = listener.get();
   rpc::RpcServer server(rpc::EngineHandler(&engine), std::move(listener),
@@ -307,6 +341,18 @@ int main() {
                     FormatDouble(shed_rate * 100.0, 1) + "%)",
                 std::to_string(overload_anomalies.load())});
   table.Print(std::cout);
+
+  const std::vector<StageRow> stage_rows = CollectStageRows(registry);
+  PrintBanner(std::cout, "Per-stage attribution (serving phase)");
+  TablePrinter stage_table({"stage", "class", "count", "p50 us", "p99 us"});
+  for (const StageRow& row : stage_rows) {
+    stage_table.AddRow({row.stage, row.query_class,
+                        std::to_string(row.count),
+                        FormatDouble(row.p50_us, 1),
+                        FormatDouble(row.p99_us, 1)});
+  }
+  stage_table.Print(std::cout);
+
   std::cout << "serving wall " << FormatDouble(serving_seconds, 3)
             << "s over " << kConnections << " connections; overload: "
             << overload_ok.load() << " served, " << overload_shed.load()
@@ -332,7 +378,17 @@ int main() {
          << ",\"p50_us\":" << JsonNumber(p50_us)
          << ",\"p99_us\":" << JsonNumber(p99_us)
          << ",\"shed\":" << serving_stats.requests_shed
-         << ",\"divergences\":" << divergences.load() << "}"
+         << ",\"divergences\":" << divergences.load()
+         << ",\"stages\":[";
+    for (size_t i = 0; i < stage_rows.size(); ++i) {
+      const StageRow& row = stage_rows[i];
+      if (i > 0) json << ",";
+      json << "{\"stage\":\"" << row.stage << "\",\"class\":\""
+           << row.query_class << "\",\"count\":" << row.count
+           << ",\"p50_us\":" << JsonNumber(row.p50_us)
+           << ",\"p99_us\":" << JsonNumber(row.p99_us) << "}";
+    }
+    json << "]}"
          << ",\"overload\":{\"requests\":" << overload_total
          << ",\"served\":" << overload_ok.load()
          << ",\"shed\":" << overload_shed.load()

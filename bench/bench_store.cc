@@ -4,6 +4,10 @@
 // compaction kicked off mid-run on a ThreadPool. Read p50/p99 per ratio
 // are compared against the immutable-snapshot path (same cache budget);
 // the headline check is read p99 at 1% writes within 2x of immutable.
+// Each replay runs with stage timing on, so the report attributes the
+// tail by stage (result-cache probe per query class, WAL append and
+// overlay merge on the write path) — the breakdown that shows *where*
+// a p99-over-budget run actually spends its extra time.
 // Correctness is enforced the hard way: at checkpoints the store's
 // overlay answers are compared against a from-scratch snapshot rebuild of
 // an oracle KG that applied the same mutations, and the final
@@ -28,6 +32,8 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "obs/bench_sink.h"
+#include "obs/introspect.h"
+#include "obs/metrics.h"
 #include "graph/knowledge_graph.h"
 #include "serve/query_engine.h"
 #include "serve/serve_stats.h"
@@ -181,6 +187,37 @@ void ApplyToKg(graph::KnowledgeGraph* kg, const store::Mutation& m) {
   if (id != graph::kInvalidTriple) kg->RemoveTriple(id);
 }
 
+struct StageRow {
+  std::string stage;
+  std::string query_class;  // empty for classless write-path stages
+  uint64_t count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// Every store stage histogram the replay could have filled: the
+// per-class cache probe on the read path, WAL append and overlay merge
+// on the write path. Zero-count histograms are skipped.
+std::vector<StageRow> CollectStageRows(obs::MetricsRegistry& registry) {
+  std::vector<StageRow> rows;
+  auto add = [&rows](std::string_view stage, std::string_view query_class,
+                     const obs::Histogram& h) {
+    if (h.Count() == 0) return;
+    rows.push_back({std::string(stage), std::string(query_class), h.Count(),
+                    h.Quantile(0.50), h.Quantile(0.99)});
+  };
+  for (size_t k = 0; k < serve::kNumQueryKinds; ++k) {
+    const char* cls = serve::QueryKindName(static_cast<serve::QueryKind>(k));
+    add(obs::StageName(obs::Stage::kCacheProbe), cls,
+        obs::StageHistogram(registry, obs::Stage::kCacheProbe, cls));
+  }
+  add(obs::StageName(obs::Stage::kWalAppend), "",
+      obs::StageHistogram(registry, obs::Stage::kWalAppend));
+  add(obs::StageName(obs::Stage::kOverlayMerge), "",
+      obs::StageHistogram(registry, obs::Stage::kOverlayMerge));
+  return rows;
+}
+
 struct RatioReport {
   double write_pct = 0.0;
   size_t reads = 0;
@@ -194,9 +231,28 @@ struct RatioReport {
   size_t compactions = 0;
   size_t folded = 0;
   serve::ServeStats stats;
+  std::vector<StageRow> stage_rows;
 };
 
 std::string JsonNumber(double v) { return FormatDouble(v, 3); }
+
+std::string StageRowsJson(const std::vector<StageRow>& rows) {
+  std::ostringstream json;
+  json << "[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const StageRow& row = rows[i];
+    if (i > 0) json << ",";
+    json << "{\"stage\":\"" << row.stage << "\"";
+    if (!row.query_class.empty()) {
+      json << ",\"class\":\"" << row.query_class << "\"";
+    }
+    json << ",\"count\":" << row.count
+         << ",\"p50_us\":" << JsonNumber(row.p50_us)
+         << ",\"p99_us\":" << JsonNumber(row.p99_us) << "}";
+  }
+  json << "]";
+  return json.str();
+}
 
 }  // namespace
 
@@ -251,9 +307,12 @@ int main() {
         "bench_store_" + std::to_string(static_cast<int>(ratio * 100)) +
         ".wal";
     std::filesystem::remove(wal_path);
+    obs::MetricsRegistry registry;  // fresh per ratio: no cross-run merge
     store::StoreOptions options;
     options.wal_path = wal_path;
     options.cache_capacity = kCacheCapacity;
+    options.registry = &registry;
+    options.time_stages = true;
     auto opened = store::VersionedKgStore::Open(base_kg, options);
     if (!opened.ok()) {
       std::cerr << "store open failed: " << opened.status() << "\n";
@@ -338,6 +397,16 @@ int main() {
                     "% writes (" + std::to_string(report.reads) +
                     " reads, " + std::to_string(report.writes) + " writes)");
     report.stats.Print(std::cout);
+    report.stage_rows = CollectStageRows(registry);
+    TablePrinter stage_table({"stage", "class", "count", "p50 us", "p99 us"});
+    for (const StageRow& row : report.stage_rows) {
+      stage_table.AddRow({row.stage, row.query_class.empty() ? "-"
+                                                             : row.query_class,
+                          std::to_string(row.count),
+                          FormatDouble(row.p50_us, 1),
+                          FormatDouble(row.p99_us, 1)});
+    }
+    stage_table.Print(std::cout);
     const auto cache_counters = store.cache()->counters();
     std::cout << "wall " << FormatDouble(report.seconds, 3)
               << "s; write p50/p99 "
@@ -374,6 +443,23 @@ int main() {
             << (p99_gate_ok ? "OK: <=2x" : "SHORTFALL: >2x")
             << "); overlay-vs-rebuild divergences: " << total_divergences
             << (total_divergences == 0 ? " (OK)" : " (FAIL)") << "\n";
+  // Attribute the 1%-writes tail: which timed stage is widest at p99.
+  // When the headline ratio runs past budget, this is the row to read —
+  // the scan-heavy classes' cache probes (attribute_by_type,
+  // topk_related) absorb overlay invalidations, while write-path stages
+  // (WAL append, overlay merge) never block readers directly.
+  std::string tail_stage;
+  if (!reports[1].stage_rows.empty()) {
+    const StageRow* widest = &reports[1].stage_rows[0];
+    for (const StageRow& row : reports[1].stage_rows) {
+      if (row.p99_us > widest->p99_us) widest = &row;
+    }
+    tail_stage = widest->stage;
+    if (!widest->query_class.empty()) tail_stage += "." + widest->query_class;
+    std::cout << "tail attribution at 1% writes: widest stage p99 is "
+              << tail_stage << " at " << FormatDouble(widest->p99_us, 1)
+              << " us\n";
+  }
   if (!p99_gate_ok) {
     // Soft gate: a noisy-neighbor CI box can blow the tail without the
     // store being wrong, so the budget miss is a loud warning plus a
@@ -403,11 +489,13 @@ int main() {
            << ",\"write_p99_us\":" << JsonNumber(r.write_p99_us)
            << ",\"compactions\":" << r.compactions
            << ",\"divergences\":" << r.divergences
-           << ",\"stats\":" << r.stats.ToJson() << "}";
+           << ",\"stats\":" << r.stats.ToJson()
+           << ",\"stages\":" << StageRowsJson(r.stage_rows) << "}";
     }
     json << "],\"p99_ratio_at_1pct\":" << JsonNumber(p99_ratio)
          << ",\"p99_budget\":" << JsonNumber(kP99Budget)
          << ",\"p99_gate\":\"" << (p99_gate_ok ? "ok" : "warn") << "\""
+         << ",\"tail_stage_at_1pct\":\"" << tail_stage << "\""
          << ",\"divergences\":" << total_divergences << "}";
     const obs::JsonSink sink("store", 42, ExecPolicy::Hardware().num_threads);
     KG_CHECK_OK(sink.WriteFile("BENCH_store.json", json.str()));

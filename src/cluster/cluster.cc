@@ -51,6 +51,10 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(
     popts.registry = opts.registry;
     popts.heartbeat_interval_ms = opts.heartbeat_interval_ms;
     popts.wal_batch_max_bytes = opts.wal_batch_max_bytes;
+    popts.server_worker_threads = opts.server_worker_threads;
+    popts.tracer = opts.tracer;
+    popts.slow_ring = opts.slow_ring;
+    popts.time_stages = opts.time_stages;
     // Replicas need the same base; the primary takes its own copy.
     KG_ASSIGN_OR_RETURN(
         auto primary,
@@ -87,6 +91,8 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(
       ReplicaOptions ropts;
       ropts.registry = opts.registry;
       ropts.receiver = opts.receiver;
+      ropts.tracer = opts.tracer;
+      ropts.time_stages = opts.time_stages;
       if (!opts.wal_dir.empty()) {
         ropts.wal_path = opts.wal_dir + "/s" + std::to_string(shard) + "r" +
                          std::to_string(r) + ".wal";
@@ -114,6 +120,9 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(
   router_opts.breaker_failure_threshold = opts.breaker_failure_threshold;
   router_opts.breaker_probe_interval = opts.breaker_probe_interval;
   router_opts.registry = opts.registry;
+  router_opts.tracer = opts.tracer;
+  router_opts.time_stages = opts.time_stages;
+  router_opts.slow_ring = opts.slow_ring;
   cluster->router_ = std::make_unique<QueryRouter>(
       std::move(groups), std::move(primaries), router_opts);
 
@@ -125,6 +134,12 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(
   sup_opts.registry = opts.registry;
   cluster->supervisor_ = std::make_unique<ClusterSupervisor>(
       std::move(replica_ptrs), sup_opts);
+  std::vector<ClusterSupervisor::ScrapeTarget> targets;
+  targets.reserve(cluster->primaries_.size());
+  for (auto& primary : cluster->primaries_) {
+    targets.push_back({primary->label(), primary->DialFactory()});
+  }
+  cluster->supervisor_->SetScrapeTargets(std::move(targets));
   if (!cluster->replicas_.empty()) cluster->supervisor_->Start();
 
   return cluster;

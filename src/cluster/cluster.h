@@ -25,6 +25,22 @@ struct ClusterOptions {
   /// "cluster.*" (and member "store.*"/"rpc.*") metrics land here when
   /// non-null (not owned).
   obs::MetricsRegistry* registry = nullptr;
+  /// Distributed tracing (not owned). Wired into the router and every
+  /// member, so each routed query renders as one connected span tree
+  /// (route -> shard -> member -> store.execute), and into each
+  /// primary's RPC endpoint for kIntrospect(kTrace) scrapes. NOT wired
+  /// into WAL receivers — shipping spans depend on batch timing; opt in
+  /// per-receiver via `receiver.tracer` when forensics beat determinism.
+  obs::Tracer* tracer = nullptr;
+  /// Worst-N routed-query retention (not owned); also exposed on every
+  /// primary endpoint via kIntrospect(kSlowQueries).
+  obs::SlowQueryRing* slow_ring = nullptr;
+  /// With `registry`, time request-path stages (fanout at the router,
+  /// cache probe / WAL append / overlay merge in member stores) into
+  /// "stage_us.<stage>[.<class>]" histograms.
+  bool time_stages = false;
+  /// Worker threads of each primary's in-process RPC endpoint.
+  size_t server_worker_threads = 1;
   /// When set, replica r of shard s persists its applied log to
   /// `<wal_dir>/s<s>r<r>.wal`, making its resume offset durable across
   /// member re-creation. Empty keeps everything in memory.
@@ -84,6 +100,13 @@ class Cluster {
   /// log (lag 0); false on timeout. The deterministic barrier the tests
   /// and the bench quiesce on.
   bool WaitForCatchUp(int timeout_ms);
+
+  /// Cluster-wide observability scrape over the wire: every shard
+  /// primary's endpoint answers kIntrospectRequest(`what`), merged
+  /// deterministically by member label (ClusterSupervisor::ScrapeCluster).
+  Result<std::string> ScrapeCluster(rpc::IntrospectWhat what) const {
+    return supervisor_->ScrapeCluster(what);
+  }
 
   uint64_t MaxReplicaLagBytes() const;
 

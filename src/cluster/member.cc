@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.h"
 #include "store/wal.h"
 
 namespace kg::cluster {
@@ -33,6 +34,7 @@ Result<std::unique_ptr<PrimaryMember>> PrimaryMember::Create(
   store::StoreOptions sopts;
   sopts.wal_path = member->options_.wal_path;
   sopts.registry = member->options_.registry;
+  sopts.time_stages = member->options_.time_stages;
   KG_ASSIGN_OR_RETURN(member->store_,
                       store::VersionedKgStore::Open(std::move(base), sopts));
   {
@@ -48,8 +50,10 @@ Status PrimaryMember::StartServerLocked() {
   auto listener = std::make_unique<rpc::InMemoryTransportServer>();
   loopback_ = listener.get();
   rpc::RpcServerOptions sopts;
-  sopts.worker_threads = 1;
+  sopts.worker_threads = options_.server_worker_threads;
   sopts.registry = options_.registry;
+  sopts.tracer = options_.tracer;
+  sopts.slow_ring = options_.slow_ring;
   sopts.wal_source = &log_;
   sopts.wal_heartbeat_interval_ms = options_.heartbeat_interval_ms;
   sopts.wal_batch_max_bytes = options_.wal_batch_max_bytes;
@@ -110,6 +114,22 @@ Result<serve::EpochTaggedResult> PrimaryMember::Execute(
   return store_->TryExecuteTagged(query);
 }
 
+Result<serve::EpochTaggedResult> PrimaryMember::ExecuteTraced(
+    const serve::Query& query, uint64_t parent_span_id) const {
+  obs::Span span = obs::Tracer::StartWithParent(
+      options_.tracer, parent_span_id, "store.execute");
+  auto result = Execute(query);
+  if (span.active()) {
+    span.SetAttr("member", label_);
+    if (result.ok()) {
+      span.SetAttr("epoch", result->epoch);
+    } else {
+      span.SetAttr("error", result.status().message());
+    }
+  }
+  return result;
+}
+
 // ---- ReplicaMember -------------------------------------------------------
 
 ReplicaMember::ReplicaMember(size_t shard, size_t index,
@@ -144,6 +164,7 @@ Result<std::unique_ptr<ReplicaMember>> ReplicaMember::Create(
   store::StoreOptions sopts;
   sopts.wal_path = member->options_.wal_path;
   sopts.registry = member->options_.registry;
+  sopts.time_stages = member->options_.time_stages;
   KG_ASSIGN_OR_RETURN(member->store_,
                       store::VersionedKgStore::Open(std::move(base), sopts));
   member->store_->set_applied_watermark(resume_offset);
@@ -191,6 +212,22 @@ Result<serve::EpochTaggedResult> ReplicaMember::Execute(
     return Status::Unavailable(label_ + " is down");
   }
   return store_->TryExecuteTagged(query);
+}
+
+Result<serve::EpochTaggedResult> ReplicaMember::ExecuteTraced(
+    const serve::Query& query, uint64_t parent_span_id) const {
+  obs::Span span = obs::Tracer::StartWithParent(
+      options_.tracer, parent_span_id, "store.execute");
+  auto result = Execute(query);
+  if (span.active()) {
+    span.SetAttr("member", label_);
+    if (result.ok()) {
+      span.SetAttr("epoch", result->epoch);
+    } else {
+      span.SetAttr("error", result.status().message());
+    }
+  }
+  return result;
 }
 
 }  // namespace kg::cluster

@@ -29,6 +29,16 @@ class ShardMember {
   virtual ~ShardMember() = default;
   virtual Result<serve::EpochTaggedResult> Execute(
       const serve::Query& query) const = 0;
+  /// Execute under a caller span: `parent_span_id` is the router's
+  /// per-attempt "member.<label>" span (0 = untraced). Members with a
+  /// tracer nest their own "store.execute" span under it, completing
+  /// the router -> shard -> member -> store trace tree. The default
+  /// ignores tracing, so test fakes keep working unchanged.
+  virtual Result<serve::EpochTaggedResult> ExecuteTraced(
+      const serve::Query& query, uint64_t parent_span_id) const {
+    (void)parent_span_id;
+    return Execute(query);
+  }
   virtual bool alive() const = 0;
   virtual const std::string& label() const = 0;
 };
@@ -41,6 +51,21 @@ struct PrimaryOptions {
   /// Shipping-server tuning (see RpcServerOptions).
   int heartbeat_interval_ms = 5;
   size_t wal_batch_max_bytes = 256 * 1024;
+  /// Worker threads of the in-process RpcServer (the shipping and
+  /// introspection endpoint). Trace determinism is independent of this
+  /// knob by construction — the bench proves it at 1/2/8.
+  size_t server_worker_threads = 1;
+  /// Distributed tracing (not owned): ExecuteTraced nests a
+  /// "store.execute" span, and the shipping server roots "wal.ship"
+  /// spans for traced subscriptions. kIntrospect(kTrace) against this
+  /// primary dumps it.
+  obs::Tracer* tracer = nullptr;
+  /// Slow-query retention exposed via kIntrospect(kSlowQueries) on the
+  /// primary's endpoint (not owned).
+  obs::SlowQueryRing* slow_ring = nullptr;
+  /// With `registry`, time store stages (cache probe / WAL append /
+  /// overlay merge) into "stage_us.*" histograms.
+  bool time_stages = false;
 };
 
 /// The writable head of a shard group: a VersionedKgStore plus the
@@ -77,6 +102,8 @@ class PrimaryMember : public ShardMember {
   // --- ShardMember --------------------------------------------------------
   Result<serve::EpochTaggedResult> Execute(
       const serve::Query& query) const override;
+  Result<serve::EpochTaggedResult> ExecuteTraced(
+      const serve::Query& query, uint64_t parent_span_id) const override;
   bool alive() const override {
     return !killed_.load(std::memory_order_acquire);
   }
@@ -109,6 +136,11 @@ struct ReplicaOptions {
   std::string wal_path;
   obs::MetricsRegistry* registry = nullptr;
   WalReceiverOptions receiver;
+  /// Distributed tracing (not owned): ExecuteTraced nests a
+  /// "store.execute" span under the router's member span.
+  obs::Tracer* tracer = nullptr;
+  /// With `registry`, time store stages into "stage_us.*" histograms.
+  bool time_stages = false;
 };
 
 /// A read replica: the shard's base KG plus whatever verified prefix of
@@ -145,6 +177,8 @@ class ReplicaMember : public ShardMember {
   // --- ShardMember --------------------------------------------------------
   Result<serve::EpochTaggedResult> Execute(
       const serve::Query& query) const override;
+  Result<serve::EpochTaggedResult> ExecuteTraced(
+      const serve::Query& query, uint64_t parent_span_id) const override;
   bool alive() const override {
     return !killed_.load(std::memory_order_acquire);
   }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "common/timer.h"
 
 namespace kg::cluster {
 namespace {
@@ -73,6 +74,13 @@ QueryRouter::QueryRouter(std::vector<std::vector<ShardMember*>> members,
     failovers_metric_ = &options_.registry->GetCounter("cluster.failovers");
     shed_metric_ = &options_.registry->GetCounter("cluster.requests.shed");
     stale_metric_ = &options_.registry->GetCounter("cluster.stale_rejects");
+    if (options_.time_stages) {
+      for (size_t k = 0; k < serve::kNumQueryKinds; ++k) {
+        stage_fanout_[k] = &obs::StageHistogram(
+            *options_.registry, obs::Stage::kFanout,
+            serve::QueryKindName(static_cast<serve::QueryKind>(k)));
+      }
+    }
   }
 }
 
@@ -119,7 +127,9 @@ void QueryRouter::RecordOutcome(MemberHealth& health, bool ok,
 }
 
 Result<serve::QueryResult> QueryRouter::AskShard(size_t shard,
-                                                 const serve::Query& query) {
+                                                 const serve::Query& query,
+                                                 obs::Span* parent) {
+  obs::Span shard_span = parent->Child("shard@" + std::to_string(shard));
   const uint64_t committed =
       committed_[shard]->load(std::memory_order_acquire);
   const uint64_t floor = committed > options_.max_staleness_bytes
@@ -130,15 +140,19 @@ Result<serve::QueryResult> QueryRouter::AskShard(size_t shard,
     MemberHealth& health = *health_[shard][i];
     bool is_probe = false;
     if (!AllowMember(health, &is_probe)) continue;
-    auto tagged = group[i]->Execute(query);
+    obs::Span member_span = shard_span.Child("member." + group[i]->label());
+    auto tagged = group[i]->ExecuteTraced(query, member_span.id());
     if (!tagged.ok()) {
+      member_span.SetAttr("error", tagged.status().message());
       RecordOutcome(health, false, is_probe);
       continue;
     }
     RecordOutcome(health, true, is_probe);
+    member_span.SetAttr("epoch", tagged->epoch);
     if (tagged->epoch < floor) {
       // Healthy but unable to prove freshness: not a fault, keep
       // walking the failover order.
+      member_span.SetAttr("stale", "true");
       stale_rejects_.fetch_add(1, std::memory_order_relaxed);
       if (stale_metric_ != nullptr) stale_metric_->Inc();
       continue;
@@ -149,6 +163,7 @@ Result<serve::QueryResult> QueryRouter::AskShard(size_t shard,
     }
     return std::move(tagged->rows);
   }
+  shard_span.SetAttr("shed", "true");
   shed_.fetch_add(1, std::memory_order_relaxed);
   if (shed_metric_ != nullptr) shed_metric_->Inc();
   return Status::Unavailable("shard " + std::to_string(shard) +
@@ -156,18 +171,27 @@ Result<serve::QueryResult> QueryRouter::AskShard(size_t shard,
                              "staleness bound");
 }
 
-Result<serve::QueryResult> QueryRouter::FanOut(const serve::Query& query) {
-  std::vector<serve::QueryResult> parts;
-  parts.reserve(members_.size());
-  for (size_t shard = 0; shard < members_.size(); ++shard) {
-    KG_ASSIGN_OR_RETURN(serve::QueryResult rows, AskShard(shard, query));
-    parts.push_back(std::move(rows));
-  }
-  return serve::MergeShardResults(std::move(parts));
+Result<serve::QueryResult> QueryRouter::FanOut(const serve::Query& query,
+                                               obs::Span* parent,
+                                               double* fanout_us) {
+  WallTimer timer;
+  auto run = [&]() -> Result<serve::QueryResult> {
+    std::vector<serve::QueryResult> parts;
+    parts.reserve(members_.size());
+    for (size_t shard = 0; shard < members_.size(); ++shard) {
+      KG_ASSIGN_OR_RETURN(serve::QueryResult rows,
+                          AskShard(shard, query, parent));
+      parts.push_back(std::move(rows));
+    }
+    return serve::MergeShardResults(std::move(parts));
+  };
+  Result<serve::QueryResult> result = run();
+  if (fanout_us != nullptr) *fanout_us += timer.ElapsedSeconds() * 1e6;
+  return result;
 }
 
 Result<serve::QueryResult> QueryRouter::TopKRelated(
-    const serve::Query& query) {
+    const serve::Query& query, obs::Span* parent, double* fanout_us) {
   if (query.k == 0) return serve::QueryResult{};
   const std::string center =
       serve::RenderNodeName(query.node, query.node_kind);
@@ -176,7 +200,8 @@ Result<serve::QueryResult> QueryRouter::TopKRelated(
   // live on the center's shard, in-edges on each subject's shard).
   KG_ASSIGN_OR_RETURN(
       serve::QueryResult ring,
-      FanOut(serve::Query::Neighborhood(query.node, query.node_kind)));
+      FanOut(serve::Query::Neighborhood(query.node, query.node_kind),
+             parent, fanout_us));
   std::set<std::string> neighbors;
   for (const std::string& row : ring) {
     const std::string_view node = NeighborRowNode(row);
@@ -193,8 +218,9 @@ Result<serve::QueryResult> QueryRouter::TopKRelated(
     std::string name;
     graph::NodeKind kind = graph::NodeKind::kEntity;
     if (!ParseRender(n, &name, &kind)) continue;
-    KG_ASSIGN_OR_RETURN(serve::QueryResult rows,
-                        FanOut(serve::Query::Neighborhood(name, kind)));
+    KG_ASSIGN_OR_RETURN(
+        serve::QueryResult rows,
+        FanOut(serve::Query::Neighborhood(name, kind), parent, fanout_us));
     std::set<std::string> seen;
     for (const std::string& row : rows) {
       const std::string_view m = NeighborRowNode(row);
@@ -225,17 +251,48 @@ Result<serve::QueryResult> QueryRouter::TopKRelated(
 }
 
 Result<serve::QueryResult> QueryRouter::Execute(const serve::Query& query) {
+  const char* kind_name = serve::QueryKindName(query.kind);
+  obs::Span root =
+      obs::Tracer::Start(options_.tracer, std::string("route.") + kind_name);
+  WallTimer timer;
+  double fanout_us = 0.0;
+  Result<serve::QueryResult> result =
+      Status::InvalidArgument("unknown query kind");
   switch (query.kind) {
     case serve::QueryKind::kPointLookup:
-      return AskShard(ShardOf(query.node, query.node_kind, members_.size()),
-                      query);
+      result = AskShard(
+          ShardOf(query.node, query.node_kind, members_.size()), query,
+          &root);
+      break;
     case serve::QueryKind::kNeighborhood:
     case serve::QueryKind::kAttributeByType:
-      return FanOut(query);
+      result = FanOut(query, &root, &fanout_us);
+      break;
     case serve::QueryKind::kTopKRelated:
-      return TopKRelated(query);
+      result = TopKRelated(query, &root, &fanout_us);
+      break;
   }
-  return Status::InvalidArgument("unknown query kind");
+  const size_t k = static_cast<size_t>(query.kind);
+  if (query.kind != serve::QueryKind::kPointLookup &&
+      stage_fanout_[k] != nullptr) {
+    stage_fanout_[k]->Observe(fanout_us);
+  }
+  if (!result.ok()) root.SetAttr("error", result.status().message());
+  const uint64_t root_id = root.id();
+  root.End();
+  if (obs::SlowQueryRing* ring = options_.slow_ring) {
+    obs::SlowQuery slow;
+    slow.trace_id = root_id;
+    slow.root_span_id = root_id;
+    slow.query_class = kind_name;
+    slow.duration_ticks =
+        obs::Histogram::ToTicks(timer.ElapsedSeconds() * 1e6);
+    slow.seq = route_seq_.fetch_add(1, std::memory_order_relaxed);
+    slow.stage_ticks = {
+        {obs::Stage::kFanout, obs::Histogram::ToTicks(fanout_us)}};
+    ring->Offer(std::move(slow));
+  }
+  return result;
 }
 
 QueryRouter::Stats QueryRouter::stats() const {

@@ -1,6 +1,7 @@
 #ifndef KGRAPH_CLUSTER_ROUTER_H_
 #define KGRAPH_CLUSTER_ROUTER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -14,7 +15,9 @@
 #include "common/status.h"
 #include "cluster/member.h"
 #include "graph/knowledge_graph.h"
+#include "obs/introspect.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/query_engine.h"
 #include "store/wal.h"
 
@@ -43,6 +46,20 @@ struct RouterOptions {
   size_t breaker_probe_interval = 4;
   /// "cluster.*" metrics land here when non-null (not owned).
   obs::MetricsRegistry* registry = nullptr;
+  /// Distributed tracing (not owned). Each Execute roots a
+  /// "route.<class>" span with "shard@<i>" / "member.<label>" children
+  /// per attempt; member spans parent the serving member's own
+  /// "store.execute" span, so one routed query renders as one connected
+  /// tree from router to store.
+  obs::Tracer* tracer = nullptr;
+  /// With `registry`, time each scatter-gather (fan out + merge wait)
+  /// into per-class "stage_us.fanout.<class>" histograms. Opt-in: two
+  /// clock reads per fanned-out query.
+  bool time_stages = false;
+  /// Worst-N retention for routed queries (not owned). Each Execute
+  /// offers one entry keyed by its root span id, with the fanout stage
+  /// attributed.
+  obs::SlowQueryRing* slow_ring = nullptr;
 };
 
 /// Scatter-gather front door of the cluster. The router is the sole
@@ -105,11 +122,20 @@ class QueryRouter {
   void RecordOutcome(MemberHealth& health, bool ok, bool was_probe);
 
   /// One shard's answer under the staleness gate and failover order.
+  /// `parent` (never null; inert without a tracer) gets one "shard@<i>"
+  /// child with a "member.<label>" grandchild per attempt.
   Result<serve::QueryResult> AskShard(size_t shard,
-                                      const serve::Query& query);
+                                      const serve::Query& query,
+                                      obs::Span* parent);
   /// Fans `query` out to every shard and merges deterministically.
-  Result<serve::QueryResult> FanOut(const serve::Query& query);
-  Result<serve::QueryResult> TopKRelated(const serve::Query& query);
+  /// Adds the scatter + merge wall time to `*fanout_us` when non-null
+  /// (Execute observes the total once per routed query, so nested
+  /// fanouts — top-k's phase queries — attribute to the routed class).
+  Result<serve::QueryResult> FanOut(const serve::Query& query,
+                                    obs::Span* parent, double* fanout_us);
+  Result<serve::QueryResult> TopKRelated(const serve::Query& query,
+                                         obs::Span* parent,
+                                         double* fanout_us);
 
   std::vector<std::vector<ShardMember*>> members_;
   std::vector<PrimaryMember*> primaries_;
@@ -127,6 +153,11 @@ class QueryRouter {
   obs::Counter* failovers_metric_ = nullptr;
   obs::Counter* shed_metric_ = nullptr;
   obs::Counter* stale_metric_ = nullptr;
+  /// Per-class fanout stage histograms (null without registry +
+  /// time_stages).
+  std::array<obs::Histogram*, serve::kNumQueryKinds> stage_fanout_{};
+  /// Routed-query order for deterministic slow-ring tie-breaks.
+  std::atomic<uint64_t> route_seq_{0};
 };
 
 }  // namespace kg::cluster

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <utility>
+
+#include "obs/json.h"
 
 namespace kg::cluster {
 
@@ -73,6 +76,55 @@ void ClusterSupervisor::Tick() {
     max_lag_gauge_->Set(static_cast<int64_t>(max_lag));
   }
   if (down_gauge_ != nullptr) down_gauge_->Set(down);
+}
+
+void ClusterSupervisor::SetScrapeTargets(std::vector<ScrapeTarget> targets) {
+  scrape_targets_ = std::move(targets);
+}
+
+Result<std::string> ClusterSupervisor::ScrapeCluster(
+    rpc::IntrospectWhat what) const {
+  // One dial + handshake + introspect round trip per target; results
+  // keyed by label in a std::map, so the merged document is identical
+  // no matter what order the targets were registered or answered in.
+  std::map<std::string, std::pair<bool, std::string>> members;
+  for (const ScrapeTarget& target : scrape_targets_) {
+    auto scrape = [&target, what]() -> Result<std::string> {
+      KG_ASSIGN_OR_RETURN(std::unique_ptr<rpc::ITransport> transport,
+                          target.dial());
+      rpc::RpcClient client(std::move(transport));
+      auto handshake = client.Handshake();
+      if (!handshake.ok()) return handshake.status();
+      return client.Introspect(what);
+    };
+    auto result = scrape();
+    if (result.ok()) {
+      members[target.label] = {true, std::move(*result)};
+    } else {
+      members[target.label] = {false, result.status().message()};
+    }
+  }
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("what").String(rpc::IntrospectWhatName(what));
+  w.Key("members").BeginObject();
+  for (const auto& [label, payload] : members) {
+    w.Key(label);
+    if (!payload.first) {
+      w.BeginObject();
+      w.Key("error").String(payload.second);
+      w.EndObject();
+    } else if (what == rpc::IntrospectWhat::kMetricsPrometheus) {
+      // The Prometheus exposition is text, not JSON.
+      w.String(payload.second);
+    } else {
+      w.Raw(payload.second);
+    }
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace kg::cluster

@@ -4,11 +4,15 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/member.h"
+#include "common/status.h"
 #include "obs/metrics.h"
+#include "rpc/client.h"
+#include "rpc/frame.h"
 
 namespace kg::cluster {
 
@@ -49,9 +53,35 @@ class ClusterSupervisor {
     return restarts_.load(std::memory_order_relaxed);
   }
 
+  /// One scrapeable member endpoint: a stable label plus a dial to its
+  /// RPC listener (e.g. PrimaryMember::DialFactory).
+  struct ScrapeTarget {
+    std::string label;
+    rpc::TransportFactory dial;
+  };
+
+  /// Registers the endpoints ScrapeCluster visits. Call before Start()
+  /// (the Cluster facade registers every shard primary at build time).
+  void SetScrapeTargets(std::vector<ScrapeTarget> targets);
+
+  /// Cluster-wide introspection scrape: dials every registered target
+  /// over its own wire, handshakes, issues kIntrospectRequest(`what`),
+  /// and merges the per-member payloads into one deterministic JSON
+  /// document — members keyed and ordered by label, a member that
+  /// cannot be scraped contributing {"error": ...} instead of failing
+  /// the whole scrape:
+  ///
+  ///   {"schema_version":1,"what":"<selector>",
+  ///    "members":{"s0.primary":<payload>,...}}
+  ///
+  /// JSON payloads (metrics JSON, slow queries, trace) embed raw; the
+  /// Prometheus exposition embeds as a JSON string.
+  Result<std::string> ScrapeCluster(rpc::IntrospectWhat what) const;
+
  private:
   std::vector<ReplicaMember*> replicas_;
   SupervisorOptions options_;
+  std::vector<ScrapeTarget> scrape_targets_;
 
   std::mutex lifecycle_mu_;
   std::thread thread_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cluster/shard_log.h"
+#include "obs/trace.h"
 #include "rpc/frame.h"
 #include "serve/snapshot.h"
 #include "store/wal.h"
@@ -152,11 +153,20 @@ void WalReceiver::RunSession(rpc::ITransport* transport) {
   auto hs_resp = rpc::DecodeHandshakeResponse(hs_frame->body);
   if (!hs_resp.ok() || hs_resp->code != StatusCode::kOk) return;
 
-  // Subscribe from the last verified offset.
+  // Subscribe from the last verified offset. A configured tracer roots
+  // one span per session whose id rides the subscribe as trace context,
+  // so the primary's ship spans and our apply spans share one tree.
+  obs::Span session =
+      obs::Tracer::Start(options_.tracer, "wal.session." + label_);
+  rpc::TraceContext session_ctx;
+  session_ctx.trace_id = session.id();
+  session_ctx.parent_span_id = session.id();
+  session_ctx.sampled = true;
   rpc::WalSubscribe sub;
   sub.from_offset = store_->applied_watermark();
   frame_bytes.clear();
   rpc::AppendFrame(&frame_bytes, rpc::MessageType::kWalSubscribe, 2,
+                   session.active() ? &session_ctx : nullptr,
                    rpc::EncodeWalSubscribe(sub));
   if (!transport->Write(frame_bytes).ok()) return;
 
@@ -191,6 +201,17 @@ void WalReceiver::RunSession(rpc::ITransport* transport) {
       // The primary refused the subscription (bad offset, no source).
       if (batches_rejected_ != nullptr) batches_rejected_->Inc();
       return;
+    }
+
+    // A traced batch carries the primary's ship-span id; the apply span
+    // roots under it, so the cross-process tree reads
+    // session -> ship -> apply per shipped batch.
+    obs::Span apply = obs::Tracer::StartWithParent(
+        options_.tracer, frame->has_trace ? frame->trace.parent_span_id : 0,
+        "wal.apply");
+    if (apply.active()) {
+      apply.SetAttr("start_offset", batch->start_offset);
+      apply.SetAttr("end_offset", batch->end_offset);
     }
 
     // Verify before apply: exact continuation, clean replay, chain

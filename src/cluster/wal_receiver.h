@@ -13,6 +13,10 @@
 #include "rpc/client.h"
 #include "store/versioned_store.h"
 
+namespace kg::obs {
+class Tracer;
+}  // namespace kg::obs
+
 namespace kg::cluster {
 
 struct WalReceiverOptions {
@@ -25,6 +29,16 @@ struct WalReceiverOptions {
   /// exits (link down); the ClusterSupervisor restarts it later.
   size_t max_dial_attempts = 40;
   obs::MetricsRegistry* registry = nullptr;
+  /// Distributed tracing of the shipping link (not owned). Each session
+  /// roots a "wal.session" span whose id rides the kWalSubscribe frame
+  /// as trace context; the primary parents "wal.ship" spans under it
+  /// and echoes the context on every kWalBatch, which this receiver
+  /// extracts to root "wal.apply" spans under the originating ship.
+  /// Batch boundaries are timing-dependent, so WAL spans are
+  /// best-effort forensics, not part of the determinism-gated trace
+  /// surfaces — leave this null (the Cluster facade does) when
+  /// byte-identical trace JSON matters.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One replica's end of the WAL shipping protocol. A background thread

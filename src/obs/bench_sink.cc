@@ -24,7 +24,9 @@ JsonSink::JsonSink(std::string bench_name, uint64_t seed, size_t threads)
 std::string JsonSink::Render(std::string_view payload_json) const {
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema_version").Int(1);
+  // 2: benches may carry per-stage breakdown sections (stage_us.*
+  // histogram rows) in their payloads alongside the PR-10 tracing work.
+  w.Key("schema_version").Int(2);
   w.Key("bench").String(bench_name_);
   w.Key("seed").UInt(seed_);
   w.Key("threads").UInt(static_cast<uint64_t>(threads_));

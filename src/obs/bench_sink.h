@@ -14,7 +14,7 @@ namespace kg::obs {
 std::string GitDescribe();
 
 /// Shared envelope for every BENCH_*.json artifact:
-///   {"schema_version":1,"bench":...,"seed":...,"threads":...,
+///   {"schema_version":2,"bench":...,"seed":...,"threads":...,
 ///    "git":...,"payload":{...}}
 /// Benches render their payload with JsonWriter and hand it here, so
 /// every emitted number carries the same metadata and every file

@@ -87,6 +87,22 @@ Tracer::Tracer(uint64_t seed, TraceClock* clock) : seed_(seed) {
 
 Span Tracer::Root(std::string_view name) { return NewSpan(nullptr, name); }
 
+Span Tracer::RootWithParent(uint64_t parent_span_id, std::string_view name) {
+#ifdef KG_OBS_NOOP
+  (void)parent_span_id;
+  (void)name;
+  return Span();
+#else
+  // Anchor the path at the remote parent's id, not at any local state:
+  // a replica and a fresh process tracing the same request derive the
+  // same path, hence the same span id.
+  SpanRecord remote_parent;
+  remote_parent.id = parent_span_id;
+  remote_parent.path = "~" + HexSpanId(parent_span_id);
+  return NewSpan(&remote_parent, name);
+#endif
+}
+
 Span Tracer::Start(Tracer* tracer, std::string_view name) {
 #ifdef KG_OBS_NOOP
   (void)tracer;
@@ -95,6 +111,20 @@ Span Tracer::Start(Tracer* tracer, std::string_view name) {
 #else
   if (tracer == nullptr) return Span();
   return tracer->Root(name);
+#endif
+}
+
+Span Tracer::StartWithParent(Tracer* tracer, uint64_t parent_span_id,
+                             std::string_view name) {
+#ifdef KG_OBS_NOOP
+  (void)tracer;
+  (void)parent_span_id;
+  (void)name;
+  return Span();
+#else
+  if (tracer == nullptr) return Span();
+  if (parent_span_id == 0) return tracer->Root(name);
+  return tracer->RootWithParent(parent_span_id, name);
 #endif
 }
 
@@ -139,9 +169,7 @@ void Tracer::Clear() {
   next_seq_.clear();
 }
 
-namespace {
-
-std::string HexId(uint64_t id) {
+std::string HexSpanId(uint64_t id) {
   static const char* kDigits = "0123456789abcdef";
   std::string out = "0x";
   for (int shift = 60; shift >= 0; shift -= 4) {
@@ -150,13 +178,18 @@ std::string HexId(uint64_t id) {
   return out;
 }
 
+namespace {
+
 void WriteSpan(JsonWriter& w, const SpanRecord& rec,
                const std::unordered_map<uint64_t, std::vector<const SpanRecord*>>&
                    children) {
   w.BeginObject();
   w.Key("name").String(rec.name);
-  w.Key("id").String(HexId(rec.id));
+  w.Key("id").String(HexSpanId(rec.id));
   w.Key("seq").UInt(rec.seq);
+  if (rec.parent_id != 0) {
+    w.Key("parent_id").String(HexSpanId(rec.parent_id));
+  }
   w.Key("start_s").Double(rec.start_seconds, 9);
   w.Key("end_s").Double(rec.end_seconds, 9);
   if (!rec.attrs.empty()) {
@@ -185,16 +218,27 @@ std::string Tracer::ToJson() const {
     std::lock_guard<std::mutex> lock(mu_);
     spans = finished_;
   }
-  // Completion order is scheduling-dependent; (name, seq) order is a
-  // pure function of structure, so sort children deterministically.
+  // Completion order is scheduling-dependent; (name, seq, path) order
+  // is a pure function of structure, so sort children deterministically
+  // (path breaks ties between same-named spans from different parents,
+  // e.g. two remote-rooted forests meeting at the root list).
   const auto by_name_seq = [](const SpanRecord* a, const SpanRecord* b) {
     if (a->name != b->name) return a->name < b->name;
-    return a->seq < b->seq;
+    if (a->seq != b->seq) return a->seq < b->seq;
+    return a->path < b->path;
   };
   std::unordered_map<uint64_t, std::vector<const SpanRecord*>> children;
+  std::unordered_map<uint64_t, size_t> recorded;
+  recorded.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    recorded.emplace(spans[i].id, i);
+  }
   std::vector<const SpanRecord*> roots;
   for (const SpanRecord& rec : spans) {
-    if (rec.parent_id == 0) {
+    // A span whose parent was recorded by a *remote* tracer (wire trace
+    // propagation) has a nonzero parent_id with no local record; render
+    // it as a root of its local forest instead of dropping it.
+    if (rec.parent_id == 0 || recorded.find(rec.parent_id) == recorded.end()) {
       roots.push_back(&rec);
     } else {
       children[rec.parent_id].push_back(&rec);

@@ -118,9 +118,24 @@ class Tracer {
   /// Starts a root span.
   Span Root(std::string_view name);
 
+  /// Starts a span whose parent arrived over the wire: `parent_span_id`
+  /// is a span id minted by a remote tracer (rpc::TraceContext). The
+  /// new span's path is anchored at "~<hex parent id>/<name>", so its
+  /// id stays a pure function of (seed, remote parent id, structure) —
+  /// same-seed distributed runs reproduce identical ids. When the
+  /// parent happens to be recorded by this same tracer (in-process
+  /// transport), export nests the span under it; otherwise the span
+  /// renders as a root of its local forest.
+  Span RootWithParent(uint64_t parent_span_id, std::string_view name);
+
   /// Null-safe start helper: inert span when `tracer` is null (or the
   /// library is built with KG_OBS_NOOP).
   static Span Start(Tracer* tracer, std::string_view name);
+
+  /// Null-safe RootWithParent. Falls back to a plain root when
+  /// `parent_span_id` is zero (no context on the wire).
+  static Span StartWithParent(Tracer* tracer, uint64_t parent_span_id,
+                              std::string_view name);
 
   /// {"schema_version":1,"seed":...,"span_count":N,"spans":[...]}
   /// with spans nested under their parents. Unfinished spans are not
@@ -144,6 +159,10 @@ class Tracer {
   std::unordered_map<std::string, uint32_t> next_seq_;
   std::vector<SpanRecord> finished_;
 };
+
+/// "0x%016x" rendering of a span/trace id — the form used in trace
+/// JSON and in the remote-parent path anchor.
+std::string HexSpanId(uint64_t id);
 
 }  // namespace kg::obs
 

@@ -40,9 +40,11 @@ Result<Frame> RpcClient::ReadResponse(uint32_t request_id,
     Frame frame;
     FrameDecoder::Step step;
     while ((step = decoder_.Next(&frame)) == FrameDecoder::Step::kFrame) {
-      if (frame.type == expected_type && frame.request_id < request_id) {
+      if (frame.request_id < request_id) {
         // A response to a request we abandoned after its own response
-        // was lost on the wire; the answer is no longer wanted.
+        // was lost on the wire; the answer is no longer wanted. (Any
+        // type: an abandoned Execute's response may limp in while a
+        // later Introspect waits, and vice versa.)
         continue;
       }
       if (frame.type != expected_type || frame.request_id != request_id) {
@@ -123,14 +125,16 @@ Result<uint32_t> RpcClient::Handshake() {
   return resp->schema_version;
 }
 
-Result<serve::QueryResult> RpcClient::Execute(const serve::Query& query) {
+Result<serve::QueryResult> RpcClient::Execute(const serve::Query& query,
+                                              const TraceContext* trace) {
   if (!healthy_) return Status::Unavailable("client stream is broken");
   if (!handshook_) {
     return Status::FailedPrecondition("Execute before Handshake");
   }
   const uint32_t id = next_request_id_++;
   std::string frame;
-  AppendFrame(&frame, MessageType::kQueryRequest, id, EncodeQuery(query));
+  AppendFrame(&frame, MessageType::kQueryRequest, id, trace,
+              EncodeQuery(query));
   auto write = transport_->Write(frame);
   if (!write.ok()) {
     healthy_ = false;
@@ -151,6 +155,37 @@ Result<serve::QueryResult> RpcClient::Execute(const serve::Query& query) {
   return std::move(resp->rows);
 }
 
+Result<std::string> RpcClient::Introspect(IntrospectWhat what) {
+  if (!healthy_) return Status::Unavailable("client stream is broken");
+  if (!handshook_) {
+    return Status::FailedPrecondition("Introspect before Handshake");
+  }
+  const uint32_t id = next_request_id_++;
+  IntrospectRequest req;
+  req.what = what;
+  std::string frame;
+  AppendFrame(&frame, MessageType::kIntrospectRequest, id,
+              EncodeIntrospectRequest(req));
+  auto write = transport_->Write(frame);
+  if (!write.ok()) {
+    healthy_ = false;
+    return write;
+  }
+  KG_ASSIGN_OR_RETURN(Frame resp_frame,
+                      ReadResponse(id, MessageType::kIntrospectResponse));
+  auto resp = DecodeIntrospectResponse(resp_frame.body);
+  if (!resp.ok()) {
+    healthy_ = false;
+    transport_->Close();
+    return Status::Unavailable("bad introspect response: " +
+                               resp.status().message());
+  }
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return std::move(resp->payload);
+}
+
 RetryingClient::RetryingClient(TransportFactory factory, RetryPolicy policy,
                                uint64_t jitter_seed, RpcClientOptions options)
     : factory_(std::move(factory)),
@@ -160,7 +195,7 @@ RetryingClient::RetryingClient(TransportFactory factory, RetryPolicy policy,
       breaker_(policy.breaker_failure_threshold) {}
 
 Result<serve::QueryResult> RetryingClient::Execute(
-    const serve::Query& query) {
+    const serve::Query& query, const TraceContext* trace) {
   Result<serve::QueryResult> result =
       Status::Unavailable("no attempt made");
   const RetryOutcome outcome = RetryWithBackoff(
@@ -184,12 +219,45 @@ Result<serve::QueryResult> RetryingClient::Execute(
             return {handshake.status(), 0.0};
           }
         }
-        result = client_->Execute(query);
+        result = client_->Execute(query, trace);
         return {result.status(), 0.0};
       });
   stats_.virtual_ms += outcome.virtual_ms;
   if (!outcome.status.ok() && result.ok()) {
     // The breaker or deadline budget cut in before any attempt ran.
+    return outcome.status;
+  }
+  return result;
+}
+
+Result<std::string> RetryingClient::Introspect(IntrospectWhat what) {
+  Result<std::string> result = Status::Unavailable("no attempt made");
+  const RetryOutcome outcome = RetryWithBackoff(
+      policy_, rng_.Split(stats_.attempts), &breaker_,
+      [&](size_t) -> AttemptResult {
+        ++stats_.attempts;
+        if (client_ == nullptr || !client_->healthy() ||
+            !client_->handshook()) {
+          client_.reset();
+          auto transport = factory_();
+          if (!transport.ok()) {
+            result = transport.status();
+            return {transport.status(), 0.0};
+          }
+          ++stats_.reconnects;
+          client_ = std::make_unique<RpcClient>(std::move(*transport),
+                                                options_);
+          auto handshake = client_->Handshake();
+          if (!handshake.ok()) {
+            result = handshake.status();
+            return {handshake.status(), 0.0};
+          }
+        }
+        result = client_->Introspect(what);
+        return {result.status(), 0.0};
+      });
+  stats_.virtual_ms += outcome.virtual_ms;
+  if (!outcome.status.ok() && result.ok()) {
     return outcome.status;
   }
   return result;

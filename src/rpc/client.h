@@ -47,8 +47,16 @@ class RpcClient {
 
   /// Sends one query and waits for its response (request-id
   /// correlated; stale responses from abandoned requests are skipped).
-  /// A non-OK response status is returned as that status.
-  Result<serve::QueryResult> Execute(const serve::Query& query);
+  /// A non-OK response status is returned as that status. A non-null
+  /// `trace` rides the frame's trace-context extension, so the server's
+  /// spans join the caller's trace tree.
+  Result<serve::QueryResult> Execute(const serve::Query& query,
+                                     const TraceContext* trace = nullptr);
+
+  /// Scrapes one of the server's live observability surfaces (metrics
+  /// exposition, slow-query ring, trace dump). A non-OK response status
+  /// is returned as that status.
+  Result<std::string> Introspect(IntrospectWhat what);
 
   /// False once the stream has broken (framing error, closed transport,
   /// failed handshake). A broken client never recovers; reconnect.
@@ -117,8 +125,13 @@ class RetryingClient {
 
   /// Executes with retries. Returns the final answer, or the terminal
   /// status once retries are exhausted, the breaker opens, or a
-  /// non-retriable status (e.g. kInvalidArgument) comes back.
-  Result<serve::QueryResult> Execute(const serve::Query& query);
+  /// non-retriable status (e.g. kInvalidArgument) comes back. A
+  /// non-null `trace` is attached to every wire attempt.
+  Result<serve::QueryResult> Execute(const serve::Query& query,
+                                     const TraceContext* trace = nullptr);
+
+  /// Scrapes the server with the same retry/reconnect machinery.
+  Result<std::string> Introspect(IntrospectWhat what);
 
   const Stats& stats() const { return stats_; }
   const CircuitBreaker& breaker() const { return breaker_; }

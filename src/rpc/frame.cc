@@ -147,18 +147,49 @@ const char* MessageTypeName(MessageType type) {
       return "wal_batch";
     case MessageType::kWalHeartbeat:
       return "wal_heartbeat";
+    case MessageType::kIntrospectRequest:
+      return "introspect_request";
+    case MessageType::kIntrospectResponse:
+      return "introspect_response";
+  }
+  return "unknown";
+}
+
+const char* IntrospectWhatName(IntrospectWhat what) {
+  switch (what) {
+    case IntrospectWhat::kMetricsJson:
+      return "metrics_json";
+    case IntrospectWhat::kMetricsPrometheus:
+      return "metrics_prometheus";
+    case IntrospectWhat::kSlowQueries:
+      return "slow_queries";
+    case IntrospectWhat::kTrace:
+      return "trace";
   }
   return "unknown";
 }
 
 void AppendFrame(std::string* buf, MessageType type, uint32_t request_id,
                  std::string_view body) {
+  AppendFrame(buf, type, request_id, nullptr, body);
+}
+
+void AppendFrame(std::string* buf, MessageType type, uint32_t request_id,
+                 const TraceContext* trace, std::string_view body) {
   std::string payload;
-  payload.reserve(kMessageHeaderBytes + body.size());
+  payload.reserve(kMessageHeaderBytes +
+                  (trace != nullptr ? 1 + kTraceContextBytes : 0) +
+                  body.size());
   payload.push_back(static_cast<char>(kProtocolVersion));
   payload.push_back(static_cast<char>(type));
-  AppendU16Le(&payload, 0);  // flags, reserved
+  AppendU16Le(&payload, trace != nullptr ? kFlagTraceContext : 0);
   AppendU32Le(&payload, request_id);
+  if (trace != nullptr) {
+    payload.push_back(static_cast<char>(kTraceContextBytes));
+    AppendU64Le(&payload, trace->trace_id);
+    AppendU64Le(&payload, trace->parent_span_id);
+    payload.push_back(trace->sampled ? 1 : 0);
+  }
   payload.append(body);
   AppendU32Le(buf, static_cast<uint32_t>(payload.size()));
   AppendU32Le(buf, Checksum32(payload));
@@ -214,15 +245,57 @@ FrameDecoder::Step FrameDecoder::Next(Frame* out) {
   const uint16_t flags =
       static_cast<uint16_t>(static_cast<uint8_t>(payload[2])) |
       static_cast<uint16_t>(static_cast<uint8_t>(payload[3])) << 8;
-  if (flags != 0) {
+  if ((flags & ~kFlagTraceContext) != 0) {
     error_ = Status::InvalidArgument("nonzero reserved flags " +
                                      std::to_string(flags));
     return Step::kError;
   }
+  size_t body_start = kMessageHeaderBytes;
+  out->has_trace = false;
+  out->trace = TraceContext{};
+  if ((flags & kFlagTraceContext) != 0) {
+    // [u8 ext_len=17][u64le trace id][u64le parent span id][u8 sampled].
+    // The length prefix lets a future extension grow without moving the
+    // body, but today exactly one layout is valid — anything else is a
+    // peer this decoder cannot trust.
+    if (length < kMessageHeaderBytes + 1) {
+      error_ = Status::InvalidArgument("trace flag set but extension absent");
+      return Step::kError;
+    }
+    const uint8_t ext_len =
+        static_cast<uint8_t>(payload[kMessageHeaderBytes]);
+    if (ext_len != kTraceContextBytes) {
+      error_ = Status::InvalidArgument("trace extension length " +
+                                       std::to_string(ext_len) +
+                                       " is not " +
+                                       std::to_string(kTraceContextBytes));
+      return Step::kError;
+    }
+    if (length < kMessageHeaderBytes + 1 + kTraceContextBytes) {
+      error_ = Status::InvalidArgument("trace extension truncated");
+      return Step::kError;
+    }
+    const char* ext = payload.data() + kMessageHeaderBytes + 1;
+    out->trace.trace_id = static_cast<uint64_t>(ReadU32Le(ext)) |
+                          static_cast<uint64_t>(ReadU32Le(ext + 4)) << 32;
+    out->trace.parent_span_id =
+        static_cast<uint64_t>(ReadU32Le(ext + 8)) |
+        static_cast<uint64_t>(ReadU32Le(ext + 12)) << 32;
+    const uint8_t sampled = static_cast<uint8_t>(ext[16]);
+    if (sampled > 1) {
+      error_ = Status::InvalidArgument("trace sampled byte " +
+                                       std::to_string(sampled) +
+                                       " is not 0 or 1");
+      return Step::kError;
+    }
+    out->trace.sampled = sampled != 0;
+    out->has_trace = true;
+    body_start += 1 + kTraceContextBytes;
+  }
   out->protocol_version = version;
   out->type = static_cast<MessageType>(raw_type);
   out->request_id = ReadU32Le(payload.data() + 4);
-  out->body.assign(payload.substr(kMessageHeaderBytes));
+  out->body.assign(payload.substr(body_start));
   pos_ += kFrameHeaderBytes + length;
   return Step::kFrame;
 }
@@ -391,6 +464,45 @@ Result<WalHeartbeat> DecodeWalHeartbeat(std::string_view body) {
   KG_ASSIGN_OR_RETURN(hb.chain_at_end, reader.TakeU32());
   KG_RETURN_IF_ERROR(reader.ExpectEnd());
   return hb;
+}
+
+// ---- Introspection ------------------------------------------------------
+
+std::string EncodeIntrospectRequest(const IntrospectRequest& req) {
+  std::string body;
+  body.push_back(static_cast<char>(req.what));
+  return body;
+}
+
+Result<IntrospectRequest> DecodeIntrospectRequest(std::string_view body) {
+  BodyReader reader(body);
+  IntrospectRequest req;
+  KG_ASSIGN_OR_RETURN(const uint8_t raw, reader.TakeU8());
+  if (raw > kMaxIntrospectWhat) {
+    return Status::InvalidArgument("unknown introspect selector on wire: " +
+                                   std::to_string(raw));
+  }
+  req.what = static_cast<IntrospectWhat>(raw);
+  KG_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeIntrospectResponse(const IntrospectResponse& resp) {
+  std::string body;
+  body.push_back(static_cast<char>(resp.code));
+  AppendString(&body, resp.message);
+  AppendString(&body, resp.payload);
+  return body;
+}
+
+Result<IntrospectResponse> DecodeIntrospectResponse(std::string_view body) {
+  BodyReader reader(body);
+  IntrospectResponse resp;
+  KG_ASSIGN_OR_RETURN(resp.code, TakeStatusCode(&reader));
+  KG_ASSIGN_OR_RETURN(resp.message, reader.TakeString());
+  KG_ASSIGN_OR_RETURN(resp.payload, reader.TakeString());
+  KG_RETURN_IF_ERROR(reader.ExpectEnd());
+  return resp;
 }
 
 }  // namespace kg::rpc

@@ -28,10 +28,12 @@ inline constexpr size_t kFrameHeaderBytes = 8;
 inline constexpr size_t kMessageHeaderBytes = 8;
 
 /// The message shapes of the protocol: the four request/response pairs
-/// of the serving path, plus the three WAL-shipping messages of the
+/// of the serving path, the three WAL-shipping messages of the
 /// replication path (a subscriber sends kWalSubscribe once after the
 /// handshake; the server then streams kWalBatch frames as the log grows
-/// and kWalHeartbeat frames when it does not).
+/// and kWalHeartbeat frames when it does not), and the introspection
+/// pair (a handshaken client scrapes the server's live metrics / slow
+/// queries / trace dump).
 enum class MessageType : uint8_t {
   kHandshakeRequest = 0,   ///< First message on every connection.
   kHandshakeResponse = 1,
@@ -40,20 +42,45 @@ enum class MessageType : uint8_t {
   kWalSubscribe = 4,       ///< Client: stream the WAL from this offset.
   kWalBatch = 5,           ///< Server: whole WAL frames + checksum chain.
   kWalHeartbeat = 6,       ///< Server: liveness + log end while idle.
+  kIntrospectRequest = 7,  ///< Client: scrape metrics/slow-ring/traces.
+  kIntrospectResponse = 8,
 };
 
 /// Highest MessageType value the decoder accepts.
 inline constexpr uint8_t kMaxMessageType =
-    static_cast<uint8_t>(MessageType::kWalHeartbeat);
+    static_cast<uint8_t>(MessageType::kIntrospectResponse);
 
 const char* MessageTypeName(MessageType type);
 
+/// The one assigned bit of the u16 flags field: the message header is
+/// followed by a trace-context extension. All other bits stay reserved
+/// and must be zero.
+inline constexpr uint16_t kFlagTraceContext = 0x1;
+
+/// Bytes of the trace-context extension payload (after its own u8
+/// length prefix): u64 trace id, u64 parent span id, u8 sampled.
+inline constexpr uint8_t kTraceContextBytes = 17;
+
+/// Distributed trace context carried across the wire so one request
+/// yields one connected span tree across router -> shard -> store. The
+/// ids come from the deterministic obs::Tracer scheme (Fnv1a64 of
+/// seed|path), so same-seed runs propagate identical ids.
+struct TraceContext {
+  uint64_t trace_id = 0;        ///< Root span id of the request's tree.
+  uint64_t parent_span_id = 0;  ///< Span on the sender that caused this.
+  bool sampled = false;         ///< Receiver should record spans.
+};
+
 /// One decoded message. `request_id` correlates a response with its
-/// request (the client assigns ids; the server echoes them).
+/// request (the client assigns ids; the server echoes them). When the
+/// sender attached a trace context, `has_trace` is set and `trace`
+/// holds it.
 struct Frame {
   uint8_t protocol_version = kProtocolVersion;
   MessageType type = MessageType::kQueryRequest;
   uint32_t request_id = 0;
+  bool has_trace = false;
+  TraceContext trace;
   std::string body;
 };
 
@@ -65,11 +92,20 @@ struct Frame {
 void AppendFrame(std::string* buf, MessageType type, uint32_t request_id,
                  std::string_view body);
 
+/// Same, but with a trace-context extension when `trace` is non-null:
+/// flags gains kFlagTraceContext and the header is followed by
+/// [u8 ext_len=17][u64le trace id][u64le parent span id][u8 sampled]
+/// before the body. A null `trace` encodes byte-identically to the
+/// four-argument overload, so untraced peers keep their golden bytes.
+void AppendFrame(std::string* buf, MessageType type, uint32_t request_id,
+                 const TraceContext* trace, std::string_view body);
+
 /// Incremental frame scanner for a byte stream. Feed() appends received
 /// bytes; Next() yields complete frames until the buffer holds only a
 /// partial one. Any malformed input — oversize length, checksum
-/// mismatch, wrong protocol version, unknown type, nonzero flags —
-/// parks the decoder in an error state (the stream is unrecoverable
+/// mismatch, wrong protocol version, unknown type, unassigned flag
+/// bits, bad trace-context extension — parks the decoder in an error
+/// state (the stream is unrecoverable
 /// once framing is lost; the connection must be dropped). Never throws
 /// or crashes on arbitrary bytes (rpc_frame_fuzz_test).
 class FrameDecoder {
@@ -178,6 +214,42 @@ Result<WalBatch> DecodeWalBatch(std::string_view body);
 
 std::string EncodeWalHeartbeat(const WalHeartbeat& hb);
 Result<WalHeartbeat> DecodeWalHeartbeat(std::string_view body);
+
+// ---- Introspection (observability path) ----------------------------------
+
+/// What a kIntrospectRequest asks the server to expose.
+enum class IntrospectWhat : uint8_t {
+  kMetricsJson = 0,        ///< MetricsRegistry::ToJson().
+  kMetricsPrometheus = 1,  ///< MetricsRegistry::ToPrometheus().
+  kSlowQueries = 2,        ///< SlowQueryRing::ToJson().
+  kTrace = 3,              ///< Tracer::ToJson() span dump.
+};
+
+/// Highest IntrospectWhat value the decoder accepts.
+inline constexpr uint8_t kMaxIntrospectWhat =
+    static_cast<uint8_t>(IntrospectWhat::kTrace);
+
+const char* IntrospectWhatName(IntrospectWhat what);
+
+/// Client: expose one of your live observability surfaces.
+struct IntrospectRequest {
+  IntrospectWhat what = IntrospectWhat::kMetricsJson;
+};
+
+/// Server reply: the requested exposition in `payload` on success, else
+/// a non-OK status (kInvalidArgument for a malformed request body,
+/// kFailedPrecondition when the server has no such source wired).
+struct IntrospectResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::string payload;
+};
+
+std::string EncodeIntrospectRequest(const IntrospectRequest& req);
+Result<IntrospectRequest> DecodeIntrospectRequest(std::string_view body);
+
+std::string EncodeIntrospectResponse(const IntrospectResponse& resp);
+Result<IntrospectResponse> DecodeIntrospectResponse(std::string_view body);
 
 }  // namespace kg::rpc
 

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/introspect.h"
+#include "obs/trace.h"
 #include "store/versioned_store.h"
 
 namespace kg::rpc {
@@ -46,6 +48,11 @@ struct RpcServer::Connection {
   bool subscribed = false;
   uint64_t sub_offset = 0;
   uint32_t sub_request_id = 0;
+  /// Trace context the subscriber sent on its kWalSubscribe; echoed (or
+  /// extended with a "wal.ship" span) on every kWalBatch pushed to it,
+  /// so shipped batches join the replica's trace tree across the wire.
+  bool sub_traced = false;
+  TraceContext sub_trace;
   std::chrono::steady_clock::time_point last_push{};
   std::atomic<bool> closed{false};
   /// Requests queued or executing on this connection (admission bound).
@@ -59,6 +66,17 @@ struct RpcServer::Task {
   uint32_t request_id = 0;
   serve::Query query;
   std::chrono::steady_clock::time_point received;
+  /// Server-side request span ("serve.<class>"), inert without a
+  /// tracer; ends after the response is written.
+  obs::Span span;
+  /// Trace identity for the slow-query ring: the wire trace id when the
+  /// request carried one, else the local span id.
+  uint64_t trace_id = 0;
+  /// Admission order, for deterministic slow-ring tie-breaks.
+  uint64_t seq = 0;
+  /// Stage time already spent on the event loop before queuing.
+  double admission_us = 0.0;
+  double decode_us = 0.0;
 };
 
 struct RpcServer::Impl {
@@ -93,7 +111,26 @@ struct RpcServer::Impl {
   obs::Gauge* m_active_conns = nullptr;
   obs::Gauge* m_inflight = nullptr;
   std::array<obs::Histogram*, serve::kNumQueryKinds> m_latency_us{};
+  // Per-class stage attribution for the four server-owned stages; the
+  // engine/store stages (cache probe, WAL append, overlay merge) are
+  // observed by their own layers into the same registry.
+  std::array<obs::Histogram*, serve::kNumQueryKinds> m_stage_admission{};
+  std::array<obs::Histogram*, serve::kNumQueryKinds> m_stage_decode{};
+  std::array<obs::Histogram*, serve::kNumQueryKinds> m_stage_queue_wait{};
+  std::array<obs::Histogram*, serve::kNumQueryKinds> m_stage_execute{};
+
+  /// Admission order of accepted queries (slow-ring tie-break key).
+  std::atomic<uint64_t> admission_seq{0};
 };
+
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
 
 RpcServer::RpcServer(QueryHandler handler,
                      std::unique_ptr<ITransportServer> listener,
@@ -118,10 +155,19 @@ Status RpcServer::Start() {
     impl_->m_active_conns = &registry->GetGauge("rpc.connections.active");
     impl_->m_inflight = &registry->GetGauge("rpc.inflight");
     for (size_t k = 0; k < serve::kNumQueryKinds; ++k) {
+      const char* kind_name =
+          serve::QueryKindName(static_cast<serve::QueryKind>(k));
       impl_->m_latency_us[k] = &registry->GetHistogram(
-          std::string("rpc.latency_us.") +
-              serve::QueryKindName(static_cast<serve::QueryKind>(k)),
+          std::string("rpc.latency_us.") + kind_name,
           obs::LatencyBucketsUs());
+      impl_->m_stage_admission[k] = &obs::StageHistogram(
+          *registry, obs::Stage::kAdmission, kind_name);
+      impl_->m_stage_decode[k] =
+          &obs::StageHistogram(*registry, obs::Stage::kDecode, kind_name);
+      impl_->m_stage_queue_wait[k] = &obs::StageHistogram(
+          *registry, obs::Stage::kQueueWait, kind_name);
+      impl_->m_stage_execute[k] = &obs::StageHistogram(
+          *registry, obs::Stage::kEngineExecute, kind_name);
     }
   }
   impl_->acceptor = std::thread([this] { AcceptLoop(); });
@@ -296,8 +342,25 @@ bool RpcServer::ServeSubscriptions(
           log->ReadFrom(conn->sub_offset, impl_->options.wal_batch_max_bytes,
                         &batch.end_offset, &batch.chain_after);
       batch.log_end = std::max(end, batch.end_offset);
+      // A traced subscription gets its context back on every batch —
+      // extended through a server-side "wal.ship" span when a tracer is
+      // configured, echoed verbatim otherwise — so the receiver can
+      // parent its apply span under the ship that produced the bytes.
+      TraceContext ship_ctx = conn->sub_trace;
+      obs::Span ship;
+      if (conn->sub_traced && conn->sub_trace.sampled) {
+        ship = obs::Tracer::StartWithParent(impl_->options.tracer,
+                                            conn->sub_trace.parent_span_id,
+                                            "wal.ship");
+        if (ship.active()) {
+          ship.SetAttr("start_offset", batch.start_offset);
+          ship.SetAttr("end_offset", batch.end_offset);
+          ship_ctx.parent_span_id = ship.id();
+        }
+      }
       WriteResponse(conn, MessageType::kWalBatch, conn->sub_request_id,
-                    EncodeWalBatch(batch));
+                    EncodeWalBatch(batch),
+                    conn->sub_traced ? &ship_ctx : nullptr);
       conn->sub_offset = batch.end_offset;
       conn->last_push = now;
       sent = true;
@@ -316,9 +379,10 @@ bool RpcServer::ServeSubscriptions(
 
 void RpcServer::WriteResponse(const std::shared_ptr<Connection>& conn,
                               MessageType type, uint32_t request_id,
-                              std::string_view body) {
+                              std::string_view body,
+                              const TraceContext* trace) {
   std::string frame;
-  AppendFrame(&frame, type, request_id, body);
+  AppendFrame(&frame, type, request_id, trace, body);
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->closed.load(std::memory_order_acquire)) return;
   if (!conn->transport->Write(frame).ok()) {
@@ -356,6 +420,7 @@ void RpcServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       return;
     }
     case MessageType::kQueryRequest: {
+      const auto t_admit = std::chrono::steady_clock::now();
       if (!conn->handshook) {
         QueryResponse resp;
         resp.code = StatusCode::kFailedPrecondition;
@@ -386,6 +451,7 @@ void RpcServer::HandleFrame(const std::shared_ptr<Connection>& conn,
                       EncodeQueryResponse(resp));
         return;
       }
+      const auto t_decode = std::chrono::steady_clock::now();
       auto query = DecodeQuery(frame.body);
       if (!query.ok()) {
         // The frame was well-formed (checksum passed) but the body is
@@ -398,16 +464,33 @@ void RpcServer::HandleFrame(const std::shared_ptr<Connection>& conn,
                       EncodeQueryResponse(resp));
         return;
       }
+      const auto t_queued = std::chrono::steady_clock::now();
       impl_->requests_accepted.fetch_add(1, std::memory_order_relaxed);
       if (impl_->m_accepted_reqs) impl_->m_accepted_reqs->Inc();
       impl_->inflight.fetch_add(1, std::memory_order_acq_rel);
       if (impl_->m_inflight) impl_->m_inflight->Add(1);
       conn->queued.fetch_add(1, std::memory_order_acq_rel);
+      Task task;
+      task.conn = conn;
+      task.request_id = frame.request_id;
+      task.query = std::move(*query);
+      task.received = t_queued;
+      task.seq = impl_->admission_seq.fetch_add(1, std::memory_order_relaxed);
+      task.admission_us = ElapsedUs(t_admit, t_decode);
+      task.decode_us = ElapsedUs(t_decode, t_queued);
+      if (obs::Tracer* tracer = impl_->options.tracer;
+          tracer != nullptr && (!frame.has_trace || frame.trace.sampled)) {
+        // Sampled wire context roots the span under the remote caller's
+        // span; a context-free request starts a server-local trace.
+        task.span = obs::Tracer::StartWithParent(
+            tracer, frame.has_trace ? frame.trace.parent_span_id : 0,
+            std::string("serve.") + serve::QueryKindName(task.query.kind));
+      }
+      task.trace_id =
+          frame.has_trace ? frame.trace.trace_id : task.span.id();
       {
         std::lock_guard<std::mutex> lock(impl_->queue_mu);
-        impl_->queue.push_back(Task{conn, frame.request_id,
-                                    std::move(*query),
-                                    std::chrono::steady_clock::now()});
+        impl_->queue.push_back(std::move(task));
       }
       impl_->queue_cv.notify_one();
       return;
@@ -439,6 +522,10 @@ void RpcServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         conn->subscribed = true;
         conn->sub_offset = req->from_offset;
         conn->sub_request_id = frame.request_id;
+        if (frame.has_trace) {
+          conn->sub_traced = true;
+          conn->sub_trace = frame.trace;
+        }
         conn->last_push = std::chrono::steady_clock::now();
         WalHeartbeat ack;
         ack.log_end = log->EndOffset();
@@ -453,10 +540,65 @@ void RpcServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       conn->transport->Close();
       return;
     }
+    case MessageType::kIntrospectRequest: {
+      IntrospectResponse resp;
+      if (!conn->handshook) {
+        resp.code = StatusCode::kFailedPrecondition;
+        resp.message = "introspect before handshake";
+        WriteResponse(conn, MessageType::kIntrospectResponse,
+                      frame.request_id, EncodeIntrospectResponse(resp));
+        conn->closed.store(true, std::memory_order_release);
+        conn->transport->Close();
+        return;
+      }
+      auto req = DecodeIntrospectRequest(frame.body);
+      if (!req.ok()) {
+        // Valid frame, malformed body: answered cleanly, like a bad
+        // query body.
+        resp.code = req.status().code();
+        resp.message = req.status().message();
+        WriteResponse(conn, MessageType::kIntrospectResponse,
+                      frame.request_id, EncodeIntrospectResponse(resp));
+        return;
+      }
+      switch (req->what) {
+        case IntrospectWhat::kMetricsJson:
+        case IntrospectWhat::kMetricsPrometheus:
+          if (impl_->options.registry == nullptr) {
+            resp.code = StatusCode::kFailedPrecondition;
+            resp.message = "no metrics registry behind this server";
+          } else if (req->what == IntrospectWhat::kMetricsJson) {
+            resp.payload = impl_->options.registry->ToJson();
+          } else {
+            resp.payload = impl_->options.registry->ToPrometheus();
+          }
+          break;
+        case IntrospectWhat::kSlowQueries:
+          if (impl_->options.slow_ring == nullptr) {
+            resp.code = StatusCode::kFailedPrecondition;
+            resp.message = "no slow-query ring behind this server";
+          } else {
+            resp.payload = impl_->options.slow_ring->ToJson();
+          }
+          break;
+        case IntrospectWhat::kTrace:
+          if (impl_->options.tracer == nullptr) {
+            resp.code = StatusCode::kFailedPrecondition;
+            resp.message = "no tracer behind this server";
+          } else {
+            resp.payload = impl_->options.tracer->ToJson();
+          }
+          break;
+      }
+      WriteResponse(conn, MessageType::kIntrospectResponse, frame.request_id,
+                    EncodeIntrospectResponse(resp));
+      return;
+    }
     case MessageType::kHandshakeResponse:
     case MessageType::kQueryResponse:
     case MessageType::kWalBatch:
     case MessageType::kWalHeartbeat:
+    case MessageType::kIntrospectResponse:
       // Responses flowing toward the server are a protocol violation.
       conn->closed.store(true, std::memory_order_release);
       conn->transport->Close();
@@ -477,24 +619,53 @@ void RpcServer::WorkerLoop() {
       task = std::move(impl_->queue.front());
       impl_->queue.pop_front();
     }
+    const auto t_exec = std::chrono::steady_clock::now();
+    const double queue_wait_us = ElapsedUs(task.received, t_exec);
     QueryResponse resp;
+    obs::Span exec_span = task.span.Child("execute");
     auto result = impl_->handler(task.query);
+    exec_span.End();
+    const auto t_done = std::chrono::steady_clock::now();
+    const double execute_us = ElapsedUs(t_exec, t_done);
     if (result.ok()) {
       resp.rows = std::move(*result);
     } else {
       resp.code = result.status().code();
       resp.message = result.status().message();
+      task.span.SetAttr("error", result.status().message());
     }
     WriteResponse(task.conn, MessageType::kQueryResponse, task.request_id,
                   EncodeQueryResponse(resp));
     task.conn->queued.fetch_sub(1, std::memory_order_acq_rel);
     impl_->inflight.fetch_sub(1, std::memory_order_acq_rel);
     if (impl_->m_inflight) impl_->m_inflight->Add(-1);
-    if (auto* histogram =
-            impl_->m_latency_us[static_cast<size_t>(task.query.kind)]) {
-      histogram->Observe(std::chrono::duration<double, std::micro>(
-                             std::chrono::steady_clock::now() - task.received)
-                             .count());
+    const size_t kind = static_cast<size_t>(task.query.kind);
+    if (auto* histogram = impl_->m_latency_us[kind]) {
+      histogram->Observe(ElapsedUs(task.received, t_done));
+    }
+    if (impl_->m_stage_admission[kind]) {
+      impl_->m_stage_admission[kind]->Observe(task.admission_us);
+      impl_->m_stage_decode[kind]->Observe(task.decode_us);
+      impl_->m_stage_queue_wait[kind]->Observe(queue_wait_us);
+      impl_->m_stage_execute[kind]->Observe(execute_us);
+    }
+    const uint64_t root_span_id = task.span.id();
+    task.span.End();
+    if (obs::SlowQueryRing* ring = impl_->options.slow_ring) {
+      obs::SlowQuery slow;
+      slow.trace_id = task.trace_id;
+      slow.root_span_id = root_span_id;
+      slow.query_class = serve::QueryKindName(task.query.kind);
+      slow.duration_ticks = obs::Histogram::ToTicks(
+          task.admission_us + task.decode_us + queue_wait_us + execute_us);
+      slow.seq = task.seq;
+      slow.stage_ticks = {
+          {obs::Stage::kAdmission, obs::Histogram::ToTicks(task.admission_us)},
+          {obs::Stage::kDecode, obs::Histogram::ToTicks(task.decode_us)},
+          {obs::Stage::kQueueWait, obs::Histogram::ToTicks(queue_wait_us)},
+          {obs::Stage::kEngineExecute, obs::Histogram::ToTicks(execute_us)},
+      };
+      ring->Offer(std::move(slow));
     }
   }
 }

@@ -17,6 +17,11 @@ namespace kg::store {
 class VersionedKgStore;
 }  // namespace kg::store
 
+namespace kg::obs {
+class SlowQueryRing;
+class Tracer;
+}  // namespace kg::obs
+
 namespace kg::rpc {
 
 /// What the server fronts: anything that can answer a serve::Query with
@@ -94,6 +99,14 @@ struct RpcServerOptions {
   /// Largest kWalBatch frame payload; bigger backlogs ship as several
   /// batches across event-loop passes.
   size_t wal_batch_max_bytes = 256 * 1024;
+  /// Distributed tracing (not owned; must outlive the server). Each
+  /// accepted query gets a "serve.<class>" span — rooted at the wire
+  /// trace context when the request carries a sampled one, a local root
+  /// otherwise — and kIntrospect(kTrace) dumps this tracer.
+  obs::Tracer* tracer = nullptr;
+  /// Worst-N slow-request retention fed per accepted query (not owned);
+  /// kIntrospect(kSlowQueries) exposes it.
+  obs::SlowQueryRing* slow_ring = nullptr;
 };
 
 /// Multi-connection RPC front-end over an ITransportServer:
@@ -170,7 +183,8 @@ class RpcServer {
                    Frame&& frame);
   void WriteResponse(const std::shared_ptr<Connection>& conn,
                      MessageType type, uint32_t request_id,
-                     std::string_view body);
+                     std::string_view body,
+                     const TraceContext* trace = nullptr);
 
   std::unique_ptr<Impl> impl_;
   std::unique_ptr<ITransportServer> listener_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "obs/introspect.h"
 
 namespace kg::serve {
 
@@ -165,6 +166,10 @@ QueryEngine::QueryEngine(const KgSnapshot& snapshot, ServeOptions options)
             std::string("serve.latency_us.") + name,
             obs::LatencyBucketsUs());
       }
+      if (options_.time_stages && options_.cache_capacity > 0) {
+        stage_cache_probe_[i] = &obs::StageHistogram(
+            *options_.registry, obs::Stage::kCacheProbe, name);
+      }
     }
   }
 }
@@ -200,9 +205,22 @@ Result<QueryResult> QueryEngine::TryExecute(const Query& query) const {
 
 QueryResult QueryEngine::ExecuteCacheAware(const Query& query) const {
   if (cache_ == nullptr) return ExecuteUncached(query);
+  obs::Histogram* probe_hist =
+      stage_cache_probe_[static_cast<size_t>(query.kind)];
+  if (probe_hist == nullptr) {
+    const std::string key = query.CacheKey();
+    QueryResult cached;
+    if (cache_->Get(key, &cached)) return cached;
+    QueryResult result = ExecuteUncached(query);
+    cache_->Put(key, result);
+    return result;
+  }
+  WallTimer timer;
   const std::string key = query.CacheKey();
   QueryResult cached;
-  if (cache_->Get(key, &cached)) return cached;
+  const bool hit = cache_->Get(key, &cached);
+  probe_hist->Observe(timer.ElapsedSeconds() * 1e6);
+  if (hit) return cached;
   QueryResult result = ExecuteUncached(query);
   cache_->Put(key, result);
   return result;

@@ -119,6 +119,11 @@ struct ServeOptions {
   /// "serve.latency_us.<class>" histogram. Costs two clock reads per
   /// query, so it is opt-in rather than implied by `registry`.
   bool time_queries = false;
+  /// With `registry`, also time the result-cache probe (key render +
+  /// lookup) into per-class "stage_us.cache_probe.<class>" histograms —
+  /// the engine's contribution to the request-path stage attribution.
+  /// Same opt-in rationale as time_queries.
+  bool time_stages = false;
 };
 
 /// Read path over an immutable KgSnapshot. Thread-safe: Execute only
@@ -173,6 +178,7 @@ class QueryEngine {
   // registration takes a lock, so it happens once here, never per query.
   std::array<obs::Counter*, kNumQueryKinds> query_counters_{};
   std::array<obs::Histogram*, kNumQueryKinds> latency_us_{};
+  std::array<obs::Histogram*, kNumQueryKinds> stage_cache_probe_{};
   // Mutable by design: caching must be invisible to callers, and the
   // sharded cache is internally synchronized.
   mutable std::unique_ptr<ShardedLruCache> cache_;

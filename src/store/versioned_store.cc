@@ -6,6 +6,8 @@
 #include <set>
 #include <utility>
 
+#include "obs/introspect.h"
+
 namespace kg::store {
 
 namespace {
@@ -458,6 +460,17 @@ Result<std::unique_ptr<VersionedKgStore>> VersionedKgStore::Open(
         &reg->GetGauge("store.wal.replayed_records");
     store->metrics_.compaction_last_us =
         &reg->GetGauge("store.compaction.last_us");
+    store->metrics_.stage_wal_append =
+        &obs::StageHistogram(*reg, obs::Stage::kWalAppend);
+    store->metrics_.stage_overlay_merge =
+        &obs::StageHistogram(*reg, obs::Stage::kOverlayMerge);
+    if (options.time_stages) {
+      for (size_t k = 0; k < serve::kNumQueryKinds; ++k) {
+        store->metrics_.stage_cache_probe[k] = &obs::StageHistogram(
+            *reg, obs::Stage::kCacheProbe,
+            serve::QueryKindName(static_cast<serve::QueryKind>(k)));
+      }
+    }
   }
   if (!options.wal_path.empty()) {
     WalReplay replay;
@@ -531,10 +544,16 @@ Status VersionedKgStore::Apply(const Mutation& mutation) {
 Status VersionedKgStore::ApplyBatch(std::span<const Mutation> mutations) {
   if (mutations.empty()) return Status::OK();
   std::lock_guard<std::mutex> writer(writer_mu_);
+  const auto t_wal = std::chrono::steady_clock::now();
   if (wal_) {
     // Log before apply: if the append fails, no state changed and the
     // caller may retry; if we crash after it, replay redoes the batch.
     KG_RETURN_IF_ERROR(wal_->AppendBatch(mutations));
+  }
+  const auto t_merge = std::chrono::steady_clock::now();
+  if (metrics_.stage_wal_append != nullptr && wal_) {
+    metrics_.stage_wal_append->Observe(
+        std::chrono::duration<double, std::micro>(t_merge - t_wal).count());
   }
   // Holding writer_mu_ makes the unlocked read of current_ safe: only
   // writers store to it, and they all serialize here.
@@ -559,6 +578,12 @@ Status VersionedKgStore::ApplyBatch(std::span<const Mutation> mutations) {
     for (const std::string& key : affected) cache_->Erase(key);
   });
   if (cache_) BumpGenerations(mutations);
+  if (metrics_.stage_overlay_merge != nullptr) {
+    metrics_.stage_overlay_merge->Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t_merge)
+            .count());
+  }
   if (metrics_.applied_mutations != nullptr) {
     metrics_.applied_mutations->Inc(mutations.size());
     if (wal_) metrics_.wal_appended->Inc(mutations.size());
@@ -691,17 +716,30 @@ serve::QueryResult VersionedKgStore::Execute(const serve::Query& query) const {
   // entry: a retired generation is overwritten in place by the next
   // read instead of lingering as unreachable garbage that would crowd
   // live entries out of the LRU.
+  obs::Histogram* probe_hist =
+      metrics_.stage_cache_probe[static_cast<size_t>(query.kind)];
+  const auto t_probe = probe_hist != nullptr
+                           ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   const std::string key = query.CacheKey();
   const std::string tag = erase_invalidated ? std::string() : GenTag(query);
   serve::QueryResult cached;
+  bool hit = false;
   if (cache_->Get(key, &cached)) {
-    if (erase_invalidated) return cached;
-    if (!cached.empty() && cached.front() == tag) {
+    if (erase_invalidated) {
+      hit = true;
+    } else if (!cached.empty() && cached.front() == tag) {
       cached.erase(cached.begin());
-      return cached;
+      hit = true;
     }
-    // Retired generation: recompute and overwrite below.
+    // Otherwise: retired generation, recompute and overwrite below.
   }
+  if (probe_hist != nullptr) {
+    probe_hist->Observe(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t_probe)
+                            .count());
+  }
+  if (hit) return cached;
   const std::shared_ptr<const StoreEpoch> epoch = PinEpoch();
   serve::QueryResult result = ExecuteAt(*epoch, query);
   if (erase_invalidated) {

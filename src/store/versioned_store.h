@@ -1,6 +1,7 @@
 #ifndef KGRAPH_STORE_VERSIONED_STORE_H_
 #define KGRAPH_STORE_VERSIONED_STORE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -40,7 +41,14 @@ struct StoreOptions {
   /// "store.epoch.version" / "store.delta.size" /
   /// "store.wal.replayed_records" / "store.compaction.last_us" gauges.
   /// All updates happen on the (serialized) write path, never per read.
+  /// Also feeds the write path's stage attribution: "stage_us.wal_append"
+  /// (durable log flush) and "stage_us.overlay_merge" (graph + delta
+  /// apply and epoch publish) per applied batch.
   obs::MetricsRegistry* registry = nullptr;
+  /// With `registry`, also time the read path's result-cache probe into
+  /// per-class "stage_us.cache_probe.<class>" histograms. Two extra
+  /// clock reads per cached read, so opt-in like serve's time_queries.
+  bool time_stages = false;
 };
 
 /// One immutable MVCC version of the store: a base snapshot plus the
@@ -255,6 +263,9 @@ class VersionedKgStore {
     obs::Gauge* delta_size = nullptr;
     obs::Gauge* wal_replayed = nullptr;
     obs::Gauge* compaction_last_us = nullptr;
+    obs::Histogram* stage_wal_append = nullptr;
+    obs::Histogram* stage_overlay_merge = nullptr;
+    std::array<obs::Histogram*, serve::kNumQueryKinds> stage_cache_probe{};
   };
 
   StoreOptions options_;

@@ -13,8 +13,12 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/fault.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "graph/knowledge_graph.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "serve/query_engine.h"
 #include "store/versioned_store.h"
 #include "store/wal.h"
@@ -243,6 +247,92 @@ TEST(ClusterPropertyTest, ShardedMatchesSingleStoreAcrossMatrix) {
       }
     }
   }
+}
+
+// ---- Wire trace propagation through the router --------------------------
+
+/// True when `span` or any descendant is a "store.execute" span — the
+/// store-side leaf a routed query's trace must reach.
+bool ReachesStoreExecute(const obs::JsonValue& span) {
+  const obs::JsonValue* name = span.Find("name");
+  if (name != nullptr && name->string_value == "store.execute") return true;
+  const obs::JsonValue* children = span.Find("children");
+  if (children == nullptr) return false;
+  for (const obs::JsonValue& child : children->array) {
+    if (ReachesStoreExecute(child)) return true;
+  }
+  return false;
+}
+
+/// Every top-level span must be a "route.<class>" root whose tree
+/// reaches a "store.execute" leaf; returns the number of such trees.
+size_t CountConnectedRouteTrees(const std::string& trace_json) {
+  const auto doc = obs::ParseJson(trace_json);
+  if (!doc.ok()) return 0;
+  const obs::JsonValue* spans = doc->Find("spans");
+  if (spans == nullptr || !spans->is_array()) return 0;
+  size_t trees = 0;
+  for (const obs::JsonValue& root : spans->array) {
+    const obs::JsonValue* name = root.Find("name");
+    if (name == nullptr || name->string_value.rfind("route.", 0) != 0) {
+      return 0;  // A disconnected non-route root breaks the property.
+    }
+    if (!ReachesStoreExecute(root)) return 0;
+    ++trees;
+  }
+  return trees;
+}
+
+constexpr size_t kTracedQueries = 12;
+
+/// Seeded traced run: fixed clock, fixed workload, `worker_threads`
+/// per-member server threads. Returns the tracer's JSON forest.
+std::string RunTracedWorld(size_t worker_threads,
+                           const FaultInjector* injector) {
+  World world = MakeWorld(7321);
+  obs::FixedTraceClock clock;
+  obs::Tracer tracer(42, &clock);
+  ClusterOptions opts = FastClusterOptions(2, 1);
+  opts.tracer = &tracer;
+  opts.server_worker_threads = worker_threads;
+  opts.injector = injector;
+  if (injector != nullptr) opts.receiver.max_dial_attempts = 200;
+  auto cluster = Cluster::Create(world.kg, opts);
+  KG_CHECK_OK(cluster.status());
+  KG_CHECK((*cluster)->WaitForCatchUp(30000));
+  Rng rng(4242);
+  for (size_t i = 0; i < kTracedQueries; ++i) {
+    KG_CHECK_OK((*cluster)->Execute(RandomQuery(world, rng)).status());
+  }
+  (*cluster).reset();  // Joins every member before exporting spans.
+  return tracer.ToJson();
+}
+
+TEST(ClusterPropertyTest, TracedForestIsByteIdenticalAcrossThreadCounts) {
+  const std::string one = RunTracedWorld(1, nullptr);
+  const std::string two = RunTracedWorld(2, nullptr);
+  const std::string eight = RunTracedWorld(8, nullptr);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  // And across a second same-seed run at the same thread count.
+  EXPECT_EQ(two, RunTracedWorld(2, nullptr));
+#ifndef KG_OBS_NOOP
+  // One connected route->shard->member->store.execute tree per query.
+  EXPECT_EQ(CountConnectedRouteTrees(one), kTracedQueries);
+#endif
+}
+
+TEST(ClusterPropertyTest, TracedForestStaysConnectedUnderChaos) {
+  FaultPlan plan;
+  plan.seed = 1337;
+  plan.transient_rate = 0.05;
+  const FaultInjector injector(plan);
+  const std::string forest = RunTracedWorld(2, &injector);
+#ifndef KG_OBS_NOOP
+  // Chaos may retry a query (extra spans inside a tree) but every
+  // answered query still renders one connected route tree.
+  EXPECT_EQ(CountConnectedRouteTrees(forest), kTracedQueries);
+#endif
 }
 
 }  // namespace

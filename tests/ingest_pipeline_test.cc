@@ -115,6 +115,7 @@ TEST(IngestPipelineTest, DrainedRunMatchesOfflineRebuild) {
             TripleSetFingerprint(rebuilt))
       << "drained store must equal the serial offline rebuild";
 
+#ifndef KG_OBS_NOOP
   // The obs counters tell the same story as the report.
   EXPECT_EQ(registry.GetCounter("ingest.units").Value(),
             static_cast<uint64_t>(report.units_processed));
@@ -122,6 +123,7 @@ TEST(IngestPipelineTest, DrainedRunMatchesOfflineRebuild) {
             report.mutations_committed);
   EXPECT_EQ(registry.GetCounter("ingest.commit_batches").Value(),
             report.commit_batches);
+#endif
   EXPECT_GT(report.commit_batches, 1u);
 }
 

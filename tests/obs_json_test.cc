@@ -166,7 +166,7 @@ TEST(JsonSinkTest, EnvelopeCarriesUniformMetadataAndParses) {
   ASSERT_TRUE(parsed.ok());
   const JsonValue& v = *parsed;
   ASSERT_TRUE(v.is_object());
-  EXPECT_DOUBLE_EQ(v.Find("schema_version")->number, 1.0);
+  EXPECT_DOUBLE_EQ(v.Find("schema_version")->number, 2.0);
   EXPECT_EQ(v.Find("bench")->string_value, "mybench");
   EXPECT_DOUBLE_EQ(v.Find("seed")->number, 7.0);
   EXPECT_DOUBLE_EQ(v.Find("threads")->number, 3.0);

@@ -18,6 +18,9 @@ namespace kg::obs {
 namespace {
 
 TEST(CounterTest, IncrementsAndResets) {
+#ifdef KG_OBS_NOOP
+  GTEST_SKIP() << "instrumentation compiled out under KG_OBS_NOOP";
+#endif
   Counter c;
   EXPECT_EQ(c.Value(), 0u);
   c.Inc();
@@ -28,6 +31,9 @@ TEST(CounterTest, IncrementsAndResets) {
 }
 
 TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+#ifdef KG_OBS_NOOP
+  GTEST_SKIP() << "instrumentation compiled out under KG_OBS_NOOP";
+#endif
   Counter c;
   constexpr size_t kThreads = 8;
   constexpr size_t kIncs = 10000;
@@ -42,6 +48,9 @@ TEST(CounterTest, ConcurrentIncrementsSumExactly) {
 }
 
 TEST(GaugeTest, SetAddReset) {
+#ifdef KG_OBS_NOOP
+  GTEST_SKIP() << "instrumentation compiled out under KG_OBS_NOOP";
+#endif
   Gauge g;
   g.Set(10);
   EXPECT_EQ(g.Value(), 10);
@@ -52,6 +61,9 @@ TEST(GaugeTest, SetAddReset) {
 }
 
 TEST(HistogramTest, LeInclusiveBucketsWithOverflow) {
+#ifdef KG_OBS_NOOP
+  GTEST_SKIP() << "instrumentation compiled out under KG_OBS_NOOP";
+#endif
   Histogram h({1.0, 2.0, 4.0});
   for (double v : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) h.Observe(v);
   // "le" semantics: a value equal to a bound lands in that bound's
@@ -64,6 +76,9 @@ TEST(HistogramTest, LeInclusiveBucketsWithOverflow) {
 }
 
 TEST(HistogramTest, QuantileEdgeCases) {
+#ifdef KG_OBS_NOOP
+  GTEST_SKIP() << "instrumentation compiled out under KG_OBS_NOOP";
+#endif
   Histogram h({1.0, 2.0, 4.0});
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty
   h.Observe(100.0);                        // overflow only
@@ -100,6 +115,9 @@ TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
 }
 
 TEST(MetricsRegistryTest, JsonExpositionShape) {
+#ifdef KG_OBS_NOOP
+  GTEST_SKIP() << "instrumentation compiled out under KG_OBS_NOOP";
+#endif
   MetricsRegistry registry;
   registry.GetCounter("reqs").Inc(3);
   registry.GetGauge("epoch").Set(-2);
@@ -140,6 +158,9 @@ TEST(MetricsRegistryTest, EqualContentsSerializeIdentically) {
 }
 
 TEST(MetricsRegistryTest, PrometheusSanitizesNamesAndEmitsFamilies) {
+#ifdef KG_OBS_NOOP
+  GTEST_SKIP() << "instrumentation compiled out under KG_OBS_NOOP";
+#endif
   MetricsRegistry registry;
   registry.GetCounter("serve.queries.point-lookup").Inc(2);
   registry.GetGauge("store.epoch.version").Set(4);
@@ -157,6 +178,9 @@ TEST(MetricsRegistryTest, PrometheusSanitizesNamesAndEmitsFamilies) {
 }
 
 TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+#ifdef KG_OBS_NOOP
+  GTEST_SKIP() << "instrumentation compiled out under KG_OBS_NOOP";
+#endif
   MetricsRegistry registry;
   Counter& c = registry.GetCounter("c");
   Histogram& h = registry.GetHistogram("h", {1.0});
@@ -172,6 +196,9 @@ TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
 }
 
 TEST(CaptureProcessEventsTest, MirrorsGlobalCountersAsGaugeDeltas) {
+#ifdef KG_OBS_NOOP
+  GTEST_SKIP() << "instrumentation compiled out under KG_OBS_NOOP";
+#endif
   // The process counters are global and monotonic; the bridge copies
   // their instantaneous values, so two captures around a known bump
   // must differ by exactly that bump.

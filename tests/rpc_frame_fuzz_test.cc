@@ -124,6 +124,171 @@ TEST(RpcFrameFuzzTest, BitFlipsNeverYieldAlteredFrames) {
   EXPECT_GT(flips_caught, stream.size() * 8 / 2);
 }
 
+std::string TracedSampleStream() {
+  std::string stream;
+  TraceContext trace;
+  trace.trace_id = 0xfeedfacefeedfaceULL;
+  trace.parent_span_id = 0x1020304050607080ULL;
+  trace.sampled = true;
+  AppendFrame(&stream, MessageType::kQueryRequest, 11, &trace,
+              EncodeQuery(serve::Query::PointLookup("alice", "knows")));
+  trace.sampled = false;
+  AppendFrame(&stream, MessageType::kQueryRequest, 12, &trace,
+              EncodeQuery(serve::Query::Neighborhood("bob")));
+  AppendFrame(&stream, MessageType::kIntrospectRequest, 13,
+              EncodeIntrospectRequest(
+                  IntrospectRequest{IntrospectWhat::kMetricsJson}));
+  IntrospectResponse ir;
+  ir.payload = "{\"schema_version\":1}";
+  AppendFrame(&stream, MessageType::kIntrospectResponse, 13,
+              EncodeIntrospectResponse(ir));
+  return stream;
+}
+
+// A stream carrying trace extensions and introspection frames, cut at
+// every byte offset: only whole frames before the cut are delivered,
+// and a partial trace extension is "need more", never an error.
+TEST(RpcFrameFuzzTest, TracedStreamSurvivesTruncationAtEveryOffset) {
+  const std::string stream = TracedSampleStream();
+  std::vector<size_t> ends;
+  {
+    FrameDecoder decoder;
+    decoder.Feed(stream);
+    Frame out;
+    size_t consumed = 0;
+    while (decoder.Next(&out) == FrameDecoder::Step::kFrame) {
+      consumed += kFrameHeaderBytes + kMessageHeaderBytes + out.body.size();
+      if (out.has_trace) consumed += 1 + kTraceContextBytes;
+      ends.push_back(consumed);
+    }
+    ASSERT_EQ(ends.size(), 4u);
+    ASSERT_EQ(consumed, stream.size());
+  }
+  for (size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(std::string_view(stream).substr(0, cut));
+    size_t expected = 0;
+    while (expected < ends.size() && ends[expected] <= cut) ++expected;
+    EXPECT_EQ(DrainFrames(&decoder), expected) << "cut at " << cut;
+    EXPECT_TRUE(decoder.error().ok()) << "cut at " << cut;
+  }
+}
+
+// Bit flips over a traced stream: a flip may never deliver a frame whose
+// (type, request id, trace, body) differs from an original frame.
+TEST(RpcFrameFuzzTest, TracedStreamBitFlipsNeverYieldAlteredFrames) {
+  const std::string stream = TracedSampleStream();
+  std::vector<Frame> originals;
+  {
+    FrameDecoder decoder;
+    decoder.Feed(stream);
+    Frame out;
+    while (decoder.Next(&out) == FrameDecoder::Step::kFrame) {
+      originals.push_back(out);
+    }
+  }
+  auto matches_original = [&](const Frame& f) {
+    for (const Frame& o : originals) {
+      if (o.type == f.type && o.request_id == f.request_id &&
+          o.has_trace == f.has_trace &&
+          o.trace.trace_id == f.trace.trace_id &&
+          o.trace.parent_span_id == f.trace.parent_span_id &&
+          o.trace.sampled == f.trace.sampled && o.body == f.body) {
+        return true;
+      }
+    }
+    return false;
+  };
+  size_t flips_caught = 0;
+  for (size_t byte = 0; byte < stream.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = stream;
+      mutated[byte] ^= static_cast<char>(1 << bit);
+      FrameDecoder decoder;
+      decoder.Feed(mutated);
+      Frame out;
+      FrameDecoder::Step step;
+      while ((step = decoder.Next(&out)) == FrameDecoder::Step::kFrame) {
+        ASSERT_TRUE(matches_original(out))
+            << "byte " << byte << " bit " << bit
+            << " delivered an altered frame";
+      }
+      if (step == FrameDecoder::Step::kError) ++flips_caught;
+    }
+  }
+  EXPECT_GT(flips_caught, stream.size() * 8 / 2);
+}
+
+// Every possible 16-bit flags value, checksum fixed up so only the flag
+// validation can fire: zero decodes, the trace bit alone takes the
+// extension path (and errors here, because the query body is not a
+// valid extension), and any reserved bit is rejected by name.
+TEST(RpcFrameFuzzTest, ExhaustiveFlagValuesNeverCrash) {
+  std::string base;
+  AppendFrame(&base, MessageType::kQueryRequest, 21,
+              EncodeQuery(serve::Query::PointLookup("node", "pred")));
+  for (uint32_t flags = 0; flags <= 0xffff; ++flags) {
+    std::string frame = base;
+    frame[kFrameHeaderBytes + 2] = static_cast<char>(flags & 0xff);
+    frame[kFrameHeaderBytes + 3] = static_cast<char>((flags >> 8) & 0xff);
+    const std::string_view payload(frame.data() + kFrameHeaderBytes,
+                                   frame.size() - kFrameHeaderBytes);
+    const uint32_t checksum = Checksum32(payload);
+    for (int i = 0; i < 4; ++i) {
+      frame[4 + i] = static_cast<char>((checksum >> (8 * i)) & 0xff);
+    }
+    FrameDecoder decoder;
+    decoder.Feed(frame);
+    Frame out;
+    const FrameDecoder::Step step = decoder.Next(&out);
+    if (flags == 0) {
+      EXPECT_EQ(step, FrameDecoder::Step::kFrame);
+      EXPECT_FALSE(out.has_trace);
+    } else if (flags == kFlagTraceContext) {
+      // The body's first byte (point-lookup kind, 0x00) is read as the
+      // extension length and rejected.
+      EXPECT_EQ(step, FrameDecoder::Step::kError);
+    } else {
+      EXPECT_EQ(step, FrameDecoder::Step::kError) << "flags " << flags;
+      EXPECT_NE(decoder.error().message().find("reserved flags"),
+                std::string::npos)
+          << "flags " << flags;
+    }
+  }
+}
+
+// Truncating a trace extension at every interior offset (length prefix
+// and checksum fixed up each time) must always produce a clean error —
+// the extension has a fixed width, so no strict prefix parses.
+TEST(RpcFrameFuzzTest, TraceExtensionTruncationAlwaysRejected) {
+  TraceContext trace;
+  trace.trace_id = 0xaabbccddeeff0011ULL;
+  trace.parent_span_id = 0x2233445566778899ULL;
+  trace.sampled = true;
+  std::string traced;
+  AppendFrame(&traced, MessageType::kHandshakeRequest, 2, &trace,
+              std::string_view());
+  const size_t full_payload = traced.size() - kFrameHeaderBytes;
+  ASSERT_EQ(full_payload, kMessageHeaderBytes + 1 + kTraceContextBytes);
+  for (size_t payload = kMessageHeaderBytes; payload < full_payload;
+       ++payload) {
+    std::string frame = traced.substr(0, kFrameHeaderBytes + payload);
+    for (int i = 0; i < 4; ++i) {
+      frame[i] = static_cast<char>((payload >> (8 * i)) & 0xff);
+    }
+    const std::string_view view(frame.data() + kFrameHeaderBytes, payload);
+    const uint32_t checksum = Checksum32(view);
+    for (int i = 0; i < 4; ++i) {
+      frame[4 + i] = static_cast<char>((checksum >> (8 * i)) & 0xff);
+    }
+    FrameDecoder decoder;
+    decoder.Feed(frame);
+    Frame out;
+    EXPECT_EQ(decoder.Next(&out), FrameDecoder::Step::kError)
+        << "payload bytes " << payload;
+  }
+}
+
 // Corrupting the checksum field specifically must always error: the
 // payload is intact, so only the checksum comparison can catch it.
 TEST(RpcFrameFuzzTest, EveryChecksumBitFlipIsCaught) {
@@ -172,6 +337,8 @@ TEST(RpcFrameFuzzTest, BodyDecodersSurviveRandomGarbage) {
     (void)DecodeHandshakeResponse(garbage);
     (void)DecodeQuery(garbage);
     (void)DecodeQueryResponse(garbage);
+    (void)DecodeIntrospectRequest(garbage);
+    (void)DecodeIntrospectResponse(garbage);
   }
 }
 

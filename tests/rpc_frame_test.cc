@@ -22,6 +22,17 @@ std::string EncodeFrame(MessageType type, uint32_t request_id,
   return buf;
 }
 
+// After hand-mutating payload bytes, rewrite the frame checksum so only
+// the mutated field's own validation can fire.
+void FixupChecksum(std::string* frame) {
+  const std::string_view payload(frame->data() + kFrameHeaderBytes,
+                                 frame->size() - kFrameHeaderBytes);
+  const uint32_t checksum = Checksum32(payload);
+  for (int i = 0; i < 4; ++i) {
+    (*frame)[4 + i] = static_cast<char>((checksum >> (8 * i)) & 0xff);
+  }
+}
+
 // ---- Golden bytes -------------------------------------------------------
 
 TEST(RpcFrameTest, GoldenHandshakeRequestFrame) {
@@ -65,6 +76,64 @@ TEST(RpcFrameTest, GoldenQueryRequestFrame) {
   for (size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(static_cast<uint8_t>(frame[i]), expected[i]) << "byte " << i;
   }
+}
+
+TEST(RpcFrameTest, GoldenQueryRequestFrameWithTraceContext) {
+  const serve::Query query = serve::Query::PointLookup("a", "p");
+  TraceContext trace;
+  trace.trace_id = 0x1122334455667788ULL;
+  trace.parent_span_id = 0x99aabbccddeeff00ULL;
+  trace.sampled = true;
+  std::string frame;
+  AppendFrame(&frame, MessageType::kQueryRequest, 42, &trace,
+              EncodeQuery(query));
+  const std::vector<uint8_t> expected_payload = {
+      0x01, 0x02,              // version 1, type = query request
+      0x01, 0x00,              // flags: trace context present
+      0x2a, 0x00, 0x00, 0x00,  // request id = 42
+      0x11,                    // extension length = 17
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // trace id, LE
+      0x00, 0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99,  // parent span, LE
+      0x01,                                            // sampled
+      // Body: identical to the untraced golden frame — the extension
+      // sits between the message header and the body.
+      0x00,                    // kind = point lookup
+      0x00,                    // node kind = entity
+      0x0a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // k = 10
+      0x01, 0x00, 0x00, 0x00, 'a',                     // node
+      0x01, 0x00, 0x00, 0x00, 'p',                     // predicate
+      0x00, 0x00, 0x00, 0x00,                          // type name = ""
+      0x04, 0x00, 0x00, 0x00, 't', 'y', 'p', 'e',      // type predicate
+  };
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + expected_payload.size());
+  // Length prefix covers the whole payload including the extension.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(frame[i]),
+              (expected_payload.size() >> (8 * i)) & 0xff)
+        << "length byte " << i;
+  }
+  // Checksum covers the extension bytes too.
+  const uint32_t checksum = Checksum32(std::string_view(
+      reinterpret_cast<const char*>(expected_payload.data()),
+      expected_payload.size()));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(frame[4 + i]), (checksum >> (8 * i)) & 0xff)
+        << "checksum byte " << i;
+  }
+  for (size_t i = 0; i < expected_payload.size(); ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(frame[kFrameHeaderBytes + i]),
+              expected_payload[i])
+        << "payload byte " << i;
+  }
+}
+
+TEST(RpcFrameTest, NullTraceContextLeavesBytesUnchanged) {
+  const std::string body = EncodeQuery(serve::Query::Neighborhood("n"));
+  std::string four_arg;
+  AppendFrame(&four_arg, MessageType::kQueryRequest, 9, body);
+  std::string five_arg_null;
+  AppendFrame(&five_arg_null, MessageType::kQueryRequest, 9, nullptr, body);
+  EXPECT_EQ(four_arg, five_arg_null);
 }
 
 TEST(RpcFrameTest, ChecksumCoversMessageHeader) {
@@ -135,6 +204,105 @@ TEST(RpcFrameTest, QueryResponseRoundTrip) {
   EXPECT_TRUE(decoded_err->rows.empty());
 }
 
+TEST(RpcFrameTest, TraceContextRoundTrip) {
+  for (const bool sampled : {false, true}) {
+    TraceContext trace;
+    trace.trace_id = 0xdeadbeefcafef00dULL;
+    trace.parent_span_id = 0x0123456789abcdefULL;
+    trace.sampled = sampled;
+    const std::string body = EncodeQuery(serve::Query::PointLookup("n", "p"));
+    std::string frame;
+    AppendFrame(&frame, MessageType::kQueryRequest, 17, &trace, body);
+    FrameDecoder decoder;
+    decoder.Feed(frame);
+    Frame out;
+    ASSERT_EQ(decoder.Next(&out), FrameDecoder::Step::kFrame)
+        << decoder.error();
+    EXPECT_EQ(out.type, MessageType::kQueryRequest);
+    EXPECT_EQ(out.request_id, 17u);
+    ASSERT_TRUE(out.has_trace);
+    EXPECT_EQ(out.trace.trace_id, trace.trace_id);
+    EXPECT_EQ(out.trace.parent_span_id, trace.parent_span_id);
+    EXPECT_EQ(out.trace.sampled, sampled);
+    EXPECT_EQ(out.body, body);  // Extension must not leak into the body.
+  }
+}
+
+TEST(RpcFrameTest, UntracedFrameDecodesWithoutTrace) {
+  const std::string frame = EncodeFrame(
+      MessageType::kQueryRequest, 5, EncodeQuery(serve::Query::Neighborhood("n")));
+  FrameDecoder decoder;
+  decoder.Feed(frame);
+  Frame out;
+  ASSERT_EQ(decoder.Next(&out), FrameDecoder::Step::kFrame);
+  EXPECT_FALSE(out.has_trace);
+}
+
+TEST(RpcFrameTest, RejectsMalformedTraceExtension) {
+  TraceContext trace;
+  trace.trace_id = 1;
+  trace.parent_span_id = 2;
+  trace.sampled = true;
+  const std::string body = EncodeQuery(serve::Query::Neighborhood("n"));
+  std::string traced;
+  AppendFrame(&traced, MessageType::kQueryRequest, 3, &trace, body);
+  const size_t ext_at = kFrameHeaderBytes + kMessageHeaderBytes;
+
+  {
+    // Wrong extension length byte.
+    std::string frame = traced;
+    frame[ext_at] = 16;
+    FixupChecksum(&frame);
+    FrameDecoder decoder;
+    decoder.Feed(frame);
+    Frame out;
+    EXPECT_EQ(decoder.Next(&out), FrameDecoder::Step::kError);
+    EXPECT_NE(decoder.error().message().find("is not"), std::string::npos);
+  }
+  {
+    // Sampled byte out of range.
+    std::string frame = traced;
+    frame[ext_at + 1 + 16] = 2;
+    FixupChecksum(&frame);
+    FrameDecoder decoder;
+    decoder.Feed(frame);
+    Frame out;
+    EXPECT_EQ(decoder.Next(&out), FrameDecoder::Step::kError);
+    EXPECT_NE(decoder.error().message().find("sampled"), std::string::npos);
+  }
+  {
+    // Declared extension length of 17, but the payload ends mid-extension.
+    std::string frame;
+    AppendFrame(&frame, MessageType::kHandshakeRequest, 1, &trace,
+                std::string_view());
+    const size_t new_payload = kMessageHeaderBytes + 1 + 10;
+    frame.resize(kFrameHeaderBytes + new_payload);
+    for (int i = 0; i < 4; ++i) {
+      frame[i] = static_cast<char>((new_payload >> (8 * i)) & 0xff);
+    }
+    FixupChecksum(&frame);
+    FrameDecoder decoder;
+    decoder.Feed(frame);
+    Frame out;
+    EXPECT_EQ(decoder.Next(&out), FrameDecoder::Step::kError);
+    EXPECT_NE(decoder.error().message().find("truncated"), std::string::npos);
+  }
+  {
+    // Trace flag set but no room for any extension: payload is just the
+    // message header.
+    std::string frame;
+    AppendFrame(&frame, MessageType::kHandshakeRequest, 1,
+                std::string_view());
+    frame[kFrameHeaderBytes + 2] = 1;  // Set the trace flag.
+    FixupChecksum(&frame);
+    FrameDecoder decoder;
+    decoder.Feed(frame);
+    Frame out;
+    EXPECT_EQ(decoder.Next(&out), FrameDecoder::Step::kError);
+    EXPECT_NE(decoder.error().message().find("absent"), std::string::npos);
+  }
+}
+
 // ---- Header versioning --------------------------------------------------
 
 TEST(RpcFrameTest, RejectsWrongProtocolVersion) {
@@ -161,7 +329,9 @@ TEST(RpcFrameTest, RejectsUnknownMessageTypeAndNonzeroFlags) {
   for (const auto& [offset, value, what] :
        std::vector<std::tuple<size_t, char, std::string>>{
            {1, static_cast<char>(kMaxMessageType + 1), "message type"},
-           {2, 1, "flags"}}) {
+           // Bit 0x1 is the (valid) trace-context flag; bit 0x2 is the
+           // lowest still-reserved bit.
+           {2, 2, "flags"}}) {
     std::string frame =
         EncodeFrame(MessageType::kQueryRequest, 1,
                     EncodeQuery(serve::Query::Neighborhood("n")));

@@ -1,0 +1,315 @@
+// kIntrospect over the wire: scraping a live server's metrics,
+// slow-query ring, and trace dump must return exactly the bytes the
+// in-process expositions render; hostile request bodies get clean
+// kInvalidArgument responses (connection survives); missing surfaces
+// and pre-handshake scrapes refuse with kFailedPrecondition.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/knowledge_graph.h"
+#include "obs/introspect.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rpc/client.h"
+#include "rpc/frame.h"
+#include "rpc/server.h"
+#include "rpc/transport.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+
+namespace kg::rpc {
+namespace {
+
+using graph::NodeKind;
+using graph::Provenance;
+
+const Provenance kProv{"rpc_introspect_test", 1.0, 0};
+
+graph::KnowledgeGraph SampleKg() {
+  graph::KnowledgeGraph kg;
+  kg.AddTriple("m1", "type", "Movie", NodeKind::kEntity, NodeKind::kClass,
+               kProv);
+  kg.AddTriple("m1", "title", "The Harbor", NodeKind::kEntity,
+               NodeKind::kText, kProv);
+  kg.AddTriple("m1", "directed_by", "ada", NodeKind::kEntity,
+               NodeKind::kEntity, kProv);
+  return kg;
+}
+
+/// The worker offers to the slow ring *after* writing the response, so
+/// a scrape racing the final response could see a partially recorded
+/// request. For a serial workload on one worker thread the ring offer
+/// is the last side effect per request — once the ring holds `n`
+/// entries, every observability surface for those requests is settled.
+void AwaitRingSize(const obs::SlowQueryRing& ring, size_t n) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ring.size() < n) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "slow ring never reached " << n << " entries";
+    std::this_thread::yield();
+  }
+}
+
+struct Rig {
+  serve::KgSnapshot snap;
+  std::unique_ptr<serve::QueryEngine> engine;
+  std::unique_ptr<RpcServer> server;
+  InMemoryTransportServer* loopback = nullptr;
+  std::unique_ptr<RpcClient> client;
+};
+
+Rig MakeRig(obs::MetricsRegistry* registry, obs::Tracer* tracer,
+            obs::SlowQueryRing* ring) {
+  Rig rig;
+  rig.snap = serve::KgSnapshot::Compile(SampleKg());
+  rig.engine = std::make_unique<serve::QueryEngine>(rig.snap);
+  auto listener = std::make_unique<InMemoryTransportServer>();
+  rig.loopback = listener.get();
+  RpcServerOptions options;
+  options.worker_threads = 1;
+  options.registry = registry;
+  options.tracer = tracer;
+  options.slow_ring = ring;
+  rig.server = std::make_unique<RpcServer>(EngineHandler(rig.engine.get()),
+                                           std::move(listener), options);
+  KG_CHECK_OK(rig.server->Start());
+  auto transport = rig.loopback->Connect();
+  KG_CHECK_OK(transport.status());
+  rig.client = std::make_unique<RpcClient>(std::move(*transport));
+  KG_CHECK_OK(rig.client->Handshake().status());
+  return rig;
+}
+
+// ---- Body codec ---------------------------------------------------------
+
+TEST(RpcIntrospectTest, RequestBodyRoundTripsAllSurfaces) {
+  for (const IntrospectWhat what :
+       {IntrospectWhat::kMetricsJson, IntrospectWhat::kMetricsPrometheus,
+        IntrospectWhat::kSlowQueries, IntrospectWhat::kTrace}) {
+    auto decoded =
+        DecodeIntrospectRequest(EncodeIntrospectRequest(IntrospectRequest{what}));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->what, what);
+  }
+}
+
+TEST(RpcIntrospectTest, ResponseBodyRoundTripsHostileStrings) {
+  IntrospectResponse resp;
+  resp.code = StatusCode::kFailedPrecondition;
+  resp.message = std::string("nul\0tab\there", 11);
+  resp.payload = "{\"k\":\"v\\n\"}";
+  auto decoded = DecodeIntrospectResponse(EncodeIntrospectResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->code, resp.code);
+  EXPECT_EQ(decoded->message, resp.message);
+  EXPECT_EQ(decoded->payload, resp.payload);
+}
+
+TEST(RpcIntrospectTest, RequestDecoderRejectsHostileBytes) {
+  // Empty body, out-of-range selectors, trailing bytes.
+  EXPECT_FALSE(DecodeIntrospectRequest("").ok());
+  for (int raw = static_cast<int>(kMaxIntrospectWhat) + 1; raw <= 255; ++raw) {
+    const char byte = static_cast<char>(raw);
+    const auto decoded = DecodeIntrospectRequest(std::string_view(&byte, 1));
+    ASSERT_FALSE(decoded.ok()) << "selector " << raw;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_FALSE(DecodeIntrospectRequest(std::string(2, '\0')).ok());
+}
+
+// ---- Over the wire ------------------------------------------------------
+
+TEST(RpcIntrospectTest, LoopbackScrapeMatchesInProcessBytes) {
+  obs::MetricsRegistry registry;
+  obs::FixedTraceClock clock;
+  obs::Tracer tracer(2026, &clock);
+  obs::SlowQueryRing ring(8, 0.0);
+  Rig rig = MakeRig(&registry, &tracer, &ring);
+
+  const std::vector<serve::Query> workload = {
+      serve::Query::PointLookup("m1", "title"),
+      serve::Query::Neighborhood("ada"),
+      serve::Query::TopKRelated("m1", 2),
+  };
+  for (const serve::Query& q : workload) {
+    ASSERT_TRUE(rig.client->Execute(q).ok());
+  }
+#ifndef KG_OBS_NOOP
+  AwaitRingSize(ring, workload.size());
+#endif
+
+  const auto json = rig.client->Introspect(IntrospectWhat::kMetricsJson);
+  ASSERT_TRUE(json.ok()) << json.status();
+  EXPECT_EQ(*json, registry.ToJson());
+
+  const auto prom = rig.client->Introspect(IntrospectWhat::kMetricsPrometheus);
+  ASSERT_TRUE(prom.ok()) << prom.status();
+  EXPECT_EQ(*prom, registry.ToPrometheus());
+
+  const auto slow = rig.client->Introspect(IntrospectWhat::kSlowQueries);
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  EXPECT_EQ(*slow, ring.ToJson());
+
+  const auto trace = rig.client->Introspect(IntrospectWhat::kTrace);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_EQ(*trace, tracer.ToJson());
+
+  // Scrapes are read-only: a second scrape of a quiesced server renders
+  // the same bytes.
+  const auto slow2 = rig.client->Introspect(IntrospectWhat::kSlowQueries);
+  ASSERT_TRUE(slow2.ok());
+  EXPECT_EQ(*slow2, *slow);
+}
+
+TEST(RpcIntrospectTest, SlowRingScrapeCarriesWireTraceIds) {
+  obs::SlowQueryRing ring(8, 0.0);
+  Rig rig = MakeRig(nullptr, nullptr, &ring);
+
+  TraceContext ctx;
+  ctx.trace_id = 0xabcdef0123456789ULL;
+  ctx.parent_span_id = 0x42ULL;
+  ctx.sampled = true;
+  ASSERT_TRUE(
+      rig.client->Execute(serve::Query::PointLookup("m1", "title"), &ctx)
+          .ok());
+#ifdef KG_OBS_NOOP
+  // Retention compiles to nothing; the scrape still answers cleanly.
+  const auto slow = rig.client->Introspect(IntrospectWhat::kSlowQueries);
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  const auto doc = obs::ParseJson(*slow);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->Find("count")->number, 0.0);
+#else
+  AwaitRingSize(ring, 1);
+
+  const auto slow = rig.client->Introspect(IntrospectWhat::kSlowQueries);
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  const auto doc = obs::ParseJson(*slow);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->Find("schema_version")->number, 1.0);
+  EXPECT_EQ(doc->Find("count")->number, 1.0);
+  const obs::JsonValue& entry = doc->Find("slow_queries")->array[0];
+  // The retained request is linked to the wire trace by its trace id.
+  EXPECT_EQ(entry.Find("trace_id")->string_value,
+            obs::HexSpanId(ctx.trace_id));
+  EXPECT_EQ(entry.Find("class")->string_value, "point_lookup");
+#endif
+}
+
+TEST(RpcIntrospectTest, MissingSurfacesRefuseWithFailedPrecondition) {
+  Rig rig = MakeRig(nullptr, nullptr, nullptr);
+  for (const IntrospectWhat what :
+       {IntrospectWhat::kMetricsJson, IntrospectWhat::kMetricsPrometheus,
+        IntrospectWhat::kSlowQueries, IntrospectWhat::kTrace}) {
+    const auto result = rig.client->Introspect(what);
+    ASSERT_FALSE(result.ok()) << IntrospectWhatName(what);
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition)
+        << IntrospectWhatName(what);
+  }
+  // The connection survives refused scrapes.
+  EXPECT_TRUE(rig.client->Execute(serve::Query::PointLookup("m1", "title"))
+                  .ok());
+}
+
+TEST(RpcIntrospectTest, MalformedBodyGetsCleanErrorAndConnectionSurvives) {
+  obs::MetricsRegistry registry;
+  Rig rig = MakeRig(&registry, nullptr, nullptr);
+
+  // Hand-built introspect frame with a hostile body: valid frame, junk
+  // selector payload.
+  auto transport = rig.loopback->Connect();
+  ASSERT_TRUE(transport.ok());
+  ITransport* t = transport->get();
+  FrameDecoder decoder;
+  std::string hs;
+  AppendFrame(&hs, MessageType::kHandshakeRequest, 1,
+              EncodeHandshakeRequest(
+                  HandshakeRequest{serve::kSnapshotSchemaVersion}));
+  ASSERT_TRUE(t->Write(hs).ok());
+  auto ReadFrame = [&]() -> Result<Frame> {
+    std::string chunk;
+    for (;;) {
+      Frame frame;
+      const FrameDecoder::Step step = decoder.Next(&frame);
+      if (step == FrameDecoder::Step::kFrame) return frame;
+      if (step == FrameDecoder::Step::kError) return decoder.error();
+      chunk.clear();
+      auto read = t->Read(&chunk, 4096, 5000);
+      if (!read.ok()) return read.status();
+      if (*read == 0) return Status::DeadlineExceeded("no frame in 5s");
+      decoder.Feed(chunk);
+    }
+  };
+  ASSERT_TRUE(ReadFrame().ok());  // Handshake response.
+
+  std::string bad;
+  AppendFrame(&bad, MessageType::kIntrospectRequest, 2, "\xff junk body");
+  ASSERT_TRUE(t->Write(bad).ok());
+  const auto bad_frame = ReadFrame();
+  ASSERT_TRUE(bad_frame.ok()) << bad_frame.status();
+  ASSERT_EQ(bad_frame->type, MessageType::kIntrospectResponse);
+  const auto bad_resp = DecodeIntrospectResponse(bad_frame->body);
+  ASSERT_TRUE(bad_resp.ok()) << bad_resp.status();
+  EXPECT_EQ(bad_resp->code, StatusCode::kInvalidArgument);
+
+  // Same connection still answers a well-formed scrape.
+  std::string good;
+  AppendFrame(&good, MessageType::kIntrospectRequest, 3,
+              EncodeIntrospectRequest(
+                  IntrospectRequest{IntrospectWhat::kMetricsJson}));
+  ASSERT_TRUE(t->Write(good).ok());
+  const auto good_frame = ReadFrame();
+  ASSERT_TRUE(good_frame.ok()) << good_frame.status();
+  const auto good_resp = DecodeIntrospectResponse(good_frame->body);
+  ASSERT_TRUE(good_resp.ok());
+  EXPECT_EQ(good_resp->code, StatusCode::kOk);
+  EXPECT_TRUE(obs::ParseJson(good_resp->payload).ok());
+}
+
+TEST(RpcIntrospectTest, ScrapeBeforeHandshakeIsRefusedAndDropped) {
+  obs::MetricsRegistry registry;
+  Rig rig = MakeRig(&registry, nullptr, nullptr);
+
+  auto transport = rig.loopback->Connect();
+  ASSERT_TRUE(transport.ok());
+  ITransport* t = transport->get();
+  std::string frame;
+  AppendFrame(&frame, MessageType::kIntrospectRequest, 1,
+              EncodeIntrospectRequest(
+                  IntrospectRequest{IntrospectWhat::kMetricsJson}));
+  ASSERT_TRUE(t->Write(frame).ok());
+
+  FrameDecoder decoder;
+  std::string chunk;
+  Frame out;
+  bool got_refusal = false;
+  for (;;) {
+    const FrameDecoder::Step step = decoder.Next(&out);
+    if (step == FrameDecoder::Step::kFrame) {
+      const auto resp = DecodeIntrospectResponse(out.body);
+      ASSERT_TRUE(resp.ok());
+      EXPECT_EQ(resp->code, StatusCode::kFailedPrecondition);
+      got_refusal = true;
+      continue;
+    }
+    ASSERT_NE(step, FrameDecoder::Step::kError);
+    chunk.clear();
+    auto read = t->Read(&chunk, 4096, 5000);
+    if (!read.ok() || *read == 0) break;  // Server closed the stream.
+    decoder.Feed(chunk);
+  }
+  EXPECT_TRUE(got_refusal);
+}
+
+}  // namespace
+}  // namespace kg::rpc

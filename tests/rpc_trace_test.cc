@@ -1,0 +1,256 @@
+// End-to-end wire trace propagation: a client-side TraceContext rides
+// the frame extension, the server roots its "serve.<class>" span at the
+// wire parent, an in-process shared tracer yields one connected tree,
+// and same-seed runs render byte-identical trace JSON. Under
+// KG_OBS_NOOP the wire still carries the context (frame bytes are
+// independent of the obs build flavor) but no spans are recorded.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "graph/knowledge_graph.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "rpc/client.h"
+#include "rpc/frame.h"
+#include "rpc/server.h"
+#include "rpc/transport.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+
+namespace kg::rpc {
+namespace {
+
+using graph::NodeKind;
+using graph::Provenance;
+
+const Provenance kProv{"rpc_trace_test", 1.0, 0};
+
+graph::KnowledgeGraph SampleKg() {
+  graph::KnowledgeGraph kg;
+  kg.AddTriple("m1", "type", "Movie", NodeKind::kEntity, NodeKind::kClass,
+               kProv);
+  kg.AddTriple("m1", "title", "The Harbor", NodeKind::kEntity,
+               NodeKind::kText, kProv);
+  kg.AddTriple("m1", "directed_by", "ada", NodeKind::kEntity,
+               NodeKind::kEntity, kProv);
+  return kg;
+}
+
+/// Engine + traced server + handshook client over loopback.
+struct TracedRig {
+  serve::KgSnapshot snap;
+  std::unique_ptr<serve::QueryEngine> engine;
+  std::unique_ptr<RpcServer> server;
+  std::unique_ptr<RpcClient> client;
+};
+
+TracedRig MakeRig(obs::Tracer* tracer) {
+  TracedRig rig;
+  rig.snap = serve::KgSnapshot::Compile(SampleKg());
+  rig.engine = std::make_unique<serve::QueryEngine>(rig.snap);
+  auto listener = std::make_unique<InMemoryTransportServer>();
+  InMemoryTransportServer* loopback = listener.get();
+  RpcServerOptions options;
+  options.worker_threads = 1;
+  options.tracer = tracer;
+  rig.server = std::make_unique<RpcServer>(EngineHandler(rig.engine.get()),
+                                           std::move(listener), options);
+  KG_CHECK_OK(rig.server->Start());
+  auto transport = loopback->Connect();
+  KG_CHECK_OK(transport.status());
+  rig.client = std::make_unique<RpcClient>(std::move(*transport));
+  KG_CHECK_OK(rig.client->Handshake().status());
+  return rig;
+}
+
+TEST(RpcTraceTest, ServerSpanParentsAtWireContext) {
+  obs::FixedTraceClock clock;
+  obs::Tracer tracer(77, &clock);
+  TracedRig rig = MakeRig(&tracer);
+
+  TraceContext ctx;
+  ctx.trace_id = 0x1111222233334444ULL;
+  ctx.parent_span_id = 0x00abcdef01234567ULL;
+  ctx.sampled = true;
+  ASSERT_TRUE(
+      rig.client->Execute(serve::Query::PointLookup("m1", "title"), &ctx)
+          .ok());
+  rig.server->Stop();
+
+#ifdef KG_OBS_NOOP
+  EXPECT_EQ(tracer.finished_spans(), 0u);
+#else
+  // Per request: the "serve.<class>" root plus its "execute" child.
+  ASSERT_EQ(tracer.finished_spans(), 2u);
+  const auto doc = obs::ParseJson(tracer.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const obs::JsonValue* spans = doc->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->array.size(), 1u);
+  const obs::JsonValue& span = spans->array[0];
+  EXPECT_EQ(span.Find("name")->string_value, "serve.point_lookup");
+  ASSERT_NE(span.Find("children"), nullptr);
+  EXPECT_EQ(span.Find("children")->array[0].Find("name")->string_value,
+            "execute");
+  // The wire parent is rendered even though no local span carries that
+  // id — the span is a root of this server's local forest.
+  ASSERT_NE(span.Find("parent_id"), nullptr);
+  EXPECT_EQ(span.Find("parent_id")->string_value,
+            obs::HexSpanId(ctx.parent_span_id));
+  // The span id is a pure function of (seed, wire parent, structure):
+  // Fnv1a64("<seed>|~<parent hex>/serve.point_lookup#0").
+  const uint64_t expected_id =
+      Fnv1a64("77|~" + obs::HexSpanId(ctx.parent_span_id) +
+              "/serve.point_lookup#0");
+  EXPECT_EQ(span.Find("id")->string_value, obs::HexSpanId(expected_id));
+#endif
+}
+
+TEST(RpcTraceTest, UnsampledContextSkipsSpanUntracedRequestGetsLocalRoot) {
+  obs::FixedTraceClock clock;
+  obs::Tracer tracer(5, &clock);
+  TracedRig rig = MakeRig(&tracer);
+
+  TraceContext unsampled;
+  unsampled.trace_id = 9;
+  unsampled.parent_span_id = 10;
+  unsampled.sampled = false;
+  ASSERT_TRUE(rig.client
+                  ->Execute(serve::Query::PointLookup("m1", "title"),
+                            &unsampled)
+                  .ok());
+  ASSERT_TRUE(
+      rig.client->Execute(serve::Query::Neighborhood("ada")).ok());
+  rig.server->Stop();
+
+#ifdef KG_OBS_NOOP
+  EXPECT_EQ(tracer.finished_spans(), 0u);
+#else
+  // The unsampled request recorded nothing; the context-free request
+  // got a server-local root (plus its "execute" child) with no parent.
+  ASSERT_EQ(tracer.finished_spans(), 2u);
+  const auto doc = obs::ParseJson(tracer.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->Find("spans")->array.size(), 1u);
+  const obs::JsonValue& span = doc->Find("spans")->array[0];
+  EXPECT_EQ(span.Find("name")->string_value, "serve.neighborhood");
+  EXPECT_EQ(span.Find("parent_id"), nullptr);
+#endif
+}
+
+TEST(RpcTraceTest, SharedTracerNestsServerSpanUnderClientSpan) {
+  obs::FixedTraceClock clock;
+  obs::Tracer tracer(42, &clock);
+  TracedRig rig = MakeRig(&tracer);
+
+  obs::Span root = tracer.Root("client.request");
+  TraceContext ctx;
+  ctx.trace_id = root.id();
+  ctx.parent_span_id = root.id();
+  ctx.sampled = true;
+  ASSERT_TRUE(
+      rig.client->Execute(serve::Query::PointLookup("m1", "title"), &ctx)
+          .ok());
+  rig.server->Stop();
+  root.End();
+
+#ifdef KG_OBS_NOOP
+  EXPECT_EQ(tracer.finished_spans(), 0u);
+#else
+  ASSERT_EQ(tracer.finished_spans(), 3u);
+  const auto doc = obs::ParseJson(tracer.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  // One connected tree: the server span nests under the client span
+  // because the parent id resolves to a locally recorded span.
+  const obs::JsonValue* spans = doc->Find("spans");
+  ASSERT_EQ(spans->array.size(), 1u);
+  const obs::JsonValue& client_span = spans->array[0];
+  EXPECT_EQ(client_span.Find("name")->string_value, "client.request");
+  const obs::JsonValue* children = client_span.Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->array.size(), 1u);
+  EXPECT_EQ(children->array[0].Find("name")->string_value,
+            "serve.point_lookup");
+  EXPECT_EQ(children->array[0].Find("parent_id")->string_value,
+            obs::HexSpanId(root.id()));
+#endif
+}
+
+TEST(RpcTraceTest, RetryingClientPropagatesContext) {
+  obs::FixedTraceClock clock;
+  obs::Tracer tracer(13, &clock);
+  serve::KgSnapshot snap = serve::KgSnapshot::Compile(SampleKg());
+  serve::QueryEngine engine(snap);
+  auto listener = std::make_unique<InMemoryTransportServer>();
+  InMemoryTransportServer* loopback = listener.get();
+  RpcServerOptions options;
+  options.worker_threads = 1;
+  options.tracer = &tracer;
+  RpcServer server(EngineHandler(&engine), std::move(listener), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RetryingClient client([loopback]() { return loopback->Connect(); },
+                        RetryPolicy{}, 99);
+  TraceContext ctx;
+  ctx.trace_id = 0xfeedULL;
+  ctx.parent_span_id = 0xbeefULL;
+  ctx.sampled = true;
+  ASSERT_TRUE(
+      client.Execute(serve::Query::PointLookup("m1", "title"), &ctx).ok());
+  server.Stop();
+
+#ifdef KG_OBS_NOOP
+  EXPECT_EQ(tracer.finished_spans(), 0u);
+#else
+  ASSERT_EQ(tracer.finished_spans(), 2u);
+  const auto doc = obs::ParseJson(tracer.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->Find("spans")->array.size(), 1u);
+  EXPECT_EQ(doc->Find("spans")->array[0].Find("parent_id")->string_value,
+            obs::HexSpanId(ctx.parent_span_id));
+#endif
+}
+
+std::string RunSeededTracedWorkload() {
+  obs::FixedTraceClock clock;
+  obs::Tracer tracer(314, &clock);
+  TracedRig rig = MakeRig(&tracer);
+  const std::vector<serve::Query> workload = {
+      serve::Query::PointLookup("m1", "title"),
+      serve::Query::Neighborhood("ada"),
+      serve::Query::AttributeByType("Movie", "title"),
+      serve::Query::TopKRelated("m1", 3),
+      serve::Query::PointLookup("m1", "title"),
+  };
+  uint64_t next_parent = 0x5eed0000ULL;
+  for (const serve::Query& q : workload) {
+    clock.Advance(0.001);
+    TraceContext ctx;
+    ctx.trace_id = next_parent;
+    ctx.parent_span_id = next_parent;
+    ctx.sampled = true;
+    ++next_parent;
+    KG_CHECK_OK(rig.client->Execute(q, &ctx).status());
+  }
+  rig.server->Stop();
+  return tracer.ToJson();
+}
+
+TEST(RpcTraceTest, SameSeedRunsRenderIdenticalTraceJson) {
+  const std::string first = RunSeededTracedWorkload();
+  const std::string second = RunSeededTracedWorkload();
+  EXPECT_EQ(first, second);
+#ifndef KG_OBS_NOOP
+  EXPECT_NE(first.find("serve.topk_related"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace kg::rpc

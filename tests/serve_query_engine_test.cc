@@ -191,6 +191,9 @@ TEST_F(QueryEngineTest, TryExecuteRefusesNewerSchemaSnapshot) {
 }
 
 TEST_F(QueryEngineTest, MetricsRecordPerQueryClass) {
+#ifdef KG_OBS_NOOP
+  GTEST_SKIP() << "instrumentation compiled out under KG_OBS_NOOP";
+#endif
   StageTimer metrics;
   ServeOptions options;
   options.metrics = &metrics;
